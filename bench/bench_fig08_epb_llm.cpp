@@ -1,0 +1,64 @@
+// Reproduces paper Fig. 8: "EPB comparison across LLM accelerators".
+//
+// Prints the full workload x platform EPB grid (TRON first), the per-platform
+// improvement factors, and the min/mean improvements backing the paper's
+// ">= 8x better energy efficiency" claim; then times the simulator itself
+// under google-benchmark.
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "common/stats.hpp"
+#include "sim/figures.hpp"
+
+namespace {
+
+using namespace lumos;
+
+void print_figure() {
+  const sim::FigureData f = sim::run_fig8_epb_llm(tron::default_tron_config());
+  f.to_table().print(std::cout);
+
+  Table gains("TRON EPB improvement factors (baseline EPB / TRON EPB)");
+  std::vector<std::string> header{"workload"};
+  for (std::size_t p = 1; p < f.platforms.size(); ++p) header.push_back(f.platforms[p]);
+  gains.add_row(std::move(header));
+  for (std::size_t w = 0; w < f.workloads.size(); ++w) {
+    std::vector<std::string> row{f.workloads[w]};
+    for (std::size_t p = 1; p < f.platforms.size(); ++p) {
+      row.push_back(Table::num(f.improvement(w, p), 1) + "x");
+    }
+    gains.add_row(std::move(row));
+  }
+  gains.print(std::cout);
+  std::cout << "Fig. 8 minimum EPB improvement: " << Table::num(f.min_improvement(), 2)
+            << "x (paper claims >= 8x)\n"
+            << "Fig. 8 geomean EPB improvement: " << Table::num(f.mean_improvement(), 2)
+            << "x\n\n";
+}
+
+void BM_Fig8FullGrid(benchmark::State& state) {
+  const tron::TronConfig config = tron::default_tron_config();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim::run_fig8_epb_llm(config));
+  }
+}
+BENCHMARK(BM_Fig8FullGrid)->Unit(benchmark::kMillisecond);
+
+void BM_TronEstimateBertBase(benchmark::State& state) {
+  const tron::TronAccelerator acc(tron::default_tron_config());
+  const auto model = nn::bert_base();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(acc.estimate(model));
+  }
+}
+BENCHMARK(BM_TronEstimateBertBase)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_figure();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Reproduces paper Fig. 9: "Throughput comparison across LLM accelerators".
+//
+// Prints the GOPS grid and improvement factors backing the ">= 14x better
+// throughput" claim, then times the TRON mapping across the model zoo.
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "sim/figures.hpp"
+
+namespace {
+
+using namespace lumos;
+
+void print_figure() {
+  const sim::FigureData f = sim::run_fig9_gops_llm(tron::default_tron_config());
+  f.to_table().print(std::cout);
+
+  Table gains("TRON throughput improvement factors (TRON GOPS / baseline GOPS)");
+  std::vector<std::string> header{"workload"};
+  for (std::size_t p = 1; p < f.platforms.size(); ++p) header.push_back(f.platforms[p]);
+  gains.add_row(std::move(header));
+  for (std::size_t w = 0; w < f.workloads.size(); ++w) {
+    std::vector<std::string> row{f.workloads[w]};
+    for (std::size_t p = 1; p < f.platforms.size(); ++p) {
+      row.push_back(Table::num(f.improvement(w, p), 1) + "x");
+    }
+    gains.add_row(std::move(row));
+  }
+  gains.print(std::cout);
+  std::cout << "Fig. 9 minimum throughput improvement: " << Table::num(f.min_improvement(), 2)
+            << "x (paper claims >= 14x)\n"
+            << "Fig. 9 geomean throughput improvement: "
+            << Table::num(f.mean_improvement(), 2) << "x\n\n";
+}
+
+void BM_Fig9FullGrid(benchmark::State& state) {
+  const tron::TronConfig config = tron::default_tron_config();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim::run_fig9_gops_llm(config));
+  }
+}
+BENCHMARK(BM_Fig9FullGrid)->Unit(benchmark::kMillisecond);
+
+void BM_TronEstimateZoo(benchmark::State& state) {
+  const tron::TronAccelerator acc(tron::default_tron_config());
+  const auto zoo = nn::llm_model_zoo();
+  for (auto _ : state) {
+    for (const auto& model : zoo) benchmark::DoNotOptimize(acc.estimate(model));
+  }
+}
+BENCHMARK(BM_TronEstimateZoo)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_figure();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Reproduces paper Fig. 10: "EPB comparison across GNN accelerators".
+//
+// Prints the model x dataset x platform EPB grid (GHOST first) and the
+// improvement factors backing the ">= 3.8x greater energy efficiency" claim.
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "sim/figures.hpp"
+
+namespace {
+
+using namespace lumos;
+
+void print_figure() {
+  const sim::FigureData f = sim::run_fig10_epb_gnn(ghost::default_ghost_config());
+  f.to_table().print(std::cout);
+
+  Table gains("GHOST EPB improvement factors (baseline EPB / GHOST EPB)");
+  std::vector<std::string> header{"workload"};
+  for (std::size_t p = 1; p < f.platforms.size(); ++p) header.push_back(f.platforms[p]);
+  gains.add_row(std::move(header));
+  for (std::size_t w = 0; w < f.workloads.size(); ++w) {
+    std::vector<std::string> row{f.workloads[w]};
+    for (std::size_t p = 1; p < f.platforms.size(); ++p) {
+      row.push_back(Table::num(f.improvement(w, p), 1) + "x");
+    }
+    gains.add_row(std::move(row));
+  }
+  gains.print(std::cout);
+  std::cout << "Fig. 10 minimum EPB improvement: " << Table::num(f.min_improvement(), 2)
+            << "x (paper claims >= 3.8x)\n"
+            << "Fig. 10 geomean EPB improvement: " << Table::num(f.mean_improvement(), 2)
+            << "x\n\n";
+}
+
+void BM_Fig10FullGrid(benchmark::State& state) {
+  const ghost::GhostConfig config = ghost::default_ghost_config();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim::run_fig10_epb_gnn(config));
+  }
+}
+BENCHMARK(BM_Fig10FullGrid)->Unit(benchmark::kMillisecond);
+
+void BM_GhostEstimateGcnCora(benchmark::State& state) {
+  const ghost::GhostAccelerator acc(ghost::default_ghost_config());
+  const auto model = gnn::gcn_model();
+  const auto ds = graph::synthetic_cora();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(acc.estimate(model, ds));
+  }
+}
+BENCHMARK(BM_GhostEstimateGcnCora)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_figure();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

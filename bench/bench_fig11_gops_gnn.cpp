@@ -1,0 +1,62 @@
+// Reproduces paper Fig. 11: "Throughput comparison across GNN accelerators".
+//
+// Prints the GOPS grid and improvement factors backing the ">= 10.2x
+// improvement in throughput" claim.
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "sim/figures.hpp"
+
+namespace {
+
+using namespace lumos;
+
+void print_figure() {
+  const sim::FigureData f = sim::run_fig11_gops_gnn(ghost::default_ghost_config());
+  f.to_table().print(std::cout);
+
+  Table gains("GHOST throughput improvement factors (GHOST GOPS / baseline GOPS)");
+  std::vector<std::string> header{"workload"};
+  for (std::size_t p = 1; p < f.platforms.size(); ++p) header.push_back(f.platforms[p]);
+  gains.add_row(std::move(header));
+  for (std::size_t w = 0; w < f.workloads.size(); ++w) {
+    std::vector<std::string> row{f.workloads[w]};
+    for (std::size_t p = 1; p < f.platforms.size(); ++p) {
+      row.push_back(Table::num(f.improvement(w, p), 1) + "x");
+    }
+    gains.add_row(std::move(row));
+  }
+  gains.print(std::cout);
+  std::cout << "Fig. 11 minimum throughput improvement: "
+            << Table::num(f.min_improvement(), 2) << "x (paper claims >= 10.2x)\n"
+            << "Fig. 11 geomean throughput improvement: "
+            << Table::num(f.mean_improvement(), 2) << "x\n\n";
+}
+
+void BM_Fig11FullGrid(benchmark::State& state) {
+  const ghost::GhostConfig config = ghost::default_ghost_config();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim::run_fig11_gops_gnn(config));
+  }
+}
+BENCHMARK(BM_Fig11FullGrid)->Unit(benchmark::kMillisecond);
+
+void BM_GhostEstimateZooOnCora(benchmark::State& state) {
+  const ghost::GhostAccelerator acc(ghost::default_ghost_config());
+  const auto ds = graph::synthetic_cora();
+  const auto zoo = gnn::gnn_model_zoo();
+  for (auto _ : state) {
+    for (const auto& model : zoo) benchmark::DoNotOptimize(acc.estimate(model, ds));
+  }
+}
+BENCHMARK(BM_GhostEstimateZooOnCora)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_figure();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Regenerates the paper's headline claims (abstract + Section VI):
+//   TRON : >= 14x throughput, >= 8x energy efficiency vs LLM accelerators
+//   GHOST: >= 10.2x throughput, >= 3.8x energy efficiency vs GNN accelerators
+//   Combined (abstract): both achieve >= 10.2x / >= 3.8x.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <iostream>
+
+#include "sim/figures.hpp"
+
+namespace {
+
+using namespace lumos;
+
+void print_claims() {
+  const sim::HeadlineClaims h = sim::run_headline_claims(tron::default_tron_config(),
+                                                         ghost::default_ghost_config());
+  Table t("Headline claims: paper vs this reproduction (minimum over all workload/baseline pairs)");
+  t.add_row({"claim", "paper", "measured", "holds"});
+  const auto row = [&](const char* name, double paper, double measured) {
+    t.add_row({name, Table::num(paper, 1) + "x", Table::num(measured, 2) + "x",
+               measured >= paper ? "yes" : "NO"});
+  };
+  row("TRON min throughput gain", 14.0, h.tron_min_throughput_gain);
+  row("TRON min EPB gain", 8.0, h.tron_min_epb_gain);
+  row("GHOST min throughput gain", 10.2, h.ghost_min_throughput_gain);
+  row("GHOST min EPB gain", 3.8, h.ghost_min_epb_gain);
+  row("Combined min throughput gain", 10.2,
+      std::min(h.tron_min_throughput_gain, h.ghost_min_throughput_gain));
+  row("Combined min EPB gain", 3.8, std::min(h.tron_min_epb_gain, h.ghost_min_epb_gain));
+  t.print(std::cout);
+  std::cout << '\n';
+}
+
+void BM_HeadlineClaims(benchmark::State& state) {
+  const auto tc = tron::default_tron_config();
+  const auto gc = ghost::default_ghost_config();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim::run_headline_claims(tc, gc));
+  }
+}
+BENCHMARK(BM_HeadlineClaims)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_claims();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,104 @@
+// lumos_cli — command-line front end for quick what-if studies.
+//
+// Usage:
+//   lumos_cli tron  <model>  [seq_len] [batch]
+//   lumos_cli ghost <model>  <dataset>
+//   lumos_cli generate <model> <prompt_len> <tokens>
+//
+//   <model>   tron:  bert-base | bert-large | gpt2 | vit | transformer
+//             ghost: gcn | graphsage | gin | gat
+//   <dataset> cora | citeseer | pubmed
+//
+// Examples:
+//   lumos_cli tron bert-base 256 8
+//   lumos_cli ghost gat pubmed
+//   lumos_cli generate gpt2 64 128
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "common/units.hpp"
+#include "ghost/accelerator.hpp"
+#include "tron/accelerator.hpp"
+
+namespace {
+
+using namespace lumos;
+
+void print_report(const PerfReport& r) {
+  std::cout << r.platform << " / " << r.workload << ":\n"
+            << "  latency        : " << units::to_us(r.latency_s) << " us\n"
+            << "  throughput     : " << units::to_gops(r.ops_per_second()) << " GOPS\n"
+            << "  energy per bit : " << units::to_pj(r.energy_per_bit_j()) << " pJ/bit\n"
+            << "  total energy   : " << r.total_energy_j * 1e6 << " uJ\n"
+            << "  average power  : " << r.average_power_w() << " W\n"
+            << "  memory stall   : " << units::to_us(r.breakdown.memory_stall_s) << " us ("
+            << 100.0 * r.breakdown.memory_stall_s / r.latency_s << " %)\n";
+}
+
+int usage() {
+  std::cerr << "usage:\n"
+               "  lumos_cli tron  <bert-base|bert-large|gpt2|vit|transformer> [seq] [batch]\n"
+               "  lumos_cli ghost <gcn|graphsage|gin|gat> <cora|citeseer|pubmed>\n"
+               "  lumos_cli generate <bert-base|bert-large|gpt2|vit> <prompt> <tokens>\n";
+  return 2;
+}
+
+nn::TransformerConfig transformer_by_name(const std::string& name, std::size_t seq) {
+  if (name == "bert-base") return nn::bert_base(seq);
+  if (name == "bert-large") return nn::bert_large(seq);
+  if (name == "gpt2") return nn::gpt2_small(seq);
+  if (name == "vit") return nn::vit_base();
+  if (name == "transformer") return nn::original_transformer(seq, seq);
+  throw InvalidArgument("unknown transformer model: " + name);
+}
+
+gnn::GnnModelConfig gnn_by_name(const std::string& name) {
+  if (name == "gcn") return gnn::gcn_model();
+  if (name == "graphsage") return gnn::graphsage_model();
+  if (name == "gin") return gnn::gin_model();
+  if (name == "gat") return gnn::gat_model();
+  throw InvalidArgument("unknown GNN model: " + name);
+}
+
+graph::GraphDataset dataset_by_name(const std::string& name) {
+  if (name == "cora") return graph::synthetic_cora();
+  if (name == "citeseer") return graph::synthetic_citeseer();
+  if (name == "pubmed") return graph::synthetic_pubmed();
+  throw InvalidArgument("unknown dataset: " + name);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) return usage();
+  const std::string mode = argv[1];
+  try {
+    if (mode == "tron") {
+      const std::size_t seq = argc > 3 ? std::strtoul(argv[3], nullptr, 10) : 128;
+      const std::size_t batch = argc > 4 ? std::strtoul(argv[4], nullptr, 10) : 1;
+      const tron::TronAccelerator acc(tron::default_tron_config());
+      print_report(acc.estimate_batch(transformer_by_name(argv[2], seq), batch));
+      return 0;
+    }
+    if (mode == "ghost") {
+      if (argc < 4) return usage();
+      const ghost::GhostAccelerator acc(ghost::default_ghost_config());
+      print_report(acc.estimate(gnn_by_name(argv[2]), dataset_by_name(argv[3])));
+      return 0;
+    }
+    if (mode == "generate") {
+      if (argc < 5) return usage();
+      const std::size_t prompt = std::strtoul(argv[3], nullptr, 10);
+      const std::size_t tokens = std::strtoul(argv[4], nullptr, 10);
+      const tron::TronAccelerator acc(tron::default_tron_config());
+      print_report(acc.estimate_generation(transformer_by_name(argv[2], prompt + tokens),
+                                           prompt, tokens));
+      return 0;
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+  }
+  return usage();
+}

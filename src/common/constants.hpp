@@ -1,0 +1,36 @@
+// Fundamental physical constants and silicon-photonics material parameters
+// used by the device models in `lumos::phot`.
+//
+// Material values are the standard numbers for silicon-on-insulator strip
+// waveguides around the 1550 nm C-band, as used by the TRON/GHOST papers'
+// device-level references (CrossLight DAC'21, SONIC ASPDAC'22).
+#pragma once
+
+namespace lumos::constants {
+
+// ---- Fundamental constants ---------------------------------------------------
+inline constexpr double kSpeedOfLight = 2.99792458e8;   // m/s
+inline constexpr double kPlanck = 6.62607015e-34;       // J*s
+inline constexpr double kElectronCharge = 1.602176634e-19;  // C
+inline constexpr double kBoltzmann = 1.380649e-23;      // J/K
+
+// ---- Silicon-on-insulator waveguide parameters (C-band, 1550 nm) --------------
+// Effective index of the fundamental TE mode of a 450x220 nm strip waveguide.
+inline constexpr double kSiEffectiveIndex = 2.35;
+// Group index of the same mode (sets FSR and tuning efficiency).
+inline constexpr double kSiGroupIndex = 4.2;
+// Thermo-optic coefficient of silicon dn/dT at 300 K.
+inline constexpr double kSiThermoOpticCoeff = 1.86e-4;  // 1/K
+// Free-carrier plasma-dispersion EO index change achievable per volt for a
+// depletion-type pn microring phase shifter (small-signal, conservative).
+inline constexpr double kSiEoIndexShiftPerVolt = 4.0e-5;  // 1/V
+
+// ---- C-band definition ---------------------------------------------------------
+inline constexpr double kCBandCenterWavelength = 1550e-9;  // m
+inline constexpr double kCBandMinWavelength = 1530e-9;     // m
+inline constexpr double kCBandMaxWavelength = 1565e-9;     // m
+
+// ---- Room temperature -----------------------------------------------------------
+inline constexpr double kRoomTemperature = 300.0;  // K
+
+}  // namespace lumos::constants

@@ -1,0 +1,61 @@
+// Precondition / invariant checking for the library.
+//
+// The simulators are configured programmatically; violated preconditions are
+// programming errors in the caller, so they throw `lumos::InvalidArgument`
+// (derived from std::invalid_argument) with the failing expression and
+// location.  Internal invariant violations throw `lumos::InternalError`.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace lumos {
+
+// Thrown when a caller passes an argument that violates a documented
+// precondition of a public API.
+class InvalidArgument : public std::invalid_argument {
+ public:
+  using std::invalid_argument::invalid_argument;
+};
+
+// Thrown when an internal invariant of the library is violated (a bug in the
+// library itself rather than in the caller).
+class InternalError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+namespace detail {
+[[noreturn]] inline void throw_precondition(const char* expr, const char* file, int line,
+                                            const std::string& msg) {
+  std::string what = std::string("precondition failed: ") + expr + " at " + file + ":" +
+                     std::to_string(line);
+  if (!msg.empty()) what += " (" + msg + ")";
+  throw InvalidArgument(what);
+}
+
+[[noreturn]] inline void throw_invariant(const char* expr, const char* file, int line) {
+  throw InternalError(std::string("invariant failed: ") + expr + " at " + file + ":" +
+                      std::to_string(line));
+}
+}  // namespace detail
+
+}  // namespace lumos
+
+// Validates a documented precondition of a public API entry point.
+#define LUMOS_EXPECTS(expr)                                                   \
+  do {                                                                        \
+    if (!(expr)) ::lumos::detail::throw_precondition(#expr, __FILE__, __LINE__, ""); \
+  } while (false)
+
+// Same, with an explanatory message appended to the exception text.
+#define LUMOS_EXPECTS_MSG(expr, msg)                                          \
+  do {                                                                        \
+    if (!(expr)) ::lumos::detail::throw_precondition(#expr, __FILE__, __LINE__, (msg)); \
+  } while (false)
+
+// Validates an internal invariant (library bug if it fires).
+#define LUMOS_ENSURES(expr)                                                   \
+  do {                                                                        \
+    if (!(expr)) ::lumos::detail::throw_invariant(#expr, __FILE__, __LINE__); \
+  } while (false)

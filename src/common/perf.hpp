@@ -1,0 +1,55 @@
+// Performance/energy report shared by every platform model in the library
+// (TRON, GHOST, and the electronic baselines), so the figure benches can
+// compare EPB and GOPS uniformly.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace lumos {
+
+// Per-stage accounting of one inference pass (photonic accelerators fill the
+// stages that apply; baselines typically only use the totals).
+struct PerfBreakdown {
+  double matmul_time_s = 0.0;
+  double softmax_time_s = 0.0;
+  double elementwise_time_s = 0.0;  // residual adds, LN, activations
+  double aggregation_time_s = 0.0;  // GHOST: reduce-phase time
+  double memory_stall_s = 0.0;      // DRAM streaming not hidden by compute
+
+  double laser_dac_adc_energy_j = 0.0;
+  double partial_sum_energy_j = 0.0;
+  double softmax_energy_j = 0.0;
+  double elementwise_energy_j = 0.0;
+  double aggregation_energy_j = 0.0;
+  double sram_energy_j = 0.0;
+  double dram_energy_j = 0.0;
+};
+
+struct PerfReport {
+  std::string workload;
+  std::string platform;
+  double latency_s = 0.0;  // one full inference
+  double dynamic_energy_j = 0.0;
+  double static_power_w = 0.0;
+  double static_energy_j = 0.0;
+  double total_energy_j = 0.0;
+  std::size_t op_count = 0;
+  int bits = 8;
+  PerfBreakdown breakdown;
+
+  // Throughput in operations per second (the paper's GOPS figures / 1e9).
+  [[nodiscard]] double ops_per_second() const noexcept {
+    return latency_s > 0.0 ? static_cast<double>(op_count) / latency_s : 0.0;
+  }
+  // Energy per bit: total energy over all processed operand bits.
+  [[nodiscard]] double energy_per_bit_j() const noexcept {
+    const double bits_total = static_cast<double>(op_count) * bits;
+    return bits_total > 0.0 ? total_energy_j / bits_total : 0.0;
+  }
+  [[nodiscard]] double average_power_w() const noexcept {
+    return latency_s > 0.0 ? total_energy_j / latency_s : 0.0;
+  }
+};
+
+}  // namespace lumos

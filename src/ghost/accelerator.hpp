@@ -1,0 +1,65 @@
+// GHOST: the silicon-photonic GNN accelerator (paper Section V.D).
+//
+// Mirrors TRON's two faces:
+//   * `estimate()` — analytic performance/energy mapping of a GNN model on a
+//     graph dataset (aggregate / combine / update phases, buffer-and-
+//     partition memory traffic, weight-DAC sharing, workload balancing);
+//   * `forward()` — functional execution of a (small) GNN through the noisy
+//     analog device models, validated against the exact reference.
+#pragma once
+
+#include "common/perf.hpp"
+#include "ghost/config.hpp"
+#include "photonics/area.hpp"
+#include "ghost/units.hpp"
+#include "gnn/models.hpp"
+#include "graph/partition.hpp"
+#include "tron/photonic_ops.hpp"
+#include "tron/softmax_lut.hpp"
+
+namespace lumos::ghost {
+
+class GhostAccelerator {
+ public:
+  explicit GhostAccelerator(const GhostConfig& config);
+
+  // Analytic mapping of one full-graph inference of `model` on `dataset`.
+  [[nodiscard]] PerfReport estimate(const gnn::GnnModelConfig& model,
+                                    const graph::GraphDataset& dataset) const;
+
+  // Functional forward of `weights` on `graph`/`features` through the noisy
+  // photonic path (intended for small graphs).
+  [[nodiscard]] nn::Matrix forward(const gnn::GnnModelWeights& weights,
+                                   const graph::CsrGraph& graph, const nn::Matrix& features,
+                                   Rng& rng, const phot::AnalogNoiseConfig& noise) const;
+
+  [[nodiscard]] const GhostConfig& config() const noexcept { return config_; }
+  [[nodiscard]] const ReduceUnit& reduce_unit() const noexcept { return reduce_; }
+  [[nodiscard]] const UpdateUnit& update_unit() const noexcept { return update_; }
+
+  // Fabric-wide static (hold) power.
+  [[nodiscard]] double static_power_w() const;
+
+  // Floorplan summary (transform arrays, reduce/update units, buffers).
+  [[nodiscard]] phot::AreaReport area() const;
+
+ private:
+  // Functional aggregate phase for one layer.
+  [[nodiscard]] nn::Matrix aggregate_photonic(const gnn::GnnLayerWeights& weights,
+                                              const graph::CsrGraph& graph,
+                                              const nn::Matrix& features, Rng& rng,
+                                              const phot::AnalogNoiseConfig& noise) const;
+
+  GhostConfig config_;
+  ReduceUnit reduce_;
+  UpdateUnit update_;
+  phot::MrBankArray transform_array_;
+  phot::MrBank score_bank_;      // GAT attention-score dot products
+  tron::SoftmaxLut softmax_;     // GAT attention / classifier LUT softmax
+  mem::SramModel feature_buffer_;
+  mem::SramModel weight_buffer_;
+  mem::SramModel edge_buffer_;
+  mem::DramModel dram_;
+};
+
+}  // namespace lumos::ghost

@@ -1,0 +1,67 @@
+// GHOST architecture configuration (paper Section V.D, Figs. 6-7).
+//
+// The accelerator is organised into V execution lanes, each processing one
+// output vertex at a time.  The aggregate block holds N edge-control units
+// feeding V gather units and V reduce units (coherent summation / optical
+// max); the combine block holds the transform units (MR bank arrays); the
+// update block holds V SOA-based activation units with LUT fallback.
+// Buffer-and-partition, weight-DAC sharing, pipelining, and workload
+// balancing are the scheduling optimisations (all modelled, all switchable
+// for the ablation benches).
+#pragma once
+
+#include <cstddef>
+
+#include "mem/sram.hpp"
+#include "photonics/mr_bank.hpp"
+
+namespace lumos::ghost {
+
+struct GhostConfig {
+  // ---- Lanes and aggregate block ----
+  std::size_t lanes = 16;                 // V execution lanes
+  std::size_t edge_control_units = 32;    // N input-fetch units
+  std::size_t reduce_branches = 16;       // neighbours summed per optical pass
+  std::size_t feature_lanes = 16;         // features reduced in parallel per pass
+
+  // ---- Combine block ----
+  std::size_t transform_arrays_per_lane = 2;
+  std::size_t array_rows = 16;            // K wavelengths
+  std::size_t array_cols = 64;            // N columns
+
+  // ---- Rates / precision ----
+  double symbol_rate_hz = 10e9;
+  double digital_clock_hz = 1e9;
+  int bits = 8;
+
+  // ---- Digital support ----
+  double lut_energy_per_element_j = 0.7e-12;
+  double partial_sum_add_energy_j = 0.05e-12;
+  double digital_static_power_w = 1.2;
+
+  // ---- Scheduling optimisations (ablation switches) ----
+  bool buffer_and_partition = true;
+  std::size_t input_block_size = 2048;    // vertices resident per input block
+  bool weight_dac_sharing = true;
+  bool workload_balancing = true;
+
+  // ---- Device models ----
+  phot::MrBankConfig bank;
+  phot::HomodyneConfig homodyne;
+
+  // ---- Memory system ----
+  mem::SramConfig feature_buffer{2 * 1024 * 1024, 64, 16, 32.0};
+  mem::SramConfig weight_buffer{512 * 1024, 64, 8, 32.0};
+  mem::SramConfig edge_buffer{512 * 1024, 8, 8, 32.0};
+  mem::DramConfig dram;
+
+  [[nodiscard]] std::size_t transform_arrays() const noexcept {
+    return lanes * transform_arrays_per_lane;
+  }
+};
+
+// Default design point matching the WDM search fixed point and the paper's
+// design-space analysis.
+[[nodiscard]] GhostConfig default_ghost_config();
+
+}  // namespace lumos::ghost

@@ -1,0 +1,122 @@
+#include "ghost/units.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace lumos::ghost {
+
+GhostConfig default_ghost_config() {
+  GhostConfig c;
+  c.bank.wavelength_count = c.array_rows;
+  c.bank.symbol_rate_hz = c.symbol_rate_hz;
+  c.bank.heterodyne.channel_count = c.array_rows;
+  // Two HBM2 stacks, matching the graph-accelerator baselines' memory systems.
+  c.dram.bandwidth_bytes_per_s = 512e9;
+  return c;
+}
+
+ReduceUnit::ReduceUnit(const GhostConfig& config)
+    : config_(config),
+      sum_(config.bank, config.homodyne, config.reduce_branches),
+      comparator_pd_(config.bank.detector) {
+  LUMOS_EXPECTS(config.reduce_branches >= 2);
+}
+
+double ReduceUnit::exact_reduce(std::span<const double> values,
+                                gnn::Reduction reduction) noexcept {
+  if (values.empty()) return 0.0;
+  switch (reduction) {
+    case gnn::Reduction::kSum: {
+      double s = 0.0;
+      for (const double v : values) s += v;
+      return s;
+    }
+    case gnn::Reduction::kMean: {
+      double s = 0.0;
+      for (const double v : values) s += v;
+      return s / static_cast<double>(values.size());
+    }
+    case gnn::Reduction::kMax: {
+      double m = values[0];
+      for (const double v : values) m = std::max(m, v);
+      return m;
+    }
+  }
+  return 0.0;
+}
+
+double ReduceUnit::reduce(std::span<const double> values, gnn::Reduction reduction, Rng& rng,
+                          const phot::AnalogNoiseConfig& noise) const {
+  if (values.empty()) return 0.0;
+  const std::size_t b = config_.reduce_branches;
+
+  if (reduction == gnn::Reduction::kMax) {
+    // Optical comparator chain: each pairwise comparison senses the power
+    // difference on a balanced detector; detector noise can flip decisions
+    // between nearly equal contenders, which only ever selects a value close
+    // to the true maximum.
+    double best = values[0];
+    for (std::size_t i = 1; i < values.size(); ++i) {
+      double sigma = 0.0;
+      if (noise.detector_noise) {
+        (void)comparator_pd_.detect(std::fabs(best) * 1e-3, std::fabs(values[i]) * 1e-3, 1e-3,
+                                    &sigma);
+      }
+      const double observed_diff =
+          (best - values[i]) + (noise.detector_noise ? rng.normal(0.0, sigma) : 0.0);
+      if (observed_diff < 0.0) best = values[i];
+    }
+    return best;
+  }
+
+  // Sum / mean: chunk into coherent passes of <= b branches, accumulate the
+  // chunk results digitally.
+  double total = 0.0;
+  for (std::size_t off = 0; off < values.size(); off += b) {
+    const std::size_t count = std::min(b, values.size() - off);
+    total += sum_.sum(values.subspan(off, count), rng, noise);
+  }
+  if (reduction == gnn::Reduction::kMean) total /= static_cast<double>(values.size());
+  return total;
+}
+
+std::size_t ReduceUnit::passes_for(std::size_t count) const noexcept {
+  if (count == 0) return 0;
+  return (count + config_.reduce_branches - 1) / config_.reduce_branches;
+}
+
+phot::BankOpCost ReduceUnit::pass_cost() const {
+  // One coherent pass across `feature_lanes` rows in parallel: the per-branch
+  // VCSEL/DAC costs scale with the feature lanes.
+  phot::BankOpCost c = sum_.sum_cost();
+  c.dynamic_energy_j *= static_cast<double>(config_.feature_lanes);
+  return c;
+}
+
+UpdateUnit::UpdateUnit(const GhostConfig& config) : config_(config), soa_({}) {}
+
+double UpdateUnit::activate_relu(double x) const {
+  return soa_.activate(phot::OpticalActivation::kRelu, std::clamp(x, -1.0, 1.0));
+}
+
+double UpdateUnit::latency_s(std::size_t elements) const noexcept {
+  const double parallel =
+      static_cast<double>(config_.lanes) * static_cast<double>(config_.feature_lanes);
+  return std::ceil(static_cast<double>(elements) / parallel) / config_.symbol_rate_hz;
+}
+
+double UpdateUnit::energy_j(std::size_t elements) const noexcept {
+  // Per element: one DAC-driven pass through the SOA.
+  const phot::DacModel dac(config_.bank.dac);
+  return static_cast<double>(elements) * dac.energy_per_conversion_j();
+}
+
+double UpdateUnit::static_power_w() const noexcept {
+  // One SOA per (lane, feature lane).
+  return static_cast<double>(config_.lanes) * static_cast<double>(config_.feature_lanes) *
+         soa_.config().bias_power_w;
+}
+
+}  // namespace lumos::ghost

@@ -1,0 +1,67 @@
+// GHOST datapath units: reduce (coherent sum / mean / optical max), and the
+// update block's SOA activations (paper Fig. 7a and Section V.D).
+#pragma once
+
+#include <span>
+
+#include "gnn/models.hpp"
+#include "ghost/config.hpp"
+#include "photonics/mr_bank.hpp"
+#include "photonics/soa.hpp"
+
+namespace lumos::ghost {
+
+// Reduce unit: one row per feature lane, one column per neighbour.  Sum and
+// mean use coherent interference (Fig. 3b); max uses an optical comparator
+// chain (Fig. 7a) whose resolution is limited by detector noise.
+class ReduceUnit {
+ public:
+  ReduceUnit(const GhostConfig& config);
+
+  // Functional reduction of `values` (normalised to [-1,1]).  Values beyond
+  // `config.reduce_branches` are chunked and the partial results accumulate
+  // digitally, exactly as the hardware streams oversized neighbour lists.
+  [[nodiscard]] double reduce(std::span<const double> values, gnn::Reduction reduction,
+                              Rng& rng, const phot::AnalogNoiseConfig& noise) const;
+
+  // Exact reference.
+  [[nodiscard]] static double exact_reduce(std::span<const double> values,
+                                           gnn::Reduction reduction) noexcept;
+
+  // Optical passes needed to reduce `count` neighbours across one feature.
+  [[nodiscard]] std::size_t passes_for(std::size_t count) const noexcept;
+
+  // Cost of one optical pass (up to `reduce_branches` values, `feature_lanes`
+  // features in parallel).
+  [[nodiscard]] phot::BankOpCost pass_cost() const;
+
+  [[nodiscard]] const phot::CoherentSummationUnit& summation() const noexcept { return sum_; }
+
+ private:
+  GhostConfig config_;
+  phot::CoherentSummationUnit sum_;
+  phot::BalancedPhotodetector comparator_pd_;
+};
+
+// Update unit: SOA optical activations with LUT fallback for softmax-class
+// functions.
+class UpdateUnit {
+ public:
+  explicit UpdateUnit(const GhostConfig& config);
+
+  // Functional ReLU on a normalised value in [-1,1].
+  [[nodiscard]] double activate_relu(double x) const;
+
+  // Cost of activating `elements` values (lanes * feature_lanes parallel).
+  [[nodiscard]] double latency_s(std::size_t elements) const noexcept;
+  [[nodiscard]] double energy_j(std::size_t elements) const noexcept;
+  [[nodiscard]] double static_power_w() const noexcept;
+
+  [[nodiscard]] const phot::Soa& soa() const noexcept { return soa_; }
+
+ private:
+  GhostConfig config_;
+  phot::Soa soa_;
+};
+
+}  // namespace lumos::ghost

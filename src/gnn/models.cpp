@@ -1,0 +1,266 @@
+#include "gnn/models.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "nn/ops.hpp"
+
+namespace lumos::gnn {
+
+const char* kind_name(GnnKind kind) noexcept {
+  switch (kind) {
+    case GnnKind::kGcn:
+      return "GCN";
+    case GnnKind::kGraphSage:
+      return "GraphSAGE";
+    case GnnKind::kGin:
+      return "GIN";
+    case GnnKind::kGat:
+      return "GAT";
+  }
+  return "?";
+}
+
+std::vector<GnnLayerConfig> GnnModelConfig::layers_for(const graph::GraphDataset& dataset) const {
+  LUMOS_EXPECTS(layer_count >= 1);
+  std::vector<GnnLayerConfig> out;
+  out.reserve(layer_count);
+  std::size_t in = dataset.feature_dim;
+  for (std::size_t i = 0; i < layer_count; ++i) {
+    GnnLayerConfig l;
+    l.kind = kind;
+    l.in_dim = in;
+    l.out_dim = (i + 1 == layer_count) ? dataset.class_count : hidden_dim;
+    l.reduction = kind == GnnKind::kGraphSage ? Reduction::kMean : Reduction::kSum;
+    l.gat_heads = kind == GnnKind::kGat ? 4 : 1;
+    out.push_back(l);
+    in = l.out_dim;
+  }
+  return out;
+}
+
+GnnModelConfig gcn_model() { return {"GCN", GnnKind::kGcn, 16, 2}; }
+GnnModelConfig graphsage_model() { return {"GraphSAGE", GnnKind::kGraphSage, 64, 2}; }
+GnnModelConfig gin_model() { return {"GIN", GnnKind::kGin, 64, 2}; }
+GnnModelConfig gat_model() { return {"GAT", GnnKind::kGat, 64, 2}; }
+
+std::vector<GnnModelConfig> gnn_model_zoo() {
+  return {gcn_model(), graphsage_model(), gin_model(), gat_model()};
+}
+
+GnnLayerWeights GnnLayerWeights::random(const GnnLayerConfig& config, std::uint64_t seed) {
+  LUMOS_EXPECTS(config.in_dim > 0 && config.out_dim > 0);
+  Rng rng(seed);
+  GnnLayerWeights w;
+  w.config = config;
+  const std::size_t in = config.kind == GnnKind::kGraphSage ? 2 * config.in_dim : config.in_dim;
+  w.w = nn::Matrix(in, config.out_dim);
+  w.w.fill_normal(rng, 1.0 / std::sqrt(static_cast<double>(in)));
+  if (config.kind == GnnKind::kGat) {
+    w.gat_a_src = nn::Matrix(config.out_dim, config.gat_heads);
+    w.gat_a_dst = nn::Matrix(config.out_dim, config.gat_heads);
+    w.gat_a_src.fill_normal(rng, 1.0 / std::sqrt(static_cast<double>(config.out_dim)));
+    w.gat_a_dst.fill_normal(rng, 1.0 / std::sqrt(static_cast<double>(config.out_dim)));
+  }
+  if (config.kind == GnnKind::kGin) w.gin_eps = 0.1;
+  return w;
+}
+
+GnnLayerOps count_layer_ops(const GnnLayerConfig& config, const graph::CsrGraph& graph) {
+  GnnLayerOps ops;
+  const std::size_t v = graph.node_count();
+  const std::size_t e = graph.edge_count();
+  const std::size_t din = config.in_dim;
+  const std::size_t dout = config.out_dim;
+
+  switch (config.kind) {
+    case GnnKind::kGcn:
+    case GnnKind::kGin:
+      // Sum over neighbours (+ self), per feature.
+      ops.aggregate_ops = (e + v) * din;
+      ops.combine_macs = v * din * dout;
+      break;
+    case GnnKind::kGraphSage:
+      // Mean over neighbours, then concat with self -> 2*din input.
+      ops.aggregate_ops = e * din + v * din;  // sums + divides
+      ops.combine_macs = v * (2 * din) * dout;
+      break;
+    case GnnKind::kGat:
+      // Transform first (v * din * dout), then per-edge attention scores
+      // (2 * dout MACs per edge per head), softmax per edge element, and the
+      // weighted aggregation (e * dout).
+      ops.combine_macs = v * din * dout;
+      ops.attention_macs = e * 2 * dout * config.gat_heads;
+      ops.attention_softmax_elems = e * config.gat_heads;
+      ops.aggregate_ops = e * dout;
+      break;
+  }
+  ops.update_ops = v * dout;
+  return ops;
+}
+
+namespace {
+
+// Sum/mean/max aggregation of neighbour features into `out` (v's row).
+void reduce_neighbors(const graph::CsrGraph& graph, const nn::Matrix& features,
+                      graph::NodeId v, Reduction reduction, std::span<double> out) {
+  const auto nbrs = graph.neighbors(v);
+  std::fill(out.begin(), out.end(), reduction == Reduction::kMax ? -1e300 : 0.0);
+  for (const graph::NodeId u : nbrs) {
+    const auto row = features.row(u);
+    for (std::size_t c = 0; c < out.size(); ++c) {
+      if (reduction == Reduction::kMax) {
+        out[c] = std::max(out[c], row[c]);
+      } else {
+        out[c] += row[c];
+      }
+    }
+  }
+  if (nbrs.empty() && reduction == Reduction::kMax) {
+    std::fill(out.begin(), out.end(), 0.0);
+  }
+  if (reduction == Reduction::kMean && !nbrs.empty()) {
+    const double inv = 1.0 / static_cast<double>(nbrs.size());
+    for (double& x : out) x *= inv;
+  }
+}
+
+double leaky_relu(double x) noexcept { return x > 0.0 ? x : 0.2 * x; }
+
+}  // namespace
+
+nn::Matrix reference_layer_forward(const GnnLayerWeights& weights, const graph::CsrGraph& graph,
+                                   const nn::Matrix& features, bool apply_activation) {
+  const GnnLayerConfig& cfg = weights.config;
+  LUMOS_EXPECTS(features.rows() == graph.node_count());
+  LUMOS_EXPECTS(features.cols() == cfg.in_dim);
+  const std::size_t n = graph.node_count();
+  nn::Matrix out;
+
+  switch (cfg.kind) {
+    case GnnKind::kGcn: {
+      // Symmetric-normalised sum including self-loop:
+      //   agg_v = sum_{u in N(v) ∪ {v}} h_u / sqrt((d_u+1)(d_v+1)).
+      nn::Matrix agg(n, cfg.in_dim);
+      for (std::size_t v = 0; v < n; ++v) {
+        const auto vd = static_cast<double>(graph.degree(static_cast<graph::NodeId>(v)) + 1);
+        auto row = agg.row(v);
+        // Self contribution.
+        const auto self = features.row(v);
+        for (std::size_t c = 0; c < row.size(); ++c) row[c] = self[c] / vd;
+        for (const graph::NodeId u : graph.neighbors(static_cast<graph::NodeId>(v))) {
+          const auto ud = static_cast<double>(graph.degree(u) + 1);
+          const double norm = 1.0 / std::sqrt(vd * ud);
+          const auto urow = features.row(u);
+          for (std::size_t c = 0; c < row.size(); ++c) row[c] += urow[c] * norm;
+        }
+      }
+      out = agg.matmul(weights.w);
+      break;
+    }
+    case GnnKind::kGraphSage: {
+      nn::Matrix concat(n, 2 * cfg.in_dim);
+      std::vector<double> mean(cfg.in_dim);
+      for (std::size_t v = 0; v < n; ++v) {
+        reduce_neighbors(graph, features, static_cast<graph::NodeId>(v), cfg.reduction, mean);
+        const auto self = features.row(v);
+        auto row = concat.row(v);
+        for (std::size_t c = 0; c < cfg.in_dim; ++c) {
+          row[c] = self[c];
+          row[cfg.in_dim + c] = mean[c];
+        }
+      }
+      out = concat.matmul(weights.w);
+      break;
+    }
+    case GnnKind::kGin: {
+      nn::Matrix agg(n, cfg.in_dim);
+      std::vector<double> sum(cfg.in_dim);
+      for (std::size_t v = 0; v < n; ++v) {
+        reduce_neighbors(graph, features, static_cast<graph::NodeId>(v), Reduction::kSum, sum);
+        const auto self = features.row(v);
+        auto row = agg.row(v);
+        for (std::size_t c = 0; c < cfg.in_dim; ++c) {
+          row[c] = (1.0 + weights.gin_eps) * self[c] + sum[c];
+        }
+      }
+      out = agg.matmul(weights.w);
+      break;
+    }
+    case GnnKind::kGat: {
+      // Single-head-equivalent evaluation per head, averaged (standard for a
+      // final GAT layer; keeps output dim = out_dim).
+      const nn::Matrix transformed = features.matmul(weights.w);  // n x out_dim
+      out = nn::Matrix(n, cfg.out_dim);
+      std::vector<double> scores;
+      for (std::size_t head = 0; head < cfg.gat_heads; ++head) {
+        for (std::size_t v = 0; v < n; ++v) {
+          const auto nbrs = graph.neighbors(static_cast<graph::NodeId>(v));
+          scores.assign(nbrs.size() + 1, 0.0);
+          // Self + neighbours score: e_vu = LeakyReLU(a_src.h_v + a_dst.h_u).
+          double src_score = 0.0;
+          for (std::size_t c = 0; c < cfg.out_dim; ++c) {
+            src_score += weights.gat_a_src(c, head) * transformed(v, c);
+          }
+          const auto score_of = [&](graph::NodeId u) {
+            double s = 0.0;
+            for (std::size_t c = 0; c < cfg.out_dim; ++c) {
+              s += weights.gat_a_dst(c, head) * transformed(u, c);
+            }
+            return leaky_relu(src_score + s);
+          };
+          scores[0] = score_of(static_cast<graph::NodeId>(v));
+          for (std::size_t i = 0; i < nbrs.size(); ++i) scores[i + 1] = score_of(nbrs[i]);
+          nn::softmax_inplace(scores);
+          auto row = out.row(v);
+          const double head_w = 1.0 / static_cast<double>(cfg.gat_heads);
+          for (std::size_t c = 0; c < cfg.out_dim; ++c) {
+            row[c] += head_w * scores[0] * transformed(v, c);
+          }
+          for (std::size_t i = 0; i < nbrs.size(); ++i) {
+            for (std::size_t c = 0; c < cfg.out_dim; ++c) {
+              row[c] += head_w * scores[i + 1] * transformed(nbrs[i], c);
+            }
+          }
+        }
+      }
+      break;
+    }
+  }
+
+  if (apply_activation) nn::relu(out);
+  return out;
+}
+
+GnnModelWeights GnnModelWeights::random(const GnnModelConfig& config,
+                                        const graph::GraphDataset& dataset,
+                                        std::uint64_t seed) {
+  GnnModelWeights w;
+  w.config = config;
+  std::uint64_t layer_seed = seed;
+  for (const GnnLayerConfig& l : config.layers_for(dataset)) {
+    w.layers.push_back(GnnLayerWeights::random(l, layer_seed++));
+  }
+  return w;
+}
+
+nn::Matrix reference_forward(const GnnModelWeights& weights, const graph::CsrGraph& graph,
+                             const nn::Matrix& features) {
+  nn::Matrix h = features;
+  for (std::size_t i = 0; i < weights.layers.size(); ++i) {
+    const bool last = (i + 1 == weights.layers.size());
+    h = reference_layer_forward(weights.layers[i], graph, h, /*apply_activation=*/!last);
+  }
+  return h;
+}
+
+std::size_t model_op_count(const GnnModelConfig& config, const graph::GraphDataset& dataset) {
+  std::size_t total = 0;
+  for (const GnnLayerConfig& l : config.layers_for(dataset)) {
+    total += count_layer_ops(l, dataset.graph).total_ops();
+  }
+  return total;
+}
+
+}  // namespace lumos::gnn

@@ -1,0 +1,110 @@
+// GNN model descriptions, exact reference executions, and per-phase op
+// accounting (paper Section III, Fig. 2: aggregate -> combine -> update).
+//
+// Supported model families (paper Section III): GCN, GraphSAGE, GIN (the
+// GCN-derived isomorphism network), and GAT (attention-based).  Each follows
+// the aggregate/combine/update template with a different reduction and
+// combine rule:
+//   GCN:       h'_v = act( W * sum_{u in N(v) ∪ {v}} h_u / norm(u,v) )
+//   GraphSAGE: h'_v = act( W * [h_v || mean_{u in N(v)} h_u] )
+//   GIN:       h'_v = act( MLP( (1+eps) h_v + sum_{u in N(v)} h_u ) )
+//   GAT:       h'_v = act( sum_{u} alpha_vu W h_u ),  alpha = softmax of a
+//              learned pairwise score (extra per-edge MACs + per-node softmax)
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "graph/generators.hpp"
+#include "nn/tensor.hpp"
+
+namespace lumos::gnn {
+
+enum class GnnKind { kGcn, kGraphSage, kGin, kGat };
+
+[[nodiscard]] const char* kind_name(GnnKind kind) noexcept;
+
+enum class Reduction { kSum, kMean, kMax };
+
+struct GnnLayerConfig {
+  GnnKind kind = GnnKind::kGcn;
+  std::size_t in_dim = 0;
+  std::size_t out_dim = 0;
+  Reduction reduction = Reduction::kSum;
+  std::size_t gat_heads = 1;  // GAT only
+};
+
+struct GnnModelConfig {
+  std::string name;
+  GnnKind kind = GnnKind::kGcn;
+  std::size_t hidden_dim = 16;
+  std::size_t layer_count = 2;
+
+  // Expands to concrete per-layer configs for `dataset` (input -> hidden ->
+  // ... -> classes).
+  [[nodiscard]] std::vector<GnnLayerConfig> layers_for(
+      const graph::GraphDataset& dataset) const;
+};
+
+// The four models evaluated in the GNN figures.
+[[nodiscard]] std::vector<GnnModelConfig> gnn_model_zoo();
+[[nodiscard]] GnnModelConfig gcn_model();
+[[nodiscard]] GnnModelConfig graphsage_model();
+[[nodiscard]] GnnModelConfig gin_model();
+[[nodiscard]] GnnModelConfig gat_model();
+
+// Weights of one layer (combine transform + GAT attention vectors).
+struct GnnLayerWeights {
+  GnnLayerConfig config;
+  nn::Matrix w;            // combine transform (in[x2 for SAGE] x out)
+  nn::Matrix gat_a_src;    // GAT: per-head source score vector (out_dim x heads)
+  nn::Matrix gat_a_dst;    // GAT: per-head dest score vector
+  double gin_eps = 0.0;
+
+  static GnnLayerWeights random(const GnnLayerConfig& config, std::uint64_t seed);
+};
+
+// Per-phase operation counts of one layer on one graph (the unit GHOST's
+// performance model consumes).
+struct GnnLayerOps {
+  std::size_t aggregate_ops = 0;  // per-edge reductions (adds/compares)
+  std::size_t combine_macs = 0;   // dense transform MACs
+  std::size_t update_ops = 0;     // element-wise activation ops
+  std::size_t attention_macs = 0; // GAT pairwise-score MACs
+  std::size_t attention_softmax_elems = 0;  // GAT per-edge softmax elements
+
+  [[nodiscard]] std::size_t total_ops() const noexcept {
+    return aggregate_ops + 2 * combine_macs + update_ops + 2 * attention_macs +
+           attention_softmax_elems;
+  }
+};
+
+[[nodiscard]] GnnLayerOps count_layer_ops(const GnnLayerConfig& config,
+                                          const graph::CsrGraph& graph);
+
+// Exact reference forward of one layer: features (node_count x in_dim) ->
+// (node_count x out_dim), ReLU update (identity on the final layer is the
+// caller's choice via `apply_activation`).
+[[nodiscard]] nn::Matrix reference_layer_forward(const GnnLayerWeights& weights,
+                                                 const graph::CsrGraph& graph,
+                                                 const nn::Matrix& features,
+                                                 bool apply_activation = true);
+
+// Full-model forward over `dataset` with deterministic random weights.
+struct GnnModelWeights {
+  GnnModelConfig config;
+  std::vector<GnnLayerWeights> layers;
+
+  static GnnModelWeights random(const GnnModelConfig& config,
+                                const graph::GraphDataset& dataset, std::uint64_t seed);
+};
+
+[[nodiscard]] nn::Matrix reference_forward(const GnnModelWeights& weights,
+                                           const graph::CsrGraph& graph,
+                                           const nn::Matrix& features);
+
+// Total op count of a full model pass (the denominator of GOPS/EPB).
+[[nodiscard]] std::size_t model_op_count(const GnnModelConfig& config,
+                                         const graph::GraphDataset& dataset);
+
+}  // namespace lumos::gnn

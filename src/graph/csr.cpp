@@ -1,0 +1,55 @@
+#include "graph/csr.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace lumos::graph {
+
+CsrGraph::CsrGraph(std::size_t node_count, std::vector<Edge> edges, bool symmetrize) {
+  LUMOS_EXPECTS(node_count > 0);
+  if (symmetrize) {
+    const std::size_t original = edges.size();
+    edges.reserve(original * 2);
+    for (std::size_t i = 0; i < original; ++i) {
+      if (edges[i].src != edges[i].dst) edges.push_back({edges[i].dst, edges[i].src});
+    }
+  }
+  for (const Edge& e : edges) {
+    LUMOS_EXPECTS_MSG(e.src < node_count && e.dst < node_count, "edge endpoint out of range");
+  }
+  std::sort(edges.begin(), edges.end(), [](const Edge& a, const Edge& b) {
+    return a.src != b.src ? a.src < b.src : a.dst < b.dst;
+  });
+  edges.erase(std::unique(edges.begin(), edges.end(),
+                          [](const Edge& a, const Edge& b) {
+                            return a.src == b.src && a.dst == b.dst;
+                          }),
+              edges.end());
+
+  row_ptr_.assign(node_count + 1, 0);
+  col_idx_.resize(edges.size());
+  for (const Edge& e : edges) ++row_ptr_[e.src + 1];
+  for (std::size_t v = 0; v < node_count; ++v) row_ptr_[v + 1] += row_ptr_[v];
+  for (std::size_t i = 0; i < edges.size(); ++i) col_idx_[i] = edges[i].dst;
+}
+
+double CsrGraph::average_degree() const noexcept {
+  const std::size_t n = node_count();
+  if (n == 0) return 0.0;
+  return static_cast<double>(edge_count()) / static_cast<double>(n);
+}
+
+std::size_t CsrGraph::max_degree() const noexcept {
+  std::size_t mx = 0;
+  for (std::size_t v = 0; v < node_count(); ++v) mx = std::max(mx, degree(static_cast<NodeId>(v)));
+  return mx;
+}
+
+double CsrGraph::density() const noexcept {
+  const double n = static_cast<double>(node_count());
+  if (n == 0.0) return 0.0;
+  return static_cast<double>(edge_count()) / (n * n);
+}
+
+}  // namespace lumos::graph

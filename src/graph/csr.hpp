@@ -1,0 +1,58 @@
+// Compressed-sparse-row graph container and degree statistics.
+//
+// GHOST's workloads are graphs; all adjacency walks in the accelerator
+// models, the partitioner, and the GNN reference executions go through this
+// structure.  Graphs are stored directed; undirected inputs are symmetrised
+// at construction.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace lumos::graph {
+
+using NodeId = std::uint32_t;
+
+struct Edge {
+  NodeId src = 0;
+  NodeId dst = 0;
+};
+
+class CsrGraph {
+ public:
+  CsrGraph() = default;
+
+  // Builds from an edge list over `node_count` nodes.  Self-loops are kept,
+  // exact duplicate edges are merged.  When `symmetrize` is true, the reverse
+  // of every edge is inserted as well (undirected semantics).
+  CsrGraph(std::size_t node_count, std::vector<Edge> edges, bool symmetrize);
+
+  [[nodiscard]] std::size_t node_count() const noexcept {
+    return row_ptr_.empty() ? 0 : row_ptr_.size() - 1;
+  }
+  [[nodiscard]] std::size_t edge_count() const noexcept { return col_idx_.size(); }
+
+  // In-neighbours = out-neighbours after symmetrisation; `neighbors(v)` is
+  // the adjacency list of `v`.
+  [[nodiscard]] std::span<const NodeId> neighbors(NodeId v) const noexcept {
+    return {col_idx_.data() + row_ptr_[v], row_ptr_[v + 1] - row_ptr_[v]};
+  }
+  [[nodiscard]] std::size_t degree(NodeId v) const noexcept {
+    return row_ptr_[v + 1] - row_ptr_[v];
+  }
+
+  [[nodiscard]] std::span<const std::size_t> row_ptr() const noexcept { return row_ptr_; }
+  [[nodiscard]] std::span<const NodeId> col_idx() const noexcept { return col_idx_; }
+
+  [[nodiscard]] double average_degree() const noexcept;
+  [[nodiscard]] std::size_t max_degree() const noexcept;
+  // Fraction of the dense adjacency matrix that is occupied.
+  [[nodiscard]] double density() const noexcept;
+
+ private:
+  std::vector<std::size_t> row_ptr_;
+  std::vector<NodeId> col_idx_;
+};
+
+}  // namespace lumos::graph

@@ -1,0 +1,60 @@
+// Synthetic graph generators and the citation-network dataset stand-ins.
+//
+// The paper evaluates GHOST on standard GNN datasets; we cannot ship the real
+// label/feature files, so each dataset is reproduced as a synthetic graph
+// with the published node count, edge count, feature dimension, and class
+// count (accelerator performance depends on those dimensions and on degree
+// structure, not on label semantics — see DESIGN.md substitution table).
+// RMAT provides power-law graphs for scaling sweeps beyond the fixed
+// datasets.
+#pragma once
+
+#include <string>
+
+#include "common/rng.hpp"
+#include "graph/csr.hpp"
+
+namespace lumos::graph {
+
+// A GNN workload: topology plus input/output dimensionality.
+struct GraphDataset {
+  std::string name;
+  CsrGraph graph;
+  std::size_t feature_dim = 0;
+  std::size_t class_count = 0;
+};
+
+// Erdős–Rényi G(n, m): `edge_count` distinct undirected edges.
+[[nodiscard]] CsrGraph erdos_renyi(std::size_t node_count, std::size_t edge_count,
+                                   std::uint64_t seed);
+
+// RMAT power-law generator (Chakrabarti et al.) with partition probabilities
+// (a, b, c, d = 1-a-b-c); undirected output.
+struct RmatParams {
+  double a = 0.57;
+  double b = 0.19;
+  double c = 0.19;
+};
+[[nodiscard]] CsrGraph rmat(std::size_t scale, std::size_t edges_per_node, RmatParams params,
+                            std::uint64_t seed);
+
+// Citation-network stand-ins with the published dimensions:
+//   Cora:     2708 nodes,  5429 undirected edges, 1433 features,  7 classes
+//   Citeseer: 3327 nodes,  4732 undirected edges, 3703 features,  6 classes
+//   Pubmed:  19717 nodes, 44338 undirected edges,  500 features,  3 classes
+[[nodiscard]] GraphDataset synthetic_cora(std::uint64_t seed = 0xC0DA);
+[[nodiscard]] GraphDataset synthetic_citeseer(std::uint64_t seed = 0xC17E);
+[[nodiscard]] GraphDataset synthetic_pubmed(std::uint64_t seed = 0x9B3D);
+
+// Larger-scale stand-in with the ogbn-arxiv dimensions (169343 nodes,
+// 1166243 directed edges, 128 features, 40 classes) for scaling studies
+// beyond the citation trio; generated with RMAT-like skew.
+[[nodiscard]] GraphDataset synthetic_arxiv(std::uint64_t seed = 0xA58);
+
+// Small dataset for functional (noise-path) validation.
+[[nodiscard]] GraphDataset tiny_dataset(std::uint64_t seed = 42);
+
+// The evaluation suite used by the GNN figures.
+[[nodiscard]] std::vector<GraphDataset> gnn_dataset_zoo();
+
+}  // namespace lumos::graph

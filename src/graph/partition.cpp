@@ -1,0 +1,109 @@
+#include "graph/partition.hpp"
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace lumos::graph {
+
+std::size_t PartitionSchedule::covered_edges() const noexcept {
+  std::size_t total = 0;
+  for (const PartitionTile& t : tiles) total += t.edge_count;
+  return total;
+}
+
+double PartitionSchedule::refetch_factor() const noexcept {
+  if (input_block_count == 0) return 0.0;
+  return static_cast<double>(tiles.size()) / static_cast<double>(input_block_count);
+}
+
+PartitionSchedule partition(const CsrGraph& graph, const PartitionConfig& config) {
+  LUMOS_EXPECTS(config.lane_count >= 1);
+  LUMOS_EXPECTS(config.input_block_size >= 1);
+  const std::size_t n = graph.node_count();
+  PartitionSchedule s;
+  s.config = config;
+  s.output_block_count = (n + config.lane_count - 1) / config.lane_count;
+  s.input_block_count = (n + config.input_block_size - 1) / config.input_block_size;
+
+  // Count edges per (output block, input block) pair.
+  std::map<std::pair<std::size_t, std::size_t>, std::size_t> tile_edges;
+  for (std::size_t v = 0; v < n; ++v) {
+    const std::size_t ob = v / config.lane_count;
+    for (const NodeId u : graph.neighbors(static_cast<NodeId>(v))) {
+      const std::size_t ib = u / config.input_block_size;
+      ++tile_edges[{ob, ib}];
+    }
+  }
+  s.tiles.reserve(tile_edges.size());
+  for (const auto& [key, count] : tile_edges) {
+    s.tiles.push_back({key.first, key.second, count});
+  }
+  LUMOS_ENSURES(s.covered_edges() == graph.edge_count());
+  return s;
+}
+
+CsrGraph sample_neighbors(const CsrGraph& graph, std::size_t max_degree, std::uint64_t seed) {
+  LUMOS_EXPECTS(max_degree >= 1);
+  lumos::Rng rng(seed);
+  std::vector<Edge> edges;
+  edges.reserve(graph.edge_count());
+  std::vector<NodeId> pool;
+  for (std::size_t v = 0; v < graph.node_count(); ++v) {
+    const auto nbrs = graph.neighbors(static_cast<NodeId>(v));
+    if (nbrs.size() <= max_degree) {
+      for (const NodeId u : nbrs) edges.push_back({static_cast<NodeId>(v), u});
+      continue;
+    }
+    // Uniform sample without replacement via partial Fisher-Yates.
+    pool.assign(nbrs.begin(), nbrs.end());
+    for (std::size_t i = 0; i < max_degree; ++i) {
+      const std::size_t j =
+          i + rng.next_below(static_cast<std::uint32_t>(pool.size() - i));
+      std::swap(pool[i], pool[j]);
+      edges.push_back({static_cast<NodeId>(v), pool[i]});
+    }
+  }
+  // Directed semantics: sampling is per destination vertex, so the result is
+  // not re-symmetrised (u may keep v without v keeping u), as in GraphSAGE.
+  return CsrGraph(graph.node_count(), std::move(edges), /*symmetrize=*/false);
+}
+
+double lane_imbalance(const CsrGraph& graph, std::size_t lane_count, bool degree_sorted) {
+  LUMOS_EXPECTS(lane_count >= 1);
+  const std::size_t n = graph.node_count();
+  if (n == 0) return 1.0;
+
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  if (degree_sorted) {
+    // Longest-processing-time heuristic: place heavy vertices first so
+    // round-robin spreads them across lanes.
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      return graph.degree(static_cast<NodeId>(a)) > graph.degree(static_cast<NodeId>(b));
+    });
+  }
+
+  std::vector<std::size_t> lane_work(lane_count, 0);
+  if (degree_sorted) {
+    // Greedy: next vertex to the least-loaded lane.
+    for (const std::size_t v : order) {
+      auto it = std::min_element(lane_work.begin(), lane_work.end());
+      *it += graph.degree(static_cast<NodeId>(v)) + 1;  // +1: combine work per vertex
+    }
+  } else {
+    for (std::size_t i = 0; i < n; ++i) {
+      lane_work[i % lane_count] += graph.degree(static_cast<NodeId>(order[i])) + 1;
+    }
+  }
+  const auto busiest = static_cast<double>(*std::max_element(lane_work.begin(), lane_work.end()));
+  const double total = static_cast<double>(
+      std::accumulate(lane_work.begin(), lane_work.end(), std::size_t{0}));
+  const double average = total / static_cast<double>(lane_count);
+  return average > 0.0 ? busiest / average : 1.0;
+}
+
+}  // namespace lumos::graph

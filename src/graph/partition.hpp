@@ -1,0 +1,69 @@
+// Buffer-and-partition scheduling for GHOST's aggregate phase.
+//
+// Paper Section V.D: "this technique dictates splitting the input graph into
+// blocks of N and V where the aggregate block then is composed of N edge
+// control units, V gather units, and V reduce units.  Each execution lane is
+// assigned one output node per cycle while N input nodes are fetched by the
+// edge control units."
+//
+// The partitioner tiles the vertex set into output blocks of V (one vertex
+// per execution lane) and input blocks of N (vertices resident in the
+// on-chip input buffer).  For every (output block, input block) pair that
+// contains at least one edge, the schedule records how many edges it covers;
+// the accelerator model turns those tiles into buffer traffic and reduce-unit
+// work.  The re-fetch factor — how many times the average input vertex is
+// re-loaded — is the quantity the optimisation suppresses.
+#pragma once
+
+#include <vector>
+
+#include "graph/csr.hpp"
+
+namespace lumos::graph {
+
+struct PartitionConfig {
+  std::size_t lane_count = 8;          // V: output vertices processed per step
+  std::size_t input_block_size = 512;  // N: input vertices buffered on-chip
+};
+
+// One schedulable tile: the edges between an output block and an input block.
+struct PartitionTile {
+  std::size_t output_block = 0;
+  std::size_t input_block = 0;
+  std::size_t edge_count = 0;
+};
+
+struct PartitionSchedule {
+  PartitionConfig config;
+  std::size_t output_block_count = 0;
+  std::size_t input_block_count = 0;
+  std::vector<PartitionTile> tiles;  // ordered by output block, then input block
+
+  // Total edges covered (must equal the graph's edge count).
+  [[nodiscard]] std::size_t covered_edges() const noexcept;
+  // Number of input-block loads the schedule performs.
+  [[nodiscard]] std::size_t input_block_loads() const noexcept { return tiles.size(); }
+  // Average number of times each input block is (re)loaded across output
+  // blocks; 1.0 means perfect reuse.
+  [[nodiscard]] double refetch_factor() const noexcept;
+};
+
+// Tiles `graph` under `config`.  Vertices are assigned to blocks by index
+// (contiguous ranges), matching the paper's streaming layout.
+[[nodiscard]] PartitionSchedule partition(const CsrGraph& graph, const PartitionConfig& config);
+
+// Workload-balance statistic for lane assignment: the ratio of the busiest
+// lane's edge work to the average over lanes, for vertex->lane round-robin
+// (lower is better; 1.0 is perfectly balanced).  GHOST's workload balancing
+// sorts vertices by degree before assignment; `degree_sorted` selects that.
+[[nodiscard]] double lane_imbalance(const CsrGraph& graph, std::size_t lane_count,
+                                    bool degree_sorted);
+
+// Neighbour sampling (paper Fig. 2, stage 1: the input graph "is usually
+// preprocessed offline for purposes such as sampling the graph").  Keeps at
+// most `max_degree` uniformly chosen neighbours per vertex (GraphSAGE-style
+// fan-out capping), bounding the reduce-unit work per output vertex.
+[[nodiscard]] CsrGraph sample_neighbors(const CsrGraph& graph, std::size_t max_degree,
+                                        std::uint64_t seed);
+
+}  // namespace lumos::graph

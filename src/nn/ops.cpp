@@ -1,0 +1,103 @@
+#include "nn/ops.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/error.hpp"
+
+namespace lumos::nn {
+
+void softmax_inplace(std::span<double> row) {
+  if (row.empty()) return;
+  double mx = row[0];
+  for (const double v : row) mx = std::max(mx, v);
+  double sum = 0.0;
+  for (double& v : row) {
+    v = std::exp(v - mx);
+    sum += v;
+  }
+  for (double& v : row) v /= sum;
+}
+
+void softmax_rows(Matrix& m) {
+  for (std::size_t r = 0; r < m.rows(); ++r) softmax_inplace(m.row(r));
+}
+
+void layer_norm_rows(Matrix& m, std::span<const double> gamma, std::span<const double> beta,
+                     double epsilon) {
+  LUMOS_EXPECTS(gamma.size() == m.cols() && beta.size() == m.cols());
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    auto row = m.row(r);
+    double mean = 0.0;
+    for (const double v : row) mean += v;
+    mean /= static_cast<double>(row.size());
+    double var = 0.0;
+    for (const double v : row) var += (v - mean) * (v - mean);
+    var /= static_cast<double>(row.size());
+    const double inv = 1.0 / std::sqrt(var + epsilon);
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      row[c] = (row[c] - mean) * inv * gamma[c] + beta[c];
+    }
+  }
+}
+
+void relu(Matrix& m) {
+  for (double& v : m.flat()) v = v > 0.0 ? v : 0.0;
+}
+
+void gelu(Matrix& m) {
+  // tanh approximation of GELU (as used by BERT/GPT implementations).
+  constexpr double kC = 0.044715;
+  const double s = std::sqrt(2.0 / std::numbers::pi);
+  for (double& v : m.flat()) {
+    v = 0.5 * v * (1.0 + std::tanh(s * (v + kC * v * v * v)));
+  }
+}
+
+void sigmoid(Matrix& m) {
+  for (double& v : m.flat()) v = 1.0 / (1.0 + std::exp(-v));
+}
+
+void tanh_act(Matrix& m) {
+  for (double& v : m.flat()) v = std::tanh(v);
+}
+
+Matrix scaled_dot_product_attention(const Matrix& q, const Matrix& k, const Matrix& v) {
+  LUMOS_EXPECTS(q.cols() == k.cols());
+  LUMOS_EXPECTS(k.rows() == v.rows());
+  Matrix scores = q.matmul(k.transposed());
+  const double inv_sqrt_dk = 1.0 / std::sqrt(static_cast<double>(q.cols()));
+  for (double& s : scores.flat()) s *= inv_sqrt_dk;
+  softmax_rows(scores);
+  return scores.matmul(v);
+}
+
+double argmax_agreement(const Matrix& a, const Matrix& b) {
+  LUMOS_EXPECTS(a.rows() == b.rows() && a.cols() == b.cols());
+  LUMOS_EXPECTS(a.rows() > 0 && a.cols() > 0);
+  std::size_t agree = 0;
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    std::size_t ia = 0;
+    std::size_t ib = 0;
+    for (std::size_t c = 1; c < a.cols(); ++c) {
+      if (a(r, c) > a(r, ia)) ia = c;
+      if (b(r, c) > b(r, ib)) ib = c;
+    }
+    if (ia == ib) ++agree;
+  }
+  return static_cast<double>(agree) / static_cast<double>(a.rows());
+}
+
+Matrix linear(const Matrix& x, const Matrix& w, std::span<const double> bias) {
+  LUMOS_EXPECTS(bias.empty() || bias.size() == w.cols());
+  Matrix y = x.matmul(w);
+  if (!bias.empty()) {
+    for (std::size_t r = 0; r < y.rows(); ++r) {
+      auto row = y.row(r);
+      for (std::size_t c = 0; c < row.size(); ++c) row[c] += bias[c];
+    }
+  }
+  return y;
+}
+
+}  // namespace lumos::nn

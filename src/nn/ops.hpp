@@ -1,0 +1,43 @@
+// Exact functional layer operations shared by the reference transformer and
+// GNN executions.  These are the ground truth the photonic paths are
+// validated against.
+#pragma once
+
+#include <span>
+
+#include "nn/tensor.hpp"
+
+namespace lumos::nn {
+
+// In-place row-wise softmax.
+void softmax_rows(Matrix& m);
+
+// Row-wise softmax of `row` into itself.
+void softmax_inplace(std::span<double> row);
+
+// In-place row-wise layer normalisation with learned gain/bias (sizes must
+// equal the column count); epsilon stabilises small variances.
+void layer_norm_rows(Matrix& m, std::span<const double> gamma, std::span<const double> beta,
+                     double epsilon = 1e-5);
+
+// Element-wise activations (in place).
+void relu(Matrix& m);
+void gelu(Matrix& m);
+void sigmoid(Matrix& m);
+void tanh_act(Matrix& m);
+
+// Scaled dot-product attention (paper eq. (1)):
+//   attention(Q, K, V) = softmax(Q K^T / sqrt(d_k)) V
+// Q: L x d_k, K: L x d_k, V: L x d_v  ->  L x d_v.
+[[nodiscard]] Matrix scaled_dot_product_attention(const Matrix& q, const Matrix& k,
+                                                  const Matrix& v);
+
+// Linear layer  y = x W + b  (b may be empty for no bias).
+[[nodiscard]] Matrix linear(const Matrix& x, const Matrix& w, std::span<const double> bias);
+
+// Fraction of rows whose argmax matches between `a` and `b` — the
+// classification-agreement proxy used by the fidelity study (a noisy analog
+// datapath is "accurate enough" when the predicted class never flips).
+[[nodiscard]] double argmax_agreement(const Matrix& a, const Matrix& b);
+
+}  // namespace lumos::nn

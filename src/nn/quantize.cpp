@@ -1,0 +1,65 @@
+#include "nn/quantize.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace lumos::nn {
+
+Quantizer::Quantizer(int bits) : bits_(bits) {
+  LUMOS_EXPECTS(bits >= 2 && bits <= 16);
+  qmax_ = (1 << (bits - 1)) - 1;
+}
+
+QuantizedMatrix Quantizer::quantize(const Matrix& m) const {
+  QuantizedMatrix q;
+  q.rows = m.rows();
+  q.cols = m.cols();
+  q.codes.resize(m.size());
+  const double amax = m.max_abs();
+  q.scale = amax > 0.0 ? amax / static_cast<double>(qmax_) : 1.0;
+  const auto data = m.flat();
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    const double code = std::round(data[i] / q.scale);
+    const double clamped = std::clamp(code, -static_cast<double>(qmax_),
+                                      static_cast<double>(qmax_));
+    q.codes[i] = static_cast<std::int8_t>(clamped);
+  }
+  return q;
+}
+
+Matrix Quantizer::dequantize(const QuantizedMatrix& q) {
+  Matrix m(q.rows, q.cols);
+  auto out = m.flat();
+  for (std::size_t i = 0; i < q.codes.size(); ++i) {
+    out[i] = static_cast<double>(q.codes[i]) * q.scale;
+  }
+  return m;
+}
+
+Matrix Quantizer::normalized(const QuantizedMatrix& q, double* scale_out) {
+  // The largest representable code maps to 1.0.
+  double qmax = 0.0;
+  for (const std::int8_t c : q.codes) {
+    qmax = std::max(qmax, std::fabs(static_cast<double>(c)));
+  }
+  // Preserve exact zeros; normalise against the symmetric grid maximum so
+  // that the restoring scale is shared per-tensor.
+  const double grid_max = 127.0;  // defensive: normalized() is int8-specific
+  Matrix m(q.rows, q.cols);
+  auto out = m.flat();
+  for (std::size_t i = 0; i < q.codes.size(); ++i) {
+    out[i] = static_cast<double>(q.codes[i]) / grid_max;
+  }
+  if (scale_out != nullptr) *scale_out = q.scale * grid_max;
+  return m;
+}
+
+double Quantizer::max_round_trip_error(const Matrix& m) const {
+  const double amax = m.max_abs();
+  const double scale = amax > 0.0 ? amax / static_cast<double>(qmax_) : 1.0;
+  return scale / 2.0;
+}
+
+}  // namespace lumos::nn

@@ -1,0 +1,57 @@
+// Symmetric per-tensor int8 quantisation.
+//
+// Paper Section VI: "employing 8-bit model quantization yields algorithmic
+// accuracy comparable to models utilizing full (32-bit) precision.
+// Consequently, we focused on the acceleration of Transformer and GNN models
+// with 8-bit precision."  The photonic datapath consumes values normalised to
+// [-1, 1]; this module provides the int8 <-> normalised mapping and its error
+// metrics.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/tensor.hpp"
+
+namespace lumos::nn {
+
+// A quantised matrix: int8 codes plus the symmetric scale such that
+// value ~= code * scale, code in [-127, 127] (-128 unused, symmetric grid).
+struct QuantizedMatrix {
+  std::size_t rows = 0;
+  std::size_t cols = 0;
+  std::vector<std::int8_t> codes;
+  double scale = 0.0;
+
+  [[nodiscard]] std::int8_t at(std::size_t r, std::size_t c) const noexcept {
+    return codes[r * cols + c];
+  }
+};
+
+class Quantizer {
+ public:
+  explicit Quantizer(int bits = 8);
+
+  // Symmetric per-tensor quantisation; scale = max|x| / (2^(bits-1) - 1).
+  [[nodiscard]] QuantizedMatrix quantize(const Matrix& m) const;
+
+  // Reconstruction back to doubles.
+  [[nodiscard]] static Matrix dequantize(const QuantizedMatrix& q);
+
+  // Normalised view: codes mapped to [-1, 1] (code / qmax), the range the
+  // photonic units accept.  `scale_out` returns the factor that restores the
+  // original magnitude (scale * qmax).
+  [[nodiscard]] static Matrix normalized(const QuantizedMatrix& q, double* scale_out = nullptr);
+
+  // Round-trip worst-case absolute error bound: scale / 2.
+  [[nodiscard]] double max_round_trip_error(const Matrix& m) const;
+
+  [[nodiscard]] int bits() const noexcept { return bits_; }
+  [[nodiscard]] int qmax() const noexcept { return qmax_; }
+
+ private:
+  int bits_;
+  int qmax_;
+};
+
+}  // namespace lumos::nn

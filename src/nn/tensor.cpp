@@ -1,0 +1,71 @@
+#include "nn/tensor.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace lumos::nn {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols)
+    : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+
+Matrix::Matrix(std::size_t rows, std::size_t cols, double fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+void Matrix::fill_uniform(Rng& rng, double lo, double hi) {
+  for (double& v : data_) v = rng.uniform(lo, hi);
+}
+
+void Matrix::fill_normal(Rng& rng, double stddev) {
+  for (double& v : data_) v = rng.normal(0.0, stddev);
+}
+
+double Matrix::max_abs() const noexcept {
+  double m = 0.0;
+  for (const double v : data_) m = std::max(m, std::fabs(v));
+  return m;
+}
+
+Matrix Matrix::transposed() const {
+  Matrix t(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r)
+    for (std::size_t c = 0; c < cols_; ++c) t(c, r) = (*this)(r, c);
+  return t;
+}
+
+Matrix Matrix::matmul(const Matrix& other) const {
+  LUMOS_EXPECTS_MSG(cols_ == other.rows_, "matmul inner dimensions must agree");
+  Matrix out(rows_, other.cols_);
+  // ikj loop order for cache-friendly access of `other`.
+  for (std::size_t i = 0; i < rows_; ++i) {
+    for (std::size_t k = 0; k < cols_; ++k) {
+      const double a = (*this)(i, k);
+      if (a == 0.0) continue;
+      const std::size_t n = other.cols_;
+      for (std::size_t j = 0; j < n; ++j) out(i, j) += a * other(k, j);
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::add(const Matrix& other) const {
+  LUMOS_EXPECTS(rows_ == other.rows_ && cols_ == other.cols_);
+  Matrix out(rows_, cols_);
+  for (std::size_t i = 0; i < data_.size(); ++i) out.data_[i] = data_[i] + other.data_[i];
+  return out;
+}
+
+double Matrix::relative_error(const Matrix& reference) const {
+  LUMOS_EXPECTS(rows_ == reference.rows_ && cols_ == reference.cols_);
+  double num = 0.0;
+  double den = 0.0;
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    const double d = data_[i] - reference.data_[i];
+    num += d * d;
+    den += reference.data_[i] * reference.data_[i];
+  }
+  if (den == 0.0) return num == 0.0 ? 0.0 : 1e300;
+  return std::sqrt(num / den);
+}
+
+}  // namespace lumos::nn

@@ -1,0 +1,67 @@
+// Dense row-major matrix type used by the reference (exact) executions and by
+// the functional photonic paths.  Doubles are used throughout the reference
+// math so that quantisation error measurements are not polluted by the
+// reference's own rounding.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace lumos::nn {
+
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols);
+  Matrix(std::size_t rows, std::size_t cols, double fill);
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
+  [[nodiscard]] std::size_t cols() const noexcept { return cols_; }
+  [[nodiscard]] std::size_t size() const noexcept { return data_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return data_.empty(); }
+
+  [[nodiscard]] double& operator()(std::size_t r, std::size_t c) noexcept {
+    return data_[r * cols_ + c];
+  }
+  [[nodiscard]] double operator()(std::size_t r, std::size_t c) const noexcept {
+    return data_[r * cols_ + c];
+  }
+
+  [[nodiscard]] std::span<double> row(std::size_t r) noexcept {
+    return {data_.data() + r * cols_, cols_};
+  }
+  [[nodiscard]] std::span<const double> row(std::size_t r) const noexcept {
+    return {data_.data() + r * cols_, cols_};
+  }
+  [[nodiscard]] std::span<double> flat() noexcept { return data_; }
+  [[nodiscard]] std::span<const double> flat() const noexcept { return data_; }
+
+  // Fills with i.i.d. values uniform in [lo, hi] from `rng`.
+  void fill_uniform(Rng& rng, double lo, double hi);
+  // Fills with i.i.d. N(0, stddev^2) values (e.g. scaled weight init).
+  void fill_normal(Rng& rng, double stddev);
+
+  // Largest absolute entry (0 for an empty matrix).
+  [[nodiscard]] double max_abs() const noexcept;
+
+  [[nodiscard]] Matrix transposed() const;
+
+  // this (rows x cols) * other (cols x n) -> rows x n.
+  [[nodiscard]] Matrix matmul(const Matrix& other) const;
+
+  // Element-wise sum (shapes must match).
+  [[nodiscard]] Matrix add(const Matrix& other) const;
+
+  // Frobenius-norm relative error vs `reference` (|this - ref|_F / |ref|_F).
+  [[nodiscard]] double relative_error(const Matrix& reference) const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+}  // namespace lumos::nn

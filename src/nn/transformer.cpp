@@ -1,0 +1,246 @@
+#include "nn/transformer.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace lumos::nn {
+
+std::size_t TransformerConfig::parameter_count() const noexcept {
+  // Per layer: 4 attention projections (d^2) + FF (2 * d * d_ff) + LN params.
+  const std::size_t per_layer =
+      4 * d_model * d_model + 2 * d_model * d_ff + 4 * d_model;
+  // Seq2seq decoder layers add a cross-attention block (another 4 d^2 + LN).
+  const std::size_t per_decoder_layer = per_layer + 4 * d_model * d_model + 2 * d_model;
+  return layers * per_layer + decoder_layers * per_decoder_layer;
+}
+
+std::size_t TransformerConfig::mac_count() const noexcept {
+  const std::size_t l = seq_len;
+  const std::size_t d = d_model;
+  // QKV projections + output projection: 4 * L * d * d.
+  // Attention scores and weighted values: 2 * L * L * d (summed over heads).
+  // Feed-forward: 2 * L * d * d_ff.
+  const std::size_t per_layer = 4 * l * d * d + 2 * l * l * d + 2 * l * d * d_ff;
+  std::size_t total = layers * per_layer;
+  if (decoder_layers > 0) {
+    const std::size_t s = src_len;
+    // Decoder layer = self-attention + FF (as per_layer with L = dst) plus
+    // cross-attention: Q/output projections over dst (2*L*d^2), K/V over the
+    // encoder output (2*S*d^2), and score/value MatMuls (2*L*S*d).
+    const std::size_t cross = 2 * l * d * d + 2 * s * d * d + 2 * l * s * d;
+    total += decoder_layers * (per_layer + cross);
+  }
+  return total;
+}
+
+TransformerConfig bert_base(std::size_t seq_len) {
+  return {"BERT-base", TransformerKind::kEncoder, 12, 768, 12, 3072, seq_len};
+}
+
+TransformerConfig bert_large(std::size_t seq_len) {
+  return {"BERT-large", TransformerKind::kEncoder, 24, 1024, 16, 4096, seq_len};
+}
+
+TransformerConfig gpt2_small(std::size_t seq_len) {
+  return {"GPT-2", TransformerKind::kDecoder, 12, 768, 12, 3072, seq_len};
+}
+
+TransformerConfig vit_base() {
+  // ViT-Base/16 at 224x224: 196 patch tokens + [class].
+  return {"ViT-Base", TransformerKind::kVision, 12, 768, 12, 3072, 197};
+}
+
+TransformerConfig original_transformer(std::size_t src_len, std::size_t dst_len) {
+  TransformerConfig c{"Transformer-base", TransformerKind::kSeq2Seq, 6, 512, 8, 2048, dst_len};
+  c.decoder_layers = 6;
+  c.src_len = src_len;
+  return c;
+}
+
+TransformerConfig tiny_transformer(std::size_t seq_len) {
+  return {"Tiny", TransformerKind::kEncoder, 2, 32, 2, 64, seq_len};
+}
+
+std::vector<TransformerConfig> llm_model_zoo() {
+  return {bert_base(), bert_large(), gpt2_small(), vit_base()};
+}
+
+TransformerWeights TransformerWeights::random(const TransformerConfig& config,
+                                              std::uint64_t seed) {
+  LUMOS_EXPECTS(config.layers >= 1);
+  LUMOS_EXPECTS(config.d_model % config.heads == 0);
+  Rng rng(seed);
+  TransformerWeights w;
+  w.config = config;
+  w.layers.resize(config.layers);
+  const double attn_std = 1.0 / std::sqrt(static_cast<double>(config.d_model));
+  const double ff_std = 1.0 / std::sqrt(static_cast<double>(config.d_ff));
+  for (auto& layer : w.layers) {
+    layer.wq = Matrix(config.d_model, config.d_model);
+    layer.wk = Matrix(config.d_model, config.d_model);
+    layer.wv = Matrix(config.d_model, config.d_model);
+    layer.wo = Matrix(config.d_model, config.d_model);
+    layer.w1 = Matrix(config.d_model, config.d_ff);
+    layer.w2 = Matrix(config.d_ff, config.d_model);
+    layer.wq.fill_normal(rng, attn_std);
+    layer.wk.fill_normal(rng, attn_std);
+    layer.wv.fill_normal(rng, attn_std);
+    layer.wo.fill_normal(rng, attn_std);
+    layer.w1.fill_normal(rng, attn_std);
+    layer.w2.fill_normal(rng, ff_std);
+    layer.ln1_gamma.assign(config.d_model, 1.0);
+    layer.ln1_beta.assign(config.d_model, 0.0);
+    layer.ln2_gamma.assign(config.d_model, 1.0);
+    layer.ln2_beta.assign(config.d_model, 0.0);
+  }
+  return w;
+}
+
+namespace {
+// Extracts head `h`'s slice (seq x head_dim) from a seq x d_model matrix.
+Matrix head_slice(const Matrix& m, std::size_t h, std::size_t head_dim) {
+  Matrix out(m.rows(), head_dim);
+  const std::size_t off = h * head_dim;
+  for (std::size_t r = 0; r < m.rows(); ++r)
+    for (std::size_t c = 0; c < head_dim; ++c) out(r, c) = m(r, off + c);
+  return out;
+}
+
+void write_head_slice(Matrix& dst, const Matrix& src, std::size_t h, std::size_t head_dim) {
+  const std::size_t off = h * head_dim;
+  for (std::size_t r = 0; r < src.rows(); ++r)
+    for (std::size_t c = 0; c < head_dim; ++c) dst(r, off + c) = src(r, c);
+}
+}  // namespace
+
+Matrix reference_layer_forward(const TransformerLayerWeights& w, const TransformerConfig& config,
+                               const Matrix& x) {
+  LUMOS_EXPECTS(x.cols() == config.d_model);
+  const std::size_t head_dim = config.head_dim();
+
+  // Multi-head attention.
+  const Matrix q = x.matmul(w.wq);
+  const Matrix k = x.matmul(w.wk);
+  const Matrix v = x.matmul(w.wv);
+  Matrix concat(x.rows(), config.d_model);
+  for (std::size_t h = 0; h < config.heads; ++h) {
+    const Matrix qh = head_slice(q, h, head_dim);
+    const Matrix kh = head_slice(k, h, head_dim);
+    const Matrix vh = head_slice(v, h, head_dim);
+    const Matrix oh = scaled_dot_product_attention(qh, kh, vh);
+    write_head_slice(concat, oh, h, head_dim);
+  }
+  Matrix attn_out = concat.matmul(w.wo);
+
+  // Residual + LayerNorm.
+  Matrix h1 = attn_out.add(x);
+  layer_norm_rows(h1, w.ln1_gamma, w.ln1_beta);
+
+  // Feed-forward with ReLU (paper Section II: "two dense layers with a RELU
+  // activation in between").
+  Matrix ff = h1.matmul(w.w1);
+  relu(ff);
+  ff = ff.matmul(w.w2);
+
+  Matrix h2 = ff.add(h1);
+  layer_norm_rows(h2, w.ln2_gamma, w.ln2_beta);
+  return h2;
+}
+
+Matrix reference_forward(const TransformerWeights& weights, const Matrix& x) {
+  Matrix h = x;
+  for (const auto& layer : weights.layers) {
+    h = reference_layer_forward(layer, weights.config, h);
+  }
+  return h;
+}
+
+std::vector<OpSpec> layer_trace(const TransformerConfig& config) {
+  const std::size_t l = config.seq_len;
+  const std::size_t d = config.d_model;
+  const std::size_t hd = config.head_dim();
+  const std::size_t h = config.heads;
+  std::vector<OpSpec> ops;
+  ops.push_back({OpKind::kMatMul, l, d, d, 1, "Q = X Wq"});
+  ops.push_back({OpKind::kMatMul, l, d, d, 1, "K = X Wk"});
+  ops.push_back({OpKind::kMatMul, l, d, d, 1, "V = X Wv"});
+  ops.push_back({OpKind::kMatMul, l, hd, l, h, "S = Q K^T (per head)"});
+  ops.push_back({OpKind::kSoftmax, l, 0, l, h, "softmax(S)"});
+  ops.push_back({OpKind::kMatMul, l, l, hd, h, "A = softmax(S) V (per head)"});
+  ops.push_back({OpKind::kMatMul, l, d, d, 1, "O = concat(A) Wo"});
+  ops.push_back({OpKind::kResidualAdd, l, 0, d, 1, "O + X"});
+  ops.push_back({OpKind::kLayerNorm, l, 0, d, 1, "LN1"});
+  ops.push_back({OpKind::kMatMul, l, d, config.d_ff, 1, "F1 = H W1"});
+  ops.push_back({OpKind::kActivation, l, 0, config.d_ff, 1, "ReLU"});
+  ops.push_back({OpKind::kMatMul, l, config.d_ff, d, 1, "F2 = F1 W2"});
+  ops.push_back({OpKind::kResidualAdd, l, 0, d, 1, "F2 + H"});
+  ops.push_back({OpKind::kLayerNorm, l, 0, d, 1, "LN2"});
+  return ops;
+}
+
+std::vector<OpSpec> decoder_layer_trace(const TransformerConfig& config) {
+  LUMOS_EXPECTS(config.decoder_layers > 0 && config.src_len > 0);
+  const std::size_t l = config.seq_len;  // target length
+  const std::size_t s = config.src_len;  // source (encoder output) length
+  const std::size_t d = config.d_model;
+  const std::size_t hd = config.head_dim();
+  const std::size_t h = config.heads;
+  // Masked self-attention (same shape as an encoder layer at full sequence).
+  std::vector<OpSpec> ops = layer_trace(config);
+  // Remove the FF tail (it runs after cross-attention); the encoder trace is
+  // [0..6] attention, [7..8] add+LN, [9..13] FF+add+LN.
+  ops.resize(9);
+  // Cross-attention block.
+  ops.push_back({OpKind::kMatMul, l, d, d, 1, "Qx = H Wq (cross)"});
+  ops.push_back({OpKind::kMatMul, s, d, d, 1, "Kx = E Wk (cross)"});
+  ops.push_back({OpKind::kMatMul, s, d, d, 1, "Vx = E Wv (cross)"});
+  ops.push_back({OpKind::kMatMul, l, hd, s, h, "Sx = Qx Kx^T (per head)"});
+  ops.push_back({OpKind::kSoftmax, l, 0, s, h, "softmax(Sx)"});
+  ops.push_back({OpKind::kMatMul, l, s, hd, h, "Ax = softmax(Sx) Vx (per head)"});
+  ops.push_back({OpKind::kMatMul, l, d, d, 1, "Ox = concat(Ax) Wo (cross)"});
+  ops.push_back({OpKind::kResidualAdd, l, 0, d, 1, "Ox + H"});
+  ops.push_back({OpKind::kLayerNorm, l, 0, d, 1, "LNx"});
+  // Feed-forward tail.
+  ops.push_back({OpKind::kMatMul, l, d, config.d_ff, 1, "F1 = H W1"});
+  ops.push_back({OpKind::kActivation, l, 0, config.d_ff, 1, "ReLU"});
+  ops.push_back({OpKind::kMatMul, l, config.d_ff, d, 1, "F2 = F1 W2"});
+  ops.push_back({OpKind::kResidualAdd, l, 0, d, 1, "F2 + H"});
+  ops.push_back({OpKind::kLayerNorm, l, 0, d, 1, "LN3"});
+  return ops;
+}
+
+std::vector<OpSpec> generation_layer_trace(const TransformerConfig& config,
+                                           std::size_t context_len) {
+  LUMOS_EXPECTS(context_len >= 1);
+  const std::size_t d = config.d_model;
+  const std::size_t hd = config.head_dim();
+  const std::size_t h = config.heads;
+  const std::size_t ctx = context_len;
+  std::vector<OpSpec> ops;
+  // One new token: projections are single-row; attention runs against the
+  // KV cache of length ctx.
+  ops.push_back({OpKind::kMatMul, 1, d, d, 1, "q = x Wq"});
+  ops.push_back({OpKind::kMatMul, 1, d, d, 1, "k = x Wk"});
+  ops.push_back({OpKind::kMatMul, 1, d, d, 1, "v = x Wv"});
+  ops.push_back({OpKind::kMatMul, 1, hd, ctx, h, "s = q K_cache^T (per head)"});
+  ops.push_back({OpKind::kSoftmax, 1, 0, ctx, h, "softmax(s)"});
+  ops.push_back({OpKind::kMatMul, 1, ctx, hd, h, "a = softmax(s) V_cache (per head)"});
+  ops.push_back({OpKind::kMatMul, 1, d, d, 1, "o = concat(a) Wo"});
+  ops.push_back({OpKind::kResidualAdd, 1, 0, d, 1, "o + x"});
+  ops.push_back({OpKind::kLayerNorm, 1, 0, d, 1, "LN1"});
+  ops.push_back({OpKind::kMatMul, 1, d, config.d_ff, 1, "F1 = h W1"});
+  ops.push_back({OpKind::kActivation, 1, 0, config.d_ff, 1, "ReLU"});
+  ops.push_back({OpKind::kMatMul, 1, config.d_ff, d, 1, "F2 = F1 W2"});
+  ops.push_back({OpKind::kResidualAdd, 1, 0, d, 1, "F2 + h"});
+  ops.push_back({OpKind::kLayerNorm, 1, 0, d, 1, "LN2"});
+  return ops;
+}
+
+std::size_t generation_step_macs(const TransformerConfig& config, std::size_t context_len) {
+  std::size_t macs = 0;
+  for (const OpSpec& op : generation_layer_trace(config, context_len)) macs += op.macs();
+  return macs * config.layers;
+}
+
+}  // namespace lumos::nn

@@ -1,0 +1,132 @@
+// Transformer model description, weights, exact reference forward, and the
+// operation trace consumed by the accelerator mapping (paper Section II and
+// Fig. 1).
+//
+// Encoder-only (BERT), decoder-only (GPT) and vision (ViT) variants share the
+// same per-layer computation for a full-sequence inference pass: multi-head
+// attention (eq. 1), output projection, residual + LayerNorm, position-wise
+// feed-forward, residual + LayerNorm.  The trace lists every tensor operation
+// with its dimensions so hardware models can map them without re-deriving
+// model structure.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "nn/ops.hpp"
+#include "nn/tensor.hpp"
+
+namespace lumos::nn {
+
+enum class TransformerKind { kEncoder, kDecoder, kVision, kSeq2Seq };
+
+struct TransformerConfig {
+  std::string name;
+  TransformerKind kind = TransformerKind::kEncoder;
+  std::size_t layers = 12;          // encoder stack depth (or decoder-only depth)
+  std::size_t d_model = 768;
+  std::size_t heads = 12;
+  std::size_t d_ff = 3072;
+  std::size_t seq_len = 128;
+  // Seq2seq only (paper Fig. 1): depth of the decoder stack, whose layers add
+  // a cross-attention block over the encoder output, and the source length.
+  std::size_t decoder_layers = 0;
+  std::size_t src_len = 0;
+
+  [[nodiscard]] std::size_t head_dim() const noexcept { return d_model / heads; }
+  // Total weight parameters of the encoder/decoder stack (no embeddings).
+  [[nodiscard]] std::size_t parameter_count() const noexcept;
+  // Multiply-accumulate count of one full-sequence forward pass.
+  [[nodiscard]] std::size_t mac_count() const noexcept;
+  // Operation count (2 * MACs), the unit of the paper's GOPS figures.
+  [[nodiscard]] std::size_t op_count() const noexcept { return 2 * mac_count(); }
+};
+
+// Published model configurations used in the paper's comparison figures.
+[[nodiscard]] TransformerConfig bert_base(std::size_t seq_len = 128);
+[[nodiscard]] TransformerConfig bert_large(std::size_t seq_len = 128);
+[[nodiscard]] TransformerConfig gpt2_small(std::size_t seq_len = 256);
+[[nodiscard]] TransformerConfig vit_base();
+// The original "Attention is All You Need" base model (paper Fig. 1):
+// 6 encoder + 6 decoder layers, d_model 512, 8 heads, d_ff 2048.
+[[nodiscard]] TransformerConfig original_transformer(std::size_t src_len = 128,
+                                                     std::size_t dst_len = 128);
+// Reduced-size config for functional (noise-path) validation.
+[[nodiscard]] TransformerConfig tiny_transformer(std::size_t seq_len = 16);
+// The standard evaluation suite for the LLM figures.
+[[nodiscard]] std::vector<TransformerConfig> llm_model_zoo();
+
+// One layer's weights.
+struct TransformerLayerWeights {
+  Matrix wq, wk, wv;   // d_model x d_model
+  Matrix wo;           // d_model x d_model
+  Matrix w1;           // d_model x d_ff
+  Matrix w2;           // d_ff x d_model
+  std::vector<double> ln1_gamma, ln1_beta;
+  std::vector<double> ln2_gamma, ln2_beta;
+};
+
+// Full-model weights with deterministic pseudo-random initialisation.
+struct TransformerWeights {
+  TransformerConfig config;
+  std::vector<TransformerLayerWeights> layers;
+
+  static TransformerWeights random(const TransformerConfig& config, std::uint64_t seed);
+};
+
+// Exact reference forward pass of the full stack on input `x`
+// (seq_len x d_model).  Returns the final hidden states.
+[[nodiscard]] Matrix reference_forward(const TransformerWeights& weights, const Matrix& x);
+
+// Reference forward of a single layer (used by layer-level fidelity tests).
+[[nodiscard]] Matrix reference_layer_forward(const TransformerLayerWeights& w,
+                                             const TransformerConfig& config, const Matrix& x);
+
+// ---------------------------------------------------------------------------
+// Operation trace
+// ---------------------------------------------------------------------------
+
+enum class OpKind {
+  kMatMul,       // dense M x K x N multiply
+  kSoftmax,      // row-wise over an M x N matrix
+  kLayerNorm,    // row-wise over an M x N matrix
+  kActivation,   // element-wise over an M x N matrix
+  kResidualAdd,  // element-wise over an M x N matrix
+};
+
+struct OpSpec {
+  OpKind kind = OpKind::kMatMul;
+  std::size_t m = 0;  // rows of the left operand / the normalised matrix
+  std::size_t k = 0;  // contraction depth (MatMul only)
+  std::size_t n = 0;  // output columns
+  std::size_t repeat = 1;  // e.g. per attention head
+  const char* label = "";
+
+  [[nodiscard]] std::size_t macs() const noexcept {
+    return kind == OpKind::kMatMul ? m * k * n * repeat : 0;
+  }
+  [[nodiscard]] std::size_t elements() const noexcept { return m * n * repeat; }
+};
+
+// Trace of one full-sequence forward pass through an ENCODER layer (or a
+// decoder-only layer over the full sequence), repeated `config.layers` times
+// by consumers.
+[[nodiscard]] std::vector<OpSpec> layer_trace(const TransformerConfig& config);
+
+// Trace of one DECODER layer of a seq2seq model (paper Fig. 1): masked
+// self-attention over `seq_len` target tokens, cross-attention against
+// `src_len` encoder outputs, then the feed-forward block.
+[[nodiscard]] std::vector<OpSpec> decoder_layer_trace(const TransformerConfig& config);
+
+// Trace of ONE autoregressive decode step at context length `context_len`
+// with a resident KV cache: the new token's projections are 1 x d x d, the
+// attention works against the cached K/V of length `context_len`.
+[[nodiscard]] std::vector<OpSpec> generation_layer_trace(const TransformerConfig& config,
+                                                         std::size_t context_len);
+
+// MACs of one decode step at the given context length (all layers).
+[[nodiscard]] std::size_t generation_step_macs(const TransformerConfig& config,
+                                               std::size_t context_len);
+
+}  // namespace lumos::nn

@@ -1,0 +1,49 @@
+#include "photonics/area.hpp"
+
+#include "common/error.hpp"
+
+namespace lumos::phot {
+
+double AreaReport::total_m2() const noexcept {
+  double sum = 0.0;
+  for (const AreaItem& item : items) sum += item.total_m2;
+  return sum;
+}
+
+double AreaReport::photonic_m2() const noexcept {
+  double sum = 0.0;
+  for (const AreaItem& item : items) {
+    if (item.component.find("ring") != std::string::npos ||
+        item.component.find("detector") != std::string::npos ||
+        item.component.find("VCSEL") != std::string::npos ||
+        item.component.find("SOA") != std::string::npos ||
+        item.component.find("waveguide") != std::string::npos) {
+      sum += item.total_m2;
+    }
+  }
+  return sum;
+}
+
+void AreaReport::add(std::string component, std::size_t count, double each_m2) {
+  LUMOS_EXPECTS(each_m2 >= 0.0);
+  items.push_back({std::move(component), count, static_cast<double>(count) * each_m2});
+}
+
+AreaReport bank_array_area(std::size_t rows, std::size_t columns, const DeviceAreas& areas) {
+  LUMOS_EXPECTS(rows >= 1 && columns >= 1);
+  AreaReport r;
+  // Input bank + weight bank per waveguide.
+  r.add("microrings", 2 * rows * columns, areas.microring_m2);
+  r.add("balanced photodetectors", columns, areas.balanced_pd_m2);
+  r.add("input DACs (shared across columns)", rows, areas.dac_m2);
+  r.add("weight DACs", columns, areas.dac_m2);
+  r.add("column ADCs", columns, areas.adc_m2);
+  r.add("VCSEL sources", rows, areas.vcsel_m2);
+  // Each waveguide spans 2*rows ring pitches (~25 um per ring site).
+  const double guide_length_m = static_cast<double>(2 * rows) * 25e-6;
+  r.add("bus waveguides", columns,
+        guide_length_m * areas.waveguide_m2_per_m);
+  return r;
+}
+
+}  // namespace lumos::phot

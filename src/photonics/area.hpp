@@ -1,0 +1,56 @@
+// Chip-area accounting for the photonic accelerators.
+//
+// Paper Section VI: "the specific architectural details of each hardware
+// accelerator, such as the numbers of the computational blocks, were
+// determined through detailed design-space analysis" — area is one axis of
+// that analysis.  Component footprints follow the standard numbers used by
+// the CrossLight/SONIC line of work: ring + heater + junction ~ a few hundred
+// um^2, Ge photodetectors tens of um^2, converters dominated by their CMOS
+// macros, SOAs by their III-V gain section.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace lumos::phot {
+
+// Footprints of the primitive devices (m^2).
+struct DeviceAreas {
+  double microring_m2 = 400e-12;        // 20x20 um incl. heater + pn junction
+  double photodetector_m2 = 60e-12;     // Ge-on-Si PD
+  double balanced_pd_m2 = 140e-12;      // two PDs + subtraction TIA
+  double dac_m2 = 5500e-12;             // 8-bit 10 GS/s CMOS macro
+  double adc_m2 = 9000e-12;             // 8-bit 10 GS/s TI-SAR macro
+  double vcsel_m2 = 900e-12;            // flip-chip bonded source
+  double soa_m2 = 40000e-12;            // III-V gain section (200x200 um)
+  double waveguide_m2_per_m = 2e-6;     // 2 um effective routing pitch
+  double sram_m2_per_byte = 0.18e-12;   // 32 nm 6T SRAM incl. periphery
+  double digital_logic_m2 = 2.0e-6;     // control, LUTs, accumulators (2 mm^2)
+};
+
+// One line of a floorplan summary.
+struct AreaItem {
+  std::string component;
+  std::size_t count = 0;
+  double total_m2 = 0.0;
+};
+
+struct AreaReport {
+  std::vector<AreaItem> items;
+
+  [[nodiscard]] double total_m2() const noexcept;
+  [[nodiscard]] double total_mm2() const noexcept { return total_m2() * 1e6; }
+  // Photonic-only share (rings, PDs, VCSELs, SOAs, waveguides).
+  [[nodiscard]] double photonic_m2() const noexcept;
+
+  void add(std::string component, std::size_t count, double each_m2);
+};
+
+// Area of one K x N MR bank array: 2K rings per waveguide (input + weight
+// banks) across N waveguides, N balanced PDs, K shared input DACs, N ADCs,
+// K VCSELs, and the bus waveguides.
+[[nodiscard]] AreaReport bank_array_area(std::size_t rows, std::size_t columns,
+                                         const DeviceAreas& areas = {});
+
+}  // namespace lumos::phot

@@ -1,0 +1,62 @@
+#include "photonics/converters.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace lumos::phot {
+
+namespace {
+double quantize_unit(double value, double levels) {
+  // Clamp then snap to the nearest of `levels` uniformly spaced codes in [0,1].
+  const double clamped = std::clamp(value, 0.0, 1.0);
+  return std::round(clamped * (levels - 1.0)) / (levels - 1.0);
+}
+
+double quantize_signed_unit(double value, double levels) {
+  // Symmetric signed grid: codes in [-(2^(b-1)-1), +(2^(b-1)-1)], so +-1.0 is
+  // exactly representable (the int8 convention the quantiser uses).
+  const double clamped = std::clamp(value, -1.0, 1.0);
+  const double half = levels / 2.0 - 1.0;
+  return std::round(clamped * half) / half;
+}
+}  // namespace
+
+DacModel::DacModel(const DacConfig& config) : config_(config) {
+  LUMOS_EXPECTS(config.bits >= 1 && config.bits <= 16);
+  LUMOS_EXPECTS(config.sample_rate_hz > 0.0);
+  LUMOS_EXPECTS(config.walden_fom_j > 0.0);
+  levels_ = std::pow(2.0, config.bits);
+}
+
+double DacModel::energy_per_conversion_j() const noexcept {
+  return config_.walden_fom_j * levels_;
+}
+
+double DacModel::conversion_latency_s() const noexcept { return 1.0 / config_.sample_rate_hz; }
+
+double DacModel::quantize(double value) const { return quantize_unit(value, levels_); }
+
+double DacModel::quantize_signed(double value) const {
+  return quantize_signed_unit(value, levels_);
+}
+
+AdcModel::AdcModel(const AdcConfig& config) : config_(config) {
+  LUMOS_EXPECTS(config.bits >= 1 && config.bits <= 16);
+  LUMOS_EXPECTS(config.sample_rate_hz > 0.0);
+  LUMOS_EXPECTS(config.walden_fom_j > 0.0);
+  levels_ = std::pow(2.0, config.bits);
+}
+
+double AdcModel::energy_per_conversion_j() const noexcept {
+  return config_.walden_fom_j * levels_;
+}
+
+double AdcModel::conversion_latency_s() const noexcept { return 1.0 / config_.sample_rate_hz; }
+
+double AdcModel::quantize(double value) const { return quantize_unit(value, levels_); }
+
+double AdcModel::quantize_signed(double value) const {
+  return quantize_signed_unit(value, levels_);
+}
+
+}  // namespace lumos::phot

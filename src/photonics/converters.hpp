@@ -1,0 +1,81 @@
+// DAC and ADC cost-and-fidelity models.
+//
+// Every optical operand enters the analog domain through a DAC (tuning an MR
+// or driving a VCSEL) and every result leaves through an ADC after the
+// photodetector.  Minimising these conversions is the point of the paper's
+// eq. (3) decomposition, so their energy/latency model matters to the
+// end-to-end numbers.
+//
+// Cost model: energy per conversion follows the standard Walden figure of
+// merit  E = FoM * 2^bits  scaled by rate derating, with published design
+// points (8-bit multi-GS/s CMOS converters) as calibration anchors.
+#pragma once
+
+#include <cstdint>
+
+#include "common/error.hpp"
+
+namespace lumos::phot {
+
+struct DacConfig {
+  int bits = 8;
+  double sample_rate_hz = 10e9;
+  // J per conversion-step: 8-bit 10 GS/s current-steering DACs in 28 nm CMOS
+  // reach ~1 pJ/conversion (FoM ~4 fJ/step).
+  double walden_fom_j = 4e-15;
+  double static_power_w = 0.5e-3;
+};
+
+class DacModel {
+ public:
+  explicit DacModel(const DacConfig& config);
+
+  [[nodiscard]] const DacConfig& config() const noexcept { return config_; }
+
+  // Energy of one conversion.
+  [[nodiscard]] double energy_per_conversion_j() const noexcept;
+  // Time of one conversion.
+  [[nodiscard]] double conversion_latency_s() const noexcept;
+  [[nodiscard]] double static_power_w() const noexcept { return config_.static_power_w; }
+
+  // Quantises a normalised value in [0,1] to the DAC grid (functional path).
+  [[nodiscard]] double quantize(double value) const;
+  // Quantises a signed normalised value in [-1,1] (offset-binary).
+  [[nodiscard]] double quantize_signed(double value) const;
+
+  [[nodiscard]] int bits() const noexcept { return config_.bits; }
+
+ private:
+  DacConfig config_;
+  double levels_;
+};
+
+struct AdcConfig {
+  int bits = 8;
+  double sample_rate_hz = 10e9;
+  // 8-bit multi-GS/s time-interleaved SAR ADCs reach ~10-20 fJ/step; we use a
+  // mid-range 12 fJ (~3 pJ per 8-bit conversion).  ADCs cost more than DACs.
+  double walden_fom_j = 12e-15;
+  double static_power_w = 0.75e-3;
+};
+
+class AdcModel {
+ public:
+  explicit AdcModel(const AdcConfig& config);
+
+  [[nodiscard]] double energy_per_conversion_j() const noexcept;
+  [[nodiscard]] double conversion_latency_s() const noexcept;
+  [[nodiscard]] double static_power_w() const noexcept { return config_.static_power_w; }
+
+  [[nodiscard]] double quantize(double value) const;
+  [[nodiscard]] double quantize_signed(double value) const;
+
+  [[nodiscard]] int bits() const noexcept { return config_.bits; }
+  [[nodiscard]] const AdcConfig& config() const noexcept { return config_; }
+
+ private:
+  AdcConfig config_;
+  double levels_;
+};
+
+}  // namespace lumos::phot

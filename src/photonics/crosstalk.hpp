@@ -1,0 +1,106 @@
+// Heterodyne (inter-channel) and homodyne (coherent) crosstalk models.
+//
+// Paper Section V.B: heterodyne crosstalk arises in non-coherent WDM banks
+// when a neighbouring wavelength leaks into an MR's Lorentzian passband
+// (Fig. 3d); homodyne crosstalk arises in the coherent summation circuits
+// when leaked same-wavelength fields interfere with the signal.  The paper's
+// design flow tunes channel spacing, Q, coupling gap, and wavelength count so
+// that the residual SNR exceeds the photodetector sensitivity; the
+// `WdmLinkDesigner` (wdm.hpp) searches that space using these models.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace lumos::phot {
+
+// ---------------------------------------------------------------------------
+// Heterodyne crosstalk
+// ---------------------------------------------------------------------------
+
+struct HeterodyneConfig {
+  double channel_spacing_m = 0.8e-9;   // CS in Fig. 3d
+  double quality_factor = 8000.0;      // loaded Q of the bank's rings
+  double center_wavelength_m = 1550e-9;
+  std::size_t channel_count = 16;      // wavelengths multiplexed per waveguide
+};
+
+// Per-channel crosstalk summary for a WDM bank.
+struct HeterodyneReport {
+  // Fraction of each aggressor channel's power captured by the victim ring,
+  // summed over all aggressors, for the worst-placed (centre) channel.
+  double worst_crosstalk_fraction = 0.0;
+  // Same, for the best-placed (edge) channel.
+  double best_crosstalk_fraction = 0.0;
+  // Optical signal-to-crosstalk ratio (dB) for the worst channel, assuming
+  // equal per-channel launch power.
+  double worst_oscr_db = 0.0;
+  // Spectral occupancy: channel_count * spacing / FSR (must stay <= 1).
+  double spectral_occupancy = 0.0;
+};
+
+class HeterodyneCrosstalkModel {
+ public:
+  explicit HeterodyneCrosstalkModel(const HeterodyneConfig& config);
+
+  // Power coupling from an aggressor detuned by `detuning_m` into a victim
+  // ring's Lorentzian response (0..1).
+  [[nodiscard]] double coupling_at(double detuning_m) const noexcept;
+
+  // Crosstalk power fraction received by victim channel `victim` from all
+  // other channels (equal launch powers assumed).
+  [[nodiscard]] double crosstalk_fraction(std::size_t victim) const;
+
+  // Full-bank report.
+  [[nodiscard]] HeterodyneReport analyze() const;
+
+  // Multiplicative perturbation applied to a detected value in the functional
+  // simulation: victim reads (value + crosstalk_fraction * mean-aggressor).
+  [[nodiscard]] double perturb(double value, double mean_aggressor_value,
+                               std::size_t victim) const;
+
+  [[nodiscard]] const HeterodyneConfig& config() const noexcept { return config_; }
+
+ private:
+  HeterodyneConfig config_;
+  double fwhm_m_;
+};
+
+// ---------------------------------------------------------------------------
+// Homodyne crosstalk
+// ---------------------------------------------------------------------------
+
+struct HomodyneConfig {
+  // Gap between the bus waveguide and the ring waveguide; larger gaps reduce
+  // the field leaking back into the bus (paper Section V.B).
+  double coupling_gap_m = 200e-9;
+  // Gap at which the leakage power is `reference_leakage`; exponential decay
+  // beyond it with `decay_length_m`.
+  double reference_gap_m = 100e-9;
+  double reference_leakage = 1e-2;   // -20 dB at the reference gap
+  double decay_length_m = 45e-9;
+  std::size_t interfering_elements = 4;  // same-wavelength leak sources on the path
+};
+
+class HomodyneCrosstalkModel {
+ public:
+  explicit HomodyneCrosstalkModel(const HomodyneConfig& config);
+
+  // Power fraction of one leaked same-wavelength field relative to the signal.
+  [[nodiscard]] double leakage_fraction() const noexcept { return leakage_; }
+
+  // Worst-case relative amplitude error of a coherent sum: leaked fields add
+  // in field (not power), so the bound is  2*sqrt(k)*E + k*E^2 per source.
+  [[nodiscard]] double worst_case_relative_error() const noexcept;
+
+  // Signal-to-crosstalk ratio in dB under worst-case phase alignment.
+  [[nodiscard]] double worst_oscr_db() const noexcept;
+
+  [[nodiscard]] const HomodyneConfig& config() const noexcept { return config_; }
+
+ private:
+  HomodyneConfig config_;
+  double leakage_;
+};
+
+}  // namespace lumos::phot

@@ -1,0 +1,89 @@
+#include "photonics/detector.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/units.hpp"
+
+namespace lumos::phot {
+
+Photodetector::Photodetector(const PhotodetectorConfig& config) : config_(config) {
+  LUMOS_EXPECTS(config.responsivity_a_per_w > 0.0);
+  LUMOS_EXPECTS(config.bandwidth_hz > 0.0);
+  LUMOS_EXPECTS(config.dark_current_a >= 0.0);
+  LUMOS_EXPECTS(config.load_resistance_ohm > 0.0);
+  LUMOS_EXPECTS(config.temperature_k > 0.0);
+  LUMOS_EXPECTS(config.rin_per_hz >= 0.0);
+}
+
+double Photodetector::photocurrent(double power_w) const noexcept {
+  return config_.responsivity_a_per_w * power_w;
+}
+
+double Photodetector::noise_current_sigma(double power_w) const noexcept {
+  const double i_ph = photocurrent(power_w);
+  const double b = config_.bandwidth_hz;
+  const double shot = 2.0 * constants::kElectronCharge * (i_ph + config_.dark_current_a) * b;
+  const double thermal =
+      4.0 * constants::kBoltzmann * config_.temperature_k * b / config_.load_resistance_ohm;
+  const double rin = config_.rin_per_hz * i_ph * i_ph * b;
+  return std::sqrt(shot + thermal + rin);
+}
+
+double Photodetector::snr_linear(double power_w) const noexcept {
+  if (power_w <= 0.0) return 0.0;
+  const double i_ph = photocurrent(power_w);
+  const double sigma = noise_current_sigma(power_w);
+  return (i_ph * i_ph) / (sigma * sigma);
+}
+
+double Photodetector::snr_db(double power_w) const noexcept {
+  const double s = snr_linear(power_w);
+  return s > 0.0 ? units::linear_to_db(s) : -300.0;
+}
+
+double Photodetector::sensitivity_w(double required_snr_db) const {
+  LUMOS_EXPECTS(required_snr_db > 0.0);
+  // SNR(P) is strictly increasing until RIN saturation; bisect over a wide
+  // physical bracket.
+  double lo = 1e-12;   // 1 pW
+  double hi = 1.0;     // 1 W
+  LUMOS_EXPECTS_MSG(snr_db(hi) >= required_snr_db,
+                    "required SNR unreachable at any practical power (RIN-limited)");
+  for (int i = 0; i < 200; ++i) {
+    const double mid = std::sqrt(lo * hi);  // geometric bisection (decades apart)
+    if (snr_db(mid) >= required_snr_db) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  return hi;
+}
+
+double Photodetector::required_snr_db_for_bits(int bits) noexcept {
+  return 6.02 * bits + 1.76;
+}
+
+BalancedPhotodetector::BalancedPhotodetector(const PhotodetectorConfig& config) : arm_(config) {}
+
+double BalancedPhotodetector::differential_current(double positive_arm_w,
+                                                   double negative_arm_w) const noexcept {
+  return arm_.photocurrent(positive_arm_w) - arm_.photocurrent(negative_arm_w);
+}
+
+double BalancedPhotodetector::detect(double positive_arm_w, double negative_arm_w,
+                                     double full_scale_w, double* noise_sigma_out) const {
+  LUMOS_EXPECTS(full_scale_w > 0.0);
+  const double i_diff = differential_current(positive_arm_w, negative_arm_w);
+  const double i_full = arm_.photocurrent(full_scale_w);
+  if (noise_sigma_out != nullptr) {
+    // Arm noises are independent; combined sigma normalised to full scale.
+    const double s_pos = arm_.noise_current_sigma(positive_arm_w);
+    const double s_neg = arm_.noise_current_sigma(negative_arm_w);
+    *noise_sigma_out = std::sqrt(s_pos * s_pos + s_neg * s_neg) / i_full;
+  }
+  return i_diff / i_full;
+}
+
+}  // namespace lumos::phot

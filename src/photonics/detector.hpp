@@ -1,0 +1,78 @@
+// Photodetector and balanced-photodetector (BPD) models.
+//
+// Detection closes every optical MAC: accumulated optical power becomes a
+// photocurrent, noise determines the usable bit resolution, and the BPD's
+// two arms implement signed arithmetic (paper Section V.C: "BPDs facilitate
+// the handling of both positive and negative parameter values").
+//
+// Noise model (standard receiver analysis):
+//   shot:     sigma^2 = 2 q (R P + I_dark) B
+//   thermal:  sigma^2 = 4 k T B / R_load
+//   RIN:      sigma^2 = RIN * (R P)^2 * B
+// Sensitivity is the optical power at which SNR reaches the target needed to
+// resolve the configured bit resolution (6.02*bits + 1.76 dB).
+#pragma once
+
+#include "common/constants.hpp"
+
+namespace lumos::phot {
+
+struct PhotodetectorConfig {
+  double responsivity_a_per_w = 1.1;   // Ge-on-Si, C-band
+  double bandwidth_hz = 10e9;          // receiver bandwidth B
+  double dark_current_a = 50e-9;       // I_dark
+  double load_resistance_ohm = 50.0;   // R_load (TIA input)
+  double temperature_k = constants::kRoomTemperature;
+  double rin_per_hz = 3.16e-16;        // laser RIN, -155 dB/Hz
+};
+
+class Photodetector {
+ public:
+  explicit Photodetector(const PhotodetectorConfig& config);
+
+  // Mean photocurrent for incident optical power `power_w`.
+  [[nodiscard]] double photocurrent(double power_w) const noexcept;
+
+  // Total noise current standard deviation at `power_w` (A).
+  [[nodiscard]] double noise_current_sigma(double power_w) const noexcept;
+
+  // Electrical SNR (power ratio, linear) at incident power `power_w`.
+  [[nodiscard]] double snr_linear(double power_w) const noexcept;
+  [[nodiscard]] double snr_db(double power_w) const noexcept;
+
+  // Minimum optical power (W) for which `snr_db` reaches `required_snr_db`.
+  // Solved by bisection over the monotone SNR(P) curve.
+  [[nodiscard]] double sensitivity_w(double required_snr_db) const;
+
+  // SNR (dB) needed to discriminate 2^bits levels: 6.02*bits + 1.76.
+  [[nodiscard]] static double required_snr_db_for_bits(int bits) noexcept;
+
+  [[nodiscard]] const PhotodetectorConfig& config() const noexcept { return config_; }
+
+ private:
+  PhotodetectorConfig config_;
+};
+
+// Balanced photodetector: two matched PDs whose photocurrents subtract,
+// yielding a signed output from positive-arm and negative-arm optical powers.
+class BalancedPhotodetector {
+ public:
+  explicit BalancedPhotodetector(const PhotodetectorConfig& config);
+
+  // Differential photocurrent (signed) from the two arm powers.
+  [[nodiscard]] double differential_current(double positive_arm_w,
+                                            double negative_arm_w) const noexcept;
+
+  // Functional-simulation read-out: the signed detected value (normalised to
+  // the current of `full_scale_w`), with additive Gaussian noise of the
+  // combined arms when `noise_sigma_out` is non-null.
+  [[nodiscard]] double detect(double positive_arm_w, double negative_arm_w, double full_scale_w,
+                              double* noise_sigma_out = nullptr) const;
+
+  [[nodiscard]] const Photodetector& arm() const noexcept { return arm_; }
+
+ private:
+  Photodetector arm_;
+};
+
+}  // namespace lumos::phot

@@ -1,0 +1,45 @@
+#include "photonics/laser.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "common/units.hpp"
+
+namespace lumos::phot {
+
+Vcsel::Vcsel(const VcselConfig& config) : config_(config) {
+  LUMOS_EXPECTS(config.wall_plug_efficiency > 0.0 && config.wall_plug_efficiency <= 1.0);
+  LUMOS_EXPECTS(config.max_optical_power_w > 0.0);
+  LUMOS_EXPECTS(config.threshold_power_w >= 0.0);
+  LUMOS_EXPECTS(config.modulation_rate_hz > 0.0);
+}
+
+double Vcsel::electrical_power(double optical_power_w) const {
+  LUMOS_EXPECTS(optical_power_w >= 0.0);
+  LUMOS_EXPECTS_MSG(optical_power_w <= config_.max_optical_power_w,
+                    "requested optical power exceeds VCSEL saturation");
+  return config_.threshold_power_w + optical_power_w / config_.wall_plug_efficiency;
+}
+
+double Vcsel::emit(double normalized_amplitude) const {
+  LUMOS_EXPECTS(normalized_amplitude >= 0.0 && normalized_amplitude <= 1.0);
+  return normalized_amplitude * config_.max_optical_power_w;
+}
+
+LaserBudget size_laser(const Photodetector& detector, const LossStack& losses, int bits,
+                       const VcselConfig& vcsel) {
+  LUMOS_EXPECTS(bits >= 1 && bits <= 16);
+  LaserBudget b;
+  const double snr_db = Photodetector::required_snr_db_for_bits(bits);
+  b.detector_sensitivity_w = detector.sensitivity_w(snr_db);
+  b.path_loss_db = losses.total_db();
+  // Launch power must arrive at the detector above sensitivity after losses.
+  b.required_launch_power_w =
+      b.detector_sensitivity_w * units::db_to_linear(b.path_loss_db);
+  b.feasible = b.required_launch_power_w <= vcsel.max_optical_power_w;
+  const double clamped = std::min(b.required_launch_power_w, vcsel.max_optical_power_w);
+  b.electrical_power_w = vcsel.threshold_power_w + clamped / vcsel.wall_plug_efficiency;
+  return b;
+}
+
+}  // namespace lumos::phot

@@ -1,0 +1,80 @@
+// VCSEL source model and per-waveguide laser power budget.
+//
+// Paper Section IV: "VCSEL units are laser sources that can be configured to
+// generate an optical signal with a certain wavelength and an amplitude
+// specified by an input analog signal."  The laser power budget follows the
+// standard photonic-accelerator sizing rule (CrossLight [28], SONIC [29]):
+// the launch power must cover the photodetector sensitivity plus every dB of
+// loss accumulated along the path,
+//
+//   P_laser(dBm) >= S_detector(dBm) + L_path(dB) + M_penalty(dB)
+//
+// and the electrical (wall-plug) cost is P_laser / efficiency.
+#pragma once
+
+#include <cstddef>
+
+#include "photonics/detector.hpp"
+
+namespace lumos::phot {
+
+struct VcselConfig {
+  double wall_plug_efficiency = 0.25;    // optical out / electrical in
+  double max_optical_power_w = 10e-3;    // saturation
+  double threshold_power_w = 0.15e-3;    // electrical power at threshold
+  double wavelength_m = constants::kCBandCenterWavelength;
+  double modulation_rate_hz = 10e9;      // direct-modulation symbol rate
+};
+
+class Vcsel {
+ public:
+  explicit Vcsel(const VcselConfig& config);
+
+  // Electrical power drawn to emit `optical_power_w`.
+  [[nodiscard]] double electrical_power(double optical_power_w) const;
+
+  // Emitted optical power when driven with a normalised amplitude in [0,1]
+  // (linear above threshold).
+  [[nodiscard]] double emit(double normalized_amplitude) const;
+
+  [[nodiscard]] const VcselConfig& config() const noexcept { return config_; }
+
+ private:
+  VcselConfig config_;
+};
+
+// Loss contributions along one waveguide path through an MR bank array
+// (all in dB; see e.g. CrossLight Table 1 for typical values).
+struct LossStack {
+  double coupler_db = 1.0;            // fibre/laser-to-chip coupling
+  double waveguide_db_per_cm = 1.5;   // propagation loss
+  double path_length_cm = 0.5;
+  double per_mr_insertion_db = 0.05;  // each through-type MR on the bus
+  std::size_t mr_count = 16;
+  double splitter_db = 0.2;           // per Y-branch/combiner on the path
+  std::size_t splitter_count = 2;
+  double mux_demux_db = 1.0;          // (de)multiplexer
+  double penalty_margin_db = 1.0;     // modulation / extinction penalty margin
+
+  [[nodiscard]] double total_db() const noexcept {
+    return coupler_db + waveguide_db_per_cm * path_length_cm +
+           per_mr_insertion_db * static_cast<double>(mr_count) +
+           splitter_db * static_cast<double>(splitter_count) + mux_demux_db + penalty_margin_db;
+  }
+};
+
+// Result of sizing the laser for one wavelength channel.
+struct LaserBudget {
+  double detector_sensitivity_w = 0.0;  // from the PD noise model
+  double path_loss_db = 0.0;
+  double required_launch_power_w = 0.0;
+  double electrical_power_w = 0.0;      // wall-plug per channel
+  bool feasible = true;                 // launch power within VCSEL saturation
+};
+
+// Sizes the per-channel laser launch power so that the detected signal, after
+// `losses`, resolves `bits` levels on `detector`.
+[[nodiscard]] LaserBudget size_laser(const Photodetector& detector, const LossStack& losses,
+                                     int bits, const VcselConfig& vcsel);
+
+}  // namespace lumos::phot

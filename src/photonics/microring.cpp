@@ -1,0 +1,90 @@
+#include "photonics/microring.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/error.hpp"
+#include "common/units.hpp"
+
+namespace lumos::phot {
+
+namespace {
+// Lorentzian line shape normalised to 1 at zero detuning.
+double lorentzian(double detuning_m, double fwhm_m) noexcept {
+  const double x = 2.0 * detuning_m / fwhm_m;
+  return 1.0 / (1.0 + x * x);
+}
+}  // namespace
+
+MicroringResonator::MicroringResonator(const MicroringDesign& design) : design_(design) {
+  LUMOS_EXPECTS(design.radius_m > 0.0);
+  LUMOS_EXPECTS(design.effective_index > 0.0);
+  LUMOS_EXPECTS(design.group_index > 0.0);
+  LUMOS_EXPECTS(design.quality_factor > 1.0);
+  LUMOS_EXPECTS(design.extinction_ratio_db > 0.0);
+  LUMOS_EXPECTS(design.drop_port_peak_transmission > 0.0 &&
+                design.drop_port_peak_transmission <= 1.0);
+  LUMOS_EXPECTS(design.insertion_loss_db >= 0.0);
+
+  const double circumference = 2.0 * std::numbers::pi * design.radius_m;
+  if (design.resonance_order > 0) {
+    order_ = design.resonance_order;
+  } else {
+    LUMOS_EXPECTS(design.target_wavelength_m > 0.0);
+    // Round the order so lambda_MR = n_eff * L / m is closest to the target.
+    const double ideal = design.effective_index * circumference / design.target_wavelength_m;
+    order_ = static_cast<int>(std::lround(ideal));
+    LUMOS_EXPECTS_MSG(order_ >= 1, "ring too small to resonate at the target wavelength");
+  }
+  // Paper eq. (2): lambda_MR = 2*pi*R*n_eff / m.
+  base_resonance_m_ = circumference * design.effective_index / static_cast<double>(order_);
+  fsr_m_ = base_resonance_m_ * base_resonance_m_ / (design.group_index * circumference);
+  fwhm_m_ = base_resonance_m_ / design.quality_factor;
+  extinction_floor_ = units::db_to_linear(-design.extinction_ratio_db);
+  max_transmission_ = units::db_to_linear(-design.insertion_loss_db);
+  LUMOS_ENSURES(extinction_floor_ < max_transmission_);
+}
+
+double MicroringResonator::through_transmission(double wavelength_m) const noexcept {
+  const double detuning = wavelength_m - resonance_wavelength();
+  // Through port: full transmission off resonance, extinction-limited notch on
+  // resonance:  T = T_max - (T_max - floor) * L(detuning).
+  return max_transmission_ - (max_transmission_ - extinction_floor_) * lorentzian(detuning, fwhm_m_);
+}
+
+double MicroringResonator::drop_transmission(double wavelength_m) const noexcept {
+  const double detuning = wavelength_m - resonance_wavelength();
+  return design_.drop_port_peak_transmission * lorentzian(detuning, fwhm_m_);
+}
+
+double MicroringResonator::apply_index_shift(double delta_n_eff) noexcept {
+  // First-order perturbation: d_lambda / lambda = d_n_eff / n_g.
+  const double shift = base_resonance_m_ * delta_n_eff / design_.group_index;
+  tuning_shift_m_ = shift;
+  return shift;
+}
+
+double MicroringResonator::detuning_for_value(double value) const {
+  LUMOS_EXPECTS_MSG(value >= 0.0 && value <= 1.0, "imprinted values are normalised to [0,1]");
+  // Map [0,1] onto the physically reachable transmission window
+  // [extinction_floor, max_transmission], then invert
+  //   T(d) = T_max - (T_max - floor) * 1/(1 + (2d/FWHM)^2)
+  // for the detuning d >= 0.
+  const double t_target =
+      extinction_floor_ + value * (max_transmission_ - extinction_floor_);
+  const double depth = (max_transmission_ - t_target) / (max_transmission_ - extinction_floor_);
+  if (depth <= 0.0) return fwhm_m_ * 1e3;  // fully off resonance
+  if (depth >= 1.0) return 0.0;            // exactly on resonance
+  return 0.5 * fwhm_m_ * std::sqrt(1.0 / depth - 1.0);
+}
+
+double MicroringResonator::imprint(double value, double tuning_error_m) const {
+  const double detuning = detuning_for_value(value) + tuning_error_m;
+  // Transmission of the carrier parked at the base resonance when the ring is
+  // detuned by `detuning`; renormalised so value 1.0 -> transmission ~1.
+  const double t = max_transmission_ -
+                   (max_transmission_ - extinction_floor_) * lorentzian(detuning, fwhm_m_);
+  return t;
+}
+
+}  // namespace lumos::phot

@@ -1,0 +1,280 @@
+#include "photonics/mr_bank.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace lumos::phot {
+
+MrBank::MrBank(const MrBankConfig& config)
+    : config_(config),
+      ring_(config.ring),
+      tuner_(config.tuning, ring_),
+      heterodyne_([&] {
+        HeterodyneConfig h = config.heterodyne;
+        h.channel_count = config.wavelength_count;
+        h.quality_factor = config.ring.quality_factor;
+        return h;
+      }()),
+      bpd_(config.detector),
+      dac_(config.dac),
+      adc_(config.adc),
+      vcsel_(config.vcsel),
+      budget_(size_laser(Photodetector(config.detector),
+                         [&] {
+                           LossStack l = config.losses;
+                           l.mr_count = config.wavelength_count;
+                           return l;
+                         }(),
+                         config.adc.bits, config.vcsel)) {
+  LUMOS_EXPECTS(config.wavelength_count >= 1);
+  LUMOS_EXPECTS(config.symbol_rate_hz > 0.0);
+}
+
+double MrBank::imprint_magnitude(double v, Rng& rng, const AnalogNoiseConfig& noise) const {
+  double mag = std::fabs(v);
+  if (noise.dac_quantization) mag = dac_.quantize(mag);
+  double tuning_error = 0.0;
+  if (noise.mr_tuning_error) tuning_error = rng.normal(0.0, noise.tuning_error_sigma_m);
+  // imprint() returns transmission in [extinction_floor, max_transmission];
+  // renormalise so an imprinted 1.0 reads back as 1.0.
+  const double t = ring_.imprint(mag, tuning_error);
+  const double floor = ring_.extinction_floor();
+  const double span = ring_.max_transmission() - floor;
+  return std::clamp((t - floor) / span, 0.0, 1.0);
+}
+
+double MrBank::dot(std::span<const double> a, std::span<const double> w, Rng& rng,
+                   const AnalogNoiseConfig& noise) const {
+  LUMOS_EXPECTS(a.size() == w.size());
+  LUMOS_EXPECTS(a.size() <= config_.wavelength_count);
+  const std::size_t k = a.size();
+
+  // Per-wavelength products, split by sign onto the BPD's two arms
+  // (positive products on the positive arm, negative on the negative arm).
+  std::vector<double> products(k);
+  double mean_magnitude = 0.0;
+  for (std::size_t i = 0; i < k; ++i) {
+    LUMOS_EXPECTS(a[i] >= -1.0 && a[i] <= 1.0);
+    LUMOS_EXPECTS(w[i] >= -1.0 && w[i] <= 1.0);
+    const double ta = imprint_magnitude(a[i], rng, noise);
+    const double tw = imprint_magnitude(w[i], rng, noise);
+    const double sign = (a[i] < 0.0) == (w[i] < 0.0) ? 1.0 : -1.0;
+    products[i] = sign * ta * tw;
+    mean_magnitude += ta * tw;
+  }
+  mean_magnitude /= static_cast<double>(k);
+
+  double pos_arm = 0.0;
+  double neg_arm = 0.0;
+  for (std::size_t i = 0; i < k; ++i) {
+    double magnitude = std::fabs(products[i]);
+    if (noise.heterodyne_crosstalk && k > 1) {
+      // Aggressor channels leak a fraction of their (mean) power into this
+      // victim's passband (incoherent addition at the PD); the calibration
+      // loop removes the deterministic part measured on the monitor PD.
+      const std::size_t victim = i % config_.wavelength_count;
+      const double perturbed = heterodyne_.perturb(magnitude, mean_magnitude, victim);
+      const double leak = perturbed - magnitude;
+      magnitude += leak * (1.0 - noise.crosstalk_compensation);
+    }
+    if (products[i] >= 0.0) {
+      pos_arm += magnitude;
+    } else {
+      neg_arm += magnitude;
+    }
+  }
+
+  // Scale normalised sums into optical powers at the detector.
+  const double per_channel_w = budget_.detector_sensitivity_w;
+  const double full_scale_w = per_channel_w * static_cast<double>(config_.wavelength_count);
+  double noise_sigma = 0.0;
+  double detected = bpd_.detect(pos_arm * per_channel_w, neg_arm * per_channel_w, full_scale_w,
+                                noise.detector_noise ? &noise_sigma : nullptr);
+  if (noise.detector_noise) detected += rng.normal(0.0, noise_sigma);
+
+  // detected is in [-1,1] normalised to K channels at full scale; restore the
+  // dot-product scale (sum of K products each in [-1,1]).
+  double value = detected * static_cast<double>(config_.wavelength_count);
+  if (noise.adc_quantization) {
+    const double norm = value / static_cast<double>(config_.wavelength_count);
+    value = adc_.quantize_signed(std::clamp(norm, -1.0, 1.0)) *
+            static_cast<double>(config_.wavelength_count);
+  }
+  return value;
+}
+
+double MrBank::exact_dot(std::span<const double> a, std::span<const double> w) noexcept {
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size() && i < w.size(); ++i) s += a[i] * w[i];
+  return s;
+}
+
+BankOpCost MrBank::dot_cost() const {
+  BankOpCost c;
+  const double k = static_cast<double>(config_.wavelength_count);
+  // One symbol transit; DAC writes for K activations + K weights happen in
+  // parallel with the transit pipeline.
+  c.latency_s = 1.0 / config_.symbol_rate_hz + dac_.conversion_latency_s();
+  c.dynamic_energy_j = 2.0 * k * dac_.energy_per_conversion_j()  // a and w imprints
+                       + adc_.energy_per_conversion_j()          // one read-out
+                       + k * budget_.electrical_power_w / config_.symbol_rate_hz;  // laser
+  // Hold power: rings are fabricated on the channel grid and trimmed within a
+  // quarter linewidth, which the (zero-static-power) EO actuator covers under
+  // the hybrid policy; heaters only engage for rare large excursions.
+  const TuningResult hold = tuner_.tune(ring_.fwhm() / 4.0);
+  c.static_power_w = 2.0 * k * hold.static_power_w + dac_.static_power_w() +
+                     adc_.static_power_w();
+  return c;
+}
+
+MrBankArray::MrBankArray(const MrBankConfig& bank_config, std::size_t column_count)
+    : bank_(bank_config), column_count_(column_count) {
+  LUMOS_EXPECTS(column_count >= 1);
+}
+
+std::vector<double> MrBankArray::matvec(std::span<const double> x, std::span<const double> w,
+                                        Rng& rng, const AnalogNoiseConfig& noise) const {
+  const std::size_t k = x.size();
+  LUMOS_EXPECTS(k <= rows());
+  LUMOS_EXPECTS(k > 0);
+  // The weight tile may use fewer columns than the array provides (edge
+  // tiles); the used width is inferred from the tile size.
+  LUMOS_EXPECTS(w.size() % k == 0);
+  const std::size_t cols = w.size() / k;
+  LUMOS_EXPECTS(cols >= 1 && cols <= column_count_);
+  std::vector<double> y(cols);
+  std::vector<double> col(k);
+  for (std::size_t n = 0; n < cols; ++n) {
+    for (std::size_t i = 0; i < k; ++i) col[i] = w[i * cols + n];
+    y[n] = bank_.dot(x, col, rng, noise);
+  }
+  return y;
+}
+
+std::vector<double> MrBankArray::exact_matvec(std::span<const double> x,
+                                              std::span<const double> w, std::size_t columns) {
+  const std::size_t k = x.size();
+  std::vector<double> y(columns, 0.0);
+  for (std::size_t n = 0; n < columns; ++n) {
+    double acc = 0.0;
+    for (std::size_t i = 0; i < k; ++i) acc += x[i] * w[i * columns + n];
+    y[n] = acc;
+  }
+  return y;
+}
+
+BankOpCost MrBankArray::matvec_cost(bool share_input_dacs) const {
+  // All N columns transit simultaneously; the input vector is imprinted once
+  // and broadcast (shared DACs) or once per column (unshared).
+  const BankOpCost per_bank = bank_.dot_cost();
+  const double n = static_cast<double>(column_count_);
+  const double k = static_cast<double>(bank_.width());
+  const DacModel dac(bank_.config().dac);
+  const AdcModel adc(bank_.config().adc);
+
+  BankOpCost c;
+  c.latency_s = per_bank.latency_s;  // spatially parallel columns
+  const double input_dac_j =
+      (share_input_dacs ? 1.0 : n) * k * dac.energy_per_conversion_j();
+  const double weight_dac_j = n * k * dac.energy_per_conversion_j();
+  const double adc_j = n * adc.energy_per_conversion_j();
+  // Laser energy scales with the number of waveguides (columns).
+  const double per_bank_laser_j =
+      per_bank.dynamic_energy_j - 2.0 * k * dac.energy_per_conversion_j() -
+      adc.energy_per_conversion_j();
+  c.dynamic_energy_j = input_dac_j + weight_dac_j + adc_j + n * per_bank_laser_j;
+  c.static_power_w = n * per_bank.static_power_w;
+  return c;
+}
+
+MrBankArray::PassEnergies MrBankArray::pass_energies() const {
+  const double k = static_cast<double>(bank_.width());
+  const double n = static_cast<double>(column_count_);
+  const DacModel dac(bank_.config().dac);
+  const AdcModel adc(bank_.config().adc);
+  PassEnergies e;
+  e.input_dac_j = k * dac.energy_per_conversion_j();
+  e.weight_dac_j = k * n * dac.energy_per_conversion_j();
+  e.adc_j = n * adc.energy_per_conversion_j();
+  // Laser: each of the N waveguides carries K channels for one symbol.
+  const LaserBudget budget = size_laser(Photodetector(bank_.config().detector),
+                                        [&] {
+                                          LossStack l = bank_.config().losses;
+                                          l.mr_count = bank_.width();
+                                          return l;
+                                        }(),
+                                        bank_.config().adc.bits, bank_.config().vcsel);
+  e.laser_j = n * k * budget.electrical_power_w / bank_.config().symbol_rate_hz;
+  return e;
+}
+
+CoherentSummationUnit::CoherentSummationUnit(const MrBankConfig& config,
+                                             const HomodyneConfig& homodyne,
+                                             std::size_t branch_count)
+    : config_(config),
+      homodyne_(homodyne),
+      bpd_(config.detector),
+      dac_(config.dac),
+      adc_(config.adc),
+      vcsel_(config.vcsel),
+      branch_count_(branch_count) {
+  LUMOS_EXPECTS(branch_count >= 1);
+}
+
+double CoherentSummationUnit::sum(std::span<const double> values, Rng& rng,
+                                  const AnalogNoiseConfig& noise) const {
+  LUMOS_EXPECTS(values.size() <= branch_count_);
+  double pos = 0.0;
+  double neg = 0.0;
+  for (const double v : values) {
+    LUMOS_EXPECTS(v >= -1.0 && v <= 1.0);
+    double mag = std::fabs(v);
+    if (noise.dac_quantization) mag = dac_.quantize(mag);
+    if (v >= 0.0) {
+      pos += mag;
+    } else {
+      neg += mag;
+    }
+  }
+  const double n = static_cast<double>(branch_count_);
+  // Homodyne leakage: same-wavelength parasitic fields interfere with the
+  // summed signal; bounded by the worst-case model, drawn uniformly in phase.
+  if (noise.heterodyne_crosstalk) {  // switch doubles for "optical crosstalk on"
+    const double bound = homodyne_.worst_case_relative_error();
+    const double err = rng.uniform(-bound, bound);
+    pos *= (1.0 + err);
+  }
+  const double full_scale_w = 1e-3 * n;  // 1 mW per branch at full scale
+  double sigma = 0.0;
+  double detected = bpd_.detect(pos / n * full_scale_w, neg / n * full_scale_w, full_scale_w,
+                                noise.detector_noise ? &sigma : nullptr);
+  if (noise.detector_noise) detected += rng.normal(0.0, sigma);
+  double value = detected * n;
+  if (noise.adc_quantization) {
+    value = adc_.quantize_signed(std::clamp(value / n, -1.0, 1.0)) * n;
+  }
+  return value;
+}
+
+double CoherentSummationUnit::exact_sum(std::span<const double> values) noexcept {
+  double s = 0.0;
+  for (const double v : values) s += v;
+  return s;
+}
+
+BankOpCost CoherentSummationUnit::sum_cost() const {
+  BankOpCost c;
+  const double n = static_cast<double>(branch_count_);
+  c.latency_s = 1.0 / config_.symbol_rate_hz + dac_.conversion_latency_s();
+  // Each branch needs a VCSEL drive (DAC) at a modest power; one ADC read.
+  const double per_branch_laser_j =
+      vcsel_.electrical_power(1e-3) / config_.symbol_rate_hz;
+  c.dynamic_energy_j =
+      n * (dac_.energy_per_conversion_j() + per_branch_laser_j) + adc_.energy_per_conversion_j();
+  c.static_power_w = dac_.static_power_w() + adc_.static_power_w();
+  return c;
+}
+
+}  // namespace lumos::phot

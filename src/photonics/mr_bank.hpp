@@ -1,0 +1,190 @@
+// MR bank and MR bank array: the optical compute primitives.
+//
+// Paper Fig. 3(c): a WDM waveguide passes through two banks of MRs — the
+// first imprints the input activation vector onto the wavelengths, the second
+// imprints the weight vector, and the product vector emerges element-wise.
+// Accumulation happens at the (balanced) photodetector, which sums all
+// wavelengths incoherently, yielding a length-K dot product per waveguide.
+// A K x N *bank array* performs an N-wide batch of such dot products — one
+// matrix-vector multiply per pass (paper Fig. 5a: "seven MR bank arrays for
+// MatMul operations, each with dimension K x N").
+//
+// Paper Fig. 3(b): a *coherent* summation bank adds same-wavelength signals
+// by interference — used for GHOST's reduce units and TRON's residual adds.
+//
+// Both primitives have two faces:
+//   * functional: push real numbers through the analog chain
+//     (DAC -> MR imprint with tuning error -> heterodyne crosstalk ->
+//      PD/BPD noise -> ADC) so fidelity can be measured against exact math;
+//   * cost: energy / latency / static power per operation, consumed by the
+//     accelerator-level performance models.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "photonics/converters.hpp"
+#include "photonics/crosstalk.hpp"
+#include "photonics/detector.hpp"
+#include "photonics/laser.hpp"
+#include "photonics/microring.hpp"
+#include "photonics/tuning.hpp"
+
+namespace lumos::phot {
+
+// Non-ideality switches for the functional path; all default ON.
+struct AnalogNoiseConfig {
+  bool dac_quantization = true;
+  bool mr_tuning_error = true;
+  double tuning_error_sigma_m = 2e-13;  // residual thermal/EO jitter (0.2 pm)
+  bool heterodyne_crosstalk = true;
+  // Heterodyne leakage is signal-correlated, so most of it is calibrated out
+  // against a monitor photodiode's aggregate-power reading (this is the
+  // "negligible crosstalk after design optimisation" of paper Section V.B);
+  // the fraction below is removed, the remainder perturbs the result.
+  double crosstalk_compensation = 0.9;
+  bool detector_noise = true;
+  bool adc_quantization = true;
+};
+
+// Design bundle shared by a bank's rings, converters, and detector.
+struct MrBankConfig {
+  std::size_t wavelength_count = 16;      // K: rings per bank / dot-product length
+  MicroringDesign ring;
+  HeterodyneConfig heterodyne;            // channel plan of the shared waveguide
+  PhotodetectorConfig detector;
+  DacConfig dac;
+  AdcConfig adc;
+  TuningCircuitConfig tuning;
+  VcselConfig vcsel;
+  LossStack losses;
+  double symbol_rate_hz = 10e9;           // vector throughput of the bank
+};
+
+// Per-operation cost summary (one vector pass through a bank).
+struct BankOpCost {
+  double latency_s = 0.0;
+  double dynamic_energy_j = 0.0;
+  double static_power_w = 0.0;  // tuning hold + converter static + laser
+};
+
+// One MR bank pair on a WDM bus: elementwise multiply of two K-vectors with
+// photodetector accumulation -> signed dot product.
+class MrBank {
+ public:
+  explicit MrBank(const MrBankConfig& config);
+
+  [[nodiscard]] std::size_t width() const noexcept { return config_.wavelength_count; }
+
+  // Functional signed dot product of `a` and `w` (entries in [-1,1]); draws
+  // noise from `rng` per the switches in `noise`.
+  [[nodiscard]] double dot(std::span<const double> a, std::span<const double> w, Rng& rng,
+                           const AnalogNoiseConfig& noise) const;
+
+  // Exact reference for the same operation.
+  [[nodiscard]] static double exact_dot(std::span<const double> a,
+                                        std::span<const double> w) noexcept;
+
+  // Cost of one dot-product pass (K DAC writes amortised across the bank, one
+  // optical transit, one BPD + ADC read).
+  [[nodiscard]] BankOpCost dot_cost() const;
+
+  [[nodiscard]] const MrBankConfig& config() const noexcept { return config_; }
+  [[nodiscard]] const MicroringResonator& reference_ring() const noexcept { return ring_; }
+
+ private:
+  // Imprints |v| onto a carrier and returns the transmitted power fraction,
+  // with optional DAC quantisation and tuning error.
+  [[nodiscard]] double imprint_magnitude(double v, Rng& rng,
+                                         const AnalogNoiseConfig& noise) const;
+
+  MrBankConfig config_;
+  MicroringResonator ring_;
+  TuningCircuit tuner_;
+  HeterodyneCrosstalkModel heterodyne_;
+  BalancedPhotodetector bpd_;
+  DacModel dac_;
+  AdcModel adc_;
+  Vcsel vcsel_;
+  LaserBudget budget_;
+};
+
+// K x N array of MR banks: one matrix-vector product per pass (N parallel
+// dot products of length K), as used by TRON's attention heads and GHOST's
+// transform units.
+class MrBankArray {
+ public:
+  MrBankArray(const MrBankConfig& bank_config, std::size_t column_count);
+
+  [[nodiscard]] std::size_t rows() const noexcept { return bank_.width(); }     // K
+  [[nodiscard]] std::size_t columns() const noexcept { return column_count_; }  // N
+
+  // Functional y = W^T x where x has K entries and W is K x N (row-major,
+  // w[k*N + n]); y gets N entries.
+  [[nodiscard]] std::vector<double> matvec(std::span<const double> x,
+                                           std::span<const double> w, Rng& rng,
+                                           const AnalogNoiseConfig& noise) const;
+
+  [[nodiscard]] static std::vector<double> exact_matvec(std::span<const double> x,
+                                                        std::span<const double> w,
+                                                        std::size_t columns);
+
+  // Cost of one matvec pass: N banks operate in parallel; input DACs are
+  // shared across columns (the paper's weight-DAC sharing applies the same
+  // trick to weights in GHOST).
+  [[nodiscard]] BankOpCost matvec_cost(bool share_input_dacs = true) const;
+
+  // Energy components of array operation, separated so that accelerator
+  // models can charge them with the right multiplicity under weight-
+  // stationary dataflow: inputs + read-outs + laser per *row pass*, weight
+  // imprints per *tile reprogram* only.
+  struct PassEnergies {
+    double input_dac_j = 0.0;   // K input imprints, broadcast to all columns
+    double weight_dac_j = 0.0;  // K*N weight imprints (one tile reprogram)
+    double adc_j = 0.0;         // N column read-outs
+    double laser_j = 0.0;       // laser energy for one symbol across N guides
+  };
+  [[nodiscard]] PassEnergies pass_energies() const;
+
+  [[nodiscard]] const MrBank& bank() const noexcept { return bank_; }
+
+ private:
+  MrBank bank_;
+  std::size_t column_count_;
+};
+
+// Coherent summation unit (paper Fig. 3b): V same-wavelength branches
+// interfere to produce their sum.  Functionally exact up to homodyne
+// crosstalk and detector noise.
+class CoherentSummationUnit {
+ public:
+  CoherentSummationUnit(const MrBankConfig& config, const HomodyneConfig& homodyne,
+                        std::size_t branch_count);
+
+  [[nodiscard]] std::size_t branches() const noexcept { return branch_count_; }
+
+  // Functional sum of `values` (each in [-1,1]); homodyne leakage perturbs
+  // the result with a worst-case-bounded error drawn from `rng`.
+  [[nodiscard]] double sum(std::span<const double> values, Rng& rng,
+                           const AnalogNoiseConfig& noise) const;
+
+  [[nodiscard]] static double exact_sum(std::span<const double> values) noexcept;
+
+  // Cost of one summation (V VCSEL drives, one transit, one BPD read).
+  [[nodiscard]] BankOpCost sum_cost() const;
+
+  [[nodiscard]] const HomodyneCrosstalkModel& homodyne() const noexcept { return homodyne_; }
+
+ private:
+  MrBankConfig config_;
+  HomodyneCrosstalkModel homodyne_;
+  BalancedPhotodetector bpd_;
+  DacModel dac_;
+  AdcModel adc_;
+  Vcsel vcsel_;
+  std::size_t branch_count_;
+};
+
+}  // namespace lumos::phot

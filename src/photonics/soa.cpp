@@ -1,0 +1,100 @@
+#include "photonics/soa.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/units.hpp"
+
+namespace lumos::phot {
+
+Soa::Soa(const SoaConfig& config) : config_(config) {
+  LUMOS_EXPECTS(config.small_signal_gain_db > 0.0);
+  LUMOS_EXPECTS(config.saturation_output_power_w > 0.0);
+  LUMOS_EXPECTS(config.bias_power_w >= 0.0);
+  g0_linear_ = units::db_to_linear(config.small_signal_gain_db);
+}
+
+double Soa::amplify(double input_w) const {
+  LUMOS_EXPECTS(input_w >= 0.0);
+  if (input_w == 0.0) return 0.0;
+  // Solve P_out = P_in * G0 / (1 + P_out/P_sat) by fixed-point iteration.
+  const double psat = config_.saturation_output_power_w;
+  double pout = std::min(input_w * g0_linear_, psat * g0_linear_);
+  for (int i = 0; i < 64; ++i) {
+    const double next = input_w * g0_linear_ / (1.0 + pout / psat);
+    if (std::fabs(next - pout) < 1e-15) {
+      pout = next;
+      break;
+    }
+    pout = 0.5 * (pout + next);  // damped for stability near saturation
+  }
+  return pout;
+}
+
+double Soa::gain_at(double input_w) const {
+  if (input_w <= 0.0) return g0_linear_;
+  return amplify(input_w) / input_w;
+}
+
+double Soa::ideal(OpticalActivation fn, double x) noexcept {
+  switch (fn) {
+    case OpticalActivation::kRelu:
+      return x > 0.0 ? x : 0.0;
+    case OpticalActivation::kSigmoid:
+      return 1.0 / (1.0 + std::exp(-x));
+    case OpticalActivation::kTanh:
+      return std::tanh(x);
+  }
+  return 0.0;
+}
+
+double Soa::activate(OpticalActivation fn, double x) const {
+  LUMOS_EXPECTS(x >= -1.0 && x <= 1.0);
+  // Optical encoding: signed x rides on a bias so that power stays positive;
+  // the saturation knee supplies the squashing shape.  Scales below are the
+  // operating points that fit each activation onto the measured curve.
+  const double psat = config_.saturation_output_power_w;
+  switch (fn) {
+    case OpticalActivation::kRelu: {
+      // Negative inputs are absorbed by the bias branch (output clamped ~0);
+      // positive inputs ride the linear region well below saturation.
+      if (x <= 0.0) return 0.0;
+      const double pin = x * (0.02 * psat / g0_linear_);  // deep linear regime
+      const double linear_ref = (0.02 * psat / g0_linear_) * g0_linear_;
+      return amplify(pin) / linear_ref;  // ~x with slight compression
+    }
+    case OpticalActivation::kSigmoid: {
+      // Map [-1,1] onto an input range swinging through the knee, then trim
+      // output bias/gain (an electrical calibration) so the endpoints match
+      // the ideal sigmoid at x = +/-1; the residual mid-curve deviation is
+      // the physical approximation error.
+      const double pin = (x + 1.0) * 0.5 * (6.0 * psat / g0_linear_);
+      const double pmax = 6.0 * psat / g0_linear_;
+      const double curve = amplify(pin) / amplify(pmax);  // 0..1 monotone S-curve
+      const double lo = ideal(OpticalActivation::kSigmoid, -1.0);
+      const double hi = ideal(OpticalActivation::kSigmoid, 1.0);
+      return lo + (hi - lo) * curve;
+    }
+    case OpticalActivation::kTanh: {
+      // Differential pair of SOAs: odd-symmetric saturation, endpoint-trimmed
+      // to tanh(1).
+      const double mag = std::fabs(x) * (4.0 * psat / g0_linear_);
+      const double norm = amplify(4.0 * psat / g0_linear_);
+      const double y = (amplify(mag) / norm) * ideal(OpticalActivation::kTanh, 1.0);
+      return x >= 0.0 ? y : -y;
+    }
+  }
+  return 0.0;
+}
+
+double Soa::approximation_error(OpticalActivation fn, int samples) const {
+  LUMOS_EXPECTS(samples >= 2);
+  double worst = 0.0;
+  for (int i = 0; i < samples; ++i) {
+    const double x = -1.0 + 2.0 * static_cast<double>(i) / static_cast<double>(samples - 1);
+    worst = std::max(worst, std::fabs(activate(fn, x) - ideal(fn, x)));
+  }
+  return worst;
+}
+
+}  // namespace lumos::phot

@@ -1,0 +1,59 @@
+// Semiconductor optical amplifier (SOA) nonlinearity model.
+//
+// Paper Section V.D: "Non-linear activation functions such as RELU, sigmoid,
+// and tanh are implemented optically using semiconductor-optical-amplifiers
+// (SOAs)", while softmax falls back to digital LUTs.  An SOA biased near its
+// saturation knee realises a squashing nonlinearity; with an offset branch it
+// approximates ReLU.  We model the static gain-saturation transfer curve
+//
+//   G(P_in) = G0 / (1 + P_out / P_sat)      (implicit; solved iteratively)
+//
+// and fit each supported activation by configuring bias and scaling.  The
+// model exposes both the *ideal* activation (for reference execution) and the
+// SOA's approximation error so the functional simulator can account for it.
+#pragma once
+
+#include "common/error.hpp"
+
+namespace lumos::phot {
+
+enum class OpticalActivation { kRelu, kSigmoid, kTanh };
+
+struct SoaConfig {
+  double small_signal_gain_db = 15.0;
+  double saturation_output_power_w = 3e-3;
+  double bias_power_w = 18e-3;          // electrical bias (always on)
+  double noise_figure_db = 7.0;
+  double response_time_s = 100e-12;     // carrier lifetime limited
+};
+
+class Soa {
+ public:
+  explicit Soa(const SoaConfig& config);
+
+  // Saturated output power for `input_w` (solves the implicit gain equation
+  // by fixed-point iteration; monotone and contracting for G0 > 1).
+  [[nodiscard]] double amplify(double input_w) const;
+
+  // Gain (linear) experienced at `input_w`.
+  [[nodiscard]] double gain_at(double input_w) const;
+
+  // Normalised activation transfer: input in [-1,1] mapped through the SOA
+  // realisation of `fn` (offset-bias encoding for negative values).
+  [[nodiscard]] double activate(OpticalActivation fn, double x) const;
+
+  // Exact mathematical activation, for error accounting.
+  [[nodiscard]] static double ideal(OpticalActivation fn, double x) noexcept;
+
+  // Max |activate - ideal| over a sampled grid of [-1,1]; the functional
+  // simulator folds this into its error budget.
+  [[nodiscard]] double approximation_error(OpticalActivation fn, int samples = 256) const;
+
+  [[nodiscard]] const SoaConfig& config() const noexcept { return config_; }
+
+ private:
+  SoaConfig config_;
+  double g0_linear_;
+};
+
+}  // namespace lumos::phot

@@ -1,0 +1,301 @@
+#include "photonics/thermal.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace lumos::phot {
+
+SymmetricMatrix::SymmetricMatrix(std::size_t n) : n_(n), data_(n * n, 0.0) {
+  LUMOS_EXPECTS(n > 0);
+}
+
+std::vector<double> SymmetricMatrix::multiply(const std::vector<double>& x) const {
+  LUMOS_EXPECTS(x.size() == n_);
+  std::vector<double> y(n_, 0.0);
+  for (std::size_t i = 0; i < n_; ++i) {
+    double acc = 0.0;
+    for (std::size_t j = 0; j < n_; ++j) acc += data_[i * n_ + j] * x[j];
+    y[i] = acc;
+  }
+  return y;
+}
+
+EigenDecomposition jacobi_eigendecomposition(const SymmetricMatrix& a, double tolerance,
+                                             int max_sweeps) {
+  const std::size_t n = a.size();
+  // Working copy of A and accumulated rotations V (A = V D V^T at convergence).
+  std::vector<double> m(n * n);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j) m[i * n + j] = a(i, j);
+  std::vector<double> v(n * n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) v[i * n + i] = 1.0;
+
+  const auto off_diagonal_norm = [&] {
+    double s = 0.0;
+    for (std::size_t i = 0; i < n; ++i)
+      for (std::size_t j = i + 1; j < n; ++j) s += m[i * n + j] * m[i * n + j];
+    return std::sqrt(2.0 * s);
+  };
+
+  for (int sweep = 0; sweep < max_sweeps && off_diagonal_norm() > tolerance; ++sweep) {
+    for (std::size_t p = 0; p + 1 < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) {
+        const double apq = m[p * n + q];
+        if (std::fabs(apq) < 1e-300) continue;
+        const double app = m[p * n + p];
+        const double aqq = m[q * n + q];
+        // Rotation angle zeroing m[p][q]:  tan(2*theta) = 2*apq / (app - aqq).
+        const double theta = 0.5 * std::atan2(2.0 * apq, app - aqq);
+        const double c = std::cos(theta);
+        const double s = std::sin(theta);
+        // Rows/columns p and q of M.
+        for (std::size_t k = 0; k < n; ++k) {
+          const double mkp = m[k * n + p];
+          const double mkq = m[k * n + q];
+          m[k * n + p] = c * mkp + s * mkq;
+          m[k * n + q] = -s * mkp + c * mkq;
+        }
+        for (std::size_t k = 0; k < n; ++k) {
+          const double mpk = m[p * n + k];
+          const double mqk = m[q * n + k];
+          m[p * n + k] = c * mpk + s * mqk;
+          m[q * n + k] = -s * mpk + c * mqk;
+        }
+        // Accumulate rotation into V.
+        for (std::size_t k = 0; k < n; ++k) {
+          const double vkp = v[k * n + p];
+          const double vkq = v[k * n + q];
+          v[k * n + p] = c * vkp + s * vkq;
+          v[k * n + q] = -s * vkp + c * vkq;
+        }
+      }
+    }
+  }
+
+  // Extract and sort ascending by eigenvalue.
+  std::vector<std::size_t> order(n);
+  for (std::size_t i = 0; i < n; ++i) order[i] = i;
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t x, std::size_t y) { return m[x * n + x] < m[y * n + y]; });
+
+  EigenDecomposition out;
+  out.eigenvalues.resize(n);
+  out.eigenvectors.resize(n, std::vector<double>(n));
+  for (std::size_t k = 0; k < n; ++k) {
+    out.eigenvalues[k] = m[order[k] * n + order[k]];
+    for (std::size_t i = 0; i < n; ++i) out.eigenvectors[k][i] = v[i * n + order[k]];
+  }
+  return out;
+}
+
+std::vector<double> solve_linear_system(const SymmetricMatrix& a, const std::vector<double>& b) {
+  const std::size_t n = a.size();
+  LUMOS_EXPECTS(b.size() == n);
+  // Augmented matrix [A | b].
+  std::vector<double> m(n * (n + 1));
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) m[i * (n + 1) + j] = a(i, j);
+    m[i * (n + 1) + n] = b[i];
+  }
+  const std::size_t w = n + 1;
+  for (std::size_t col = 0; col < n; ++col) {
+    // Partial pivot.
+    std::size_t pivot = col;
+    for (std::size_t r = col + 1; r < n; ++r) {
+      if (std::fabs(m[r * w + col]) > std::fabs(m[pivot * w + col])) pivot = r;
+    }
+    if (std::fabs(m[pivot * w + col]) < 1e-300) {
+      throw InvalidArgument("solve_linear_system: singular matrix");
+    }
+    if (pivot != col) {
+      for (std::size_t j = 0; j < w; ++j) std::swap(m[col * w + j], m[pivot * w + j]);
+    }
+    const double inv = 1.0 / m[col * w + col];
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double f = m[r * w + col] * inv;
+      if (f == 0.0) continue;
+      for (std::size_t j = col; j < w; ++j) m[r * w + j] -= f * m[col * w + j];
+    }
+  }
+  std::vector<double> x(n, 0.0);
+  for (std::size_t i = n; i-- > 0;) {
+    double acc = m[i * w + n];
+    for (std::size_t j = i + 1; j < n; ++j) acc -= m[i * w + j] * x[j];
+    x[i] = acc / m[i * w + i];
+  }
+  return x;
+}
+
+ThermalBank::ThermalBank(const ThermalBankConfig& config)
+    : config_(config), coupling_(config.ring_count) {
+  LUMOS_EXPECTS(config.ring_count > 0);
+  LUMOS_EXPECTS(config.ring_pitch_m > 0.0);
+  LUMOS_EXPECTS(config.heater_efficiency_k_per_w > 0.0);
+  LUMOS_EXPECTS(config.thermal_decay_length_m > 0.0);
+  for (std::size_t i = 0; i < config.ring_count; ++i) {
+    for (std::size_t j = i; j < config.ring_count; ++j) {
+      const double d = static_cast<double>(j - i) * config.ring_pitch_m;
+      coupling_.set(i, j, config.heater_efficiency_k_per_w *
+                              std::exp(-d / config.thermal_decay_length_m));
+    }
+  }
+}
+
+std::vector<double> solve_nonnegative(const SymmetricMatrix& a, const std::vector<double>& b,
+                                      double tolerance) {
+  const std::size_t n = a.size();
+  LUMOS_EXPECTS(b.size() == n);
+  // Lawson–Hanson active-set NNLS.  The passive set P holds variables allowed
+  // to be positive; each outer step moves the most violated KKT variable into
+  // P and re-solves the restricted system, backtracking when a passive
+  // variable would go negative.
+  std::vector<bool> passive(n, false);
+  std::vector<double> x(n, 0.0);
+
+  const auto residual = [&] {
+    std::vector<double> r = b;
+    const std::vector<double> ax = a.multiply(x);
+    for (std::size_t i = 0; i < n; ++i) r[i] -= ax[i];
+    return r;
+  };
+  const auto solve_passive = [&](std::vector<double>& z) {
+    std::vector<std::size_t> idx;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (passive[i]) idx.push_back(i);
+    }
+    z.assign(n, 0.0);
+    if (idx.empty()) return;
+    SymmetricMatrix sub(idx.size());
+    std::vector<double> rhs(idx.size());
+    for (std::size_t i = 0; i < idx.size(); ++i) {
+      rhs[i] = b[idx[i]];
+      for (std::size_t j = i; j < idx.size(); ++j) sub.set(i, j, a(idx[i], idx[j]));
+    }
+    const std::vector<double> sol = solve_linear_system(sub, rhs);
+    for (std::size_t i = 0; i < idx.size(); ++i) z[idx[i]] = sol[i];
+  };
+
+  for (std::size_t outer = 0; outer < 4 * n; ++outer) {
+    // Gradient w = A^T (b - A x) = A (b - A x) for symmetric A.
+    const std::vector<double> w = a.multiply(residual());
+    std::size_t best = n;
+    double best_w = tolerance;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!passive[i] && w[i] > best_w) {
+        best_w = w[i];
+        best = i;
+      }
+    }
+    if (best == n) break;  // KKT satisfied
+    passive[best] = true;
+
+    std::vector<double> z;
+    solve_passive(z);
+    // Backtrack while the restricted solve drives passive variables negative.
+    for (std::size_t inner = 0; inner < 2 * n; ++inner) {
+      double alpha = 1.0;
+      bool clipped = false;
+      for (std::size_t i = 0; i < n; ++i) {
+        if (passive[i] && z[i] <= 0.0) {
+          alpha = std::min(alpha, x[i] / (x[i] - z[i]));
+          clipped = true;
+        }
+      }
+      if (!clipped) break;
+      for (std::size_t i = 0; i < n; ++i) {
+        if (passive[i]) x[i] += alpha * (z[i] - x[i]);
+        if (passive[i] && x[i] <= tolerance) {
+          x[i] = 0.0;
+          passive[i] = false;
+        }
+      }
+      solve_passive(z);
+    }
+    for (std::size_t i = 0; i < n; ++i) x[i] = passive[i] ? std::max(0.0, z[i]) : 0.0;
+  }
+  return x;
+}
+
+std::vector<double> ThermalBank::ted_powers(const std::vector<double>& delta_t_target,
+                                            bool* saturated) const {
+  LUMOS_EXPECTS(delta_t_target.size() == config_.ring_count);
+  std::vector<double> p = solve_nonnegative(coupling_, delta_t_target);
+  if (saturated != nullptr) {
+    // Constrained (some heater pinned at zero) iff the realised temperatures
+    // miss the target beyond numerical tolerance.
+    *saturated = max_temperature_error(p, delta_t_target) > 1e-6;
+  }
+  return p;
+}
+
+std::vector<double> ThermalBank::naive_powers(const std::vector<double>& delta_t_target,
+                                              int iterations, double* guard_k_out) const {
+  LUMOS_EXPECTS(delta_t_target.size() == config_.ring_count);
+  LUMOS_EXPECTS(iterations >= 1);
+  const std::size_t n = config_.ring_count;
+  const double eta = config_.heater_efficiency_k_per_w;
+  // Independent per-ring feedback controllers.  A heater can only add heat,
+  // so to correct *downward* against neighbour-induced heating each ring must
+  // be regulated to an elevated bias temperature (guard band) sized to the
+  // worst-case crosstalk heating it can receive; TED's collective eigenmode
+  // drive needs no such bias (SONIC [29]).
+  std::vector<double> p(n);
+  for (std::size_t i = 0; i < n; ++i) p[i] = std::max(0.0, delta_t_target[i] / eta);
+  double guard_k = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    double xtalk = 0.0;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (j != i) xtalk += coupling_(i, j) * p[j];
+    }
+    guard_k = std::max(guard_k, xtalk);
+  }
+  if (guard_k_out != nullptr) *guard_k_out = guard_k;
+  // Regulate each ring to target + guard with Gauss-Seidel-style feedback:
+  // each controller in turn corrects against the heating it currently
+  // observes from every other ring.  Gauss-Seidel converges for the SPD
+  // coupling matrix where a fully parallel (Jacobi) update would diverge for
+  // densely packed banks.
+  std::vector<double> biased(n);
+  for (std::size_t i = 0; i < n; ++i) biased[i] = delta_t_target[i] + guard_k;
+  for (std::size_t i = 0; i < n; ++i) p[i] = biased[i] / eta;
+  for (int it = 0; it < iterations; ++it) {
+    for (std::size_t i = 0; i < n; ++i) {
+      double others = 0.0;
+      for (std::size_t j = 0; j < n; ++j) {
+        if (j != i) others += coupling_(i, j) * p[j];
+      }
+      p[i] = std::max(0.0, (biased[i] - others) / coupling_(i, i));
+    }
+  }
+  return p;
+}
+
+double ThermalBank::total_power(const std::vector<double>& powers) noexcept {
+  double s = 0.0;
+  for (const double v : powers) s += v;
+  return s;
+}
+
+double ThermalBank::max_temperature_error(const std::vector<double>& powers,
+                                          const std::vector<double>& delta_t_target) const {
+  LUMOS_EXPECTS(powers.size() == config_.ring_count);
+  LUMOS_EXPECTS(delta_t_target.size() == config_.ring_count);
+  const std::vector<double> realised = coupling_.multiply(powers);
+  double worst = 0.0;
+  for (std::size_t i = 0; i < config_.ring_count; ++i) {
+    worst = std::max(worst, std::fabs(realised[i] - delta_t_target[i]));
+  }
+  return worst;
+}
+
+const EigenDecomposition& ThermalBank::eigenmodes() const {
+  if (!eig_valid_) {
+    eig_ = jacobi_eigendecomposition(coupling_);
+    eig_valid_ = true;
+  }
+  return eig_;
+}
+
+}  // namespace lumos::phot

@@ -1,0 +1,131 @@
+// Thermal crosstalk and thermal eigenmode decomposition (TED).
+//
+// Thermo-optic (TO) heaters on neighbouring microrings couple through the
+// substrate: driving ring i heats ring j.  Paper Section V.A integrates the
+// TED method (SONIC, ASPDAC'22 [29]) to "effectively decrease the power
+// consumption associated with TO tuning and mitigate thermal crosstalk".
+//
+// Model: the steady-state temperature rise at the rings is  T = C * p, where
+// p is the vector of heater powers and C is a symmetric positive-definite
+// coupling matrix with exponentially decaying off-diagonals
+//     C_ij = eta * exp(-d_ij / L_th)
+// (eta = heater efficiency K/W, d_ij = ring pitch distance, L_th = thermal
+// decay length).
+//
+//  * Naive per-ring tuning ignores the off-diagonal coupling, so the realised
+//    temperatures overshoot and an iterative controller must re-solve; we
+//    model its converged state as the exact linear solve  p = C^{-1} T_target
+//    plus a control margin on each iteration.
+//  * TED diagonalises C = Q * diag(lambda) * Q^T once (offline) and drives
+//    the eigenmode amplitudes directly, reaching T_target in one step with
+//    the minimum-norm power vector and zero inter-ring thermal error.
+//
+// The eigensolver (cyclic Jacobi) and the dense linear solver (partial-pivot
+// Gaussian elimination) are implemented here from scratch; they are small and
+// the matrices are tiny (one per MR bank, N <= 64).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace lumos::phot {
+
+// Dense symmetric matrix stored row-major (square).
+class SymmetricMatrix {
+ public:
+  explicit SymmetricMatrix(std::size_t n);
+
+  [[nodiscard]] std::size_t size() const noexcept { return n_; }
+  [[nodiscard]] double operator()(std::size_t i, std::size_t j) const noexcept {
+    return data_[i * n_ + j];
+  }
+  void set(std::size_t i, std::size_t j, double v) noexcept {
+    data_[i * n_ + j] = v;
+    data_[j * n_ + i] = v;
+  }
+
+  // Matrix-vector product y = A x.
+  [[nodiscard]] std::vector<double> multiply(const std::vector<double>& x) const;
+
+ private:
+  std::size_t n_;
+  std::vector<double> data_;
+};
+
+// Result of a symmetric eigendecomposition A = V * diag(w) * V^T.
+struct EigenDecomposition {
+  std::vector<double> eigenvalues;           // w, ascending
+  std::vector<std::vector<double>> eigenvectors;  // V[k] = k-th eigenvector (unit norm)
+};
+
+// Cyclic Jacobi eigensolver for symmetric matrices.  Converges quadratically;
+// `tolerance` bounds the final off-diagonal Frobenius mass.
+[[nodiscard]] EigenDecomposition jacobi_eigendecomposition(const SymmetricMatrix& a,
+                                                           double tolerance = 1e-12,
+                                                           int max_sweeps = 64);
+
+// Solves A x = b by Gaussian elimination with partial pivoting.
+// Throws lumos::InvalidArgument if A is (numerically) singular.
+[[nodiscard]] std::vector<double> solve_linear_system(const SymmetricMatrix& a,
+                                                      const std::vector<double>& b);
+
+// Solves min ||A x - b||_2 subject to x >= 0 (Lawson–Hanson active-set NNLS)
+// for symmetric positive-definite A.  Used by the TED drive, whose heaters
+// can only add heat.
+[[nodiscard]] std::vector<double> solve_nonnegative(const SymmetricMatrix& a,
+                                                    const std::vector<double>& b,
+                                                    double tolerance = 1e-12);
+
+// Physical configuration of a row of thermally coupled ring heaters.
+struct ThermalBankConfig {
+  std::size_t ring_count = 16;
+  double ring_pitch_m = 20e-6;          // centre-to-centre spacing
+  double heater_efficiency_k_per_w = 1.2e4;  // self-heating: K per W of heater power
+  double thermal_decay_length_m = 35e-6;     // substrate coupling decay length
+};
+
+// Thermal model of one MR bank, supporting naive and TED tuning power
+// estimation.
+class ThermalBank {
+ public:
+  explicit ThermalBank(const ThermalBankConfig& config);
+
+  [[nodiscard]] const SymmetricMatrix& coupling() const noexcept { return coupling_; }
+  [[nodiscard]] const ThermalBankConfig& config() const noexcept { return config_; }
+
+  // Heater powers that realise `delta_t_target` (per-ring temperature rises,
+  // kelvin) with full knowledge of the coupling matrix — the TED solution.
+  // Heaters cannot cool, so the drive is the non-negative least-squares
+  // solution: exact wherever the unconstrained solve is already
+  // non-negative, minimum-residual otherwise (`saturated` reports the
+  // constrained case).
+  [[nodiscard]] std::vector<double> ted_powers(const std::vector<double>& delta_t_target,
+                                               bool* saturated = nullptr) const;
+
+  // Heater powers a naive per-ring controller converges to.  Because heaters
+  // cannot cool, each independent controller regulates to target + guard,
+  // where the guard band covers worst-case neighbour heating; `guard_k_out`
+  // (if non-null) receives that bias.  Returns the power vector after
+  // `iterations` compensation rounds.
+  [[nodiscard]] std::vector<double> naive_powers(const std::vector<double>& delta_t_target,
+                                                 int iterations = 8,
+                                                 double* guard_k_out = nullptr) const;
+
+  // Total electrical power of a power vector (sum of entries).
+  [[nodiscard]] static double total_power(const std::vector<double>& powers) noexcept;
+
+  // Worst-case |realised - target| temperature error for a power vector.
+  [[nodiscard]] double max_temperature_error(const std::vector<double>& powers,
+                                             const std::vector<double>& delta_t_target) const;
+
+  // Eigendecomposition of the coupling matrix (computed lazily, cached).
+  [[nodiscard]] const EigenDecomposition& eigenmodes() const;
+
+ private:
+  ThermalBankConfig config_;
+  SymmetricMatrix coupling_;
+  mutable EigenDecomposition eig_;
+  mutable bool eig_valid_ = false;
+};
+
+}  // namespace lumos::phot

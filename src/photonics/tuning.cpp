@@ -1,0 +1,118 @@
+#include "photonics/tuning.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/units.hpp"
+
+namespace lumos::phot {
+
+TuningCircuit::TuningCircuit(const TuningCircuitConfig& config, const MicroringResonator& ring)
+    : config_(config),
+      lambda_m_(ring.base_resonance_wavelength()),
+      group_index_(ring.design().group_index) {
+  LUMOS_EXPECTS(config.eo_max_voltage > 0.0);
+  LUMOS_EXPECTS(config.eo_index_shift_per_volt > 0.0);
+  LUMOS_EXPECTS(config.eo_junction_capacitance_f > 0.0);
+  LUMOS_EXPECTS(config.to_efficiency_nm_per_mw > 0.0);
+  LUMOS_EXPECTS(config.to_max_shift_nm > 0.0);
+  // EO range from the plasma-dispersion index swing: d_lambda = lambda*dn/n_g.
+  const double dn_max = config.eo_index_shift_per_volt * config.eo_max_voltage;
+  eo_range_m_ = lambda_m_ * dn_max / group_index_;
+  to_range_m_ = units::nm(config.to_max_shift_nm);
+}
+
+TuningResult TuningCircuit::tune_eo(double shift_m) const {
+  TuningResult r;
+  r.mechanism = TuningMechanism::kElectroOptic;
+  r.requested_shift_m = shift_m;
+  r.achieved_shift_m = std::min(shift_m, eo_range_m_);
+  r.saturated = shift_m > eo_range_m_;
+  // Voltage needed for the achieved shift (linear small-signal model), then
+  // CV^2 switching energy.
+  const double dn = r.achieved_shift_m * group_index_ / lambda_m_;
+  const double volts = dn / config_.eo_index_shift_per_volt;
+  r.dynamic_energy_j = config_.eo_junction_capacitance_f * volts * volts;
+  r.static_power_w = 0.0;  // depletion junction: negligible DC current
+  r.latency_s = config_.eo_response_time_s;
+  return r;
+}
+
+TuningResult TuningCircuit::tune_to(double shift_m) const {
+  TuningResult r;
+  r.mechanism = TuningMechanism::kThermoOptic;
+  r.requested_shift_m = shift_m;
+  r.achieved_shift_m = std::min(shift_m, to_range_m_);
+  r.saturated = shift_m > to_range_m_;
+  const double shift_nm = units::to_nm(r.achieved_shift_m);
+  double power_w = units::mw(shift_nm / config_.to_efficiency_nm_per_mw);
+  if (config_.use_ted) power_w *= (1.0 - config_.ted_power_saving);
+  r.static_power_w = power_w;
+  r.dynamic_energy_j = power_w * config_.to_response_time_s;  // energy spent settling
+  r.latency_s = config_.to_response_time_s;
+  return r;
+}
+
+TuningResult TuningCircuit::tune(double shift_m, TuningPolicy policy) const {
+  LUMOS_EXPECTS(shift_m >= 0.0);
+  switch (policy) {
+    case TuningPolicy::kEoOnly:
+      return tune_eo(shift_m);
+    case TuningPolicy::kToOnly:
+      return tune_to(shift_m);
+    case TuningPolicy::kHybrid:
+      break;
+  }
+  // Hybrid: EO alone when the request fits its range; otherwise TO supplies
+  // the coarse shift and EO trims the residual (paper Section V.A).
+  if (shift_m <= eo_range_m_) return tune_eo(shift_m);
+  const double coarse = std::min(shift_m - eo_range_m_, to_range_m_);
+  TuningResult to = tune_to(coarse);
+  const double residual = std::min(shift_m - to.achieved_shift_m, eo_range_m_);
+  TuningResult eo = tune_eo(residual);
+  TuningResult r;
+  r.mechanism = TuningMechanism::kHybrid;
+  r.requested_shift_m = shift_m;
+  r.achieved_shift_m = to.achieved_shift_m + eo.achieved_shift_m;
+  r.saturated = r.achieved_shift_m + 1e-18 < shift_m;
+  r.dynamic_energy_j = to.dynamic_energy_j + eo.dynamic_energy_j;
+  r.static_power_w = to.static_power_w;
+  // Both actuators settle concurrently; TO dominates.
+  r.latency_s = std::max(to.latency_s, eo.latency_s);
+  return r;
+}
+
+BankTuningPower bank_tuning_power(const ThermalBank& bank, const std::vector<double>& shifts_m,
+                                  const TuningCircuitConfig& config,
+                                  const MicroringResonator& reference_ring) {
+  LUMOS_EXPECTS(shifts_m.size() == bank.config().ring_count);
+  // Convert each requested shift into the per-ring temperature rise that a TO
+  // heater must hold:  d_lambda = lambda * (dn/dT) * dT / n_g.
+  const double lambda = reference_ring.base_resonance_wavelength();
+  const double ng = reference_ring.design().group_index;
+  const double k_per_m = ng / (lambda * constants::kSiThermoOpticCoeff);
+  std::vector<double> dt(shifts_m.size());
+  for (std::size_t i = 0; i < shifts_m.size(); ++i) {
+    LUMOS_EXPECTS(shifts_m[i] >= 0.0);
+    dt[i] = shifts_m[i] * k_per_m;
+  }
+  (void)config;
+
+  BankTuningPower out;
+  double guard_k = 0.0;
+  const std::vector<double> naive = bank.naive_powers(dt, 8, &guard_k);
+  const std::vector<double> ted = bank.ted_powers(dt);
+  out.naive_w = ThermalBank::total_power(naive);
+  out.ted_w = ThermalBank::total_power(ted);
+  // The naive controller tracks its guard-banded setpoint (the worst-case
+  // crosstalk bias that TED's collective drive avoids); TED tracks the plain
+  // target with the NNLS minimum-residual drive.
+  std::vector<double> naive_setpoint(dt);
+  for (double& v : naive_setpoint) v += guard_k;
+  out.max_error_naive_k = bank.max_temperature_error(naive, naive_setpoint);
+  out.max_error_ted_k = bank.max_temperature_error(ted, dt);
+  return out;
+}
+
+}  // namespace lumos::phot

@@ -1,0 +1,107 @@
+// Hybrid electro-optic / thermo-optic microring tuning circuit.
+//
+// Paper Section V.A: "EO tuning is leveraged for fast induction of small
+// d_lambda_MR, whereas slower TO tuning is only enabled infrequently when
+// there is a need for larger d_lambda_MR", with TED lowering TO power.
+//
+// This module turns a requested resonance shift into (mechanism, energy,
+// latency) figures:
+//   * EO (carrier depletion): sub-ns response, fJ/shift energies, but a small
+//     reachable range (fraction of a nanometre).
+//   * TO (heater): microsecond response, mW static power, full-FSR range.
+//   * Hybrid: use EO whenever the shift fits its range; otherwise engage TO
+//     for the coarse component and EO for the residual fine component.
+#pragma once
+
+#include <cstddef>
+
+#include "photonics/microring.hpp"
+#include "photonics/thermal.hpp"
+
+namespace lumos::phot {
+
+// Which actuation produced a shift.
+enum class TuningMechanism { kElectroOptic, kThermoOptic, kHybrid };
+
+// Tuning policy for selecting a mechanism.
+enum class TuningPolicy {
+  kEoOnly,      // fail (saturate) beyond the EO range
+  kToOnly,      // always use the heater
+  kHybrid,      // paper's scheme: EO for fine, TO only when needed
+};
+
+struct TuningCircuitConfig {
+  // --- EO (depletion pn junction) ---
+  double eo_max_voltage = 4.0;                    // reverse-bias swing
+  double eo_index_shift_per_volt = constants::kSiEoIndexShiftPerVolt;
+  double eo_junction_capacitance_f = 12e-15;      // 12 fF
+  double eo_response_time_s = 20e-12;             // RC-limited
+  // --- TO (metal heater) ---
+  double to_efficiency_nm_per_mw = 0.25;          // resonance shift per heater power
+  double to_response_time_s = 4e-6;               // thermal time constant
+  double to_max_shift_nm = 12.0;                  // ~one FSR of a 5 um ring
+  // --- TED ---
+  bool use_ted = true;        // drive banks via thermal eigenmodes
+  double ted_power_saving = 0.45;  // fraction of naive TO power saved (bank-level, from model)
+};
+
+// Energy/latency/power outcome of one tuning operation.
+struct TuningResult {
+  TuningMechanism mechanism = TuningMechanism::kElectroOptic;
+  double achieved_shift_m = 0.0;   // may saturate below the request
+  double requested_shift_m = 0.0;
+  double dynamic_energy_j = 0.0;   // per-actuation energy (EO switching)
+  double static_power_w = 0.0;     // held power while the shift is maintained (TO)
+  double latency_s = 0.0;          // time to settle
+  bool saturated = false;          // request exceeded the reachable range
+};
+
+// Per-ring tuning circuit.  Bank-level TED coordination is modelled by
+// `ThermalBank`; this class captures the per-ring mechanism selection and
+// cost model used everywhere in the accelerator energy accounting.
+class TuningCircuit {
+ public:
+  TuningCircuit(const TuningCircuitConfig& config, const MicroringResonator& ring);
+
+  // Largest shift reachable by EO actuation alone.
+  [[nodiscard]] double eo_range_m() const noexcept { return eo_range_m_; }
+  // Largest shift reachable at all (TO range).
+  [[nodiscard]] double to_range_m() const noexcept { return to_range_m_; }
+
+  // Costs a resonance shift of `shift_m` (absolute value used) under `policy`.
+  [[nodiscard]] TuningResult tune(double shift_m, TuningPolicy policy) const;
+
+  // Convenience: the paper's hybrid policy.
+  [[nodiscard]] TuningResult tune(double shift_m) const {
+    return tune(shift_m, TuningPolicy::kHybrid);
+  }
+
+  [[nodiscard]] const TuningCircuitConfig& config() const noexcept { return config_; }
+
+ private:
+  [[nodiscard]] TuningResult tune_eo(double shift_m) const;
+  [[nodiscard]] TuningResult tune_to(double shift_m) const;
+
+  TuningCircuitConfig config_;
+  double eo_range_m_;
+  double to_range_m_;
+  double lambda_m_;
+  double group_index_;
+};
+
+// Aggregate TO tuning power for a whole bank of rings holding the temperature
+// offsets implied by `shifts_m`, with and without TED.  Used by the tuning
+// ablation bench and by the accelerator power models.
+struct BankTuningPower {
+  double naive_w = 0.0;       // independent per-ring feedback controllers
+  double ted_w = 0.0;         // eigenmode-decomposed drive
+  double max_error_naive_k = 0.0;  // residual thermal error of the naive drive
+  double max_error_ted_k = 0.0;
+};
+
+[[nodiscard]] BankTuningPower bank_tuning_power(const ThermalBank& bank,
+                                                const std::vector<double>& shifts_m,
+                                                const TuningCircuitConfig& config,
+                                                const MicroringResonator& reference_ring);
+
+}  // namespace lumos::phot

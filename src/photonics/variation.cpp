@@ -1,0 +1,80 @@
+#include "photonics/variation.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace lumos::phot {
+
+ProcessVariationModel::ProcessVariationModel(const ProcessVariationConfig& config,
+                                             const MicroringDesign& ring,
+                                             const TuningCircuitConfig& tuning)
+    : config_(config), ring_(ring), tuning_(tuning) {
+  LUMOS_EXPECTS(config.local_sigma_m >= 0.0);
+  LUMOS_EXPECTS(config.die_sigma_m >= 0.0);
+  LUMOS_EXPECTS(config.rings_per_bank >= 1);
+  LUMOS_EXPECTS(config.monte_carlo_dies >= 1);
+}
+
+std::vector<double> ProcessVariationModel::draw_die_corrections(Rng& rng) const {
+  const double fsr = ring_.free_spectral_range();
+  // Heaters shift red only, so the fabrication target is pre-biased blue by
+  // 3 sigma of the total variation: almost every as-fabricated ring lands
+  // blue of its channel and a small red trim corrects it.  The rare ring
+  // beyond the bias wraps a full FSR to the next resonance order.
+  const double sigma_total = std::sqrt(config_.die_sigma_m * config_.die_sigma_m +
+                                       config_.local_sigma_m * config_.local_sigma_m);
+  const double blue_bias = 3.0 * sigma_total;
+  const double die_offset = rng.normal(0.0, config_.die_sigma_m);
+  std::vector<double> corrections(config_.rings_per_bank);
+  for (double& c : corrections) {
+    const double offset = die_offset + rng.normal(0.0, config_.local_sigma_m);
+    double correction = offset + blue_bias;
+    if (correction < 0.0) correction += fsr;  // wrap to the next order
+    c = std::min(correction, fsr);
+  }
+  return corrections;
+}
+
+VariationReport ProcessVariationModel::run(std::uint64_t seed) const {
+  Rng rng(seed);
+  const MicroringResonator ring(ring_.design());
+  const TuningCircuit circuit(tuning_, ring);
+  VariationReport report;
+  std::vector<double> bank_powers;
+  bank_powers.reserve(config_.monte_carlo_dies);
+  double correction_sum = 0.0;
+  std::size_t correction_count = 0;
+  std::size_t good_dies = 0;
+
+  for (std::size_t die = 0; die < config_.monte_carlo_dies; ++die) {
+    const std::vector<double> corrections = draw_die_corrections(rng);
+    double bank_power = 0.0;
+    bool die_ok = true;
+    for (const double c : corrections) {
+      const TuningResult r = circuit.tune(c, TuningPolicy::kHybrid);
+      if (r.saturated) die_ok = false;
+      bank_power += r.static_power_w;
+      correction_sum += c;
+      ++correction_count;
+      report.worst_correction_m = std::max(report.worst_correction_m, c);
+    }
+    bank_powers.push_back(bank_power);
+    if (die_ok) ++good_dies;
+  }
+
+  report.mean_correction_m = correction_sum / static_cast<double>(correction_count);
+  double power_sum = 0.0;
+  for (const double p : bank_powers) power_sum += p;
+  report.mean_bank_power_w = power_sum / static_cast<double>(bank_powers.size());
+  std::sort(bank_powers.begin(), bank_powers.end());
+  const std::size_t p95 =
+      std::min(bank_powers.size() - 1,
+               static_cast<std::size_t>(0.95 * static_cast<double>(bank_powers.size())));
+  report.p95_bank_power_w = bank_powers[p95];
+  report.yield = static_cast<double>(good_dies) / static_cast<double>(config_.monte_carlo_dies);
+  return report;
+}
+
+}  // namespace lumos::phot

@@ -1,0 +1,67 @@
+// Fabrication process-variation analysis.
+//
+// The paper's conclusion names "fabrication-process variations" as an open
+// challenge for photonic accelerators.  This module implements the standard
+// first-order analysis: die-to-die and within-die variation of waveguide
+// width/thickness perturbs each ring's effective index, shifting its
+// resonance by up to several linewidths; the tuning subsystem must pull every
+// ring back onto the channel grid, which costs heater power and can exceed
+// the tunable range (a yield loss).
+//
+// Model: per-ring resonance offset = systematic (die) + random (local) terms,
+//   d_lambda_i ~ N(mu_die, sigma_die^2) + N(0, sigma_local^2),
+// corrected modulo one FSR (the grid is periodic, so a ring is pulled to the
+// nearest channel).  Outputs: per-bank trimming power distribution and the
+// fraction of rings whose correction exceeds the TO range (yield).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "photonics/microring.hpp"
+#include "photonics/tuning.hpp"
+
+namespace lumos::phot {
+
+struct ProcessVariationConfig {
+  // Within-die random component of the resonance shift (1 sigma).  ~0.3-0.6nm
+  // for standard SOI processes without trimming.
+  double local_sigma_m = 0.4e-9;
+  // Die-level systematic offset distribution (1 sigma across dies).
+  double die_sigma_m = 0.8e-9;
+  std::size_t rings_per_bank = 16;
+  std::size_t monte_carlo_dies = 200;
+};
+
+// Aggregate outcome of a Monte-Carlo variation study.
+struct VariationReport {
+  double mean_correction_m = 0.0;       // average |resonance offset| after grid snap
+  double worst_correction_m = 0.0;      // largest correction seen
+  double mean_bank_power_w = 0.0;       // average per-bank trimming power (TO, with TED)
+  double p95_bank_power_w = 0.0;        // 95th percentile per-bank power
+  double yield = 1.0;                   // fraction of dies with all rings correctable
+};
+
+class ProcessVariationModel {
+ public:
+  ProcessVariationModel(const ProcessVariationConfig& config, const MicroringDesign& ring,
+                        const TuningCircuitConfig& tuning);
+
+  // Draws the per-ring resonance corrections for one die: each offset is
+  // snapped to the nearest channel (mod FSR) so corrections never exceed
+  // half an FSR.
+  [[nodiscard]] std::vector<double> draw_die_corrections(Rng& rng) const;
+
+  // Monte-Carlo study over `config.monte_carlo_dies` dies.
+  [[nodiscard]] VariationReport run(std::uint64_t seed) const;
+
+  [[nodiscard]] const ProcessVariationConfig& config() const noexcept { return config_; }
+
+ private:
+  ProcessVariationConfig config_;
+  MicroringResonator ring_;
+  TuningCircuitConfig tuning_;
+};
+
+}  // namespace lumos::phot

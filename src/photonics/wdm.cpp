@@ -1,0 +1,93 @@
+#include "photonics/wdm.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/units.hpp"
+
+namespace lumos::phot {
+
+WdmLinkDesigner::WdmLinkDesigner(const MicroringDesign& ring_template,
+                                 const PhotodetectorConfig& detector, const VcselConfig& vcsel,
+                                 const LossStack& losses)
+    : ring_template_(ring_template), detector_(detector), vcsel_(vcsel), losses_(losses) {}
+
+WdmDesignPoint WdmLinkDesigner::evaluate(double quality_factor, std::size_t channel_count,
+                                         int target_bits, double guard_band_fraction,
+                                         double min_effective_snr_db,
+                                         double crosstalk_compensation) const {
+  LUMOS_EXPECTS(quality_factor > 1.0);
+  LUMOS_EXPECTS(channel_count >= 1);
+  LUMOS_EXPECTS(target_bits >= 1);
+  LUMOS_EXPECTS(guard_band_fraction >= 0.0 && guard_band_fraction < 1.0);
+  LUMOS_EXPECTS(crosstalk_compensation >= 0.0 && crosstalk_compensation <= 1.0);
+
+  MicroringDesign ring_design = ring_template_;
+  ring_design.quality_factor = quality_factor;
+  const MicroringResonator ring(ring_design);
+
+  WdmDesignPoint p;
+  p.quality_factor = quality_factor;
+  p.channel_count = channel_count;
+  // Pack the channels into the usable FSR (guard band at the edge keeps the
+  // grid clear of the next resonance order).
+  const double usable_fsr = ring.free_spectral_range() * (1.0 - guard_band_fraction);
+  p.channel_spacing_m = channel_count > 1
+                            ? usable_fsr / static_cast<double>(channel_count)
+                            : usable_fsr;
+
+  HeterodyneConfig h;
+  h.channel_spacing_m = p.channel_spacing_m;
+  h.quality_factor = quality_factor;
+  h.center_wavelength_m = ring.base_resonance_wavelength();
+  h.channel_count = channel_count;
+  const HeterodyneCrosstalkModel xtalk(h);
+  const HeterodyneReport report = xtalk.analyze();
+  p.crosstalk_fraction = report.worst_crosstalk_fraction;
+  p.oscr_db = report.worst_oscr_db;
+
+  // Combined SNR: the deterministic share of the crosstalk is calibrated out;
+  // the residual behaves as interference, and the detector contributes its
+  // own noise at the delivered power:
+  //   1/SNR_eff = (1 - comp) / OSCR + 1/SNR_detector.
+  const Photodetector pd(detector_);
+  LossStack losses = losses_;
+  losses.mr_count = channel_count;
+  const LaserBudget budget = size_laser(pd, losses, target_bits, vcsel_);
+  p.laser_power_per_channel_w = budget.electrical_power_w;
+  const double snr_det = pd.snr_linear(budget.detector_sensitivity_w);
+  const double inv_snr = p.crosstalk_fraction * (1.0 - crosstalk_compensation) +
+                         (snr_det > 0.0 ? 1.0 / snr_det : 1.0);
+  p.effective_snr_db = units::linear_to_db(1.0 / inv_snr);
+
+  p.feasible = budget.feasible && p.effective_snr_db >= min_effective_snr_db;
+  return p;
+}
+
+std::vector<WdmDesignPoint> WdmLinkDesigner::sweep(const WdmSearchSpace& space) const {
+  std::vector<WdmDesignPoint> points;
+  points.reserve(space.quality_factors.size() * space.channel_counts.size());
+  for (const double q : space.quality_factors) {
+    for (const std::size_t n : space.channel_counts) {
+      points.push_back(evaluate(q, n, space.target_bits, space.guard_band_fraction,
+                                space.min_effective_snr_db, space.crosstalk_compensation));
+    }
+  }
+  return points;
+}
+
+std::optional<WdmDesignPoint> WdmLinkDesigner::best(const WdmSearchSpace& space) const {
+  std::optional<WdmDesignPoint> best_point;
+  for (const WdmDesignPoint& p : sweep(space)) {
+    if (!p.feasible) continue;
+    if (!best_point || p.channel_count > best_point->channel_count ||
+        (p.channel_count == best_point->channel_count &&
+         p.laser_power_per_channel_w < best_point->laser_power_per_channel_w)) {
+      best_point = p;
+    }
+  }
+  return best_point;
+}
+
+}  // namespace lumos::phot

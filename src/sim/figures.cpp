@@ -1,0 +1,136 @@
+#include "sim/figures.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "common/stats.hpp"
+#include "common/units.hpp"
+
+namespace lumos::sim {
+
+double FigureData::value(std::size_t w, std::size_t p) const {
+  LUMOS_EXPECTS(w < reports.size() && p < reports[w].size());
+  const PerfReport& r = reports[w][p];
+  return metric == Metric::kEnergyPerBit ? r.energy_per_bit_j() : r.ops_per_second();
+}
+
+double FigureData::improvement(std::size_t w, std::size_t p) const {
+  const double ours = value(w, 0);
+  const double theirs = value(w, p);
+  if (metric == Metric::kEnergyPerBit) return theirs / ours;  // lower is better
+  return ours / theirs;                                       // higher is better
+}
+
+double FigureData::min_improvement() const {
+  double best = 1e300;
+  for (std::size_t w = 0; w < workloads.size(); ++w) {
+    for (std::size_t p = 1; p < platforms.size(); ++p) {
+      best = std::min(best, improvement(w, p));
+    }
+  }
+  return workloads.empty() || platforms.size() < 2 ? 0.0 : best;
+}
+
+double FigureData::mean_improvement() const {
+  std::vector<double> gains;
+  for (std::size_t w = 0; w < workloads.size(); ++w) {
+    for (std::size_t p = 1; p < platforms.size(); ++p) {
+      gains.push_back(improvement(w, p));
+    }
+  }
+  return geometric_mean(gains);
+}
+
+Table FigureData::to_table() const {
+  Table t(title);
+  std::vector<std::string> header{"workload"};
+  for (const std::string& p : platforms) header.push_back(p);
+  t.add_row(std::move(header));
+  for (std::size_t w = 0; w < workloads.size(); ++w) {
+    std::vector<std::string> row{workloads[w]};
+    for (std::size_t p = 0; p < platforms.size(); ++p) {
+      if (metric == Metric::kEnergyPerBit) {
+        row.push_back(Table::num(units::to_pj(value(w, p)), 4) + " pJ/b");
+      } else {
+        row.push_back(Table::num(units::to_gops(value(w, p)), 1) + " GOPS");
+      }
+    }
+    t.add_row(std::move(row));
+  }
+  return t;
+}
+
+namespace {
+FigureData run_llm_figure(const tron::TronConfig& config, Metric metric,
+                          const std::string& title) {
+  FigureData f;
+  f.title = title;
+  f.metric = metric;
+  const tron::TronAccelerator tron_acc(config);
+  const std::vector<baselines::PlatformModel> platforms = baselines::llm_baselines();
+  f.platforms.push_back("TRON");
+  for (const auto& p : platforms) f.platforms.push_back(p.spec().name);
+  for (const nn::TransformerConfig& model : nn::llm_model_zoo()) {
+    f.workloads.push_back(model.name);
+    std::vector<PerfReport> row;
+    row.push_back(tron_acc.estimate(model));
+    for (const auto& p : platforms) row.push_back(p.estimate_transformer(model));
+    f.reports.push_back(std::move(row));
+  }
+  return f;
+}
+
+FigureData run_gnn_figure(const ghost::GhostConfig& config, Metric metric,
+                          const std::string& title) {
+  FigureData f;
+  f.title = title;
+  f.metric = metric;
+  const ghost::GhostAccelerator ghost_acc(config);
+  const std::vector<baselines::PlatformModel> platforms = baselines::gnn_baselines();
+  f.platforms.push_back("GHOST");
+  for (const auto& p : platforms) f.platforms.push_back(p.spec().name);
+  const std::vector<graph::GraphDataset> datasets = graph::gnn_dataset_zoo();
+  for (const gnn::GnnModelConfig& model : gnn::gnn_model_zoo()) {
+    for (const graph::GraphDataset& ds : datasets) {
+      f.workloads.push_back(model.name + "/" + ds.name);
+      std::vector<PerfReport> row;
+      row.push_back(ghost_acc.estimate(model, ds));
+      for (const auto& p : platforms) row.push_back(p.estimate_gnn(model, ds));
+      f.reports.push_back(std::move(row));
+    }
+  }
+  return f;
+}
+}  // namespace
+
+FigureData run_fig8_epb_llm(const tron::TronConfig& config) {
+  return run_llm_figure(config, Metric::kEnergyPerBit,
+                        "Fig. 8: EPB comparison across LLM accelerators");
+}
+
+FigureData run_fig9_gops_llm(const tron::TronConfig& config) {
+  return run_llm_figure(config, Metric::kThroughputOps,
+                        "Fig. 9: Throughput comparison across LLM accelerators");
+}
+
+FigureData run_fig10_epb_gnn(const ghost::GhostConfig& config) {
+  return run_gnn_figure(config, Metric::kEnergyPerBit,
+                        "Fig. 10: EPB comparison across GNN accelerators");
+}
+
+FigureData run_fig11_gops_gnn(const ghost::GhostConfig& config) {
+  return run_gnn_figure(config, Metric::kThroughputOps,
+                        "Fig. 11: Throughput comparison across GNN accelerators");
+}
+
+HeadlineClaims run_headline_claims(const tron::TronConfig& tron_config,
+                                   const ghost::GhostConfig& ghost_config) {
+  HeadlineClaims h;
+  h.tron_min_epb_gain = run_fig8_epb_llm(tron_config).min_improvement();
+  h.tron_min_throughput_gain = run_fig9_gops_llm(tron_config).min_improvement();
+  h.ghost_min_epb_gain = run_fig10_epb_gnn(ghost_config).min_improvement();
+  h.ghost_min_throughput_gain = run_fig11_gops_gnn(ghost_config).min_improvement();
+  return h;
+}
+
+}  // namespace lumos::sim

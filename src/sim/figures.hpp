@@ -1,0 +1,59 @@
+// Figure-series runners: produce exactly the data series of the paper's
+// evaluation figures (Figs. 8-11) plus the headline min-improvement factors,
+// shared by the benchmark binaries, the examples, and the integration tests.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "baselines/platforms.hpp"
+#include "common/perf.hpp"
+#include "common/table.hpp"
+#include "ghost/accelerator.hpp"
+#include "tron/accelerator.hpp"
+
+namespace lumos::sim {
+
+// Which metric a figure plots.
+enum class Metric { kEnergyPerBit, kThroughputOps };
+
+// One figure: workloads (rows) x platforms (columns).
+struct FigureData {
+  std::string title;
+  Metric metric = Metric::kEnergyPerBit;
+  std::vector<std::string> workloads;
+  std::vector<std::string> platforms;             // photonic accelerator first
+  std::vector<std::vector<PerfReport>> reports;   // [workload][platform]
+
+  [[nodiscard]] double value(std::size_t w, std::size_t p) const;
+  // Improvement of platform 0 (the photonic accelerator) over platform `p`
+  // on workload `w` (for EPB: baseline/ours; for GOPS: ours/baseline).
+  [[nodiscard]] double improvement(std::size_t w, std::size_t p) const;
+  // Smallest improvement over any (workload, baseline) pair — the paper's
+  // "at least X x" claims.
+  [[nodiscard]] double min_improvement() const;
+  // Geometric-mean improvement across all (workload, baseline) pairs.
+  [[nodiscard]] double mean_improvement() const;
+
+  [[nodiscard]] Table to_table() const;
+};
+
+// Paper figure reproductions (default configurations unless overridden).
+[[nodiscard]] FigureData run_fig8_epb_llm(const tron::TronConfig& config);
+[[nodiscard]] FigureData run_fig9_gops_llm(const tron::TronConfig& config);
+[[nodiscard]] FigureData run_fig10_epb_gnn(const ghost::GhostConfig& config);
+[[nodiscard]] FigureData run_fig11_gops_gnn(const ghost::GhostConfig& config);
+
+// Headline claims (paper abstract/Section VI): min throughput and energy-
+// efficiency improvements for both accelerators.
+struct HeadlineClaims {
+  double tron_min_throughput_gain = 0.0;   // paper: >= 14x
+  double tron_min_epb_gain = 0.0;          // paper: >= 8x
+  double ghost_min_throughput_gain = 0.0;  // paper: >= 10.2x
+  double ghost_min_epb_gain = 0.0;         // paper: >= 3.8x
+};
+
+[[nodiscard]] HeadlineClaims run_headline_claims(const tron::TronConfig& tron_config,
+                                                 const ghost::GhostConfig& ghost_config);
+
+}  // namespace lumos::sim

@@ -1,0 +1,115 @@
+#include "sim/sensitivity.hpp"
+
+#include "common/table.hpp"
+#include "common/units.hpp"
+
+namespace lumos::sim {
+
+namespace {
+SensitivityPoint point_from(const std::string& knob, double setting, bool is_default,
+                            const PerfReport& r) {
+  SensitivityPoint p;
+  p.knob = knob;
+  p.setting = setting;
+  p.is_default = is_default;
+  p.latency_s = r.latency_s;
+  p.ops_per_second = r.ops_per_second();
+  p.energy_per_bit_j = r.energy_per_bit_j();
+  p.static_power_w = r.static_power_w;
+  return p;
+}
+}  // namespace
+
+std::vector<SensitivityPoint> tron_sensitivity(const tron::TronConfig& base,
+                                               const nn::TransformerConfig& model) {
+  std::vector<SensitivityPoint> out;
+  const auto probe = [&](const std::string& knob, double setting, bool is_default,
+                         const tron::TronConfig& cfg) {
+    out.push_back(point_from(knob, setting, is_default,
+                             tron::TronAccelerator(cfg).estimate(model)));
+  };
+
+  for (const std::size_t v : {4u, 8u, 12u, 16u, 24u}) {
+    tron::TronConfig c = base;
+    c.head_units = v;
+    probe("head_units", static_cast<double>(v), v == base.head_units, c);
+  }
+  for (const std::size_t v : {8u, 16u, 32u, 64u, 128u}) {
+    tron::TronConfig c = base;
+    c.ff_arrays = v;
+    probe("ff_arrays", static_cast<double>(v), v == base.ff_arrays, c);
+  }
+  for (const std::size_t v : {16u, 32u, 64u, 128u}) {
+    tron::TronConfig c = base;
+    c.array_cols = v;
+    c.bank.heterodyne.channel_count = c.array_rows;
+    probe("array_cols", static_cast<double>(v), v == base.array_cols, c);
+  }
+  for (const double v : {2.5e9, 5e9, 10e9, 20e9}) {
+    tron::TronConfig c = base;
+    c.symbol_rate_hz = v;
+    c.bank.symbol_rate_hz = v;
+    probe("symbol_rate_ghz", v / 1e9, v == base.symbol_rate_hz, c);
+  }
+  for (const double v : {128e9, 256e9, 512e9, 1024e9}) {
+    tron::TronConfig c = base;
+    c.dram.bandwidth_bytes_per_s = v;
+    probe("dram_gb_per_s", v / 1e9, v == base.dram.bandwidth_bytes_per_s, c);
+  }
+  return out;
+}
+
+std::vector<SensitivityPoint> ghost_sensitivity(const ghost::GhostConfig& base,
+                                                const gnn::GnnModelConfig& model,
+                                                const graph::GraphDataset& dataset) {
+  std::vector<SensitivityPoint> out;
+  const auto probe = [&](const std::string& knob, double setting, bool is_default,
+                         const ghost::GhostConfig& cfg) {
+    out.push_back(point_from(knob, setting, is_default,
+                             ghost::GhostAccelerator(cfg).estimate(model, dataset)));
+  };
+
+  for (const std::size_t v : {4u, 8u, 16u, 32u, 64u}) {
+    ghost::GhostConfig c = base;
+    c.lanes = v;
+    probe("lanes", static_cast<double>(v), v == base.lanes, c);
+  }
+  for (const std::size_t v : {4u, 8u, 16u, 32u}) {
+    ghost::GhostConfig c = base;
+    c.reduce_branches = v;
+    probe("reduce_branches", static_cast<double>(v), v == base.reduce_branches, c);
+  }
+  for (const std::size_t v : {1u, 2u, 4u, 8u}) {
+    ghost::GhostConfig c = base;
+    c.transform_arrays_per_lane = v;
+    probe("transform_arrays_per_lane", static_cast<double>(v),
+          v == base.transform_arrays_per_lane, c);
+  }
+  for (const std::size_t v : {512u, 1024u, 2048u, 4096u, 8192u}) {
+    ghost::GhostConfig c = base;
+    c.input_block_size = v;
+    probe("input_block_size", static_cast<double>(v), v == base.input_block_size, c);
+  }
+  for (const double v : {128e9, 256e9, 512e9, 1024e9}) {
+    ghost::GhostConfig c = base;
+    c.dram.bandwidth_bytes_per_s = v;
+    probe("dram_gb_per_s", v / 1e9, v == base.dram.bandwidth_bytes_per_s, c);
+  }
+  return out;
+}
+
+Table sensitivity_table(const std::string& title,
+                        const std::vector<SensitivityPoint>& points) {
+  Table t(title);
+  t.add_row({"knob", "setting", "latency", "GOPS", "EPB", "static power"});
+  for (const SensitivityPoint& p : points) {
+    t.add_row({p.knob, Table::num(p.setting, 1) + (p.is_default ? " *" : ""),
+               Table::num(units::to_us(p.latency_s), 2) + " us",
+               Table::num(units::to_gops(p.ops_per_second), 0),
+               Table::num(units::to_pj(p.energy_per_bit_j), 3) + " pJ/b",
+               Table::num(p.static_power_w, 1) + " W"});
+  }
+  return t;
+}
+
+}  // namespace lumos::sim

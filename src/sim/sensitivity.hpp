@@ -1,0 +1,46 @@
+// Design-space sensitivity analysis.
+//
+// Paper Section VI: "The specific architectural details of each hardware
+// accelerator, such as the numbers of the computational blocks, were
+// determined through detailed design-space analysis."  This module
+// regenerates that analysis: it perturbs each architectural knob around the
+// default design point and reports the throughput/EPB response, which is how
+// the defaults were fixed.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/table.hpp"
+#include "ghost/accelerator.hpp"
+#include "tron/accelerator.hpp"
+
+namespace lumos::sim {
+
+// One knob setting's outcome.
+struct SensitivityPoint {
+  std::string knob;      // e.g. "head_units"
+  double setting = 0.0;  // the knob's value
+  bool is_default = false;
+  double latency_s = 0.0;
+  double ops_per_second = 0.0;
+  double energy_per_bit_j = 0.0;
+  double static_power_w = 0.0;
+};
+
+// Sweeps TRON's architectural knobs (head units, FF arrays, array columns,
+// symbol rate, DRAM bandwidth) around `base` on `model`.
+[[nodiscard]] std::vector<SensitivityPoint> tron_sensitivity(
+    const tron::TronConfig& base, const nn::TransformerConfig& model);
+
+// Sweeps GHOST's knobs (lanes, reduce branches, transform arrays per lane,
+// input block size, DRAM bandwidth) around `base` on `model`/`dataset`.
+[[nodiscard]] std::vector<SensitivityPoint> ghost_sensitivity(
+    const ghost::GhostConfig& base, const gnn::GnnModelConfig& model,
+    const graph::GraphDataset& dataset);
+
+// Renders a sweep as a table grouped by knob.
+[[nodiscard]] Table sensitivity_table(const std::string& title,
+                                      const std::vector<SensitivityPoint>& points);
+
+}  // namespace lumos::sim

@@ -1,0 +1,328 @@
+#include "tron/accelerator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "common/error.hpp"
+
+namespace lumos::tron {
+
+namespace {
+SoftmaxLutConfig softmax_config_from(const TronConfig& c) {
+  SoftmaxLutConfig s;
+  s.parallel_units = c.softmax_lut_units;
+  s.clock_hz = c.digital_clock_hz;
+  s.energy_per_element_j = c.lut_energy_per_element_j;
+  return s;
+}
+}  // namespace
+
+TronConfig default_tron_config() {
+  TronConfig c;
+  // Bank design: 16 wavelengths per waveguide is the feasibility fixed point
+  // of the WDM search at Q = 8000 / 8-bit SNR (see bench_ablation_crosstalk).
+  c.bank.wavelength_count = c.array_rows;
+  c.bank.symbol_rate_hz = c.symbol_rate_hz;
+  c.bank.heterodyne.channel_count = c.array_rows;
+  // Two HBM2 stacks, as assumed by the paper's TransPIM-class competitors.
+  c.dram.bandwidth_bytes_per_s = 512e9;
+  return c;
+}
+
+TronAccelerator::TronAccelerator(const TronConfig& config)
+    : config_(config),
+      head_(config, softmax_config_from(config)),
+      residual_adder_(config.bank, config.homodyne, 2),
+      ln_ring_(config.bank),
+      soa_({}),
+      weight_buffer_(config.weight_buffer),
+      activation_buffer_(config.activation_buffer),
+      dram_(config.dram) {
+  LUMOS_EXPECTS(config.head_units >= 1);
+  LUMOS_EXPECTS(config.array_rows >= 1 && config.array_cols >= 1);
+  LUMOS_EXPECTS(config.symbol_rate_hz > 0.0);
+}
+
+double TronAccelerator::static_power_w() const {
+  const phot::MrBankArray array(config_.bank, config_.array_cols);
+  const double per_array = array.matvec_cost().static_power_w;
+  const double arrays = static_cast<double>(config_.total_arrays());
+  const phot::SoaConfig soa_cfg;
+  // One SOA bank (array_cols amplifiers) serves the FF activations.
+  const double soa_bias = static_cast<double>(config_.array_cols) * soa_cfg.bias_power_w;
+  return arrays * per_array + config_.digital_static_power_w +
+         weight_buffer_.leakage_power_w() + activation_buffer_.leakage_power_w() +
+         dram_.static_power_w() + soa_bias;
+}
+
+double TronAccelerator::map_trace(const std::vector<nn::OpSpec>& trace, std::size_t batch,
+                                  PerfBreakdown& b) const {
+  const phot::MrBankArray array(config_.bank, config_.array_cols);
+  const phot::MrBankArray::PassEnergies pe = array.pass_energies();
+  const SoftmaxLut softmax(softmax_config_from(config_));
+  const double rate = config_.symbol_rate_hz;
+  const std::size_t kh = config_.array_rows;
+  const std::size_t nh = config_.array_cols;
+
+  double compute_s = 0.0;
+  for (const nn::OpSpec& op : trace) {
+    // Batched execution streams `batch` sequences through the stationary
+    // weights: every row count scales by the batch.
+    const std::size_t m = op.m * batch;
+    switch (op.kind) {
+      case nn::OpKind::kMatMul: {
+        const std::size_t tiles_k = (op.k + kh - 1) / kh;
+        const std::size_t tiles_n = (op.n + nh - 1) / nh;
+        const std::size_t passes = m * tiles_k * tiles_n * op.repeat;
+        // FF MatMuls run on the FF unit's arrays; attention MatMuls are
+        // spread over the head units' arrays.
+        const bool is_ff = op.label[0] == 'F';
+        const std::size_t arrays =
+            is_ff ? config_.ff_arrays : config_.attention_arrays();
+        const double t = std::ceil(static_cast<double>(passes) / static_cast<double>(arrays)) /
+                         rate;
+        compute_s += t;
+        b.matmul_time_s += t;
+        // Weight-stationary dataflow: read-outs and laser per row pass; input
+        // rows imprinted once per K-tile and broadcast to the arrays working
+        // the parallel column tiles; weight imprints once per tile reprogram.
+        // Partially filled edge tiles only pay for the rows/columns they use.
+        const double frac_k = static_cast<double>(op.k) / static_cast<double>(tiles_k * kh);
+        const double frac_n = static_cast<double>(op.n) / static_cast<double>(tiles_n * nh);
+        const double input_charges = static_cast<double>(m * tiles_k * op.repeat);
+        const double tile_reprograms =
+            static_cast<double>(tiles_k * tiles_n * op.repeat);
+        b.laser_dac_adc_energy_j +=
+            input_charges * pe.input_dac_j * frac_k +
+            static_cast<double>(passes) * (pe.adc_j * frac_n + pe.laser_j * frac_k * frac_n) +
+            tile_reprograms * pe.weight_dac_j * frac_k * frac_n;
+        // Digital partial-sum accumulation across K tiles.
+        const double psums = static_cast<double>(m * op.n * op.repeat) *
+                             static_cast<double>(tiles_k > 0 ? tiles_k - 1 : 0);
+        b.partial_sum_energy_j += psums * config_.partial_sum_add_energy_j;
+        // SRAM traffic: read inputs + weights, write outputs (int8).
+        const double bytes = static_cast<double>(m * op.k + op.k * op.n + m * op.n) *
+                             static_cast<double>(op.repeat);
+        const double words = bytes / static_cast<double>(config_.activation_buffer.word_bytes);
+        b.sram_energy_j += words * activation_buffer_.read_energy_j();
+        break;
+      }
+      case nn::OpKind::kSoftmax: {
+        const std::size_t elems = op.elements() * batch;
+        compute_s += softmax.latency_s(elems);
+        b.softmax_time_s += softmax.latency_s(elems);
+        b.softmax_energy_j += softmax.energy_j(elems);
+        break;
+      }
+      case nn::OpKind::kLayerNorm:
+      case nn::OpKind::kActivation:
+      case nn::OpKind::kResidualAdd: {
+        // Element-wise optical stages: array_cols lanes at the symbol rate.
+        const std::size_t elems = op.elements() * batch;
+        const double t =
+            std::ceil(static_cast<double>(elems) / static_cast<double>(nh)) / rate;
+        compute_s += t;
+        b.elementwise_time_s += t;
+        const phot::DacModel dac(config_.bank.dac);
+        b.elementwise_energy_j += static_cast<double>(elems) * dac.energy_per_conversion_j();
+        break;
+      }
+    }
+  }
+  return compute_s;
+}
+
+namespace {
+// Accumulates `src` scaled by `factor` into `dst` (dynamic energies + times).
+void merge_scaled(PerfBreakdown& dst, const PerfBreakdown& src, double factor) {
+  dst.matmul_time_s += src.matmul_time_s * factor;
+  dst.softmax_time_s += src.softmax_time_s * factor;
+  dst.elementwise_time_s += src.elementwise_time_s * factor;
+  dst.laser_dac_adc_energy_j += src.laser_dac_adc_energy_j * factor;
+  dst.partial_sum_energy_j += src.partial_sum_energy_j * factor;
+  dst.softmax_energy_j += src.softmax_energy_j * factor;
+  dst.elementwise_energy_j += src.elementwise_energy_j * factor;
+  dst.sram_energy_j += src.sram_energy_j * factor;
+}
+}  // namespace
+
+PerfReport TronAccelerator::estimate_batch(const nn::TransformerConfig& model,
+                                           std::size_t batch) const {
+  LUMOS_EXPECTS(batch >= 1);
+  PerfReport r;
+  r.workload = model.name;
+  r.platform = "TRON";
+  r.bits = config_.bits;
+  r.op_count = model.op_count() * batch;
+  PerfBreakdown& b = r.breakdown;
+
+  // Per-layer weight streaming from DRAM (int8), double-buffered against
+  // compute and amortised over the whole batch: a layer stalls only for the
+  // part of the stream not hidden behind its batched compute.
+  const double total_layers =
+      static_cast<double>(model.layers + model.decoder_layers);
+  const double layer_weight_bytes =
+      static_cast<double>(model.parameter_count()) / total_layers;
+  const double dram_stream_s =
+      dram_.transfer_latency_s(static_cast<std::size_t>(layer_weight_bytes));
+  const double dram_stream_j =
+      dram_.transfer_energy_j(static_cast<std::size_t>(layer_weight_bytes));
+
+  PerfBreakdown enc_b;
+  const double enc_compute_s = map_trace(nn::layer_trace(model), batch, enc_b);
+  const double enc_layers = static_cast<double>(model.layers);
+  double latency = std::max(enc_compute_s, dram_stream_s) * enc_layers;
+  b.memory_stall_s = std::max(0.0, dram_stream_s - enc_compute_s) * enc_layers;
+  merge_scaled(b, enc_b, enc_layers);
+
+  // Seq2seq decoders (paper Fig. 1) add cross-attention layers.
+  if (model.decoder_layers > 0) {
+    PerfBreakdown dec_b;
+    const double dec_compute_s =
+        map_trace(nn::decoder_layer_trace(model), batch, dec_b);
+    const double dec_layers = static_cast<double>(model.decoder_layers);
+    latency += std::max(dec_compute_s, dram_stream_s) * dec_layers;
+    b.memory_stall_s += std::max(0.0, dram_stream_s - dec_compute_s) * dec_layers;
+    merge_scaled(b, dec_b, dec_layers);
+  }
+  b.dram_energy_j = dram_stream_j * total_layers;
+  r.latency_s = latency;
+
+  r.dynamic_energy_j = b.laser_dac_adc_energy_j + b.partial_sum_energy_j +
+                       b.softmax_energy_j + b.elementwise_energy_j + b.sram_energy_j +
+                       b.dram_energy_j;
+  r.static_power_w = static_power_w();
+  r.static_energy_j = r.static_power_w * r.latency_s;
+  r.total_energy_j = r.dynamic_energy_j + r.static_energy_j;
+  return r;
+}
+
+PerfReport TronAccelerator::estimate(const nn::TransformerConfig& model) const {
+  return estimate_batch(model, 1);
+}
+
+PerfReport TronAccelerator::estimate_generation(const nn::TransformerConfig& model,
+                                                std::size_t prompt_len,
+                                                std::size_t generated_tokens) const {
+  LUMOS_EXPECTS(prompt_len >= 1);
+  LUMOS_EXPECTS(generated_tokens >= 1);
+  PerfReport r;
+  r.workload = model.name + " (generate " + std::to_string(generated_tokens) + ")";
+  r.platform = "TRON";
+  r.bits = config_.bits;
+  PerfBreakdown& b = r.breakdown;
+
+  const double layers = static_cast<double>(model.layers);
+  const double layer_weight_bytes =
+      static_cast<double>(model.parameter_count()) / static_cast<double>(model.layers);
+  const double dram_stream_s =
+      dram_.transfer_latency_s(static_cast<std::size_t>(layer_weight_bytes));
+  const double dram_stream_j =
+      dram_.transfer_energy_j(static_cast<std::size_t>(layer_weight_bytes));
+
+  std::size_t ops = 0;
+  double latency = 0.0;
+  for (std::size_t t = 0; t < generated_tokens; ++t) {
+    const std::size_t ctx = prompt_len + t;
+    PerfBreakdown step;
+    const double step_compute = map_trace(nn::generation_layer_trace(model, ctx), 1, step);
+    // Single-token decode: weights re-stream each step (the KV cache stays
+    // resident, the 85+ MB of weights do not) — the memory-bound regime.
+    const double step_latency = std::max(step_compute, dram_stream_s) * layers;
+    latency += step_latency;
+    b.memory_stall_s += std::max(0.0, dram_stream_s - step_compute) * layers;
+    b.dram_energy_j += dram_stream_j * layers;
+    b.matmul_time_s += step.matmul_time_s * layers;
+    b.softmax_time_s += step.softmax_time_s * layers;
+    b.elementwise_time_s += step.elementwise_time_s * layers;
+    b.laser_dac_adc_energy_j += step.laser_dac_adc_energy_j * layers;
+    b.partial_sum_energy_j += step.partial_sum_energy_j * layers;
+    b.softmax_energy_j += step.softmax_energy_j * layers;
+    b.elementwise_energy_j += step.elementwise_energy_j * layers;
+    b.sram_energy_j += step.sram_energy_j * layers;
+    ops += 2 * nn::generation_step_macs(model, ctx);
+  }
+
+  r.op_count = ops;
+  r.latency_s = latency;
+  r.dynamic_energy_j = b.laser_dac_adc_energy_j + b.partial_sum_energy_j +
+                       b.softmax_energy_j + b.elementwise_energy_j + b.sram_energy_j +
+                       b.dram_energy_j;
+  r.static_power_w = static_power_w();
+  r.static_energy_j = r.static_power_w * r.latency_s;
+  r.total_energy_j = r.dynamic_energy_j + r.static_energy_j;
+  return r;
+}
+
+phot::AreaReport TronAccelerator::area() const {
+  phot::AreaReport fabric = phot::bank_array_area(config_.array_rows, config_.array_cols);
+  // One bank array's report scaled to the full fabric.
+  phot::AreaReport r;
+  const std::size_t arrays = config_.total_arrays();
+  for (const phot::AreaItem& item : fabric.items) {
+    r.items.push_back({item.component, item.count * arrays,
+                       item.total_m2 * static_cast<double>(arrays)});
+  }
+  const phot::DeviceAreas d;
+  r.add("coherent residual adders (VCSEL pairs + BPD)", config_.array_cols,
+        2 * d.vcsel_m2 + d.balanced_pd_m2);
+  r.add("LayerNorm microrings", config_.array_cols, d.microring_m2);
+  r.add("FF SOA bank", config_.array_cols, d.soa_m2);
+  r.add("softmax LUT + digital control", 1, d.digital_logic_m2);
+  r.add("weight buffer SRAM", config_.weight_buffer.capacity_bytes, d.sram_m2_per_byte);
+  r.add("activation buffer SRAM", config_.activation_buffer.capacity_bytes,
+        d.sram_m2_per_byte);
+  return r;
+}
+
+nn::Matrix TronAccelerator::forward(const nn::TransformerWeights& weights, const nn::Matrix& x,
+                                    Rng& rng, const phot::AnalogNoiseConfig& noise) const {
+  const nn::TransformerConfig& cfg = weights.config;
+  LUMOS_EXPECTS(x.cols() == cfg.d_model);
+  const std::size_t hd = cfg.head_dim();
+
+  nn::Matrix h = x;
+  for (const nn::TransformerLayerWeights& layer : weights.layers) {
+    // ---- MHA: per-head slices through the attention-head unit ----
+    nn::Matrix concat(h.rows(), cfg.d_model);
+    for (std::size_t head = 0; head < cfg.heads; ++head) {
+      // Column slices of the projection matrices for this head.
+      nn::Matrix wq(cfg.d_model, hd);
+      nn::Matrix wk(cfg.d_model, hd);
+      nn::Matrix wv(cfg.d_model, hd);
+      const std::size_t off = head * hd;
+      for (std::size_t r = 0; r < cfg.d_model; ++r) {
+        for (std::size_t c = 0; c < hd; ++c) {
+          wq(r, c) = layer.wq(r, off + c);
+          wk(r, c) = layer.wk(r, off + c);
+          wv(r, c) = layer.wv(r, off + c);
+        }
+      }
+      const nn::Matrix out = head_.forward(h, wq, wk, wv, rng, noise);
+      for (std::size_t r = 0; r < out.rows(); ++r)
+        for (std::size_t c = 0; c < hd; ++c) concat(r, off + c) = out(r, c);
+    }
+    const nn::Matrix attn = photonic_matmul(concat, layer.wo, head_.array(), rng, noise);
+
+    // ---- Residual + optical LayerNorm ----
+    const nn::Matrix res1 = photonic_residual_add(attn, h, residual_adder_, rng, noise);
+    nn::Matrix h1 =
+        photonic_layer_norm(res1, layer.ln1_gamma, layer.ln1_beta, ln_ring_, rng, noise);
+
+    // ---- FF with SOA ReLU ----
+    nn::Matrix ff = photonic_matmul(h1, layer.w1, head_.array(), rng, noise);
+    const double act_scale = std::max(ff.max_abs(), 1e-12);
+    for (double& v : ff.flat()) {
+      v = soa_.activate(phot::OpticalActivation::kRelu, std::clamp(v / act_scale, -1.0, 1.0)) *
+          act_scale;
+    }
+    const nn::Matrix ff2 = photonic_matmul(ff, layer.w2, head_.array(), rng, noise);
+
+    const nn::Matrix res2 = photonic_residual_add(ff2, h1, residual_adder_, rng, noise);
+    h = photonic_layer_norm(res2, layer.ln2_gamma, layer.ln2_beta, ln_ring_, rng, noise);
+  }
+  return h;
+}
+
+}  // namespace lumos::tron

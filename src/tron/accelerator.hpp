@@ -1,0 +1,80 @@
+// TRON: the silicon-photonic transformer accelerator (paper Section V.C).
+//
+// Two faces, matching the paper's own Python simulator:
+//   * `estimate()` — analytic performance/energy mapping of a transformer
+//     configuration onto the photonic fabric (latency, energy, power, GOPS,
+//     EPB, with per-stage breakdowns);
+//   * `forward()` — functional execution of a (small) transformer through the
+//     noisy analog device models, validated against the exact reference.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/perf.hpp"
+#include "nn/transformer.hpp"
+#include "photonics/area.hpp"
+#include "photonics/soa.hpp"
+#include "tron/attention_head.hpp"
+#include "tron/config.hpp"
+
+namespace lumos::tron {
+
+using lumos::PerfBreakdown;
+using lumos::PerfReport;
+
+class TronAccelerator {
+ public:
+  explicit TronAccelerator(const TronConfig& config);
+
+  // Analytic mapping of `model` (one full-sequence inference, batch 1).
+  [[nodiscard]] PerfReport estimate(const nn::TransformerConfig& model) const;
+
+  // Batched inference: the per-layer weight stream from DRAM is amortised
+  // over `batch` sequences pipelined through each layer's stationary weights.
+  [[nodiscard]] PerfReport estimate_batch(const nn::TransformerConfig& model,
+                                          std::size_t batch) const;
+
+  // Autoregressive decoding: generates `generated_tokens` tokens after a
+  // `prompt_len`-token prompt with a resident KV cache.  Each step is a
+  // single-token pass whose weights must re-stream (batch-1 decode is the
+  // classic memory-bound regime).
+  [[nodiscard]] PerfReport estimate_generation(const nn::TransformerConfig& model,
+                                               std::size_t prompt_len,
+                                               std::size_t generated_tokens) const;
+
+  // Floorplan summary of the whole fabric (bank arrays, converters, softmax
+  // logic, SRAM, SOAs).
+  [[nodiscard]] phot::AreaReport area() const;
+
+  // Functional forward through the noisy photonic path.  Intended for small
+  // configs (tiny_transformer): cost grows with model size like a real
+  // software simulation of the analog datapath.
+  [[nodiscard]] nn::Matrix forward(const nn::TransformerWeights& weights, const nn::Matrix& x,
+                                   Rng& rng, const phot::AnalogNoiseConfig& noise) const;
+
+  [[nodiscard]] const TronConfig& config() const noexcept { return config_; }
+  [[nodiscard]] const AttentionHeadUnit& head_unit() const noexcept { return head_; }
+
+  // Fabric-wide static (hold) power: tuning, converters, lasers idling,
+  // digital control, SRAM leakage, DRAM standby, SOA bias.
+  [[nodiscard]] double static_power_w() const;
+
+ private:
+  // Maps one pass of `trace` (scaled by `batch` rows) onto the fabric,
+  // accumulating compute time and dynamic energies into `breakdown`.
+  // Returns the pass's compute latency.
+  [[nodiscard]] double map_trace(const std::vector<nn::OpSpec>& trace, std::size_t batch,
+                                 PerfBreakdown& breakdown) const;
+
+  TronConfig config_;
+  AttentionHeadUnit head_;
+  phot::CoherentSummationUnit residual_adder_;
+  phot::MrBank ln_ring_;
+  phot::Soa soa_;
+  mem::SramModel weight_buffer_;
+  mem::SramModel activation_buffer_;
+  mem::DramModel dram_;
+};
+
+}  // namespace lumos::tron

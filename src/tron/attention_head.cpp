@@ -1,0 +1,107 @@
+#include "tron/attention_head.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace lumos::tron {
+
+AttentionHeadUnit::AttentionHeadUnit(const TronConfig& config,
+                                     const SoftmaxLutConfig& softmax_config)
+    : config_(config),
+      array_(config.bank, config.array_cols),
+      softmax_(softmax_config) {}
+
+nn::Matrix AttentionHeadUnit::forward(const nn::Matrix& x, const nn::Matrix& wq,
+                                      const nn::Matrix& wk, const nn::Matrix& wv, Rng& rng,
+                                      const phot::AnalogNoiseConfig& noise) const {
+  LUMOS_EXPECTS(x.cols() == wq.rows());
+  const double inv_sqrt_dk = 1.0 / std::sqrt(static_cast<double>(wq.cols()));
+
+  // Offline-prepared operands (paper Fig. 5a): W_K^T / sqrt(d_K) and X^T.
+  nn::Matrix wk_t = wk.transposed();
+  for (double& v : wk_t.flat()) v *= inv_sqrt_dk;
+  const nn::Matrix x_t = x.transposed();
+
+  // All-optical score pipeline per eq. (3).
+  const nn::Matrix q = photonic_matmul(x, wq, array_, rng, noise);
+  const nn::Matrix b = photonic_matmul(q, wk_t, array_, rng, noise);
+  nn::Matrix scores = photonic_matmul(b, x_t, array_, rng, noise);
+
+  // Single O/E conversion: digital LUT softmax.
+  for (std::size_t r = 0; r < scores.rows(); ++r) softmax_.apply(scores.row(r));
+
+  // V and the attention-weighted values, optical again.
+  const nn::Matrix v = photonic_matmul(x, wv, array_, rng, noise);
+  return photonic_matmul(scores, v, array_, rng, noise);
+}
+
+std::size_t AttentionHeadUnit::matmul_passes(std::size_t m, std::size_t k, std::size_t n) const {
+  const std::size_t kh = config_.array_rows;
+  const std::size_t nh = config_.array_cols;
+  const std::size_t tiles_k = (k + kh - 1) / kh;
+  const std::size_t tiles_n = (n + nh - 1) / nh;
+  return m * tiles_k * tiles_n;
+}
+
+namespace {
+// Input-vector imprints for an M x K MatMul: each row is imprinted once per
+// K-tile and broadcast to the arrays covering the parallel column tiles.
+std::size_t input_imprints(std::size_t m, std::size_t k, std::size_t kh) {
+  return m * ((k + kh - 1) / kh) * kh;
+}
+}  // namespace
+
+ScorePathCosts AttentionHeadUnit::decomposed_score_costs(std::size_t seq_len,
+                                                         std::size_t d_model,
+                                                         std::size_t d_head) const {
+  const phot::DacModel dac(config_.bank.dac);
+  const phot::AdcModel adc(config_.bank.adc);
+  const std::size_t kh = config_.array_rows;
+  ScorePathCosts c;
+  // Q = X W_Q (L x d_model x d_head), B = Q W_K^T (L x d_head x d_model),
+  // S = B X^T (L x d_model x L): all stay optical.  The only ADCs are the
+  // L*L score read-outs feeding softmax.
+  const std::size_t p1 = matmul_passes(seq_len, d_model, d_head);
+  const std::size_t p2 = matmul_passes(seq_len, d_head, d_model);
+  const std::size_t p3 = matmul_passes(seq_len, d_model, seq_len);
+  c.matmul_passes = p1 + p2 + p3;
+  c.dac_conversions = input_imprints(seq_len, d_model, kh) +
+                      input_imprints(seq_len, d_head, kh) +
+                      input_imprints(seq_len, d_model, kh);
+  c.adc_conversions = seq_len * seq_len;  // scores only
+  c.latency_s = static_cast<double>(c.matmul_passes) / config_.symbol_rate_hz;
+  c.energy_j = static_cast<double>(c.dac_conversions) * dac.energy_per_conversion_j() +
+               static_cast<double>(c.adc_conversions) * adc.energy_per_conversion_j();
+  return c;
+}
+
+ScorePathCosts AttentionHeadUnit::naive_score_costs(std::size_t seq_len, std::size_t d_model,
+                                                    std::size_t d_head) const {
+  const phot::DacModel dac(config_.bank.dac);
+  const phot::AdcModel adc(config_.bank.adc);
+  const std::size_t kh = config_.array_rows;
+  ScorePathCosts c;
+  // Q = X W_Q and K = X W_K (each L x d_model x d_head); K is detected
+  // (L*d_head ADCs), transposed digitally, re-imprinted (L*d_head DACs), then
+  // S = Q K^T (L x d_head x L).
+  const std::size_t pq = matmul_passes(seq_len, d_model, d_head);
+  const std::size_t pk = matmul_passes(seq_len, d_model, d_head);
+  const std::size_t ps = matmul_passes(seq_len, d_head, seq_len);
+  c.matmul_passes = pq + pk + ps;
+  c.dac_conversions = 2 * input_imprints(seq_len, d_model, kh) +
+                      input_imprints(seq_len, d_head, kh) + seq_len * d_head;
+  c.adc_conversions = seq_len * seq_len + seq_len * d_head;
+  // The transpose round-trip serialises: add the K read-out + re-imprint time
+  // (one conversion each way per K element, ADC/DAC lanes = array columns).
+  const double conversion_lanes = static_cast<double>(config_.array_cols);
+  const double roundtrip_s =
+      std::ceil(static_cast<double>(seq_len * d_head) / conversion_lanes) *
+      (adc.conversion_latency_s() + dac.conversion_latency_s());
+  c.latency_s = static_cast<double>(c.matmul_passes) / config_.symbol_rate_hz + roundtrip_s;
+  c.energy_j = static_cast<double>(c.dac_conversions) * dac.energy_per_conversion_j() +
+               static_cast<double>(c.adc_conversions) * adc.energy_per_conversion_j();
+  return c;
+}
+
+}  // namespace lumos::tron

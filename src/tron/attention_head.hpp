@@ -1,0 +1,68 @@
+// Attention-head unit (paper Fig. 5a) with the eq. (3) decomposition.
+//
+//   Q . K^T = Q . (X . W_K)^T = (Q . W_K^T) . X^T                      (3)
+//
+// "Such decomposition mitigates the need to convert the optical signals
+// (matrix K) to the digital domain to perform its transpose operation before
+// the multiplication with matrix Q.  Conversely, matrices X, W_Q, W_K^T/d_K,
+// and X^T are computed and stored offline, which allows us to perform the
+// MatMul completely in the optical domain."
+//
+// The unit owns seven K x N MR bank arrays: five MatMul stages
+// (Q = X W_Q,  B = Q W_K^T/sqrt(d_K),  S = B X^T,  V = X W_V,  O = P V)
+// plus two staging arrays that double-buffer weights for the next layer while
+// the current one computes.
+#pragma once
+
+#include "nn/tensor.hpp"
+#include "tron/config.hpp"
+#include "tron/photonic_ops.hpp"
+#include "tron/softmax_lut.hpp"
+
+namespace lumos::tron {
+
+// Conversion/operation counts for one head's score computation, used by the
+// eq. (3) ablation (bench_ablation_decomposition).
+struct ScorePathCosts {
+  std::size_t adc_conversions = 0;  // optical -> digital
+  std::size_t dac_conversions = 0;  // digital -> optical
+  std::size_t matmul_passes = 0;    // bank-array symbol passes
+  double latency_s = 0.0;
+  double energy_j = 0.0;
+};
+
+class AttentionHeadUnit {
+ public:
+  AttentionHeadUnit(const TronConfig& config, const SoftmaxLutConfig& softmax_config);
+
+  // Functional head computation on real matrices via the photonic path.
+  // x: L x d_model; wq/wk/wv: d_model x d_head slices for this head.
+  // Returns the L x d_head head output.
+  [[nodiscard]] nn::Matrix forward(const nn::Matrix& x, const nn::Matrix& wq,
+                                   const nn::Matrix& wk, const nn::Matrix& wv, Rng& rng,
+                                   const phot::AnalogNoiseConfig& noise) const;
+
+  // Costs of producing the L x L score matrix with the eq. (3) decomposition
+  // (everything optical until the single post-score ADC for softmax).
+  [[nodiscard]] ScorePathCosts decomposed_score_costs(std::size_t seq_len,
+                                                      std::size_t d_model,
+                                                      std::size_t d_head) const;
+
+  // Costs of the naive ordering: K = X W_K is detected (ADC), transposed
+  // digitally, re-imprinted (DAC), then multiplied with Q.
+  [[nodiscard]] ScorePathCosts naive_score_costs(std::size_t seq_len, std::size_t d_model,
+                                                 std::size_t d_head) const;
+
+  [[nodiscard]] const phot::MrBankArray& array() const noexcept { return array_; }
+  [[nodiscard]] const SoftmaxLut& softmax() const noexcept { return softmax_; }
+
+ private:
+  // Symbol passes for an M x K x N MatMul on this unit's array geometry.
+  [[nodiscard]] std::size_t matmul_passes(std::size_t m, std::size_t k, std::size_t n) const;
+
+  TronConfig config_;
+  phot::MrBankArray array_;
+  SoftmaxLut softmax_;
+};
+
+}  // namespace lumos::tron

@@ -1,0 +1,58 @@
+// TRON architecture configuration (paper Section V.C, Figs. 4-5).
+//
+// The accelerator is a pool of K x N microring bank arrays organised into
+// H attention-head units (seven arrays each, per Fig. 5a) and a feed-forward
+// unit, plus digital softmax LUT blocks, coherent-summation residual adders,
+// LayerNorm rings, and SRAM buffers in front of an HBM-class main memory.
+#pragma once
+
+#include <cstddef>
+
+#include "mem/sram.hpp"
+#include "photonics/mr_bank.hpp"
+
+namespace lumos::tron {
+
+struct TronConfig {
+  // ---- Photonic compute fabric ----
+  std::size_t head_units = 12;          // H attention-head units
+  std::size_t arrays_per_head = 7;      // paper Fig. 5a
+  std::size_t ff_arrays = 32;           // bank arrays dedicated to the FF unit
+  std::size_t array_rows = 16;          // K: wavelengths per waveguide (SNR-limited)
+  std::size_t array_cols = 64;          // N: parallel dot-product columns
+  double symbol_rate_hz = 10e9;         // photonic vector rate
+
+  // ---- Digital support ----
+  double digital_clock_hz = 1e9;
+  std::size_t softmax_lut_units = 256;  // parallel LUT lanes
+  double lut_energy_per_element_j = 0.7e-12;  // LUT read + normalise ALU ops
+  double partial_sum_add_energy_j = 0.05e-12; // int accumulate per partial sum
+  double digital_static_power_w = 1.5;
+
+  // ---- Precision ----
+  int bits = 8;
+
+  // ---- Device models ----
+  phot::MrBankConfig bank;              // ring/detector/converter/laser designs
+  phot::HomodyneConfig homodyne;        // coherent residual adders
+
+  // ---- Memory system ----
+  mem::SramConfig weight_buffer{2 * 1024 * 1024, 64, 16, 32.0};
+  mem::SramConfig activation_buffer{1 * 1024 * 1024, 64, 16, 32.0};
+  mem::DramConfig dram;
+
+  // Total bank arrays in the fabric.
+  [[nodiscard]] std::size_t attention_arrays() const noexcept {
+    return head_units * arrays_per_head;
+  }
+  [[nodiscard]] std::size_t total_arrays() const noexcept {
+    return attention_arrays() + ff_arrays;
+  }
+};
+
+// Default design point: the fixed point of the WDM design-space search (see
+// bench_ablation_crosstalk) with the architectural counts from the paper's
+// design-space analysis.
+[[nodiscard]] TronConfig default_tron_config();
+
+}  // namespace lumos::tron

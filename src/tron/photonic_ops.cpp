@@ -1,0 +1,107 @@
+#include "tron/photonic_ops.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace lumos::tron {
+
+nn::Matrix photonic_matmul(const nn::Matrix& a, const nn::Matrix& b,
+                           const phot::MrBankArray& array, Rng& rng,
+                           const phot::AnalogNoiseConfig& noise) {
+  LUMOS_EXPECTS(a.cols() == b.rows());
+  const std::size_t m = a.rows();
+  const std::size_t k = a.cols();
+  const std::size_t n = b.cols();
+  const std::size_t kh = array.rows();
+  const std::size_t nh = array.columns();
+
+  // Per-operand symmetric normalisation into [-1, 1] (the DAC range).
+  const double sa = a.max_abs();
+  const double sb = b.max_abs();
+  nn::Matrix c(m, n);
+  if (sa == 0.0 || sb == 0.0) return c;
+  const double restore = sa * sb;
+
+  std::vector<double> x_tile(kh);
+  std::vector<double> w_tile;
+  for (std::size_t k0 = 0; k0 < k; k0 += kh) {
+    const std::size_t kt = std::min(kh, k - k0);
+    for (std::size_t n0 = 0; n0 < n; n0 += nh) {
+      const std::size_t nt = std::min(nh, n - n0);
+      // Stage the weight tile once per (k0, n0); rows stream through it.
+      w_tile.assign(kt * nt, 0.0);
+      for (std::size_t kk = 0; kk < kt; ++kk)
+        for (std::size_t nn_ = 0; nn_ < nt; ++nn_)
+          w_tile[kk * nt + nn_] = b(k0 + kk, n0 + nn_) / sb;
+      for (std::size_t row = 0; row < m; ++row) {
+        x_tile.resize(kt);
+        for (std::size_t kk = 0; kk < kt; ++kk) x_tile[kk] = a(row, k0 + kk) / sa;
+        const std::vector<double> y = array.matvec(
+            std::span<const double>(x_tile.data(), kt),
+            std::span<const double>(w_tile.data(), kt * nt), rng, noise);
+        // Digital partial-sum accumulation across K tiles.
+        for (std::size_t nn_ = 0; nn_ < nt; ++nn_) c(row, n0 + nn_) += y[nn_] * restore;
+      }
+    }
+  }
+  return c;
+}
+
+nn::Matrix photonic_residual_add(const nn::Matrix& a, const nn::Matrix& b,
+                                 const phot::CoherentSummationUnit& adder, Rng& rng,
+                                 const phot::AnalogNoiseConfig& noise) {
+  LUMOS_EXPECTS(a.rows() == b.rows() && a.cols() == b.cols());
+  // Normalise the pair into the unit's [-1,1] window, sum optically, restore.
+  const double scale = std::max(a.max_abs(), b.max_abs());
+  nn::Matrix out(a.rows(), a.cols());
+  if (scale == 0.0) return out;
+  double vals[2];
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    for (std::size_t c = 0; c < a.cols(); ++c) {
+      vals[0] = a(r, c) / scale;
+      vals[1] = b(r, c) / scale;
+      out(r, c) = adder.sum(std::span<const double>(vals, 2), rng, noise) * scale;
+    }
+  }
+  return out;
+}
+
+nn::Matrix photonic_layer_norm(const nn::Matrix& x, std::span<const double> gamma,
+                               std::span<const double> beta, const phot::MrBank& ln_ring,
+                               Rng& rng, const phot::AnalogNoiseConfig& noise) {
+  LUMOS_EXPECTS(gamma.size() == x.cols() && beta.size() == x.cols());
+  nn::Matrix out(x.rows(), x.cols());
+  constexpr double kEps = 1e-5;
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    const auto row = x.row(r);
+    double mean = 0.0;
+    for (const double v : row) mean += v;
+    mean /= static_cast<double>(row.size());
+    double var = 0.0;
+    for (const double v : row) var += (v - mean) * (v - mean);
+    var /= static_cast<double>(row.size());
+    const double inv = 1.0 / std::sqrt(var + kEps);
+    // The normalised value passes through a single MR whose tuning encodes
+    // the per-element LN scale; the imprint's transmission error is the
+    // optical contribution to LN error.
+    auto orow = out.row(r);
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      const double normalised = (row[c] - mean) * inv;  // ~N(0,1): clamp to [-3,3]
+      const double clamped = std::clamp(normalised / 3.0, -1.0, 1.0);
+      double mag = std::fabs(clamped);
+      double tuning_error = 0.0;
+      if (noise.mr_tuning_error) tuning_error = rng.normal(0.0, noise.tuning_error_sigma_m);
+      const double t = ln_ring.reference_ring().imprint(mag, tuning_error);
+      const double floor = ln_ring.reference_ring().extinction_floor();
+      const double span = ln_ring.reference_ring().max_transmission() - floor;
+      const double read = std::clamp((t - floor) / span, 0.0, 1.0);
+      const double signed_read = clamped < 0.0 ? -read : read;
+      orow[c] = signed_read * 3.0 * gamma[c] + beta[c];
+    }
+  }
+  return out;
+}
+
+}  // namespace lumos::tron

@@ -1,0 +1,39 @@
+// Functional photonic tensor operations built on MR bank arrays.
+//
+// These helpers push real matrices through the analog device chain
+// (normalisation -> DAC -> MR imprint -> crosstalk -> BPD -> ADC) tile by
+// tile, exactly as the hardware streams them, so end-to-end fidelity against
+// the exact reference implementations can be measured.  Both TRON and GHOST
+// use them (GHOST's transform unit is the same bank-array primitive).
+#pragma once
+
+#include "nn/tensor.hpp"
+#include "photonics/mr_bank.hpp"
+
+namespace lumos::tron {
+
+// Photonic C = A * B with per-operand symmetric normalisation.  A is M x K,
+// B is K x N.  Tiles A's rows over the array's wavelength count and B's
+// columns over the array's column count; partial sums accumulate digitally.
+[[nodiscard]] nn::Matrix photonic_matmul(const nn::Matrix& a, const nn::Matrix& b,
+                                         const phot::MrBankArray& array, Rng& rng,
+                                         const phot::AnalogNoiseConfig& noise);
+
+// Photonic residual add via coherent summation (paper Fig. 3b):
+// returns a + b element-wise, each element passing through the summation unit.
+[[nodiscard]] nn::Matrix photonic_residual_add(const nn::Matrix& a, const nn::Matrix& b,
+                                               const phot::CoherentSummationUnit& adder,
+                                               Rng& rng, const phot::AnalogNoiseConfig& noise);
+
+// Optical LayerNorm (paper Section V.C: "layer normalization is implemented
+// optically using a single MR, tuned by the LN parameter").  The statistics
+// are computed digitally (they are per-row scalars); the per-element scale
+// is applied in the optical domain through an MR imprint, which contributes
+// its transmission error.
+[[nodiscard]] nn::Matrix photonic_layer_norm(const nn::Matrix& x,
+                                             std::span<const double> gamma,
+                                             std::span<const double> beta,
+                                             const phot::MrBank& ln_ring, Rng& rng,
+                                             const phot::AnalogNoiseConfig& noise);
+
+}  // namespace lumos::tron

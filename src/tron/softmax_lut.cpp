@@ -1,0 +1,77 @@
+#include "tron/softmax_lut.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "nn/ops.hpp"
+
+namespace lumos::tron {
+
+SoftmaxLut::SoftmaxLut(const SoftmaxLutConfig& config) : config_(config) {
+  LUMOS_EXPECTS(config.table_size >= 8);
+  LUMOS_EXPECTS(config.input_range > 0.0);
+  LUMOS_EXPECTS(config.parallel_units >= 1);
+  LUMOS_EXPECTS(config.clock_hz > 0.0);
+  table_.resize(config.table_size);
+  // Entry i holds exp(-range * i / (size-1)); inputs are in [-range, 0] after
+  // max subtraction.
+  for (std::size_t i = 0; i < config.table_size; ++i) {
+    const double x = -config.input_range * static_cast<double>(i) /
+                     static_cast<double>(config.table_size - 1);
+    table_[i] = std::exp(x);
+  }
+}
+
+double SoftmaxLut::lut_exp(double x) const noexcept {
+  // x <= 0 expected; clamp to the covered range and round to the nearest
+  // table entry (nearest-neighbour lookup, as a hardware LUT does).
+  const double clamped = std::clamp(-x, 0.0, config_.input_range);
+  const auto idx = static_cast<std::size_t>(
+      std::lround(clamped / config_.input_range *
+                  static_cast<double>(config_.table_size - 1)));
+  return table_[idx];
+}
+
+void SoftmaxLut::apply(std::span<double> row) const {
+  if (row.empty()) return;
+  double mx = row[0];
+  for (const double v : row) mx = std::max(mx, v);
+  double sum = 0.0;
+  for (double& v : row) {
+    v = lut_exp(v - mx);
+    sum += v;
+  }
+  for (double& v : row) v /= sum;
+}
+
+double SoftmaxLut::approximation_error(std::size_t samples, std::size_t width) const {
+  Rng rng(0x50F7);
+  double worst = 0.0;
+  std::vector<double> probe(width);
+  std::vector<double> exact(width);
+  for (std::size_t s = 0; s < samples; ++s) {
+    for (std::size_t i = 0; i < width; ++i) probe[i] = rng.uniform(-8.0, 8.0);
+    exact = probe;
+    nn::softmax_inplace(exact);
+    apply(probe);
+    for (std::size_t i = 0; i < width; ++i) {
+      worst = std::max(worst, std::fabs(probe[i] - exact[i]));
+    }
+  }
+  return worst;
+}
+
+double SoftmaxLut::latency_s(std::size_t elements) const noexcept {
+  // Two passes (exp+sum, normalise) over the elements, `parallel_units` wide.
+  const double cycles =
+      2.0 * std::ceil(static_cast<double>(elements) / static_cast<double>(config_.parallel_units));
+  return cycles / config_.clock_hz;
+}
+
+double SoftmaxLut::energy_j(std::size_t elements) const noexcept {
+  return static_cast<double>(elements) * config_.energy_per_element_j;
+}
+
+}  // namespace lumos::tron

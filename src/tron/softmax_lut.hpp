@@ -1,0 +1,49 @@
+// Digital LUT softmax unit (paper Section V.C: "the results are converted to
+// the digital domain to undergo softmax computation using lookup tables
+// (LUTs) and simple digital circuits").
+//
+// Functional model: exp() is read from a `table_size`-entry LUT over a
+// clamped input range (scores are max-subtracted first, so inputs lie in
+// [-range, 0]); normalisation uses an exact divide.  The LUT's quantisation
+// is the unit's approximation error, which the fidelity tests measure.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace lumos::tron {
+
+struct SoftmaxLutConfig {
+  std::size_t table_size = 256;
+  double input_range = 16.0;   // covers exp(-16) ~ 1e-7, below int8 resolution
+  std::size_t parallel_units = 256;
+  double clock_hz = 1e9;
+  double energy_per_element_j = 0.7e-12;
+};
+
+class SoftmaxLut {
+ public:
+  explicit SoftmaxLut(const SoftmaxLutConfig& config);
+
+  // In-place LUT softmax over `row`.
+  void apply(std::span<double> row) const;
+
+  // Worst |LUT - exact| softmax output difference over random probes.
+  [[nodiscard]] double approximation_error(std::size_t samples = 64,
+                                           std::size_t width = 64) const;
+
+  // Cost of softmaxing `elements` values.
+  [[nodiscard]] double latency_s(std::size_t elements) const noexcept;
+  [[nodiscard]] double energy_j(std::size_t elements) const noexcept;
+
+  [[nodiscard]] const SoftmaxLutConfig& config() const noexcept { return config_; }
+
+ private:
+  [[nodiscard]] double lut_exp(double x) const noexcept;
+
+  SoftmaxLutConfig config_;
+  std::vector<double> table_;
+};
+
+}  // namespace lumos::tron

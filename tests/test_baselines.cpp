@@ -1,0 +1,125 @@
+// Tests for the electronic baseline platform models.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "baselines/platforms.hpp"
+
+namespace lumos::baselines {
+namespace {
+
+TEST(Platforms, ComparisonSetsMatchPaper) {
+  const auto llm = llm_baselines();
+  ASSERT_EQ(llm.size(), 7u);  // V100, TPUv2, Xeon, TransPIM, FPGA_Acc1, VAQF, FPGA_Acc2
+  const auto gnn = gnn_baselines();
+  ASSERT_EQ(gnn.size(), 9u);  // GRIP, HyGCN, EnGN, HW_ACC, ReGNN, ReGraphX, TPUv4, Xeon, A100
+}
+
+TEST(Platforms, EstimateBasicConsistency) {
+  const PlatformModel gpu = v100_gpu();
+  const PerfReport r = gpu.estimate("probe", 1'000'000'000, 1e6, WorkloadClass::kTransformer);
+  EXPECT_GT(r.latency_s, 0.0);
+  EXPECT_GT(r.total_energy_j, 0.0);
+  EXPECT_NEAR(r.total_energy_j, r.static_energy_j + r.dynamic_energy_j, 1e-12);
+  EXPECT_EQ(r.platform, "V100 GPU");
+}
+
+TEST(Platforms, ComputeBoundScalesWithOps) {
+  const PlatformModel gpu = v100_gpu();
+  const PerfReport small = gpu.estimate("a", 1'000'000'000, 1.0, WorkloadClass::kTransformer);
+  const PerfReport large = gpu.estimate("b", 2'000'000'000, 1.0, WorkloadClass::kTransformer);
+  const double overhead = gpu.spec().transformer_overhead_s;
+  EXPECT_NEAR(large.latency_s - overhead, 2.0 * (small.latency_s - overhead),
+              1e-6 * large.latency_s);
+}
+
+TEST(Platforms, MemoryBoundScalesWithBytes) {
+  const PlatformModel cpu = xeon_cpu();
+  const PerfReport small = cpu.estimate("a", 1, 1e9, WorkloadClass::kGnn);
+  const PerfReport large = cpu.estimate("b", 1, 2e9, WorkloadClass::kGnn);
+  const double overhead = cpu.spec().gnn_overhead_s;
+  EXPECT_NEAR(large.latency_s - overhead, 2.0 * (small.latency_s - overhead),
+              1e-6 * large.latency_s);
+}
+
+TEST(Platforms, GnnUtilisationLowerThanTransformer) {
+  for (const auto& p : gnn_baselines()) {
+    EXPECT_LE(p.spec().gnn_utilization, p.spec().transformer_utilization + 1e-12)
+        << p.spec().name;
+  }
+}
+
+TEST(Platforms, GnnWorkloadSlowerPerOpThanDense) {
+  const PlatformModel gpu = a100_gpu();
+  const PerfReport dense = gpu.estimate("d", 10'000'000'000, 1.0, WorkloadClass::kTransformer);
+  const PerfReport sparse = gpu.estimate("s", 10'000'000'000, 1.0, WorkloadClass::kGnn);
+  EXPECT_GT(sparse.latency_s, dense.latency_s);
+}
+
+TEST(Platforms, EnergyNeverBelowIdleFloor) {
+  for (const auto& p : llm_baselines()) {
+    const PerfReport r = p.estimate("probe", 1'000'000, 1e3, WorkloadClass::kTransformer);
+    EXPECT_GE(r.total_energy_j, r.static_power_w * r.latency_s - 1e-12) << p.spec().name;
+    EXPECT_LE(r.average_power_w(), p.spec().board_power_w + 1e-9) << p.spec().name;
+  }
+}
+
+TEST(Platforms, TransformerEstimateUsesModelOps) {
+  const PlatformModel tpu = tpu_v2();
+  const auto model = nn::bert_base();
+  const PerfReport r = tpu.estimate_transformer(model);
+  EXPECT_EQ(r.op_count, model.op_count());
+  EXPECT_EQ(r.workload, "BERT-base");
+}
+
+TEST(Platforms, GnnEstimateUsesModelOps) {
+  const PlatformModel acc = hygcn();
+  const auto model = gnn::gcn_model();
+  const auto ds = graph::synthetic_cora();
+  const PerfReport r = acc.estimate_gnn(model, ds);
+  EXPECT_EQ(r.op_count, gnn::model_op_count(model, ds));
+  EXPECT_EQ(r.workload, "GCN/Cora");
+}
+
+TEST(Platforms, BiggerModelsTakeLonger) {
+  const PlatformModel gpu = v100_gpu();
+  EXPECT_GT(gpu.estimate_transformer(nn::bert_large()).latency_s,
+            gpu.estimate_transformer(nn::bert_base()).latency_s);
+}
+
+TEST(Platforms, AcceleratorsBeatCpuOnGnns) {
+  // Sanity on ordering: the dedicated GNN accelerators outrun the CPU.
+  const auto model = gnn::gcn_model();
+  const auto ds = graph::synthetic_cora();
+  const double cpu = xeon_cpu().estimate_gnn(model, ds).latency_s;
+  for (const auto& make : {grip, hygcn, engn, regnn, regraphx}) {
+    EXPECT_LT(make().estimate_gnn(model, ds).latency_s, cpu) << make().spec().name;
+  }
+}
+
+TEST(Platforms, InvalidSpecRejected) {
+  PlatformSpec s;
+  s.name = "bad";
+  s.peak_ops_per_s = 0.0;
+  s.memory_bandwidth_bps = 1.0;
+  s.board_power_w = 1.0;
+  EXPECT_THROW(PlatformModel{s}, lumos::InvalidArgument);
+}
+
+// EPB identity sweep across all platforms on a fixed workload.
+class PlatformSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(PlatformSweep, EpbIdentity) {
+  const auto platforms = llm_baselines();
+  const auto& p = platforms[GetParam()];
+  const PerfReport r = p.estimate_transformer(nn::gpt2_small());
+  EXPECT_NEAR(r.energy_per_bit_j() * static_cast<double>(r.op_count) * r.bits,
+              r.total_energy_j, r.total_energy_j * 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllLlmPlatforms, PlatformSweep,
+                         ::testing::Values(std::size_t{0}, std::size_t{1}, std::size_t{2},
+                                           std::size_t{3}, std::size_t{4}, std::size_t{5},
+                                           std::size_t{6}));
+
+}  // namespace
+}  // namespace lumos::baselines

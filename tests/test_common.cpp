@@ -1,0 +1,235 @@
+// Unit tests for lumos::common — RNG determinism/statistics, descriptive
+// stats, unit conversions, error macros, and the table reporter.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "common/units.hpp"
+
+namespace lumos {
+namespace {
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_EQ(a.next_u32(), b.next_u32());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u32() == b.next_u32()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, StreamsAreIndependent) {
+  Rng a(7, 0), b(7, 1);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u32() == b.next_u32()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.next_double();
+    ASSERT_GE(v, 0.0);
+    ASSERT_LT(v, 1.0);
+  }
+}
+
+TEST(Rng, NextBelowRespectsBound) {
+  Rng rng(9);
+  for (std::uint32_t bound : {1u, 2u, 7u, 100u, 1000000u}) {
+    for (int i = 0; i < 200; ++i) {
+      ASSERT_LT(rng.next_below(bound), bound);
+    }
+  }
+}
+
+TEST(Rng, NextBelowZeroReturnsZero) {
+  Rng rng(1);
+  EXPECT_EQ(rng.next_below(0), 0u);
+}
+
+TEST(Rng, UniformCoversRange) {
+  Rng rng(11);
+  double lo = 1e300, hi = -1e300;
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.uniform(-2.0, 3.0);
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+    ASSERT_GE(v, -2.0);
+    ASSERT_LT(v, 3.0);
+  }
+  EXPECT_LT(lo, -1.8);
+  EXPECT_GT(hi, 2.8);
+}
+
+TEST(Rng, NormalMomentsMatch) {
+  Rng rng(13);
+  RunningStats s;
+  for (int i = 0; i < 50000; ++i) s.add(rng.normal(5.0, 2.0));
+  EXPECT_NEAR(s.mean(), 5.0, 0.05);
+  EXPECT_NEAR(s.stddev(), 2.0, 0.05);
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng(17);
+  std::vector<std::uint32_t> v(100);
+  for (std::uint32_t i = 0; i < 100; ++i) v[i] = i;
+  rng.shuffle(v);
+  std::vector<std::uint32_t> sorted = v;
+  std::sort(sorted.begin(), sorted.end());
+  for (std::uint32_t i = 0; i < 100; ++i) EXPECT_EQ(sorted[i], i);
+}
+
+TEST(RunningStats, BasicMoments) {
+  RunningStats s;
+  for (const double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(v);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStats, SingleSampleHasZeroVariance) {
+  RunningStats s;
+  s.add(3.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(Stats, MeanAndExtrema) {
+  const std::vector<double> v{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(mean(v), 2.5);
+  EXPECT_DOUBLE_EQ(min_value(v), 1.0);
+  EXPECT_DOUBLE_EQ(max_value(v), 4.0);
+  EXPECT_DOUBLE_EQ(mean({}), 0.0);
+}
+
+TEST(Stats, GeometricMean) {
+  const std::vector<double> v{1.0, 10.0, 100.0};
+  EXPECT_NEAR(geometric_mean(v), 10.0, 1e-9);
+  EXPECT_THROW((void)geometric_mean(std::vector<double>{1.0, -1.0}), InvalidArgument);
+}
+
+TEST(Stats, Linspace) {
+  const auto v = linspace(0.0, 1.0, 5);
+  ASSERT_EQ(v.size(), 5u);
+  EXPECT_DOUBLE_EQ(v.front(), 0.0);
+  EXPECT_DOUBLE_EQ(v.back(), 1.0);
+  EXPECT_DOUBLE_EQ(v[2], 0.5);
+  EXPECT_EQ(linspace(3.0, 9.0, 1).size(), 1u);
+}
+
+TEST(Stats, Logspace) {
+  const auto v = logspace(1.0, 1000.0, 4);
+  ASSERT_EQ(v.size(), 4u);
+  EXPECT_NEAR(v[0], 1.0, 1e-9);
+  EXPECT_NEAR(v[1], 10.0, 1e-9);
+  EXPECT_NEAR(v[3], 1000.0, 1e-9);
+}
+
+TEST(Units, DbRoundTrip) {
+  for (const double db : {-30.0, -3.0, 0.0, 3.0, 10.0, 20.0}) {
+    EXPECT_NEAR(units::linear_to_db(units::db_to_linear(db)), db, 1e-9);
+  }
+}
+
+TEST(Units, DbmConversions) {
+  EXPECT_NEAR(units::dbm_to_watts(0.0), 1e-3, 1e-12);
+  EXPECT_NEAR(units::dbm_to_watts(30.0), 1.0, 1e-9);
+  EXPECT_NEAR(units::watts_to_dbm(1e-6), -30.0, 1e-9);
+}
+
+TEST(Units, AttenuateAppliesLoss) {
+  EXPECT_NEAR(units::attenuate(1.0, 3.0103), 0.5, 1e-4);
+  EXPECT_NEAR(units::attenuate(2e-3, 0.0), 2e-3, 1e-15);
+}
+
+TEST(Units, PrefixHelpers) {
+  EXPECT_DOUBLE_EQ(units::ghz(10.0), 1e10);
+  EXPECT_DOUBLE_EQ(units::nm(1550.0), 1.55e-6);
+  EXPECT_DOUBLE_EQ(units::to_nm(1.55e-6), 1550.0);
+  EXPECT_DOUBLE_EQ(units::fj(70.0), 7e-14);
+  EXPECT_DOUBLE_EQ(units::to_gops(1e12), 1000.0);
+}
+
+TEST(Error, ExpectsThrowsInvalidArgument) {
+  EXPECT_THROW(LUMOS_EXPECTS(false), InvalidArgument);
+  EXPECT_NO_THROW(LUMOS_EXPECTS(true));
+  EXPECT_THROW(LUMOS_EXPECTS_MSG(1 == 2, "message"), InvalidArgument);
+}
+
+TEST(Error, EnsuresThrowsInternalError) {
+  EXPECT_THROW(LUMOS_ENSURES(false), InternalError);
+}
+
+TEST(Error, MessageContainsExpressionAndNote) {
+  try {
+    LUMOS_EXPECTS_MSG(0 > 1, "zero is not greater");
+    FAIL() << "should have thrown";
+  } catch (const InvalidArgument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("0 > 1"), std::string::npos);
+    EXPECT_NE(what.find("zero is not greater"), std::string::npos);
+  }
+}
+
+TEST(Table, RendersHeaderAndRows) {
+  Table t("demo");
+  t.add_row({"name", "value"});
+  t.add_row({"alpha", Table::num(1.5)});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("demo"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("1.500"), std::string::npos);
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(Table, CsvEscapesSeparators) {
+  Table t;
+  t.add_row({"a,b", "plain"});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "\"a,b\",plain\n");
+}
+
+TEST(Table, NumFormatsExtremes) {
+  EXPECT_NE(Table::num(1.23456e12).find('e'), std::string::npos);
+  EXPECT_NE(Table::num(1.23456e-9).find('e'), std::string::npos);
+  EXPECT_EQ(Table::num(0.0), "0.000");
+}
+
+// Property sweep: PCG next_below stays unbiased enough across bounds.
+class RngBoundSweep : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(RngBoundSweep, RoughlyUniform) {
+  const std::uint32_t bound = GetParam();
+  Rng rng(bound * 2654435761u + 1);
+  std::vector<int> hist(bound, 0);
+  const int n = 2000 * static_cast<int>(bound);
+  for (int i = 0; i < n; ++i) ++hist[rng.next_below(bound)];
+  const double expected = static_cast<double>(n) / bound;
+  for (std::uint32_t b = 0; b < bound; ++b) {
+    EXPECT_NEAR(hist[b], expected, 5.0 * std::sqrt(expected)) << "bucket " << b;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Bounds, RngBoundSweep, ::testing::Values(2u, 3u, 5u, 8u, 13u));
+
+}  // namespace
+}  // namespace lumos

@@ -1,0 +1,113 @@
+// Tests for the DAC/ADC cost-and-fidelity models.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "photonics/converters.hpp"
+
+namespace lumos::phot {
+namespace {
+
+TEST(Dac, EnergyScalesWithBits) {
+  DacConfig c8;
+  c8.bits = 8;
+  DacConfig c10 = c8;
+  c10.bits = 10;
+  EXPECT_NEAR(DacModel(c10).energy_per_conversion_j(),
+              4.0 * DacModel(c8).energy_per_conversion_j(), 1e-18);
+}
+
+TEST(Dac, LatencyIsOneSamplePeriod) {
+  DacConfig c;
+  c.sample_rate_hz = 5e9;
+  EXPECT_DOUBLE_EQ(DacModel(c).conversion_latency_s(), 0.2e-9);
+}
+
+TEST(Dac, QuantizeSnapsToGrid) {
+  const DacModel dac(DacConfig{});
+  const double lsb = 1.0 / 255.0;
+  EXPECT_DOUBLE_EQ(dac.quantize(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(dac.quantize(1.0), 1.0);
+  EXPECT_NEAR(dac.quantize(0.5), 0.5, lsb / 2.0 + 1e-12);
+  // Any value is within half an LSB of its code.
+  for (double v = 0.01; v < 1.0; v += 0.0137) {
+    EXPECT_NEAR(dac.quantize(v), v, lsb / 2.0 + 1e-12);
+  }
+}
+
+TEST(Dac, QuantizeClampsOutOfRange) {
+  const DacModel dac(DacConfig{});
+  EXPECT_DOUBLE_EQ(dac.quantize(-0.5), 0.0);
+  EXPECT_DOUBLE_EQ(dac.quantize(1.5), 1.0);
+  EXPECT_DOUBLE_EQ(dac.quantize_signed(-2.0), -1.0);
+  EXPECT_DOUBLE_EQ(dac.quantize_signed(2.0), 1.0);
+}
+
+TEST(Dac, SignedQuantizeSymmetric) {
+  const DacModel dac(DacConfig{});
+  for (double v = 0.0; v <= 1.0; v += 0.0731) {
+    EXPECT_DOUBLE_EQ(dac.quantize_signed(v), -dac.quantize_signed(-v));
+  }
+  EXPECT_DOUBLE_EQ(dac.quantize_signed(0.0), 0.0);
+}
+
+TEST(Adc, EnergyScalesWithBits) {
+  AdcConfig c6;
+  c6.bits = 6;
+  AdcConfig c8 = c6;
+  c8.bits = 8;
+  EXPECT_NEAR(AdcModel(c8).energy_per_conversion_j(),
+              4.0 * AdcModel(c6).energy_per_conversion_j(), 1e-18);
+}
+
+TEST(Adc, CostsMoreThanDacAtIsoRate) {
+  EXPECT_GT(AdcModel(AdcConfig{}).energy_per_conversion_j(),
+            DacModel(DacConfig{}).energy_per_conversion_j());
+}
+
+TEST(Adc, QuantizeIdempotent) {
+  const AdcModel adc(AdcConfig{});
+  for (double v = 0.0; v <= 1.0; v += 0.0313) {
+    const double q = adc.quantize(v);
+    EXPECT_DOUBLE_EQ(adc.quantize(q), q);
+  }
+}
+
+TEST(Converters, InvalidBitsRejected) {
+  DacConfig d;
+  d.bits = 0;
+  EXPECT_THROW(DacModel{d}, lumos::InvalidArgument);
+  AdcConfig a;
+  a.bits = 20;
+  EXPECT_THROW(AdcModel{a}, lumos::InvalidArgument);
+}
+
+TEST(Converters, EightBitEnergiesInPublishedRange) {
+  // Sanity anchor: published 8-bit multi-GS/s converters land at ~1-5 pJ.
+  const double dac_j = DacModel(DacConfig{}).energy_per_conversion_j();
+  const double adc_j = AdcModel(AdcConfig{}).energy_per_conversion_j();
+  EXPECT_GT(dac_j, 0.2e-12);
+  EXPECT_LT(dac_j, 5e-12);
+  EXPECT_GT(adc_j, 0.5e-12);
+  EXPECT_LT(adc_j, 10e-12);
+}
+
+// Bit-depth sweep: quantisation error bound is half an LSB at every depth.
+class ConverterBitsSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(ConverterBitsSweep, HalfLsbErrorBound) {
+  const int bits = GetParam();
+  DacConfig c;
+  c.bits = bits;
+  const DacModel dac(c);
+  const double lsb = 1.0 / (std::pow(2.0, bits) - 1.0);
+  for (double v = 0.0; v <= 1.0; v += 0.0173) {
+    EXPECT_LE(std::fabs(dac.quantize(v) - v), lsb / 2.0 + 1e-12) << "bits=" << bits;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Depths, ConverterBitsSweep, ::testing::Values(2, 4, 6, 8, 10, 12));
+
+}  // namespace
+}  // namespace lumos::phot

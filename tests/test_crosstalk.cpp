@@ -1,0 +1,158 @@
+// Tests for heterodyne and homodyne crosstalk models (paper Section V.B and
+// Fig. 3d).
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include <cmath>
+
+#include "photonics/crosstalk.hpp"
+
+namespace lumos::phot {
+namespace {
+
+HeterodyneConfig hconfig(double spacing_nm, double q, std::size_t channels) {
+  HeterodyneConfig c;
+  c.channel_spacing_m = spacing_nm * 1e-9;
+  c.quality_factor = q;
+  c.channel_count = channels;
+  return c;
+}
+
+TEST(Heterodyne, CouplingPeaksAtZeroDetuning) {
+  const HeterodyneCrosstalkModel m(hconfig(0.8, 8000, 16));
+  EXPECT_DOUBLE_EQ(m.coupling_at(0.0), 1.0);
+  EXPECT_LT(m.coupling_at(0.4e-9), 1.0);
+}
+
+TEST(Heterodyne, CouplingDecaysMonotonically) {
+  const HeterodyneCrosstalkModel m(hconfig(0.8, 8000, 16));
+  double prev = 1.0;
+  for (double d = 0.1e-9; d < 3e-9; d += 0.1e-9) {
+    const double c = m.coupling_at(d);
+    EXPECT_LT(c, prev);
+    prev = c;
+  }
+}
+
+TEST(Heterodyne, CentreChannelSuffersMost) {
+  const HeterodyneCrosstalkModel m(hconfig(0.8, 8000, 17));
+  const double centre = m.crosstalk_fraction(8);
+  const double edge = m.crosstalk_fraction(0);
+  EXPECT_GT(centre, edge);
+}
+
+TEST(Heterodyne, WiderSpacingReducesCrosstalk) {
+  const double tight = HeterodyneCrosstalkModel(hconfig(0.4, 8000, 16))
+                           .analyze().worst_crosstalk_fraction;
+  const double loose = HeterodyneCrosstalkModel(hconfig(1.2, 8000, 16))
+                           .analyze().worst_crosstalk_fraction;
+  EXPECT_GT(tight, loose);
+}
+
+TEST(Heterodyne, HigherQReducesCrosstalk) {
+  const double low_q = HeterodyneCrosstalkModel(hconfig(0.8, 4000, 16))
+                           .analyze().worst_crosstalk_fraction;
+  const double high_q = HeterodyneCrosstalkModel(hconfig(0.8, 16000, 16))
+                            .analyze().worst_crosstalk_fraction;
+  EXPECT_GT(low_q, high_q);
+}
+
+TEST(Heterodyne, MoreChannelsIncreaseCrosstalk) {
+  const double few = HeterodyneCrosstalkModel(hconfig(0.8, 8000, 4))
+                         .analyze().worst_crosstalk_fraction;
+  const double many = HeterodyneCrosstalkModel(hconfig(0.8, 8000, 32))
+                          .analyze().worst_crosstalk_fraction;
+  EXPECT_GT(many, few);
+}
+
+TEST(Heterodyne, SingleChannelHasNoCrosstalk) {
+  const HeterodyneCrosstalkModel m(hconfig(0.8, 8000, 1));
+  EXPECT_DOUBLE_EQ(m.crosstalk_fraction(0), 0.0);
+  EXPECT_DOUBLE_EQ(m.analyze().worst_crosstalk_fraction, 0.0);
+}
+
+TEST(Heterodyne, OscrConsistentWithFraction) {
+  const HeterodyneCrosstalkModel m(hconfig(0.8, 8000, 16));
+  const HeterodyneReport r = m.analyze();
+  EXPECT_NEAR(r.worst_oscr_db, 10.0 * std::log10(1.0 / r.worst_crosstalk_fraction), 1e-9);
+}
+
+TEST(Heterodyne, PerturbAddsLeakedAggressorPower) {
+  const HeterodyneCrosstalkModel m(hconfig(0.8, 8000, 16));
+  const double clean = 0.5;
+  const double perturbed = m.perturb(clean, 0.5, 8);
+  EXPECT_GT(perturbed, clean);
+  EXPECT_NEAR(perturbed, clean + m.crosstalk_fraction(8) * 0.5, 1e-12);
+}
+
+TEST(Heterodyne, VictimIndexValidated) {
+  const HeterodyneCrosstalkModel m(hconfig(0.8, 8000, 8));
+  EXPECT_THROW((void)m.crosstalk_fraction(8), lumos::InvalidArgument);
+}
+
+TEST(Homodyne, LeakageDecaysWithGap) {
+  HomodyneConfig tight;
+  tight.coupling_gap_m = 150e-9;
+  HomodyneConfig loose;
+  loose.coupling_gap_m = 350e-9;
+  EXPECT_GT(HomodyneCrosstalkModel(tight).leakage_fraction(),
+            HomodyneCrosstalkModel(loose).leakage_fraction());
+}
+
+TEST(Homodyne, ReferenceGapGivesReferenceLeakage) {
+  HomodyneConfig c;
+  c.coupling_gap_m = c.reference_gap_m;
+  EXPECT_NEAR(HomodyneCrosstalkModel(c).leakage_fraction(), c.reference_leakage, 1e-12);
+}
+
+TEST(Homodyne, WorstCaseErrorGrowsWithSources) {
+  HomodyneConfig few;
+  few.interfering_elements = 2;
+  HomodyneConfig many;
+  many.interfering_elements = 8;
+  EXPECT_LT(HomodyneCrosstalkModel(few).worst_case_relative_error(),
+            HomodyneCrosstalkModel(many).worst_case_relative_error());
+}
+
+TEST(Homodyne, OscrImprovesWithGap) {
+  HomodyneConfig tight;
+  tight.coupling_gap_m = 150e-9;
+  HomodyneConfig loose;
+  loose.coupling_gap_m = 400e-9;
+  EXPECT_LT(HomodyneCrosstalkModel(tight).worst_oscr_db(),
+            HomodyneCrosstalkModel(loose).worst_oscr_db());
+}
+
+TEST(Homodyne, LeakageCappedAtHalf) {
+  HomodyneConfig c;
+  c.coupling_gap_m = 1e-9;  // absurdly tight
+  c.reference_leakage = 0.4;
+  EXPECT_LE(HomodyneCrosstalkModel(c).leakage_fraction(), 0.5);
+}
+
+TEST(Homodyne, InvalidConfigRejected) {
+  HomodyneConfig c;
+  c.reference_leakage = 1.5;
+  EXPECT_THROW(HomodyneCrosstalkModel{c}, lumos::InvalidArgument);
+}
+
+// Property sweep over channel counts: crosstalk fraction bounded and
+// monotone in count for fixed spacing.
+class ChannelSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ChannelSweep, BoundedAndOrdered) {
+  const std::size_t n = GetParam();
+  const HeterodyneCrosstalkModel m(hconfig(0.8, 8000, n));
+  const HeterodyneReport r = m.analyze();
+  EXPECT_GE(r.worst_crosstalk_fraction, 0.0);
+  EXPECT_LT(r.worst_crosstalk_fraction, 1.0);
+  EXPECT_LE(r.best_crosstalk_fraction, r.worst_crosstalk_fraction);
+}
+
+INSTANTIATE_TEST_SUITE_P(Counts, ChannelSweep,
+                         ::testing::Values(std::size_t{2}, std::size_t{4}, std::size_t{8},
+                                           std::size_t{16}, std::size_t{32},
+                                           std::size_t{64}));
+
+}  // namespace
+}  // namespace lumos::phot

@@ -1,0 +1,138 @@
+// Tests for the photodetector / balanced-photodetector receiver models.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "photonics/detector.hpp"
+
+namespace lumos::phot {
+namespace {
+
+TEST(Photodetector, PhotocurrentLinearInPower) {
+  const Photodetector pd({});
+  EXPECT_NEAR(pd.photocurrent(2e-3), 2.0 * pd.photocurrent(1e-3), 1e-15);
+}
+
+TEST(Photodetector, SnrIncreasesWithPower) {
+  const Photodetector pd({});
+  double prev = 0.0;
+  for (const double p : {1e-9, 1e-8, 1e-7, 1e-6, 1e-5, 1e-4}) {
+    const double snr = pd.snr_linear(p);
+    EXPECT_GT(snr, prev);
+    prev = snr;
+  }
+}
+
+TEST(Photodetector, ZeroPowerHasZeroSnr) {
+  const Photodetector pd({});
+  EXPECT_DOUBLE_EQ(pd.snr_linear(0.0), 0.0);
+}
+
+TEST(Photodetector, NoiseGrowsWithPowerButSublinearly) {
+  const Photodetector pd({});
+  const double n1 = pd.noise_current_sigma(1e-6);
+  const double n2 = pd.noise_current_sigma(4e-6);
+  EXPECT_GT(n2, n1);
+  // Shot-noise regime: sigma ~ sqrt(P), so 4x power < 4x noise.
+  EXPECT_LT(n2, 4.0 * n1);
+}
+
+TEST(Photodetector, SensitivityMeetsRequiredSnr) {
+  const Photodetector pd({});
+  for (const int bits : {4, 6, 8}) {
+    const double req = Photodetector::required_snr_db_for_bits(bits);
+    const double sens = pd.sensitivity_w(req);
+    EXPECT_GE(pd.snr_db(sens), req - 1e-6);
+    EXPECT_LT(pd.snr_db(sens * 0.5), req);  // tight within a factor of two
+  }
+}
+
+TEST(Photodetector, SensitivityGrowsWithPrecision) {
+  const Photodetector pd({});
+  const double s4 = pd.sensitivity_w(Photodetector::required_snr_db_for_bits(4));
+  const double s8 = pd.sensitivity_w(Photodetector::required_snr_db_for_bits(8));
+  EXPECT_GT(s8, s4);
+}
+
+TEST(Photodetector, RequiredSnrFormula) {
+  EXPECT_NEAR(Photodetector::required_snr_db_for_bits(8), 49.92, 0.01);
+  EXPECT_NEAR(Photodetector::required_snr_db_for_bits(1), 7.78, 0.01);
+}
+
+TEST(Photodetector, WiderBandwidthNeedsMorePower) {
+  // At 6-bit SNR both bandwidths are reachable (an 8-bit target at 50 GHz is
+  // RIN-limited and correctly rejected by sensitivity_w).
+  PhotodetectorConfig narrow;
+  narrow.bandwidth_hz = 1e9;
+  PhotodetectorConfig wide;
+  wide.bandwidth_hz = 20e9;
+  const double req = Photodetector::required_snr_db_for_bits(6);
+  EXPECT_LT(Photodetector(narrow).sensitivity_w(req),
+            Photodetector(wide).sensitivity_w(req));
+}
+
+TEST(Photodetector, RinCeilingRejectsUnreachableSnr) {
+  PhotodetectorConfig wide;
+  wide.bandwidth_hz = 50e9;
+  EXPECT_THROW((void)Photodetector(wide).sensitivity_w(
+                   Photodetector::required_snr_db_for_bits(10)),
+               lumos::InvalidArgument);
+}
+
+TEST(Photodetector, InvalidConfigRejected) {
+  PhotodetectorConfig c;
+  c.responsivity_a_per_w = 0.0;
+  EXPECT_THROW(Photodetector{c}, lumos::InvalidArgument);
+}
+
+TEST(Bpd, DifferentialCurrentIsSigned) {
+  const BalancedPhotodetector bpd({});
+  EXPECT_GT(bpd.differential_current(2e-3, 1e-3), 0.0);
+  EXPECT_LT(bpd.differential_current(1e-3, 2e-3), 0.0);
+  EXPECT_DOUBLE_EQ(bpd.differential_current(1e-3, 1e-3), 0.0);
+}
+
+TEST(Bpd, DetectNormalisesToFullScale) {
+  const BalancedPhotodetector bpd({});
+  EXPECT_NEAR(bpd.detect(1e-3, 0.0, 1e-3), 1.0, 1e-12);
+  EXPECT_NEAR(bpd.detect(0.0, 1e-3, 1e-3), -1.0, 1e-12);
+  EXPECT_NEAR(bpd.detect(0.75e-3, 0.25e-3, 1e-3), 0.5, 1e-12);
+}
+
+TEST(Bpd, NoiseSigmaCombinesArms) {
+  const BalancedPhotodetector bpd({});
+  double sigma_both = 0.0;
+  double sigma_one = 0.0;
+  (void)bpd.detect(1e-3, 1e-3, 1e-3, &sigma_both);
+  (void)bpd.detect(1e-3, 0.0, 1e-3, &sigma_one);
+  EXPECT_GT(sigma_both, sigma_one);  // two loaded arms add noise in quadrature
+  EXPECT_GT(sigma_one, 0.0);
+}
+
+TEST(Bpd, FullScaleMustBePositive) {
+  const BalancedPhotodetector bpd({});
+  EXPECT_THROW((void)bpd.detect(1e-3, 0.0, 0.0), lumos::InvalidArgument);
+}
+
+// Sweep: the relative noise (sigma / full-scale) at sensitivity supports the
+// requested bit depth with ~half-LSB margin.
+class BitDepthSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(BitDepthSweep, NoiseBelowLsbAtSensitivity) {
+  const int bits = GetParam();
+  const Photodetector pd({});
+  const double sens = pd.sensitivity_w(Photodetector::required_snr_db_for_bits(bits));
+  const BalancedPhotodetector bpd({});
+  double sigma = 0.0;
+  (void)bpd.detect(sens, 0.0, sens, &sigma);
+  // The dark arm adds its (thermal) noise in quadrature on top of the single-
+  // arm sensitivity condition, hence the sqrt(2) allowance.
+  const double lsb = 1.0 / std::pow(2.0, bits);
+  EXPECT_LT(sigma, lsb * std::sqrt(2.0) + 1e-12) << "bits=" << bits;
+}
+
+INSTANTIATE_TEST_SUITE_P(Bits, BitDepthSweep, ::testing::Values(2, 4, 6, 8));
+
+}  // namespace
+}  // namespace lumos::phot

@@ -1,0 +1,162 @@
+// Integration tests: the figure runners regenerate the paper's evaluation
+// (Figs. 8-11) and the headline claims hold in shape — TRON >= 14x
+// throughput / >= 8x EPB, GHOST >= 10.2x throughput / >= 3.8x EPB, and the
+// combined minimum of the abstract (>= 10.2x / >= 3.8x).
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sim/figures.hpp"
+
+namespace lumos::sim {
+namespace {
+
+class FigureFixture : public ::testing::Test {
+ protected:
+  static const FigureData& fig8() {
+    static const FigureData f = run_fig8_epb_llm(tron::default_tron_config());
+    return f;
+  }
+  static const FigureData& fig9() {
+    static const FigureData f = run_fig9_gops_llm(tron::default_tron_config());
+    return f;
+  }
+  static const FigureData& fig10() {
+    static const FigureData f = run_fig10_epb_gnn(ghost::default_ghost_config());
+    return f;
+  }
+  static const FigureData& fig11() {
+    static const FigureData f = run_fig11_gops_gnn(ghost::default_ghost_config());
+    return f;
+  }
+};
+
+TEST_F(FigureFixture, Fig8GridIsComplete) {
+  const FigureData& f = fig8();
+  EXPECT_EQ(f.workloads.size(), 4u);   // BERT-base, BERT-large, GPT-2, ViT
+  EXPECT_EQ(f.platforms.size(), 8u);   // TRON + 7 baselines
+  ASSERT_EQ(f.reports.size(), f.workloads.size());
+  for (const auto& row : f.reports) {
+    ASSERT_EQ(row.size(), f.platforms.size());
+    for (const auto& r : row) EXPECT_GT(r.latency_s, 0.0);
+  }
+  EXPECT_EQ(f.platforms.front(), "TRON");
+}
+
+TEST_F(FigureFixture, Fig10GridIsComplete) {
+  const FigureData& f = fig10();
+  EXPECT_EQ(f.workloads.size(), 12u);  // 4 models x 3 datasets
+  EXPECT_EQ(f.platforms.size(), 10u);  // GHOST + 9 baselines
+  EXPECT_EQ(f.platforms.front(), "GHOST");
+}
+
+TEST_F(FigureFixture, TronBeatsEveryBaselineEverywhere) {
+  for (const FigureData* f : {&fig8(), &fig9()}) {
+    for (std::size_t w = 0; w < f->workloads.size(); ++w) {
+      for (std::size_t p = 1; p < f->platforms.size(); ++p) {
+        EXPECT_GT(f->improvement(w, p), 1.0)
+            << f->title << " " << f->workloads[w] << " vs " << f->platforms[p];
+      }
+    }
+  }
+}
+
+TEST_F(FigureFixture, GhostBeatsEveryBaselineEverywhere) {
+  for (const FigureData* f : {&fig10(), &fig11()}) {
+    for (std::size_t w = 0; w < f->workloads.size(); ++w) {
+      for (std::size_t p = 1; p < f->platforms.size(); ++p) {
+        EXPECT_GT(f->improvement(w, p), 1.0)
+            << f->title << " " << f->workloads[w] << " vs " << f->platforms[p];
+      }
+    }
+  }
+}
+
+TEST_F(FigureFixture, PaperHeadlineTronThroughput) {
+  // Paper Section VI: "at least 14x better throughput".
+  EXPECT_GE(fig9().min_improvement(), 14.0);
+}
+
+TEST_F(FigureFixture, PaperHeadlineTronEnergy) {
+  // Paper Section VI: "8x better energy efficiency".
+  EXPECT_GE(fig8().min_improvement(), 8.0);
+}
+
+TEST_F(FigureFixture, PaperHeadlineGhostThroughput) {
+  // Paper abstract: "a minimum of 10.2x improvement in throughput".
+  EXPECT_GE(fig11().min_improvement(), 10.2);
+}
+
+TEST_F(FigureFixture, PaperHeadlineGhostEnergy) {
+  // Paper abstract: "3.8x greater energy efficiency".
+  EXPECT_GE(fig10().min_improvement(), 3.8);
+}
+
+TEST_F(FigureFixture, CombinedAbstractClaim) {
+  // "both hardware accelerators achieve at least 10.2x throughput improvement
+  // and 3.8x better energy efficiency".
+  const HeadlineClaims h =
+      run_headline_claims(tron::default_tron_config(), ghost::default_ghost_config());
+  EXPECT_GE(std::min(h.tron_min_throughput_gain, h.ghost_min_throughput_gain), 10.2);
+  EXPECT_GE(std::min(h.tron_min_epb_gain, h.ghost_min_epb_gain), 3.8);
+}
+
+TEST_F(FigureFixture, MeanImprovementExceedsMin) {
+  for (const FigureData* f : {&fig8(), &fig9(), &fig10(), &fig11()}) {
+    EXPECT_GE(f->mean_improvement(), f->min_improvement());
+  }
+}
+
+TEST_F(FigureFixture, MetricsExtractCorrectField) {
+  const FigureData& e = fig8();
+  const FigureData& t = fig9();
+  EXPECT_NEAR(e.value(0, 0), e.reports[0][0].energy_per_bit_j(), 1e-20);
+  EXPECT_NEAR(t.value(0, 0), t.reports[0][0].ops_per_second(), 1e-3);
+}
+
+TEST_F(FigureFixture, TablesRenderEveryCell) {
+  for (const FigureData* f : {&fig8(), &fig9(), &fig10(), &fig11()}) {
+    const Table table = f->to_table();
+    EXPECT_EQ(table.row_count(), f->workloads.size() + 1);
+    std::ostringstream os;
+    table.print(os);
+    for (const std::string& p : f->platforms) {
+      EXPECT_NE(os.str().find(p), std::string::npos) << p;
+    }
+  }
+}
+
+TEST_F(FigureFixture, CpuIsTheWorstLlmPlatform) {
+  // Shape check inherited from the paper's figures: the CPU trails every
+  // dedicated accelerator on throughput.
+  const FigureData& f = fig9();
+  std::size_t cpu = 0;
+  for (std::size_t p = 0; p < f.platforms.size(); ++p) {
+    if (f.platforms[p] == "Xeon CPU") cpu = p;
+  }
+  ASSERT_GT(cpu, 0u);
+  for (std::size_t w = 0; w < f.workloads.size(); ++w) {
+    for (std::size_t p = 1; p < f.platforms.size(); ++p) {
+      if (p == cpu) continue;
+      EXPECT_GE(f.value(w, p), f.value(w, cpu)) << f.workloads[w] << " " << f.platforms[p];
+    }
+  }
+}
+
+TEST_F(FigureFixture, TransPimIsBestElectronicLlmBaseline) {
+  // Paper shape: the PIM design leads the electronic pack on throughput.
+  const FigureData& f = fig9();
+  std::size_t pim = 0;
+  for (std::size_t p = 0; p < f.platforms.size(); ++p) {
+    if (f.platforms[p] == "TransPIM") pim = p;
+  }
+  ASSERT_GT(pim, 0u);
+  for (std::size_t w = 0; w < f.workloads.size(); ++w) {
+    for (std::size_t p = 1; p < f.platforms.size(); ++p) {
+      EXPECT_LE(f.value(w, p), f.value(w, pim) + 1e-9);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace lumos::sim

@@ -1,0 +1,249 @@
+// Tests for the GHOST accelerator: reduce/update units, the performance and
+// memory model with its scheduling optimisations, and functional fidelity of
+// the photonic GNN forward pass.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ghost/accelerator.hpp"
+
+namespace lumos::ghost {
+namespace {
+
+phot::AnalogNoiseConfig no_noise() {
+  phot::AnalogNoiseConfig n;
+  n.dac_quantization = false;
+  n.mr_tuning_error = false;
+  n.heterodyne_crosstalk = false;
+  n.detector_noise = false;
+  n.adc_quantization = false;
+  return n;
+}
+
+TEST(ReduceUnit, SumMeanMatchExactNoiseless) {
+  const ReduceUnit unit(default_ghost_config());
+  Rng rng(1);
+  const std::vector<double> v{0.5, -0.25, 0.75, 0.1, -0.4};
+  EXPECT_NEAR(unit.reduce(v, gnn::Reduction::kSum, rng, no_noise()),
+              ReduceUnit::exact_reduce(v, gnn::Reduction::kSum), 1e-9);
+  EXPECT_NEAR(unit.reduce(v, gnn::Reduction::kMean, rng, no_noise()),
+              ReduceUnit::exact_reduce(v, gnn::Reduction::kMean), 1e-9);
+}
+
+TEST(ReduceUnit, MaxMatchesExactNoiseless) {
+  const ReduceUnit unit(default_ghost_config());
+  Rng rng(2);
+  const std::vector<double> v{0.5, -0.25, 0.75, 0.1, -0.4};
+  EXPECT_DOUBLE_EQ(unit.reduce(v, gnn::Reduction::kMax, rng, no_noise()), 0.75);
+}
+
+TEST(ReduceUnit, NoisyMaxSelectsNearMaximum) {
+  const ReduceUnit unit(default_ghost_config());
+  Rng rng(3);
+  const std::vector<double> v{0.1, 0.9, 0.3, 0.88, 0.2};
+  for (int t = 0; t < 50; ++t) {
+    const double m = unit.reduce(v, gnn::Reduction::kMax, rng, phot::AnalogNoiseConfig{});
+    // Detector noise can confuse 0.9 vs 0.88, never 0.9 vs 0.1.
+    EXPECT_GE(m, 0.85);
+  }
+}
+
+TEST(ReduceUnit, ChunksOversizedNeighbourLists) {
+  GhostConfig cfg = default_ghost_config();
+  cfg.reduce_branches = 4;
+  const ReduceUnit unit(cfg);
+  Rng rng(4);
+  std::vector<double> v(19, 0.05);  // 5 chunks of <=4
+  EXPECT_NEAR(unit.reduce(v, gnn::Reduction::kSum, rng, no_noise()), 19 * 0.05, 1e-9);
+  EXPECT_EQ(unit.passes_for(19), 5u);
+  EXPECT_EQ(unit.passes_for(4), 1u);
+  EXPECT_EQ(unit.passes_for(0), 0u);
+}
+
+TEST(ReduceUnit, EmptyInputIsZero) {
+  const ReduceUnit unit(default_ghost_config());
+  Rng rng(5);
+  EXPECT_DOUBLE_EQ(unit.reduce({}, gnn::Reduction::kSum, rng, no_noise()), 0.0);
+  EXPECT_DOUBLE_EQ(ReduceUnit::exact_reduce({}, gnn::Reduction::kMax), 0.0);
+}
+
+TEST(UpdateUnit, ReluCloseToIdeal) {
+  const UpdateUnit unit(default_ghost_config());
+  EXPECT_DOUBLE_EQ(unit.activate_relu(-0.5), 0.0);
+  EXPECT_NEAR(unit.activate_relu(0.5), 0.5, 0.05);
+}
+
+TEST(UpdateUnit, CostScalesWithElements) {
+  const UpdateUnit unit(default_ghost_config());
+  EXPECT_NEAR(unit.energy_j(2000), 2.0 * unit.energy_j(1000), 1e-18);
+  EXPECT_GE(unit.latency_s(100000), unit.latency_s(100));
+  EXPECT_GT(unit.static_power_w(), 0.0);
+}
+
+TEST(Estimate, ReportsConsistentAcrossZoo) {
+  const GhostAccelerator acc(default_ghost_config());
+  const auto ds = graph::synthetic_cora();
+  for (const auto& model : gnn::gnn_model_zoo()) {
+    const PerfReport r = acc.estimate(model, ds);
+    EXPECT_GT(r.latency_s, 0.0) << model.name;
+    EXPECT_GT(r.dynamic_energy_j, 0.0);
+    EXPECT_EQ(r.op_count, gnn::model_op_count(model, ds));
+    EXPECT_EQ(r.platform, "GHOST");
+    EXPECT_NEAR(r.total_energy_j, r.dynamic_energy_j + r.static_energy_j, 1e-12);
+  }
+}
+
+TEST(Estimate, BiggerGraphsCostMore) {
+  const GhostAccelerator acc(default_ghost_config());
+  const auto model = gnn::gcn_model();
+  EXPECT_GT(acc.estimate(model, graph::synthetic_pubmed()).latency_s,
+            acc.estimate(model, graph::synthetic_cora()).latency_s);
+}
+
+TEST(Estimate, PartitioningReducesMemoryTraffic) {
+  GhostConfig on = default_ghost_config();
+  on.buffer_and_partition = true;
+  GhostConfig off = default_ghost_config();
+  off.buffer_and_partition = false;
+  const auto model = gnn::gcn_model();
+  const auto ds = graph::synthetic_citeseer();
+  const PerfReport with = GhostAccelerator(on).estimate(model, ds);
+  const PerfReport without = GhostAccelerator(off).estimate(model, ds);
+  EXPECT_LT(with.breakdown.dram_energy_j, without.breakdown.dram_energy_j);
+  EXPECT_LE(with.latency_s, without.latency_s + 1e-12);
+}
+
+TEST(Estimate, WeightDacSharingSavesEnergy) {
+  GhostConfig on = default_ghost_config();
+  on.weight_dac_sharing = true;
+  GhostConfig off = default_ghost_config();
+  off.weight_dac_sharing = false;
+  const auto model = gnn::gcn_model();
+  const auto ds = graph::synthetic_cora();
+  EXPECT_LT(GhostAccelerator(on).estimate(model, ds).breakdown.laser_dac_adc_energy_j,
+            GhostAccelerator(off).estimate(model, ds).breakdown.laser_dac_adc_energy_j);
+}
+
+TEST(Estimate, WorkloadBalancingNeverHurtsAggregation) {
+  GhostConfig on = default_ghost_config();
+  on.workload_balancing = true;
+  GhostConfig off = default_ghost_config();
+  off.workload_balancing = false;
+  const auto model = gnn::gcn_model();
+  const auto ds = graph::synthetic_cora();
+  EXPECT_LE(GhostAccelerator(on).estimate(model, ds).breakdown.aggregation_time_s,
+            GhostAccelerator(off).estimate(model, ds).breakdown.aggregation_time_s + 1e-15);
+}
+
+TEST(Estimate, MoreLanesSpeedAggregation) {
+  GhostConfig few = default_ghost_config();
+  few.lanes = 4;
+  GhostConfig many = default_ghost_config();
+  many.lanes = 64;
+  const auto model = gnn::gin_model();
+  const auto ds = graph::synthetic_cora();
+  EXPECT_GT(GhostAccelerator(few).estimate(model, ds).breakdown.aggregation_time_s,
+            GhostAccelerator(many).estimate(model, ds).breakdown.aggregation_time_s);
+}
+
+TEST(Estimate, GatPaysAttentionCosts) {
+  const GhostAccelerator acc(default_ghost_config());
+  const auto ds = graph::synthetic_cora();
+  const PerfReport gat = acc.estimate(gnn::gat_model(), ds);
+  EXPECT_GT(gat.breakdown.softmax_energy_j, 0.0);
+  const PerfReport gcn = acc.estimate(gnn::gcn_model(), ds);
+  EXPECT_DOUBLE_EQ(gcn.breakdown.softmax_energy_j, 0.0);
+}
+
+TEST(Functional, GcnMatchesReference) {
+  const GhostAccelerator acc(default_ghost_config());
+  const auto ds = graph::tiny_dataset();
+  const auto weights = gnn::GnnModelWeights::random(gnn::gcn_model(), ds, 21);
+  Rng data(6);
+  nn::Matrix x(ds.graph.node_count(), ds.feature_dim);
+  x.fill_uniform(data, -1.0, 1.0);
+  Rng rng(7);
+  const nn::Matrix got = acc.forward(weights, ds.graph, x, rng, no_noise());
+  const nn::Matrix want = gnn::reference_forward(weights, ds.graph, x);
+  EXPECT_EQ(got.rows(), want.rows());
+  EXPECT_EQ(got.cols(), want.cols());
+  EXPECT_LT(got.relative_error(want), 0.15);
+}
+
+TEST(Functional, GraphSageMatchesReference) {
+  const GhostAccelerator acc(default_ghost_config());
+  const auto ds = graph::tiny_dataset();
+  const auto weights = gnn::GnnModelWeights::random(gnn::graphsage_model(), ds, 22);
+  Rng data(8);
+  nn::Matrix x(ds.graph.node_count(), ds.feature_dim);
+  x.fill_uniform(data, -1.0, 1.0);
+  Rng rng(9);
+  const nn::Matrix got = acc.forward(weights, ds.graph, x, rng, no_noise());
+  const nn::Matrix want = gnn::reference_forward(weights, ds.graph, x);
+  EXPECT_LT(got.relative_error(want), 0.15);
+}
+
+TEST(Functional, GinMatchesReference) {
+  const GhostAccelerator acc(default_ghost_config());
+  const auto ds = graph::tiny_dataset();
+  const auto weights = gnn::GnnModelWeights::random(gnn::gin_model(), ds, 23);
+  Rng data(10);
+  nn::Matrix x(ds.graph.node_count(), ds.feature_dim);
+  x.fill_uniform(data, -1.0, 1.0);
+  Rng rng(11);
+  const nn::Matrix got = acc.forward(weights, ds.graph, x, rng, no_noise());
+  const nn::Matrix want = gnn::reference_forward(weights, ds.graph, x);
+  EXPECT_LT(got.relative_error(want), 0.15);
+}
+
+TEST(Functional, GatMatchesReference) {
+  const GhostAccelerator acc(default_ghost_config());
+  const auto ds = graph::tiny_dataset();
+  const auto weights = gnn::GnnModelWeights::random(gnn::gat_model(), ds, 24);
+  Rng data(12);
+  nn::Matrix x(ds.graph.node_count(), ds.feature_dim);
+  x.fill_uniform(data, -1.0, 1.0);
+  Rng rng(13);
+  const nn::Matrix got = acc.forward(weights, ds.graph, x, rng, no_noise());
+  const nn::Matrix want = gnn::reference_forward(weights, ds.graph, x);
+  // GAT chains two photonic stages per edge (scores then aggregation).
+  EXPECT_LT(got.relative_error(want), 0.30);
+}
+
+TEST(Functional, NoisyGcnStaysClose) {
+  const GhostAccelerator acc(default_ghost_config());
+  const auto ds = graph::tiny_dataset();
+  const auto weights = gnn::GnnModelWeights::random(gnn::gcn_model(), ds, 25);
+  Rng data(14);
+  nn::Matrix x(ds.graph.node_count(), ds.feature_dim);
+  x.fill_uniform(data, -1.0, 1.0);
+  Rng rng(15);
+  const nn::Matrix got = acc.forward(weights, ds.graph, x, rng, phot::AnalogNoiseConfig{});
+  const nn::Matrix want = gnn::reference_forward(weights, ds.graph, x);
+  EXPECT_LT(got.relative_error(want), 0.5);
+}
+
+TEST(StaticPower, ScalesWithLanes) {
+  GhostConfig small = default_ghost_config();
+  small.lanes = 4;
+  GhostConfig big = default_ghost_config();
+  big.lanes = 64;
+  EXPECT_LT(GhostAccelerator(small).static_power_w(), GhostAccelerator(big).static_power_w());
+}
+
+// Dataset sweep: EPB identity and op accounting hold on every dataset.
+class DatasetSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(DatasetSweep, EpbIdentityHolds) {
+  const auto datasets = graph::gnn_dataset_zoo();
+  const auto& ds = datasets[static_cast<std::size_t>(GetParam())];
+  const GhostAccelerator acc(default_ghost_config());
+  const PerfReport r = acc.estimate(gnn::graphsage_model(), ds);
+  EXPECT_NEAR(r.energy_per_bit_j() * static_cast<double>(r.op_count) * r.bits,
+              r.total_energy_j, r.total_energy_j * 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Datasets, DatasetSweep, ::testing::Values(0, 1, 2));
+
+}  // namespace
+}  // namespace lumos::ghost

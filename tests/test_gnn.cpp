@@ -1,0 +1,230 @@
+// Tests for the GNN reference executions (GCN / GraphSAGE / GIN / GAT) and
+// the per-phase operation accounting.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "gnn/models.hpp"
+
+namespace lumos::gnn {
+namespace {
+
+graph::CsrGraph path_graph() {
+  // 0 - 1 - 2 (undirected path).
+  return graph::CsrGraph(3, {{0, 1}, {1, 2}}, /*symmetrize=*/true);
+}
+
+TEST(Zoo, FourModelFamilies) {
+  const auto zoo = gnn_model_zoo();
+  ASSERT_EQ(zoo.size(), 4u);
+  EXPECT_EQ(zoo[0].kind, GnnKind::kGcn);
+  EXPECT_EQ(zoo[1].kind, GnnKind::kGraphSage);
+  EXPECT_EQ(zoo[2].kind, GnnKind::kGin);
+  EXPECT_EQ(zoo[3].kind, GnnKind::kGat);
+  EXPECT_STREQ(kind_name(GnnKind::kGat), "GAT");
+}
+
+TEST(Zoo, LayerExpansionWiresDimensions) {
+  const auto ds = graph::tiny_dataset();
+  const auto layers = gcn_model().layers_for(ds);
+  ASSERT_EQ(layers.size(), 2u);
+  EXPECT_EQ(layers[0].in_dim, ds.feature_dim);
+  EXPECT_EQ(layers[0].out_dim, gcn_model().hidden_dim);
+  EXPECT_EQ(layers[1].in_dim, gcn_model().hidden_dim);
+  EXPECT_EQ(layers[1].out_dim, ds.class_count);
+}
+
+TEST(Gcn, HandComputedAggregation) {
+  // Path graph, 1 feature, identity weight: GCN aggregate for node 0 is
+  // x0/(d0+1) + x1/sqrt((d0+1)(d1+1)) with d0=1, d1=2.
+  const graph::CsrGraph g = path_graph();
+  GnnLayerConfig cfg{GnnKind::kGcn, 1, 1, Reduction::kSum, 1};
+  GnnLayerWeights w = GnnLayerWeights::random(cfg, 1);
+  w.w = nn::Matrix(1, 1);
+  w.w(0, 0) = 1.0;  // identity transform
+  nn::Matrix x(3, 1);
+  x(0, 0) = 1.0;
+  x(1, 0) = 2.0;
+  x(2, 0) = 3.0;
+  const nn::Matrix y = reference_layer_forward(w, g, x, /*apply_activation=*/false);
+  const double want0 = 1.0 / 2.0 + 2.0 / std::sqrt(2.0 * 3.0);
+  const double want1 = 2.0 / 3.0 + 1.0 / std::sqrt(3.0 * 2.0) + 3.0 / std::sqrt(3.0 * 2.0);
+  EXPECT_NEAR(y(0, 0), want0, 1e-12);
+  EXPECT_NEAR(y(1, 0), want1, 1e-12);
+}
+
+TEST(Gin, SelfWeightingApplied) {
+  const graph::CsrGraph g = path_graph();
+  GnnLayerConfig cfg{GnnKind::kGin, 1, 1, Reduction::kSum, 1};
+  GnnLayerWeights w = GnnLayerWeights::random(cfg, 2);
+  w.w = nn::Matrix(1, 1);
+  w.w(0, 0) = 1.0;
+  w.gin_eps = 0.5;
+  nn::Matrix x(3, 1);
+  x(0, 0) = 1.0;
+  x(1, 0) = 2.0;
+  x(2, 0) = 3.0;
+  const nn::Matrix y = reference_layer_forward(w, g, x, false);
+  EXPECT_NEAR(y(0, 0), 1.5 * 1.0 + 2.0, 1e-12);       // (1+eps)x0 + x1
+  EXPECT_NEAR(y(1, 0), 1.5 * 2.0 + 1.0 + 3.0, 1e-12);  // (1+eps)x1 + x0 + x2
+}
+
+TEST(GraphSage, ConcatenatesSelfAndMean) {
+  const graph::CsrGraph g = path_graph();
+  GnnLayerConfig cfg{GnnKind::kGraphSage, 1, 2, Reduction::kMean, 1};
+  GnnLayerWeights w = GnnLayerWeights::random(cfg, 3);
+  // W picks out [self, mean] into the two outputs.
+  w.w = nn::Matrix(2, 2, 0.0);
+  w.w(0, 0) = 1.0;  // out0 = self
+  w.w(1, 1) = 1.0;  // out1 = mean of neighbours
+  nn::Matrix x(3, 1);
+  x(0, 0) = 1.0;
+  x(1, 0) = 2.0;
+  x(2, 0) = 3.0;
+  const nn::Matrix y = reference_layer_forward(w, g, x, false);
+  EXPECT_NEAR(y(1, 0), 2.0, 1e-12);             // self
+  EXPECT_NEAR(y(1, 1), (1.0 + 3.0) / 2.0, 1e-12);  // mean of 0 and 2
+}
+
+TEST(Gat, AttentionWeightsFormConvexCombination) {
+  // With zero attention vectors all scores tie, so each node averages the
+  // transformed self+neighbour features uniformly.
+  const graph::CsrGraph g = path_graph();
+  GnnLayerConfig cfg{GnnKind::kGat, 1, 1, Reduction::kSum, 2};
+  GnnLayerWeights w = GnnLayerWeights::random(cfg, 4);
+  w.w = nn::Matrix(1, 1);
+  w.w(0, 0) = 1.0;
+  w.gat_a_src = nn::Matrix(1, 2, 0.0);
+  w.gat_a_dst = nn::Matrix(1, 2, 0.0);
+  nn::Matrix x(3, 1);
+  x(0, 0) = 1.0;
+  x(1, 0) = 2.0;
+  x(2, 0) = 3.0;
+  const nn::Matrix y = reference_layer_forward(w, g, x, false);
+  EXPECT_NEAR(y(0, 0), (1.0 + 2.0) / 2.0, 1e-9);
+  EXPECT_NEAR(y(1, 0), (2.0 + 1.0 + 3.0) / 3.0, 1e-9);
+}
+
+TEST(Forward, OutputShapeIsClasses) {
+  const auto ds = graph::tiny_dataset();
+  for (const auto& model : gnn_model_zoo()) {
+    const auto weights = GnnModelWeights::random(model, ds, 5);
+    Rng rng(6);
+    nn::Matrix x(ds.graph.node_count(), ds.feature_dim);
+    x.fill_uniform(rng, -1.0, 1.0);
+    const nn::Matrix y = reference_forward(weights, ds.graph, x);
+    EXPECT_EQ(y.rows(), ds.graph.node_count()) << model.name;
+    EXPECT_EQ(y.cols(), ds.class_count) << model.name;
+  }
+}
+
+TEST(Forward, HiddenActivationsNonNegative) {
+  // ReLU between layers: a one-layer truncation must be non-negative.
+  const auto ds = graph::tiny_dataset();
+  const auto model = gcn_model();
+  const auto weights = GnnModelWeights::random(model, ds, 7);
+  Rng rng(8);
+  nn::Matrix x(ds.graph.node_count(), ds.feature_dim);
+  x.fill_uniform(rng, -1.0, 1.0);
+  const nn::Matrix h = reference_layer_forward(weights.layers[0], ds.graph, x, true);
+  for (const double v : h.flat()) EXPECT_GE(v, 0.0);
+}
+
+TEST(Ops, GcnCountsMatchFormula) {
+  const auto ds = graph::tiny_dataset();
+  GnnLayerConfig cfg{GnnKind::kGcn, 16, 8, Reduction::kSum, 1};
+  const GnnLayerOps ops = count_layer_ops(cfg, ds.graph);
+  const std::size_t e = ds.graph.edge_count();
+  const std::size_t v = ds.graph.node_count();
+  EXPECT_EQ(ops.aggregate_ops, (e + v) * 16u);
+  EXPECT_EQ(ops.combine_macs, v * 16u * 8u);
+  EXPECT_EQ(ops.update_ops, v * 8u);
+  EXPECT_EQ(ops.attention_macs, 0u);
+}
+
+TEST(Ops, SageDoublesCombineInput) {
+  const auto ds = graph::tiny_dataset();
+  GnnLayerConfig gcn{GnnKind::kGcn, 16, 8, Reduction::kSum, 1};
+  GnnLayerConfig sage{GnnKind::kGraphSage, 16, 8, Reduction::kMean, 1};
+  EXPECT_EQ(count_layer_ops(sage, ds.graph).combine_macs,
+            2u * count_layer_ops(gcn, ds.graph).combine_macs);
+}
+
+TEST(Ops, GatChargesAttention) {
+  const auto ds = graph::tiny_dataset();
+  GnnLayerConfig cfg{GnnKind::kGat, 16, 8, Reduction::kSum, 4};
+  const GnnLayerOps ops = count_layer_ops(cfg, ds.graph);
+  EXPECT_GT(ops.attention_macs, 0u);
+  EXPECT_GT(ops.attention_softmax_elems, 0u);
+  EXPECT_EQ(ops.attention_macs, ds.graph.edge_count() * 2u * 8u * 4u);
+}
+
+TEST(Ops, TotalIncludesEverything) {
+  const auto ds = graph::tiny_dataset();
+  GnnLayerConfig cfg{GnnKind::kGat, 16, 8, Reduction::kSum, 4};
+  const GnnLayerOps ops = count_layer_ops(cfg, ds.graph);
+  EXPECT_EQ(ops.total_ops(), ops.aggregate_ops + 2 * ops.combine_macs + ops.update_ops +
+                                 2 * ops.attention_macs + ops.attention_softmax_elems);
+}
+
+TEST(Ops, ModelOpCountSumsLayers) {
+  const auto ds = graph::tiny_dataset();
+  const auto model = gin_model();
+  std::size_t manual = 0;
+  for (const auto& l : model.layers_for(ds)) {
+    manual += count_layer_ops(l, ds.graph).total_ops();
+  }
+  EXPECT_EQ(model_op_count(model, ds), manual);
+}
+
+TEST(Weights, DeterministicPerSeed) {
+  const auto ds = graph::tiny_dataset();
+  const auto a = GnnModelWeights::random(gcn_model(), ds, 9);
+  const auto b = GnnModelWeights::random(gcn_model(), ds, 9);
+  EXPECT_DOUBLE_EQ(a.layers[0].w.relative_error(b.layers[0].w), 0.0);
+}
+
+TEST(Weights, InvalidDimsRejected) {
+  GnnLayerConfig cfg{GnnKind::kGcn, 0, 4, Reduction::kSum, 1};
+  EXPECT_THROW((void)GnnLayerWeights::random(cfg, 1), lumos::InvalidArgument);
+}
+
+// Reduction sweep on the reference path: each reduction obeys its identity
+// on a constant vector.
+class ReductionSweep : public ::testing::TestWithParam<Reduction> {};
+
+TEST_P(ReductionSweep, ConstantInputFixedPoints) {
+  const auto ds = graph::tiny_dataset();
+  GnnLayerConfig cfg{GnnKind::kGraphSage, 4, 4, GetParam(), 1};
+  GnnLayerWeights w = GnnLayerWeights::random(cfg, 10);
+  // Select the neighbour-aggregate half of the concat.
+  w.w = nn::Matrix(8, 4, 0.0);
+  for (std::size_t i = 0; i < 4; ++i) w.w(4 + i, i) = 1.0;
+  nn::Matrix x(ds.graph.node_count(), 4, 0.5);
+  const nn::Matrix y = reference_layer_forward(w, ds.graph, x, false);
+  for (std::size_t v = 0; v < y.rows(); ++v) {
+    const double deg = static_cast<double>(ds.graph.degree(static_cast<graph::NodeId>(v)));
+    for (std::size_t c = 0; c < 4; ++c) {
+      double want = 0.0;
+      switch (GetParam()) {
+        case Reduction::kSum:
+          want = 0.5 * deg;
+          break;
+        case Reduction::kMean:
+          want = deg > 0 ? 0.5 : 0.0;
+          break;
+        case Reduction::kMax:
+          want = deg > 0 ? 0.5 : 0.0;
+          break;
+      }
+      EXPECT_NEAR(y(v, c), want, 1e-12);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Reductions, ReductionSweep,
+                         ::testing::Values(Reduction::kSum, Reduction::kMean, Reduction::kMax));
+
+}  // namespace
+}  // namespace lumos::gnn

@@ -1,0 +1,260 @@
+// Tests for the graph substrate: CSR invariants, generators, dataset
+// stand-ins, buffer-and-partition tiling, and workload balancing.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/error.hpp"
+#include "graph/generators.hpp"
+#include "graph/partition.hpp"
+
+namespace lumos::graph {
+namespace {
+
+TEST(Csr, BuildsFromEdgeList) {
+  const CsrGraph g(4, {{0, 1}, {1, 2}, {2, 3}}, /*symmetrize=*/false);
+  EXPECT_EQ(g.node_count(), 4u);
+  EXPECT_EQ(g.edge_count(), 3u);
+  ASSERT_EQ(g.neighbors(0).size(), 1u);
+  EXPECT_EQ(g.neighbors(0)[0], 1u);
+  EXPECT_TRUE(g.neighbors(3).empty());
+}
+
+TEST(Csr, SymmetrizeAddsReverseEdges) {
+  const CsrGraph g(3, {{0, 1}, {1, 2}}, /*symmetrize=*/true);
+  EXPECT_EQ(g.edge_count(), 4u);
+  EXPECT_EQ(g.degree(1), 2u);
+}
+
+TEST(Csr, DuplicateEdgesMerged) {
+  const CsrGraph g(3, {{0, 1}, {0, 1}, {0, 1}}, false);
+  EXPECT_EQ(g.edge_count(), 1u);
+}
+
+TEST(Csr, SelfLoopNotDoubledBySymmetrize) {
+  const CsrGraph g(2, {{0, 0}}, true);
+  EXPECT_EQ(g.edge_count(), 1u);
+}
+
+TEST(Csr, AdjacencySorted) {
+  const CsrGraph g(5, {{0, 4}, {0, 1}, {0, 3}}, false);
+  const auto n = g.neighbors(0);
+  ASSERT_EQ(n.size(), 3u);
+  EXPECT_TRUE(n[0] < n[1] && n[1] < n[2]);
+}
+
+TEST(Csr, RowPtrIsPrefixSum) {
+  const CsrGraph g(4, {{0, 1}, {0, 2}, {2, 3}}, false);
+  const auto rp = g.row_ptr();
+  ASSERT_EQ(rp.size(), 5u);
+  EXPECT_EQ(rp[0], 0u);
+  EXPECT_EQ(rp.back(), g.edge_count());
+  for (std::size_t i = 1; i < rp.size(); ++i) EXPECT_GE(rp[i], rp[i - 1]);
+}
+
+TEST(Csr, OutOfRangeEdgeRejected) {
+  EXPECT_THROW(CsrGraph(2, {{0, 5}}, false), lumos::InvalidArgument);
+}
+
+TEST(Csr, DegreeStatsConsistent) {
+  const CsrGraph g(4, {{0, 1}, {0, 2}, {0, 3}, {1, 2}}, true);
+  EXPECT_EQ(g.max_degree(), 3u);
+  EXPECT_NEAR(g.average_degree(), 8.0 / 4.0, 1e-12);
+  EXPECT_NEAR(g.density(), 8.0 / 16.0, 1e-12);
+}
+
+TEST(ErdosRenyi, ExactEdgeCount) {
+  const CsrGraph g = erdos_renyi(100, 250, 1);
+  EXPECT_EQ(g.node_count(), 100u);
+  EXPECT_EQ(g.edge_count(), 500u);  // symmetrised
+}
+
+TEST(ErdosRenyi, NoSelfLoopsOrDuplicates) {
+  const CsrGraph g = erdos_renyi(50, 100, 2);
+  for (NodeId v = 0; v < 50; ++v) {
+    std::set<NodeId> seen;
+    for (const NodeId u : g.neighbors(v)) {
+      EXPECT_NE(u, v);
+      EXPECT_TRUE(seen.insert(u).second);
+    }
+  }
+}
+
+TEST(ErdosRenyi, DeterministicPerSeed) {
+  const CsrGraph a = erdos_renyi(64, 128, 7);
+  const CsrGraph b = erdos_renyi(64, 128, 7);
+  ASSERT_EQ(a.edge_count(), b.edge_count());
+  for (NodeId v = 0; v < 64; ++v) {
+    const auto na = a.neighbors(v);
+    const auto nb = b.neighbors(v);
+    ASSERT_EQ(na.size(), nb.size());
+    for (std::size_t i = 0; i < na.size(); ++i) EXPECT_EQ(na[i], nb[i]);
+  }
+}
+
+TEST(ErdosRenyi, TooManyEdgesRejected) {
+  EXPECT_THROW((void)erdos_renyi(4, 100, 1), lumos::InvalidArgument);
+}
+
+TEST(Rmat, ProducesSkewedDegrees) {
+  const CsrGraph g = rmat(10, 8, {}, 3);
+  EXPECT_EQ(g.node_count(), 1024u);
+  EXPECT_GT(g.edge_count(), 1000u);
+  // Power-law-ish: the max degree far exceeds the average.
+  EXPECT_GT(static_cast<double>(g.max_degree()), 5.0 * g.average_degree());
+}
+
+TEST(Rmat, UniformParamsApproachErdosRenyi) {
+  const CsrGraph g = rmat(9, 8, {0.25, 0.25, 0.25}, 4);
+  // With uniform quadrant probabilities the skew collapses.
+  EXPECT_LT(static_cast<double>(g.max_degree()), 6.0 * g.average_degree());
+}
+
+TEST(Datasets, PublishedDimensions) {
+  const GraphDataset cora = synthetic_cora();
+  EXPECT_EQ(cora.graph.node_count(), 2708u);
+  EXPECT_EQ(cora.graph.edge_count(), 2u * 5429u);
+  EXPECT_EQ(cora.feature_dim, 1433u);
+  EXPECT_EQ(cora.class_count, 7u);
+
+  const GraphDataset cs = synthetic_citeseer();
+  EXPECT_EQ(cs.graph.node_count(), 3327u);
+  EXPECT_EQ(cs.feature_dim, 3703u);
+  EXPECT_EQ(cs.class_count, 6u);
+
+  const GraphDataset pm = synthetic_pubmed();
+  EXPECT_EQ(pm.graph.node_count(), 19717u);
+  EXPECT_EQ(pm.graph.edge_count(), 2u * 44338u);
+  EXPECT_EQ(pm.feature_dim, 500u);
+  EXPECT_EQ(pm.class_count, 3u);
+}
+
+TEST(Datasets, ZooHasThree) {
+  EXPECT_EQ(gnn_dataset_zoo().size(), 3u);
+}
+
+TEST(Datasets, ArxivDimensions) {
+  const GraphDataset ds = synthetic_arxiv();
+  EXPECT_EQ(ds.graph.node_count(), 169343u);
+  EXPECT_EQ(ds.graph.edge_count(), 2u * 1166243u);
+  EXPECT_EQ(ds.feature_dim, 128u);
+  EXPECT_EQ(ds.class_count, 40u);
+}
+
+TEST(Partition, CoversEveryEdgeExactlyOnce) {
+  const CsrGraph g = erdos_renyi(200, 600, 5);
+  const PartitionSchedule s = partition(g, {8, 64});
+  EXPECT_EQ(s.covered_edges(), g.edge_count());
+}
+
+TEST(Partition, BlockCountsMatchCeilDiv) {
+  const CsrGraph g = erdos_renyi(100, 200, 6);
+  const PartitionSchedule s = partition(g, {8, 32});
+  EXPECT_EQ(s.output_block_count, 13u);  // ceil(100/8)
+  EXPECT_EQ(s.input_block_count, 4u);    // ceil(100/32)
+}
+
+TEST(Partition, TilesOrderedAndInRange) {
+  const CsrGraph g = erdos_renyi(100, 300, 7);
+  const PartitionSchedule s = partition(g, {4, 16});
+  for (std::size_t i = 1; i < s.tiles.size(); ++i) {
+    const auto& a = s.tiles[i - 1];
+    const auto& b = s.tiles[i];
+    EXPECT_TRUE(a.output_block < b.output_block ||
+                (a.output_block == b.output_block && a.input_block < b.input_block));
+  }
+  for (const auto& t : s.tiles) {
+    EXPECT_LT(t.output_block, s.output_block_count);
+    EXPECT_LT(t.input_block, s.input_block_count);
+    EXPECT_GT(t.edge_count, 0u);
+  }
+}
+
+TEST(Partition, RefetchFactorAtLeastOneWhenConnected) {
+  const CsrGraph g = erdos_renyi(128, 512, 8);
+  const PartitionSchedule s = partition(g, {8, 32});
+  EXPECT_GE(s.refetch_factor(), 1.0);
+}
+
+TEST(Partition, BiggerInputBlocksReduceRefetch) {
+  const CsrGraph g = erdos_renyi(512, 4096, 9);
+  const double small = partition(g, {8, 32}).refetch_factor();
+  const double big = partition(g, {8, 256}).refetch_factor();
+  EXPECT_LE(big, small);
+}
+
+TEST(Sampling, CapsEveryDegree) {
+  const CsrGraph g = rmat(10, 8, {}, 17);
+  const CsrGraph s = sample_neighbors(g, 4, 1);
+  EXPECT_EQ(s.node_count(), g.node_count());
+  for (NodeId v = 0; v < s.node_count(); ++v) {
+    EXPECT_LE(s.degree(v), 4u);
+    EXPECT_LE(s.degree(v), g.degree(v));
+  }
+}
+
+TEST(Sampling, KeepsSmallNeighbourhoodsIntact) {
+  const CsrGraph g(4, {{0, 1}, {0, 2}, {3, 0}}, false);
+  const CsrGraph s = sample_neighbors(g, 8, 2);
+  EXPECT_EQ(s.edge_count(), g.edge_count());
+  EXPECT_EQ(s.degree(0), 2u);
+}
+
+TEST(Sampling, SampledNeighboursComeFromOriginal) {
+  const CsrGraph g = erdos_renyi(100, 600, 19);
+  const CsrGraph s = sample_neighbors(g, 3, 3);
+  for (NodeId v = 0; v < s.node_count(); ++v) {
+    const auto orig = g.neighbors(v);
+    for (const NodeId u : s.neighbors(v)) {
+      EXPECT_TRUE(std::find(orig.begin(), orig.end(), u) != orig.end()) << v << "->" << u;
+    }
+  }
+}
+
+TEST(Sampling, DeterministicPerSeed) {
+  const CsrGraph g = rmat(9, 8, {}, 23);
+  const CsrGraph a = sample_neighbors(g, 5, 7);
+  const CsrGraph b = sample_neighbors(g, 5, 7);
+  EXPECT_EQ(a.edge_count(), b.edge_count());
+}
+
+TEST(Sampling, ReducesGhostAggregationWork) {
+  // The paper's motivation for sampling: bounded fan-in per output vertex.
+  const CsrGraph g = rmat(10, 16, {}, 29);
+  const CsrGraph s = sample_neighbors(g, 8, 11);
+  EXPECT_LT(s.edge_count(), g.edge_count());
+  EXPECT_LE(s.max_degree(), 8u);
+}
+
+TEST(Balance, DegreeSortedNeverWorse) {
+  for (const std::uint64_t seed : {1ull, 2ull, 3ull}) {
+    const CsrGraph g = rmat(9, 8, {}, seed);
+    const double naive = lane_imbalance(g, 16, /*degree_sorted=*/false);
+    const double balanced = lane_imbalance(g, 16, /*degree_sorted=*/true);
+    EXPECT_LE(balanced, naive + 1e-12) << "seed " << seed;
+    EXPECT_GE(balanced, 1.0 - 1e-12);
+  }
+}
+
+TEST(Balance, SkewedGraphsBenefitMost) {
+  const CsrGraph skewed = rmat(10, 8, {}, 11);
+  const double gain = lane_imbalance(skewed, 16, false) / lane_imbalance(skewed, 16, true);
+  EXPECT_GT(gain, 1.02);  // balancing visibly helps a power-law graph
+}
+
+// Lane-count sweep: imbalance of the balanced assignment stays modest.
+class LaneSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(LaneSweep, BalancedImbalanceBounded) {
+  const CsrGraph g = rmat(10, 8, {}, 13);
+  const double b = lane_imbalance(g, GetParam(), true);
+  EXPECT_GE(b, 1.0 - 1e-12);
+  EXPECT_LT(b, 1.6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Lanes, LaneSweep,
+                         ::testing::Values(std::size_t{2}, std::size_t{4}, std::size_t{8},
+                                           std::size_t{16}, std::size_t{64}));
+
+}  // namespace
+}  // namespace lumos::graph

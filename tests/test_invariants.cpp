@@ -1,0 +1,191 @@
+// Cross-module invariants: conservation laws and consistency properties that
+// must hold across the whole library regardless of configuration.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "photonics/wdm.hpp"
+#include "sim/figures.hpp"
+
+namespace lumos {
+namespace {
+
+TEST(Invariants, EveryFigureReportIsInternallyConsistent) {
+  const auto check = [](const sim::FigureData& f) {
+    for (const auto& row : f.reports) {
+      for (const PerfReport& r : row) {
+        EXPECT_GT(r.latency_s, 0.0) << r.platform << " " << r.workload;
+        EXPECT_GE(r.dynamic_energy_j, 0.0);
+        EXPECT_GE(r.static_energy_j, 0.0);
+        EXPECT_NEAR(r.total_energy_j, r.dynamic_energy_j + r.static_energy_j,
+                    1e-9 * r.total_energy_j + 1e-15);
+        EXPECT_NEAR(r.static_energy_j, r.static_power_w * r.latency_s,
+                    1e-9 * r.static_energy_j + 1e-15);
+        EXPECT_GT(r.op_count, 0u);
+      }
+    }
+  };
+  check(sim::run_fig8_epb_llm(tron::default_tron_config()));
+  check(sim::run_fig10_epb_gnn(ghost::default_ghost_config()));
+}
+
+TEST(Invariants, EpbAndGopsFiguresShareReports) {
+  // The EPB and GOPS figures must be two views of the same simulations.
+  const auto e = sim::run_fig8_epb_llm(tron::default_tron_config());
+  const auto g = sim::run_fig9_gops_llm(tron::default_tron_config());
+  ASSERT_EQ(e.workloads.size(), g.workloads.size());
+  for (std::size_t w = 0; w < e.workloads.size(); ++w) {
+    for (std::size_t p = 0; p < e.platforms.size(); ++p) {
+      EXPECT_DOUBLE_EQ(e.reports[w][p].latency_s, g.reports[w][p].latency_s);
+      EXPECT_DOUBLE_EQ(e.reports[w][p].total_energy_j, g.reports[w][p].total_energy_j);
+    }
+  }
+}
+
+TEST(Invariants, TronDynamicEnergyEqualsBreakdownSum) {
+  const tron::TronAccelerator acc(tron::default_tron_config());
+  for (const auto& model : nn::llm_model_zoo()) {
+    const PerfReport r = acc.estimate(model);
+    const PerfBreakdown& b = r.breakdown;
+    const double sum = b.laser_dac_adc_energy_j + b.partial_sum_energy_j +
+                       b.softmax_energy_j + b.elementwise_energy_j + b.sram_energy_j +
+                       b.dram_energy_j + b.aggregation_energy_j;
+    EXPECT_NEAR(sum, r.dynamic_energy_j, 1e-12) << model.name;
+  }
+}
+
+TEST(Invariants, GhostDynamicEnergyEqualsBreakdownSum) {
+  const ghost::GhostAccelerator acc(ghost::default_ghost_config());
+  const auto ds = graph::synthetic_cora();
+  for (const auto& model : gnn::gnn_model_zoo()) {
+    const PerfReport r = acc.estimate(model, ds);
+    const PerfBreakdown& b = r.breakdown;
+    const double sum = b.laser_dac_adc_energy_j + b.partial_sum_energy_j +
+                       b.softmax_energy_j + b.elementwise_energy_j + b.sram_energy_j +
+                       b.dram_energy_j + b.aggregation_energy_j;
+    EXPECT_NEAR(sum, r.dynamic_energy_j, 1e-12) << model.name;
+  }
+}
+
+TEST(Invariants, FasterSymbolRateNeverSlower) {
+  tron::TronConfig slow = tron::default_tron_config();
+  slow.symbol_rate_hz = 5e9;
+  slow.bank.symbol_rate_hz = 5e9;
+  tron::TronConfig fast = tron::default_tron_config();
+  fast.symbol_rate_hz = 20e9;
+  fast.bank.symbol_rate_hz = 20e9;
+  for (const auto& model : nn::llm_model_zoo()) {
+    EXPECT_LE(tron::TronAccelerator(fast).estimate(model).latency_s,
+              tron::TronAccelerator(slow).estimate(model).latency_s + 1e-12)
+        << model.name;
+  }
+}
+
+TEST(Invariants, MoreDramBandwidthNeverSlowerForGhost) {
+  ghost::GhostConfig narrow = ghost::default_ghost_config();
+  narrow.dram.bandwidth_bytes_per_s = 128e9;
+  ghost::GhostConfig wide = ghost::default_ghost_config();
+  wide.dram.bandwidth_bytes_per_s = 1024e9;
+  const auto ds = graph::synthetic_citeseer();
+  for (const auto& model : gnn::gnn_model_zoo()) {
+    EXPECT_LE(ghost::GhostAccelerator(wide).estimate(model, ds).latency_s,
+              ghost::GhostAccelerator(narrow).estimate(model, ds).latency_s + 1e-12)
+        << model.name;
+  }
+}
+
+TEST(Invariants, PhotonicDotDeterministicPerSeed) {
+  const tron::TronConfig cfg = tron::default_tron_config();
+  const phot::MrBank bank(cfg.bank);
+  std::vector<double> a(16), w(16);
+  Rng data(1);
+  for (std::size_t i = 0; i < 16; ++i) {
+    a[i] = data.uniform(-1.0, 1.0);
+    w[i] = data.uniform(-1.0, 1.0);
+  }
+  Rng r1(99), r2(99);
+  const phot::AnalogNoiseConfig noise;
+  EXPECT_DOUBLE_EQ(bank.dot(a, w, r1, noise), bank.dot(a, w, r2, noise));
+}
+
+TEST(Invariants, CoherentSumPermutationInvariantNoiseless) {
+  const tron::TronConfig cfg = tron::default_tron_config();
+  const phot::CoherentSummationUnit unit(cfg.bank, cfg.homodyne, 8);
+  phot::AnalogNoiseConfig off;
+  off.dac_quantization = false;
+  off.mr_tuning_error = false;
+  off.heterodyne_crosstalk = false;
+  off.detector_noise = false;
+  off.adc_quantization = false;
+  Rng rng(3);
+  const std::vector<double> v{0.1, -0.4, 0.3, 0.25};
+  const std::vector<double> shuffled{0.25, 0.3, -0.4, 0.1};
+  EXPECT_NEAR(unit.sum(v, rng, off), unit.sum(shuffled, rng, off), 1e-12);
+}
+
+TEST(Invariants, WdmBestPointAppearsInSweep) {
+  const phot::WdmLinkDesigner d(phot::MicroringDesign{}, phot::PhotodetectorConfig{},
+                                phot::VcselConfig{}, phot::LossStack{});
+  const phot::WdmSearchSpace space;
+  const auto best = d.best(space);
+  ASSERT_TRUE(best.has_value());
+  bool found = false;
+  for (const auto& p : d.sweep(space)) {
+    if (p.quality_factor == best->quality_factor && p.channel_count == best->channel_count) {
+      found = true;
+      EXPECT_TRUE(p.feasible);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Invariants, AreaTotalsEqualItemSums) {
+  for (const phot::AreaReport& r :
+       {tron::TronAccelerator(tron::default_tron_config()).area(),
+        ghost::GhostAccelerator(ghost::default_ghost_config()).area()}) {
+    double sum = 0.0;
+    for (const auto& item : r.items) sum += item.total_m2;
+    EXPECT_NEAR(r.total_m2(), sum, 1e-15);
+    EXPECT_LE(r.photonic_m2(), r.total_m2());
+  }
+}
+
+TEST(Invariants, SymmetrisedGraphHasSymmetricAdjacency) {
+  const graph::CsrGraph g = graph::erdos_renyi(64, 128, 9);
+  for (graph::NodeId v = 0; v < 64; ++v) {
+    for (const graph::NodeId u : g.neighbors(v)) {
+      bool back = false;
+      for (const graph::NodeId w : g.neighbors(u)) {
+        if (w == v) back = true;
+      }
+      EXPECT_TRUE(back) << v << "->" << u;
+    }
+  }
+}
+
+TEST(Invariants, OpCountsMatchBetweenPlatformsAndAccelerators) {
+  // Fair comparison requires every platform to be charged the same op count.
+  const auto f = sim::run_fig9_gops_llm(tron::default_tron_config());
+  for (std::size_t w = 0; w < f.workloads.size(); ++w) {
+    for (std::size_t p = 1; p < f.platforms.size(); ++p) {
+      EXPECT_EQ(f.reports[w][p].op_count, f.reports[w][0].op_count)
+          << f.workloads[w] << " " << f.platforms[p];
+    }
+  }
+}
+
+TEST(Invariants, GenerationOpsMatchFullPassAtSameLength) {
+  // A decode step at context L does the work of one new token: summing steps
+  // 1..L must stay below one full L-token pass (which also recomputes the
+  // KV projections attention for every earlier token pair).
+  const auto model = nn::gpt2_small(128);
+  std::size_t decode_total = 0;
+  for (std::size_t ctx = 1; ctx <= 128; ++ctx) {
+    decode_total += nn::generation_step_macs(model, ctx);
+  }
+  EXPECT_LT(decode_total, model.mac_count());
+  EXPECT_GT(decode_total, model.mac_count() / 2);  // same order of work
+}
+
+}  // namespace
+}  // namespace lumos

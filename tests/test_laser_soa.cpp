@@ -1,0 +1,167 @@
+// Tests for the VCSEL / laser-power-budget models and the SOA nonlinearity.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/units.hpp"
+#include "photonics/laser.hpp"
+#include "photonics/soa.hpp"
+
+namespace lumos::phot {
+namespace {
+
+TEST(Vcsel, ElectricalPowerAboveThreshold) {
+  const Vcsel v({});
+  const double p = v.electrical_power(1e-3);
+  EXPECT_GT(p, v.config().threshold_power_w);
+  EXPECT_NEAR(p, v.config().threshold_power_w + 1e-3 / v.config().wall_plug_efficiency,
+              1e-12);
+}
+
+TEST(Vcsel, EmitLinearInDrive) {
+  const Vcsel v({});
+  EXPECT_NEAR(v.emit(0.5), 0.5 * v.config().max_optical_power_w, 1e-15);
+  EXPECT_DOUBLE_EQ(v.emit(0.0), 0.0);
+}
+
+TEST(Vcsel, RejectsOverdrive) {
+  const Vcsel v({});
+  EXPECT_THROW((void)v.electrical_power(v.config().max_optical_power_w * 2.0),
+               lumos::InvalidArgument);
+  EXPECT_THROW((void)v.emit(1.5), lumos::InvalidArgument);
+}
+
+TEST(LossStack, TotalSumsComponents) {
+  LossStack l;
+  l.coupler_db = 1.0;
+  l.waveguide_db_per_cm = 2.0;
+  l.path_length_cm = 0.5;
+  l.per_mr_insertion_db = 0.05;
+  l.mr_count = 10;
+  l.splitter_db = 0.2;
+  l.splitter_count = 2;
+  l.mux_demux_db = 1.0;
+  l.penalty_margin_db = 1.0;
+  EXPECT_NEAR(l.total_db(), 1.0 + 1.0 + 0.5 + 0.4 + 1.0 + 1.0, 1e-12);
+}
+
+TEST(LaserBudget, CoversLossStack) {
+  const Photodetector pd{PhotodetectorConfig{}};
+  LossStack losses;
+  const VcselConfig vcsel;
+  const LaserBudget b = size_laser(pd, losses, 8, vcsel);
+  EXPECT_TRUE(b.feasible);
+  // Launch power = sensitivity amplified by the total loss.
+  EXPECT_NEAR(b.required_launch_power_w,
+              b.detector_sensitivity_w * units::db_to_linear(losses.total_db()), 1e-15);
+  EXPECT_GT(b.electrical_power_w, 0.0);
+}
+
+TEST(LaserBudget, MoreLossNeedsMorePower) {
+  const Photodetector pd{PhotodetectorConfig{}};
+  LossStack small;
+  LossStack big = small;
+  big.path_length_cm = 5.0;
+  const VcselConfig v;
+  EXPECT_GT(size_laser(pd, big, 8, v).required_launch_power_w,
+            size_laser(pd, small, 8, v).required_launch_power_w);
+}
+
+TEST(LaserBudget, MoreBitsNeedMorePower) {
+  const Photodetector pd{PhotodetectorConfig{}};
+  const LossStack losses;
+  const VcselConfig v;
+  EXPECT_GT(size_laser(pd, losses, 8, v).required_launch_power_w,
+            size_laser(pd, losses, 4, v).required_launch_power_w);
+}
+
+TEST(LaserBudget, InfeasibleWhenBeyondSaturation) {
+  const Photodetector pd{PhotodetectorConfig{}};
+  LossStack heavy;
+  heavy.path_length_cm = 40.0;  // 60 dB of waveguide loss
+  VcselConfig v;
+  const LaserBudget b = size_laser(pd, heavy, 8, v);
+  EXPECT_FALSE(b.feasible);
+}
+
+TEST(Soa, GainCompressesTowardSaturation) {
+  const Soa soa({});
+  const double g_small = soa.gain_at(1e-7);
+  const double g_large = soa.gain_at(1e-3);
+  EXPECT_GT(g_small, g_large);
+  EXPECT_NEAR(g_small, units::db_to_linear(soa.config().small_signal_gain_db), 0.5);
+}
+
+TEST(Soa, AmplifyMonotone) {
+  const Soa soa({});
+  double prev = 0.0;
+  for (double p = 1e-8; p < 1e-2; p *= 2.0) {
+    const double out = soa.amplify(p);
+    EXPECT_GT(out, prev);
+    prev = out;
+  }
+}
+
+TEST(Soa, AmplifySolvesImplicitEquation) {
+  const Soa soa({});
+  const double pin = 5e-4;
+  const double pout = soa.amplify(pin);
+  const double g0 = units::db_to_linear(soa.config().small_signal_gain_db);
+  const double residual =
+      pout - pin * g0 / (1.0 + pout / soa.config().saturation_output_power_w);
+  EXPECT_NEAR(residual, 0.0, 1e-12);
+}
+
+TEST(Soa, IdealActivationsMatchMath) {
+  EXPECT_DOUBLE_EQ(Soa::ideal(OpticalActivation::kRelu, -0.5), 0.0);
+  EXPECT_DOUBLE_EQ(Soa::ideal(OpticalActivation::kRelu, 0.5), 0.5);
+  EXPECT_NEAR(Soa::ideal(OpticalActivation::kSigmoid, 0.0), 0.5, 1e-12);
+  EXPECT_NEAR(Soa::ideal(OpticalActivation::kTanh, 1.0), std::tanh(1.0), 1e-12);
+}
+
+TEST(Soa, ReluApproximationTight) {
+  const Soa soa({});
+  EXPECT_LT(soa.approximation_error(OpticalActivation::kRelu), 0.05);
+  EXPECT_DOUBLE_EQ(soa.activate(OpticalActivation::kRelu, -0.7), 0.0);
+}
+
+TEST(Soa, SigmoidEndpointsCalibrated) {
+  const Soa soa({});
+  EXPECT_NEAR(soa.activate(OpticalActivation::kSigmoid, -1.0),
+              Soa::ideal(OpticalActivation::kSigmoid, -1.0), 1e-6);
+  EXPECT_NEAR(soa.activate(OpticalActivation::kSigmoid, 1.0),
+              Soa::ideal(OpticalActivation::kSigmoid, 1.0), 1e-6);
+  EXPECT_LT(soa.approximation_error(OpticalActivation::kSigmoid), 0.12);
+}
+
+TEST(Soa, TanhOddSymmetric) {
+  const Soa soa({});
+  for (const double x : {0.2, 0.5, 0.9}) {
+    EXPECT_NEAR(soa.activate(OpticalActivation::kTanh, -x),
+                -soa.activate(OpticalActivation::kTanh, x), 1e-12);
+  }
+  EXPECT_LT(soa.approximation_error(OpticalActivation::kTanh), 0.15);
+}
+
+TEST(Soa, ActivationsMonotone) {
+  const Soa soa({});
+  for (const auto fn : {OpticalActivation::kRelu, OpticalActivation::kSigmoid,
+                        OpticalActivation::kTanh}) {
+    double prev = -1e300;
+    for (double x = -1.0; x <= 1.0; x += 0.05) {
+      const double y = soa.activate(fn, x);
+      EXPECT_GE(y, prev - 1e-12);
+      prev = y;
+    }
+  }
+}
+
+TEST(Soa, InputRangeValidated) {
+  const Soa soa({});
+  EXPECT_THROW((void)soa.activate(OpticalActivation::kRelu, 1.5), lumos::InvalidArgument);
+  EXPECT_THROW((void)soa.amplify(-1e-3), lumos::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace lumos::phot

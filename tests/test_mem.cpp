@@ -1,0 +1,126 @@
+// Tests for the CACTI-like SRAM/DRAM models.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "mem/sram.hpp"
+
+namespace lumos::mem {
+namespace {
+
+TEST(Sram, EnergyGrowsWithCapacity) {
+  SramConfig small{4 * 1024, 8, 1, 32.0};
+  SramConfig big{2 * 1024 * 1024, 8, 1, 32.0};
+  EXPECT_LT(SramModel(small).read_energy_j(), SramModel(big).read_energy_j());
+}
+
+TEST(Sram, LatencyGrowsWithCapacity) {
+  SramConfig small{4 * 1024, 8, 1, 32.0};
+  SramConfig big{2 * 1024 * 1024, 8, 1, 32.0};
+  EXPECT_LT(SramModel(small).access_latency_s(), SramModel(big).access_latency_s());
+}
+
+TEST(Sram, BankingReducesLatencyAndEnergy) {
+  SramConfig mono{1024 * 1024, 8, 1, 32.0};
+  SramConfig banked{1024 * 1024, 8, 16, 32.0};
+  EXPECT_GT(SramModel(mono).access_latency_s(), SramModel(banked).access_latency_s());
+  EXPECT_GT(SramModel(mono).read_energy_j(), SramModel(banked).read_energy_j());
+}
+
+TEST(Sram, CalibrationAnchorsWithinTolerance) {
+  // CACTI 7-ish anchors at 32 nm (DESIGN.md): checked to +-50% — the model is
+  // a scaling law, not a layout tool.
+  const SramModel k32({32 * 1024, 64, 1, 32.0});
+  EXPECT_GT(k32.read_energy_j(), 4e-12);
+  EXPECT_LT(k32.read_energy_j(), 80e-12);
+  EXPECT_GT(k32.access_latency_s(), 0.2e-9);
+  EXPECT_LT(k32.access_latency_s(), 1.5e-9);
+}
+
+TEST(Sram, WritesCostMoreThanReads) {
+  const SramModel m({64 * 1024, 8, 1, 32.0});
+  EXPECT_GT(m.write_energy_j(), m.read_energy_j());
+}
+
+TEST(Sram, LeakageLinearInCapacity) {
+  const SramModel a({256 * 1024, 8, 1, 32.0});
+  const SramModel b({512 * 1024, 8, 1, 32.0});
+  EXPECT_NEAR(b.leakage_power_w(), 2.0 * a.leakage_power_w(), 1e-9);
+}
+
+TEST(Sram, TechnologyScaling) {
+  const SramModel n32({64 * 1024, 8, 1, 32.0});
+  const SramModel n16({64 * 1024, 8, 1, 16.0});
+  EXPECT_NEAR(n16.read_energy_j(), 0.25 * n32.read_energy_j(), 1e-15);
+  EXPECT_NEAR(n16.access_latency_s(), 0.5 * n32.access_latency_s(), 1e-12);
+}
+
+TEST(Sram, PeakBandwidthConsistent) {
+  const SramModel m({64 * 1024, 16, 4, 32.0});
+  EXPECT_NEAR(m.peak_bandwidth_bytes_per_s(), 64.0 / m.access_latency_s(), 1e-3);
+}
+
+TEST(Sram, TinyCapacityRejected) {
+  EXPECT_THROW(SramModel({32, 8, 1, 32.0}), lumos::InvalidArgument);
+}
+
+TEST(Dram, EnergyPerBitApplied) {
+  const DramModel d(DramConfig{});
+  EXPECT_NEAR(d.transfer_energy_j(1), d.config().energy_per_bit_j * 8.0, 1e-18);
+  EXPECT_NEAR(d.transfer_energy_j(1000), 1000.0 * d.transfer_energy_j(1), 1e-15);
+}
+
+TEST(Dram, LatencyHasFixedPlusStreaming) {
+  const DramModel d(DramConfig{});
+  const double small = d.transfer_latency_s(64);
+  const double large = d.transfer_latency_s(1024 * 1024 * 256);
+  EXPECT_GT(small, d.config().access_latency_s - 1e-12);
+  EXPECT_GT(large, 100.0 * small);  // streaming term dominates
+}
+
+TEST(Buffer, StatsAccumulate) {
+  Buffer buf({64 * 1024, 8, 2, 32.0});
+  const double t1 = buf.record_reads(10);
+  const double t2 = buf.record_writes(4);
+  EXPECT_GT(t1, 0.0);
+  EXPECT_GT(t2, 0.0);
+  EXPECT_EQ(buf.stats().reads, 10u);
+  EXPECT_EQ(buf.stats().writes, 4u);
+  EXPECT_NEAR(buf.stats().energy_j,
+              10.0 * buf.model().read_energy_j() + 4.0 * buf.model().write_energy_j(), 1e-15);
+  buf.reset_stats();
+  EXPECT_EQ(buf.stats().reads, 0u);
+}
+
+TEST(Buffer, BankParallelismSpeedsAccessBursts) {
+  Buffer mono({64 * 1024, 8, 1, 32.0});
+  Buffer banked({64 * 1024, 8, 8, 32.0});
+  EXPECT_GT(mono.record_reads(64), banked.record_reads(64));
+}
+
+TEST(AccessStats, MergeSums) {
+  AccessStats a{10, 5, 1e-9, 2e-9};
+  const AccessStats b{3, 2, 1e-10, 1e-10};
+  a.merge(b);
+  EXPECT_EQ(a.reads, 13u);
+  EXPECT_EQ(a.writes, 7u);
+  EXPECT_NEAR(a.energy_j, 1.1e-9, 1e-15);
+}
+
+// Capacity sweep: energy/latency strictly increase with capacity.
+class CapacitySweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(CapacitySweep, MonotoneInCapacity) {
+  const std::size_t cap = GetParam();
+  const SramModel cur({cap, 8, 1, 32.0});
+  const SramModel next({cap * 2, 8, 1, 32.0});
+  EXPECT_LT(cur.read_energy_j(), next.read_energy_j());
+  EXPECT_LT(cur.access_latency_s(), next.access_latency_s());
+  EXPECT_LT(cur.leakage_power_w(), next.leakage_power_w());
+}
+
+INSTANTIATE_TEST_SUITE_P(Capacities, CapacitySweep,
+                         ::testing::Values(std::size_t{4096}, std::size_t{65536},
+                                           std::size_t{1048576}, std::size_t{8388608}));
+
+}  // namespace
+}  // namespace lumos::mem

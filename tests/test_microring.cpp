@@ -1,0 +1,184 @@
+// Unit and property tests for the microring resonator model: resonance
+// condition (paper eq. 2), FSR, Lorentzian line shape, tuning shifts, and the
+// value-imprinting inverse.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "common/constants.hpp"
+#include "common/error.hpp"
+#include "common/units.hpp"
+#include "photonics/microring.hpp"
+
+namespace lumos::phot {
+namespace {
+
+MicroringDesign default_design() { return {}; }
+
+TEST(Microring, ResonanceSatisfiesEqTwo) {
+  const MicroringResonator mr(default_design());
+  // lambda_MR = 2*pi*R*n_eff / m exactly.
+  const double circumference = 2.0 * std::numbers::pi * mr.design().radius_m;
+  const double expected =
+      circumference * mr.design().effective_index / mr.resonance_order();
+  EXPECT_DOUBLE_EQ(mr.base_resonance_wavelength(), expected);
+}
+
+TEST(Microring, ResonanceNearTargetWavelength) {
+  const MicroringResonator mr(default_design());
+  // The chosen order puts the resonance within half an order spacing of the
+  // target.  (At fixed n_eff the order spacing is lambda/m, which is larger
+  // than the dispersion-corrected FSR that uses n_g.)
+  const double order_spacing =
+      mr.base_resonance_wavelength() / static_cast<double>(mr.resonance_order());
+  EXPECT_NEAR(mr.base_resonance_wavelength(), constants::kCBandCenterWavelength,
+              order_spacing / 2.0 + 1e-15);
+}
+
+TEST(Microring, ExplicitOrderIsHonoured) {
+  MicroringDesign d = default_design();
+  d.resonance_order = 47;
+  const MicroringResonator mr(d);
+  EXPECT_EQ(mr.resonance_order(), 47);
+}
+
+TEST(Microring, FsrMatchesGroupIndexFormula) {
+  const MicroringResonator mr(default_design());
+  const double l = 2.0 * std::numbers::pi * mr.design().radius_m;
+  const double lambda = mr.base_resonance_wavelength();
+  EXPECT_NEAR(mr.free_spectral_range(), lambda * lambda / (mr.design().group_index * l),
+              1e-18);
+}
+
+TEST(Microring, FsrShrinksWithRadius) {
+  MicroringDesign small = default_design();
+  small.radius_m = 5e-6;
+  MicroringDesign big = default_design();
+  big.radius_m = 20e-6;
+  EXPECT_GT(MicroringResonator(small).free_spectral_range(),
+            MicroringResonator(big).free_spectral_range());
+}
+
+TEST(Microring, ThroughDipsToExtinctionOnResonance) {
+  const MicroringResonator mr(default_design());
+  const double t_on = mr.through_transmission(mr.resonance_wavelength());
+  EXPECT_NEAR(t_on, mr.extinction_floor(), 1e-12);
+}
+
+TEST(Microring, ThroughRecoversOffResonance) {
+  const MicroringResonator mr(default_design());
+  const double far = mr.resonance_wavelength() + 50.0 * mr.fwhm();
+  EXPECT_GT(mr.through_transmission(far), 0.99 * mr.max_transmission());
+}
+
+TEST(Microring, LorentzianHalfDepthAtHalfFwhm) {
+  const MicroringResonator mr(default_design());
+  const double t_on = mr.through_transmission(mr.resonance_wavelength());
+  const double t_half = mr.through_transmission(mr.resonance_wavelength() + mr.fwhm() / 2.0);
+  const double t_max = mr.max_transmission();
+  // At detuning FWHM/2 the Lorentzian is at half depth.
+  EXPECT_NEAR(t_half, t_max - (t_max - t_on) / 2.0, 1e-12);
+}
+
+TEST(Microring, ThroughIsSymmetricAroundResonance) {
+  const MicroringResonator mr(default_design());
+  for (const double k : {0.25, 0.5, 1.0, 2.0, 5.0}) {
+    const double d = k * mr.fwhm();
+    EXPECT_NEAR(mr.through_transmission(mr.resonance_wavelength() + d),
+                mr.through_transmission(mr.resonance_wavelength() - d), 1e-12);
+  }
+}
+
+TEST(Microring, DropPeaksOnResonanceAndDecays) {
+  const MicroringResonator mr(default_design());
+  const double on = mr.drop_transmission(mr.resonance_wavelength());
+  EXPECT_NEAR(on, mr.design().drop_port_peak_transmission, 1e-12);
+  EXPECT_LT(mr.drop_transmission(mr.resonance_wavelength() + 3.0 * mr.fwhm()), on / 10.0);
+}
+
+TEST(Microring, IndexShiftMovesResonanceFirstOrder) {
+  MicroringResonator mr(default_design());
+  const double dn = 1e-4;
+  const double shift = mr.apply_index_shift(dn);
+  EXPECT_NEAR(shift, mr.base_resonance_wavelength() * dn / mr.design().group_index, 1e-18);
+  EXPECT_NEAR(mr.resonance_wavelength(), mr.base_resonance_wavelength() + shift, 1e-18);
+}
+
+TEST(Microring, DetuningForValueInvertsLorentzian) {
+  const MicroringResonator mr(default_design());
+  for (const double v : {0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 1.0}) {
+    const double d = mr.detuning_for_value(v);
+    const double floor = mr.extinction_floor();
+    const double span = mr.max_transmission() - floor;
+    const double t = mr.imprint(v);
+    // v = 1.0 parks the ring far off resonance where the clamped detuning
+    // leaves a ~1e-7 residual; everything else inverts to ~1e-12.
+    EXPECT_NEAR((t - floor) / span, v, 1e-6) << "value " << v << " detuning " << d;
+  }
+}
+
+TEST(Microring, DetuningMonotoneInValue) {
+  const MicroringResonator mr(default_design());
+  double prev = -1.0;
+  for (double v = 0.0; v <= 1.0; v += 0.05) {
+    const double d = mr.detuning_for_value(v);
+    EXPECT_GT(d, prev);
+    prev = d;
+  }
+}
+
+TEST(Microring, TuningErrorPerturbsImprint) {
+  const MicroringResonator mr(default_design());
+  const double clean = mr.imprint(0.5);
+  const double noisy = mr.imprint(0.5, mr.fwhm() * 0.1);
+  EXPECT_NE(clean, noisy);
+  // A tenth-linewidth error cannot move the value by more than ~20%.
+  EXPECT_NEAR(clean, noisy, 0.2);
+}
+
+TEST(Microring, RejectsNonPhysicalDesigns) {
+  MicroringDesign d = default_design();
+  d.radius_m = -1.0;
+  EXPECT_THROW(MicroringResonator{d}, InvalidArgument);
+  d = default_design();
+  d.quality_factor = 0.5;
+  EXPECT_THROW(MicroringResonator{d}, InvalidArgument);
+  d = default_design();
+  d.extinction_ratio_db = -3.0;
+  EXPECT_THROW(MicroringResonator{d}, InvalidArgument);
+}
+
+TEST(Microring, ImprintRejectsOutOfRangeValues) {
+  const MicroringResonator mr(default_design());
+  EXPECT_THROW((void)mr.detuning_for_value(-0.1), InvalidArgument);
+  EXPECT_THROW((void)mr.detuning_for_value(1.1), InvalidArgument);
+}
+
+// Property sweep over quality factors: linewidth and extinction behave as
+// designed across the realistic Q range.
+class QualityFactorSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(QualityFactorSweep, FwhmEqualsLambdaOverQ) {
+  MicroringDesign d = default_design();
+  d.quality_factor = GetParam();
+  const MicroringResonator mr(d);
+  EXPECT_NEAR(mr.fwhm(), mr.base_resonance_wavelength() / GetParam(), 1e-18);
+}
+
+TEST_P(QualityFactorSweep, ImprintInverseHoldsAtAllQ) {
+  MicroringDesign d = default_design();
+  d.quality_factor = GetParam();
+  const MicroringResonator mr(d);
+  const double floor = mr.extinction_floor();
+  const double span = mr.max_transmission() - floor;
+  for (const double v : {0.05, 0.35, 0.65, 0.95}) {
+    EXPECT_NEAR((mr.imprint(v) - floor) / span, v, 1e-6);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(QRange, QualityFactorSweep,
+                         ::testing::Values(2000.0, 5000.0, 8000.0, 12000.0, 20000.0));
+
+}  // namespace
+}  // namespace lumos::phot

@@ -1,0 +1,226 @@
+// Tests for the optical compute primitives: MR bank dot products, bank-array
+// matvecs, and coherent summation — both fidelity (vs exact math) and cost
+// model invariants.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "photonics/mr_bank.hpp"
+
+namespace lumos::phot {
+namespace {
+
+MrBankConfig bank_config(std::size_t k = 16) {
+  MrBankConfig c;
+  c.wavelength_count = k;
+  c.heterodyne.channel_count = k;
+  return c;
+}
+
+AnalogNoiseConfig no_noise() {
+  AnalogNoiseConfig n;
+  n.dac_quantization = false;
+  n.mr_tuning_error = false;
+  n.heterodyne_crosstalk = false;
+  n.detector_noise = false;
+  n.adc_quantization = false;
+  return n;
+}
+
+TEST(MrBank, ExactDotMatchesManual) {
+  const std::vector<double> a{0.5, -0.25, 1.0};
+  const std::vector<double> w{0.2, 0.4, -0.6};
+  EXPECT_NEAR(MrBank::exact_dot(a, w), 0.1 - 0.1 - 0.6, 1e-12);
+}
+
+TEST(MrBank, NoiselessDotTracksExact) {
+  const MrBank bank(bank_config());
+  Rng rng(1);
+  const std::vector<double> a{0.5, -0.25, 0.8, 0.1, -0.9, 0.3, 0.0, 0.7};
+  const std::vector<double> w{0.2, 0.4, -0.6, 0.9, 0.5, -0.1, 0.3, -0.8};
+  const double got = bank.dot(a, w, rng, no_noise());
+  const double want = MrBank::exact_dot(a, w);
+  // The only residual is the MR transmission window renormalisation.
+  EXPECT_NEAR(got, want, 0.05 * 8.0);
+}
+
+TEST(MrBank, FullNoiseDotWithinBudget) {
+  const MrBank bank(bank_config());
+  Rng rng(2);
+  const AnalogNoiseConfig noise;  // all sources on
+  std::vector<double> a(16), w(16);
+  Rng data(3);
+  for (std::size_t i = 0; i < 16; ++i) {
+    a[i] = data.uniform(-1.0, 1.0);
+    w[i] = data.uniform(-1.0, 1.0);
+  }
+  double worst = 0.0;
+  for (int trial = 0; trial < 50; ++trial) {
+    worst = std::max(worst, std::fabs(bank.dot(a, w, rng, noise) - MrBank::exact_dot(a, w)));
+  }
+  // 8-bit grid over a length-16 dot: error stays within a few LSB-equivalents.
+  EXPECT_LT(worst, 0.8);
+}
+
+TEST(MrBank, DotIsUnbiasedUnderNoise) {
+  const MrBank bank(bank_config());
+  Rng rng(4);
+  const AnalogNoiseConfig noise;
+  std::vector<double> a(16, 0.5), w(16, 0.5);
+  double sum = 0.0;
+  const int trials = 300;
+  for (int t = 0; t < trials; ++t) sum += bank.dot(a, w, rng, noise);
+  EXPECT_NEAR(sum / trials, MrBank::exact_dot(a, w), 0.1);
+}
+
+TEST(MrBank, MismatchedSizesRejected) {
+  const MrBank bank(bank_config());
+  Rng rng(5);
+  const std::vector<double> a{0.1, 0.2};
+  const std::vector<double> w{0.1};
+  EXPECT_THROW((void)bank.dot(a, w, rng, no_noise()), lumos::InvalidArgument);
+}
+
+TEST(MrBank, OversizedVectorRejected) {
+  const MrBank bank(bank_config(4));
+  Rng rng(6);
+  const std::vector<double> v(8, 0.1);
+  EXPECT_THROW((void)bank.dot(v, v, rng, no_noise()), lumos::InvalidArgument);
+}
+
+TEST(MrBank, OutOfRangeValuesRejected) {
+  const MrBank bank(bank_config());
+  Rng rng(7);
+  const std::vector<double> a{1.5};
+  const std::vector<double> w{0.5};
+  EXPECT_THROW((void)bank.dot(a, w, rng, no_noise()), lumos::InvalidArgument);
+}
+
+TEST(MrBank, DotCostPositiveAndRateLimited) {
+  const MrBank bank(bank_config());
+  const BankOpCost c = bank.dot_cost();
+  EXPECT_GT(c.latency_s, 1.0 / bank.config().symbol_rate_hz - 1e-15);
+  EXPECT_GT(c.dynamic_energy_j, 0.0);
+  EXPECT_GT(c.static_power_w, 0.0);
+}
+
+TEST(MrBankArray, ExactMatvecMatchesManual) {
+  // x = [1, 2], W = [[1, 2, 3], [4, 5, 6]] -> y = [9, 12, 15].
+  const std::vector<double> x{1.0, 2.0};
+  const std::vector<double> w{1.0, 2.0, 3.0, 4.0, 5.0, 6.0};
+  const auto y = MrBankArray::exact_matvec(x, w, 3);
+  ASSERT_EQ(y.size(), 3u);
+  EXPECT_DOUBLE_EQ(y[0], 9.0);
+  EXPECT_DOUBLE_EQ(y[1], 12.0);
+  EXPECT_DOUBLE_EQ(y[2], 15.0);
+}
+
+TEST(MrBankArray, NoiselessMatvecTracksExact) {
+  const MrBankArray array(bank_config(8), 4);
+  Rng rng(8);
+  std::vector<double> x(8), w(8 * 4);
+  Rng data(9);
+  for (auto& v : x) v = data.uniform(-1.0, 1.0);
+  for (auto& v : w) v = data.uniform(-1.0, 1.0);
+  const auto got = array.matvec(x, w, rng, no_noise());
+  const auto want = MrBankArray::exact_matvec(x, w, 4);
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_NEAR(got[i], want[i], 0.4);
+}
+
+TEST(MrBankArray, PassEnergiesScaleWithGeometry) {
+  const MrBankArray small(bank_config(8), 4);
+  const MrBankArray big(bank_config(8), 16);
+  const auto es = small.pass_energies();
+  const auto eb = big.pass_energies();
+  EXPECT_DOUBLE_EQ(es.input_dac_j, eb.input_dac_j);     // inputs shared per row
+  EXPECT_NEAR(eb.weight_dac_j, 4.0 * es.weight_dac_j, 1e-18);
+  EXPECT_NEAR(eb.adc_j, 4.0 * es.adc_j, 1e-18);
+  EXPECT_NEAR(eb.laser_j, 4.0 * es.laser_j, 1e-18);
+}
+
+TEST(MrBankArray, SharedInputDacsCheaper) {
+  const MrBankArray array(bank_config(8), 8);
+  EXPECT_LT(array.matvec_cost(true).dynamic_energy_j,
+            array.matvec_cost(false).dynamic_energy_j);
+}
+
+TEST(CoherentSum, ExactSumMatches) {
+  const std::vector<double> v{0.1, -0.2, 0.3, 0.4};
+  EXPECT_NEAR(CoherentSummationUnit::exact_sum(v), 0.6, 1e-12);
+}
+
+TEST(CoherentSum, NoiselessSumTracksExact) {
+  const CoherentSummationUnit unit(bank_config(), HomodyneConfig{}, 8);
+  Rng rng(10);
+  const std::vector<double> v{0.5, -0.25, 0.75, 0.1, -0.4, 0.3, 0.2, -0.1};
+  EXPECT_NEAR(unit.sum(v, rng, no_noise()), CoherentSummationUnit::exact_sum(v), 1e-9);
+}
+
+TEST(CoherentSum, LinearityUnderScaling) {
+  const CoherentSummationUnit unit(bank_config(), HomodyneConfig{}, 4);
+  Rng rng(11);
+  const std::vector<double> v{0.2, 0.3, -0.1, 0.15};
+  std::vector<double> half = v;
+  for (double& x : half) x *= 0.5;
+  EXPECT_NEAR(unit.sum(half, rng, no_noise()),
+              0.5 * unit.sum(v, rng, no_noise()), 1e-9);
+}
+
+TEST(CoherentSum, NoisySumWithinHomodyneBound) {
+  const CoherentSummationUnit unit(bank_config(), HomodyneConfig{}, 8);
+  const HomodyneCrosstalkModel hm{HomodyneConfig{}};
+  Rng rng(12);
+  const AnalogNoiseConfig noise;
+  const std::vector<double> v{0.5, 0.25, 0.75, 0.1, 0.4, 0.3, 0.2, 0.1};
+  const double exact = CoherentSummationUnit::exact_sum(v);
+  for (int t = 0; t < 50; ++t) {
+    const double got = unit.sum(v, rng, noise);
+    // Worst-case homodyne error + quantisation + detector noise margin.
+    EXPECT_NEAR(got, exact, exact * hm.worst_case_relative_error() + 0.2);
+  }
+}
+
+TEST(CoherentSum, TooManyBranchesRejected) {
+  const CoherentSummationUnit unit(bank_config(), HomodyneConfig{}, 2);
+  Rng rng(13);
+  const std::vector<double> v{0.1, 0.2, 0.3};
+  EXPECT_THROW((void)unit.sum(v, rng, no_noise()), lumos::InvalidArgument);
+}
+
+TEST(CoherentSum, CostScalesWithBranches) {
+  const CoherentSummationUnit small(bank_config(), HomodyneConfig{}, 4);
+  const CoherentSummationUnit big(bank_config(), HomodyneConfig{}, 16);
+  EXPECT_LT(small.sum_cost().dynamic_energy_j, big.sum_cost().dynamic_energy_j);
+}
+
+// Fidelity sweep across bank widths: the noisy relative error stays bounded
+// as the dot-product length grows (noise averages, crosstalk accumulates).
+class WidthSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(WidthSweep, RelativeErrorBounded) {
+  const std::size_t k = GetParam();
+  const MrBank bank(bank_config(k));
+  Rng rng(100 + k);
+  Rng data(200 + k);
+  const AnalogNoiseConfig noise;
+  std::vector<double> a(k), w(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    a[i] = data.uniform(0.2, 1.0);  // keep the exact dot well away from zero
+    w[i] = data.uniform(0.2, 1.0);
+  }
+  const double exact = MrBank::exact_dot(a, w);
+  double err = 0.0;
+  const int trials = 20;
+  for (int t = 0; t < trials; ++t) {
+    err += std::fabs(bank.dot(a, w, rng, noise) - exact) / std::fabs(exact);
+  }
+  EXPECT_LT(err / trials, 0.15) << "k=" << k;
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, WidthSweep,
+                         ::testing::Values(std::size_t{2}, std::size_t{4}, std::size_t{8},
+                                           std::size_t{16}, std::size_t{32}));
+
+}  // namespace
+}  // namespace lumos::phot

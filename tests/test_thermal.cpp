@@ -1,0 +1,193 @@
+// Tests for the thermal model: Jacobi eigensolver, dense linear solver, and
+// the TED-vs-naive tuning power comparison that motivates paper Section V.A.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "photonics/thermal.hpp"
+
+namespace lumos::phot {
+namespace {
+
+TEST(SymmetricMatrix, SetIsSymmetric) {
+  SymmetricMatrix m(3);
+  m.set(0, 2, 5.0);
+  EXPECT_DOUBLE_EQ(m(0, 2), 5.0);
+  EXPECT_DOUBLE_EQ(m(2, 0), 5.0);
+}
+
+TEST(SymmetricMatrix, MultiplyMatchesManual) {
+  SymmetricMatrix m(2);
+  m.set(0, 0, 2.0);
+  m.set(0, 1, 1.0);
+  m.set(1, 1, 3.0);
+  const auto y = m.multiply({1.0, 2.0});
+  EXPECT_DOUBLE_EQ(y[0], 4.0);
+  EXPECT_DOUBLE_EQ(y[1], 7.0);
+}
+
+TEST(Jacobi, DiagonalMatrixIsItsOwnDecomposition) {
+  SymmetricMatrix m(3);
+  m.set(0, 0, 3.0);
+  m.set(1, 1, 1.0);
+  m.set(2, 2, 2.0);
+  const EigenDecomposition e = jacobi_eigendecomposition(m);
+  EXPECT_NEAR(e.eigenvalues[0], 1.0, 1e-12);
+  EXPECT_NEAR(e.eigenvalues[1], 2.0, 1e-12);
+  EXPECT_NEAR(e.eigenvalues[2], 3.0, 1e-12);
+}
+
+TEST(Jacobi, KnownTwoByTwo) {
+  // [[2,1],[1,2]] has eigenvalues 1 and 3.
+  SymmetricMatrix m(2);
+  m.set(0, 0, 2.0);
+  m.set(0, 1, 1.0);
+  m.set(1, 1, 2.0);
+  const EigenDecomposition e = jacobi_eigendecomposition(m);
+  EXPECT_NEAR(e.eigenvalues[0], 1.0, 1e-12);
+  EXPECT_NEAR(e.eigenvalues[1], 3.0, 1e-12);
+}
+
+TEST(Jacobi, ReconstructsMatrix) {
+  // A = V diag(w) V^T must reproduce the original.
+  const ThermalBank bank({8, 20e-6, 1.2e4, 35e-6});
+  const SymmetricMatrix& a = bank.coupling();
+  const EigenDecomposition e = jacobi_eigendecomposition(a);
+  const std::size_t n = a.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      double sum = 0.0;
+      for (std::size_t k = 0; k < n; ++k) {
+        sum += e.eigenvalues[k] * e.eigenvectors[k][i] * e.eigenvectors[k][j];
+      }
+      EXPECT_NEAR(sum, a(i, j), 1e-6 * a(0, 0)) << i << "," << j;
+    }
+  }
+}
+
+TEST(Jacobi, EigenvectorsOrthonormal) {
+  const ThermalBank bank({6, 20e-6, 1.2e4, 35e-6});
+  const EigenDecomposition e = jacobi_eigendecomposition(bank.coupling());
+  for (std::size_t a = 0; a < e.eigenvectors.size(); ++a) {
+    for (std::size_t b = a; b < e.eigenvectors.size(); ++b) {
+      double dot = 0.0;
+      for (std::size_t i = 0; i < e.eigenvectors[a].size(); ++i) {
+        dot += e.eigenvectors[a][i] * e.eigenvectors[b][i];
+      }
+      EXPECT_NEAR(dot, a == b ? 1.0 : 0.0, 1e-9);
+    }
+  }
+}
+
+TEST(Jacobi, CouplingMatrixIsPositiveDefinite) {
+  const ThermalBank bank({16, 20e-6, 1.2e4, 35e-6});
+  for (const double w : jacobi_eigendecomposition(bank.coupling()).eigenvalues) {
+    EXPECT_GT(w, 0.0);
+  }
+}
+
+TEST(LinearSolver, SolvesKnownSystem) {
+  SymmetricMatrix m(2);
+  m.set(0, 0, 4.0);
+  m.set(0, 1, 1.0);
+  m.set(1, 1, 3.0);
+  // 4x + y = 9, x + 3y = 10  ->  x = 17/11, y = 31/11.
+  const auto x = solve_linear_system(m, {9.0, 10.0});
+  EXPECT_NEAR(x[0], 17.0 / 11.0, 1e-12);
+  EXPECT_NEAR(x[1], 31.0 / 11.0, 1e-12);
+}
+
+TEST(LinearSolver, ResidualIsTiny) {
+  const ThermalBank bank({12, 20e-6, 1.2e4, 35e-6});
+  std::vector<double> b(12);
+  for (std::size_t i = 0; i < b.size(); ++i) b[i] = 1.0 + 0.3 * static_cast<double>(i % 4);
+  const auto x = solve_linear_system(bank.coupling(), b);
+  const auto r = bank.coupling().multiply(x);
+  for (std::size_t i = 0; i < b.size(); ++i) EXPECT_NEAR(r[i], b[i], 1e-8);
+}
+
+TEST(LinearSolver, SingularMatrixThrows) {
+  SymmetricMatrix m(2);
+  m.set(0, 0, 1.0);
+  m.set(0, 1, 1.0);
+  m.set(1, 1, 1.0);  // rank 1
+  EXPECT_THROW((void)solve_linear_system(m, {1.0, 2.0}), InvalidArgument);
+}
+
+TEST(ThermalBank, CouplingDecaysWithDistance) {
+  const ThermalBank bank({8, 20e-6, 1.2e4, 35e-6});
+  const SymmetricMatrix& c = bank.coupling();
+  for (std::size_t d = 1; d < 7; ++d) {
+    EXPECT_GT(c(0, d), c(0, d + 1));
+  }
+  EXPECT_DOUBLE_EQ(c(0, 0), 1.2e4);
+}
+
+TEST(ThermalBank, TedRealisesTargetExactlyWhenUnclipped) {
+  const ThermalBank bank({8, 20e-6, 1.2e4, 35e-6});
+  // A uniform positive target keeps the solve non-negative (no clipping).
+  const std::vector<double> target(8, 5.0);
+  bool saturated = true;
+  const auto p = bank.ted_powers(target, &saturated);
+  EXPECT_FALSE(saturated);
+  EXPECT_LT(bank.max_temperature_error(p, target), 1e-9);
+}
+
+TEST(ThermalBank, TedUsesLessPowerThanNaive) {
+  const ThermalBank bank({16, 20e-6, 1.2e4, 35e-6});
+  std::vector<double> target(16);
+  for (std::size_t i = 0; i < 16; ++i) target[i] = 2.0 + 3.0 * static_cast<double>(i % 5);
+  const double ted = ThermalBank::total_power(bank.ted_powers(target));
+  const double naive = ThermalBank::total_power(bank.naive_powers(target));
+  EXPECT_LT(ted, naive);
+  // The guard-band penalty is substantial for dense banks (paper's
+  // motivation for adopting TED from SONIC [29]).
+  EXPECT_LT(ted, 0.75 * naive);
+}
+
+TEST(ThermalBank, NaiveConvergesToItsBiasedSetpoint) {
+  const ThermalBank bank({8, 20e-6, 1.2e4, 35e-6});
+  std::vector<double> target(8, 4.0);
+  double guard = 0.0;
+  const auto p = bank.naive_powers(target, 64, &guard);
+  EXPECT_GT(guard, 0.0);
+  std::vector<double> biased(target);
+  for (double& t : biased) t += guard;
+  EXPECT_LT(bank.max_temperature_error(p, biased), 1e-3);
+}
+
+TEST(ThermalBank, PowersAreNonNegative) {
+  const ThermalBank bank({8, 20e-6, 1.2e4, 35e-6});
+  std::vector<double> target{10.0, 0.0, 0.0, 8.0, 0.0, 0.0, 0.0, 12.0};
+  for (const double p : bank.ted_powers(target)) EXPECT_GE(p, 0.0);
+  for (const double p : bank.naive_powers(target)) EXPECT_GE(p, 0.0);
+}
+
+TEST(ThermalBank, EigenmodesCachedAndSorted) {
+  const ThermalBank bank({8, 20e-6, 1.2e4, 35e-6});
+  const EigenDecomposition& e1 = bank.eigenmodes();
+  const EigenDecomposition& e2 = bank.eigenmodes();
+  EXPECT_EQ(&e1, &e2);
+  for (std::size_t i = 1; i < e1.eigenvalues.size(); ++i) {
+    EXPECT_LE(e1.eigenvalues[i - 1], e1.eigenvalues[i]);
+  }
+}
+
+// Sweep: TED's advantage grows as rings pack closer (stronger coupling).
+class PitchSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(PitchSweep, TedSavesPowerAtEveryPitch) {
+  const ThermalBank bank({12, GetParam(), 1.2e4, 35e-6});
+  std::vector<double> target(12);
+  for (std::size_t i = 0; i < 12; ++i) target[i] = 1.0 + static_cast<double>(i % 3);
+  const double ted = ThermalBank::total_power(bank.ted_powers(target));
+  const double naive = ThermalBank::total_power(bank.naive_powers(target));
+  EXPECT_LT(ted, naive);
+}
+
+INSTANTIATE_TEST_SUITE_P(Pitches, PitchSweep,
+                         ::testing::Values(10e-6, 15e-6, 20e-6, 30e-6, 50e-6));
+
+}  // namespace
+}  // namespace lumos::phot

@@ -1,0 +1,176 @@
+// Tests for the hybrid EO/TO tuning circuit (paper Section V.A).
+#include <gtest/gtest.h>
+
+#include "common/units.hpp"
+#include "common/constants.hpp"
+#include "common/error.hpp"
+#include "photonics/tuning.hpp"
+
+namespace lumos::phot {
+namespace {
+
+MicroringResonator make_ring() { return MicroringResonator(MicroringDesign{}); }
+
+TEST(Tuning, EoRangeMatchesPlasmaDispersion) {
+  const MicroringResonator ring = make_ring();
+  const TuningCircuitConfig cfg;
+  const TuningCircuit t(cfg, ring);
+  const double dn = cfg.eo_index_shift_per_volt * cfg.eo_max_voltage;
+  EXPECT_NEAR(t.eo_range_m(),
+              ring.base_resonance_wavelength() * dn / ring.design().group_index, 1e-18);
+}
+
+TEST(Tuning, SmallShiftUsesEoOnly) {
+  const MicroringResonator ring = make_ring();
+  const TuningCircuit t({}, ring);
+  const TuningResult r = t.tune(t.eo_range_m() * 0.5);
+  EXPECT_EQ(r.mechanism, TuningMechanism::kElectroOptic);
+  EXPECT_FALSE(r.saturated);
+  EXPECT_DOUBLE_EQ(r.static_power_w, 0.0);  // depletion junction
+  EXPECT_GT(r.dynamic_energy_j, 0.0);
+  EXPECT_NEAR(r.achieved_shift_m, t.eo_range_m() * 0.5, 1e-18);
+}
+
+TEST(Tuning, LargeShiftEngagesHybrid) {
+  const MicroringResonator ring = make_ring();
+  const TuningCircuit t({}, ring);
+  const double request = t.eo_range_m() * 10.0;
+  const TuningResult r = t.tune(request);
+  EXPECT_EQ(r.mechanism, TuningMechanism::kHybrid);
+  EXPECT_FALSE(r.saturated);
+  EXPECT_NEAR(r.achieved_shift_m, request, 1e-15);
+  EXPECT_GT(r.static_power_w, 0.0);  // heater holds the coarse component
+}
+
+TEST(Tuning, HybridLatencyDominatedByThermal) {
+  const MicroringResonator ring = make_ring();
+  const TuningCircuitConfig cfg;
+  const TuningCircuit t(cfg, ring);
+  const TuningResult r = t.tune(t.eo_range_m() * 5.0);
+  EXPECT_DOUBLE_EQ(r.latency_s, cfg.to_response_time_s);
+}
+
+TEST(Tuning, EoOnlyPolicySaturates) {
+  const MicroringResonator ring = make_ring();
+  const TuningCircuit t({}, ring);
+  const TuningResult r = t.tune(t.eo_range_m() * 3.0, TuningPolicy::kEoOnly);
+  EXPECT_TRUE(r.saturated);
+  EXPECT_NEAR(r.achieved_shift_m, t.eo_range_m(), 1e-18);
+}
+
+TEST(Tuning, ToOnlyUsesHeaterEvenForSmallShifts) {
+  const MicroringResonator ring = make_ring();
+  const TuningCircuit t({}, ring);
+  const TuningResult r = t.tune(t.eo_range_m() * 0.1, TuningPolicy::kToOnly);
+  EXPECT_EQ(r.mechanism, TuningMechanism::kThermoOptic);
+  EXPECT_GT(r.static_power_w, 0.0);
+}
+
+TEST(Tuning, HybridBeatsToOnlyOnPowerForSmallShifts) {
+  const MicroringResonator ring = make_ring();
+  const TuningCircuit t({}, ring);
+  const double shift = t.eo_range_m() * 0.8;
+  EXPECT_LT(t.tune(shift, TuningPolicy::kHybrid).static_power_w,
+            t.tune(shift, TuningPolicy::kToOnly).static_power_w);
+}
+
+TEST(Tuning, HybridBeatsToOnlyOnLatencyForSmallShifts) {
+  const MicroringResonator ring = make_ring();
+  const TuningCircuit t({}, ring);
+  const double shift = t.eo_range_m() * 0.8;
+  EXPECT_LT(t.tune(shift, TuningPolicy::kHybrid).latency_s,
+            t.tune(shift, TuningPolicy::kToOnly).latency_s);
+}
+
+TEST(Tuning, TedReducesToPower) {
+  const MicroringResonator ring = make_ring();
+  TuningCircuitConfig with_ted;
+  with_ted.use_ted = true;
+  TuningCircuitConfig without;
+  without.use_ted = false;
+  const double shift = units::nm(2.0);
+  const double p_with = TuningCircuit(with_ted, ring).tune(shift, TuningPolicy::kToOnly)
+                            .static_power_w;
+  const double p_without =
+      TuningCircuit(without, ring).tune(shift, TuningPolicy::kToOnly).static_power_w;
+  EXPECT_NEAR(p_with, p_without * (1.0 - with_ted.ted_power_saving), 1e-12);
+}
+
+TEST(Tuning, ToPowerScalesLinearlyWithShift) {
+  const MicroringResonator ring = make_ring();
+  const TuningCircuit t({}, ring);
+  const double p1 = t.tune(units::nm(1.0), TuningPolicy::kToOnly).static_power_w;
+  const double p2 = t.tune(units::nm(2.0), TuningPolicy::kToOnly).static_power_w;
+  EXPECT_NEAR(p2, 2.0 * p1, 1e-12);
+}
+
+TEST(Tuning, EoEnergyIsFemtojouleScale) {
+  const MicroringResonator ring = make_ring();
+  const TuningCircuit t({}, ring);
+  const TuningResult r = t.tune(t.eo_range_m(), TuningPolicy::kEoOnly);
+  EXPECT_LT(r.dynamic_energy_j, 1e-12);  // < 1 pJ
+  EXPECT_GT(r.dynamic_energy_j, 1e-17);
+}
+
+TEST(Tuning, NegativeShiftRejected) {
+  const MicroringResonator ring = make_ring();
+  const TuningCircuit t({}, ring);
+  EXPECT_THROW((void)t.tune(-1e-12), InvalidArgument);
+}
+
+TEST(BankTuning, TedBeatsNaiveAndTracksTargets) {
+  const MicroringResonator ring = make_ring();
+  const ThermalBank bank({16, 20e-6, 1.2e4, 35e-6});
+  std::vector<double> shifts(16);
+  for (std::size_t i = 0; i < 16; ++i) {
+    shifts[i] = units::nm(0.05 + 0.01 * static_cast<double>(i % 7));
+  }
+  const BankTuningPower p = bank_tuning_power(bank, shifts, {}, ring);
+  EXPECT_GT(p.naive_w, 0.0);
+  EXPECT_LT(p.ted_w, p.naive_w);
+  // The NNLS drive's residual (heaters cannot cool) must stay within the
+  // temperature equivalent of the EO trim range, which the hybrid policy
+  // uses for per-ring fine correction (paper Section V.A).
+  const TuningCircuitConfig tcfg;
+  const double eo_range_m =
+      ring.base_resonance_wavelength() * tcfg.eo_index_shift_per_volt * tcfg.eo_max_voltage /
+      ring.design().group_index;
+  const double eo_range_k = eo_range_m * ring.design().group_index /
+                            (ring.base_resonance_wavelength() * constants::kSiThermoOpticCoeff);
+  EXPECT_LT(p.max_error_ted_k, eo_range_k);
+  EXPECT_LT(p.max_error_naive_k, 0.5);  // converged feedback
+}
+
+TEST(BankTuning, SizeMismatchRejected) {
+  const MicroringResonator ring = make_ring();
+  const ThermalBank bank({8, 20e-6, 1.2e4, 35e-6});
+  EXPECT_THROW((void)bank_tuning_power(bank, std::vector<double>(4, 1e-12), {}, ring),
+               InvalidArgument);
+}
+
+// Policy sweep: achieved shift never exceeds the request and energy is
+// non-negative across policies and magnitudes.
+class PolicySweep
+    : public ::testing::TestWithParam<std::tuple<TuningPolicy, double>> {};
+
+TEST_P(PolicySweep, PhysicalInvariants) {
+  const auto [policy, fraction] = GetParam();
+  const MicroringResonator ring = make_ring();
+  const TuningCircuit t({}, ring);
+  const double request = fraction * t.to_range_m();
+  const TuningResult r = t.tune(request, policy);
+  EXPECT_LE(r.achieved_shift_m, request + 1e-18);
+  EXPECT_GE(r.achieved_shift_m, 0.0);
+  EXPECT_GE(r.dynamic_energy_j, 0.0);
+  EXPECT_GE(r.static_power_w, 0.0);
+  EXPECT_GT(r.latency_s, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Policies, PolicySweep,
+    ::testing::Combine(::testing::Values(TuningPolicy::kEoOnly, TuningPolicy::kToOnly,
+                                         TuningPolicy::kHybrid),
+                       ::testing::Values(1e-4, 0.01, 0.2, 0.9, 1.5)));
+
+}  // namespace
+}  // namespace lumos::phot

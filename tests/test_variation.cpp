@@ -1,0 +1,100 @@
+// Tests for the process-variation Monte-Carlo model (the paper's named
+// open challenge, implemented as an extension).
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "photonics/variation.hpp"
+
+namespace lumos::phot {
+namespace {
+
+ProcessVariationModel make_model(double local_nm, double die_nm) {
+  ProcessVariationConfig c;
+  c.local_sigma_m = local_nm * 1e-9;
+  c.die_sigma_m = die_nm * 1e-9;
+  c.monte_carlo_dies = 100;
+  return ProcessVariationModel(c, MicroringDesign{}, TuningCircuitConfig{});
+}
+
+TEST(Variation, ZeroVariationNeedsNoCorrection) {
+  const ProcessVariationModel m = make_model(0.0, 0.0);
+  const VariationReport r = m.run(1);
+  EXPECT_DOUBLE_EQ(r.mean_correction_m, 0.0);
+  EXPECT_DOUBLE_EQ(r.worst_correction_m, 0.0);
+  EXPECT_DOUBLE_EQ(r.yield, 1.0);
+  EXPECT_DOUBLE_EQ(r.mean_bank_power_w, 0.0);
+}
+
+TEST(Variation, CorrectionsBoundedByFsr) {
+  const ProcessVariationModel m = make_model(0.5, 1.0);
+  const MicroringResonator ring{MicroringDesign{}};
+  Rng rng(2);
+  for (int i = 0; i < 20; ++i) {
+    for (const double c : m.draw_die_corrections(rng)) {
+      EXPECT_GE(c, 0.0);
+      EXPECT_LE(c, ring.free_spectral_range());
+    }
+  }
+}
+
+TEST(Variation, MoreVariationCostsMorePower) {
+  const VariationReport small = make_model(0.1, 0.2).run(3);
+  const VariationReport large = make_model(0.6, 1.2).run(3);
+  EXPECT_GT(large.mean_correction_m, small.mean_correction_m);
+  EXPECT_GT(large.mean_bank_power_w, small.mean_bank_power_w);
+}
+
+TEST(Variation, P95AtLeastMean) {
+  const VariationReport r = make_model(0.4, 0.8).run(4);
+  EXPECT_GE(r.p95_bank_power_w, r.mean_bank_power_w * 0.99);
+}
+
+TEST(Variation, RealisticVariationHasHighYield) {
+  // With the 3-sigma blue bias nearly every ring needs only a small red trim
+  // within the TO range; the rare full-FSR wrap costs a little yield.
+  const VariationReport r = make_model(0.4, 0.8).run(5);
+  EXPECT_GE(r.yield, 0.9);
+  EXPECT_GT(r.mean_bank_power_w, 0.0);
+}
+
+TEST(Variation, CrampedTuningRangeLosesYield) {
+  ProcessVariationConfig c;
+  c.local_sigma_m = 0.5e-9;
+  c.die_sigma_m = 1.0e-9;
+  c.monte_carlo_dies = 100;
+  TuningCircuitConfig tuning;
+  tuning.to_max_shift_nm = 1.0;  // far below the ~18 nm FSR fold
+  const ProcessVariationModel m(c, MicroringDesign{}, tuning);
+  EXPECT_LT(m.run(6).yield, 1.0);
+}
+
+TEST(Variation, DeterministicPerSeed) {
+  const ProcessVariationModel m = make_model(0.4, 0.8);
+  const VariationReport a = m.run(7);
+  const VariationReport b = m.run(7);
+  EXPECT_DOUBLE_EQ(a.mean_bank_power_w, b.mean_bank_power_w);
+  EXPECT_DOUBLE_EQ(a.worst_correction_m, b.worst_correction_m);
+}
+
+TEST(Variation, InvalidConfigRejected) {
+  ProcessVariationConfig c;
+  c.monte_carlo_dies = 0;
+  EXPECT_THROW(ProcessVariationModel(c, MicroringDesign{}, TuningCircuitConfig{}),
+               lumos::InvalidArgument);
+}
+
+// Sigma sweep: yield is monotone non-increasing in variation magnitude when
+// the tuning range is the binding constraint.
+class SigmaSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(SigmaSweep, ReportFieldsConsistent) {
+  const VariationReport r = make_model(GetParam(), GetParam() * 2.0).run(8);
+  EXPECT_GE(r.worst_correction_m, r.mean_correction_m);
+  EXPECT_GE(r.yield, 0.0);
+  EXPECT_LE(r.yield, 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sigmas, SigmaSweep, ::testing::Values(0.1, 0.2, 0.4, 0.8));
+
+}  // namespace
+}  // namespace lumos::phot

@@ -1,0 +1,109 @@
+// Tests for the WDM link design-space search (paper Section V.B's "optimal MR
+// design and configurations that would result in negligible crosstalk").
+#include <gtest/gtest.h>
+
+#include "photonics/wdm.hpp"
+
+namespace lumos::phot {
+namespace {
+
+WdmLinkDesigner make_designer() {
+  return WdmLinkDesigner(MicroringDesign{}, PhotodetectorConfig{}, VcselConfig{}, LossStack{});
+}
+
+TEST(Wdm, EvaluateFillsAllFields) {
+  const WdmLinkDesigner d = make_designer();
+  const WdmDesignPoint p = d.evaluate(8000.0, 16, 8);
+  EXPECT_EQ(p.channel_count, 16u);
+  EXPECT_GT(p.channel_spacing_m, 0.0);
+  EXPECT_GT(p.crosstalk_fraction, 0.0);
+  EXPECT_GT(p.laser_power_per_channel_w, 0.0);
+  EXPECT_NE(p.effective_snr_db, 0.0);
+}
+
+TEST(Wdm, FewerChannelsWidenSpacing) {
+  const WdmLinkDesigner d = make_designer();
+  EXPECT_GT(d.evaluate(8000.0, 4, 8).channel_spacing_m,
+            d.evaluate(8000.0, 16, 8).channel_spacing_m);
+}
+
+TEST(Wdm, MoreChannelsWorsenSnr) {
+  const WdmLinkDesigner d = make_designer();
+  EXPECT_GT(d.evaluate(8000.0, 8, 8).effective_snr_db,
+            d.evaluate(8000.0, 48, 8).effective_snr_db);
+}
+
+TEST(Wdm, HigherQImprovesSnrAtFixedCount) {
+  const WdmLinkDesigner d = make_designer();
+  EXPECT_LT(d.evaluate(4000.0, 32, 8).effective_snr_db,
+            d.evaluate(16000.0, 32, 8).effective_snr_db);
+}
+
+TEST(Wdm, SweepCoversWholeSpace) {
+  const WdmLinkDesigner d = make_designer();
+  WdmSearchSpace space;
+  const auto points = d.sweep(space);
+  EXPECT_EQ(points.size(), space.quality_factors.size() * space.channel_counts.size());
+}
+
+TEST(Wdm, BestPointIsFeasible) {
+  const WdmLinkDesigner d = make_designer();
+  const WdmSearchSpace space;
+  const auto best = d.best(space);
+  ASSERT_TRUE(best.has_value());
+  EXPECT_TRUE(best->feasible);
+  EXPECT_GE(best->effective_snr_db, space.min_effective_snr_db);
+}
+
+TEST(Wdm, BestMaximisesChannelCount) {
+  const WdmLinkDesigner d = make_designer();
+  const WdmSearchSpace space;
+  const auto best = d.best(space);
+  ASSERT_TRUE(best.has_value());
+  for (const WdmDesignPoint& p : d.sweep(space)) {
+    if (p.feasible) EXPECT_LE(p.channel_count, best->channel_count);
+  }
+}
+
+TEST(Wdm, DefaultDesignPointIsFeasible) {
+  // The accelerators' default 16-wavelength / Q=8000 bank must be a feasible
+  // point of the search — the "fixed point" DESIGN.md claims.
+  const WdmLinkDesigner d = make_designer();
+  EXPECT_TRUE(d.evaluate(8000.0, 16, 8).feasible);
+}
+
+TEST(Wdm, ImpossibleTargetYieldsNoDesign) {
+  const WdmLinkDesigner d = make_designer();
+  WdmSearchSpace space;
+  space.min_effective_snr_db = 60.0;  // beyond the crosstalk-free ceiling
+  space.quality_factors = {2000.0};
+  space.channel_counts = {64};
+  EXPECT_FALSE(d.best(space).has_value());
+}
+
+TEST(Wdm, GuardBandReducesUsableSpectrum) {
+  const WdmLinkDesigner d = make_designer();
+  const auto tight = d.evaluate(8000.0, 16, 8, 0.0);
+  const auto guarded = d.evaluate(8000.0, 16, 8, 0.3);
+  EXPECT_GT(tight.channel_spacing_m, guarded.channel_spacing_m);
+}
+
+// Feasibility frontier: at fixed Q, feasibility is monotone — once channel
+// count makes the design infeasible, more channels never restore it.
+class FrontierSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(FrontierSweep, FeasibilityMonotoneInChannelCount) {
+  const WdmLinkDesigner d = make_designer();
+  bool seen_infeasible = false;
+  for (const std::size_t n : {4u, 8u, 16u, 32u, 64u, 128u}) {
+    const bool ok = d.evaluate(GetParam(), n, 8).feasible;
+    if (seen_infeasible) EXPECT_FALSE(ok);
+    if (!ok) seen_infeasible = true;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Qs, FrontierSweep,
+                         ::testing::Values(4000.0, 8000.0, 12000.0, 16000.0));
+
+}  // namespace
+}  // namespace lumos::phot
