@@ -1,0 +1,62 @@
+// Shared thread pool and deterministic data-parallel loops.
+//
+// Every dense kernel and row-wise operation in the library parallelises
+// through `parallel_for`.  Determinism contract: the range is split into
+// chunks whose boundaries depend only on (begin, end, grain) — never on the
+// worker count or on scheduling — and each chunk owns a disjoint slice of the
+// output.  Chunks may execute in any order on any thread, so results are
+// bit-reproducible across runs and across `LUMOS_THREADS` settings as long as
+// the body writes only its own slice (which every caller in this library
+// does).  Floating-point reductions that must stay ordered are combined
+// per-chunk in ascending chunk order by the caller.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace lumos {
+
+// A fixed-size pool of worker threads servicing one parallel loop at a time.
+// Loops are cooperative: the calling thread executes chunks alongside the
+// workers, so a pool of size 1 (or a nested call from inside a worker) simply
+// runs the loop inline.
+class ThreadPool {
+ public:
+  // `thread_count` is the TOTAL parallelism (workers + calling thread);
+  // 0 or 1 means fully serial.
+  explicit ThreadPool(std::size_t thread_count);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t thread_count() const noexcept;
+
+  // Runs `body(chunk_index)` for every chunk in [0, chunk_count).  Chunks are
+  // claimed dynamically (work stealing via an atomic counter); the call
+  // returns when all chunks have finished.  The first exception thrown by any
+  // chunk is rethrown on the calling thread after the loop drains.
+  void run_chunks(std::size_t chunk_count, const std::function<void(std::size_t)>& body);
+
+  // The process-wide pool.  Sized from the LUMOS_THREADS environment variable
+  // when set (minimum 1), otherwise from std::thread::hardware_concurrency().
+  static ThreadPool& global();
+
+ private:
+  struct Impl;
+  Impl* impl_;
+};
+
+// Splits [begin, end) into chunks of `grain` indices (the last chunk may be
+// short) and runs `body(chunk_begin, chunk_end)` for each on the global pool.
+// Runs inline when the range fits in one chunk, when the pool is serial, or
+// when called from inside another parallel_for (no nested parallelism).
+void parallel_for(std::size_t begin, std::size_t end, std::size_t grain,
+                  const std::function<void(std::size_t, std::size_t)>& body);
+
+// Convenience overload: one index per call (`grain` chunking still applies
+// internally with a default grain of 1).
+void parallel_for(std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t, std::size_t)>& body);
+
+}  // namespace lumos

@@ -72,7 +72,8 @@ phot::AreaReport GhostAccelerator::area() const {
 }
 
 PerfReport GhostAccelerator::estimate(const gnn::GnnModelConfig& model,
-                                      const graph::GraphDataset& dataset) const {
+                                      const graph::GraphDataset& dataset,
+                                      AggregateCosting costing) const {
   const graph::CsrGraph& g = dataset.graph;
   PerfReport r;
   r.workload = model.name + "/" + dataset.name;
@@ -93,6 +94,26 @@ PerfReport GhostAccelerator::estimate(const gnn::GnnModelConfig& model,
   const double imbalance =
       graph::lane_imbalance(g, config_.lanes, config_.workload_balancing);
 
+  // Base reduce passes (one feature tile) summed over all vertices.  The
+  // per-vertex contribution depends only on the degree, so the degree
+  // histogram yields the same integer in O(distinct degrees); the per-layer
+  // pass count is then this total times the layer's feature-tile count.
+  std::size_t base_reduce_passes = 0;
+  if (costing == AggregateCosting::kDegreeHistogram) {
+    for (const graph::DegreeBucket& bucket : g.degree_histogram()) {
+      // +1: self contribution joins the neighbour reduction.
+      base_reduce_passes += bucket.count * reduce_.passes_for(bucket.degree + 1);
+    }
+  }
+
+  // The partition schedule depends only on the graph and the lane/block
+  // configuration, so it is computed once and reused by every layer (the
+  // reference mode re-tiles per layer, as the original implementation did).
+  graph::PartitionSchedule hoisted_schedule;
+  if (costing == AggregateCosting::kDegreeHistogram && config_.buffer_and_partition) {
+    hoisted_schedule = graph::partition(g, {config_.lanes, config_.input_block_size});
+  }
+
   double total_latency = 0.0;
   for (const gnn::GnnLayerConfig& layer : model.layers_for(dataset)) {
     const std::size_t din = layer.in_dim;
@@ -108,12 +129,17 @@ PerfReport GhostAccelerator::estimate(const gnn::GnnModelConfig& model,
     // work and the partial-aggregate footprint that must stay on chip.
     const bool transform_first = layer.kind == gnn::GnnKind::kGat || dout < din;
     const std::size_t agg_dim = transform_first ? dout : din;
+    const std::size_t feature_tiles =
+        (agg_dim + config_.feature_lanes - 1) / config_.feature_lanes;
     std::size_t reduce_passes = 0;
-    for (std::size_t node = 0; node < v; ++node) {
-      const std::size_t deg =
-          g.degree(static_cast<graph::NodeId>(node)) + 1;  // + self contribution
-      reduce_passes += reduce_.passes_for(deg) *
-                       ((agg_dim + config_.feature_lanes - 1) / config_.feature_lanes);
+    if (costing == AggregateCosting::kDegreeHistogram) {
+      reduce_passes = base_reduce_passes * feature_tiles;
+    } else {
+      for (std::size_t node = 0; node < v; ++node) {
+        const std::size_t deg =
+            g.degree(static_cast<graph::NodeId>(node)) + 1;  // + self contribution
+        reduce_passes += reduce_.passes_for(deg) * feature_tiles;
+      }
     }
     const double agg_t = std::ceil(static_cast<double>(reduce_passes) /
                                    static_cast<double>(config_.lanes)) /
@@ -211,8 +237,14 @@ PerfReport GhostAccelerator::estimate(const gnn::GnnModelConfig& model,
     const double node_feature_bytes = static_cast<double>(v) * static_cast<double>(din);
     double dram_bytes = 0.0;
     if (config_.buffer_and_partition) {
-      const graph::PartitionSchedule sched =
-          graph::partition(g, {config_.lanes, config_.input_block_size});
+      graph::PartitionSchedule per_layer_schedule;
+      if (costing != AggregateCosting::kDegreeHistogram) {
+        per_layer_schedule =
+            graph::partition_reference(g, {config_.lanes, config_.input_block_size});
+      }
+      const graph::PartitionSchedule& sched = costing == AggregateCosting::kDegreeHistogram
+                                                  ? hoisted_schedule
+                                                  : per_layer_schedule;
       const double block_bytes =
           static_cast<double>(config_.input_block_size) * static_cast<double>(din);
       // Partial aggregates for all output vertices must stay resident during

@@ -19,13 +19,27 @@
 
 namespace lumos::ghost {
 
+// How `GhostAccelerator::estimate` costs the aggregate phase.
+enum class AggregateCosting {
+  // Per distinct degree via CsrGraph::degree_histogram(): the reduce-pass
+  // total (and the partition schedule) are computed once per estimate instead
+  // of re-walking all V vertices (and re-tiling all E edges) per layer —
+  // O(layers * distinct_degrees) instead of O(layers * (V + E)).  Default.
+  kDegreeHistogram,
+  // The original per-node O(V) loop with per-layer reference partitioning,
+  // retained as the baseline for parity tests and bench_kernels.  Produces
+  // bit-identical PerfReports.
+  kPerNodeReference,
+};
+
 class GhostAccelerator {
  public:
   explicit GhostAccelerator(const GhostConfig& config);
 
   // Analytic mapping of one full-graph inference of `model` on `dataset`.
-  [[nodiscard]] PerfReport estimate(const gnn::GnnModelConfig& model,
-                                    const graph::GraphDataset& dataset) const;
+  [[nodiscard]] PerfReport estimate(
+      const gnn::GnnModelConfig& model, const graph::GraphDataset& dataset,
+      AggregateCosting costing = AggregateCosting::kDegreeHistogram) const;
 
   // Functional forward of `weights` on `graph`/`features` through the noisy
   // photonic path (intended for small graphs).

@@ -193,22 +193,19 @@ nn::Matrix reference_layer_forward(const GnnLayerWeights& weights, const graph::
       // final GAT layer; keeps output dim = out_dim).
       const nn::Matrix transformed = features.matmul(weights.w);  // n x out_dim
       out = nn::Matrix(n, cfg.out_dim);
+      // Per-node score halves for every head in two dense products (n x
+      // heads each): e_vu = LeakyReLU(a_src.h_v + a_dst.h_u) then only needs
+      // per-edge lookups instead of per-edge dot products.
+      const nn::Matrix src_scores = transformed.matmul(weights.gat_a_src);
+      const nn::Matrix dst_scores = transformed.matmul(weights.gat_a_dst);
       std::vector<double> scores;
       for (std::size_t head = 0; head < cfg.gat_heads; ++head) {
         for (std::size_t v = 0; v < n; ++v) {
           const auto nbrs = graph.neighbors(static_cast<graph::NodeId>(v));
           scores.assign(nbrs.size() + 1, 0.0);
-          // Self + neighbours score: e_vu = LeakyReLU(a_src.h_v + a_dst.h_u).
-          double src_score = 0.0;
-          for (std::size_t c = 0; c < cfg.out_dim; ++c) {
-            src_score += weights.gat_a_src(c, head) * transformed(v, c);
-          }
+          const double src_score = src_scores(v, head);
           const auto score_of = [&](graph::NodeId u) {
-            double s = 0.0;
-            for (std::size_t c = 0; c < cfg.out_dim; ++c) {
-              s += weights.gat_a_dst(c, head) * transformed(u, c);
-            }
-            return leaky_relu(src_score + s);
+            return leaky_relu(src_score + dst_scores(u, head));
           };
           scores[0] = score_of(static_cast<graph::NodeId>(v));
           for (std::size_t i = 0; i < nbrs.size(); ++i) scores[i + 1] = score_of(nbrs[i]);

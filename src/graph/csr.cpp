@@ -32,6 +32,14 @@ CsrGraph::CsrGraph(std::size_t node_count, std::vector<Edge> edges, bool symmetr
   for (const Edge& e : edges) ++row_ptr_[e.src + 1];
   for (std::size_t v = 0; v < node_count; ++v) row_ptr_[v + 1] += row_ptr_[v];
   for (std::size_t i = 0; i < edges.size(); ++i) col_idx_[i] = edges[i].dst;
+
+  // Degree histogram (ascending, one bucket per distinct degree): bucket the
+  // degrees, then compress the occupied counts.
+  std::vector<std::size_t> counts(max_degree() + 1, 0);
+  for (std::size_t v = 0; v < node_count; ++v) ++counts[degree(static_cast<NodeId>(v))];
+  for (std::size_t d = 0; d < counts.size(); ++d) {
+    if (counts[d] > 0) degree_histogram_.push_back({d, counts[d]});
+  }
 }
 
 double CsrGraph::average_degree() const noexcept {
@@ -41,6 +49,7 @@ double CsrGraph::average_degree() const noexcept {
 }
 
 std::size_t CsrGraph::max_degree() const noexcept {
+  if (!degree_histogram_.empty()) return degree_histogram_.back().degree;
   std::size_t mx = 0;
   for (std::size_t v = 0; v < node_count(); ++v) mx = std::max(mx, degree(static_cast<NodeId>(v)));
   return mx;

@@ -19,6 +19,13 @@ struct Edge {
   NodeId dst = 0;
 };
 
+// One entry of the degree histogram: `count` vertices have exactly `degree`
+// neighbours.
+struct DegreeBucket {
+  std::size_t degree = 0;
+  std::size_t count = 0;
+};
+
 class CsrGraph {
  public:
   CsrGraph() = default;
@@ -50,9 +57,19 @@ class CsrGraph {
   // Fraction of the dense adjacency matrix that is occupied.
   [[nodiscard]] double density() const noexcept;
 
+  // Degree histogram in ascending-degree order, one bucket per distinct
+  // degree, precomputed once at construction.  Any per-node cost model whose
+  // contribution depends only on the degree can be evaluated per bucket,
+  // collapsing O(V) loops to O(distinct degrees) — real graphs (power-law or
+  // otherwise) have far fewer distinct degrees than vertices.
+  [[nodiscard]] std::span<const DegreeBucket> degree_histogram() const noexcept {
+    return degree_histogram_;
+  }
+
  private:
   std::vector<std::size_t> row_ptr_;
   std::vector<NodeId> col_idx_;
+  std::vector<DegreeBucket> degree_histogram_;
 };
 
 }  // namespace lumos::graph

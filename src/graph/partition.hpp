@@ -49,8 +49,16 @@ struct PartitionSchedule {
 };
 
 // Tiles `graph` under `config`.  Vertices are assigned to blocks by index
-// (contiguous ranges), matching the paper's streaming layout.
+// (contiguous ranges), matching the paper's streaming layout.  Runs in
+// O(E + blocks) by accumulating per-input-block edge counts while sweeping
+// output blocks in order (output block index is monotone in the vertex id).
 [[nodiscard]] PartitionSchedule partition(const CsrGraph& graph, const PartitionConfig& config);
+
+// Reference implementation of `partition` (the original map-based tiling).
+// Produces an identical schedule; retained for parity tests and as the
+// pre-optimisation baseline in bench_kernels.
+[[nodiscard]] PartitionSchedule partition_reference(const CsrGraph& graph,
+                                                    const PartitionConfig& config);
 
 // Workload-balance statistic for lane assignment: the ratio of the busiest
 // lane's edge work to the average over lanes, for vertex->lane round-robin

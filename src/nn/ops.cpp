@@ -4,8 +4,29 @@
 #include <numbers>
 
 #include "common/error.hpp"
+#include "common/parallel.hpp"
 
 namespace lumos::nn {
+
+namespace {
+// Row grain for parallel row-wise ops: a chunk covers enough elements that
+// scheduling cost is negligible.  Depends only on the column count, so chunk
+// boundaries (and results) are independent of the worker count.
+std::size_t op_row_grain(std::size_t cols) {
+  const std::size_t c = cols < 1 ? 1 : cols;
+  const std::size_t g = (std::size_t{1} << 16) / c;
+  return g < 1 ? 1 : g;
+}
+
+// Element-wise map over the matrix, parallelised in fixed-size slices.
+template <typename Fn>
+void map_flat(Matrix& m, Fn&& fn) {
+  const auto flat = m.flat();
+  parallel_for(0, flat.size(), std::size_t{1} << 16, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) flat[i] = fn(flat[i]);
+  });
+}
+}  // namespace
 
 void softmax_inplace(std::span<double> row) {
   if (row.empty()) return;
@@ -20,56 +41,72 @@ void softmax_inplace(std::span<double> row) {
 }
 
 void softmax_rows(Matrix& m) {
-  for (std::size_t r = 0; r < m.rows(); ++r) softmax_inplace(m.row(r));
+  parallel_for(0, m.rows(), op_row_grain(m.cols()), [&](std::size_t r0, std::size_t r1) {
+    for (std::size_t r = r0; r < r1; ++r) softmax_inplace(m.row(r));
+  });
 }
 
 void layer_norm_rows(Matrix& m, std::span<const double> gamma, std::span<const double> beta,
                      double epsilon) {
   LUMOS_EXPECTS(gamma.size() == m.cols() && beta.size() == m.cols());
-  for (std::size_t r = 0; r < m.rows(); ++r) {
-    auto row = m.row(r);
-    double mean = 0.0;
-    for (const double v : row) mean += v;
-    mean /= static_cast<double>(row.size());
-    double var = 0.0;
-    for (const double v : row) var += (v - mean) * (v - mean);
-    var /= static_cast<double>(row.size());
-    const double inv = 1.0 / std::sqrt(var + epsilon);
-    for (std::size_t c = 0; c < row.size(); ++c) {
-      row[c] = (row[c] - mean) * inv * gamma[c] + beta[c];
+  parallel_for(0, m.rows(), op_row_grain(m.cols()), [&](std::size_t r0, std::size_t r1) {
+    for (std::size_t r = r0; r < r1; ++r) {
+      auto row = m.row(r);
+      double mean = 0.0;
+      for (const double v : row) mean += v;
+      mean /= static_cast<double>(row.size());
+      double var = 0.0;
+      for (const double v : row) var += (v - mean) * (v - mean);
+      var /= static_cast<double>(row.size());
+      const double inv = 1.0 / std::sqrt(var + epsilon);
+      for (std::size_t c = 0; c < row.size(); ++c) {
+        row[c] = (row[c] - mean) * inv * gamma[c] + beta[c];
+      }
     }
-  }
+  });
 }
 
 void relu(Matrix& m) {
-  for (double& v : m.flat()) v = v > 0.0 ? v : 0.0;
+  map_flat(m, [](double v) { return v > 0.0 ? v : 0.0; });
 }
 
 void gelu(Matrix& m) {
   // tanh approximation of GELU (as used by BERT/GPT implementations).
   constexpr double kC = 0.044715;
   const double s = std::sqrt(2.0 / std::numbers::pi);
-  for (double& v : m.flat()) {
-    v = 0.5 * v * (1.0 + std::tanh(s * (v + kC * v * v * v)));
-  }
+  map_flat(m, [=](double v) { return 0.5 * v * (1.0 + std::tanh(s * (v + kC * v * v * v))); });
 }
 
 void sigmoid(Matrix& m) {
-  for (double& v : m.flat()) v = 1.0 / (1.0 + std::exp(-v));
+  map_flat(m, [](double v) { return 1.0 / (1.0 + std::exp(-v)); });
 }
 
 void tanh_act(Matrix& m) {
-  for (double& v : m.flat()) v = std::tanh(v);
+  map_flat(m, [](double v) { return std::tanh(v); });
 }
 
-Matrix scaled_dot_product_attention(const Matrix& q, const Matrix& k, const Matrix& v) {
+void scaled_dot_product_attention_into(const Matrix& q, const Matrix& k, const Matrix& v,
+                                       Matrix& scores, Matrix& out) {
   LUMOS_EXPECTS(q.cols() == k.cols());
   LUMOS_EXPECTS(k.rows() == v.rows());
-  Matrix scores = q.matmul(k.transposed());
+  // The matmul kernels below catch every other alias violation; scores
+  // aliasing v is the one combination they cannot see (v is read only after
+  // scores is fully written), so reject it here.
+  LUMOS_EXPECTS_MSG(&scores != &v, "scores scratch must not alias v");
+  // Q K^T without materialising the transpose: K's rows stream directly
+  // through the transpose-free kernel.
+  q.matmul_nt_into(k, scores);
   const double inv_sqrt_dk = 1.0 / std::sqrt(static_cast<double>(q.cols()));
   for (double& s : scores.flat()) s *= inv_sqrt_dk;
   softmax_rows(scores);
-  return scores.matmul(v);
+  scores.matmul_into(v, out);
+}
+
+Matrix scaled_dot_product_attention(const Matrix& q, const Matrix& k, const Matrix& v) {
+  Matrix scores;
+  Matrix out;
+  scaled_dot_product_attention_into(q, k, v, scores, out);
+  return out;
 }
 
 double argmax_agreement(const Matrix& a, const Matrix& b) {

@@ -29,8 +29,15 @@ void tanh_act(Matrix& m);
 // Scaled dot-product attention (paper eq. (1)):
 //   attention(Q, K, V) = softmax(Q K^T / sqrt(d_k)) V
 // Q: L x d_k, K: L x d_k, V: L x d_v  ->  L x d_v.
+// Q K^T goes through the transpose-free kernel, so K is never copied.
 [[nodiscard]] Matrix scaled_dot_product_attention(const Matrix& q, const Matrix& k,
                                                   const Matrix& v);
+
+// Allocation-free attention: `scores` (resized to L x L) and `out` (resized
+// to L x d_v) are scratch/output buffers reused across calls; neither may
+// alias q/k/v.
+void scaled_dot_product_attention_into(const Matrix& q, const Matrix& k, const Matrix& v,
+                                       Matrix& scores, Matrix& out);
 
 // Linear layer  y = x W + b  (b may be empty for no bias).
 [[nodiscard]] Matrix linear(const Matrix& x, const Matrix& w, std::span<const double> bias);

@@ -1,8 +1,10 @@
 #include "nn/tensor.hpp"
 
 #include <cmath>
+#include <limits>
 
 #include "common/error.hpp"
+#include "common/parallel.hpp"
 
 namespace lumos::nn {
 
@@ -33,18 +35,163 @@ Matrix Matrix::transposed() const {
   return t;
 }
 
-Matrix Matrix::matmul(const Matrix& other) const {
-  LUMOS_EXPECTS_MSG(cols_ == other.rows_, "matmul inner dimensions must agree");
-  Matrix out(rows_, other.cols_);
-  // ikj loop order for cache-friendly access of `other`.
-  for (std::size_t i = 0; i < rows_; ++i) {
-    for (std::size_t k = 0; k < cols_; ++k) {
-      const double a = (*this)(i, k);
-      if (a == 0.0) continue;
-      const std::size_t n = other.cols_;
-      for (std::size_t j = 0; j < n; ++j) out(i, j) += a * other(k, j);
+void Matrix::resize(std::size_t rows, std::size_t cols) {
+  rows_ = rows;
+  cols_ = cols;
+  data_.resize(rows * cols);
+}
+
+namespace {
+
+// Kernel blocking parameters.  MR x NR is the register tile (MR independent
+// accumulator rows of NR contiguous output columns — both compile-time
+// constants so the accumulators live entirely in vector registers and the
+// column loop vectorises without reassociating any sum); KC bounds the
+// k-panel so the active B panel (KC x NR doubles) stays L1-resident while
+// the tile sweeps the chunk's rows.  4 x 32 at KC 256 measured fastest on
+// AVX-512 (16 accumulator registers) and stays sensible on AVX2.
+constexpr std::size_t kMr = 4;
+constexpr std::size_t kNr = 32;
+constexpr std::size_t kKc = 256;
+
+// Row grain for parallel chunking: sized so one chunk is a few million MACs
+// (keeps scheduling overhead negligible), depending only on the shapes so
+// chunk boundaries — and therefore results — never depend on the worker
+// count.
+std::size_t row_grain(std::size_t k, std::size_t n) {
+  const std::size_t macs_per_row = k * n < 1 ? 1 : k * n;
+  const std::size_t g = (std::size_t{1} << 22) / macs_per_row;
+  return g < kMr ? kMr : g;
+}
+
+// C[r][j0..j0+NR) += A[r][kb..ke) * B[kb..ke)[j0..j0+NR) for MR rows.
+// Accumulation order over k is strictly ascending (same order as a naive
+// k-inner loop), so blocking never changes the result bits.
+template <std::size_t MR>
+void micro_tile(const double* __restrict a, std::size_t lda, const double* __restrict b,
+                std::size_t ldb, double* __restrict c, std::size_t ldc, std::size_t kb,
+                std::size_t ke, std::size_t j0) {
+  double acc[MR][kNr];
+  for (std::size_t r = 0; r < MR; ++r)
+    for (std::size_t j = 0; j < kNr; ++j) acc[r][j] = c[r * ldc + j0 + j];
+  for (std::size_t k = kb; k < ke; ++k) {
+    const double* __restrict brow = b + k * ldb + j0;
+    for (std::size_t r = 0; r < MR; ++r) {
+      const double av = a[r * lda + k];
+      for (std::size_t j = 0; j < kNr; ++j) acc[r][j] += av * brow[j];
     }
   }
+  for (std::size_t r = 0; r < MR; ++r)
+    for (std::size_t j = 0; j < kNr; ++j) c[r * ldc + j0 + j] = acc[r][j];
+}
+
+// C[r0..r1) = A[r0..r1) * B for one row chunk (full k and n extents).
+void gemm_chunk(const double* __restrict a, const double* __restrict b, double* __restrict c,
+                std::size_t r0, std::size_t r1, std::size_t k, std::size_t n) {
+  for (std::size_t r = r0; r < r1; ++r)
+    for (std::size_t j = 0; j < n; ++j) c[r * n + j] = 0.0;
+  const std::size_t n_main = n - n % kNr;
+  const std::size_t rows = r1 - r0;
+  const std::size_t r_main = r1 - rows % kMr;
+  for (std::size_t kb = 0; kb < k; kb += kKc) {
+    const std::size_t ke = kb + kKc < k ? kb + kKc : k;
+    for (std::size_t j0 = 0; j0 < n_main; j0 += kNr) {
+      std::size_t r = r0;
+      for (; r < r_main; r += kMr) micro_tile<kMr>(a + r * k, k, b, n, c + r * n, n, kb, ke, j0);
+      for (; r < r1; ++r) micro_tile<1>(a + r * k, k, b, n, c + r * n, n, kb, ke, j0);
+    }
+    // Column tail: scalar accumulators, still ascending in k.
+    for (std::size_t r = r0; r < r1; ++r) {
+      for (std::size_t j = n_main; j < n; ++j) {
+        double acc = c[r * n + j];
+        for (std::size_t kk = kb; kk < ke; ++kk) acc += a[r * k + kk] * b[kk * n + j];
+        c[r * n + j] = acc;
+      }
+    }
+  }
+}
+
+// C[r0..r1) = A[r0..r1) * B^T where B is n x k (dot-product form; both
+// operands stream contiguously along k, so no transpose is materialised).
+// Each dot runs 8 fixed k-lane partial sums (lane l accumulates k = l mod 8)
+// combined in ascending lane order — a deterministic reassociation that lets
+// the compiler keep the lanes in one vector register.  Four output columns
+// share each pass over the A row.
+void gemm_nt_chunk(const double* __restrict a, const double* __restrict b,
+                   double* __restrict c, std::size_t r0, std::size_t r1, std::size_t k,
+                   std::size_t n) {
+  constexpr std::size_t kLanes = 8;
+  constexpr std::size_t kJt = 4;
+  const std::size_t n_main = n - n % kJt;
+  const std::size_t k_main = k - k % kLanes;
+  for (std::size_t r = r0; r < r1; ++r) {
+    const double* __restrict arow = a + r * k;
+    double* __restrict crow = c + r * n;
+    for (std::size_t j0 = 0; j0 < n_main; j0 += kJt) {
+      double lane[kJt][kLanes] = {};
+      for (std::size_t kk = 0; kk < k_main; kk += kLanes) {
+        for (std::size_t t = 0; t < kJt; ++t) {
+          const double* __restrict brow = b + (j0 + t) * k + kk;
+          for (std::size_t l = 0; l < kLanes; ++l) lane[t][l] += arow[kk + l] * brow[l];
+        }
+      }
+      for (std::size_t t = 0; t < kJt; ++t) {
+        double s = 0.0;
+        for (std::size_t l = 0; l < kLanes; ++l) s += lane[t][l];
+        for (std::size_t kk = k_main; kk < k; ++kk) s += arow[kk] * b[(j0 + t) * k + kk];
+        crow[j0 + t] = s;
+      }
+    }
+    for (std::size_t j = n_main; j < n; ++j) {
+      const double* __restrict brow = b + j * k;
+      double lane[kLanes] = {};
+      for (std::size_t kk = 0; kk < k_main; kk += kLanes)
+        for (std::size_t l = 0; l < kLanes; ++l) lane[l] += arow[kk + l] * brow[kk + l];
+      double s = 0.0;
+      for (std::size_t l = 0; l < kLanes; ++l) s += lane[l];
+      for (std::size_t kk = k_main; kk < k; ++kk) s += arow[kk] * brow[kk];
+      crow[j] = s;
+    }
+  }
+}
+
+}  // namespace
+
+void Matrix::matmul_into(const Matrix& other, Matrix& out) const {
+  LUMOS_EXPECTS_MSG(cols_ == other.rows_, "matmul inner dimensions must agree");
+  LUMOS_EXPECTS_MSG(&out != this && &out != &other, "matmul_into output must not alias");
+  out.resize(rows_, other.cols_);
+  const std::size_t k = cols_;
+  const std::size_t n = other.cols_;
+  const double* a = data_.data();
+  const double* b = other.data_.data();
+  double* c = out.data_.data();
+  parallel_for(0, rows_, row_grain(k, n),
+               [&](std::size_t r0, std::size_t r1) { gemm_chunk(a, b, c, r0, r1, k, n); });
+}
+
+Matrix Matrix::matmul(const Matrix& other) const {
+  Matrix out;
+  matmul_into(other, out);
+  return out;
+}
+
+void Matrix::matmul_nt_into(const Matrix& other, Matrix& out) const {
+  LUMOS_EXPECTS_MSG(cols_ == other.cols_, "matmul_nt contraction dimensions must agree");
+  LUMOS_EXPECTS_MSG(&out != this && &out != &other, "matmul_nt_into output must not alias");
+  out.resize(rows_, other.rows_);
+  const std::size_t k = cols_;
+  const std::size_t n = other.rows_;
+  const double* a = data_.data();
+  const double* b = other.data_.data();
+  double* c = out.data_.data();
+  parallel_for(0, rows_, row_grain(k, n),
+               [&](std::size_t r0, std::size_t r1) { gemm_nt_chunk(a, b, c, r0, r1, k, n); });
+}
+
+Matrix Matrix::matmul_nt(const Matrix& other) const {
+  Matrix out;
+  matmul_nt_into(other, out);
   return out;
 }
 
@@ -64,7 +211,9 @@ double Matrix::relative_error(const Matrix& reference) const {
     num += d * d;
     den += reference.data_[i] * reference.data_[i];
   }
-  if (den == 0.0) return num == 0.0 ? 0.0 : 1e300;
+  if (den == 0.0) {
+    return num == 0.0 ? 0.0 : std::numeric_limits<double>::infinity();
+  }
   return std::sqrt(num / den);
 }
 

@@ -49,13 +49,38 @@ class Matrix {
 
   [[nodiscard]] Matrix transposed() const;
 
+  // Reshapes to rows x cols.  Existing values are NOT preserved meaningfully
+  // (the matrix is intended to be fully overwritten afterwards); newly grown
+  // storage is zero.  Used by the *_into kernels to reuse scratch buffers.
+  void resize(std::size_t rows, std::size_t cols);
+
   // this (rows x cols) * other (cols x n) -> rows x n.
+  //
+  // The kernel is cache-blocked, register-tiled, and parallelised over row
+  // chunks of the output via the global thread pool.  Each output element is
+  // accumulated in ascending-k order regardless of blocking or worker count,
+  // so results are bit-reproducible across runs and LUMOS_THREADS settings.
   [[nodiscard]] Matrix matmul(const Matrix& other) const;
+
+  // Allocation-free matmul: `out` is resized to rows x other.cols() and fully
+  // overwritten.  `out` must not alias `*this` or `other`.
+  void matmul_into(const Matrix& other, Matrix& out) const;
+
+  // Transpose-free A * B^T: this (m x k) times other (n x k) -> m x n,
+  // reading `other` row-wise so no transposed copy is ever materialised
+  // (attention scores Q K^T and similar A-times-row-major-B^T products).
+  [[nodiscard]] Matrix matmul_nt(const Matrix& other) const;
+
+  // Allocation-free variant of `matmul_nt` (same aliasing rule as
+  // `matmul_into`).
+  void matmul_nt_into(const Matrix& other, Matrix& out) const;
 
   // Element-wise sum (shapes must match).
   [[nodiscard]] Matrix add(const Matrix& other) const;
 
   // Frobenius-norm relative error vs `reference` (|this - ref|_F / |ref|_F).
+  // When the reference is all-zero the ratio is undefined: returns 0 if this
+  // matrix is also all-zero (exact match) and +infinity otherwise.
   [[nodiscard]] double relative_error(const Matrix& reference) const;
 
  private:

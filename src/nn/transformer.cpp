@@ -98,13 +98,23 @@ TransformerWeights TransformerWeights::random(const TransformerConfig& config,
 }
 
 namespace {
+// Scratch buffers for one layer forward, reused across layers and heads so
+// the reference execution performs no repeated allocations after the first
+// layer (every matmul below is a *_into into one of these).
+struct LayerWorkspace {
+  Matrix q, k, v;        // projections (seq x d_model)
+  Matrix qh, kh, vh;     // per-head slices (seq x head_dim)
+  Matrix scores, oh;     // attention scratch / per-head output
+  Matrix concat, attn;   // concatenated heads, output projection
+  Matrix h1, ff, ff2;    // residual 1, feed-forward hidden and output
+};
+
 // Extracts head `h`'s slice (seq x head_dim) from a seq x d_model matrix.
-Matrix head_slice(const Matrix& m, std::size_t h, std::size_t head_dim) {
-  Matrix out(m.rows(), head_dim);
+void head_slice_into(const Matrix& m, std::size_t h, std::size_t head_dim, Matrix& out) {
+  out.resize(m.rows(), head_dim);
   const std::size_t off = h * head_dim;
   for (std::size_t r = 0; r < m.rows(); ++r)
     for (std::size_t c = 0; c < head_dim; ++c) out(r, c) = m(r, off + c);
-  return out;
 }
 
 void write_head_slice(Matrix& dst, const Matrix& src, std::size_t h, std::size_t head_dim) {
@@ -112,46 +122,67 @@ void write_head_slice(Matrix& dst, const Matrix& src, std::size_t h, std::size_t
   for (std::size_t r = 0; r < src.rows(); ++r)
     for (std::size_t c = 0; c < head_dim; ++c) dst(r, off + c) = src(r, c);
 }
-}  // namespace
 
-Matrix reference_layer_forward(const TransformerLayerWeights& w, const TransformerConfig& config,
-                               const Matrix& x) {
+// y = a + b element-wise into a reused buffer.
+void add_into(const Matrix& a, const Matrix& b, Matrix& y) {
+  y.resize(a.rows(), a.cols());
+  const auto fa = a.flat();
+  const auto fb = b.flat();
+  const auto fy = y.flat();
+  for (std::size_t i = 0; i < fy.size(); ++i) fy[i] = fa[i] + fb[i];
+}
+
+void layer_forward_ws(const TransformerLayerWeights& w, const TransformerConfig& config,
+                      const Matrix& x, LayerWorkspace& ws, Matrix& out) {
   LUMOS_EXPECTS(x.cols() == config.d_model);
   const std::size_t head_dim = config.head_dim();
 
   // Multi-head attention.
-  const Matrix q = x.matmul(w.wq);
-  const Matrix k = x.matmul(w.wk);
-  const Matrix v = x.matmul(w.wv);
-  Matrix concat(x.rows(), config.d_model);
+  x.matmul_into(w.wq, ws.q);
+  x.matmul_into(w.wk, ws.k);
+  x.matmul_into(w.wv, ws.v);
+  ws.concat.resize(x.rows(), config.d_model);
   for (std::size_t h = 0; h < config.heads; ++h) {
-    const Matrix qh = head_slice(q, h, head_dim);
-    const Matrix kh = head_slice(k, h, head_dim);
-    const Matrix vh = head_slice(v, h, head_dim);
-    const Matrix oh = scaled_dot_product_attention(qh, kh, vh);
-    write_head_slice(concat, oh, h, head_dim);
+    head_slice_into(ws.q, h, head_dim, ws.qh);
+    head_slice_into(ws.k, h, head_dim, ws.kh);
+    head_slice_into(ws.v, h, head_dim, ws.vh);
+    scaled_dot_product_attention_into(ws.qh, ws.kh, ws.vh, ws.scores, ws.oh);
+    write_head_slice(ws.concat, ws.oh, h, head_dim);
   }
-  Matrix attn_out = concat.matmul(w.wo);
+  ws.concat.matmul_into(w.wo, ws.attn);
 
   // Residual + LayerNorm.
-  Matrix h1 = attn_out.add(x);
-  layer_norm_rows(h1, w.ln1_gamma, w.ln1_beta);
+  add_into(ws.attn, x, ws.h1);
+  layer_norm_rows(ws.h1, w.ln1_gamma, w.ln1_beta);
 
   // Feed-forward with ReLU (paper Section II: "two dense layers with a RELU
   // activation in between").
-  Matrix ff = h1.matmul(w.w1);
-  relu(ff);
-  ff = ff.matmul(w.w2);
+  ws.h1.matmul_into(w.w1, ws.ff);
+  relu(ws.ff);
+  ws.ff.matmul_into(w.w2, ws.ff2);
 
-  Matrix h2 = ff.add(h1);
-  layer_norm_rows(h2, w.ln2_gamma, w.ln2_beta);
-  return h2;
+  add_into(ws.ff2, ws.h1, out);
+  layer_norm_rows(out, w.ln2_gamma, w.ln2_beta);
+}
+}  // namespace
+
+Matrix reference_layer_forward(const TransformerLayerWeights& w, const TransformerConfig& config,
+                               const Matrix& x) {
+  LayerWorkspace ws;
+  Matrix out;
+  layer_forward_ws(w, config, x, ws, out);
+  return out;
 }
 
 Matrix reference_forward(const TransformerWeights& weights, const Matrix& x) {
+  // One workspace (and one ping-pong output buffer) for the whole stack: the
+  // steady state allocates nothing per layer or per head.
+  LayerWorkspace ws;
   Matrix h = x;
+  Matrix out;
   for (const auto& layer : weights.layers) {
-    h = reference_layer_forward(layer, weights.config, h);
+    layer_forward_ws(layer, weights.config, h, ws, out);
+    std::swap(h, out);
   }
   return h;
 }

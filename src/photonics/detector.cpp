@@ -69,7 +69,10 @@ BalancedPhotodetector::BalancedPhotodetector(const PhotodetectorConfig& config) 
 
 double BalancedPhotodetector::differential_current(double positive_arm_w,
                                                    double negative_arm_w) const noexcept {
-  return arm_.photocurrent(positive_arm_w) - arm_.photocurrent(negative_arm_w);
+  // Factored form: responsivity * (P+ - P-) is exactly zero for equal arms
+  // under any FP contraction mode, where the difference of two products may
+  // leave an FMA rounding residue.
+  return arm_.photocurrent(positive_arm_w - negative_arm_w);
 }
 
 double BalancedPhotodetector::detect(double positive_arm_w, double negative_arm_w,

@@ -283,14 +283,17 @@ nn::Matrix TronAccelerator::forward(const nn::TransformerWeights& weights, const
   const std::size_t hd = cfg.head_dim();
 
   nn::Matrix h = x;
+  // Per-head projection slices and the head-concat buffer are reused across
+  // heads and layers (their shapes are layer-invariant).
+  nn::Matrix concat;
+  nn::Matrix wq(cfg.d_model, hd);
+  nn::Matrix wk(cfg.d_model, hd);
+  nn::Matrix wv(cfg.d_model, hd);
   for (const nn::TransformerLayerWeights& layer : weights.layers) {
     // ---- MHA: per-head slices through the attention-head unit ----
-    nn::Matrix concat(h.rows(), cfg.d_model);
+    concat.resize(h.rows(), cfg.d_model);
     for (std::size_t head = 0; head < cfg.heads; ++head) {
       // Column slices of the projection matrices for this head.
-      nn::Matrix wq(cfg.d_model, hd);
-      nn::Matrix wk(cfg.d_model, hd);
-      nn::Matrix wv(cfg.d_model, hd);
       const std::size_t off = head * hd;
       for (std::size_t r = 0; r < cfg.d_model; ++r) {
         for (std::size_t c = 0; c < hd; ++c) {
