@@ -21,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "common/json.hpp"
 #include "common/parallel.hpp"
 #include "ghost/accelerator.hpp"
 #include "graph/generators.hpp"
@@ -223,15 +224,6 @@ std::vector<BenchResult> run_benches(bool smoke) {
 // ---------------------------------------------------------------------------
 // Reporting
 // ---------------------------------------------------------------------------
-
-std::string json_escape(const std::string& s) {
-  std::string out;
-  for (const char c : s) {
-    if (c == '"' || c == '\\') out.push_back('\\');
-    out.push_back(c);
-  }
-  return out;
-}
 
 bool write_json(const std::vector<BenchResult>& results, const std::string& path,
                 bool smoke) {

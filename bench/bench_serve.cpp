@@ -1,0 +1,165 @@
+// Serving-campaign benchmark: sweeps offered QPS x scheduler across TRON and
+// GHOST fleets and records the saturation knee (p99 latency, goodput, energy
+// per request) plus a headline event-loop throughput number (1M requests
+// through a 4-accelerator fleet).  Self-contained like bench_kernels
+// (steady_clock, no framework); emits BENCH_serve.json alongside the
+// human-readable tables.
+//
+// Usage:
+//   bench_serve [--smoke] [--out <path>]
+//     --smoke   reduced trace lengths (CI sanity run)
+//     --out     JSON output path (default BENCH_serve.json)
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/parallel.hpp"
+#include "serve/campaign.hpp"
+
+namespace {
+
+using namespace lumos;
+
+struct Headline {
+  std::string kind;
+  std::size_t requests = 0;
+  std::size_t fleet = 0;
+  double wall_s = 0.0;
+  double requests_per_s = 0.0;
+  double p99_latency_s = 0.0;
+  double goodput_qps = 0.0;
+};
+
+// One fleet kind: the knee sweep plus the timed 1M-request point.
+struct KindResult {
+  serve::CampaignConfig config;
+  std::vector<serve::CampaignPoint> points;
+  Headline headline;
+};
+
+KindResult run_kind(serve::AcceleratorKind kind, bool smoke) {
+  KindResult out;
+  const serve::WorkloadCatalog catalog = kind == serve::AcceleratorKind::kTron
+                                             ? serve::WorkloadCatalog::tron_default()
+                                             : serve::WorkloadCatalog::ghost_default();
+  const serve::AcceleratorSpec spec = kind == serve::AcceleratorKind::kTron
+                                          ? serve::default_tron_spec()
+                                          : serve::default_ghost_spec();
+  const std::size_t fleet = 4;
+  const std::size_t max_batch = 8;
+  const double capacity = serve::fleet_capacity_qps(catalog, spec, fleet, max_batch);
+
+  serve::CampaignConfig cfg;
+  cfg.name = std::string(serve::kind_name(kind)) + " saturation sweep";
+  cfg.kind = kind;
+  // Below / near / past the batched knee (FIFO saturates far earlier, which
+  // is exactly the point of the comparison).
+  cfg.qps = {0.5 * capacity, 0.8 * capacity, 1.1 * capacity};
+  cfg.schedulers = {serve::SchedulerKind::kFifo, serve::SchedulerKind::kDynamicBatch};
+  cfg.fleet_sizes = {fleet};
+  cfg.max_batches = {max_batch};
+  cfg.requests_per_point = smoke ? 10000 : 200000;
+  cfg.seed = 7;
+  out.points = serve::run_campaign(cfg, catalog);
+  out.config = cfg;
+
+  // Headline: one timed point (trace generation + event loop) at 80% of the
+  // batched knee.
+  serve::TraceConfig trace_cfg;
+  trace_cfg.offered_qps = 0.8 * capacity;
+  trace_cfg.request_count = smoke ? 50000 : 1000000;
+  trace_cfg.seed = 11;
+  serve::BatchPolicy policy;
+  policy.max_batch = max_batch;
+  const auto t0 = std::chrono::steady_clock::now();
+  const std::vector<serve::Request> trace = serve::generate_trace(catalog, trace_cfg);
+  const serve::ServeMetrics m =
+      serve::simulate(serve::FleetConfig::homogeneous(spec, fleet), catalog, trace,
+                      serve::SchedulerKind::kDynamicBatch, policy);
+  const auto t1 = std::chrono::steady_clock::now();
+  out.headline.kind = serve::kind_name(kind);
+  out.headline.requests = trace_cfg.request_count;
+  out.headline.fleet = fleet;
+  out.headline.wall_s = std::chrono::duration<double>(t1 - t0).count();
+  out.headline.requests_per_s =
+      static_cast<double>(trace_cfg.request_count) / out.headline.wall_s;
+  out.headline.p99_latency_s = m.p99_latency_s;
+  out.headline.goodput_qps = m.goodput_qps;
+  return out;
+}
+
+bool write_json(const std::vector<KindResult>& kinds, const std::string& path, bool smoke) {
+  std::ofstream f(path);
+  f << "{\n  \"bench\": \"serve\",\n";
+  f << "  \"smoke\": " << (smoke ? "true" : "false") << ",\n";
+  f << "  \"threads\": " << ThreadPool::global().thread_count() << ",\n";
+  f << "  \"headlines\": [\n";
+  for (std::size_t i = 0; i < kinds.size(); ++i) {
+    const Headline& h = kinds[i].headline;
+    f << "    {\"accelerator\": \"" << h.kind << "\", \"requests\": " << h.requests
+      << ", \"fleet\": " << h.fleet << ", \"wall_s\": " << h.wall_s
+      << ", \"requests_per_s\": " << h.requests_per_s
+      << ", \"p99_latency_s\": " << h.p99_latency_s
+      << ", \"goodput_qps\": " << h.goodput_qps << "}"
+      << (i + 1 < kinds.size() ? "," : "") << "\n";
+  }
+  f << "  ],\n  \"campaigns\": [\n";
+  for (std::size_t i = 0; i < kinds.size(); ++i) {
+    std::ostringstream campaign;
+    serve::write_campaign_json(kinds[i].config, kinds[i].points, campaign);
+    // Indent the embedded campaign object to keep the file readable.
+    std::istringstream lines(campaign.str());
+    std::string line;
+    bool first = true;
+    while (std::getline(lines, line)) {
+      if (line.empty()) continue;
+      f << (first ? "" : "\n") << "    " << line;
+      first = false;
+    }
+    f << (i + 1 < kinds.size() ? "," : "") << "\n";
+  }
+  f << "  ]\n}\n";
+  return static_cast<bool>(f);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string out_path = "BENCH_serve.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--smoke] [--out <path>]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  std::vector<KindResult> kinds;
+  kinds.push_back(run_kind(serve::AcceleratorKind::kTron, smoke));
+  kinds.push_back(run_kind(serve::AcceleratorKind::kGhost, smoke));
+
+  for (const KindResult& k : kinds) {
+    serve::campaign_table(k.points, k.config.name).print(std::cout);
+    std::printf("%s headline: %zu requests / %zu accelerators in %.3f s (%.0f req/s, "
+                "p99 %.1f us, goodput %.0f QPS)\n\n",
+                k.headline.kind.c_str(), k.headline.requests, k.headline.fleet,
+                k.headline.wall_s, k.headline.requests_per_s,
+                k.headline.p99_latency_s * 1e6, k.headline.goodput_qps);
+  }
+
+  if (!write_json(kinds, out_path, smoke)) {
+    std::fprintf(stderr, "error: could not write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::printf("wrote %s\n", out_path.c_str());
+  return 0;
+}

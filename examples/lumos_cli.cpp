@@ -1,24 +1,48 @@
-// lumos_cli — command-line front end for quick what-if studies.
+// lumos_cli — command-line front end for quick what-if studies and serving
+// campaigns.
 //
 // Usage:
-//   lumos_cli tron  <model>  [seq_len] [batch]
-//   lumos_cli ghost <model>  <dataset>
-//   lumos_cli generate <model> <prompt_len> <tokens>
+//   lumos_cli [--json] tron  <model>  [seq_len] [batch]
+//   lumos_cli [--json] ghost <model>  <dataset>
+//   lumos_cli [--json] generate <model> <prompt_len> <tokens>
+//   lumos_cli [--json] serve <tron|ghost> [serve flags]
 //
 //   <model>   tron:  bert-base | bert-large | gpt2 | vit | transformer
 //             ghost: gcn | graphsage | gin | gat
-//   <dataset> cora | citeseer | pubmed
+//   <dataset> cora | citeseer | pubmed | arxiv
+//
+//   serve flags:
+//     --qps <q>          offered QPS (default: 70% of unloaded fleet capacity)
+//     --requests <n>     trace length (default 50000)
+//     --fleet <n>        accelerators in the fleet (default 4)
+//     --sched <s>        fifo | batch (default batch)
+//     --max-batch <n>    dynamic-batch cap (default 8)
+//     --max-wait-us <w>  dynamic-batch deadline (default 2000)
+//     --bursty           MMPP arrivals instead of Poisson
+//     --routing <r>      first-idle | energy (default first-idle)
+//     --hetero           alternate full/eco accelerator variants
+//     --seed <s>         trace seed (default 1)
+//
+//   --json anywhere switches to machine-readable output.
 //
 // Examples:
 //   lumos_cli tron bert-base 256 8
 //   lumos_cli ghost gat pubmed
 //   lumos_cli generate gpt2 64 128
+//   lumos_cli serve tron --qps 40000 --sched batch --fleet 4 --json
+#include <cerrno>
 #include <cstdlib>
 #include <iostream>
+#include <limits>
 #include <string>
+#include <vector>
 
+#include "common/error.hpp"
+#include "common/json.hpp"
 #include "common/units.hpp"
 #include "ghost/accelerator.hpp"
+#include "serve/campaign.hpp"
+#include "sim/registry.hpp"
 #include "tron/accelerator.hpp"
 
 namespace {
@@ -36,66 +60,210 @@ void print_report(const PerfReport& r) {
             << 100.0 * r.breakdown.memory_stall_s / r.latency_s << " %)\n";
 }
 
+void print_report_json(const PerfReport& r) {
+  std::cout << "{\n"
+            << "  \"platform\": \"" << json_escape(r.platform) << "\",\n"
+            << "  \"workload\": \"" << json_escape(r.workload) << "\",\n"
+            << "  \"latency_s\": " << r.latency_s << ",\n"
+            << "  \"ops_per_second\": " << r.ops_per_second() << ",\n"
+            << "  \"energy_per_bit_j\": " << r.energy_per_bit_j() << ",\n"
+            << "  \"dynamic_energy_j\": " << r.dynamic_energy_j << ",\n"
+            << "  \"static_energy_j\": " << r.static_energy_j << ",\n"
+            << "  \"total_energy_j\": " << r.total_energy_j << ",\n"
+            << "  \"average_power_w\": " << r.average_power_w() << ",\n"
+            << "  \"op_count\": " << r.op_count << ",\n"
+            << "  \"bits\": " << r.bits << ",\n"
+            << "  \"memory_stall_s\": " << r.breakdown.memory_stall_s << "\n"
+            << "}\n";
+}
+
 int usage() {
   std::cerr << "usage:\n"
-               "  lumos_cli tron  <bert-base|bert-large|gpt2|vit|transformer> [seq] [batch]\n"
-               "  lumos_cli ghost <gcn|graphsage|gin|gat> <cora|citeseer|pubmed>\n"
-               "  lumos_cli generate <bert-base|bert-large|gpt2|vit> <prompt> <tokens>\n";
+               "  lumos_cli [--json] tron  <bert-base|bert-large|gpt2|vit|transformer> "
+               "[seq] [batch]\n"
+               "  lumos_cli [--json] ghost <gcn|graphsage|gin|gat> "
+               "<cora|citeseer|pubmed|arxiv>\n"
+               "  lumos_cli [--json] generate <bert-base|bert-large|gpt2|vit> <prompt> "
+               "<tokens>\n"
+               "  lumos_cli [--json] serve <tron|ghost> [--qps q] [--requests n] "
+               "[--fleet n]\n"
+               "            [--sched fifo|batch] [--max-batch n] [--max-wait-us w] "
+               "[--bursty]\n"
+               "            [--routing first-idle|energy] [--hetero] [--seed s]\n";
   return 2;
 }
 
-nn::TransformerConfig transformer_by_name(const std::string& name, std::size_t seq) {
-  if (name == "bert-base") return nn::bert_base(seq);
-  if (name == "bert-large") return nn::bert_large(seq);
-  if (name == "gpt2") return nn::gpt2_small(seq);
-  if (name == "vit") return nn::vit_base();
-  if (name == "transformer") return nn::original_transformer(seq, seq);
-  throw InvalidArgument("unknown transformer model: " + name);
+// Strict numeric parsing: the whole argument must be a number (the seed CLI
+// silently read "xyz" as 0 through strtoul, and strtoull would wrap "-5" to
+// 2^64-5).
+std::size_t parse_size(const std::string& arg, const char* what) {
+  if (arg.empty() || arg.find_first_not_of("0123456789") != std::string::npos) {
+    throw InvalidArgument(std::string(what) + " must be a non-negative integer, got '" +
+                          arg + "'");
+  }
+  errno = 0;
+  const unsigned long long v = std::strtoull(arg.c_str(), nullptr, 10);
+  if (errno == ERANGE || v > std::numeric_limits<std::size_t>::max() ||
+      v > 1ull << 48) {  // sane ceiling: no trace/fleet needs 2^48 of anything
+    throw InvalidArgument(std::string(what) + " is out of range: '" + arg + "'");
+  }
+  return static_cast<std::size_t>(v);
 }
 
-gnn::GnnModelConfig gnn_by_name(const std::string& name) {
-  if (name == "gcn") return gnn::gcn_model();
-  if (name == "graphsage") return gnn::graphsage_model();
-  if (name == "gin") return gnn::gin_model();
-  if (name == "gat") return gnn::gat_model();
-  throw InvalidArgument("unknown GNN model: " + name);
+double parse_double(const std::string& arg, const char* what) {
+  char* end = nullptr;
+  const double v = std::strtod(arg.c_str(), &end);
+  if (arg.empty() || end != arg.c_str() + arg.size()) {
+    throw InvalidArgument(std::string(what) + " must be a number, got '" + arg + "'");
+  }
+  return v;
 }
 
-graph::GraphDataset dataset_by_name(const std::string& name) {
-  if (name == "cora") return graph::synthetic_cora();
-  if (name == "citeseer") return graph::synthetic_citeseer();
-  if (name == "pubmed") return graph::synthetic_pubmed();
-  throw InvalidArgument("unknown dataset: " + name);
+int run_serve(const std::vector<std::string>& args, bool json) {
+  if (args.empty()) throw InvalidArgument("serve needs an accelerator kind (tron|ghost)");
+  serve::CampaignConfig cfg;
+  cfg.name = "lumos_cli serve";
+  if (args[0] == "tron") {
+    cfg.kind = serve::AcceleratorKind::kTron;
+  } else if (args[0] == "ghost") {
+    cfg.kind = serve::AcceleratorKind::kGhost;
+  } else {
+    throw InvalidArgument("unknown serve fleet kind: " + args[0] + " (expected tron|ghost)");
+  }
+  cfg.schedulers = {serve::SchedulerKind::kDynamicBatch};
+  cfg.requests_per_point = 50000;
+  double qps = 0.0;
+  std::size_t fleet = 4;
+  std::size_t max_batch = 8;
+  for (std::size_t i = 1; i < args.size(); ++i) {
+    const std::string& a = args[i];
+    const auto value = [&]() -> const std::string& {
+      if (i + 1 >= args.size()) throw InvalidArgument(a + " needs a value");
+      return args[++i];
+    };
+    if (a == "--qps") {
+      qps = parse_double(value(), "--qps");
+      if (qps <= 0.0) throw InvalidArgument("--qps must be positive");
+    } else if (a == "--requests") {
+      cfg.requests_per_point = parse_size(value(), "--requests");
+    } else if (a == "--fleet") {
+      fleet = parse_size(value(), "--fleet");
+    } else if (a == "--sched") {
+      const std::string& s = value();
+      if (s == "fifo") {
+        cfg.schedulers = {serve::SchedulerKind::kFifo};
+      } else if (s == "batch") {
+        cfg.schedulers = {serve::SchedulerKind::kDynamicBatch};
+      } else {
+        throw InvalidArgument("unknown scheduler: " + s + " (expected fifo|batch)");
+      }
+    } else if (a == "--max-batch") {
+      max_batch = parse_size(value(), "--max-batch");
+    } else if (a == "--max-wait-us") {
+      cfg.max_wait_s = parse_double(value(), "--max-wait-us") * 1e-6;
+      if (cfg.max_wait_s < 0.0) throw InvalidArgument("--max-wait-us must be >= 0");
+    } else if (a == "--bursty") {
+      cfg.process = serve::ArrivalProcess::kBursty;
+    } else if (a == "--routing") {
+      const std::string& s = value();
+      if (s == "first-idle") {
+        cfg.routing = serve::RoutingPolicy::kFirstIdle;
+      } else if (s == "energy") {
+        cfg.routing = serve::RoutingPolicy::kEnergyAware;
+      } else {
+        throw InvalidArgument("unknown routing: " + s + " (expected first-idle|energy)");
+      }
+    } else if (a == "--hetero") {
+      cfg.heterogeneous = true;
+    } else if (a == "--seed") {
+      cfg.seed = parse_size(value(), "--seed");
+    } else {
+      throw InvalidArgument("unknown serve flag: " + a);
+    }
+  }
+  if (fleet == 0 || max_batch == 0 || cfg.requests_per_point == 0) {
+    throw InvalidArgument("--fleet, --max-batch, and --requests must be positive");
+  }
+  if (max_batch > serve::BatchPolicy::kMaxBatchLimit || fleet > 4096) {
+    throw InvalidArgument("--max-batch and --fleet must be <= 4096");
+  }
+  cfg.fleet_sizes = {fleet};
+  cfg.max_batches = {max_batch};
+
+  const serve::WorkloadCatalog catalog = cfg.kind == serve::AcceleratorKind::kTron
+                                             ? serve::WorkloadCatalog::tron_default()
+                                             : serve::WorkloadCatalog::ghost_default();
+  if (qps <= 0.0) {
+    const serve::AcceleratorSpec spec = cfg.kind == serve::AcceleratorKind::kTron
+                                            ? serve::default_tron_spec()
+                                            : serve::default_ghost_spec();
+    const std::size_t capacity_batch =
+        cfg.schedulers.front() == serve::SchedulerKind::kFifo ? 1 : max_batch;
+    qps = 0.7 * serve::fleet_capacity_qps(catalog, spec, fleet, capacity_batch);
+  }
+  cfg.qps = {qps};
+
+  const std::vector<serve::CampaignPoint> points = serve::run_campaign(cfg, catalog);
+  if (json) {
+    serve::write_campaign_json(cfg, points, std::cout);
+  } else {
+    const std::string title = std::string(serve::kind_name(cfg.kind)) + " serve campaign (" +
+                              serve::process_name(cfg.process) + " arrivals)";
+    serve::campaign_table(points, title).print(std::cout);
+    points.front().metrics.to_table("point detail").print(std::cout);
+  }
+  return 0;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 3) return usage();
-  const std::string mode = argv[1];
+  std::vector<std::string> args;
+  bool json = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--json") {
+      json = true;
+    } else {
+      args.emplace_back(argv[i]);
+    }
+  }
+  if (args.size() < 2) return usage();
+  const std::string& mode = args[0];
   try {
     if (mode == "tron") {
-      const std::size_t seq = argc > 3 ? std::strtoul(argv[3], nullptr, 10) : 128;
-      const std::size_t batch = argc > 4 ? std::strtoul(argv[4], nullptr, 10) : 1;
+      const std::size_t seq = args.size() > 2 ? parse_size(args[2], "seq_len") : 128;
+      const std::size_t batch = args.size() > 3 ? parse_size(args[3], "batch") : 1;
+      if (seq == 0 || batch == 0) throw InvalidArgument("seq_len and batch must be positive");
       const tron::TronAccelerator acc(tron::default_tron_config());
-      print_report(acc.estimate_batch(transformer_by_name(argv[2], seq), batch));
+      const PerfReport r = acc.estimate_batch(sim::transformer_by_name(args[1], seq), batch);
+      json ? print_report_json(r) : print_report(r);
       return 0;
     }
     if (mode == "ghost") {
-      if (argc < 4) return usage();
+      if (args.size() < 3) return usage();
       const ghost::GhostAccelerator acc(ghost::default_ghost_config());
-      print_report(acc.estimate(gnn_by_name(argv[2]), dataset_by_name(argv[3])));
+      const PerfReport r =
+          acc.estimate(sim::gnn_by_name(args[1]), sim::dataset_by_name(args[2]));
+      json ? print_report_json(r) : print_report(r);
       return 0;
     }
     if (mode == "generate") {
-      if (argc < 5) return usage();
-      const std::size_t prompt = std::strtoul(argv[3], nullptr, 10);
-      const std::size_t tokens = std::strtoul(argv[4], nullptr, 10);
+      if (args.size() < 4) return usage();
+      const std::size_t prompt = parse_size(args[2], "prompt_len");
+      const std::size_t tokens = parse_size(args[3], "tokens");
+      if (prompt == 0 || tokens == 0) throw InvalidArgument("prompt and tokens must be positive");
       const tron::TronAccelerator acc(tron::default_tron_config());
-      print_report(acc.estimate_generation(transformer_by_name(argv[2], prompt + tokens),
-                                           prompt, tokens));
+      const PerfReport r = acc.estimate_generation(
+          sim::transformer_by_name(args[1], prompt + tokens), prompt, tokens);
+      json ? print_report_json(r) : print_report(r);
       return 0;
     }
+    if (mode == "serve") {
+      return run_serve({args.begin() + 1, args.end()}, json);
+    }
+  } catch (const InvalidArgument& e) {
+    std::cerr << "error: " << e.what() << "\n\n";
+    return usage();
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << '\n';
     return 1;

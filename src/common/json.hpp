@@ -1,0 +1,13 @@
+// Minimal JSON string escaping shared by every JSON writer in the library
+// (bench emitters, campaign dumps, the CLI's --json mode).
+#pragma once
+
+#include <string>
+
+namespace lumos {
+
+// Escapes `s` for embedding inside a JSON string literal: quotes,
+// backslashes, and control characters (as \uXXXX / the short forms).
+[[nodiscard]] std::string json_escape(const std::string& s);
+
+}  // namespace lumos

@@ -74,12 +74,21 @@ phot::AreaReport GhostAccelerator::area() const {
 PerfReport GhostAccelerator::estimate(const gnn::GnnModelConfig& model,
                                       const graph::GraphDataset& dataset,
                                       AggregateCosting costing) const {
+  return estimate_batch(model, dataset, 1, costing);
+}
+
+PerfReport GhostAccelerator::estimate_batch(const gnn::GnnModelConfig& model,
+                                            const graph::GraphDataset& dataset,
+                                            std::size_t batch,
+                                            AggregateCosting costing) const {
+  LUMOS_EXPECTS(batch >= 1);
+  const double bd = static_cast<double>(batch);
   const graph::CsrGraph& g = dataset.graph;
   PerfReport r;
   r.workload = model.name + "/" + dataset.name;
   r.platform = "GHOST";
   r.bits = config_.bits;
-  r.op_count = gnn::model_op_count(model, dataset);
+  r.op_count = gnn::model_op_count(model, dataset) * batch;
 
   PerfBreakdown& b = r.breakdown;
   const double rate = config_.symbol_rate_hz;
@@ -141,6 +150,8 @@ PerfReport GhostAccelerator::estimate(const gnn::GnnModelConfig& model,
         reduce_passes += reduce_.passes_for(deg) * feature_tiles;
       }
     }
+    // Each batched inference runs its own reduce passes through the lanes.
+    reduce_passes *= batch;
     const double agg_t = std::ceil(static_cast<double>(reduce_passes) /
                                    static_cast<double>(config_.lanes)) /
                          rate * imbalance;
@@ -152,7 +163,7 @@ PerfReport GhostAccelerator::estimate(const gnn::GnnModelConfig& model,
     const std::size_t tiles_k = (din + kh - 1) / kh;
     const std::size_t tiles_n = (dout + nh - 1) / nh;
     const std::size_t sage_mult = layer.kind == gnn::GnnKind::kGraphSage ? 2 : 1;
-    const std::size_t combine_passes = v * tiles_k * sage_mult * tiles_n;
+    const std::size_t combine_passes = v * tiles_k * sage_mult * tiles_n * batch;
     const double combine_t = std::ceil(static_cast<double>(combine_passes) /
                                        static_cast<double>(config_.transform_arrays())) /
                              rate;
@@ -179,12 +190,13 @@ PerfReport GhostAccelerator::estimate(const gnn::GnnModelConfig& model,
       weight_dac_j /= static_cast<double>(config_.lanes);
     }
     // Input rows are imprinted once per K-tile and broadcast to the arrays
-    // covering the parallel column tiles.
-    const double input_charges = static_cast<double>(v * tiles_k * sage_mult);
+    // covering the parallel column tiles; every batched inference imprints
+    // its own inputs (only the weights stay stationary).
+    const double input_charges = static_cast<double>(v * tiles_k * sage_mult) * bd;
     b.laser_dac_adc_energy_j += input_charges * input_dac_j +
                                 static_cast<double>(combine_passes) * (readout_j + laser_j) +
                                 weight_dac_j;
-    b.partial_sum_energy_j += static_cast<double>(v * dout) *
+    b.partial_sum_energy_j += static_cast<double>(v * dout) * bd *
                               static_cast<double>(tiles_k > 0 ? tiles_k - 1 : 0) *
                               config_.partial_sum_add_energy_j;
 
@@ -192,7 +204,7 @@ PerfReport GhostAccelerator::estimate(const gnn::GnnModelConfig& model,
     if (layer.kind == gnn::GnnKind::kGat) {
       const std::size_t score_dots = (g.edge_count() + v) * layer.gat_heads * 2;
       const std::size_t dot_passes =
-          ((score_dots + nh - 1) / nh) * ((dout + kh - 1) / kh);
+          ((score_dots + nh - 1) / nh) * ((dout + kh - 1) / kh) * batch;
       const double att_t = static_cast<double>(dot_passes) / rate;
       layer_compute_s += att_t;
       b.matmul_time_s += att_t;
@@ -202,14 +214,14 @@ PerfReport GhostAccelerator::estimate(const gnn::GnnModelConfig& model,
           static_cast<double>(dot_passes) * (input_dac_j + readout_j + laser_j) +
           static_cast<double>(layer.gat_heads) * 2.0 * kd * dac.energy_per_conversion_j();
       (void)nd;
-      const std::size_t sm_elems = (g.edge_count() + v) * layer.gat_heads;
+      const std::size_t sm_elems = (g.edge_count() + v) * layer.gat_heads * batch;
       layer_compute_s += softmax_.latency_s(sm_elems);
       b.softmax_time_s += softmax_.latency_s(sm_elems);
       b.softmax_energy_j += softmax_.energy_j(sm_elems);
     }
 
     // ---- Update phase ----
-    const std::size_t update_elems = v * dout;
+    const std::size_t update_elems = v * dout * batch;
     layer_compute_s += update_.latency_s(update_elems);
     b.elementwise_time_s += update_.latency_s(update_elems);
     b.elementwise_energy_j += update_.energy_j(update_elems);
@@ -217,13 +229,13 @@ PerfReport GhostAccelerator::estimate(const gnn::GnnModelConfig& model,
     // ---- Memory traffic ----
     // Edge list: one read per edge (ids) from the edge buffer.
     const double edge_words =
-        static_cast<double>(g.edge_count()) * 4.0 /
+        static_cast<double>(g.edge_count()) * 4.0 * bd /
         static_cast<double>(config_.edge_buffer.word_bytes);
     b.sram_energy_j += edge_words * edge_buffer_.read_energy_j();
     // Feature fetches: every (edge, feature) byte flows through the feature
-    // buffer.
+    // buffer, once per batched inference.
     const double feat_bytes = static_cast<double>(g.edge_count() + v) *
-                              static_cast<double>(agg_dim);
+                              static_cast<double>(agg_dim) * bd;
     b.sram_energy_j += feat_bytes /
                        static_cast<double>(config_.feature_buffer.word_bytes) *
                        feature_buffer_.read_energy_j();
@@ -255,13 +267,15 @@ PerfReport GhostAccelerator::estimate(const gnn::GnnModelConfig& model,
       const double super_blocks = std::max(1.0, std::ceil(partial_bytes / capacity));
       dram_bytes = std::min(static_cast<double>(sched.input_block_count) * block_bytes *
                                 super_blocks,
-                            static_cast<double>(sched.input_block_loads()) * block_bytes);
+                            static_cast<double>(sched.input_block_loads()) * block_bytes) *
+                   bd;
     } else {
       const double capacity = static_cast<double>(config_.feature_buffer.capacity_bytes);
       const double hit_rate = std::min(1.0, capacity / std::max(node_feature_bytes, 1.0));
-      dram_bytes = static_cast<double>(g.edge_count()) * static_cast<double>(din) *
-                       (1.0 - hit_rate) +
-                   node_feature_bytes;
+      dram_bytes = (static_cast<double>(g.edge_count()) * static_cast<double>(din) *
+                        (1.0 - hit_rate) +
+                    node_feature_bytes) *
+                   bd;
     }
     // Weights stream once per layer.
     const double weight_bytes =

@@ -41,6 +41,17 @@ class GhostAccelerator {
       const gnn::GnnModelConfig& model, const graph::GraphDataset& dataset,
       AggregateCosting costing = AggregateCosting::kDegreeHistogram) const;
 
+  // Batched inference: `batch` independent full-graph inferences pipelined
+  // through each layer's stationary weights (mirrors TRON::estimate_batch).
+  // Per-inference compute, feature traffic, and conversions scale with the
+  // batch; weight imprints and the per-layer DRAM weight stream are paid
+  // once, so batch-N latency is sub-linear in N.  batch == 1 is bit-identical
+  // to `estimate`.
+  [[nodiscard]] PerfReport estimate_batch(
+      const gnn::GnnModelConfig& model, const graph::GraphDataset& dataset,
+      std::size_t batch,
+      AggregateCosting costing = AggregateCosting::kDegreeHistogram) const;
+
   // Functional forward of `weights` on `graph`/`features` through the noisy
   // photonic path (intended for small graphs).
   [[nodiscard]] nn::Matrix forward(const gnn::GnnModelWeights& weights,

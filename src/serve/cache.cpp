@@ -1,0 +1,39 @@
+#include "serve/cache.hpp"
+
+#include "common/error.hpp"
+
+namespace lumos::serve {
+
+EstimateCache::EstimateCache(const AcceleratorSpec& spec, const WorkloadCatalog& catalog)
+    : spec_(spec), catalog_(&catalog) {
+  LUMOS_EXPECTS_MSG(catalog.kind() == spec.kind,
+                    "workload catalog and accelerator spec disagree on kind");
+  if (spec_.kind == AcceleratorKind::kTron) {
+    tron_ = std::make_unique<tron::TronAccelerator>(spec_.tron);
+  } else {
+    ghost_ = std::make_unique<ghost::GhostAccelerator>(spec_.ghost);
+  }
+}
+
+const PerfReport& EstimateCache::estimate(std::uint32_t workload, std::size_t batch) const {
+  LUMOS_EXPECTS(workload < catalog_->size());
+  LUMOS_EXPECTS(batch >= 1 && batch < (std::size_t{1} << 32));
+  ++lookups_;
+  const std::uint64_t key = (static_cast<std::uint64_t>(workload) << 32) |
+                            static_cast<std::uint64_t>(batch);
+  const auto it = reports_.find(key);
+  if (it != reports_.end()) return it->second;
+  ++misses_;
+  const ServeWorkload& w = catalog_->at(workload);
+  PerfReport r = spec_.kind == AcceleratorKind::kTron
+                     ? tron_->estimate_batch(w.transformer, batch)
+                     : ghost_->estimate_batch(w.gnn_model, catalog_->dataset(w.dataset), batch);
+  return reports_.emplace(key, std::move(r)).first->second;
+}
+
+double EstimateCache::static_power_w() const {
+  return spec_.kind == AcceleratorKind::kTron ? tron_->static_power_w()
+                                              : ghost_->static_power_w();
+}
+
+}  // namespace lumos::serve

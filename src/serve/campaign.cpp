@@ -1,0 +1,139 @@
+#include "serve/campaign.hpp"
+
+#include <ostream>
+
+#include "common/error.hpp"
+#include "common/json.hpp"
+#include "common/parallel.hpp"
+#include "common/units.hpp"
+
+namespace lumos::serve {
+
+double fleet_capacity_qps(const WorkloadCatalog& catalog, const AcceleratorSpec& spec,
+                          std::size_t fleet_size, std::size_t batch) {
+  LUMOS_EXPECTS(fleet_size >= 1 && batch >= 1);
+  const EstimateCache cache(spec, catalog);
+  double weighted_service_s = 0.0;
+  for (std::uint32_t w = 0; w < catalog.size(); ++w) {
+    const double per_request_s =
+        cache.estimate(w, batch).latency_s / static_cast<double>(batch);
+    weighted_service_s += catalog.at(w).mix_weight * per_request_s;
+  }
+  weighted_service_s /= catalog.total_weight();
+  return static_cast<double>(fleet_size) / weighted_service_s;
+}
+
+std::vector<CampaignPoint> run_campaign(const CampaignConfig& config,
+                                        const WorkloadCatalog& catalog) {
+  LUMOS_EXPECTS(!config.qps.empty());
+  LUMOS_EXPECTS(!config.schedulers.empty());
+  LUMOS_EXPECTS(!config.fleet_sizes.empty());
+  LUMOS_EXPECTS(!config.max_batches.empty());
+  LUMOS_EXPECTS(catalog.kind() == config.kind);
+
+  std::vector<CampaignPoint> points;
+  for (const std::size_t fleet_size : config.fleet_sizes) {
+    for (const SchedulerKind scheduler : config.schedulers) {
+      // FIFO ignores the batch policy: one grid point per (fleet, qps).
+      const std::vector<std::size_t> batches =
+          scheduler == SchedulerKind::kFifo ? std::vector<std::size_t>{1}
+                                            : config.max_batches;
+      for (const std::size_t max_batch : batches) {
+        for (const double qps : config.qps) {
+          CampaignPoint p;
+          p.qps = qps;
+          p.scheduler = scheduler;
+          p.fleet_size = fleet_size;
+          p.max_batch = max_batch;
+          points.push_back(p);
+        }
+      }
+    }
+  }
+
+  const AcceleratorSpec primary = config.kind == AcceleratorKind::kTron
+                                      ? default_tron_spec()
+                                      : default_ghost_spec();
+  const AcceleratorSpec eco =
+      config.kind == AcceleratorKind::kTron ? eco_tron_spec() : eco_ghost_spec();
+
+  // Grid points are independent; each simulates serially in its own chunk and
+  // writes only its own slot, so the sweep is bit-reproducible across thread
+  // counts.  Trace seeds mix the grid index so points draw independent
+  // arrival sequences.
+  parallel_for(0, points.size(), 1, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      CampaignPoint& p = points[i];
+      const FleetConfig fleet =
+          config.heterogeneous
+              ? FleetConfig::heterogeneous(primary, eco, p.fleet_size, config.routing)
+              : FleetConfig::homogeneous(primary, p.fleet_size, config.routing);
+      TraceConfig trace_cfg;
+      trace_cfg.offered_qps = p.qps;
+      trace_cfg.request_count = config.requests_per_point;
+      trace_cfg.process = config.process;
+      trace_cfg.seed = config.seed + 0x9E3779B9u * (static_cast<std::uint64_t>(i) + 1);
+      const std::vector<Request> trace = generate_trace(catalog, trace_cfg);
+      BatchPolicy policy;
+      policy.max_batch = p.max_batch;
+      policy.max_wait_s = config.max_wait_s;
+      SimConfig sim;
+      sim.slo_scale = config.slo_scale;
+      p.metrics = simulate(fleet, catalog, trace, p.scheduler, policy, sim);
+    }
+  });
+  return points;
+}
+
+Table campaign_table(const std::vector<CampaignPoint>& points, const std::string& title) {
+  Table t(title);
+  t.add_row({"fleet", "sched", "batch", "offered QPS", "goodput QPS", "p50 us", "p99 us",
+             "p99.9 us", "mean batch", "uJ/req", "util"});
+  for (const CampaignPoint& p : points) {
+    const ServeMetrics& m = p.metrics;
+    t.add_row({std::to_string(p.fleet_size), scheduler_name(p.scheduler),
+               std::to_string(p.max_batch), Table::num(p.qps, 1),
+               Table::num(m.goodput_qps, 1), Table::num(units::to_us(m.p50_latency_s), 1),
+               Table::num(units::to_us(m.p99_latency_s), 1),
+               Table::num(units::to_us(m.p999_latency_s), 1), Table::num(m.mean_batch_size, 2),
+               Table::num(m.energy_per_request_j * 1e6, 3),
+               Table::num(m.fleet_utilization, 3)});
+  }
+  return t;
+}
+
+void write_campaign_json(const CampaignConfig& config,
+                         const std::vector<CampaignPoint>& points, std::ostream& os) {
+  os << "{\n";
+  os << "  \"campaign\": \"" << json_escape(config.name) << "\",\n";
+  os << "  \"accelerator\": \"" << kind_name(config.kind) << "\",\n";
+  os << "  \"process\": \"" << process_name(config.process) << "\",\n";
+  os << "  \"routing\": \"" << routing_name(config.routing) << "\",\n";
+  os << "  \"heterogeneous\": " << (config.heterogeneous ? "true" : "false") << ",\n";
+  os << "  \"requests_per_point\": " << config.requests_per_point << ",\n";
+  os << "  \"points\": [\n";
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const CampaignPoint& p = points[i];
+    const ServeMetrics& m = p.metrics;
+    os << "    {\"fleet\": " << p.fleet_size << ", \"scheduler\": \""
+       << scheduler_name(p.scheduler) << "\", \"max_batch\": " << p.max_batch
+       << ", \"offered_qps\": " << p.qps << ", \"throughput_qps\": " << m.throughput_qps
+       << ", \"goodput_qps\": " << m.goodput_qps
+       << ", \"slo_latency_s\": " << m.slo_latency_s
+       << ", \"slo_attainment\": " << m.slo_attainment
+       << ", \"p50_latency_s\": " << m.p50_latency_s
+       << ", \"p95_latency_s\": " << m.p95_latency_s
+       << ", \"p99_latency_s\": " << m.p99_latency_s
+       << ", \"p999_latency_s\": " << m.p999_latency_s
+       << ", \"mean_queue_depth\": " << m.mean_queue_depth
+       << ", \"peak_queue_depth\": " << m.peak_queue_depth
+       << ", \"mean_batch\": " << m.mean_batch_size
+       << ", \"energy_per_request_j\": " << m.energy_per_request_j
+       << ", \"fleet_energy_j\": " << m.fleet_energy_j
+       << ", \"utilization\": " << m.fleet_utilization << "}"
+       << (i + 1 < points.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n}\n";
+}
+
+}  // namespace lumos::serve

@@ -1,0 +1,62 @@
+// Fleet-scale serving campaigns: sweep offered QPS x scheduler x batch policy
+// x fleet size over one workload catalog, producing saturation-knee tables
+// (latency percentiles / goodput vs load) analogous to the paper's figure
+// series.  Grid points are independent simulations, so the sweep runs in
+// parallel via `parallel_for`; every point derives its trace seed from the
+// campaign seed and its grid index, keeping results bit-reproducible across
+// `LUMOS_THREADS` settings.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/table.hpp"
+#include "serve/simulator.hpp"
+
+namespace lumos::serve {
+
+struct CampaignConfig {
+  std::string name = "serve";
+  AcceleratorKind kind = AcceleratorKind::kTron;
+  std::vector<double> qps;  // offered-QPS points (see fleet_capacity_qps)
+  std::vector<SchedulerKind> schedulers{SchedulerKind::kFifo, SchedulerKind::kDynamicBatch};
+  std::vector<std::size_t> fleet_sizes{4};
+  std::vector<std::size_t> max_batches{8};  // dynamic batching only
+  double max_wait_s = 2e-3;
+  std::size_t requests_per_point = 100000;
+  ArrivalProcess process = ArrivalProcess::kPoisson;
+  RoutingPolicy routing = RoutingPolicy::kFirstIdle;
+  bool heterogeneous = false;  // alternate default/eco specs across the fleet
+  double slo_scale = 10.0;
+  std::uint64_t seed = 1;
+};
+
+struct CampaignPoint {
+  double qps = 0.0;
+  SchedulerKind scheduler = SchedulerKind::kFifo;
+  std::size_t fleet_size = 0;
+  std::size_t max_batch = 1;
+  ServeMetrics metrics;
+};
+
+// Runs every grid point (in parallel) and returns them in grid order.
+[[nodiscard]] std::vector<CampaignPoint> run_campaign(const CampaignConfig& config,
+                                                      const WorkloadCatalog& catalog);
+
+// Unloaded capacity estimate of a `fleet_size` fleet of `spec` at a fixed
+// batch size: fleet_size / (mix-weighted mean per-request service time).
+// Use it to place QPS points around the saturation knee.
+[[nodiscard]] double fleet_capacity_qps(const WorkloadCatalog& catalog,
+                                        const AcceleratorSpec& spec, std::size_t fleet_size,
+                                        std::size_t batch);
+
+// One row per grid point: load, scheduler, tail latencies, goodput, energy.
+[[nodiscard]] Table campaign_table(const std::vector<CampaignPoint>& points,
+                                   const std::string& title);
+
+// Machine-readable campaign dump (one JSON object; points as an array).
+void write_campaign_json(const CampaignConfig& config,
+                         const std::vector<CampaignPoint>& points, std::ostream& os);
+
+}  // namespace lumos::serve

@@ -1,0 +1,45 @@
+#include "serve/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/units.hpp"
+
+namespace lumos::serve {
+
+double percentile(std::vector<double>& samples, double q) {
+  LUMOS_EXPECTS(q >= 0.0 && q <= 1.0);
+  if (samples.empty()) return 0.0;
+  std::sort(samples.begin(), samples.end());
+  const double rank = std::ceil(q * static_cast<double>(samples.size()));
+  const std::size_t index = rank <= 1.0 ? 0 : static_cast<std::size_t>(rank) - 1;
+  return samples[std::min(index, samples.size() - 1)];
+}
+
+Table ServeMetrics::to_table(const std::string& title) const {
+  Table t(title);
+  t.add_row({"metric", "value"});
+  t.add_row({"offered QPS", Table::num(offered_qps, 1)});
+  t.add_row({"completed", std::to_string(completed)});
+  t.add_row({"throughput QPS", Table::num(throughput_qps, 1)});
+  t.add_row({"goodput QPS", Table::num(goodput_qps, 1)});
+  t.add_row({"SLO latency (us)", Table::num(units::to_us(slo_latency_s), 1)});
+  t.add_row({"SLO attainment", Table::num(slo_attainment, 4)});
+  t.add_row({"p50 latency (us)", Table::num(units::to_us(p50_latency_s), 1)});
+  t.add_row({"p95 latency (us)", Table::num(units::to_us(p95_latency_s), 1)});
+  t.add_row({"p99 latency (us)", Table::num(units::to_us(p99_latency_s), 1)});
+  t.add_row({"p99.9 latency (us)", Table::num(units::to_us(p999_latency_s), 1)});
+  t.add_row({"mean latency (us)", Table::num(units::to_us(mean_latency_s), 1)});
+  t.add_row({"max latency (us)", Table::num(units::to_us(max_latency_s), 1)});
+  t.add_row({"mean queue depth", Table::num(mean_queue_depth, 2)});
+  t.add_row({"peak queue depth", std::to_string(peak_queue_depth)});
+  t.add_row({"dispatches", std::to_string(dispatches)});
+  t.add_row({"mean batch size", Table::num(mean_batch_size, 2)});
+  t.add_row({"fleet energy (J)", Table::num(fleet_energy_j, 4)});
+  t.add_row({"energy/request (uJ)", Table::num(energy_per_request_j * 1e6, 3)});
+  t.add_row({"fleet utilization", Table::num(fleet_utilization, 3)});
+  return t;
+}
+
+}  // namespace lumos::serve

@@ -1,0 +1,56 @@
+// Result metrics of one serving simulation: tail-latency percentiles,
+// goodput, queueing behaviour, batching behaviour, and fleet energy.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/table.hpp"
+
+namespace lumos::serve {
+
+// Exact nearest-rank percentile (q in [0, 1]) of `samples`; sorts in place.
+// 0 for an empty vector.
+[[nodiscard]] double percentile(std::vector<double>& samples, double q);
+
+struct ServeMetrics {
+  // Traffic.
+  double offered_qps = 0.0;
+  std::size_t completed = 0;
+  double duration_s = 0.0;        // first arrival (t=0) to last completion
+  double throughput_qps = 0.0;    // completed / duration
+  double goodput_qps = 0.0;       // within-SLO completions / duration
+  double slo_latency_s = 0.0;
+  double slo_attainment = 0.0;    // fraction of completions within the SLO
+
+  // Request latency (arrival -> completion).
+  double p50_latency_s = 0.0;
+  double p95_latency_s = 0.0;
+  double p99_latency_s = 0.0;
+  double p999_latency_s = 0.0;
+  double mean_latency_s = 0.0;
+  double max_latency_s = 0.0;
+
+  // Queueing.
+  double mean_queue_depth = 0.0;  // time-weighted
+  std::size_t peak_queue_depth = 0;
+
+  // Batching.
+  std::size_t dispatches = 0;
+  std::vector<std::size_t> batch_histogram;  // [batch size] -> dispatch count
+  double mean_batch_size = 0.0;
+
+  // Energy (dispatched batches + idle static burn across the fleet).
+  double fleet_energy_j = 0.0;
+  double energy_per_request_j = 0.0;
+  double fleet_utilization = 0.0;  // busy time / (accelerators x duration)
+
+  // Estimate-cache effectiveness.
+  std::size_t estimate_lookups = 0;
+  std::size_t estimate_misses = 0;
+
+  [[nodiscard]] Table to_table(const std::string& title) const;
+};
+
+}  // namespace lumos::serve

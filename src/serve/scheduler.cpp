@@ -1,0 +1,110 @@
+#include "serve/scheduler.hpp"
+
+#include <deque>
+#include <limits>
+#include <map>
+
+#include "common/error.hpp"
+
+namespace lumos::serve {
+
+const char* scheduler_name(SchedulerKind kind) noexcept {
+  return kind == SchedulerKind::kFifo ? "fifo" : "batch";
+}
+
+namespace {
+
+constexpr double kNever = std::numeric_limits<double>::infinity();
+
+class FifoScheduler final : public Scheduler {
+ public:
+  void enqueue(const Request& request, double) override { queue_.push_back(request); }
+  [[nodiscard]] std::size_t queued() const noexcept override { return queue_.size(); }
+  [[nodiscard]] bool ready(double) const noexcept override { return !queue_.empty(); }
+  [[nodiscard]] double next_deadline_s() const noexcept override { return kNever; }
+  [[nodiscard]] std::vector<Request> pop(double) override {
+    std::vector<Request> batch;
+    if (!queue_.empty()) {
+      batch.push_back(queue_.front());
+      queue_.pop_front();
+    }
+    return batch;
+  }
+
+ private:
+  std::deque<Request> queue_;
+};
+
+class DynamicBatchScheduler final : public Scheduler {
+ public:
+  explicit DynamicBatchScheduler(const BatchPolicy& policy) : policy_(policy) {
+    LUMOS_EXPECTS(policy.max_batch >= 1 && policy.max_batch <= BatchPolicy::kMaxBatchLimit);
+    LUMOS_EXPECTS(policy.max_wait_s >= 0.0);
+  }
+
+  void enqueue(const Request& request, double) override {
+    buckets_[request.workload].push_back(request);
+    ++queued_;
+  }
+
+  [[nodiscard]] std::size_t queued() const noexcept override { return queued_; }
+
+  [[nodiscard]] bool ready(double now_s) const noexcept override {
+    for (const auto& [workload, bucket] : buckets_) {
+      if (bucket.size() >= policy_.max_batch) return true;
+      if (bucket.front().arrival_s + policy_.max_wait_s <= now_s) return true;
+    }
+    return false;
+  }
+
+  [[nodiscard]] double next_deadline_s() const noexcept override {
+    double deadline = kNever;
+    for (const auto& [workload, bucket] : buckets_) {
+      deadline = std::min(deadline, bucket.front().arrival_s + policy_.max_wait_s);
+    }
+    return deadline;
+  }
+
+  [[nodiscard]] std::vector<Request> pop(double now_s) override {
+    // Among ready buckets, serve the one whose oldest request has waited
+    // longest (tie: lowest workload id via the map's iteration order).
+    auto best = buckets_.end();
+    for (auto it = buckets_.begin(); it != buckets_.end(); ++it) {
+      const std::deque<Request>& bucket = it->second;
+      const bool is_ready = bucket.size() >= policy_.max_batch ||
+                            bucket.front().arrival_s + policy_.max_wait_s <= now_s;
+      if (!is_ready) continue;
+      if (best == buckets_.end() ||
+          bucket.front().arrival_s < best->second.front().arrival_s) {
+        best = it;
+      }
+    }
+    std::vector<Request> batch;
+    if (best == buckets_.end()) return batch;
+    std::deque<Request>& bucket = best->second;
+    const std::size_t take = std::min(policy_.max_batch, bucket.size());
+    batch.reserve(take);
+    for (std::size_t i = 0; i < take; ++i) {
+      batch.push_back(bucket.front());
+      bucket.pop_front();
+    }
+    queued_ -= take;
+    if (bucket.empty()) buckets_.erase(best);
+    return batch;
+  }
+
+ private:
+  BatchPolicy policy_;
+  // std::map for deterministic iteration order (ascending workload id).
+  std::map<std::uint32_t, std::deque<Request>> buckets_;
+  std::size_t queued_ = 0;
+};
+
+}  // namespace
+
+std::unique_ptr<Scheduler> make_scheduler(SchedulerKind kind, const BatchPolicy& policy) {
+  if (kind == SchedulerKind::kFifo) return std::make_unique<FifoScheduler>();
+  return std::make_unique<DynamicBatchScheduler>(policy);
+}
+
+}  // namespace lumos::serve

@@ -1,0 +1,54 @@
+// Pluggable batching schedulers for the serving simulator.
+//
+// A scheduler owns the waiting requests and decides what dispatches next:
+//   * FIFO — strict arrival order, one request per dispatch (the no-batching
+//     baseline: lowest unloaded latency, worst throughput under load);
+//   * dynamic batching — per-workload buckets (a batch must share one model /
+//     sequence length to pipeline through stationary weights); a bucket
+//     dispatches when it reaches `max_batch` or when its oldest request has
+//     waited `max_wait_s`, whichever comes first.
+// All tie-breaks are deterministic (bucket id, arrival order), so a
+// simulation is replayable bit-for-bit.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "serve/trace.hpp"
+
+namespace lumos::serve {
+
+enum class SchedulerKind { kFifo, kDynamicBatch };
+
+[[nodiscard]] const char* scheduler_name(SchedulerKind kind) noexcept;
+
+struct BatchPolicy {
+  std::size_t max_batch = 8;   // largest batch a bucket dispatches
+  double max_wait_s = 2e-3;    // oldest-request deadline forcing a dispatch
+
+  // Ceiling on max_batch (metrics size a histogram by it; pipelined batches
+  // beyond this are outside any modelled regime anyway).
+  static constexpr std::size_t kMaxBatchLimit = 4096;
+};
+
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+
+  virtual void enqueue(const Request& request, double now_s) = 0;
+  [[nodiscard]] virtual std::size_t queued() const noexcept = 0;
+  // True if `pop` would return a non-empty batch at `now_s`.
+  [[nodiscard]] virtual bool ready(double now_s) const noexcept = 0;
+  // Earliest future instant at which a held batch becomes ready by deadline
+  // (+infinity when nothing is waiting or everything is already ready).
+  [[nodiscard]] virtual double next_deadline_s() const noexcept = 0;
+  // Pops the next batch (arrival order within a batch; single workload per
+  // batch for batching schedulers).  Empty when !ready(now_s).
+  [[nodiscard]] virtual std::vector<Request> pop(double now_s) = 0;
+};
+
+[[nodiscard]] std::unique_ptr<Scheduler> make_scheduler(SchedulerKind kind,
+                                                        const BatchPolicy& policy);
+
+}  // namespace lumos::serve

@@ -1,0 +1,223 @@
+#include "serve/simulator.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace lumos::serve {
+
+const char* routing_name(RoutingPolicy policy) noexcept {
+  return policy == RoutingPolicy::kFirstIdle ? "first-idle" : "energy-aware";
+}
+
+FleetConfig FleetConfig::homogeneous(const AcceleratorSpec& spec, std::size_t count,
+                                     RoutingPolicy routing) {
+  LUMOS_EXPECTS(count >= 1);
+  FleetConfig f;
+  f.routing = routing;
+  f.accelerators.assign(count, spec);
+  return f;
+}
+
+FleetConfig FleetConfig::heterogeneous(const AcceleratorSpec& primary,
+                                       const AcceleratorSpec& eco, std::size_t count,
+                                       RoutingPolicy routing) {
+  LUMOS_EXPECTS(count >= 1);
+  FleetConfig f;
+  f.routing = routing;
+  f.accelerators.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    f.accelerators.push_back(i % 2 == 0 ? primary : eco);
+  }
+  return f;
+}
+
+namespace {
+
+constexpr double kNever = std::numeric_limits<double>::infinity();
+constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+
+struct Completion {
+  double time_s = 0.0;
+  std::uint64_t seq = 0;  // dispatch order: deterministic tie-break
+  std::size_t acc = 0;
+  double batch_energy_j = 0.0;
+  std::vector<Request> batch;
+};
+
+// Min-heap ordering on (time, dispatch seq).
+struct CompletionLater {
+  bool operator()(const Completion& a, const Completion& b) const noexcept {
+    if (a.time_s != b.time_s) return a.time_s > b.time_s;
+    return a.seq > b.seq;
+  }
+};
+
+}  // namespace
+
+ServeMetrics simulate(const FleetConfig& fleet, const WorkloadCatalog& catalog,
+                      const std::vector<Request>& trace, SchedulerKind scheduler,
+                      const BatchPolicy& policy, const SimConfig& sim) {
+  LUMOS_EXPECTS(!fleet.accelerators.empty());
+  LUMOS_EXPECTS(!trace.empty());
+  LUMOS_EXPECTS(policy.max_batch >= 1 && policy.max_batch <= BatchPolicy::kMaxBatchLimit);
+
+  // One estimate cache per distinct spec name; fleet slots share caches.
+  std::vector<EstimateCache> caches;
+  caches.reserve(fleet.accelerators.size());
+  std::vector<std::size_t> cache_of(fleet.accelerators.size(), kNone);
+  for (std::size_t i = 0; i < fleet.accelerators.size(); ++i) {
+    for (std::size_t c = 0; c < caches.size(); ++c) {
+      if (caches[c].spec().name == fleet.accelerators[i].name) {
+        cache_of[i] = c;
+        break;
+      }
+    }
+    if (cache_of[i] == kNone) {
+      caches.emplace_back(fleet.accelerators[i], catalog);
+      cache_of[i] = caches.size() - 1;
+    }
+  }
+
+  // Goodput SLO.
+  double slo_s = sim.slo_latency_s;
+  if (slo_s <= 0.0) {
+    double slowest = 0.0;
+    for (std::uint32_t w = 0; w < catalog.size(); ++w) {
+      slowest = std::max(slowest, caches[cache_of[0]].estimate(w, 1).latency_s);
+    }
+    slo_s = sim.slo_scale * slowest;
+  }
+
+  const std::size_t n_acc = fleet.accelerators.size();
+  std::vector<bool> idle(n_acc, true);
+  std::vector<double> busy_time(n_acc, 0.0);
+
+  const std::unique_ptr<Scheduler> sched = make_scheduler(scheduler, policy);
+  std::vector<Completion> heap;
+  std::uint64_t dispatch_seq = 0;
+
+  ServeMetrics m;
+  m.batch_histogram.assign(
+      (scheduler == SchedulerKind::kFifo ? std::size_t{1} : policy.max_batch) + 1, 0);
+  std::vector<double> latencies;
+  latencies.reserve(trace.size());
+  double latency_sum = 0.0;
+  std::size_t within_slo = 0;
+  double dispatched_energy_j = 0.0;
+  double depth_time = 0.0;
+
+  const auto try_dispatch = [&](double now_s) {
+    for (;;) {
+      std::size_t first_idle = kNone;
+      for (std::size_t i = 0; i < n_acc; ++i) {
+        if (idle[i]) {
+          first_idle = i;
+          break;
+        }
+      }
+      if (first_idle == kNone || !sched->ready(now_s)) return;
+      std::vector<Request> batch = sched->pop(now_s);
+      LUMOS_ENSURES(!batch.empty());
+      const std::uint32_t workload = batch.front().workload;
+      std::size_t chosen = first_idle;
+      if (fleet.routing == RoutingPolicy::kEnergyAware) {
+        double best_j = kNever;
+        for (std::size_t i = 0; i < n_acc; ++i) {
+          if (!idle[i]) continue;
+          const double j =
+              caches[cache_of[i]].estimate(workload, batch.size()).total_energy_j;
+          if (j < best_j) {
+            best_j = j;
+            chosen = i;
+          }
+        }
+      }
+      const PerfReport& r = caches[cache_of[chosen]].estimate(workload, batch.size());
+      idle[chosen] = false;
+      busy_time[chosen] += r.latency_s;
+      ++m.dispatches;
+      ++m.batch_histogram[batch.size()];
+      heap.push_back({now_s + r.latency_s, dispatch_seq++, chosen, r.total_energy_j,
+                      std::move(batch)});
+      std::push_heap(heap.begin(), heap.end(), CompletionLater{});
+    }
+  };
+
+  std::size_t next_arrival = 0;
+  double now_s = 0.0;
+  while (m.completed < trace.size()) {
+    const double t_arr =
+        next_arrival < trace.size() ? trace[next_arrival].arrival_s : kNever;
+    const double t_done = heap.empty() ? kNever : heap.front().time_s;
+    bool any_idle = false;
+    for (std::size_t i = 0; i < n_acc && !any_idle; ++i) any_idle = idle[i];
+    // Deadlines only matter while an accelerator could take the batch; when
+    // everything is busy the next completion re-evaluates readiness anyway.
+    const double t_dead =
+        any_idle && sched->queued() > 0 ? sched->next_deadline_s() : kNever;
+    const double t = std::min(std::min(t_arr, t_done), t_dead);
+    LUMOS_ENSURES(t >= now_s && t < kNever);
+    depth_time += static_cast<double>(sched->queued()) * (t - now_s);
+    now_s = t;
+
+    while (!heap.empty() && heap.front().time_s <= now_s) {
+      std::pop_heap(heap.begin(), heap.end(), CompletionLater{});
+      Completion done = std::move(heap.back());
+      heap.pop_back();
+      idle[done.acc] = true;
+      dispatched_energy_j += done.batch_energy_j;
+      for (const Request& req : done.batch) {
+        const double latency = done.time_s - req.arrival_s;
+        latencies.push_back(latency);
+        latency_sum += latency;
+        m.max_latency_s = std::max(m.max_latency_s, latency);
+        if (latency <= slo_s) ++within_slo;
+        ++m.completed;
+      }
+    }
+    while (next_arrival < trace.size() && trace[next_arrival].arrival_s <= now_s) {
+      sched->enqueue(trace[next_arrival], now_s);
+      ++next_arrival;
+      m.peak_queue_depth = std::max(m.peak_queue_depth, sched->queued());
+    }
+    try_dispatch(now_s);
+  }
+
+  const double duration_s = now_s;
+  m.offered_qps = static_cast<double>(trace.size()) /
+                  std::max(trace.back().arrival_s, 1e-300);
+  m.duration_s = duration_s;
+  m.throughput_qps = static_cast<double>(m.completed) / std::max(duration_s, 1e-300);
+  m.goodput_qps = static_cast<double>(within_slo) / std::max(duration_s, 1e-300);
+  m.slo_latency_s = slo_s;
+  m.slo_attainment =
+      static_cast<double>(within_slo) / static_cast<double>(m.completed);
+  m.mean_latency_s = latency_sum / static_cast<double>(m.completed);
+  m.p50_latency_s = percentile(latencies, 0.50);
+  m.p95_latency_s = percentile(latencies, 0.95);
+  m.p99_latency_s = percentile(latencies, 0.99);
+  m.p999_latency_s = percentile(latencies, 0.999);
+  m.mean_queue_depth = depth_time / std::max(duration_s, 1e-300);
+  m.mean_batch_size =
+      static_cast<double>(m.completed) / static_cast<double>(std::max<std::size_t>(m.dispatches, 1));
+
+  double busy_total = 0.0;
+  double idle_static_j = 0.0;
+  for (std::size_t i = 0; i < n_acc; ++i) {
+    busy_total += busy_time[i];
+    idle_static_j +=
+        std::max(0.0, duration_s - busy_time[i]) * caches[cache_of[i]].static_power_w();
+  }
+  m.fleet_energy_j = dispatched_energy_j + idle_static_j;
+  m.energy_per_request_j = m.fleet_energy_j / static_cast<double>(m.completed);
+  m.fleet_utilization = busy_total / (static_cast<double>(n_acc) * std::max(duration_s, 1e-300));
+  for (const EstimateCache& c : caches) {
+    m.estimate_lookups += c.lookups();
+    m.estimate_misses += c.misses();
+  }
+  return m;
+}
+
+}  // namespace lumos::serve

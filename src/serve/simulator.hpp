@@ -1,0 +1,59 @@
+// Deterministic discrete-event simulation of an accelerator fleet serving an
+// open-loop request trace.
+//
+// Event loop over three event sources — request arrivals (from the
+// pre-generated trace), batch-deadline expiries (from the scheduler), and
+// accelerator completions (a min-heap keyed by (time, dispatch seq)) —
+// with a fixed processing order at equal timestamps (completions, then
+// arrivals, then dispatch).  Service times and energies come from the
+// per-spec `EstimateCache`, so the loop's cost per request is a queue push, a
+// heap push/pop, and a hash lookup: millions of requests simulate in seconds.
+// The loop itself is serial and allocation-light; campaigns parallelise over
+// grid points (see campaign.hpp).  Results are bit-reproducible for a fixed
+// trace across runs and `LUMOS_THREADS` settings.
+#pragma once
+
+#include <vector>
+
+#include "serve/cache.hpp"
+#include "serve/metrics.hpp"
+#include "serve/scheduler.hpp"
+#include "serve/trace.hpp"
+#include "serve/workload.hpp"
+
+namespace lumos::serve {
+
+// How a dispatched batch picks among idle accelerators.
+enum class RoutingPolicy {
+  kFirstIdle,     // lowest-index idle accelerator
+  kEnergyAware,   // idle accelerator with the lowest predicted batch energy
+};
+
+[[nodiscard]] const char* routing_name(RoutingPolicy policy) noexcept;
+
+struct FleetConfig {
+  std::vector<AcceleratorSpec> accelerators;
+  RoutingPolicy routing = RoutingPolicy::kFirstIdle;
+
+  [[nodiscard]] static FleetConfig homogeneous(
+      const AcceleratorSpec& spec, std::size_t count,
+      RoutingPolicy routing = RoutingPolicy::kFirstIdle);
+  // Alternates `primary` and `eco` slots (primary first).
+  [[nodiscard]] static FleetConfig heterogeneous(
+      const AcceleratorSpec& primary, const AcceleratorSpec& eco, std::size_t count,
+      RoutingPolicy routing = RoutingPolicy::kEnergyAware);
+};
+
+struct SimConfig {
+  // SLO for goodput: `slo_latency_s` when positive, otherwise `slo_scale`
+  // times the slowest workload's unloaded batch-1 latency on the fleet's
+  // first spec.
+  double slo_latency_s = 0.0;
+  double slo_scale = 10.0;
+};
+
+[[nodiscard]] ServeMetrics simulate(const FleetConfig& fleet, const WorkloadCatalog& catalog,
+                                    const std::vector<Request>& trace, SchedulerKind scheduler,
+                                    const BatchPolicy& policy, const SimConfig& sim = {});
+
+}  // namespace lumos::serve

@@ -1,0 +1,84 @@
+#include "serve/trace.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace lumos::serve {
+
+const char* process_name(ArrivalProcess process) noexcept {
+  return process == ArrivalProcess::kPoisson ? "poisson" : "bursty";
+}
+
+namespace {
+double exponential(Rng& rng, double mean) {
+  // next_double() < 1, so the log argument stays in (0, 1].
+  return -std::log(1.0 - rng.next_double()) * mean;
+}
+}  // namespace
+
+std::vector<Request> generate_trace(const WorkloadCatalog& catalog,
+                                    const TraceConfig& config) {
+  LUMOS_EXPECTS(config.offered_qps > 0.0);
+  LUMOS_EXPECTS(config.request_count >= 1);
+  LUMOS_EXPECTS(catalog.size() >= 1);
+
+  // Independent streams: arrival times stay identical when only the mix
+  // changes, and vice versa.
+  Rng arrival_rng(config.seed, /*stream=*/0xA221);
+  Rng mix_rng(config.seed, /*stream=*/0x317C);
+
+  std::vector<double> cumulative;
+  cumulative.reserve(catalog.size());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < catalog.size(); ++i) {
+    acc += catalog.at(i).mix_weight;
+    cumulative.push_back(acc);
+  }
+
+  // Two-state MMPP with the long-run mean pinned to offered_qps:
+  //   f * high + (1 - f) * low = qps,  high = m * low
+  //   => low = qps / (1 + f * (m - 1)).
+  const double f = config.burst_fraction;
+  const double m = config.burst_multiplier;
+  LUMOS_EXPECTS(config.process == ArrivalProcess::kPoisson ||
+                (f > 0.0 && f < 1.0 && m >= 1.0 && config.mean_burst_s > 0.0));
+  const double low_qps = config.process == ArrivalProcess::kPoisson
+                             ? config.offered_qps
+                             : config.offered_qps / (1.0 + f * (m - 1.0));
+  const double high_qps = config.process == ArrivalProcess::kPoisson ? low_qps : m * low_qps;
+  const double mean_low_dwell_s = config.mean_burst_s * (1.0 - f) / std::max(f, 1e-12);
+
+  std::vector<Request> trace;
+  trace.reserve(config.request_count);
+  double now = 0.0;
+  bool high = false;
+  double state_end_s = config.process == ArrivalProcess::kPoisson
+                           ? std::numeric_limits<double>::infinity()
+                           : exponential(arrival_rng, mean_low_dwell_s);
+  for (std::uint64_t id = 0; id < config.request_count; ++id) {
+    for (;;) {
+      const double rate = high ? high_qps : low_qps;
+      const double dt = exponential(arrival_rng, 1.0 / rate);
+      if (now + dt <= state_end_s) {
+        now += dt;
+        break;
+      }
+      // The exponential is memoryless: discard the draw past the state switch
+      // and redraw at the new state's rate from the switch instant.
+      now = state_end_s;
+      high = !high;
+      state_end_s =
+          now + exponential(arrival_rng, high ? config.mean_burst_s : mean_low_dwell_s);
+    }
+    const double u = mix_rng.next_double() * cumulative.back();
+    std::uint32_t workload = 0;
+    while (cumulative[workload] <= u && workload + 1 < cumulative.size()) ++workload;
+    trace.push_back({id, now, workload});
+  }
+  return trace;
+}
+
+}  // namespace lumos::serve

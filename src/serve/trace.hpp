@@ -1,0 +1,46 @@
+// Open-loop request traces for the serving simulator.
+//
+// Traces are materialised up front (arrival time + workload index per
+// request) so a simulation is exactly replayable: the same `TraceConfig`
+// always produces the same trace, independent of scheduler, fleet, and
+// `LUMOS_THREADS`.  Arrival processes: Poisson, and a two-state Markov-
+// modulated Poisson process (bursty) whose long-run rate equals the offered
+// QPS.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "serve/workload.hpp"
+
+namespace lumos::serve {
+
+struct Request {
+  std::uint64_t id = 0;
+  double arrival_s = 0.0;
+  std::uint32_t workload = 0;  // WorkloadCatalog index
+};
+
+enum class ArrivalProcess { kPoisson, kBursty };
+
+[[nodiscard]] const char* process_name(ArrivalProcess process) noexcept;
+
+struct TraceConfig {
+  double offered_qps = 1000.0;
+  std::size_t request_count = 100000;
+  ArrivalProcess process = ArrivalProcess::kPoisson;
+  // Bursty process: the high state arrives `burst_multiplier` times faster
+  // than the low state, is occupied `burst_fraction` of the time in the long
+  // run, and has exponentially distributed dwells of mean `mean_burst_s`.
+  double burst_multiplier = 4.0;
+  double burst_fraction = 0.2;
+  double mean_burst_s = 0.05;
+  std::uint64_t seed = 1;
+};
+
+// Arrival-time-ordered trace over `catalog`'s mix (weights are the workloads'
+// `mix_weight`s).
+[[nodiscard]] std::vector<Request> generate_trace(const WorkloadCatalog& catalog,
+                                                  const TraceConfig& config);
+
+}  // namespace lumos::serve

@@ -1,0 +1,123 @@
+#include "serve/workload.hpp"
+
+#include "common/error.hpp"
+#include "sim/registry.hpp"
+
+namespace lumos::serve {
+
+const char* kind_name(AcceleratorKind kind) noexcept {
+  return kind == AcceleratorKind::kTron ? "TRON" : "GHOST";
+}
+
+void WorkloadCatalog::add_transformer(std::string name, nn::TransformerConfig config,
+                                      double weight) {
+  LUMOS_EXPECTS(weight > 0.0);
+  LUMOS_EXPECTS_MSG(workloads_.empty() || kind() == AcceleratorKind::kTron,
+                    "catalog already holds GNN workloads");
+  ServeWorkload w;
+  w.name = std::move(name);
+  w.kind = AcceleratorKind::kTron;
+  w.transformer = std::move(config);
+  w.mix_weight = weight;
+  workloads_.push_back(std::move(w));
+}
+
+void WorkloadCatalog::add_gnn(std::string name, gnn::GnnModelConfig model,
+                              graph::GraphDataset dataset, double weight) {
+  LUMOS_EXPECTS(weight > 0.0);
+  LUMOS_EXPECTS_MSG(workloads_.empty() || kind() == AcceleratorKind::kGhost,
+                    "catalog already holds transformer workloads");
+  std::size_t ds_index = datasets_.size();
+  for (std::size_t i = 0; i < datasets_.size(); ++i) {
+    if (datasets_[i].name == dataset.name) {
+      ds_index = i;
+      break;
+    }
+  }
+  if (ds_index == datasets_.size()) datasets_.push_back(std::move(dataset));
+  ServeWorkload w;
+  w.name = std::move(name);
+  w.kind = AcceleratorKind::kGhost;
+  w.gnn_model = std::move(model);
+  w.dataset = ds_index;
+  w.mix_weight = weight;
+  workloads_.push_back(std::move(w));
+}
+
+const ServeWorkload& WorkloadCatalog::at(std::size_t i) const {
+  LUMOS_EXPECTS(i < workloads_.size());
+  return workloads_[i];
+}
+
+const graph::GraphDataset& WorkloadCatalog::dataset(std::size_t i) const {
+  LUMOS_EXPECTS(i < datasets_.size());
+  return datasets_[i];
+}
+
+AcceleratorKind WorkloadCatalog::kind() const {
+  LUMOS_EXPECTS_MSG(!workloads_.empty(), "empty workload catalog");
+  return workloads_.front().kind;
+}
+
+double WorkloadCatalog::total_weight() const noexcept {
+  double total = 0.0;
+  for (const ServeWorkload& w : workloads_) total += w.mix_weight;
+  return total;
+}
+
+WorkloadCatalog WorkloadCatalog::tron_default() {
+  WorkloadCatalog c;
+  c.add_transformer("bert-base/128", sim::transformer_by_name("bert-base", 128), 4.0);
+  c.add_transformer("bert-large/128", sim::transformer_by_name("bert-large", 128), 2.0);
+  c.add_transformer("gpt2/256", sim::transformer_by_name("gpt2", 256), 3.0);
+  c.add_transformer("vit", sim::transformer_by_name("vit"), 1.0);
+  return c;
+}
+
+WorkloadCatalog WorkloadCatalog::ghost_default() {
+  WorkloadCatalog c;
+  c.add_gnn("gcn/cora", sim::gnn_by_name("gcn"), sim::dataset_by_name("cora"), 4.0);
+  c.add_gnn("graphsage/citeseer", sim::gnn_by_name("graphsage"),
+            sim::dataset_by_name("citeseer"), 3.0);
+  c.add_gnn("gin/pubmed", sim::gnn_by_name("gin"), sim::dataset_by_name("pubmed"), 2.0);
+  c.add_gnn("gat/cora", sim::gnn_by_name("gat"), sim::dataset_by_name("cora"), 1.0);
+  return c;
+}
+
+AcceleratorSpec default_tron_spec() {
+  AcceleratorSpec s;
+  s.name = "tron";
+  s.kind = AcceleratorKind::kTron;
+  s.tron = tron::default_tron_config();
+  s.ghost = ghost::default_ghost_config();
+  return s;
+}
+
+AcceleratorSpec default_ghost_spec() {
+  AcceleratorSpec s;
+  s.name = "ghost";
+  s.kind = AcceleratorKind::kGhost;
+  s.tron = tron::default_tron_config();
+  s.ghost = ghost::default_ghost_config();
+  return s;
+}
+
+AcceleratorSpec eco_tron_spec() {
+  AcceleratorSpec s = default_tron_spec();
+  s.name = "tron-eco";
+  // Half the attention-head units and FF arrays: roughly half the fabric's
+  // static draw for roughly double the compute time on array-bound ops.
+  s.tron.head_units = s.tron.head_units / 2;
+  s.tron.ff_arrays = s.tron.ff_arrays / 2;
+  return s;
+}
+
+AcceleratorSpec eco_ghost_spec() {
+  AcceleratorSpec s = default_ghost_spec();
+  s.name = "ghost-eco";
+  s.ghost.lanes = s.ghost.lanes / 2;
+  s.ghost.transform_arrays_per_lane = 1;
+  return s;
+}
+
+}  // namespace lumos::serve

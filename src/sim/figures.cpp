@@ -5,6 +5,7 @@
 #include "common/error.hpp"
 #include "common/stats.hpp"
 #include "common/units.hpp"
+#include "sim/registry.hpp"
 
 namespace lumos::sim {
 
@@ -70,7 +71,7 @@ FigureData run_llm_figure(const tron::TronConfig& config, Metric metric,
   const std::vector<baselines::PlatformModel> platforms = baselines::llm_baselines();
   f.platforms.push_back("TRON");
   for (const auto& p : platforms) f.platforms.push_back(p.spec().name);
-  for (const nn::TransformerConfig& model : nn::llm_model_zoo()) {
+  for (const nn::TransformerConfig& model : llm_eval_models()) {
     f.workloads.push_back(model.name);
     std::vector<PerfReport> row;
     row.push_back(tron_acc.estimate(model));
@@ -89,8 +90,8 @@ FigureData run_gnn_figure(const ghost::GhostConfig& config, Metric metric,
   const std::vector<baselines::PlatformModel> platforms = baselines::gnn_baselines();
   f.platforms.push_back("GHOST");
   for (const auto& p : platforms) f.platforms.push_back(p.spec().name);
-  const std::vector<graph::GraphDataset> datasets = graph::gnn_dataset_zoo();
-  for (const gnn::GnnModelConfig& model : gnn::gnn_model_zoo()) {
+  const std::vector<graph::GraphDataset> datasets = gnn_eval_datasets();
+  for (const gnn::GnnModelConfig& model : gnn_eval_models()) {
     for (const graph::GraphDataset& ds : datasets) {
       f.workloads.push_back(model.name + "/" + ds.name);
       std::vector<PerfReport> row;

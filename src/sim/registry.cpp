@@ -1,0 +1,66 @@
+#include "sim/registry.hpp"
+
+#include "common/error.hpp"
+
+namespace lumos::sim {
+
+const std::vector<std::string>& transformer_names() {
+  static const std::vector<std::string> names{"bert-base", "bert-large", "gpt2", "vit",
+                                             "transformer"};
+  return names;
+}
+
+const std::vector<std::string>& gnn_names() {
+  static const std::vector<std::string> names{"gcn", "graphsage", "gin", "gat"};
+  return names;
+}
+
+const std::vector<std::string>& dataset_names() {
+  static const std::vector<std::string> names{"cora", "citeseer", "pubmed", "arxiv"};
+  return names;
+}
+
+std::string joined_names(const std::vector<std::string>& names) {
+  std::string out;
+  for (const std::string& n : names) {
+    if (!out.empty()) out += '|';
+    out += n;
+  }
+  return out;
+}
+
+nn::TransformerConfig transformer_by_name(const std::string& name, std::size_t seq_len) {
+  if (name == "bert-base") return nn::bert_base(seq_len);
+  if (name == "bert-large") return nn::bert_large(seq_len);
+  if (name == "gpt2") return nn::gpt2_small(seq_len);
+  if (name == "vit") return nn::vit_base();
+  if (name == "transformer") return nn::original_transformer(seq_len, seq_len);
+  throw InvalidArgument("unknown transformer model: " + name + " (expected " +
+                        joined_names(transformer_names()) + ")");
+}
+
+gnn::GnnModelConfig gnn_by_name(const std::string& name) {
+  if (name == "gcn") return gnn::gcn_model();
+  if (name == "graphsage") return gnn::graphsage_model();
+  if (name == "gin") return gnn::gin_model();
+  if (name == "gat") return gnn::gat_model();
+  throw InvalidArgument("unknown GNN model: " + name + " (expected " +
+                        joined_names(gnn_names()) + ")");
+}
+
+graph::GraphDataset dataset_by_name(const std::string& name) {
+  if (name == "cora") return graph::synthetic_cora();
+  if (name == "citeseer") return graph::synthetic_citeseer();
+  if (name == "pubmed") return graph::synthetic_pubmed();
+  if (name == "arxiv") return graph::synthetic_arxiv();
+  throw InvalidArgument("unknown dataset: " + name + " (expected " +
+                        joined_names(dataset_names()) + ")");
+}
+
+std::vector<nn::TransformerConfig> llm_eval_models() { return nn::llm_model_zoo(); }
+
+std::vector<gnn::GnnModelConfig> gnn_eval_models() { return gnn::gnn_model_zoo(); }
+
+std::vector<graph::GraphDataset> gnn_eval_datasets() { return graph::gnn_dataset_zoo(); }
+
+}  // namespace lumos::sim

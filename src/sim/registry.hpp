@@ -1,0 +1,39 @@
+// Name-keyed registry of the workloads the library knows how to build:
+// transformer models, GNN models, and graph datasets.  Single source of truth
+// for the string names accepted by the CLI, the figure runners, and the
+// serving simulator (previously each front end kept its own copy of these
+// lookups).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "gnn/models.hpp"
+#include "graph/generators.hpp"
+#include "nn/transformer.hpp"
+
+namespace lumos::sim {
+
+// Accepted workload names, in canonical (presentation) order.
+[[nodiscard]] const std::vector<std::string>& transformer_names();
+[[nodiscard]] const std::vector<std::string>& gnn_names();
+[[nodiscard]] const std::vector<std::string>& dataset_names();
+
+// Name -> configuration.  Unknown names throw `InvalidArgument` listing the
+// accepted names.  `seq_len` is ignored by models with a fixed input length
+// (vit).
+[[nodiscard]] nn::TransformerConfig transformer_by_name(const std::string& name,
+                                                        std::size_t seq_len = 128);
+[[nodiscard]] gnn::GnnModelConfig gnn_by_name(const std::string& name);
+[[nodiscard]] graph::GraphDataset dataset_by_name(const std::string& name);
+
+// The paper-figure evaluation suites (Figs. 8-11), materialised through the
+// registry so every consumer scores the same configurations.
+[[nodiscard]] std::vector<nn::TransformerConfig> llm_eval_models();
+[[nodiscard]] std::vector<gnn::GnnModelConfig> gnn_eval_models();
+[[nodiscard]] std::vector<graph::GraphDataset> gnn_eval_datasets();
+
+// "a|b|c" join of a name list, for usage/error messages.
+[[nodiscard]] std::string joined_names(const std::vector<std::string>& names);
+
+}  // namespace lumos::sim

@@ -38,15 +38,17 @@ TronAccelerator::TronAccelerator(const TronConfig& config)
       soa_({}),
       weight_buffer_(config.weight_buffer),
       activation_buffer_(config.activation_buffer),
-      dram_(config.dram) {
+      dram_(config.dram),
+      mapping_array_(config.bank, config.array_cols),
+      pass_energies_(mapping_array_.pass_energies()),
+      mapping_softmax_(softmax_config_from(config)) {
   LUMOS_EXPECTS(config.head_units >= 1);
   LUMOS_EXPECTS(config.array_rows >= 1 && config.array_cols >= 1);
   LUMOS_EXPECTS(config.symbol_rate_hz > 0.0);
 }
 
 double TronAccelerator::static_power_w() const {
-  const phot::MrBankArray array(config_.bank, config_.array_cols);
-  const double per_array = array.matvec_cost().static_power_w;
+  const double per_array = mapping_array_.matvec_cost().static_power_w;
   const double arrays = static_cast<double>(config_.total_arrays());
   const phot::SoaConfig soa_cfg;
   // One SOA bank (array_cols amplifiers) serves the FF activations.
@@ -58,9 +60,8 @@ double TronAccelerator::static_power_w() const {
 
 double TronAccelerator::map_trace(const std::vector<nn::OpSpec>& trace, std::size_t batch,
                                   PerfBreakdown& b) const {
-  const phot::MrBankArray array(config_.bank, config_.array_cols);
-  const phot::MrBankArray::PassEnergies pe = array.pass_energies();
-  const SoftmaxLut softmax(softmax_config_from(config_));
+  const phot::MrBankArray::PassEnergies& pe = pass_energies_;
+  const SoftmaxLut& softmax = mapping_softmax_;
   const double rate = config_.symbol_rate_hz;
   const std::size_t kh = config_.array_rows;
   const std::size_t nh = config_.array_cols;

@@ -75,6 +75,11 @@ class TronAccelerator {
   mem::SramModel weight_buffer_;
   mem::SramModel activation_buffer_;
   mem::DramModel dram_;
+  // Mapping units hoisted out of map_trace so repeated estimates (the serving
+  // simulator's cache misses) pay construction once per accelerator.
+  phot::MrBankArray mapping_array_;
+  phot::MrBankArray::PassEnergies pass_energies_;
+  SoftmaxLut mapping_softmax_;
 };
 
 }  // namespace lumos::tron

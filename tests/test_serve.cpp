@@ -1,0 +1,410 @@
+// Tests for the serving simulator subsystem: the workload registry, trace
+// generation, the estimate cache (bit-identical to uncached calls), the
+// schedulers, the discrete-event loop, and campaign determinism (the
+// parallel_for sweep must equal a serial simulation of the same point).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "serve/campaign.hpp"
+#include "serve/simulator.hpp"
+#include "sim/registry.hpp"
+
+namespace lumos::serve {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------------
+
+TEST(Registry, TransformerLookupsMatchZooConfigs) {
+  const nn::TransformerConfig bert = sim::transformer_by_name("bert-base", 128);
+  EXPECT_EQ(bert.name, nn::bert_base(128).name);
+  EXPECT_EQ(bert.layers, nn::bert_base(128).layers);
+  EXPECT_EQ(bert.d_model, nn::bert_base(128).d_model);
+  EXPECT_EQ(sim::transformer_by_name("gpt2", 256).seq_len, nn::gpt2_small(256).seq_len);
+}
+
+TEST(Registry, DatasetLookupHasPublishedDimensions) {
+  const graph::GraphDataset cora = sim::dataset_by_name("cora");
+  EXPECT_EQ(cora.graph.node_count(), 2708u);
+  EXPECT_EQ(cora.feature_dim, 1433u);
+}
+
+TEST(Registry, UnknownNamesThrow) {
+  EXPECT_THROW((void)sim::transformer_by_name("bort"), InvalidArgument);
+  EXPECT_THROW((void)sim::gnn_by_name("gnn9000"), InvalidArgument);
+  EXPECT_THROW((void)sim::dataset_by_name("imagenet"), InvalidArgument);
+}
+
+TEST(Registry, NameListsRoundTrip) {
+  for (const std::string& name : sim::transformer_names()) {
+    EXPECT_NO_THROW((void)sim::transformer_by_name(name));
+  }
+  for (const std::string& name : sim::gnn_names()) EXPECT_NO_THROW((void)sim::gnn_by_name(name));
+  for (const std::string& name : sim::dataset_names()) {
+    EXPECT_NO_THROW((void)sim::dataset_by_name(name));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Traces
+// ---------------------------------------------------------------------------
+
+TEST(Trace, IsDeterministicAndSorted) {
+  const WorkloadCatalog catalog = WorkloadCatalog::tron_default();
+  TraceConfig cfg;
+  cfg.offered_qps = 5000.0;
+  cfg.request_count = 2000;
+  cfg.seed = 42;
+  const std::vector<Request> a = generate_trace(catalog, cfg);
+  const std::vector<Request> b = generate_trace(catalog, cfg);
+  ASSERT_EQ(a.size(), cfg.request_count);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].arrival_s, b[i].arrival_s);
+    EXPECT_EQ(a[i].workload, b[i].workload);
+    if (i > 0) EXPECT_GE(a[i].arrival_s, a[i - 1].arrival_s);
+    EXPECT_LT(a[i].workload, catalog.size());
+  }
+}
+
+TEST(Trace, PoissonHitsOfferedRate) {
+  const WorkloadCatalog catalog = WorkloadCatalog::tron_default();
+  TraceConfig cfg;
+  cfg.offered_qps = 10000.0;
+  cfg.request_count = 100000;
+  cfg.seed = 3;
+  const std::vector<Request> trace = generate_trace(catalog, cfg);
+  const double rate = static_cast<double>(trace.size()) / trace.back().arrival_s;
+  EXPECT_NEAR(rate, cfg.offered_qps, 0.05 * cfg.offered_qps);
+}
+
+TEST(Trace, BurstyKeepsLongRunRate) {
+  const WorkloadCatalog catalog = WorkloadCatalog::tron_default();
+  TraceConfig cfg;
+  cfg.offered_qps = 10000.0;
+  cfg.request_count = 200000;
+  cfg.process = ArrivalProcess::kBursty;
+  cfg.seed = 5;
+  const std::vector<Request> trace = generate_trace(catalog, cfg);
+  const double rate = static_cast<double>(trace.size()) / trace.back().arrival_s;
+  EXPECT_NEAR(rate, cfg.offered_qps, 0.10 * cfg.offered_qps);
+}
+
+TEST(Trace, MixFollowsWeights) {
+  const WorkloadCatalog catalog = WorkloadCatalog::tron_default();  // weights 4:2:3:1
+  TraceConfig cfg;
+  cfg.offered_qps = 1000.0;
+  cfg.request_count = 50000;
+  cfg.seed = 9;
+  const std::vector<Request> trace = generate_trace(catalog, cfg);
+  std::vector<double> counts(catalog.size(), 0.0);
+  for (const Request& r : trace) counts[r.workload] += 1.0;
+  const double total = static_cast<double>(trace.size());
+  for (std::size_t w = 0; w < catalog.size(); ++w) {
+    const double want = catalog.at(w).mix_weight / catalog.total_weight();
+    EXPECT_NEAR(counts[w] / total, want, 0.01) << "workload " << w;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Estimate cache
+// ---------------------------------------------------------------------------
+
+void expect_reports_identical(const PerfReport& a, const PerfReport& b) {
+  EXPECT_EQ(a.latency_s, b.latency_s);
+  EXPECT_EQ(a.dynamic_energy_j, b.dynamic_energy_j);
+  EXPECT_EQ(a.static_energy_j, b.static_energy_j);
+  EXPECT_EQ(a.total_energy_j, b.total_energy_j);
+  EXPECT_EQ(a.op_count, b.op_count);
+  EXPECT_EQ(a.breakdown.matmul_time_s, b.breakdown.matmul_time_s);
+  EXPECT_EQ(a.breakdown.memory_stall_s, b.breakdown.memory_stall_s);
+  EXPECT_EQ(a.breakdown.dram_energy_j, b.breakdown.dram_energy_j);
+  EXPECT_EQ(a.breakdown.sram_energy_j, b.breakdown.sram_energy_j);
+}
+
+TEST(EstimateCache, TronReportsBitIdenticalToUncached) {
+  const WorkloadCatalog catalog = WorkloadCatalog::tron_default();
+  const AcceleratorSpec spec = default_tron_spec();
+  const EstimateCache cache(spec, catalog);
+  const tron::TronAccelerator acc(spec.tron);
+  for (std::uint32_t w = 0; w < catalog.size(); ++w) {
+    for (const std::size_t batch : {std::size_t{1}, std::size_t{4}, std::size_t{16}}) {
+      expect_reports_identical(cache.estimate(w, batch),
+                               acc.estimate_batch(catalog.at(w).transformer, batch));
+    }
+  }
+}
+
+TEST(EstimateCache, GhostReportsBitIdenticalToUncached) {
+  const WorkloadCatalog catalog = WorkloadCatalog::ghost_default();
+  const AcceleratorSpec spec = default_ghost_spec();
+  const EstimateCache cache(spec, catalog);
+  const ghost::GhostAccelerator acc(spec.ghost);
+  for (std::uint32_t w = 0; w < catalog.size(); ++w) {
+    const ServeWorkload& wl = catalog.at(w);
+    for (const std::size_t batch : {std::size_t{1}, std::size_t{8}}) {
+      expect_reports_identical(
+          cache.estimate(w, batch),
+          acc.estimate_batch(wl.gnn_model, catalog.dataset(wl.dataset), batch));
+    }
+  }
+}
+
+TEST(EstimateCache, MissesOncePerKey) {
+  const WorkloadCatalog catalog = WorkloadCatalog::tron_default();
+  const EstimateCache cache(default_tron_spec(), catalog);
+  (void)cache.estimate(0, 1);
+  (void)cache.estimate(0, 1);
+  (void)cache.estimate(0, 2);
+  (void)cache.estimate(0, 1);
+  EXPECT_EQ(cache.lookups(), 4u);
+  EXPECT_EQ(cache.misses(), 2u);
+}
+
+// ---------------------------------------------------------------------------
+// GHOST batched estimates
+// ---------------------------------------------------------------------------
+
+TEST(GhostBatch, BatchOneMatchesEstimateBitForBit) {
+  const ghost::GhostAccelerator acc(ghost::default_ghost_config());
+  const gnn::GnnModelConfig model = sim::gnn_by_name("graphsage");
+  const graph::GraphDataset ds = sim::dataset_by_name("citeseer");
+  expect_reports_identical(acc.estimate(model, ds), acc.estimate_batch(model, ds, 1));
+}
+
+TEST(GhostBatch, LatencySubLinearAndEnergyAmortised) {
+  const ghost::GhostAccelerator acc(ghost::default_ghost_config());
+  const gnn::GnnModelConfig model = sim::gnn_by_name("gcn");
+  const graph::GraphDataset ds = sim::dataset_by_name("cora");
+  const PerfReport one = acc.estimate_batch(model, ds, 1);
+  const PerfReport eight = acc.estimate_batch(model, ds, 8);
+  EXPECT_GE(eight.latency_s, one.latency_s);
+  EXPECT_LT(eight.latency_s, 8.0 * one.latency_s);
+  EXPECT_EQ(eight.op_count, 8 * one.op_count);
+  // Per-request energy improves: the weight stream amortises.
+  EXPECT_LT(eight.total_energy_j / 8.0, one.total_energy_j);
+}
+
+// ---------------------------------------------------------------------------
+// Schedulers
+// ---------------------------------------------------------------------------
+
+Request make_request(std::uint64_t id, double arrival_s, std::uint32_t workload) {
+  return {id, arrival_s, workload};
+}
+
+TEST(Scheduler, FifoServesInArrivalOrder) {
+  const auto sched = make_scheduler(SchedulerKind::kFifo, {});
+  sched->enqueue(make_request(0, 0.0, 2), 0.0);
+  sched->enqueue(make_request(1, 0.1, 0), 0.1);
+  EXPECT_TRUE(sched->ready(0.1));
+  const std::vector<Request> first = sched->pop(0.1);
+  ASSERT_EQ(first.size(), 1u);
+  EXPECT_EQ(first[0].id, 0u);
+  EXPECT_EQ(sched->pop(0.1)[0].id, 1u);
+  EXPECT_FALSE(sched->ready(0.2));
+}
+
+TEST(Scheduler, DynamicBatchDispatchesFullBucketImmediately) {
+  BatchPolicy policy;
+  policy.max_batch = 4;
+  policy.max_wait_s = 1.0;
+  const auto sched = make_scheduler(SchedulerKind::kDynamicBatch, policy);
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    sched->enqueue(make_request(i, 0.0, 7), 0.0);
+  }
+  EXPECT_TRUE(sched->ready(0.0));  // full bucket: no deadline wait
+  const std::vector<Request> batch = sched->pop(0.0);
+  ASSERT_EQ(batch.size(), 4u);
+  for (const Request& r : batch) EXPECT_EQ(r.workload, 7u);
+  EXPECT_EQ(sched->queued(), 0u);
+}
+
+TEST(Scheduler, DynamicBatchWaitsForDeadlineWhenUnderfull) {
+  BatchPolicy policy;
+  policy.max_batch = 8;
+  policy.max_wait_s = 0.5;
+  const auto sched = make_scheduler(SchedulerKind::kDynamicBatch, policy);
+  sched->enqueue(make_request(0, 1.0, 3), 1.0);
+  EXPECT_FALSE(sched->ready(1.2));
+  EXPECT_EQ(sched->next_deadline_s(), 1.5);
+  EXPECT_TRUE(sched->ready(1.5));
+  const std::vector<Request> batch = sched->pop(1.5);
+  ASSERT_EQ(batch.size(), 1u);
+  EXPECT_EQ(batch[0].id, 0u);
+}
+
+TEST(Scheduler, DynamicBatchServesLongestWaitingBucketFirst) {
+  BatchPolicy policy;
+  policy.max_batch = 2;
+  policy.max_wait_s = 0.0;  // everything is ready immediately
+  const auto sched = make_scheduler(SchedulerKind::kDynamicBatch, policy);
+  sched->enqueue(make_request(0, 0.2, 5), 0.2);
+  sched->enqueue(make_request(1, 0.1, 9), 0.1);
+  const std::vector<Request> first = sched->pop(0.3);
+  ASSERT_EQ(first.size(), 1u);
+  EXPECT_EQ(first[0].workload, 9u);  // oldest head-of-bucket wins
+}
+
+// ---------------------------------------------------------------------------
+// Percentiles
+// ---------------------------------------------------------------------------
+
+TEST(Percentile, NearestRankOnKnownSamples) {
+  std::vector<double> v{5.0, 1.0, 4.0, 2.0, 3.0};
+  EXPECT_EQ(percentile(v, 0.5), 3.0);
+  EXPECT_EQ(percentile(v, 1.0), 5.0);
+  EXPECT_EQ(percentile(v, 0.0), 1.0);
+  std::vector<double> empty;
+  EXPECT_EQ(percentile(empty, 0.99), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Simulator
+// ---------------------------------------------------------------------------
+
+struct SimSetup {
+  WorkloadCatalog catalog = WorkloadCatalog::tron_default();
+  AcceleratorSpec spec = default_tron_spec();
+  FleetConfig fleet = FleetConfig::homogeneous(spec, 4);
+  double capacity = fleet_capacity_qps(catalog, spec, 4, 8);
+};
+
+ServeMetrics run_sim(const SimSetup& s, double qps_fraction, SchedulerKind scheduler,
+                     std::size_t requests = 10000, std::uint64_t seed = 21) {
+  TraceConfig cfg;
+  cfg.offered_qps = qps_fraction * s.capacity;
+  cfg.request_count = requests;
+  cfg.seed = seed;
+  BatchPolicy policy;
+  policy.max_batch = 8;
+  return simulate(s.fleet, s.catalog, generate_trace(s.catalog, cfg), scheduler, policy);
+}
+
+TEST(Simulator, CompletesEveryRequestAndConservesCounts) {
+  const SimSetup s;
+  const ServeMetrics m = run_sim(s, 0.6, SchedulerKind::kDynamicBatch);
+  EXPECT_EQ(m.completed, 10000u);
+  std::size_t dispatched_requests = 0;
+  std::size_t dispatches = 0;
+  for (std::size_t b = 0; b < m.batch_histogram.size(); ++b) {
+    dispatched_requests += b * m.batch_histogram[b];
+    dispatches += m.batch_histogram[b];
+  }
+  EXPECT_EQ(dispatched_requests, m.completed);
+  EXPECT_EQ(dispatches, m.dispatches);
+  EXPECT_GT(m.fleet_energy_j, 0.0);
+  EXPECT_GT(m.p99_latency_s, 0.0);
+  EXPECT_GE(m.p99_latency_s, m.p50_latency_s);
+  EXPECT_GE(m.max_latency_s, m.p999_latency_s);
+}
+
+TEST(Simulator, LightLoadMeetsSlo) {
+  const SimSetup s;
+  const ServeMetrics m = run_sim(s, 0.3, SchedulerKind::kDynamicBatch);
+  EXPECT_EQ(m.slo_attainment, 1.0);
+  EXPECT_NEAR(m.goodput_qps, m.throughput_qps, 1e-9);
+}
+
+TEST(Simulator, OverloadSaturatesAndQueues) {
+  const SimSetup s;
+  const ServeMetrics m = run_sim(s, 3.0, SchedulerKind::kDynamicBatch);
+  // Offered 3x capacity: the fleet pins at ~capacity and queues grow deep.
+  EXPECT_LT(m.throughput_qps, 1.2 * s.capacity);
+  EXPECT_GT(m.fleet_utilization, 0.95);
+  EXPECT_GT(m.peak_queue_depth, 100u);
+  EXPECT_LT(m.slo_attainment, 0.5);
+}
+
+TEST(Simulator, BatchingBeatsFifoUnderLoad) {
+  const SimSetup s;
+  const ServeMetrics fifo = run_sim(s, 0.8, SchedulerKind::kFifo);
+  const ServeMetrics batch = run_sim(s, 0.8, SchedulerKind::kDynamicBatch);
+  // 0.8x the *batched* capacity overloads the unbatched fleet.
+  EXPECT_GT(batch.goodput_qps, 2.0 * fifo.goodput_qps);
+  EXPECT_LT(batch.p99_latency_s, fifo.p99_latency_s);
+}
+
+TEST(Simulator, RunsAreBitReproducible) {
+  const SimSetup s;
+  const ServeMetrics a = run_sim(s, 0.7, SchedulerKind::kDynamicBatch);
+  const ServeMetrics b = run_sim(s, 0.7, SchedulerKind::kDynamicBatch);
+  EXPECT_EQ(a.p50_latency_s, b.p50_latency_s);
+  EXPECT_EQ(a.p99_latency_s, b.p99_latency_s);
+  EXPECT_EQ(a.p999_latency_s, b.p999_latency_s);
+  EXPECT_EQ(a.fleet_energy_j, b.fleet_energy_j);
+  EXPECT_EQ(a.mean_queue_depth, b.mean_queue_depth);
+  EXPECT_EQ(a.dispatches, b.dispatches);
+}
+
+TEST(Simulator, HeterogeneousEnergyRoutingCompletes) {
+  const WorkloadCatalog catalog = WorkloadCatalog::tron_default();
+  const FleetConfig fleet = FleetConfig::heterogeneous(default_tron_spec(), eco_tron_spec(), 4);
+  TraceConfig cfg;
+  cfg.offered_qps = 0.3 * fleet_capacity_qps(catalog, default_tron_spec(), 4, 8);
+  cfg.request_count = 5000;
+  cfg.seed = 33;
+  BatchPolicy policy;
+  const ServeMetrics m = simulate(fleet, catalog, generate_trace(catalog, cfg),
+                                  SchedulerKind::kDynamicBatch, policy);
+  EXPECT_EQ(m.completed, 5000u);
+  EXPECT_GT(m.energy_per_request_j, 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Campaigns
+// ---------------------------------------------------------------------------
+
+TEST(Campaign, ParallelSweepMatchesSerialSimulation) {
+  const WorkloadCatalog catalog = WorkloadCatalog::tron_default();
+  CampaignConfig cfg;
+  cfg.kind = AcceleratorKind::kTron;
+  cfg.qps = {0.6 * fleet_capacity_qps(catalog, default_tron_spec(), 2, 8)};
+  cfg.schedulers = {SchedulerKind::kDynamicBatch};
+  cfg.fleet_sizes = {2};
+  cfg.max_batches = {8};
+  cfg.requests_per_point = 5000;
+  cfg.seed = 17;
+  const std::vector<CampaignPoint> points = run_campaign(cfg, catalog);
+  ASSERT_EQ(points.size(), 1u);
+
+  // Re-run the same grid point serially with the campaign's derived seed: the
+  // parallel_for sweep must be bit-identical (this plus the CI LUMOS_THREADS
+  // matrix locks in determinism across thread counts).
+  TraceConfig trace_cfg;
+  trace_cfg.offered_qps = cfg.qps[0];
+  trace_cfg.request_count = cfg.requests_per_point;
+  trace_cfg.seed = cfg.seed + 0x9E3779B9u * 1;
+  BatchPolicy policy;
+  policy.max_batch = 8;
+  policy.max_wait_s = cfg.max_wait_s;
+  SimConfig sim_cfg;
+  sim_cfg.slo_scale = cfg.slo_scale;
+  const ServeMetrics serial =
+      simulate(FleetConfig::homogeneous(default_tron_spec(), 2), catalog,
+               generate_trace(catalog, trace_cfg), SchedulerKind::kDynamicBatch, policy,
+               sim_cfg);
+  EXPECT_EQ(points[0].metrics.p99_latency_s, serial.p99_latency_s);
+  EXPECT_EQ(points[0].metrics.goodput_qps, serial.goodput_qps);
+  EXPECT_EQ(points[0].metrics.fleet_energy_j, serial.fleet_energy_j);
+  EXPECT_EQ(points[0].metrics.dispatches, serial.dispatches);
+}
+
+TEST(Campaign, FifoPointsIgnoreBatchGrid) {
+  const WorkloadCatalog catalog = WorkloadCatalog::tron_default();
+  CampaignConfig cfg;
+  cfg.kind = AcceleratorKind::kTron;
+  cfg.qps = {1000.0, 2000.0};
+  cfg.schedulers = {SchedulerKind::kFifo, SchedulerKind::kDynamicBatch};
+  cfg.fleet_sizes = {1};
+  cfg.max_batches = {4, 8};
+  cfg.requests_per_point = 200;
+  const std::vector<CampaignPoint> points = run_campaign(cfg, catalog);
+  // FIFO collapses the batch dimension: 2 qps + 2 batches x 2 qps = 6 points.
+  EXPECT_EQ(points.size(), 6u);
+}
+
+}  // namespace
+}  // namespace lumos::serve

@@ -254,6 +254,68 @@ TEST(Functional, NoisyForwardStillCorrelates) {
   EXPECT_GT(corr, 0.85);
 }
 
+TEST(EstimateBatch, BatchOneMatchesEstimateBitForBit) {
+  const TronAccelerator acc(default_tron_config());
+  const auto model = nn::bert_base(128);
+  const PerfReport a = acc.estimate(model);
+  const PerfReport b = acc.estimate_batch(model, 1);
+  EXPECT_EQ(a.latency_s, b.latency_s);
+  EXPECT_EQ(a.total_energy_j, b.total_energy_j);
+  EXPECT_EQ(a.op_count, b.op_count);
+}
+
+TEST(EstimateBatch, LatencySubLinearButNotBelowBatchOne) {
+  const TronAccelerator acc(default_tron_config());
+  for (const auto& model : {nn::bert_base(128), nn::gpt2_small(256)}) {
+    const PerfReport one = acc.estimate_batch(model, 1);
+    for (const std::size_t batch : {std::size_t{2}, std::size_t{8}, std::size_t{32}}) {
+      const PerfReport r = acc.estimate_batch(model, batch);
+      EXPECT_GE(r.latency_s, one.latency_s) << model.name << " batch " << batch;
+      EXPECT_LT(r.latency_s, static_cast<double>(batch) * one.latency_s)
+          << model.name << " batch " << batch;
+      EXPECT_EQ(r.op_count, batch * one.op_count);
+    }
+  }
+}
+
+TEST(EstimateBatch, AmortisesWeightStreamEnergy) {
+  const TronAccelerator acc(default_tron_config());
+  const auto model = nn::bert_base(128);
+  const PerfReport one = acc.estimate_batch(model, 1);
+  const PerfReport sixteen = acc.estimate_batch(model, 16);
+  // The DRAM weight stream is paid once per layer regardless of batch.
+  EXPECT_EQ(sixteen.breakdown.dram_energy_j, one.breakdown.dram_energy_j);
+  // So per-request energy (and EPB) strictly improves with batching.
+  EXPECT_LT(sixteen.total_energy_j / 16.0, one.total_energy_j);
+  EXPECT_LT(sixteen.energy_per_bit_j(), one.energy_per_bit_j());
+}
+
+TEST(EstimateGeneration, LatencyAndEnergyMonotoneInTokens) {
+  const TronAccelerator acc(default_tron_config());
+  double prev_latency = 0.0;
+  double prev_energy = 0.0;
+  std::size_t prev_ops = 0;
+  for (const std::size_t tokens : {std::size_t{8}, std::size_t{16}, std::size_t{64}}) {
+    const auto model = nn::gpt2_small(64 + tokens);
+    const PerfReport r = acc.estimate_generation(model, 64, tokens);
+    EXPECT_GT(r.latency_s, prev_latency);
+    EXPECT_GT(r.total_energy_j, prev_energy);
+    EXPECT_GT(r.op_count, prev_ops);
+    prev_latency = r.latency_s;
+    prev_energy = r.total_energy_j;
+    prev_ops = r.op_count;
+  }
+}
+
+TEST(EstimateGeneration, DecodeIsMemoryBound) {
+  const TronAccelerator acc(default_tron_config());
+  const auto model = nn::gpt2_small(128);
+  const PerfReport r = acc.estimate_generation(model, 64, 64);
+  // Single-token decode re-streams the weights every step: the stall should
+  // dominate the latency (the classic memory-bound regime).
+  EXPECT_GT(r.breakdown.memory_stall_s, 0.5 * r.latency_s);
+}
+
 TEST(StaticPower, ScalesWithFabric) {
   TronConfig small = default_tron_config();
   small.head_units = 4;
