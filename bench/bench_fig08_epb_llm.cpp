@@ -9,6 +9,7 @@
 #include <iostream>
 
 #include "common/stats.hpp"
+#include "arch/accelerator.hpp"
 #include "sim/figures.hpp"
 
 namespace {
@@ -16,7 +17,7 @@ namespace {
 using namespace lumos;
 
 void print_figure() {
-  const sim::FigureData f = sim::run_fig8_epb_llm(tron::default_tron_config());
+  const sim::FigureData f = sim::run_fig8_epb_llm(arch::TronAdapter(tron::default_tron_config()));
   f.to_table().print(std::cout);
 
   Table gains("TRON EPB improvement factors (baseline EPB / TRON EPB)");
@@ -38,9 +39,9 @@ void print_figure() {
 }
 
 void BM_Fig8FullGrid(benchmark::State& state) {
-  const tron::TronConfig config = tron::default_tron_config();
+  const arch::TronAdapter acc(tron::default_tron_config());
   for (auto _ : state) {
-    benchmark::DoNotOptimize(sim::run_fig8_epb_llm(config));
+    benchmark::DoNotOptimize(sim::run_fig8_epb_llm(acc));
   }
 }
 BENCHMARK(BM_Fig8FullGrid)->Unit(benchmark::kMillisecond);

@@ -6,6 +6,7 @@
 
 #include <iostream>
 
+#include "arch/accelerator.hpp"
 #include "sim/figures.hpp"
 
 namespace {
@@ -13,7 +14,7 @@ namespace {
 using namespace lumos;
 
 void print_figure() {
-  const sim::FigureData f = sim::run_fig9_gops_llm(tron::default_tron_config());
+  const sim::FigureData f = sim::run_fig9_gops_llm(arch::TronAdapter(tron::default_tron_config()));
   f.to_table().print(std::cout);
 
   Table gains("TRON throughput improvement factors (TRON GOPS / baseline GOPS)");
@@ -35,9 +36,9 @@ void print_figure() {
 }
 
 void BM_Fig9FullGrid(benchmark::State& state) {
-  const tron::TronConfig config = tron::default_tron_config();
+  const arch::TronAdapter acc(tron::default_tron_config());
   for (auto _ : state) {
-    benchmark::DoNotOptimize(sim::run_fig9_gops_llm(config));
+    benchmark::DoNotOptimize(sim::run_fig9_gops_llm(acc));
   }
 }
 BENCHMARK(BM_Fig9FullGrid)->Unit(benchmark::kMillisecond);

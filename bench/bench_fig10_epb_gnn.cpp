@@ -6,6 +6,7 @@
 
 #include <iostream>
 
+#include "arch/accelerator.hpp"
 #include "sim/figures.hpp"
 
 namespace {
@@ -13,7 +14,7 @@ namespace {
 using namespace lumos;
 
 void print_figure() {
-  const sim::FigureData f = sim::run_fig10_epb_gnn(ghost::default_ghost_config());
+  const sim::FigureData f = sim::run_fig10_epb_gnn(arch::GhostAdapter(ghost::default_ghost_config()));
   f.to_table().print(std::cout);
 
   Table gains("GHOST EPB improvement factors (baseline EPB / GHOST EPB)");
@@ -35,9 +36,9 @@ void print_figure() {
 }
 
 void BM_Fig10FullGrid(benchmark::State& state) {
-  const ghost::GhostConfig config = ghost::default_ghost_config();
+  const arch::GhostAdapter acc(ghost::default_ghost_config());
   for (auto _ : state) {
-    benchmark::DoNotOptimize(sim::run_fig10_epb_gnn(config));
+    benchmark::DoNotOptimize(sim::run_fig10_epb_gnn(acc));
   }
 }
 BENCHMARK(BM_Fig10FullGrid)->Unit(benchmark::kMillisecond);

@@ -7,6 +7,7 @@
 #include <algorithm>
 #include <iostream>
 
+#include "arch/accelerator.hpp"
 #include "sim/figures.hpp"
 
 namespace {
@@ -14,8 +15,8 @@ namespace {
 using namespace lumos;
 
 void print_claims() {
-  const sim::HeadlineClaims h = sim::run_headline_claims(tron::default_tron_config(),
-                                                         ghost::default_ghost_config());
+  const sim::HeadlineClaims h = sim::run_headline_claims(arch::TronAdapter(tron::default_tron_config()),
+                                                         arch::GhostAdapter(ghost::default_ghost_config()));
   Table t("Headline claims: paper vs this reproduction (minimum over all workload/baseline pairs)");
   t.add_row({"claim", "paper", "measured", "holds"});
   const auto row = [&](const char* name, double paper, double measured) {
@@ -34,10 +35,10 @@ void print_claims() {
 }
 
 void BM_HeadlineClaims(benchmark::State& state) {
-  const auto tc = tron::default_tron_config();
-  const auto gc = ghost::default_ghost_config();
+  const arch::TronAdapter tron_acc(tron::default_tron_config());
+  const arch::GhostAdapter ghost_acc(ghost::default_ghost_config());
   for (auto _ : state) {
-    benchmark::DoNotOptimize(sim::run_headline_claims(tc, gc));
+    benchmark::DoNotOptimize(sim::run_headline_claims(tron_acc, ghost_acc));
   }
 }
 BENCHMARK(BM_HeadlineClaims)->Unit(benchmark::kMillisecond);

@@ -1,9 +1,11 @@
-// Serving-campaign benchmark: sweeps offered QPS x scheduler across TRON and
-// GHOST fleets and records the saturation knee (p99 latency, goodput, energy
-// per request) plus a headline event-loop throughput number (1M requests
-// through a 4-accelerator fleet).  Self-contained like bench_kernels
-// (steady_clock, no framework); emits BENCH_serve.json alongside the
-// human-readable tables.
+// Serving-campaign benchmark: sweeps offered QPS x scheduler across TRON,
+// GHOST, and mixed TRON+GHOST fleets and records the saturation knee (p99
+// latency, goodput, energy per request) plus a headline event-loop throughput
+// number (1M requests through a 4-accelerator fleet) per fleet.  The mixed
+// scenario exercises the multi-tenant path: one catalog mixing transformer
+// and GNN workloads over a fleet alternating TRON and GHOST slots with
+// kind-aware routing.  Self-contained like bench_kernels (steady_clock, no
+// framework); emits BENCH_serve.json alongside the human-readable tables.
 //
 // Usage:
 //   bench_serve [--smoke] [--out <path>]
@@ -26,7 +28,7 @@ namespace {
 using namespace lumos;
 
 struct Headline {
-  std::string kind;
+  std::string fleet_label;
   std::size_t requests = 0;
   std::size_t fleet = 0;
   double wall_s = 0.0;
@@ -35,28 +37,25 @@ struct Headline {
   double goodput_qps = 0.0;
 };
 
-// One fleet kind: the knee sweep plus the timed 1M-request point.
-struct KindResult {
+// One fleet scenario: the knee sweep plus the timed 1M-request point.
+struct ScenarioResult {
   serve::CampaignConfig config;
   std::vector<serve::CampaignPoint> points;
   Headline headline;
 };
 
-KindResult run_kind(serve::AcceleratorKind kind, bool smoke) {
-  KindResult out;
-  const serve::WorkloadCatalog catalog = kind == serve::AcceleratorKind::kTron
-                                             ? serve::WorkloadCatalog::tron_default()
-                                             : serve::WorkloadCatalog::ghost_default();
-  const serve::AcceleratorSpec spec = kind == serve::AcceleratorKind::kTron
-                                          ? serve::default_tron_spec()
-                                          : serve::default_ghost_spec();
+ScenarioResult run_scenario(const std::string& label,
+                            const std::vector<std::string>& fleet_template,
+                            const serve::WorkloadCatalog& catalog, bool smoke) {
+  ScenarioResult out;
   const std::size_t fleet = 4;
   const std::size_t max_batch = 8;
-  const double capacity = serve::fleet_capacity_qps(catalog, spec, fleet, max_batch);
+  const serve::FleetConfig fleet_cfg = serve::FleetConfig::cycled(fleet_template, fleet);
+  const double capacity = serve::fleet_capacity_qps(catalog, fleet_cfg, max_batch);
 
   serve::CampaignConfig cfg;
-  cfg.name = std::string(serve::kind_name(kind)) + " saturation sweep";
-  cfg.kind = kind;
+  cfg.name = label + " saturation sweep";
+  cfg.fleet_template = fleet_template;
   // Below / near / past the batched knee (FIFO saturates far earlier, which
   // is exactly the point of the comparison).
   cfg.qps = {0.5 * capacity, 0.8 * capacity, 1.1 * capacity};
@@ -78,11 +77,10 @@ KindResult run_kind(serve::AcceleratorKind kind, bool smoke) {
   policy.max_batch = max_batch;
   const auto t0 = std::chrono::steady_clock::now();
   const std::vector<serve::Request> trace = serve::generate_trace(catalog, trace_cfg);
-  const serve::ServeMetrics m =
-      serve::simulate(serve::FleetConfig::homogeneous(spec, fleet), catalog, trace,
-                      serve::SchedulerKind::kDynamicBatch, policy);
+  const serve::ServeMetrics m = serve::simulate(fleet_cfg, catalog, trace,
+                                                serve::SchedulerKind::kDynamicBatch, policy);
   const auto t1 = std::chrono::steady_clock::now();
-  out.headline.kind = serve::kind_name(kind);
+  out.headline.fleet_label = label;
   out.headline.requests = trace_cfg.request_count;
   out.headline.fleet = fleet;
   out.headline.wall_s = std::chrono::duration<double>(t1 - t0).count();
@@ -93,25 +91,26 @@ KindResult run_kind(serve::AcceleratorKind kind, bool smoke) {
   return out;
 }
 
-bool write_json(const std::vector<KindResult>& kinds, const std::string& path, bool smoke) {
+bool write_json(const std::vector<ScenarioResult>& scenarios, const std::string& path,
+                bool smoke) {
   std::ofstream f(path);
   f << "{\n  \"bench\": \"serve\",\n";
   f << "  \"smoke\": " << (smoke ? "true" : "false") << ",\n";
   f << "  \"threads\": " << ThreadPool::global().thread_count() << ",\n";
   f << "  \"headlines\": [\n";
-  for (std::size_t i = 0; i < kinds.size(); ++i) {
-    const Headline& h = kinds[i].headline;
-    f << "    {\"accelerator\": \"" << h.kind << "\", \"requests\": " << h.requests
+  for (std::size_t i = 0; i < scenarios.size(); ++i) {
+    const Headline& h = scenarios[i].headline;
+    f << "    {\"fleet_label\": \"" << h.fleet_label << "\", \"requests\": " << h.requests
       << ", \"fleet\": " << h.fleet << ", \"wall_s\": " << h.wall_s
       << ", \"requests_per_s\": " << h.requests_per_s
       << ", \"p99_latency_s\": " << h.p99_latency_s
       << ", \"goodput_qps\": " << h.goodput_qps << "}"
-      << (i + 1 < kinds.size() ? "," : "") << "\n";
+      << (i + 1 < scenarios.size() ? "," : "") << "\n";
   }
   f << "  ],\n  \"campaigns\": [\n";
-  for (std::size_t i = 0; i < kinds.size(); ++i) {
+  for (std::size_t i = 0; i < scenarios.size(); ++i) {
     std::ostringstream campaign;
-    serve::write_campaign_json(kinds[i].config, kinds[i].points, campaign);
+    serve::write_campaign_json(scenarios[i].config, scenarios[i].points, campaign);
     // Indent the embedded campaign object to keep the file readable.
     std::istringstream lines(campaign.str());
     std::string line;
@@ -121,7 +120,7 @@ bool write_json(const std::vector<KindResult>& kinds, const std::string& path, b
       f << (first ? "" : "\n") << "    " << line;
       first = false;
     }
-    f << (i + 1 < kinds.size() ? "," : "") << "\n";
+    f << (i + 1 < scenarios.size() ? "," : "") << "\n";
   }
   f << "  ]\n}\n";
   return static_cast<bool>(f);
@@ -143,20 +142,24 @@ int main(int argc, char** argv) {
     }
   }
 
-  std::vector<KindResult> kinds;
-  kinds.push_back(run_kind(serve::AcceleratorKind::kTron, smoke));
-  kinds.push_back(run_kind(serve::AcceleratorKind::kGhost, smoke));
+  std::vector<ScenarioResult> scenarios;
+  scenarios.push_back(
+      run_scenario("TRON", {"tron"}, serve::WorkloadCatalog::tron_default(), smoke));
+  scenarios.push_back(
+      run_scenario("GHOST", {"ghost"}, serve::WorkloadCatalog::ghost_default(), smoke));
+  scenarios.push_back(run_scenario("TRON+GHOST mixed", {"tron", "ghost"},
+                                   serve::WorkloadCatalog::mixed_default(), smoke));
 
-  for (const KindResult& k : kinds) {
-    serve::campaign_table(k.points, k.config.name).print(std::cout);
+  for (const ScenarioResult& s : scenarios) {
+    serve::campaign_table(s.points, s.config.name).print(std::cout);
     std::printf("%s headline: %zu requests / %zu accelerators in %.3f s (%.0f req/s, "
                 "p99 %.1f us, goodput %.0f QPS)\n\n",
-                k.headline.kind.c_str(), k.headline.requests, k.headline.fleet,
-                k.headline.wall_s, k.headline.requests_per_s,
-                k.headline.p99_latency_s * 1e6, k.headline.goodput_qps);
+                s.headline.fleet_label.c_str(), s.headline.requests, s.headline.fleet,
+                s.headline.wall_s, s.headline.requests_per_s,
+                s.headline.p99_latency_s * 1e6, s.headline.goodput_qps);
   }
 
-  if (!write_json(kinds, out_path, smoke)) {
+  if (!write_json(scenarios, out_path, smoke)) {
     std::fprintf(stderr, "error: could not write %s\n", out_path.c_str());
     return 1;
   }

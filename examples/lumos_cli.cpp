@@ -1,15 +1,24 @@
 // lumos_cli — command-line front end for quick what-if studies and serving
-// campaigns.
+// campaigns, routed through the `arch` accelerator abstraction.
 //
 // Usage:
+//   lumos_cli [--json] list
 //   lumos_cli [--json] tron  <model>  [seq_len] [batch]
 //   lumos_cli [--json] ghost <model>  <dataset>
 //   lumos_cli [--json] generate <model> <prompt_len> <tokens>
-//   lumos_cli [--json] serve <tron|ghost> [serve flags]
+//   lumos_cli [--json] serve <tron|ghost|mixed> [serve flags]
 //
+//   list      prints the registry's workload, dataset, and accelerator spec
+//             names (the strings every other mode accepts)
 //   <model>   tron:  bert-base | bert-large | gpt2 | vit | transformer
 //             ghost: gcn | graphsage | gin | gat
 //   <dataset> cora | citeseer | pubmed | arxiv
+//
+//   serve fleets:
+//     tron    homogeneous TRON fleet over the transformer mix
+//     ghost   homogeneous GHOST fleet over the GNN mix
+//     mixed   alternating TRON+GHOST fleet over the combined mix with
+//             kind-aware routing (multi-tenant serving)
 //
 //   serve flags:
 //     --qps <q>          offered QPS (default: 70% of unloaded fleet capacity)
@@ -26,24 +35,25 @@
 //   --json anywhere switches to machine-readable output.
 //
 // Examples:
+//   lumos_cli list
 //   lumos_cli tron bert-base 256 8
 //   lumos_cli ghost gat pubmed
 //   lumos_cli generate gpt2 64 128
-//   lumos_cli serve tron --qps 40000 --sched batch --fleet 4 --json
+//   lumos_cli serve mixed --qps 40000 --fleet 6 --json
 #include <cerrno>
 #include <cstdlib>
 #include <iostream>
 #include <limits>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "arch/registry.hpp"
 #include "common/error.hpp"
 #include "common/json.hpp"
 #include "common/units.hpp"
-#include "ghost/accelerator.hpp"
 #include "serve/campaign.hpp"
 #include "sim/registry.hpp"
-#include "tron/accelerator.hpp"
 
 namespace {
 
@@ -57,7 +67,13 @@ void print_report(const PerfReport& r) {
             << "  total energy   : " << r.total_energy_j * 1e6 << " uJ\n"
             << "  average power  : " << r.average_power_w() << " W\n"
             << "  memory stall   : " << units::to_us(r.breakdown.memory_stall_s) << " us ("
-            << 100.0 * r.breakdown.memory_stall_s / r.latency_s << " %)\n";
+            << 100.0 * r.breakdown.memory_stall_s / r.latency_s << " %)\n"
+            << "  breakdown (stage: us / uJ):\n";
+  for (const arch::BreakdownEntry& e : arch::breakdown_entries(r)) {
+    if (e.time_s == 0.0 && e.energy_j == 0.0) continue;
+    std::cout << "    " << e.stage << ": " << units::to_us(e.time_s) << " / "
+              << e.energy_j * 1e6 << "\n";
+  }
 }
 
 void print_report_json(const PerfReport& r) {
@@ -73,23 +89,35 @@ void print_report_json(const PerfReport& r) {
             << "  \"average_power_w\": " << r.average_power_w() << ",\n"
             << "  \"op_count\": " << r.op_count << ",\n"
             << "  \"bits\": " << r.bits << ",\n"
-            << "  \"memory_stall_s\": " << r.breakdown.memory_stall_s << "\n"
-            << "}\n";
+            << "  \"memory_stall_s\": " << r.breakdown.memory_stall_s << ",\n"
+            << "  \"breakdown\": [\n";
+  const std::vector<arch::BreakdownEntry> entries = arch::breakdown_entries(r);
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    std::cout << "    {\"stage\": \"" << entries[i].stage
+              << "\", \"time_s\": " << entries[i].time_s
+              << ", \"energy_j\": " << entries[i].energy_j << "}"
+              << (i + 1 < entries.size() ? "," : "") << "\n";
+  }
+  std::cout << "  ]\n}\n";
 }
 
 int usage() {
   std::cerr << "usage:\n"
-               "  lumos_cli [--json] tron  <bert-base|bert-large|gpt2|vit|transformer> "
-               "[seq] [batch]\n"
-               "  lumos_cli [--json] ghost <gcn|graphsage|gin|gat> "
-               "<cora|citeseer|pubmed|arxiv>\n"
-               "  lumos_cli [--json] generate <bert-base|bert-large|gpt2|vit> <prompt> "
-               "<tokens>\n"
-               "  lumos_cli [--json] serve <tron|ghost> [--qps q] [--requests n] "
-               "[--fleet n]\n"
-               "            [--sched fifo|batch] [--max-batch n] [--max-wait-us w] "
-               "[--bursty]\n"
-               "            [--routing first-idle|energy] [--hetero] [--seed s]\n";
+               "  lumos_cli [--json] list\n"
+               "  lumos_cli [--json] tron  <" +
+                   sim::joined_names(sim::transformer_names()) +
+                   "> [seq] [batch]\n"
+                   "  lumos_cli [--json] ghost <" +
+                   sim::joined_names(sim::gnn_names()) + "> <" +
+                   sim::joined_names(sim::dataset_names()) +
+                   ">\n"
+                   "  lumos_cli [--json] generate <bert-base|bert-large|gpt2|vit> <prompt> "
+                   "<tokens>\n"
+                   "  lumos_cli [--json] serve <tron|ghost|mixed> [--qps q] [--requests n] "
+                   "[--fleet n]\n"
+                   "            [--sched fifo|batch] [--max-batch n] [--max-wait-us w] "
+                   "[--bursty]\n"
+                   "            [--routing first-idle|energy] [--hetero] [--seed s]\n";
   return 2;
 }
 
@@ -119,22 +147,60 @@ double parse_double(const std::string& arg, const char* what) {
   return v;
 }
 
+void print_names_json(const char* key, const std::vector<std::string>& names, bool last) {
+  std::cout << "  \"" << key << "\": [";
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    std::cout << "\"" << json_escape(names[i]) << "\"" << (i + 1 < names.size() ? ", " : "");
+  }
+  std::cout << "]" << (last ? "" : ",") << "\n";
+}
+
+// `list`: every name the registries accept, so scripts can discover valid
+// arguments without parsing usage text.
+int run_list(bool json) {
+  if (json) {
+    std::cout << "{\n";
+    print_names_json("transformer_models", sim::transformer_names(), false);
+    print_names_json("gnn_models", sim::gnn_names(), false);
+    print_names_json("datasets", sim::dataset_names(), false);
+    print_names_json("accelerator_specs", arch::spec_names(), true);
+    std::cout << "}\n";
+  } else {
+    std::cout << "transformer models : " << sim::joined_names(sim::transformer_names())
+              << "\ngnn models         : " << sim::joined_names(sim::gnn_names())
+              << "\ndatasets           : " << sim::joined_names(sim::dataset_names())
+              << "\naccelerator specs  : " << sim::joined_names(arch::spec_names())
+              << " (scalable as <base>@<scale>, e.g. tron@0.5)\n";
+  }
+  return 0;
+}
+
 int run_serve(const std::vector<std::string>& args, bool json) {
-  if (args.empty()) throw InvalidArgument("serve needs an accelerator kind (tron|ghost)");
+  if (args.empty()) {
+    throw InvalidArgument("serve needs a fleet kind (tron|ghost|mixed)");
+  }
   serve::CampaignConfig cfg;
   cfg.name = "lumos_cli serve";
+  serve::WorkloadCatalog catalog;
   if (args[0] == "tron") {
-    cfg.kind = serve::AcceleratorKind::kTron;
+    cfg.fleet_template = {"tron"};
+    catalog = serve::WorkloadCatalog::tron_default();
   } else if (args[0] == "ghost") {
-    cfg.kind = serve::AcceleratorKind::kGhost;
+    cfg.fleet_template = {"ghost"};
+    catalog = serve::WorkloadCatalog::ghost_default();
+  } else if (args[0] == "mixed") {
+    cfg.fleet_template = {"tron", "ghost"};
+    catalog = serve::WorkloadCatalog::mixed_default();
   } else {
-    throw InvalidArgument("unknown serve fleet kind: " + args[0] + " (expected tron|ghost)");
+    throw InvalidArgument("unknown serve fleet kind: " + args[0] +
+                          " (expected tron|ghost|mixed)");
   }
   cfg.schedulers = {serve::SchedulerKind::kDynamicBatch};
   cfg.requests_per_point = 50000;
   double qps = 0.0;
   std::size_t fleet = 4;
   std::size_t max_batch = 8;
+  bool hetero = false;
   for (std::size_t i = 1; i < args.size(); ++i) {
     const std::string& a = args[i];
     const auto value = [&]() -> const std::string& {
@@ -174,7 +240,7 @@ int run_serve(const std::vector<std::string>& args, bool json) {
         throw InvalidArgument("unknown routing: " + s + " (expected first-idle|energy)");
       }
     } else if (a == "--hetero") {
-      cfg.heterogeneous = true;
+      hetero = true;
     } else if (a == "--seed") {
       cfg.seed = parse_size(value(), "--seed");
     } else {
@@ -187,19 +253,24 @@ int run_serve(const std::vector<std::string>& args, bool json) {
   if (max_batch > serve::BatchPolicy::kMaxBatchLimit || fleet > 4096) {
     throw InvalidArgument("--max-batch and --fleet must be <= 4096");
   }
+  if (hetero) {
+    // Alternate each family's full and eco variants across the slots.
+    std::vector<std::string> with_eco;
+    for (const std::string& spec : cfg.fleet_template) {
+      with_eco.push_back(spec);
+      with_eco.push_back(spec + "-eco");
+    }
+    cfg.fleet_template = std::move(with_eco);
+  }
   cfg.fleet_sizes = {fleet};
   cfg.max_batches = {max_batch};
 
-  const serve::WorkloadCatalog catalog = cfg.kind == serve::AcceleratorKind::kTron
-                                             ? serve::WorkloadCatalog::tron_default()
-                                             : serve::WorkloadCatalog::ghost_default();
   if (qps <= 0.0) {
-    const serve::AcceleratorSpec spec = cfg.kind == serve::AcceleratorKind::kTron
-                                            ? serve::default_tron_spec()
-                                            : serve::default_ghost_spec();
     const std::size_t capacity_batch =
         cfg.schedulers.front() == serve::SchedulerKind::kFifo ? 1 : max_batch;
-    qps = 0.7 * serve::fleet_capacity_qps(catalog, spec, fleet, capacity_batch);
+    qps = 0.7 * serve::fleet_capacity_qps(
+                    catalog, serve::FleetConfig::cycled(cfg.fleet_template, fleet),
+                    capacity_batch);
   }
   cfg.qps = {qps};
 
@@ -207,7 +278,8 @@ int run_serve(const std::vector<std::string>& args, bool json) {
   if (json) {
     serve::write_campaign_json(cfg, points, std::cout);
   } else {
-    const std::string title = std::string(serve::kind_name(cfg.kind)) + " serve campaign (" +
+    const serve::FleetConfig fleet_cfg = serve::FleetConfig::cycled(cfg.fleet_template, fleet);
+    const std::string title = fleet_cfg.label() + " serve campaign (" +
                               serve::process_name(cfg.process) + " arrivals)";
     serve::campaign_table(points, title).print(std::cout);
     points.front().metrics.to_table("point detail").print(std::cout);
@@ -227,23 +299,29 @@ int main(int argc, char** argv) {
       args.emplace_back(argv[i]);
     }
   }
-  if (args.size() < 2) return usage();
+  if (args.empty()) return usage();
   const std::string& mode = args[0];
   try {
+    if (mode == "list") {
+      return run_list(json);
+    }
+    if (args.size() < 2) return usage();
     if (mode == "tron") {
       const std::size_t seq = args.size() > 2 ? parse_size(args[2], "seq_len") : 128;
       const std::size_t batch = args.size() > 3 ? parse_size(args[3], "batch") : 1;
       if (seq == 0 || batch == 0) throw InvalidArgument("seq_len and batch must be positive");
-      const tron::TronAccelerator acc(tron::default_tron_config());
-      const PerfReport r = acc.estimate_batch(sim::transformer_by_name(args[1], seq), batch);
+      const std::unique_ptr<arch::Accelerator> acc = arch::make_accelerator("tron");
+      const PerfReport r = acc->estimate_batch(
+          arch::Workload::transformer(args[1], sim::transformer_by_name(args[1], seq)),
+          batch);
       json ? print_report_json(r) : print_report(r);
       return 0;
     }
     if (mode == "ghost") {
       if (args.size() < 3) return usage();
-      const ghost::GhostAccelerator acc(ghost::default_ghost_config());
-      const PerfReport r =
-          acc.estimate(sim::gnn_by_name(args[1]), sim::dataset_by_name(args[2]));
+      const std::unique_ptr<arch::Accelerator> acc = arch::make_accelerator("ghost");
+      const PerfReport r = acc->estimate(arch::Workload::gnn(
+          args[1] + "/" + args[2], sim::gnn_by_name(args[1]), sim::dataset_by_name(args[2])));
       json ? print_report_json(r) : print_report(r);
       return 0;
     }
@@ -252,8 +330,10 @@ int main(int argc, char** argv) {
       const std::size_t prompt = parse_size(args[2], "prompt_len");
       const std::size_t tokens = parse_size(args[3], "tokens");
       if (prompt == 0 || tokens == 0) throw InvalidArgument("prompt and tokens must be positive");
-      const tron::TronAccelerator acc(tron::default_tron_config());
-      const PerfReport r = acc.estimate_generation(
+      // Autoregressive decoding is a TRON-only face: reach the concrete
+      // device through the adapter.
+      const arch::TronAdapter acc(arch::tron_config_by_name("tron"));
+      const PerfReport r = acc.device().estimate_generation(
           sim::transformer_by_name(args[1], prompt + tokens), prompt, tokens);
       json ? print_report_json(r) : print_report(r);
       return 0;

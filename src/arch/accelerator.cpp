@@ -1,0 +1,58 @@
+#include "arch/accelerator.hpp"
+
+#include "common/error.hpp"
+
+namespace lumos::arch {
+
+std::vector<BreakdownEntry> breakdown_entries(const PerfReport& report) {
+  const PerfBreakdown& b = report.breakdown;
+  return {
+      {"matmul", b.matmul_time_s, b.laser_dac_adc_energy_j},
+      {"partial-sum", 0.0, b.partial_sum_energy_j},
+      {"softmax", b.softmax_time_s, b.softmax_energy_j},
+      {"elementwise", b.elementwise_time_s, b.elementwise_energy_j},
+      {"aggregation", b.aggregation_time_s, b.aggregation_energy_j},
+      {"sram", 0.0, b.sram_energy_j},
+      {"dram", b.memory_stall_s, b.dram_energy_j},
+  };
+}
+
+void Accelerator::require_serveable(const Workload& workload) const {
+  if (!can_serve(workload)) {
+    throw InvalidArgument("accelerator '" + spec().name + "' (" + spec().family +
+                          ") cannot serve " + workload_kind_name(workload.kind()) +
+                          " workload '" + workload.name() + "'");
+  }
+}
+
+TronAdapter::TronAdapter(const tron::TronConfig& config, SpecInfo info)
+    : info_(std::move(info)), device_(config) {}
+
+PerfReport TronAdapter::estimate(const Workload& workload) const {
+  require_serveable(workload);
+  return device_.estimate(workload.transformer_config());
+}
+
+PerfReport TronAdapter::estimate_batch(const Workload& workload, std::size_t batch) const {
+  require_serveable(workload);
+  return device_.estimate_batch(workload.transformer_config(), batch);
+}
+
+double TronAdapter::static_power_w() const { return device_.static_power_w(); }
+
+GhostAdapter::GhostAdapter(const ghost::GhostConfig& config, SpecInfo info)
+    : info_(std::move(info)), device_(config) {}
+
+PerfReport GhostAdapter::estimate(const Workload& workload) const {
+  require_serveable(workload);
+  return device_.estimate(workload.gnn_model(), workload.dataset());
+}
+
+PerfReport GhostAdapter::estimate_batch(const Workload& workload, std::size_t batch) const {
+  require_serveable(workload);
+  return device_.estimate_batch(workload.gnn_model(), workload.dataset(), batch);
+}
+
+double GhostAdapter::static_power_w() const { return device_.static_power_w(); }
+
+}  // namespace lumos::arch

@@ -1,0 +1,114 @@
+// Polymorphic accelerator abstraction over the paper's photonic fabrics.
+//
+// `arch::Accelerator` is the one device interface every higher layer programs
+// against: the serving simulator, the figure runners, the sensitivity sweeps,
+// the CLI, and the benches all take an `Accelerator&` and never mention TRON
+// or GHOST by type.  An accelerator advertises what it can serve
+// (`can_serve`), estimates workloads (`estimate` / `estimate_batch`, both
+// delegating to the concrete analytic mappings bit-for-bit), and exposes its
+// fabric-wide static draw plus `SpecInfo` metadata keyed by the registry name
+// (see arch/registry.hpp).  Adding a third fabric means one new adapter, not
+// a new `switch` in every consumer.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "arch/workload.hpp"
+#include "common/perf.hpp"
+#include "ghost/accelerator.hpp"
+#include "tron/accelerator.hpp"
+
+namespace lumos::arch {
+
+// Registry metadata of one accelerator configuration.  `name` keys the spec
+// (fleet slots with the same name share estimate caches); `family` is the
+// fabric it derives from ("TRON" / "GHOST"); `serves` is the workload kind
+// its estimates accept.
+struct SpecInfo {
+  std::string name = "tron";
+  std::string family = "TRON";
+  WorkloadKind serves = WorkloadKind::kTransformer;
+};
+
+// One named stage of a PerfReport breakdown (structured view of
+// `PerfBreakdown`'s parallel time/energy fields, in presentation order).
+struct BreakdownEntry {
+  const char* stage = "";
+  double time_s = 0.0;
+  double energy_j = 0.0;
+};
+
+// All breakdown stages of `report`, including zero-valued ones, so consumers
+// can tabulate or diff reports field by field without knowing the struct
+// layout.  The entries' times sum to the breakdown's time fields and the
+// energies to its dynamic-energy fields.
+[[nodiscard]] std::vector<BreakdownEntry> breakdown_entries(const PerfReport& report);
+
+class Accelerator {
+ public:
+  virtual ~Accelerator() = default;
+
+  [[nodiscard]] virtual const SpecInfo& spec() const noexcept = 0;
+
+  [[nodiscard]] bool can_serve(const Workload& workload) const noexcept {
+    return workload.kind() == spec().serves;
+  }
+
+  // Analytic mapping of one inference of `workload` (batch 1).  Workloads the
+  // accelerator cannot serve throw `InvalidArgument` naming both sides.
+  [[nodiscard]] virtual PerfReport estimate(const Workload& workload) const = 0;
+
+  // `batch` pipelined inferences (weight streams amortised; batch 1 is
+  // bit-identical to `estimate`).
+  [[nodiscard]] virtual PerfReport estimate_batch(const Workload& workload,
+                                                  std::size_t batch) const = 0;
+
+  // Fabric-wide static (hold) power.
+  [[nodiscard]] virtual double static_power_w() const = 0;
+
+ protected:
+  // Throws unless `can_serve(workload)`.
+  void require_serveable(const Workload& workload) const;
+};
+
+// TRON behind the polymorphic interface.
+class TronAdapter final : public Accelerator {
+ public:
+  explicit TronAdapter(const tron::TronConfig& config, SpecInfo info = SpecInfo{});
+
+  [[nodiscard]] const SpecInfo& spec() const noexcept override { return info_; }
+  [[nodiscard]] PerfReport estimate(const Workload& workload) const override;
+  [[nodiscard]] PerfReport estimate_batch(const Workload& workload,
+                                          std::size_t batch) const override;
+  [[nodiscard]] double static_power_w() const override;
+
+  // The concrete device, for TRON-only faces (area, generation, forward).
+  [[nodiscard]] const tron::TronAccelerator& device() const noexcept { return device_; }
+
+ private:
+  SpecInfo info_;
+  tron::TronAccelerator device_;
+};
+
+// GHOST behind the polymorphic interface.
+class GhostAdapter final : public Accelerator {
+ public:
+  explicit GhostAdapter(const ghost::GhostConfig& config,
+                        SpecInfo info = SpecInfo{"ghost", "GHOST", WorkloadKind::kGnn});
+
+  [[nodiscard]] const SpecInfo& spec() const noexcept override { return info_; }
+  [[nodiscard]] PerfReport estimate(const Workload& workload) const override;
+  [[nodiscard]] PerfReport estimate_batch(const Workload& workload,
+                                          std::size_t batch) const override;
+  [[nodiscard]] double static_power_w() const override;
+
+  [[nodiscard]] const ghost::GhostAccelerator& device() const noexcept { return device_; }
+
+ private:
+  SpecInfo info_;
+  ghost::GhostAccelerator device_;
+};
+
+}  // namespace lumos::arch

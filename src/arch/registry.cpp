@@ -1,0 +1,108 @@
+#include "arch/registry.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+
+#include "common/error.hpp"
+#include "sim/registry.hpp"
+
+namespace lumos::arch {
+
+namespace {
+
+// A registry name split into its base spec and optional "@<scale>" suffix.
+struct ParsedName {
+  std::string base;
+  double scale = 1.0;
+};
+
+ParsedName parse_name(const std::string& name) {
+  const std::size_t at = name.find('@');
+  ParsedName p;
+  p.base = name.substr(0, at);
+  if (at != std::string::npos) {
+    const std::string suffix = name.substr(at + 1);
+    char* end = nullptr;
+    p.scale = std::strtod(suffix.c_str(), &end);
+    // The upper bound keeps unit-count * scale inside llround's range (and no
+    // fabric needs a million-fold scale-up anyway).
+    constexpr double kMaxScale = 1e6;
+    if (suffix.empty() || end != suffix.c_str() + suffix.size() || !(p.scale > 0.0) ||
+        !std::isfinite(p.scale) || p.scale > kMaxScale) {
+      throw InvalidArgument("bad accelerator spec scale '" + suffix + "' in '" + name +
+                            "' (expected <base>@<scale> with scale in (0, 1e6], e.g. "
+                            "tron@0.5)");
+    }
+  }
+  return p;
+}
+
+std::size_t scaled(std::size_t units, double scale) {
+  return std::max<std::size_t>(1, static_cast<std::size_t>(std::llround(
+                                      static_cast<double>(units) * scale)));
+}
+
+[[noreturn]] void throw_unknown(const std::string& name) {
+  throw InvalidArgument("unknown accelerator spec: " + name + " (expected " +
+                        sim::joined_names(spec_names()) +
+                        ", optionally scaled as <base>@<scale>)");
+}
+
+}  // namespace
+
+const std::vector<std::string>& spec_names() {
+  static const std::vector<std::string> names{"tron", "tron-eco", "ghost", "ghost-eco"};
+  return names;
+}
+
+tron::TronConfig tron_config_by_name(const std::string& name) {
+  const ParsedName p = parse_name(name);
+  tron::TronConfig config = tron::default_tron_config();
+  if (p.base == "tron-eco") {
+    // Half the attention-head units and FF arrays: roughly half the fabric's
+    // static draw for roughly double the compute time on array-bound ops.
+    config.head_units = config.head_units / 2;
+    config.ff_arrays = config.ff_arrays / 2;
+  } else if (p.base != "tron") {
+    throw_unknown(name);
+  }
+  config.head_units = scaled(config.head_units, p.scale);
+  config.ff_arrays = scaled(config.ff_arrays, p.scale);
+  return config;
+}
+
+ghost::GhostConfig ghost_config_by_name(const std::string& name) {
+  const ParsedName p = parse_name(name);
+  ghost::GhostConfig config = ghost::default_ghost_config();
+  if (p.base == "ghost-eco") {
+    config.lanes = config.lanes / 2;
+    config.transform_arrays_per_lane = 1;
+  } else if (p.base != "ghost") {
+    throw_unknown(name);
+  }
+  config.lanes = scaled(config.lanes, p.scale);
+  return config;
+}
+
+WorkloadKind spec_kind(const std::string& name) {
+  const ParsedName p = parse_name(name);
+  if (p.base == "tron" || p.base == "tron-eco") return WorkloadKind::kTransformer;
+  if (p.base == "ghost" || p.base == "ghost-eco") return WorkloadKind::kGnn;
+  throw_unknown(name);
+}
+
+std::unique_ptr<Accelerator> make_accelerator(const std::string& name) {
+  const ParsedName p = parse_name(name);
+  if (p.base == "tron" || p.base == "tron-eco") {
+    return std::make_unique<TronAdapter>(
+        tron_config_by_name(name), SpecInfo{name, "TRON", WorkloadKind::kTransformer});
+  }
+  if (p.base == "ghost" || p.base == "ghost-eco") {
+    return std::make_unique<GhostAdapter>(ghost_config_by_name(name),
+                                          SpecInfo{name, "GHOST", WorkloadKind::kGnn});
+  }
+  throw_unknown(name);
+}
+
+}  // namespace lumos::arch

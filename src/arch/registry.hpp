@@ -1,0 +1,45 @@
+// Name-keyed registry of accelerator specs, the device-side sibling of
+// `sim::registry`'s workload lookups.  Every front end (CLI, serving fleets,
+// benches) names accelerators by these strings; the registry maps a name to a
+// factory for the corresponding `arch::Accelerator`.
+//
+// Accepted names:
+//   * base specs     — "tron", "ghost": the paper's default design points;
+//   * eco variants   — "tron-eco", "ghost-eco": reduced-fabric designs
+//     (fewer compute arrays; lower static draw, higher latency — the
+//     interesting trade for energy-aware routing);
+//   * scaled specs   — "<base>@<scale>", e.g. "tron@0.5" or "ghost@2":
+//     the base design with its compute-fabric unit counts multiplied by
+//     <scale> (clamped to at least one unit), for capacity what-ifs without
+//     hand-editing configs.
+// Unknown names throw `InvalidArgument` listing the accepted names.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "arch/accelerator.hpp"
+#include "ghost/config.hpp"
+#include "tron/config.hpp"
+
+namespace lumos::arch {
+
+// Accepted base spec names, in canonical (presentation) order.
+[[nodiscard]] const std::vector<std::string>& spec_names();
+
+// Name -> accelerator.  Accepts `spec_names()` plus "<base>@<scale>" forms.
+[[nodiscard]] std::unique_ptr<Accelerator> make_accelerator(const std::string& name);
+
+// The workload kind a spec serves, without constructing the device (capacity
+// planners ask this per fleet slot).  Same name validation as
+// `make_accelerator`.
+[[nodiscard]] WorkloadKind spec_kind(const std::string& name);
+
+// The concrete configurations behind the TRON-family / GHOST-family names
+// (exposed so design sweeps can perturb a named design point).  Same name
+// validation as `make_accelerator`.
+[[nodiscard]] tron::TronConfig tron_config_by_name(const std::string& name);
+[[nodiscard]] ghost::GhostConfig ghost_config_by_name(const std::string& name);
+
+}  // namespace lumos::arch

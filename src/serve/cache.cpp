@@ -1,19 +1,19 @@
 #include "serve/cache.hpp"
 
+#include "arch/registry.hpp"
 #include "common/error.hpp"
 
 namespace lumos::serve {
 
-EstimateCache::EstimateCache(const AcceleratorSpec& spec, const WorkloadCatalog& catalog)
-    : spec_(spec), catalog_(&catalog) {
-  LUMOS_EXPECTS_MSG(catalog.kind() == spec.kind,
-                    "workload catalog and accelerator spec disagree on kind");
-  if (spec_.kind == AcceleratorKind::kTron) {
-    tron_ = std::make_unique<tron::TronAccelerator>(spec_.tron);
-  } else {
-    ghost_ = std::make_unique<ghost::GhostAccelerator>(spec_.ghost);
-  }
+EstimateCache::EstimateCache(std::unique_ptr<arch::Accelerator> accelerator,
+                             const WorkloadCatalog& catalog)
+    : acc_(std::move(accelerator)), catalog_(&catalog) {
+  LUMOS_EXPECTS_MSG(acc_ != nullptr, "EstimateCache needs an accelerator");
+  LUMOS_EXPECTS_MSG(!catalog.empty(), "EstimateCache needs a non-empty workload catalog");
 }
+
+EstimateCache::EstimateCache(const std::string& spec_name, const WorkloadCatalog& catalog)
+    : EstimateCache(arch::make_accelerator(spec_name), catalog) {}
 
 const PerfReport& EstimateCache::estimate(std::uint32_t workload, std::size_t batch) const {
   LUMOS_EXPECTS(workload < catalog_->size());
@@ -24,16 +24,15 @@ const PerfReport& EstimateCache::estimate(std::uint32_t workload, std::size_t ba
   const auto it = reports_.find(key);
   if (it != reports_.end()) return it->second;
   ++misses_;
-  const ServeWorkload& w = catalog_->at(workload);
-  PerfReport r = spec_.kind == AcceleratorKind::kTron
-                     ? tron_->estimate_batch(w.transformer, batch)
-                     : ghost_->estimate_batch(w.gnn_model, catalog_->dataset(w.dataset), batch);
+  PerfReport r = acc_->estimate_batch(catalog_->workload(workload), batch);
   return reports_.emplace(key, std::move(r)).first->second;
 }
 
-double EstimateCache::static_power_w() const {
-  return spec_.kind == AcceleratorKind::kTron ? tron_->static_power_w()
-                                              : ghost_->static_power_w();
+bool EstimateCache::can_serve(std::uint32_t workload) const {
+  LUMOS_EXPECTS(workload < catalog_->size());
+  return acc_->can_serve(catalog_->workload(workload));
 }
+
+double EstimateCache::static_power_w() const { return acc_->static_power_w(); }
 
 }  // namespace lumos::serve

@@ -1,44 +1,50 @@
 // Memoized accelerator estimates for the serving simulator.
 //
-// `estimate()` on TRON/GHOST is pure: the same (config, workload, batch)
-// always yields the same PerfReport, so the event loop looks service times
-// and energies up in a config x workload x batch cache instead of re-running
-// the analytic mapping per dispatch.  That is what lets a simulation push
-// millions of requests through a fleet in seconds: the distinct
-// (workload, batch) keys number in the dozens while dispatches number in the
-// millions.  Cached reports are bit-identical to uncached calls.
+// `estimate()` on an `arch::Accelerator` is pure: the same (spec, workload,
+// batch) always yields the same PerfReport, so the event loop looks service
+// times and energies up in a spec x workload x batch cache instead of
+// re-running the analytic mapping per dispatch.  That is what lets a
+// simulation push millions of requests through a fleet in seconds: the
+// distinct (workload, batch) keys number in the dozens while dispatches
+// number in the millions.  Cached reports are bit-identical to uncached
+// calls.
 #pragma once
 
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <unordered_map>
 
+#include "arch/accelerator.hpp"
 #include "common/perf.hpp"
-#include "ghost/accelerator.hpp"
 #include "serve/workload.hpp"
-#include "tron/accelerator.hpp"
 
 namespace lumos::serve {
 
 class EstimateCache {
  public:
-  EstimateCache(const AcceleratorSpec& spec, const WorkloadCatalog& catalog);
+  // Takes ownership of `accelerator`; `catalog` must outlive the cache and
+  // must not be empty.
+  EstimateCache(std::unique_ptr<arch::Accelerator> accelerator,
+                const WorkloadCatalog& catalog);
+  // Convenience: builds the accelerator from an `arch` registry spec name.
+  EstimateCache(const std::string& spec_name, const WorkloadCatalog& catalog);
 
   // The memoized PerfReport of serving `batch` pipelined requests of
   // `workload` on this accelerator.  References stay valid for the cache's
-  // lifetime.
+  // lifetime.  The workload must be serveable (`can_serve`).
   const PerfReport& estimate(std::uint32_t workload, std::size_t batch) const;
 
+  [[nodiscard]] bool can_serve(std::uint32_t workload) const;
   [[nodiscard]] double static_power_w() const;
-  [[nodiscard]] const AcceleratorSpec& spec() const noexcept { return spec_; }
+  [[nodiscard]] const arch::Accelerator& accelerator() const noexcept { return *acc_; }
+  [[nodiscard]] const arch::SpecInfo& spec() const noexcept { return acc_->spec(); }
   [[nodiscard]] std::size_t lookups() const noexcept { return lookups_; }
   [[nodiscard]] std::size_t misses() const noexcept { return misses_; }
 
  private:
-  AcceleratorSpec spec_;
+  std::unique_ptr<arch::Accelerator> acc_;
   const WorkloadCatalog* catalog_;
-  std::unique_ptr<tron::TronAccelerator> tron_;
-  std::unique_ptr<ghost::GhostAccelerator> ghost_;
   mutable std::unordered_map<std::uint64_t, PerfReport> reports_;
   mutable std::size_t lookups_ = 0;
   mutable std::size_t misses_ = 0;

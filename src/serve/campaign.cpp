@@ -1,7 +1,10 @@
 #include "serve/campaign.hpp"
 
+#include <limits>
 #include <ostream>
+#include <utility>
 
+#include "arch/registry.hpp"
 #include "common/error.hpp"
 #include "common/json.hpp"
 #include "common/parallel.hpp"
@@ -9,27 +12,116 @@
 
 namespace lumos::serve {
 
-double fleet_capacity_qps(const WorkloadCatalog& catalog, const AcceleratorSpec& spec,
+double fleet_capacity_qps(const WorkloadCatalog& catalog, const std::string& spec,
                           std::size_t fleet_size, std::size_t batch) {
-  LUMOS_EXPECTS(fleet_size >= 1 && batch >= 1);
+  if (fleet_size < 1) throw InvalidArgument("fleet_size must be >= 1");
+  if (batch < 1) throw InvalidArgument("batch must be >= 1");
   const EstimateCache cache(spec, catalog);
   double weighted_service_s = 0.0;
+  double served_weight = 0.0;
   for (std::uint32_t w = 0; w < catalog.size(); ++w) {
+    if (!cache.can_serve(w)) continue;
     const double per_request_s =
         cache.estimate(w, batch).latency_s / static_cast<double>(batch);
     weighted_service_s += catalog.at(w).mix_weight * per_request_s;
+    served_weight += catalog.at(w).mix_weight;
   }
-  weighted_service_s /= catalog.total_weight();
+  if (served_weight <= 0.0) {
+    throw InvalidArgument("accelerator spec '" + spec +
+                          "' serves no workload in the catalog");
+  }
+  weighted_service_s /= served_weight;
   return static_cast<double>(fleet_size) / weighted_service_s;
+}
+
+double fleet_capacity_qps(const WorkloadCatalog& catalog, const FleetConfig& fleet,
+                          std::size_t batch) {
+  if (batch < 1) throw InvalidArgument("batch must be >= 1");
+  if (fleet.accelerators.empty()) {
+    throw InvalidArgument("FleetConfig.accelerators must not be empty");
+  }
+  if (catalog.empty()) throw InvalidArgument("WorkloadCatalog must not be empty");
+  // Distinct specs with their slot counts (a homogeneous fleet stays one
+  // group, so its capacity is exactly fleet_size / mean service time).
+  std::vector<std::pair<std::string, std::size_t>> groups;
+  for (const std::string& spec : fleet.accelerators) {
+    bool found = false;
+    for (auto& [name, count] : groups) {
+      if (name == spec) {
+        ++count;
+        found = true;
+        break;
+      }
+    }
+    if (!found) groups.emplace_back(spec, 1);
+  }
+  // Per workload kind: the kind's slots sustain their summed rate against the
+  // kind's sub-mix, and the offered load splits by mix weight.
+  double capacity = std::numeric_limits<double>::infinity();
+  for (const arch::WorkloadKind kind :
+       {arch::WorkloadKind::kTransformer, arch::WorkloadKind::kGnn}) {
+    if (!catalog.has_kind(kind)) continue;
+    double kind_weight = 0.0;
+    for (std::uint32_t w = 0; w < catalog.size(); ++w) {
+      if (catalog.workload(w).kind() == kind) kind_weight += catalog.at(w).mix_weight;
+    }
+    const double traffic_fraction = kind_weight / catalog.total_weight();
+    double rate = 0.0;  // requests/s the kind's slots sustain together
+    for (const auto& [spec, count] : groups) {
+      if (arch::spec_kind(spec) != kind) continue;
+      rate += fleet_capacity_qps(catalog, spec, count, batch);
+    }
+    if (rate <= 0.0) {
+      throw InvalidArgument("fleet '" + fleet.label() + "' has no accelerator for " +
+                            std::string(arch::workload_kind_name(kind)) + " workloads");
+    }
+    capacity = std::min(capacity, rate / traffic_fraction);
+  }
+  return capacity;
+}
+
+void validate_campaign(const CampaignConfig& config) {
+  if (config.fleet_template.empty()) {
+    throw InvalidArgument("CampaignConfig.fleet_template must not be empty");
+  }
+  if (config.qps.empty()) throw InvalidArgument("CampaignConfig.qps must not be empty");
+  for (const double q : config.qps) {
+    if (!(q > 0.0)) {
+      throw InvalidArgument("CampaignConfig.qps points must be positive, got " +
+                            std::to_string(q));
+    }
+  }
+  if (config.schedulers.empty()) {
+    throw InvalidArgument("CampaignConfig.schedulers must not be empty");
+  }
+  if (config.fleet_sizes.empty()) {
+    throw InvalidArgument("CampaignConfig.fleet_sizes must not be empty");
+  }
+  for (const std::size_t n : config.fleet_sizes) {
+    if (n == 0) throw InvalidArgument("CampaignConfig.fleet_sizes entries must be >= 1");
+  }
+  if (config.max_batches.empty()) {
+    throw InvalidArgument("CampaignConfig.max_batches must not be empty");
+  }
+  for (const std::size_t b : config.max_batches) {
+    if (b < 1 || b > BatchPolicy::kMaxBatchLimit) {
+      throw InvalidArgument("CampaignConfig.max_batches entries must be in [1, " +
+                            std::to_string(BatchPolicy::kMaxBatchLimit) + "], got " +
+                            std::to_string(b));
+    }
+  }
+  if (config.max_wait_s < 0.0) {
+    throw InvalidArgument("CampaignConfig.max_wait_s must be >= 0");
+  }
+  if (config.requests_per_point == 0) {
+    throw InvalidArgument("CampaignConfig.requests_per_point must be >= 1");
+  }
 }
 
 std::vector<CampaignPoint> run_campaign(const CampaignConfig& config,
                                         const WorkloadCatalog& catalog) {
-  LUMOS_EXPECTS(!config.qps.empty());
-  LUMOS_EXPECTS(!config.schedulers.empty());
-  LUMOS_EXPECTS(!config.fleet_sizes.empty());
-  LUMOS_EXPECTS(!config.max_batches.empty());
-  LUMOS_EXPECTS(catalog.kind() == config.kind);
+  validate_campaign(config);
+  if (catalog.empty()) throw InvalidArgument("WorkloadCatalog must not be empty");
 
   std::vector<CampaignPoint> points;
   for (const std::size_t fleet_size : config.fleet_sizes) {
@@ -51,12 +143,6 @@ std::vector<CampaignPoint> run_campaign(const CampaignConfig& config,
     }
   }
 
-  const AcceleratorSpec primary = config.kind == AcceleratorKind::kTron
-                                      ? default_tron_spec()
-                                      : default_ghost_spec();
-  const AcceleratorSpec eco =
-      config.kind == AcceleratorKind::kTron ? eco_tron_spec() : eco_ghost_spec();
-
   // Grid points are independent; each simulates serially in its own chunk and
   // writes only its own slot, so the sweep is bit-reproducible across thread
   // counts.  Trace seeds mix the grid index so points draw independent
@@ -65,9 +151,7 @@ std::vector<CampaignPoint> run_campaign(const CampaignConfig& config,
     for (std::size_t i = begin; i < end; ++i) {
       CampaignPoint& p = points[i];
       const FleetConfig fleet =
-          config.heterogeneous
-              ? FleetConfig::heterogeneous(primary, eco, p.fleet_size, config.routing)
-              : FleetConfig::homogeneous(primary, p.fleet_size, config.routing);
+          FleetConfig::cycled(config.fleet_template, p.fleet_size, config.routing);
       TraceConfig trace_cfg;
       trace_cfg.offered_qps = p.qps;
       trace_cfg.request_count = config.requests_per_point;
@@ -104,12 +188,16 @@ Table campaign_table(const std::vector<CampaignPoint>& points, const std::string
 
 void write_campaign_json(const CampaignConfig& config,
                          const std::vector<CampaignPoint>& points, std::ostream& os) {
+  std::string fleet_template;
+  for (const std::string& spec : config.fleet_template) {
+    if (!fleet_template.empty()) fleet_template += '+';
+    fleet_template += spec;
+  }
   os << "{\n";
   os << "  \"campaign\": \"" << json_escape(config.name) << "\",\n";
-  os << "  \"accelerator\": \"" << kind_name(config.kind) << "\",\n";
+  os << "  \"fleet_template\": \"" << json_escape(fleet_template) << "\",\n";
   os << "  \"process\": \"" << process_name(config.process) << "\",\n";
   os << "  \"routing\": \"" << routing_name(config.routing) << "\",\n";
-  os << "  \"heterogeneous\": " << (config.heterogeneous ? "true" : "false") << ",\n";
   os << "  \"requests_per_point\": " << config.requests_per_point << ",\n";
   os << "  \"points\": [\n";
   for (std::size_t i = 0; i < points.size(); ++i) {

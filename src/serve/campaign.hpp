@@ -1,10 +1,13 @@
 // Fleet-scale serving campaigns: sweep offered QPS x scheduler x batch policy
 // x fleet size over one workload catalog, producing saturation-knee tables
 // (latency percentiles / goodput vs load) analogous to the paper's figure
-// series.  Grid points are independent simulations, so the sweep runs in
-// parallel via `parallel_for`; every point derives its trace seed from the
-// campaign seed and its grid index, keeping results bit-reproducible across
-// `LUMOS_THREADS` settings.
+// series.  Fleets are described by a template of `arch` registry spec names
+// cycled across the slots, so one campaign config expresses homogeneous
+// ({"tron"}), full+eco ({"tron", "tron-eco"}), and mixed-family
+// ({"tron", "ghost"}) fleets uniformly.  Grid points are independent
+// simulations, so the sweep runs in parallel via `parallel_for`; every point
+// derives its trace seed from the campaign seed and its grid index, keeping
+// results bit-reproducible across `LUMOS_THREADS` settings.
 #pragma once
 
 #include <iosfwd>
@@ -18,7 +21,8 @@ namespace lumos::serve {
 
 struct CampaignConfig {
   std::string name = "serve";
-  AcceleratorKind kind = AcceleratorKind::kTron;
+  // Spec names cycled across each fleet's slots (see FleetConfig::cycled).
+  std::vector<std::string> fleet_template{"tron"};
   std::vector<double> qps;  // offered-QPS points (see fleet_capacity_qps)
   std::vector<SchedulerKind> schedulers{SchedulerKind::kFifo, SchedulerKind::kDynamicBatch};
   std::vector<std::size_t> fleet_sizes{4};
@@ -27,10 +31,13 @@ struct CampaignConfig {
   std::size_t requests_per_point = 100000;
   ArrivalProcess process = ArrivalProcess::kPoisson;
   RoutingPolicy routing = RoutingPolicy::kFirstIdle;
-  bool heterogeneous = false;  // alternate default/eco specs across the fleet
   double slo_scale = 10.0;
   std::uint64_t seed = 1;
 };
+
+// Throws `InvalidArgument` naming the offending field for empty/non-positive
+// sweep axes (qps, schedulers, fleet sizes, batches, requests, template).
+void validate_campaign(const CampaignConfig& config);
 
 struct CampaignPoint {
   double qps = 0.0;
@@ -41,15 +48,24 @@ struct CampaignPoint {
 };
 
 // Runs every grid point (in parallel) and returns them in grid order.
+// Validates `config` (see validate_campaign) and the catalog's coverage.
 [[nodiscard]] std::vector<CampaignPoint> run_campaign(const CampaignConfig& config,
                                                       const WorkloadCatalog& catalog);
 
 // Unloaded capacity estimate of a `fleet_size` fleet of `spec` at a fixed
-// batch size: fleet_size / (mix-weighted mean per-request service time).
-// Use it to place QPS points around the saturation knee.
+// batch size: fleet_size / (mix-weighted mean per-request service time over
+// the workloads the spec can serve).  Use it to place QPS points around the
+// saturation knee.
 [[nodiscard]] double fleet_capacity_qps(const WorkloadCatalog& catalog,
-                                        const AcceleratorSpec& spec, std::size_t fleet_size,
+                                        const std::string& spec, std::size_t fleet_size,
                                         std::size_t batch);
+
+// Unloaded capacity of an arbitrary (possibly mixed-family) fleet: for each
+// workload kind, the kind's slots sustain sum(1/service) requests/s, and the
+// offered load splits by mix weight — so the fleet saturates at
+// min over kinds of (kind capacity / kind traffic fraction).
+[[nodiscard]] double fleet_capacity_qps(const WorkloadCatalog& catalog,
+                                        const FleetConfig& fleet, std::size_t batch);
 
 // One row per grid point: load, scheduler, tail latencies, goodput, energy.
 [[nodiscard]] Table campaign_table(const std::vector<CampaignPoint>& points,

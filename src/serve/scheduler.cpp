@@ -16,30 +16,67 @@ namespace {
 
 constexpr double kNever = std::numeric_limits<double>::infinity();
 
+// FIFO over per-workload sub-queues: a global enqueue sequence defines the
+// arrival order, and masked calls compare only the sub-queue heads, so a
+// disallowed backlog at the logical front (a saturated mixed fleet's other
+// kind) costs O(workloads) per op instead of a scan of the whole queue.
 class FifoScheduler final : public Scheduler {
  public:
-  void enqueue(const Request& request, double) override { queue_.push_back(request); }
-  [[nodiscard]] std::size_t queued() const noexcept override { return queue_.size(); }
-  [[nodiscard]] bool ready(double) const noexcept override { return !queue_.empty(); }
-  [[nodiscard]] double next_deadline_s() const noexcept override { return kNever; }
-  [[nodiscard]] std::vector<Request> pop(double) override {
+  void enqueue(const Request& request, double) override {
+    if (request.workload >= queues_.size()) queues_.resize(request.workload + 1);
+    queues_[request.workload].push_back({seq_++, request});
+    ++queued_;
+  }
+
+  [[nodiscard]] std::size_t queued() const noexcept override { return queued_; }
+
+  [[nodiscard]] bool ready(double, const WorkloadMask& mask) const noexcept override {
+    for (std::uint32_t w = 0; w < queues_.size(); ++w) {
+      if (!queues_[w].empty() && mask.allows(w)) return true;
+    }
+    return false;
+  }
+
+  [[nodiscard]] double next_deadline_s(const WorkloadMask&) const noexcept override {
+    return kNever;
+  }
+
+  [[nodiscard]] std::vector<Request> pop(double, const WorkloadMask& mask) override {
+    // Earliest-enqueued allowed head (the global front when unmasked).
+    std::size_t best = queues_.size();
+    for (std::uint32_t w = 0; w < queues_.size(); ++w) {
+      if (queues_[w].empty() || !mask.allows(w)) continue;
+      if (best == queues_.size() || queues_[w].front().seq < queues_[best].front().seq) {
+        best = w;
+      }
+    }
     std::vector<Request> batch;
-    if (!queue_.empty()) {
-      batch.push_back(queue_.front());
-      queue_.pop_front();
+    if (best < queues_.size()) {
+      batch.push_back(queues_[best].front().request);
+      queues_[best].pop_front();
+      --queued_;
     }
     return batch;
   }
 
  private:
-  std::deque<Request> queue_;
+  struct Entry {
+    std::uint64_t seq;
+    Request request;
+  };
+  std::vector<std::deque<Entry>> queues_;
+  std::uint64_t seq_ = 0;
+  std::size_t queued_ = 0;
 };
 
 class DynamicBatchScheduler final : public Scheduler {
  public:
   explicit DynamicBatchScheduler(const BatchPolicy& policy) : policy_(policy) {
-    LUMOS_EXPECTS(policy.max_batch >= 1 && policy.max_batch <= BatchPolicy::kMaxBatchLimit);
-    LUMOS_EXPECTS(policy.max_wait_s >= 0.0);
+    LUMOS_EXPECTS_MSG(policy.max_batch >= 1 && policy.max_batch <= BatchPolicy::kMaxBatchLimit,
+                      "BatchPolicy.max_batch must be in [1, " +
+                          std::to_string(BatchPolicy::kMaxBatchLimit) + "], got " +
+                          std::to_string(policy.max_batch));
+    LUMOS_EXPECTS_MSG(policy.max_wait_s >= 0.0, "BatchPolicy.max_wait_s must be >= 0");
   }
 
   void enqueue(const Request& request, double) override {
@@ -49,27 +86,30 @@ class DynamicBatchScheduler final : public Scheduler {
 
   [[nodiscard]] std::size_t queued() const noexcept override { return queued_; }
 
-  [[nodiscard]] bool ready(double now_s) const noexcept override {
+  [[nodiscard]] bool ready(double now_s, const WorkloadMask& mask) const noexcept override {
     for (const auto& [workload, bucket] : buckets_) {
+      if (!mask.allows(workload)) continue;
       if (bucket.size() >= policy_.max_batch) return true;
       if (bucket.front().arrival_s + policy_.max_wait_s <= now_s) return true;
     }
     return false;
   }
 
-  [[nodiscard]] double next_deadline_s() const noexcept override {
+  [[nodiscard]] double next_deadline_s(const WorkloadMask& mask) const noexcept override {
     double deadline = kNever;
     for (const auto& [workload, bucket] : buckets_) {
+      if (!mask.allows(workload)) continue;
       deadline = std::min(deadline, bucket.front().arrival_s + policy_.max_wait_s);
     }
     return deadline;
   }
 
-  [[nodiscard]] std::vector<Request> pop(double now_s) override {
-    // Among ready buckets, serve the one whose oldest request has waited
-    // longest (tie: lowest workload id via the map's iteration order).
+  [[nodiscard]] std::vector<Request> pop(double now_s, const WorkloadMask& mask) override {
+    // Among ready allowed buckets, serve the one whose oldest request has
+    // waited longest (tie: lowest workload id via the map's iteration order).
     auto best = buckets_.end();
     for (auto it = buckets_.begin(); it != buckets_.end(); ++it) {
+      if (!mask.allows(it->first)) continue;
       const std::deque<Request>& bucket = it->second;
       const bool is_ready = bucket.size() >= policy_.max_batch ||
                             bucket.front().arrival_s + policy_.max_wait_s <= now_s;

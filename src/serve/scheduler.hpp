@@ -7,11 +7,16 @@
 //     sequence length to pipeline through stationary weights); a bucket
 //     dispatches when it reaches `max_batch` or when its oldest request has
 //     waited `max_wait_s`, whichever comes first.
-// All tie-breaks are deterministic (bucket id, arrival order), so a
-// simulation is replayable bit-for-bit.
+// Mixed-kind fleets pass a `WorkloadMask` restricting what can dispatch right
+// now (kind-aware routing: a GNN batch only goes to an idle GHOST-family
+// accelerator); the default mask allows every workload, and with it the
+// schedulers behave exactly as the unmasked originals.  All tie-breaks are
+// deterministic (bucket id, arrival order), so a simulation is replayable
+// bit-for-bit.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <vector>
 
@@ -32,20 +37,42 @@ struct BatchPolicy {
   static constexpr std::size_t kMaxBatchLimit = 4096;
 };
 
+// The workload indices the fleet can dispatch right now.  Default-constructed
+// masks allow everything (single-kind fleets); the simulator builds
+// restricted masks from the idle accelerators' serveable kinds.  Non-owning:
+// `allowed` must outlive the call it is passed to.
+class WorkloadMask {
+ public:
+  WorkloadMask() = default;  // allows every workload
+  explicit WorkloadMask(const std::vector<char>* allowed) noexcept : allowed_(allowed) {}
+
+  [[nodiscard]] bool allows(std::uint32_t workload) const noexcept {
+    return allowed_ == nullptr ||
+           (workload < allowed_->size() && (*allowed_)[workload] != 0);
+  }
+
+ private:
+  const std::vector<char>* allowed_ = nullptr;
+};
+
 class Scheduler {
  public:
   virtual ~Scheduler() = default;
 
   virtual void enqueue(const Request& request, double now_s) = 0;
   [[nodiscard]] virtual std::size_t queued() const noexcept = 0;
-  // True if `pop` would return a non-empty batch at `now_s`.
-  [[nodiscard]] virtual bool ready(double now_s) const noexcept = 0;
-  // Earliest future instant at which a held batch becomes ready by deadline
-  // (+infinity when nothing is waiting or everything is already ready).
-  [[nodiscard]] virtual double next_deadline_s() const noexcept = 0;
-  // Pops the next batch (arrival order within a batch; single workload per
-  // batch for batching schedulers).  Empty when !ready(now_s).
-  [[nodiscard]] virtual std::vector<Request> pop(double now_s) = 0;
+  // True if `pop` would return a non-empty batch at `now_s` under `mask`.
+  [[nodiscard]] virtual bool ready(double now_s,
+                                   const WorkloadMask& mask = {}) const noexcept = 0;
+  // Earliest future instant at which a mask-allowed held batch becomes ready
+  // by deadline (+infinity when nothing allowed is waiting or everything
+  // allowed is already ready).
+  [[nodiscard]] virtual double next_deadline_s(
+      const WorkloadMask& mask = {}) const noexcept = 0;
+  // Pops the next mask-allowed batch (arrival order within a batch; single
+  // workload per batch for batching schedulers).  Empty when !ready(now_s).
+  [[nodiscard]] virtual std::vector<Request> pop(double now_s,
+                                                 const WorkloadMask& mask = {}) = 0;
 };
 
 [[nodiscard]] std::unique_ptr<Scheduler> make_scheduler(SchedulerKind kind,

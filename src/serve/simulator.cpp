@@ -11,26 +11,37 @@ const char* routing_name(RoutingPolicy policy) noexcept {
   return policy == RoutingPolicy::kFirstIdle ? "first-idle" : "energy-aware";
 }
 
-FleetConfig FleetConfig::homogeneous(const AcceleratorSpec& spec, std::size_t count,
+FleetConfig FleetConfig::homogeneous(const std::string& spec, std::size_t count,
                                      RoutingPolicy routing) {
-  LUMOS_EXPECTS(count >= 1);
-  FleetConfig f;
-  f.routing = routing;
-  f.accelerators.assign(count, spec);
-  return f;
+  return cycled({spec}, count, routing);
 }
 
-FleetConfig FleetConfig::heterogeneous(const AcceleratorSpec& primary,
-                                       const AcceleratorSpec& eco, std::size_t count,
-                                       RoutingPolicy routing) {
-  LUMOS_EXPECTS(count >= 1);
+FleetConfig FleetConfig::heterogeneous(const std::string& primary, const std::string& eco,
+                                       std::size_t count, RoutingPolicy routing) {
+  return cycled({primary, eco}, count, routing);
+}
+
+FleetConfig FleetConfig::cycled(const std::vector<std::string>& specs, std::size_t count,
+                                RoutingPolicy routing) {
+  if (specs.empty()) throw InvalidArgument("FleetConfig specs must not be empty");
+  if (count == 0) throw InvalidArgument("FleetConfig fleet size must be >= 1");
   FleetConfig f;
   f.routing = routing;
   f.accelerators.reserve(count);
-  for (std::size_t i = 0; i < count; ++i) {
-    f.accelerators.push_back(i % 2 == 0 ? primary : eco);
-  }
+  for (std::size_t i = 0; i < count; ++i) f.accelerators.push_back(specs[i % specs.size()]);
   return f;
+}
+
+std::string FleetConfig::label() const {
+  std::vector<std::string> seen;
+  std::string out;
+  for (const std::string& name : accelerators) {
+    if (std::find(seen.begin(), seen.end(), name) != seen.end()) continue;
+    seen.push_back(name);
+    if (!out.empty()) out += '+';
+    out += name;
+  }
+  return out;
 }
 
 namespace {
@@ -59,9 +70,24 @@ struct CompletionLater {
 ServeMetrics simulate(const FleetConfig& fleet, const WorkloadCatalog& catalog,
                       const std::vector<Request>& trace, SchedulerKind scheduler,
                       const BatchPolicy& policy, const SimConfig& sim) {
-  LUMOS_EXPECTS(!fleet.accelerators.empty());
-  LUMOS_EXPECTS(!trace.empty());
-  LUMOS_EXPECTS(policy.max_batch >= 1 && policy.max_batch <= BatchPolicy::kMaxBatchLimit);
+  if (fleet.accelerators.empty()) {
+    throw InvalidArgument("FleetConfig.accelerators must not be empty");
+  }
+  if (catalog.empty()) throw InvalidArgument("WorkloadCatalog must not be empty");
+  if (trace.empty()) throw InvalidArgument("request trace must not be empty");
+  for (const Request& r : trace) {
+    if (r.workload >= catalog.size()) {
+      throw InvalidArgument("trace request " + std::to_string(r.id) +
+                            " names workload index " + std::to_string(r.workload) +
+                            ", but the catalog holds " + std::to_string(catalog.size()) +
+                            " workloads");
+    }
+  }
+  if (policy.max_batch < 1 || policy.max_batch > BatchPolicy::kMaxBatchLimit) {
+    throw InvalidArgument("BatchPolicy.max_batch must be in [1, " +
+                          std::to_string(BatchPolicy::kMaxBatchLimit) + "], got " +
+                          std::to_string(policy.max_batch));
+  }
 
   // One estimate cache per distinct spec name; fleet slots share caches.
   std::vector<EstimateCache> caches;
@@ -69,7 +95,7 @@ ServeMetrics simulate(const FleetConfig& fleet, const WorkloadCatalog& catalog,
   std::vector<std::size_t> cache_of(fleet.accelerators.size(), kNone);
   for (std::size_t i = 0; i < fleet.accelerators.size(); ++i) {
     for (std::size_t c = 0; c < caches.size(); ++c) {
-      if (caches[c].spec().name == fleet.accelerators[i].name) {
+      if (caches[c].spec().name == fleet.accelerators[i]) {
         cache_of[i] = c;
         break;
       }
@@ -80,17 +106,48 @@ ServeMetrics simulate(const FleetConfig& fleet, const WorkloadCatalog& catalog,
     }
   }
 
+  // Kind-aware routing: which caches (and so which fleet slots) can serve
+  // each workload, and the first serving slot for unloaded-latency queries.
+  const std::size_t n_acc = fleet.accelerators.size();
+  std::vector<std::vector<char>> cache_serves(caches.size());
+  for (std::size_t c = 0; c < caches.size(); ++c) {
+    cache_serves[c].resize(catalog.size());
+    for (std::uint32_t w = 0; w < catalog.size(); ++w) {
+      cache_serves[c][w] = caches[c].can_serve(w) ? 1 : 0;
+    }
+  }
+  std::vector<std::size_t> first_serving_cache(catalog.size(), kNone);
+  for (std::uint32_t w = 0; w < catalog.size(); ++w) {
+    for (std::size_t i = 0; i < n_acc; ++i) {
+      if (cache_serves[cache_of[i]][w] != 0) {
+        first_serving_cache[w] = cache_of[i];
+        break;
+      }
+    }
+    if (first_serving_cache[w] == kNone) {
+      const arch::Workload& wl = catalog.workload(w);
+      throw InvalidArgument("fleet '" + fleet.label() + "' cannot serve " +
+                            arch::workload_kind_name(wl.kind()) + " workload '" + wl.name() +
+                            "': no accelerator of that kind in the fleet");
+    }
+  }
+  // Masks only bind when the fleet mixes families; single-kind fleets keep
+  // the (equivalent, cheaper) allow-everything mask.
+  bool mixed_fleet = false;
+  for (std::size_t c = 1; c < caches.size() && !mixed_fleet; ++c) {
+    mixed_fleet = caches[c].spec().serves != caches[0].spec().serves;
+  }
+
   // Goodput SLO.
   double slo_s = sim.slo_latency_s;
   if (slo_s <= 0.0) {
     double slowest = 0.0;
     for (std::uint32_t w = 0; w < catalog.size(); ++w) {
-      slowest = std::max(slowest, caches[cache_of[0]].estimate(w, 1).latency_s);
+      slowest = std::max(slowest, caches[first_serving_cache[w]].estimate(w, 1).latency_s);
     }
     slo_s = sim.slo_scale * slowest;
   }
 
-  const std::size_t n_acc = fleet.accelerators.size();
   std::vector<bool> idle(n_acc, true);
   std::vector<double> busy_time(n_acc, 0.0);
 
@@ -108,24 +165,44 @@ ServeMetrics simulate(const FleetConfig& fleet, const WorkloadCatalog& catalog,
   double dispatched_energy_j = 0.0;
   double depth_time = 0.0;
 
+  // Scratch for the mixed-fleet dispatch mask: workload w is dispatchable
+  // when some idle accelerator serves it.
+  std::vector<char> allowed(catalog.size(), 1);
+  const auto current_mask = [&]() -> WorkloadMask {
+    if (!mixed_fleet) return WorkloadMask{};
+    std::fill(allowed.begin(), allowed.end(), 0);
+    for (std::size_t i = 0; i < n_acc; ++i) {
+      if (!idle[i]) continue;
+      const std::vector<char>& serves = cache_serves[cache_of[i]];
+      for (std::uint32_t w = 0; w < catalog.size(); ++w) {
+        if (serves[w] != 0) allowed[w] = 1;
+      }
+    }
+    return WorkloadMask{&allowed};
+  };
+
   const auto try_dispatch = [&](double now_s) {
     for (;;) {
-      std::size_t first_idle = kNone;
+      bool any_idle = false;
+      for (std::size_t i = 0; i < n_acc && !any_idle; ++i) any_idle = idle[i];
+      if (!any_idle) return;
+      const WorkloadMask mask = current_mask();
+      if (!sched->ready(now_s, mask)) return;
+      std::vector<Request> batch = sched->pop(now_s, mask);
+      LUMOS_ENSURES(!batch.empty());
+      const std::uint32_t workload = batch.front().workload;
+      std::size_t chosen = kNone;
       for (std::size_t i = 0; i < n_acc; ++i) {
-        if (idle[i]) {
-          first_idle = i;
+        if (idle[i] && cache_serves[cache_of[i]][workload] != 0) {
+          chosen = i;
           break;
         }
       }
-      if (first_idle == kNone || !sched->ready(now_s)) return;
-      std::vector<Request> batch = sched->pop(now_s);
-      LUMOS_ENSURES(!batch.empty());
-      const std::uint32_t workload = batch.front().workload;
-      std::size_t chosen = first_idle;
+      LUMOS_ENSURES(chosen != kNone);
       if (fleet.routing == RoutingPolicy::kEnergyAware) {
         double best_j = kNever;
         for (std::size_t i = 0; i < n_acc; ++i) {
-          if (!idle[i]) continue;
+          if (!idle[i] || cache_serves[cache_of[i]][workload] == 0) continue;
           const double j =
               caches[cache_of[i]].estimate(workload, batch.size()).total_energy_j;
           if (j < best_j) {
@@ -155,8 +232,12 @@ ServeMetrics simulate(const FleetConfig& fleet, const WorkloadCatalog& catalog,
     for (std::size_t i = 0; i < n_acc && !any_idle; ++i) any_idle = idle[i];
     // Deadlines only matter while an accelerator could take the batch; when
     // everything is busy the next completion re-evaluates readiness anyway.
-    const double t_dead =
-        any_idle && sched->queued() > 0 ? sched->next_deadline_s() : kNever;
+    // In mixed fleets the deadline is masked the same way dispatch is, so a
+    // deadline whose workload has no idle compatible accelerator never wakes
+    // the loop without progress.
+    const double t_dead = any_idle && sched->queued() > 0
+                              ? sched->next_deadline_s(current_mask())
+                              : kNever;
     const double t = std::min(std::min(t_arr, t_done), t_dead);
     LUMOS_ENSURES(t >= now_s && t < kNever);
     depth_time += static_cast<double>(sched->queued()) * (t - now_s);

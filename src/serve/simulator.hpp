@@ -5,14 +5,18 @@
 // pre-generated trace), batch-deadline expiries (from the scheduler), and
 // accelerator completions (a min-heap keyed by (time, dispatch seq)) —
 // with a fixed processing order at equal timestamps (completions, then
-// arrivals, then dispatch).  Service times and energies come from the
-// per-spec `EstimateCache`, so the loop's cost per request is a queue push, a
-// heap push/pop, and a hash lookup: millions of requests simulate in seconds.
+// arrivals, then dispatch).  Fleets are built from `arch` registry spec names
+// and may mix fabric families (TRON + GHOST serving one mixed catalog):
+// routing is kind-aware, so a request only dispatches to an idle accelerator
+// that can serve it.  Service times and energies come from the per-spec
+// `EstimateCache`, so the loop's cost per request is a queue push, a heap
+// push/pop, and a hash lookup: millions of requests simulate in seconds.
 // The loop itself is serial and allocation-light; campaigns parallelise over
 // grid points (see campaign.hpp).  Results are bit-reproducible for a fixed
 // trace across runs and `LUMOS_THREADS` settings.
 #pragma once
 
+#include <string>
 #include <vector>
 
 #include "serve/cache.hpp"
@@ -23,35 +27,46 @@
 
 namespace lumos::serve {
 
-// How a dispatched batch picks among idle accelerators.
+// How a dispatched batch picks among idle accelerators that can serve it.
 enum class RoutingPolicy {
-  kFirstIdle,     // lowest-index idle accelerator
-  kEnergyAware,   // idle accelerator with the lowest predicted batch energy
+  kFirstIdle,     // lowest-index compatible idle accelerator
+  kEnergyAware,   // compatible idle accelerator with the lowest predicted batch energy
 };
 
 [[nodiscard]] const char* routing_name(RoutingPolicy policy) noexcept;
 
 struct FleetConfig {
-  std::vector<AcceleratorSpec> accelerators;
+  // One `arch` registry spec name per fleet slot ("tron", "ghost-eco", ...).
+  std::vector<std::string> accelerators;
   RoutingPolicy routing = RoutingPolicy::kFirstIdle;
 
   [[nodiscard]] static FleetConfig homogeneous(
-      const AcceleratorSpec& spec, std::size_t count,
+      const std::string& spec, std::size_t count,
       RoutingPolicy routing = RoutingPolicy::kFirstIdle);
   // Alternates `primary` and `eco` slots (primary first).
   [[nodiscard]] static FleetConfig heterogeneous(
-      const AcceleratorSpec& primary, const AcceleratorSpec& eco, std::size_t count,
+      const std::string& primary, const std::string& eco, std::size_t count,
       RoutingPolicy routing = RoutingPolicy::kEnergyAware);
+  // Cycles `specs` across `count` slots (mixed TRON+GHOST fleets).
+  [[nodiscard]] static FleetConfig cycled(
+      const std::vector<std::string>& specs, std::size_t count,
+      RoutingPolicy routing = RoutingPolicy::kFirstIdle);
+
+  // "a+b+c" join of the distinct spec names, in slot order (labels, JSON).
+  [[nodiscard]] std::string label() const;
 };
 
 struct SimConfig {
   // SLO for goodput: `slo_latency_s` when positive, otherwise `slo_scale`
-  // times the slowest workload's unloaded batch-1 latency on the fleet's
-  // first spec.
+  // times the slowest workload's unloaded batch-1 latency, each workload
+  // scored on the first fleet slot that can serve it.
   double slo_latency_s = 0.0;
   double slo_scale = 10.0;
 };
 
+// Simulates `trace` over the fleet.  Throws `InvalidArgument` naming the bad
+// field for empty fleets, empty catalogs/traces, out-of-range batch policies,
+// and catalogs with workloads no fleet accelerator can serve.
 [[nodiscard]] ServeMetrics simulate(const FleetConfig& fleet, const WorkloadCatalog& catalog,
                                     const std::vector<Request>& trace, SchedulerKind scheduler,
                                     const BatchPolicy& policy, const SimConfig& sim = {});

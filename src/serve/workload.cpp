@@ -1,68 +1,57 @@
 #include "serve/workload.hpp"
 
+#include <cmath>
+
 #include "common/error.hpp"
 #include "sim/registry.hpp"
 
 namespace lumos::serve {
 
-const char* kind_name(AcceleratorKind kind) noexcept {
-  return kind == AcceleratorKind::kTron ? "TRON" : "GHOST";
+void WorkloadCatalog::add(arch::Workload workload, double weight) {
+  if (!(weight > 0.0) || !std::isfinite(weight)) {
+    throw InvalidArgument("mix_weight for workload '" + workload.name() +
+                          "' must be positive and finite, got " + std::to_string(weight));
+  }
+  entries_.push_back(CatalogEntry{std::move(workload), weight});
 }
 
 void WorkloadCatalog::add_transformer(std::string name, nn::TransformerConfig config,
                                       double weight) {
-  LUMOS_EXPECTS(weight > 0.0);
-  LUMOS_EXPECTS_MSG(workloads_.empty() || kind() == AcceleratorKind::kTron,
-                    "catalog already holds GNN workloads");
-  ServeWorkload w;
-  w.name = std::move(name);
-  w.kind = AcceleratorKind::kTron;
-  w.transformer = std::move(config);
-  w.mix_weight = weight;
-  workloads_.push_back(std::move(w));
+  add(arch::Workload::transformer(std::move(name), std::move(config)), weight);
 }
 
 void WorkloadCatalog::add_gnn(std::string name, gnn::GnnModelConfig model,
                               graph::GraphDataset dataset, double weight) {
-  LUMOS_EXPECTS(weight > 0.0);
-  LUMOS_EXPECTS_MSG(workloads_.empty() || kind() == AcceleratorKind::kGhost,
-                    "catalog already holds transformer workloads");
-  std::size_t ds_index = datasets_.size();
-  for (std::size_t i = 0; i < datasets_.size(); ++i) {
-    if (datasets_[i].name == dataset.name) {
-      ds_index = i;
+  std::shared_ptr<const graph::GraphDataset> shared;
+  for (const auto& existing : datasets_) {
+    if (existing->name == dataset.name) {
+      shared = existing;
       break;
     }
   }
-  if (ds_index == datasets_.size()) datasets_.push_back(std::move(dataset));
-  ServeWorkload w;
-  w.name = std::move(name);
-  w.kind = AcceleratorKind::kGhost;
-  w.gnn_model = std::move(model);
-  w.dataset = ds_index;
-  w.mix_weight = weight;
-  workloads_.push_back(std::move(w));
+  if (!shared) {
+    shared = std::make_shared<const graph::GraphDataset>(std::move(dataset));
+    datasets_.push_back(shared);
+  }
+  add(arch::Workload::gnn(std::move(name), std::move(model), std::move(shared)), weight);
 }
 
-const ServeWorkload& WorkloadCatalog::at(std::size_t i) const {
-  LUMOS_EXPECTS(i < workloads_.size());
-  return workloads_[i];
-}
-
-const graph::GraphDataset& WorkloadCatalog::dataset(std::size_t i) const {
-  LUMOS_EXPECTS(i < datasets_.size());
-  return datasets_[i];
-}
-
-AcceleratorKind WorkloadCatalog::kind() const {
-  LUMOS_EXPECTS_MSG(!workloads_.empty(), "empty workload catalog");
-  return workloads_.front().kind;
+const CatalogEntry& WorkloadCatalog::at(std::size_t i) const {
+  LUMOS_EXPECTS(i < entries_.size());
+  return entries_[i];
 }
 
 double WorkloadCatalog::total_weight() const noexcept {
   double total = 0.0;
-  for (const ServeWorkload& w : workloads_) total += w.mix_weight;
+  for (const CatalogEntry& e : entries_) total += e.mix_weight;
   return total;
+}
+
+bool WorkloadCatalog::has_kind(arch::WorkloadKind kind) const noexcept {
+  for (const CatalogEntry& e : entries_) {
+    if (e.workload.kind() == kind) return true;
+  }
+  return false;
 }
 
 WorkloadCatalog WorkloadCatalog::tron_default() {
@@ -84,40 +73,16 @@ WorkloadCatalog WorkloadCatalog::ghost_default() {
   return c;
 }
 
-AcceleratorSpec default_tron_spec() {
-  AcceleratorSpec s;
-  s.name = "tron";
-  s.kind = AcceleratorKind::kTron;
-  s.tron = tron::default_tron_config();
-  s.ghost = ghost::default_ghost_config();
-  return s;
-}
-
-AcceleratorSpec default_ghost_spec() {
-  AcceleratorSpec s;
-  s.name = "ghost";
-  s.kind = AcceleratorKind::kGhost;
-  s.tron = tron::default_tron_config();
-  s.ghost = ghost::default_ghost_config();
-  return s;
-}
-
-AcceleratorSpec eco_tron_spec() {
-  AcceleratorSpec s = default_tron_spec();
-  s.name = "tron-eco";
-  // Half the attention-head units and FF arrays: roughly half the fabric's
-  // static draw for roughly double the compute time on array-bound ops.
-  s.tron.head_units = s.tron.head_units / 2;
-  s.tron.ff_arrays = s.tron.ff_arrays / 2;
-  return s;
-}
-
-AcceleratorSpec eco_ghost_spec() {
-  AcceleratorSpec s = default_ghost_spec();
-  s.name = "ghost-eco";
-  s.ghost.lanes = s.ghost.lanes / 2;
-  s.ghost.transform_arrays_per_lane = 1;
-  return s;
+WorkloadCatalog WorkloadCatalog::mixed_default() {
+  WorkloadCatalog c = tron_default();
+  const WorkloadCatalog ghost = ghost_default();
+  for (std::size_t i = 0; i < ghost.size(); ++i) {
+    c.add(ghost.at(i).workload, ghost.at(i).mix_weight);
+  }
+  // Adopt the source catalog's dataset registry too, so later add_gnn calls
+  // keep deduplicating against the graphs the copied workloads share.
+  c.datasets_.insert(c.datasets_.end(), ghost.datasets_.begin(), ghost.datasets_.end());
+  return c;
 }
 
 }  // namespace lumos::serve

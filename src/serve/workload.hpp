@@ -1,76 +1,60 @@
-// Serving workloads and accelerator fleet building blocks.
+// Serving workload catalogs over the `arch` accelerator abstraction.
 //
-// A `WorkloadCatalog` is the set of inference jobs a fleet serves (transformer
-// configs for TRON fleets, GNN model x dataset pairs for GHOST fleets) with
-// their relative arrival weights.  The catalog owns the graph datasets so the
-// synthetic graphs are generated once and shared by every simulation point.
-// An `AcceleratorSpec` names one accelerator configuration a fleet slot is
-// built from; heterogeneous fleets mix specs (e.g. full-fabric and reduced
-// "eco" variants) and route between them by predicted energy.
+// A `WorkloadCatalog` is the set of inference jobs a fleet serves — tagged
+// `arch::Workload`s (transformer configs, GNN model x dataset pairs) with
+// their relative arrival weights.  Catalogs may mix workload kinds: a
+// heterogeneous TRON+GHOST fleet serves one mixed catalog with kind-aware
+// routing (see simulator.hpp).  The catalog shares graph datasets by name, so
+// a synthetic graph is generated once and referenced by every workload,
+// cache, and simulation point that scores it.
+//
+// Accelerator configurations are named `arch::SpecRegistry` specs ("tron",
+// "ghost-eco", "tron@0.5", ...) — see arch/registry.hpp; the old
+// dual-config `AcceleratorSpec` struct is gone.
 #pragma once
 
+#include <memory>
 #include <string>
 #include <vector>
 
-#include "ghost/config.hpp"
-#include "gnn/models.hpp"
-#include "graph/generators.hpp"
-#include "nn/transformer.hpp"
-#include "tron/config.hpp"
+#include "arch/workload.hpp"
 
 namespace lumos::serve {
 
-enum class AcceleratorKind { kTron, kGhost };
-
-[[nodiscard]] const char* kind_name(AcceleratorKind kind) noexcept;
-
 // One entry of a serving mix.
-struct ServeWorkload {
-  std::string name;
-  AcceleratorKind kind = AcceleratorKind::kTron;
-  nn::TransformerConfig transformer;  // kTron only
-  gnn::GnnModelConfig gnn_model;      // kGhost only
-  std::size_t dataset = 0;            // catalog dataset index (kGhost only)
-  double mix_weight = 1.0;            // relative arrival probability
+struct CatalogEntry {
+  arch::Workload workload;
+  double mix_weight = 1.0;  // relative arrival probability
 };
 
-// The (single-kind) workload mix a fleet serves.
+// The (possibly mixed-kind) workload mix a fleet serves.
 class WorkloadCatalog {
  public:
+  // Rejects non-positive and non-finite weights with `InvalidArgument`
+  // naming the workload.
+  void add(arch::Workload workload, double weight = 1.0);
   void add_transformer(std::string name, nn::TransformerConfig config, double weight = 1.0);
   // Adding a dataset the catalog already holds (by name) reuses it.
   void add_gnn(std::string name, gnn::GnnModelConfig model, graph::GraphDataset dataset,
                double weight = 1.0);
 
-  [[nodiscard]] std::size_t size() const noexcept { return workloads_.size(); }
-  [[nodiscard]] const ServeWorkload& at(std::size_t i) const;
-  [[nodiscard]] const graph::GraphDataset& dataset(std::size_t i) const;
-  [[nodiscard]] AcceleratorKind kind() const;
+  [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return entries_.empty(); }
+  [[nodiscard]] const CatalogEntry& at(std::size_t i) const;
+  [[nodiscard]] const arch::Workload& workload(std::size_t i) const { return at(i).workload; }
   [[nodiscard]] double total_weight() const noexcept;
+  // True if any entry is of `kind`.
+  [[nodiscard]] bool has_kind(arch::WorkloadKind kind) const noexcept;
 
   // Default serving mixes over the registry's models/datasets.
   [[nodiscard]] static WorkloadCatalog tron_default();
   [[nodiscard]] static WorkloadCatalog ghost_default();
+  // Both of the above in one catalog (multi-tenant TRON+GHOST serving).
+  [[nodiscard]] static WorkloadCatalog mixed_default();
 
  private:
-  std::vector<ServeWorkload> workloads_;
-  std::vector<graph::GraphDataset> datasets_;
+  std::vector<CatalogEntry> entries_;
+  std::vector<std::shared_ptr<const graph::GraphDataset>> datasets_;
 };
-
-// An accelerator configuration a fleet slot instantiates.  `name` keys the
-// spec: fleet slots with the same name share one estimate cache.
-struct AcceleratorSpec {
-  std::string name = "tron";
-  AcceleratorKind kind = AcceleratorKind::kTron;
-  tron::TronConfig tron;
-  ghost::GhostConfig ghost;
-};
-
-[[nodiscard]] AcceleratorSpec default_tron_spec();
-[[nodiscard]] AcceleratorSpec default_ghost_spec();
-// Reduced-fabric variants (fewer compute arrays): lower static power, higher
-// latency — the interesting trade for energy-aware routing.
-[[nodiscard]] AcceleratorSpec eco_tron_spec();
-[[nodiscard]] AcceleratorSpec eco_ghost_spec();
 
 }  // namespace lumos::serve

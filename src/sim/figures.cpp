@@ -62,75 +62,99 @@ Table FigureData::to_table() const {
 }
 
 namespace {
-FigureData run_llm_figure(const tron::TronConfig& config, Metric metric,
-                          const std::string& title) {
+
+// A baseline platform's estimate of one tagged workload (the one remaining
+// place the workload kinds branch — the electronic baselines keep their
+// concrete per-kind entry points).
+PerfReport baseline_estimate(const baselines::PlatformModel& platform,
+                             const arch::Workload& w) {
+  return w.kind() == arch::WorkloadKind::kTransformer
+             ? platform.estimate_transformer(w.transformer_config())
+             : platform.estimate_gnn(w.gnn_model(), w.dataset());
+}
+
+// The baseline set a workload kind is compared against in the paper.
+const std::vector<baselines::PlatformModel>& baselines_for(arch::WorkloadKind kind) {
+  static const std::vector<baselines::PlatformModel> llm = baselines::llm_baselines();
+  static const std::vector<baselines::PlatformModel> gnn = baselines::gnn_baselines();
+  return kind == arch::WorkloadKind::kTransformer ? llm : gnn;
+}
+
+}  // namespace
+
+std::vector<arch::Workload> llm_eval_workloads() {
+  std::vector<arch::Workload> workloads;
+  for (const nn::TransformerConfig& model : llm_eval_models()) {
+    std::string name = model.name;
+    workloads.push_back(arch::Workload::transformer(std::move(name), model));
+  }
+  return workloads;
+}
+
+std::vector<arch::Workload> gnn_eval_workloads() {
+  std::vector<arch::Workload> workloads;
+  std::vector<std::shared_ptr<const graph::GraphDataset>> datasets;
+  for (graph::GraphDataset& ds : gnn_eval_datasets()) {
+    datasets.push_back(std::make_shared<const graph::GraphDataset>(std::move(ds)));
+  }
+  for (const gnn::GnnModelConfig& model : gnn_eval_models()) {
+    for (const auto& ds : datasets) {
+      workloads.push_back(arch::Workload::gnn(model.name + "/" + ds->name, model, ds));
+    }
+  }
+  return workloads;
+}
+
+FigureData run_figure(const arch::Accelerator& acc,
+                      const std::vector<arch::Workload>& workloads, Metric metric,
+                      const std::string& title) {
   FigureData f;
   f.title = title;
   f.metric = metric;
-  const tron::TronAccelerator tron_acc(config);
-  const std::vector<baselines::PlatformModel> platforms = baselines::llm_baselines();
-  f.platforms.push_back("TRON");
-  for (const auto& p : platforms) f.platforms.push_back(p.spec().name);
-  for (const nn::TransformerConfig& model : llm_eval_models()) {
-    f.workloads.push_back(model.name);
+  f.platforms.push_back(acc.spec().family);
+  bool platforms_named = false;
+  for (const arch::Workload& w : workloads) {
+    const std::vector<baselines::PlatformModel>& baselines = baselines_for(w.kind());
+    if (!platforms_named) {
+      for (const auto& p : baselines) f.platforms.push_back(p.spec().name);
+      platforms_named = true;
+    }
+    f.workloads.push_back(w.name());
     std::vector<PerfReport> row;
-    row.push_back(tron_acc.estimate(model));
-    for (const auto& p : platforms) row.push_back(p.estimate_transformer(model));
+    row.push_back(acc.estimate(w));
+    for (const auto& p : baselines) row.push_back(baseline_estimate(p, w));
     f.reports.push_back(std::move(row));
   }
   return f;
 }
 
-FigureData run_gnn_figure(const ghost::GhostConfig& config, Metric metric,
-                          const std::string& title) {
-  FigureData f;
-  f.title = title;
-  f.metric = metric;
-  const ghost::GhostAccelerator ghost_acc(config);
-  const std::vector<baselines::PlatformModel> platforms = baselines::gnn_baselines();
-  f.platforms.push_back("GHOST");
-  for (const auto& p : platforms) f.platforms.push_back(p.spec().name);
-  const std::vector<graph::GraphDataset> datasets = gnn_eval_datasets();
-  for (const gnn::GnnModelConfig& model : gnn_eval_models()) {
-    for (const graph::GraphDataset& ds : datasets) {
-      f.workloads.push_back(model.name + "/" + ds.name);
-      std::vector<PerfReport> row;
-      row.push_back(ghost_acc.estimate(model, ds));
-      for (const auto& p : platforms) row.push_back(p.estimate_gnn(model, ds));
-      f.reports.push_back(std::move(row));
-    }
-  }
-  return f;
-}
-}  // namespace
-
-FigureData run_fig8_epb_llm(const tron::TronConfig& config) {
-  return run_llm_figure(config, Metric::kEnergyPerBit,
-                        "Fig. 8: EPB comparison across LLM accelerators");
+FigureData run_fig8_epb_llm(const arch::Accelerator& acc) {
+  return run_figure(acc, llm_eval_workloads(), Metric::kEnergyPerBit,
+                    "Fig. 8: EPB comparison across LLM accelerators");
 }
 
-FigureData run_fig9_gops_llm(const tron::TronConfig& config) {
-  return run_llm_figure(config, Metric::kThroughputOps,
-                        "Fig. 9: Throughput comparison across LLM accelerators");
+FigureData run_fig9_gops_llm(const arch::Accelerator& acc) {
+  return run_figure(acc, llm_eval_workloads(), Metric::kThroughputOps,
+                    "Fig. 9: Throughput comparison across LLM accelerators");
 }
 
-FigureData run_fig10_epb_gnn(const ghost::GhostConfig& config) {
-  return run_gnn_figure(config, Metric::kEnergyPerBit,
-                        "Fig. 10: EPB comparison across GNN accelerators");
+FigureData run_fig10_epb_gnn(const arch::Accelerator& acc) {
+  return run_figure(acc, gnn_eval_workloads(), Metric::kEnergyPerBit,
+                    "Fig. 10: EPB comparison across GNN accelerators");
 }
 
-FigureData run_fig11_gops_gnn(const ghost::GhostConfig& config) {
-  return run_gnn_figure(config, Metric::kThroughputOps,
-                        "Fig. 11: Throughput comparison across GNN accelerators");
+FigureData run_fig11_gops_gnn(const arch::Accelerator& acc) {
+  return run_figure(acc, gnn_eval_workloads(), Metric::kThroughputOps,
+                    "Fig. 11: Throughput comparison across GNN accelerators");
 }
 
-HeadlineClaims run_headline_claims(const tron::TronConfig& tron_config,
-                                   const ghost::GhostConfig& ghost_config) {
+HeadlineClaims run_headline_claims(const arch::Accelerator& tron_acc,
+                                   const arch::Accelerator& ghost_acc) {
   HeadlineClaims h;
-  h.tron_min_epb_gain = run_fig8_epb_llm(tron_config).min_improvement();
-  h.tron_min_throughput_gain = run_fig9_gops_llm(tron_config).min_improvement();
-  h.ghost_min_epb_gain = run_fig10_epb_gnn(ghost_config).min_improvement();
-  h.ghost_min_throughput_gain = run_fig11_gops_gnn(ghost_config).min_improvement();
+  h.tron_min_epb_gain = run_fig8_epb_llm(tron_acc).min_improvement();
+  h.tron_min_throughput_gain = run_fig9_gops_llm(tron_acc).min_improvement();
+  h.ghost_min_epb_gain = run_fig10_epb_gnn(ghost_acc).min_improvement();
+  h.ghost_min_throughput_gain = run_fig11_gops_gnn(ghost_acc).min_improvement();
   return h;
 }
 

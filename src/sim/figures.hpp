@@ -1,16 +1,18 @@
 // Figure-series runners: produce exactly the data series of the paper's
 // evaluation figures (Figs. 8-11) plus the headline min-improvement factors,
 // shared by the benchmark binaries, the examples, and the integration tests.
+// Runners take any `arch::Accelerator&` — the photonic device under test is
+// polymorphic; only the baseline set (LLM vs GNN platforms) is figure-
+// specific.
 #pragma once
 
 #include <string>
 #include <vector>
 
+#include "arch/accelerator.hpp"
 #include "baselines/platforms.hpp"
 #include "common/perf.hpp"
 #include "common/table.hpp"
-#include "ghost/accelerator.hpp"
-#include "tron/accelerator.hpp"
 
 namespace lumos::sim {
 
@@ -38,11 +40,23 @@ struct FigureData {
   [[nodiscard]] Table to_table() const;
 };
 
-// Paper figure reproductions (default configurations unless overridden).
-[[nodiscard]] FigureData run_fig8_epb_llm(const tron::TronConfig& config);
-[[nodiscard]] FigureData run_fig9_gops_llm(const tron::TronConfig& config);
-[[nodiscard]] FigureData run_fig10_epb_gnn(const ghost::GhostConfig& config);
-[[nodiscard]] FigureData run_fig11_gops_gnn(const ghost::GhostConfig& config);
+// Generic runner: scores `acc` and the electronic baselines appropriate to
+// each workload's kind over `workloads`.  The accelerator must serve every
+// workload in the list.
+[[nodiscard]] FigureData run_figure(const arch::Accelerator& acc,
+                                    const std::vector<arch::Workload>& workloads,
+                                    Metric metric, const std::string& title);
+
+// The figures' evaluation workloads, materialised through the registry.
+[[nodiscard]] std::vector<arch::Workload> llm_eval_workloads();
+[[nodiscard]] std::vector<arch::Workload> gnn_eval_workloads();
+
+// Paper figure reproductions.  `acc` is the photonic device under test
+// (TRON-family for the LLM figures, GHOST-family for the GNN figures).
+[[nodiscard]] FigureData run_fig8_epb_llm(const arch::Accelerator& acc);
+[[nodiscard]] FigureData run_fig9_gops_llm(const arch::Accelerator& acc);
+[[nodiscard]] FigureData run_fig10_epb_gnn(const arch::Accelerator& acc);
+[[nodiscard]] FigureData run_fig11_gops_gnn(const arch::Accelerator& acc);
 
 // Headline claims (paper abstract/Section VI): min throughput and energy-
 // efficiency improvements for both accelerators.
@@ -53,7 +67,7 @@ struct HeadlineClaims {
   double ghost_min_epb_gain = 0.0;         // paper: >= 3.8x
 };
 
-[[nodiscard]] HeadlineClaims run_headline_claims(const tron::TronConfig& tron_config,
-                                                 const ghost::GhostConfig& ghost_config);
+[[nodiscard]] HeadlineClaims run_headline_claims(const arch::Accelerator& tron_acc,
+                                                 const arch::Accelerator& ghost_acc);
 
 }  // namespace lumos::sim

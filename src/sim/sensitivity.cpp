@@ -5,9 +5,10 @@
 
 namespace lumos::sim {
 
-namespace {
-SensitivityPoint point_from(const std::string& knob, double setting, bool is_default,
-                            const PerfReport& r) {
+SensitivityPoint sensitivity_probe(const arch::Accelerator& acc,
+                                   const arch::Workload& workload, const std::string& knob,
+                                   double setting, bool is_default) {
+  const PerfReport r = acc.estimate(workload);
   SensitivityPoint p;
   p.knob = knob;
   p.setting = setting;
@@ -18,15 +19,15 @@ SensitivityPoint point_from(const std::string& knob, double setting, bool is_def
   p.static_power_w = r.static_power_w;
   return p;
 }
-}  // namespace
 
 std::vector<SensitivityPoint> tron_sensitivity(const tron::TronConfig& base,
                                                const nn::TransformerConfig& model) {
+  const arch::Workload workload = arch::Workload::transformer(model.name, model);
   std::vector<SensitivityPoint> out;
   const auto probe = [&](const std::string& knob, double setting, bool is_default,
                          const tron::TronConfig& cfg) {
-    out.push_back(point_from(knob, setting, is_default,
-                             tron::TronAccelerator(cfg).estimate(model)));
+    out.push_back(
+        sensitivity_probe(arch::TronAdapter(cfg), workload, knob, setting, is_default));
   };
 
   for (const std::size_t v : {4u, 8u, 12u, 16u, 24u}) {
@@ -62,11 +63,16 @@ std::vector<SensitivityPoint> tron_sensitivity(const tron::TronConfig& base,
 std::vector<SensitivityPoint> ghost_sensitivity(const ghost::GhostConfig& base,
                                                 const gnn::GnnModelConfig& model,
                                                 const graph::GraphDataset& dataset) {
+  // The sweep scores one dataset many times; alias it without copying.  The
+  // no-op deleter is safe because `dataset` outlives every probe.
+  const arch::Workload workload = arch::Workload::gnn(
+      model.name + "/" + dataset.name, model,
+      std::shared_ptr<const graph::GraphDataset>(&dataset, [](const graph::GraphDataset*) {}));
   std::vector<SensitivityPoint> out;
   const auto probe = [&](const std::string& knob, double setting, bool is_default,
                          const ghost::GhostConfig& cfg) {
-    out.push_back(point_from(knob, setting, is_default,
-                             ghost::GhostAccelerator(cfg).estimate(model, dataset)));
+    out.push_back(
+        sensitivity_probe(arch::GhostAdapter(cfg), workload, knob, setting, is_default));
   };
 
   for (const std::size_t v : {4u, 8u, 16u, 32u, 64u}) {

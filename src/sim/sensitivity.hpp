@@ -5,15 +5,19 @@
 // determined through detailed design-space analysis."  This module
 // regenerates that analysis: it perturbs each architectural knob around the
 // default design point and reports the throughput/EPB response, which is how
-// the defaults were fixed.
+// the defaults were fixed.  Each perturbed design is scored through the
+// polymorphic `arch::Accelerator` interface (`sensitivity_probe`), so the
+// response extraction is fabric-agnostic; only the knob enumerations know the
+// concrete configs they perturb.
 #pragma once
 
 #include <string>
 #include <vector>
 
+#include "arch/accelerator.hpp"
 #include "common/table.hpp"
-#include "ghost/accelerator.hpp"
-#include "tron/accelerator.hpp"
+#include "ghost/config.hpp"
+#include "tron/config.hpp"
 
 namespace lumos::sim {
 
@@ -27,6 +31,13 @@ struct SensitivityPoint {
   double energy_per_bit_j = 0.0;
   double static_power_w = 0.0;
 };
+
+// Scores `workload` on `acc` and extracts the sensitivity responses.  Shared
+// by both knob sweeps and usable with any accelerator/workload pairing.
+[[nodiscard]] SensitivityPoint sensitivity_probe(const arch::Accelerator& acc,
+                                                 const arch::Workload& workload,
+                                                 const std::string& knob, double setting,
+                                                 bool is_default);
 
 // Sweeps TRON's architectural knobs (head units, FF arrays, array columns,
 // symbol rate, DRAM bandwidth) around `base` on `model`.

@@ -1,0 +1,34 @@
+// Shared test helper: exhaustive bit-identity check over PerfReport and its
+// breakdown, used by the serve and arch parity suites.  One copy so a new
+// PerfBreakdown field only needs adding here to stay covered everywhere.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include "common/perf.hpp"
+
+namespace lumos::testing {
+
+inline void expect_reports_identical(const PerfReport& a, const PerfReport& b) {
+  EXPECT_EQ(a.latency_s, b.latency_s);
+  EXPECT_EQ(a.dynamic_energy_j, b.dynamic_energy_j);
+  EXPECT_EQ(a.static_energy_j, b.static_energy_j);
+  EXPECT_EQ(a.total_energy_j, b.total_energy_j);
+  EXPECT_EQ(a.static_power_w, b.static_power_w);
+  EXPECT_EQ(a.op_count, b.op_count);
+  EXPECT_EQ(a.bits, b.bits);
+  EXPECT_EQ(a.breakdown.matmul_time_s, b.breakdown.matmul_time_s);
+  EXPECT_EQ(a.breakdown.softmax_time_s, b.breakdown.softmax_time_s);
+  EXPECT_EQ(a.breakdown.elementwise_time_s, b.breakdown.elementwise_time_s);
+  EXPECT_EQ(a.breakdown.aggregation_time_s, b.breakdown.aggregation_time_s);
+  EXPECT_EQ(a.breakdown.memory_stall_s, b.breakdown.memory_stall_s);
+  EXPECT_EQ(a.breakdown.laser_dac_adc_energy_j, b.breakdown.laser_dac_adc_energy_j);
+  EXPECT_EQ(a.breakdown.partial_sum_energy_j, b.breakdown.partial_sum_energy_j);
+  EXPECT_EQ(a.breakdown.softmax_energy_j, b.breakdown.softmax_energy_j);
+  EXPECT_EQ(a.breakdown.elementwise_energy_j, b.breakdown.elementwise_energy_j);
+  EXPECT_EQ(a.breakdown.aggregation_energy_j, b.breakdown.aggregation_energy_j);
+  EXPECT_EQ(a.breakdown.sram_energy_j, b.breakdown.sram_energy_j);
+  EXPECT_EQ(a.breakdown.dram_energy_j, b.breakdown.dram_energy_j);
+}
+
+}  // namespace lumos::testing

@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "common/error.hpp"
+#include "common/json.hpp"
 #include "common/rng.hpp"
 #include "common/stats.hpp"
 #include "common/table.hpp"
@@ -212,6 +213,36 @@ TEST(Table, NumFormatsExtremes) {
   EXPECT_NE(Table::num(1.23456e12).find('e'), std::string::npos);
   EXPECT_NE(Table::num(1.23456e-9).find('e'), std::string::npos);
   EXPECT_EQ(Table::num(0.0), "0.000");
+}
+
+// ---------------------------------------------------------------------------
+// json_escape (shared by every JSON writer: benches, campaign dumps, CLI)
+// ---------------------------------------------------------------------------
+
+TEST(JsonEscape, PassesPlainTextThrough) {
+  EXPECT_EQ(json_escape("tron-eco @ 0.5x"), "tron-eco @ 0.5x");
+  EXPECT_EQ(json_escape(""), "");
+}
+
+TEST(JsonEscape, EscapesQuotesAndBackslashes) {
+  EXPECT_EQ(json_escape("say \"hi\""), "say \\\"hi\\\"");
+  EXPECT_EQ(json_escape("a\\b\\\\c"), "a\\\\b\\\\\\\\c");
+  EXPECT_EQ(json_escape("\"\\\""), "\\\"\\\\\\\"");
+}
+
+TEST(JsonEscape, EscapesShortFormControlCharacters) {
+  EXPECT_EQ(json_escape("line1\nline2"), "line1\\nline2");
+  EXPECT_EQ(json_escape("a\rb"), "a\\rb");
+  EXPECT_EQ(json_escape("a\tb"), "a\\tb");
+}
+
+TEST(JsonEscape, EscapesRemainingControlCharactersAsUnicode) {
+  EXPECT_EQ(json_escape(std::string(1, '\0')), "\\u0000");
+  EXPECT_EQ(json_escape("\x01"), "\\u0001");
+  EXPECT_EQ(json_escape("\x1f"), "\\u001f");
+  EXPECT_EQ(json_escape("bell\x07!"), "bell\\u0007!");
+  // 0x20 (space) and above pass through untouched.
+  EXPECT_EQ(json_escape(" ~"), " ~");
 }
 
 // Property sweep: PCG next_below stays unbiased enough across bounds.

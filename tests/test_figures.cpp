@@ -6,6 +6,7 @@
 
 #include <sstream>
 
+#include "arch/accelerator.hpp"
 #include "sim/figures.hpp"
 
 namespace lumos::sim {
@@ -14,19 +15,19 @@ namespace {
 class FigureFixture : public ::testing::Test {
  protected:
   static const FigureData& fig8() {
-    static const FigureData f = run_fig8_epb_llm(tron::default_tron_config());
+    static const FigureData f = run_fig8_epb_llm(arch::TronAdapter(tron::default_tron_config()));
     return f;
   }
   static const FigureData& fig9() {
-    static const FigureData f = run_fig9_gops_llm(tron::default_tron_config());
+    static const FigureData f = run_fig9_gops_llm(arch::TronAdapter(tron::default_tron_config()));
     return f;
   }
   static const FigureData& fig10() {
-    static const FigureData f = run_fig10_epb_gnn(ghost::default_ghost_config());
+    static const FigureData f = run_fig10_epb_gnn(arch::GhostAdapter(ghost::default_ghost_config()));
     return f;
   }
   static const FigureData& fig11() {
-    static const FigureData f = run_fig11_gops_gnn(ghost::default_ghost_config());
+    static const FigureData f = run_fig11_gops_gnn(arch::GhostAdapter(ghost::default_ghost_config()));
     return f;
   }
 };
@@ -96,7 +97,8 @@ TEST_F(FigureFixture, CombinedAbstractClaim) {
   // "both hardware accelerators achieve at least 10.2x throughput improvement
   // and 3.8x better energy efficiency".
   const HeadlineClaims h =
-      run_headline_claims(tron::default_tron_config(), ghost::default_ghost_config());
+      run_headline_claims(arch::TronAdapter(tron::default_tron_config()),
+                          arch::GhostAdapter(ghost::default_ghost_config()));
   EXPECT_GE(std::min(h.tron_min_throughput_gain, h.ghost_min_throughput_gain), 10.2);
   EXPECT_GE(std::min(h.tron_min_epb_gain, h.ghost_min_epb_gain), 3.8);
 }

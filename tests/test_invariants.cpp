@@ -5,6 +5,7 @@
 #include <cmath>
 
 #include "photonics/wdm.hpp"
+#include "arch/accelerator.hpp"
 #include "sim/figures.hpp"
 
 namespace lumos {
@@ -25,14 +26,14 @@ TEST(Invariants, EveryFigureReportIsInternallyConsistent) {
       }
     }
   };
-  check(sim::run_fig8_epb_llm(tron::default_tron_config()));
-  check(sim::run_fig10_epb_gnn(ghost::default_ghost_config()));
+  check(sim::run_fig8_epb_llm(arch::TronAdapter(tron::default_tron_config())));
+  check(sim::run_fig10_epb_gnn(arch::GhostAdapter(ghost::default_ghost_config())));
 }
 
 TEST(Invariants, EpbAndGopsFiguresShareReports) {
   // The EPB and GOPS figures must be two views of the same simulations.
-  const auto e = sim::run_fig8_epb_llm(tron::default_tron_config());
-  const auto g = sim::run_fig9_gops_llm(tron::default_tron_config());
+  const auto e = sim::run_fig8_epb_llm(arch::TronAdapter(tron::default_tron_config()));
+  const auto g = sim::run_fig9_gops_llm(arch::TronAdapter(tron::default_tron_config()));
   ASSERT_EQ(e.workloads.size(), g.workloads.size());
   for (std::size_t w = 0; w < e.workloads.size(); ++w) {
     for (std::size_t p = 0; p < e.platforms.size(); ++p) {
@@ -165,7 +166,7 @@ TEST(Invariants, SymmetrisedGraphHasSymmetricAdjacency) {
 
 TEST(Invariants, OpCountsMatchBetweenPlatformsAndAccelerators) {
   // Fair comparison requires every platform to be charged the same op count.
-  const auto f = sim::run_fig9_gops_llm(tron::default_tron_config());
+  const auto f = sim::run_fig9_gops_llm(arch::TronAdapter(tron::default_tron_config()));
   for (std::size_t w = 0; w < f.workloads.size(); ++w) {
     for (std::size_t p = 1; p < f.platforms.size(); ++p) {
       EXPECT_EQ(f.reports[w][p].op_count, f.reports[w][0].op_count)

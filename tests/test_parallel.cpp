@@ -17,6 +17,7 @@
 #include "graph/partition.hpp"
 #include "nn/ops.hpp"
 #include "nn/tensor.hpp"
+#include "perf_report_matchers.hpp"
 
 namespace lumos {
 namespace {
@@ -227,16 +228,7 @@ void expect_estimates_identical(const ghost::GhostAccelerator& acc,
   const PerfReport b = acc.estimate(model, ds, ghost::AggregateCosting::kPerNodeReference);
   // Bit-identical, not just close: the histogram reorders only integer
   // arithmetic.
-  EXPECT_EQ(a.latency_s, b.latency_s);
-  EXPECT_EQ(a.dynamic_energy_j, b.dynamic_energy_j);
-  EXPECT_EQ(a.total_energy_j, b.total_energy_j);
-  EXPECT_EQ(a.breakdown.aggregation_time_s, b.breakdown.aggregation_time_s);
-  EXPECT_EQ(a.breakdown.aggregation_energy_j, b.breakdown.aggregation_energy_j);
-  EXPECT_EQ(a.breakdown.matmul_time_s, b.breakdown.matmul_time_s);
-  EXPECT_EQ(a.breakdown.softmax_time_s, b.breakdown.softmax_time_s);
-  EXPECT_EQ(a.breakdown.sram_energy_j, b.breakdown.sram_energy_j);
-  EXPECT_EQ(a.breakdown.dram_energy_j, b.breakdown.dram_energy_j);
-  EXPECT_EQ(a.breakdown.memory_stall_s, b.breakdown.memory_stall_s);
+  lumos::testing::expect_reports_identical(a, b);
 }
 
 TEST(GhostEstimator, HistogramBitIdenticalToPerNodeLoop) {

@@ -5,8 +5,12 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <functional>
+#include <string>
 
+#include "arch/registry.hpp"
 #include "common/error.hpp"
+#include "perf_report_matchers.hpp"
 #include "serve/campaign.hpp"
 #include "serve/simulator.hpp"
 #include "sim/registry.hpp"
@@ -36,6 +40,28 @@ TEST(Registry, UnknownNamesThrow) {
   EXPECT_THROW((void)sim::transformer_by_name("bort"), InvalidArgument);
   EXPECT_THROW((void)sim::gnn_by_name("gnn9000"), InvalidArgument);
   EXPECT_THROW((void)sim::dataset_by_name("imagenet"), InvalidArgument);
+}
+
+// The error text must list every accepted name so a caller can self-correct.
+TEST(Registry, UnknownNameErrorsListAcceptedNames) {
+  const auto expect_lists = [](const auto& call, const std::vector<std::string>& names,
+                               const char* bad) {
+    try {
+      call();
+      FAIL() << "expected InvalidArgument";
+    } catch (const InvalidArgument& e) {
+      const std::string what = e.what();
+      EXPECT_NE(what.find(bad), std::string::npos) << what;
+      for (const std::string& name : names) {
+        EXPECT_NE(what.find(name), std::string::npos) << what << " missing " << name;
+      }
+    }
+  };
+  expect_lists([] { (void)sim::transformer_by_name("bort"); }, sim::transformer_names(),
+               "bort");
+  expect_lists([] { (void)sim::gnn_by_name("gnn9000"); }, sim::gnn_names(), "gnn9000");
+  expect_lists([] { (void)sim::dataset_by_name("imagenet"); }, sim::dataset_names(),
+               "imagenet");
 }
 
 TEST(Registry, NameListsRoundTrip) {
@@ -112,49 +138,37 @@ TEST(Trace, MixFollowsWeights) {
 // Estimate cache
 // ---------------------------------------------------------------------------
 
-void expect_reports_identical(const PerfReport& a, const PerfReport& b) {
-  EXPECT_EQ(a.latency_s, b.latency_s);
-  EXPECT_EQ(a.dynamic_energy_j, b.dynamic_energy_j);
-  EXPECT_EQ(a.static_energy_j, b.static_energy_j);
-  EXPECT_EQ(a.total_energy_j, b.total_energy_j);
-  EXPECT_EQ(a.op_count, b.op_count);
-  EXPECT_EQ(a.breakdown.matmul_time_s, b.breakdown.matmul_time_s);
-  EXPECT_EQ(a.breakdown.memory_stall_s, b.breakdown.memory_stall_s);
-  EXPECT_EQ(a.breakdown.dram_energy_j, b.breakdown.dram_energy_j);
-  EXPECT_EQ(a.breakdown.sram_energy_j, b.breakdown.sram_energy_j);
-}
+using lumos::testing::expect_reports_identical;
 
 TEST(EstimateCache, TronReportsBitIdenticalToUncached) {
   const WorkloadCatalog catalog = WorkloadCatalog::tron_default();
-  const AcceleratorSpec spec = default_tron_spec();
-  const EstimateCache cache(spec, catalog);
-  const tron::TronAccelerator acc(spec.tron);
+  const EstimateCache cache("tron", catalog);
+  const tron::TronAccelerator acc(arch::tron_config_by_name("tron"));
   for (std::uint32_t w = 0; w < catalog.size(); ++w) {
     for (const std::size_t batch : {std::size_t{1}, std::size_t{4}, std::size_t{16}}) {
-      expect_reports_identical(cache.estimate(w, batch),
-                               acc.estimate_batch(catalog.at(w).transformer, batch));
+      expect_reports_identical(
+          cache.estimate(w, batch),
+          acc.estimate_batch(catalog.workload(w).transformer_config(), batch));
     }
   }
 }
 
 TEST(EstimateCache, GhostReportsBitIdenticalToUncached) {
   const WorkloadCatalog catalog = WorkloadCatalog::ghost_default();
-  const AcceleratorSpec spec = default_ghost_spec();
-  const EstimateCache cache(spec, catalog);
-  const ghost::GhostAccelerator acc(spec.ghost);
+  const EstimateCache cache("ghost", catalog);
+  const ghost::GhostAccelerator acc(arch::ghost_config_by_name("ghost"));
   for (std::uint32_t w = 0; w < catalog.size(); ++w) {
-    const ServeWorkload& wl = catalog.at(w);
+    const arch::Workload& wl = catalog.workload(w);
     for (const std::size_t batch : {std::size_t{1}, std::size_t{8}}) {
-      expect_reports_identical(
-          cache.estimate(w, batch),
-          acc.estimate_batch(wl.gnn_model, catalog.dataset(wl.dataset), batch));
+      expect_reports_identical(cache.estimate(w, batch),
+                               acc.estimate_batch(wl.gnn_model(), wl.dataset(), batch));
     }
   }
 }
 
 TEST(EstimateCache, MissesOncePerKey) {
   const WorkloadCatalog catalog = WorkloadCatalog::tron_default();
-  const EstimateCache cache(default_tron_spec(), catalog);
+  const EstimateCache cache("tron", catalog);
   (void)cache.estimate(0, 1);
   (void)cache.estimate(0, 1);
   (void)cache.estimate(0, 2);
@@ -236,6 +250,35 @@ TEST(Scheduler, DynamicBatchWaitsForDeadlineWhenUnderfull) {
   EXPECT_EQ(batch[0].id, 0u);
 }
 
+TEST(Scheduler, MaskedPopSkipsDisallowedWorkloads) {
+  // Kind-aware routing: a mask hides workloads with no idle compatible
+  // accelerator; pops serve the oldest allowed request and leave the rest.
+  const std::vector<char> only_workload_1{0, 1};
+  const WorkloadMask mask(&only_workload_1);
+
+  const auto fifo = make_scheduler(SchedulerKind::kFifo, {});
+  fifo->enqueue(make_request(0, 0.0, 0), 0.0);
+  fifo->enqueue(make_request(1, 0.1, 1), 0.1);
+  EXPECT_TRUE(fifo->ready(0.1));
+  EXPECT_TRUE(fifo->ready(0.1, mask));
+  const std::vector<Request> batch = fifo->pop(0.1, mask);
+  ASSERT_EQ(batch.size(), 1u);
+  EXPECT_EQ(batch[0].id, 1u);  // skipped the disallowed head
+  EXPECT_EQ(fifo->queued(), 1u);
+  EXPECT_FALSE(fifo->ready(0.1, mask));  // only workload 0 remains
+
+  BatchPolicy policy;
+  policy.max_batch = 2;
+  policy.max_wait_s = 0.0;
+  const auto batcher = make_scheduler(SchedulerKind::kDynamicBatch, policy);
+  batcher->enqueue(make_request(0, 0.0, 0), 0.0);
+  batcher->enqueue(make_request(1, 0.1, 1), 0.1);
+  EXPECT_EQ(batcher->next_deadline_s(mask), 0.1);  // workload 0's deadline hidden
+  const std::vector<Request> b = batcher->pop(0.2, mask);
+  ASSERT_EQ(b.size(), 1u);
+  EXPECT_EQ(b[0].workload, 1u);
+}
+
 TEST(Scheduler, DynamicBatchServesLongestWaitingBucketFirst) {
   BatchPolicy policy;
   policy.max_batch = 2;
@@ -267,9 +310,8 @@ TEST(Percentile, NearestRankOnKnownSamples) {
 
 struct SimSetup {
   WorkloadCatalog catalog = WorkloadCatalog::tron_default();
-  AcceleratorSpec spec = default_tron_spec();
-  FleetConfig fleet = FleetConfig::homogeneous(spec, 4);
-  double capacity = fleet_capacity_qps(catalog, spec, 4, 8);
+  FleetConfig fleet = FleetConfig::homogeneous("tron", 4);
+  double capacity = fleet_capacity_qps(catalog, "tron", 4, 8);
 };
 
 ServeMetrics run_sim(const SimSetup& s, double qps_fraction, SchedulerKind scheduler,
@@ -341,9 +383,9 @@ TEST(Simulator, RunsAreBitReproducible) {
 
 TEST(Simulator, HeterogeneousEnergyRoutingCompletes) {
   const WorkloadCatalog catalog = WorkloadCatalog::tron_default();
-  const FleetConfig fleet = FleetConfig::heterogeneous(default_tron_spec(), eco_tron_spec(), 4);
+  const FleetConfig fleet = FleetConfig::heterogeneous("tron", "tron-eco", 4);
   TraceConfig cfg;
-  cfg.offered_qps = 0.3 * fleet_capacity_qps(catalog, default_tron_spec(), 4, 8);
+  cfg.offered_qps = 0.3 * fleet_capacity_qps(catalog, "tron", 4, 8);
   cfg.request_count = 5000;
   cfg.seed = 33;
   BatchPolicy policy;
@@ -354,14 +396,172 @@ TEST(Simulator, HeterogeneousEnergyRoutingCompletes) {
 }
 
 // ---------------------------------------------------------------------------
+// Mixed-kind catalogs and fleets (kind-aware routing)
+// ---------------------------------------------------------------------------
+
+TEST(MixedFleet, ServesMixedCatalogEndToEnd) {
+  const WorkloadCatalog catalog = WorkloadCatalog::mixed_default();
+  EXPECT_TRUE(catalog.has_kind(arch::WorkloadKind::kTransformer));
+  EXPECT_TRUE(catalog.has_kind(arch::WorkloadKind::kGnn));
+  const FleetConfig fleet = FleetConfig::cycled({"tron", "ghost"}, 4);
+  TraceConfig cfg;
+  cfg.offered_qps = 0.5 * fleet_capacity_qps(catalog, fleet, 8);
+  cfg.request_count = 8000;
+  cfg.seed = 44;
+  BatchPolicy policy;
+  const ServeMetrics m = simulate(fleet, catalog, generate_trace(catalog, cfg),
+                                  SchedulerKind::kDynamicBatch, policy);
+  // Every request completes; kind-aware routing is what makes this possible
+  // (a TRON slot refuses GNN batches, so any mis-route would throw inside
+  // the adapter).
+  EXPECT_EQ(m.completed, 8000u);
+  EXPECT_GT(m.fleet_energy_j, 0.0);
+}
+
+TEST(MixedFleet, MixedRunsAreBitReproducible) {
+  const WorkloadCatalog catalog = WorkloadCatalog::mixed_default();
+  const FleetConfig fleet = FleetConfig::cycled({"tron", "ghost"}, 4);
+  TraceConfig cfg;
+  cfg.offered_qps = 0.7 * fleet_capacity_qps(catalog, fleet, 8);
+  cfg.request_count = 6000;
+  cfg.seed = 55;
+  BatchPolicy policy;
+  const std::vector<Request> trace = generate_trace(catalog, cfg);
+  const ServeMetrics a = simulate(fleet, catalog, trace, SchedulerKind::kDynamicBatch, policy);
+  const ServeMetrics b = simulate(fleet, catalog, trace, SchedulerKind::kDynamicBatch, policy);
+  EXPECT_EQ(a.p99_latency_s, b.p99_latency_s);
+  EXPECT_EQ(a.fleet_energy_j, b.fleet_energy_j);
+  EXPECT_EQ(a.dispatches, b.dispatches);
+}
+
+TEST(MixedFleet, MixedFifoCompletesDespiteHeadOfLineKinds) {
+  const WorkloadCatalog catalog = WorkloadCatalog::mixed_default();
+  const FleetConfig fleet = FleetConfig::cycled({"tron", "ghost"}, 2);
+  TraceConfig cfg;
+  cfg.offered_qps = 0.3 * fleet_capacity_qps(catalog, fleet, 1);
+  cfg.request_count = 3000;
+  cfg.seed = 66;
+  const ServeMetrics m = simulate(fleet, catalog, generate_trace(catalog, cfg),
+                                  SchedulerKind::kFifo, BatchPolicy{});
+  EXPECT_EQ(m.completed, 3000u);
+}
+
+TEST(MixedFleet, SingleKindFleetCannotServeMixedCatalog) {
+  const WorkloadCatalog catalog = WorkloadCatalog::mixed_default();
+  const FleetConfig fleet = FleetConfig::homogeneous("tron", 4);
+  TraceConfig cfg;
+  cfg.offered_qps = 1000.0;
+  cfg.request_count = 100;
+  const std::vector<Request> trace = generate_trace(catalog, cfg);
+  try {
+    (void)simulate(fleet, catalog, trace, SchedulerKind::kDynamicBatch, BatchPolicy{});
+    FAIL() << "expected InvalidArgument";
+  } catch (const InvalidArgument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("cannot serve"), std::string::npos) << what;
+    EXPECT_NE(what.find("gnn"), std::string::npos) << what;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Construction-time validation (InvalidArgument naming the bad field)
+// ---------------------------------------------------------------------------
+
+void expect_invalid(const std::function<void()>& call, const char* field) {
+  try {
+    call();
+    FAIL() << "expected InvalidArgument naming " << field;
+  } catch (const InvalidArgument& e) {
+    EXPECT_NE(std::string(e.what()).find(field), std::string::npos) << e.what();
+  }
+}
+
+TEST(Validation, CatalogRejectsNonPositiveMixWeights) {
+  WorkloadCatalog c;
+  expect_invalid(
+      [&] { c.add_transformer("bad", sim::transformer_by_name("bert-base"), 0.0); },
+      "mix_weight");
+  expect_invalid(
+      [&] { c.add_transformer("bad", sim::transformer_by_name("bert-base"), -2.0); },
+      "mix_weight");
+}
+
+TEST(Validation, SimulateRejectsEmptyFleetCatalogTraceAndBadBatch) {
+  const WorkloadCatalog catalog = WorkloadCatalog::tron_default();
+  TraceConfig tc;
+  tc.request_count = 10;
+  const std::vector<Request> trace = generate_trace(catalog, tc);
+  const FleetConfig fleet = FleetConfig::homogeneous("tron", 1);
+
+  FleetConfig empty_fleet;
+  expect_invalid(
+      [&] {
+        (void)simulate(empty_fleet, catalog, trace, SchedulerKind::kFifo, BatchPolicy{});
+      },
+      "FleetConfig.accelerators");
+  expect_invalid(
+      [&] {
+        (void)simulate(fleet, WorkloadCatalog{}, trace, SchedulerKind::kFifo, BatchPolicy{});
+      },
+      "WorkloadCatalog");
+  expect_invalid(
+      [&] { (void)simulate(fleet, catalog, {}, SchedulerKind::kFifo, BatchPolicy{}); },
+      "trace");
+  BatchPolicy zero;
+  zero.max_batch = 0;
+  expect_invalid(
+      [&] { (void)simulate(fleet, catalog, trace, SchedulerKind::kDynamicBatch, zero); },
+      "max_batch");
+  const std::vector<Request> bogus{{0, 0.0, 99}};  // workload index out of range
+  expect_invalid(
+      [&] { (void)simulate(fleet, catalog, bogus, SchedulerKind::kFifo, BatchPolicy{}); },
+      "workload index");
+}
+
+TEST(Validation, FleetFactoriesRejectEmptyAndZero) {
+  expect_invalid([] { (void)FleetConfig::cycled({}, 4); }, "specs");
+  expect_invalid([] { (void)FleetConfig::homogeneous("tron", 0); }, "fleet size");
+}
+
+TEST(Validation, CampaignConfigNamesBadField) {
+  const WorkloadCatalog catalog = WorkloadCatalog::tron_default();
+  CampaignConfig good;
+  good.qps = {1000.0};
+  good.requests_per_point = 100;
+
+  CampaignConfig c = good;
+  c.qps.clear();
+  expect_invalid([&] { (void)run_campaign(c, catalog); }, "CampaignConfig.qps");
+  c = good;
+  c.qps = {-5.0};
+  expect_invalid([&] { (void)run_campaign(c, catalog); }, "CampaignConfig.qps");
+  c = good;
+  c.schedulers.clear();
+  expect_invalid([&] { (void)run_campaign(c, catalog); }, "CampaignConfig.schedulers");
+  c = good;
+  c.fleet_sizes = {0};
+  expect_invalid([&] { (void)run_campaign(c, catalog); }, "CampaignConfig.fleet_sizes");
+  c = good;
+  c.max_batches = {0};
+  expect_invalid([&] { (void)run_campaign(c, catalog); }, "CampaignConfig.max_batches");
+  c = good;
+  c.requests_per_point = 0;
+  expect_invalid([&] { (void)run_campaign(c, catalog); },
+                 "CampaignConfig.requests_per_point");
+  c = good;
+  c.fleet_template.clear();
+  expect_invalid([&] { (void)run_campaign(c, catalog); }, "CampaignConfig.fleet_template");
+}
+
+// ---------------------------------------------------------------------------
 // Campaigns
 // ---------------------------------------------------------------------------
 
 TEST(Campaign, ParallelSweepMatchesSerialSimulation) {
   const WorkloadCatalog catalog = WorkloadCatalog::tron_default();
   CampaignConfig cfg;
-  cfg.kind = AcceleratorKind::kTron;
-  cfg.qps = {0.6 * fleet_capacity_qps(catalog, default_tron_spec(), 2, 8)};
+  cfg.fleet_template = {"tron"};
+  cfg.qps = {0.6 * fleet_capacity_qps(catalog, "tron", 2, 8)};
   cfg.schedulers = {SchedulerKind::kDynamicBatch};
   cfg.fleet_sizes = {2};
   cfg.max_batches = {8};
@@ -383,7 +583,7 @@ TEST(Campaign, ParallelSweepMatchesSerialSimulation) {
   SimConfig sim_cfg;
   sim_cfg.slo_scale = cfg.slo_scale;
   const ServeMetrics serial =
-      simulate(FleetConfig::homogeneous(default_tron_spec(), 2), catalog,
+      simulate(FleetConfig::homogeneous("tron", 2), catalog,
                generate_trace(catalog, trace_cfg), SchedulerKind::kDynamicBatch, policy,
                sim_cfg);
   EXPECT_EQ(points[0].metrics.p99_latency_s, serial.p99_latency_s);
@@ -395,7 +595,7 @@ TEST(Campaign, ParallelSweepMatchesSerialSimulation) {
 TEST(Campaign, FifoPointsIgnoreBatchGrid) {
   const WorkloadCatalog catalog = WorkloadCatalog::tron_default();
   CampaignConfig cfg;
-  cfg.kind = AcceleratorKind::kTron;
+  cfg.fleet_template = {"tron"};
   cfg.qps = {1000.0, 2000.0};
   cfg.schedulers = {SchedulerKind::kFifo, SchedulerKind::kDynamicBatch};
   cfg.fleet_sizes = {1};
@@ -404,6 +604,22 @@ TEST(Campaign, FifoPointsIgnoreBatchGrid) {
   const std::vector<CampaignPoint> points = run_campaign(cfg, catalog);
   // FIFO collapses the batch dimension: 2 qps + 2 batches x 2 qps = 6 points.
   EXPECT_EQ(points.size(), 6u);
+}
+
+TEST(Campaign, MixedFleetTemplateSweepCompletes) {
+  const WorkloadCatalog catalog = WorkloadCatalog::mixed_default();
+  CampaignConfig cfg;
+  cfg.fleet_template = {"tron", "ghost"};
+  cfg.qps = {0.5 * fleet_capacity_qps(catalog, FleetConfig::cycled({"tron", "ghost"}, 4), 8)};
+  cfg.schedulers = {SchedulerKind::kDynamicBatch};
+  cfg.fleet_sizes = {4};
+  cfg.max_batches = {8};
+  cfg.requests_per_point = 4000;
+  cfg.seed = 23;
+  const std::vector<CampaignPoint> points = run_campaign(cfg, catalog);
+  ASSERT_EQ(points.size(), 1u);
+  EXPECT_EQ(points[0].metrics.completed, 4000u);
+  EXPECT_GT(points[0].metrics.goodput_qps, 0.0);
 }
 
 }  // namespace
