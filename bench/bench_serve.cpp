@@ -4,8 +4,12 @@
 // number (1M requests through a 4-accelerator fleet) per fleet.  The mixed
 // scenario exercises the multi-tenant path: one catalog mixing transformer
 // and GNN workloads over a fleet alternating TRON and GHOST slots with
-// kind-aware routing.  Self-contained like bench_kernels (steady_clock, no
-// framework); emits BENCH_serve.json alongside the human-readable tables.
+// kind-aware routing.  The elastic scenario starts the same mixed fleet at
+// two slots under bursty traffic and compares autoscaling policies (static
+// vs queue-depth vs target-utilization) with two-tier priorities, recording
+// per-tenant SLO attainment.  Self-contained like bench_kernels
+// (steady_clock, no framework); emits BENCH_serve.json alongside the
+// human-readable tables.
 //
 // Usage:
 //   bench_serve [--smoke] [--out <path>]
@@ -126,6 +130,67 @@ bool write_json(const std::vector<ScenarioResult>& scenarios, const std::string&
   return static_cast<bool>(f);
 }
 
+// Elastic scenario: the mixed TRON+GHOST catalog with two-tier priorities,
+// starting from a deliberately undersized 2-slot fleet under bursty traffic
+// sized for 4 slots — the static point saturates, the autoscaling points must
+// grow into the load.  One campaign sweeps the policy axis; the headline
+// times the queue-depth policy end to end.
+ScenarioResult run_elastic_scenario(bool smoke) {
+  serve::WorkloadCatalog catalog = serve::WorkloadCatalog::mixed_default();
+  catalog.apply_default_tiers();
+  const std::vector<std::string> fleet_template{"tron", "ghost"};
+  const std::size_t initial_fleet = 2;
+  const std::size_t max_batch = 8;
+  // Size the load for a 4-slot fleet: ~2x what the initial slots sustain.
+  const double capacity4 =
+      serve::fleet_capacity_qps(catalog, serve::FleetConfig::cycled(fleet_template, 4),
+                                max_batch);
+
+  ScenarioResult out;
+  serve::CampaignConfig cfg;
+  cfg.name = "TRON+GHOST elastic policy sweep";
+  cfg.fleet_template = fleet_template;
+  cfg.qps = {0.5 * capacity4, 0.8 * capacity4};
+  cfg.schedulers = {serve::SchedulerKind::kDynamicBatch};
+  cfg.fleet_sizes = {initial_fleet};
+  cfg.max_batches = {max_batch};
+  cfg.autoscalers = {serve::AutoscalerPolicy::kNone, serve::AutoscalerPolicy::kQueueDepth,
+                     serve::AutoscalerPolicy::kTargetUtilization};
+  cfg.autoscale.max_slots = 6;  // per family: up to 12 slots total
+  cfg.process = serve::ArrivalProcess::kBursty;
+  cfg.requests_per_point = smoke ? 10000 : 200000;
+  cfg.seed = 13;
+  out.points = serve::run_campaign(cfg, catalog);
+  out.config = cfg;
+
+  serve::TraceConfig trace_cfg;
+  trace_cfg.offered_qps = 0.8 * capacity4;
+  trace_cfg.request_count = smoke ? 50000 : 1000000;
+  trace_cfg.process = serve::ArrivalProcess::kBursty;
+  trace_cfg.seed = 19;
+  serve::BatchPolicy policy;
+  policy.max_batch = max_batch;
+  serve::SimConfig sim;
+  sim.autoscaler.policy = serve::AutoscalerPolicy::kQueueDepth;
+  sim.autoscaler.max_slots = 6;
+  const serve::FleetConfig fleet_cfg =
+      serve::FleetConfig::cycled(fleet_template, initial_fleet);
+  const auto t0 = std::chrono::steady_clock::now();
+  const std::vector<serve::Request> trace = serve::generate_trace(catalog, trace_cfg);
+  const serve::FleetMetrics m = serve::simulate(
+      fleet_cfg, catalog, trace, serve::SchedulerKind::kDynamicBatch, policy, sim);
+  const auto t1 = std::chrono::steady_clock::now();
+  out.headline.fleet_label = "TRON+GHOST elastic";
+  out.headline.requests = trace_cfg.request_count;
+  out.headline.fleet = initial_fleet;
+  out.headline.wall_s = std::chrono::duration<double>(t1 - t0).count();
+  out.headline.requests_per_s =
+      static_cast<double>(trace_cfg.request_count) / out.headline.wall_s;
+  out.headline.p99_latency_s = m.p99_latency_s;
+  out.headline.goodput_qps = m.goodput_qps;
+  return out;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -149,6 +214,7 @@ int main(int argc, char** argv) {
       run_scenario("GHOST", {"ghost"}, serve::WorkloadCatalog::ghost_default(), smoke));
   scenarios.push_back(run_scenario("TRON+GHOST mixed", {"tron", "ghost"},
                                    serve::WorkloadCatalog::mixed_default(), smoke));
+  scenarios.push_back(run_elastic_scenario(smoke));
 
   for (const ScenarioResult& s : scenarios) {
     serve::campaign_table(s.points, s.config.name).print(std::cout);

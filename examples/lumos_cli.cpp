@@ -23,7 +23,7 @@
 //   serve flags:
 //     --qps <q>          offered QPS (default: 70% of unloaded fleet capacity)
 //     --requests <n>     trace length (default 50000)
-//     --fleet <n>        accelerators in the fleet (default 4)
+//     --fleet <n>        accelerators in the (initial) fleet (default 4)
 //     --sched <s>        fifo | batch (default batch)
 //     --max-batch <n>    dynamic-batch cap (default 8)
 //     --max-wait-us <w>  dynamic-batch deadline (default 2000)
@@ -31,6 +31,13 @@
 //     --routing <r>      first-idle | energy (default first-idle)
 //     --hetero           alternate full/eco accelerator variants
 //     --seed <s>         trace seed (default 1)
+//     --priority         two-tier strict priorities over the workload mix
+//                        (high-traffic tenants tier 0, the rest tier 1)
+//     --autoscale <p>    none | queue | util: elastic fleet policy
+//     --scale-interval-us <n>  autoscaler evaluation step (default 5000)
+//     --min-fleet <n>    per-family slot floor under autoscaling (default 1)
+//     --max-fleet <n>    per-family slot ceiling under autoscaling (default 64)
+//     --grow-scale <x>   grown slots use the registry's "<spec>@<x>" variant
 //
 //   --json anywhere switches to machine-readable output.
 //
@@ -40,6 +47,7 @@
 //   lumos_cli ghost gat pubmed
 //   lumos_cli generate gpt2 64 128
 //   lumos_cli serve mixed --qps 40000 --fleet 6 --json
+//   lumos_cli serve mixed --priority --autoscale queue --fleet 2 --max-fleet 8
 #include <cerrno>
 #include <cstdlib>
 #include <iostream>
@@ -101,6 +109,9 @@ void print_report_json(const PerfReport& r) {
   std::cout << "  ]\n}\n";
 }
 
+// Every accepted mode and flag must appear here: the arg parsers below throw
+// on anything they do not recognise, and the thrown path funnels into this
+// text with exit code 2 (tests/ci pin that).
 int usage() {
   std::cerr << "usage:\n"
                "  lumos_cli [--json] list\n"
@@ -111,13 +122,17 @@ int usage() {
                    sim::joined_names(sim::gnn_names()) + "> <" +
                    sim::joined_names(sim::dataset_names()) +
                    ">\n"
-                   "  lumos_cli [--json] generate <bert-base|bert-large|gpt2|vit> <prompt> "
-                   "<tokens>\n"
+                   "  lumos_cli [--json] generate <" +
+                   sim::joined_names(sim::transformer_names()) +
+                   "> <prompt> <tokens>\n"
                    "  lumos_cli [--json] serve <tron|ghost|mixed> [--qps q] [--requests n] "
                    "[--fleet n]\n"
                    "            [--sched fifo|batch] [--max-batch n] [--max-wait-us w] "
                    "[--bursty]\n"
-                   "            [--routing first-idle|energy] [--hetero] [--seed s]\n";
+                   "            [--routing first-idle|energy] [--hetero] [--seed s] "
+                   "[--priority]\n"
+                   "            [--autoscale none|queue|util] [--scale-interval-us n]\n"
+                   "            [--min-fleet n] [--max-fleet n] [--grow-scale x]\n";
   return 2;
 }
 
@@ -201,6 +216,10 @@ int run_serve(const std::vector<std::string>& args, bool json) {
   std::size_t fleet = 4;
   std::size_t max_batch = 8;
   bool hetero = false;
+  bool priority = false;
+  // Autoscaler knobs are only meaningful with a policy; track use so a knob
+  // without --autoscale errors instead of being silently ignored.
+  std::string knob_without_policy;
   for (std::size_t i = 1; i < args.size(); ++i) {
     const std::string& a = args[i];
     const auto value = [&]() -> const std::string& {
@@ -243,12 +262,49 @@ int run_serve(const std::vector<std::string>& args, bool json) {
       hetero = true;
     } else if (a == "--seed") {
       cfg.seed = parse_size(value(), "--seed");
+    } else if (a == "--priority") {
+      priority = true;
+    } else if (a == "--autoscale") {
+      const std::string& s = value();
+      if (s == "none") {
+        cfg.autoscalers = {serve::AutoscalerPolicy::kNone};
+      } else if (s == "queue") {
+        cfg.autoscalers = {serve::AutoscalerPolicy::kQueueDepth};
+      } else if (s == "util") {
+        cfg.autoscalers = {serve::AutoscalerPolicy::kTargetUtilization};
+      } else {
+        throw InvalidArgument("unknown autoscale policy: " + s +
+                              " (expected none|queue|util)");
+      }
+    } else if (a == "--scale-interval-us") {
+      knob_without_policy = a;
+      cfg.autoscale.interval_s = parse_double(value(), "--scale-interval-us") * 1e-6;
+      if (cfg.autoscale.interval_s <= 0.0) {
+        throw InvalidArgument("--scale-interval-us must be positive");
+      }
+    } else if (a == "--min-fleet") {
+      knob_without_policy = a;
+      cfg.autoscale.min_slots = parse_size(value(), "--min-fleet");
+    } else if (a == "--max-fleet") {
+      knob_without_policy = a;
+      cfg.autoscale.max_slots = parse_size(value(), "--max-fleet");
+    } else if (a == "--grow-scale") {
+      knob_without_policy = a;
+      cfg.autoscale.grow_scale = parse_double(value(), "--grow-scale");
+      if (cfg.autoscale.grow_scale <= 0.0) {
+        throw InvalidArgument("--grow-scale must be positive");
+      }
     } else {
       throw InvalidArgument("unknown serve flag: " + a);
     }
   }
   if (fleet == 0 || max_batch == 0 || cfg.requests_per_point == 0) {
     throw InvalidArgument("--fleet, --max-batch, and --requests must be positive");
+  }
+  if (!knob_without_policy.empty() &&
+      cfg.autoscalers.front() == serve::AutoscalerPolicy::kNone) {
+    throw InvalidArgument(knob_without_policy +
+                          " has no effect without --autoscale queue|util");
   }
   if (max_batch > serve::BatchPolicy::kMaxBatchLimit || fleet > 4096) {
     throw InvalidArgument("--max-batch and --fleet must be <= 4096");
@@ -264,6 +320,7 @@ int run_serve(const std::vector<std::string>& args, bool json) {
   }
   cfg.fleet_sizes = {fleet};
   cfg.max_batches = {max_batch};
+  if (priority) catalog.apply_default_tiers();
 
   if (qps <= 0.0) {
     const std::size_t capacity_batch =
@@ -283,6 +340,9 @@ int run_serve(const std::vector<std::string>& args, bool json) {
                               serve::process_name(cfg.process) + " arrivals)";
     serve::campaign_table(points, title).print(std::cout);
     points.front().metrics.to_table("point detail").print(std::cout);
+    if (priority || cfg.autoscalers.front() != serve::AutoscalerPolicy::kNone) {
+      points.front().metrics.tenant_table("per-tenant breakdown").print(std::cout);
+    }
   }
   return 0;
 }

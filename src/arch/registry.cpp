@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 #include <cstdlib>
 
 #include "common/error.hpp"
@@ -83,6 +84,22 @@ ghost::GhostConfig ghost_config_by_name(const std::string& name) {
   }
   config.lanes = scaled(config.lanes, p.scale);
   return config;
+}
+
+std::string scaled_spec_name(const std::string& name, double scale) {
+  const ParsedName p = parse_name(name);
+  (void)spec_kind(p.base);  // validates the base spec
+  const double net = p.scale * scale;
+  if (!(net > 0.0) || !std::isfinite(net) || net > 1e6) {
+    throw InvalidArgument("bad accelerator spec scale " + std::to_string(scale) +
+                          " applied to '" + name + "' (net scale must be in (0, 1e6])");
+  }
+  if (net == 1.0) return p.base;
+  // %g keeps the short canonical forms ("0.5", "2") and stays non-zero for
+  // tiny scales ("1e-07"), so the returned name always re-parses.
+  char suffix[32];
+  std::snprintf(suffix, sizeof suffix, "%g", net);
+  return p.base + "@" + suffix;
 }
 
 WorkloadKind spec_kind(const std::string& name) {

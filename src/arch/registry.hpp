@@ -36,6 +36,13 @@ namespace lumos::arch {
 // `make_accelerator`.
 [[nodiscard]] WorkloadKind spec_kind(const std::string& name);
 
+// The canonical "<base>@<scale>" name for `name` re-scaled by `scale`
+// (compounding any scale already in `name`; a net scale of 1 returns the bare
+// base).  Elastic fleets use this to grow scaled burst capacity from a
+// family's spec.  Validates `name` and the resulting scale like
+// `make_accelerator`.
+[[nodiscard]] std::string scaled_spec_name(const std::string& name, double scale);
+
 // The concrete configurations behind the TRON-family / GHOST-family names
 // (exposed so design sweeps can perturb a named design point).  Same name
 // validation as `make_accelerator`.

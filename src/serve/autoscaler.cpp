@@ -1,0 +1,120 @@
+#include "serve/autoscaler.hpp"
+
+#include <cmath>
+#include <string>
+
+#include "common/error.hpp"
+
+namespace lumos::serve {
+
+const char* autoscaler_name(AutoscalerPolicy policy) noexcept {
+  switch (policy) {
+    case AutoscalerPolicy::kQueueDepth:
+      return "queue";
+    case AutoscalerPolicy::kTargetUtilization:
+      return "util";
+    case AutoscalerPolicy::kNone:
+      break;
+  }
+  return "none";
+}
+
+void validate_autoscaler(const AutoscalerConfig& config) {
+  if (config.policy == AutoscalerPolicy::kNone) return;
+  if (!(config.interval_s > 0.0) || !std::isfinite(config.interval_s)) {
+    throw InvalidArgument("AutoscalerConfig.interval_s must be positive and finite, got " +
+                          std::to_string(config.interval_s));
+  }
+  if (config.min_slots == 0) {
+    throw InvalidArgument("AutoscalerConfig.min_slots must be >= 1 (a family with zero "
+                          "slots could never serve its workload kind again)");
+  }
+  if (config.max_slots < config.min_slots) {
+    throw InvalidArgument("AutoscalerConfig.max_slots must be >= min_slots, got " +
+                          std::to_string(config.max_slots) + " < " +
+                          std::to_string(config.min_slots));
+  }
+  if (!(config.queue_high_per_slot > 0.0)) {
+    throw InvalidArgument("AutoscalerConfig.queue_high_per_slot must be positive");
+  }
+  if (config.queue_low_utilization < 0.0 || config.queue_low_utilization > 1.0) {
+    throw InvalidArgument("AutoscalerConfig.queue_low_utilization must be in [0, 1]");
+  }
+  if (config.target_utilization <= 0.0 || config.target_utilization > 1.0) {
+    throw InvalidArgument("AutoscalerConfig.target_utilization must be in (0, 1]");
+  }
+  if (config.utilization_band < 0.0 || config.utilization_band >= 1.0) {
+    throw InvalidArgument("AutoscalerConfig.utilization_band must be in [0, 1)");
+  }
+  if (!(config.grow_scale > 0.0) || !std::isfinite(config.grow_scale)) {
+    throw InvalidArgument("AutoscalerConfig.grow_scale must be positive and finite, got " +
+                          std::to_string(config.grow_scale));
+  }
+}
+
+namespace {
+
+// Reactive backlog policy: a queue deeper than `queue_high_per_slot` requests
+// per active slot means the family is falling behind — grow.  An empty queue
+// with the family mostly idle over the last interval means capacity is wasted
+// — shrink one slot.
+class QueueDepthAutoscaler final : public Autoscaler {
+ public:
+  explicit QueueDepthAutoscaler(const AutoscalerConfig& config) : config_(config) {}
+
+  [[nodiscard]] AutoscalerPolicy policy() const noexcept override {
+    return AutoscalerPolicy::kQueueDepth;
+  }
+
+  [[nodiscard]] int step(const FamilySignals& s) override {
+    const double per_slot =
+        static_cast<double>(s.queued) / static_cast<double>(s.active_slots);
+    if (per_slot > config_.queue_high_per_slot) return 1;
+    if (s.queued == 0 && s.utilization < config_.queue_low_utilization) return -1;
+    return 0;
+  }
+
+ private:
+  AutoscalerConfig config_;
+};
+
+// Set-point policy: keep utilization inside a dead band around the target.
+// Never shrinks into a backlog deeper than the active slots (the queue would
+// immediately re-trigger growth and the fleet would oscillate).
+class TargetUtilizationAutoscaler final : public Autoscaler {
+ public:
+  explicit TargetUtilizationAutoscaler(const AutoscalerConfig& config) : config_(config) {}
+
+  [[nodiscard]] AutoscalerPolicy policy() const noexcept override {
+    return AutoscalerPolicy::kTargetUtilization;
+  }
+
+  [[nodiscard]] int step(const FamilySignals& s) override {
+    if (s.utilization > config_.target_utilization + config_.utilization_band) return 1;
+    if (s.utilization < config_.target_utilization - config_.utilization_band &&
+        s.queued <= s.active_slots) {
+      return -1;
+    }
+    return 0;
+  }
+
+ private:
+  AutoscalerConfig config_;
+};
+
+}  // namespace
+
+std::unique_ptr<Autoscaler> make_autoscaler(const AutoscalerConfig& config) {
+  validate_autoscaler(config);
+  switch (config.policy) {
+    case AutoscalerPolicy::kQueueDepth:
+      return std::make_unique<QueueDepthAutoscaler>(config);
+    case AutoscalerPolicy::kTargetUtilization:
+      return std::make_unique<TargetUtilizationAutoscaler>(config);
+    case AutoscalerPolicy::kNone:
+      break;
+  }
+  return nullptr;
+}
+
+}  // namespace lumos::serve

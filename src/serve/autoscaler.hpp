@@ -1,0 +1,91 @@
+// Autoscaling policies for the serving simulator: elastic fleets.
+//
+// An `Autoscaler` is a step-based control policy the event loop evaluates
+// every `interval_s` of *simulated* time, once per spec family (the distinct
+// registry names the fleet was built from).  Each step sees the family's
+// signals — active slot count, queued requests it could serve, utilization
+// over the last interval — and returns a desired slot delta.  The simulator
+// applies the delta by instantiating a new registry-named accelerator
+// (growth) or retiring one (shrink).  Retiring always drains first: the slot
+// stops receiving dispatches immediately but finishes its in-flight batch, so
+// no request is ever dropped and the event loop's (time, seq) total order is
+// preserved — simulations stay bit-reproducible.
+//
+// Growth can instantiate scaled registry variants ("tron@0.5") via
+// `grow_scale`, giving policies a continuous-ish action space over the
+// discrete slot count.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+
+namespace lumos::serve {
+
+enum class AutoscalerPolicy {
+  kNone,               // static fleet (bit-identical to the non-elastic simulator)
+  kQueueDepth,         // reactive: grow on backlog, shrink on idle capacity
+  kTargetUtilization,  // track a utilization set point with a dead band
+};
+
+[[nodiscard]] const char* autoscaler_name(AutoscalerPolicy policy) noexcept;
+
+struct AutoscalerConfig {
+  AutoscalerPolicy policy = AutoscalerPolicy::kNone;
+  // Evaluation step, in simulated seconds.
+  double interval_s = 5e-3;
+
+  // kQueueDepth: grow when the family's queue exceeds this many requests per
+  // active slot; shrink when the queue is empty and utilization over the last
+  // interval fell below `queue_low_utilization`.
+  double queue_high_per_slot = 4.0;
+  double queue_low_utilization = 0.3;
+
+  // kTargetUtilization: grow above `target_utilization + utilization_band`,
+  // shrink below `target_utilization - utilization_band` (never with a
+  // backlog deeper than the active slots).
+  double target_utilization = 0.65;
+  double utilization_band = 0.15;
+
+  // Per-family slot bounds.  `min_slots >= 1` keeps every workload kind
+  // serveable, so elastic simulations can never livelock.
+  std::size_t min_slots = 1;
+  std::size_t max_slots = 64;
+
+  // Spec scale of grown slots: 1 reuses the family's spec verbatim; other
+  // values instantiate the registry's "<base>@<scale>" variant (e.g. 0.5
+  // grows half-size burst capacity).
+  double grow_scale = 1.0;
+};
+
+// Throws `InvalidArgument` naming the bad field (non-positive interval or
+// grow_scale, min_slots of 0, max < min, out-of-range thresholds).  A kNone
+// config is always valid.
+void validate_autoscaler(const AutoscalerConfig& config);
+
+// One spec family's observable state at an evaluation step.
+struct FamilySignals {
+  std::size_t active_slots = 0;    // accepting dispatches (not draining)
+  std::size_t draining_slots = 0;  // finishing in-flight work before retiring
+  std::size_t queued = 0;          // waiting requests this family could serve
+  double utilization = 0.0;        // family busy fraction over the last interval
+  std::size_t min_slots = 1;
+  std::size_t max_slots = 64;
+};
+
+class Autoscaler {
+ public:
+  virtual ~Autoscaler() = default;
+
+  [[nodiscard]] virtual AutoscalerPolicy policy() const noexcept = 0;
+
+  // Desired slot delta for one family at one step (positive grows, negative
+  // shrinks; the simulator clamps so active slots stay within
+  // [min_slots, max_slots]).  Policies are pure functions of the signals, so
+  // elastic simulations replay bit-for-bit.
+  [[nodiscard]] virtual int step(const FamilySignals& signals) = 0;
+};
+
+// Builds the configured policy; nullptr for kNone.  Validates `config`.
+[[nodiscard]] std::unique_ptr<Autoscaler> make_autoscaler(const AutoscalerConfig& config);
+
+}  // namespace lumos::serve

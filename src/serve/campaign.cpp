@@ -116,6 +116,15 @@ void validate_campaign(const CampaignConfig& config) {
   if (config.requests_per_point == 0) {
     throw InvalidArgument("CampaignConfig.requests_per_point must be >= 1");
   }
+  if (config.autoscalers.empty()) {
+    throw InvalidArgument("CampaignConfig.autoscalers must not be empty");
+  }
+  for (const AutoscalerPolicy policy : config.autoscalers) {
+    if (policy == AutoscalerPolicy::kNone) continue;
+    AutoscalerConfig knobs = config.autoscale;
+    knobs.policy = policy;
+    validate_autoscaler(knobs);
+  }
 }
 
 std::vector<CampaignPoint> run_campaign(const CampaignConfig& config,
@@ -131,13 +140,16 @@ std::vector<CampaignPoint> run_campaign(const CampaignConfig& config,
           scheduler == SchedulerKind::kFifo ? std::vector<std::size_t>{1}
                                             : config.max_batches;
       for (const std::size_t max_batch : batches) {
-        for (const double qps : config.qps) {
-          CampaignPoint p;
-          p.qps = qps;
-          p.scheduler = scheduler;
-          p.fleet_size = fleet_size;
-          p.max_batch = max_batch;
-          points.push_back(p);
+        for (const AutoscalerPolicy autoscaler : config.autoscalers) {
+          for (const double qps : config.qps) {
+            CampaignPoint p;
+            p.qps = qps;
+            p.scheduler = scheduler;
+            p.fleet_size = fleet_size;
+            p.max_batch = max_batch;
+            p.autoscaler = autoscaler;
+            points.push_back(p);
+          }
         }
       }
     }
@@ -163,6 +175,8 @@ std::vector<CampaignPoint> run_campaign(const CampaignConfig& config,
       policy.max_wait_s = config.max_wait_s;
       SimConfig sim;
       sim.slo_scale = config.slo_scale;
+      sim.autoscaler = config.autoscale;
+      sim.autoscaler.policy = p.autoscaler;
       p.metrics = simulate(fleet, catalog, trace, p.scheduler, policy, sim);
     }
   });
@@ -171,12 +185,17 @@ std::vector<CampaignPoint> run_campaign(const CampaignConfig& config,
 
 Table campaign_table(const std::vector<CampaignPoint>& points, const std::string& title) {
   Table t(title);
-  t.add_row({"fleet", "sched", "batch", "offered QPS", "goodput QPS", "p50 us", "p99 us",
-             "p99.9 us", "mean batch", "uJ/req", "util"});
+  t.add_row({"fleet", "sched", "batch", "scaler", "offered QPS", "goodput QPS", "p50 us",
+             "p99 us", "p99.9 us", "mean batch", "uJ/req", "util"});
   for (const CampaignPoint& p : points) {
-    const ServeMetrics& m = p.metrics;
-    t.add_row({std::to_string(p.fleet_size), scheduler_name(p.scheduler),
-               std::to_string(p.max_batch), Table::num(p.qps, 1),
+    const FleetMetrics& m = p.metrics;
+    std::string fleet_cell = std::to_string(p.fleet_size);
+    if (p.autoscaler != AutoscalerPolicy::kNone) {
+      fleet_cell += "->" + std::to_string(m.final_fleet_size) + " (peak " +
+                    std::to_string(m.peak_fleet_size) + ")";
+    }
+    t.add_row({fleet_cell, scheduler_name(p.scheduler), std::to_string(p.max_batch),
+               autoscaler_name(p.autoscaler), Table::num(p.qps, 1),
                Table::num(m.goodput_qps, 1), Table::num(units::to_us(m.p50_latency_s), 1),
                Table::num(units::to_us(m.p99_latency_s), 1),
                Table::num(units::to_us(m.p999_latency_s), 1), Table::num(m.mean_batch_size, 2),
@@ -202,9 +221,10 @@ void write_campaign_json(const CampaignConfig& config,
   os << "  \"points\": [\n";
   for (std::size_t i = 0; i < points.size(); ++i) {
     const CampaignPoint& p = points[i];
-    const ServeMetrics& m = p.metrics;
+    const FleetMetrics& m = p.metrics;
     os << "    {\"fleet\": " << p.fleet_size << ", \"scheduler\": \""
        << scheduler_name(p.scheduler) << "\", \"max_batch\": " << p.max_batch
+       << ", \"autoscaler\": \"" << autoscaler_name(p.autoscaler) << "\""
        << ", \"offered_qps\": " << p.qps << ", \"throughput_qps\": " << m.throughput_qps
        << ", \"goodput_qps\": " << m.goodput_qps
        << ", \"slo_latency_s\": " << m.slo_latency_s
@@ -218,8 +238,24 @@ void write_campaign_json(const CampaignConfig& config,
        << ", \"mean_batch\": " << m.mean_batch_size
        << ", \"energy_per_request_j\": " << m.energy_per_request_j
        << ", \"fleet_energy_j\": " << m.fleet_energy_j
-       << ", \"utilization\": " << m.fleet_utilization << "}"
-       << (i + 1 < points.size() ? "," : "") << "\n";
+       << ", \"utilization\": " << m.fleet_utilization
+       << ", \"peak_fleet\": " << m.peak_fleet_size
+       << ", \"final_fleet\": " << m.final_fleet_size
+       << ", \"mean_fleet\": " << m.mean_fleet_size
+       << ", \"autoscale_grows\": " << m.autoscale_grows
+       << ", \"autoscale_shrinks\": " << m.autoscale_shrinks << ",\n"
+       << "     \"tenants\": [\n";
+    for (std::size_t w = 0; w < m.tenants.size(); ++w) {
+      const TenantMetrics& t = m.tenants[w];
+      os << "      {\"name\": \"" << json_escape(t.name) << "\", \"priority\": " << t.priority
+         << ", \"slo_latency_s\": " << t.slo_latency_s << ", \"completed\": " << t.completed
+         << ", \"slo_attainment\": " << t.slo_attainment
+         << ", \"goodput_qps\": " << t.goodput_qps
+         << ", \"p50_latency_s\": " << t.p50_latency_s
+         << ", \"p99_latency_s\": " << t.p99_latency_s << "}"
+         << (w + 1 < m.tenants.size() ? "," : "") << "\n";
+    }
+    os << "     ]}" << (i + 1 < points.size() ? "," : "") << "\n";
   }
   os << "  ]\n}\n";
 }

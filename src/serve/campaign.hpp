@@ -27,6 +27,11 @@ struct CampaignConfig {
   std::vector<SchedulerKind> schedulers{SchedulerKind::kFifo, SchedulerKind::kDynamicBatch};
   std::vector<std::size_t> fleet_sizes{4};
   std::vector<std::size_t> max_batches{8};  // dynamic batching only
+  // Autoscaling grid axis; {kNone} (the default) keeps fleets static.  The
+  // non-policy knobs (interval, thresholds, slot bounds) come from
+  // `autoscale`, whose own `policy` field is overridden per grid point.
+  std::vector<AutoscalerPolicy> autoscalers{AutoscalerPolicy::kNone};
+  AutoscalerConfig autoscale;
   double max_wait_s = 2e-3;
   std::size_t requests_per_point = 100000;
   ArrivalProcess process = ArrivalProcess::kPoisson;
@@ -42,9 +47,10 @@ void validate_campaign(const CampaignConfig& config);
 struct CampaignPoint {
   double qps = 0.0;
   SchedulerKind scheduler = SchedulerKind::kFifo;
-  std::size_t fleet_size = 0;
+  std::size_t fleet_size = 0;  // initial fleet size of elastic points
   std::size_t max_batch = 1;
-  ServeMetrics metrics;
+  AutoscalerPolicy autoscaler = AutoscalerPolicy::kNone;
+  FleetMetrics metrics;
 };
 
 // Runs every grid point (in parallel) and returns them in grid order.

@@ -17,7 +17,7 @@ double percentile(std::vector<double>& samples, double q) {
   return samples[std::min(index, samples.size() - 1)];
 }
 
-Table ServeMetrics::to_table(const std::string& title) const {
+Table FleetMetrics::to_table(const std::string& title) const {
   Table t(title);
   t.add_row({"metric", "value"});
   t.add_row({"offered QPS", Table::num(offered_qps, 1)});
@@ -39,6 +39,31 @@ Table ServeMetrics::to_table(const std::string& title) const {
   t.add_row({"fleet energy (J)", Table::num(fleet_energy_j, 4)});
   t.add_row({"energy/request (uJ)", Table::num(energy_per_request_j * 1e6, 3)});
   t.add_row({"fleet utilization", Table::num(fleet_utilization, 3)});
+  if (autoscale_grows > 0 || autoscale_shrinks > 0 ||
+      peak_fleet_size != initial_fleet_size) {
+    t.add_row({"fleet size (init/peak/final)", std::to_string(initial_fleet_size) + "/" +
+                                                   std::to_string(peak_fleet_size) + "/" +
+                                                   std::to_string(final_fleet_size)});
+    t.add_row({"mean fleet size", Table::num(mean_fleet_size, 2)});
+    t.add_row({"autoscale grows", std::to_string(autoscale_grows)});
+    t.add_row({"autoscale shrinks", std::to_string(autoscale_shrinks)});
+  }
+  return t;
+}
+
+Table FleetMetrics::tenant_table(const std::string& title) const {
+  Table t(title);
+  t.add_row({"tenant", "tier", "completed", "SLO us", "attainment", "goodput QPS",
+             "p50 us", "p99 us", "max us"});
+  for (const TenantMetrics& tenant : tenants) {
+    t.add_row({tenant.name, std::to_string(tenant.priority),
+               std::to_string(tenant.completed),
+               Table::num(units::to_us(tenant.slo_latency_s), 1),
+               Table::num(tenant.slo_attainment, 4), Table::num(tenant.goodput_qps, 1),
+               Table::num(units::to_us(tenant.p50_latency_s), 1),
+               Table::num(units::to_us(tenant.p99_latency_s), 1),
+               Table::num(units::to_us(tenant.max_latency_s), 1)});
+  }
   return t;
 }
 

@@ -1,8 +1,11 @@
 // Result metrics of one serving simulation: tail-latency percentiles,
-// goodput, queueing behaviour, batching behaviour, and fleet energy.
+// goodput, queueing behaviour, batching behaviour, fleet energy, autoscaling
+// activity, and a per-tenant (per catalog entry) breakdown with each tenant's
+// own SLO attainment.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -14,15 +17,31 @@ namespace lumos::serve {
 // 0 for an empty vector.
 [[nodiscard]] double percentile(std::vector<double>& samples, double q);
 
-struct ServeMetrics {
+// Per-tenant slice of a simulation: one catalog entry's completions scored
+// against that entry's own SLO (falling back to the simulation-wide SLO when
+// the entry does not set one).
+struct TenantMetrics {
+  std::string name;
+  std::uint32_t priority = 0;     // scheduler tier (lower = more urgent)
+  double slo_latency_s = 0.0;     // the SLO this tenant was scored against
+  std::size_t completed = 0;
+  double slo_attainment = 0.0;    // fraction of completions within the SLO
+  double goodput_qps = 0.0;       // within-SLO completions / duration
+  double mean_latency_s = 0.0;
+  double p50_latency_s = 0.0;
+  double p99_latency_s = 0.0;
+  double max_latency_s = 0.0;
+};
+
+struct FleetMetrics {
   // Traffic.
   double offered_qps = 0.0;
   std::size_t completed = 0;
   double duration_s = 0.0;        // first arrival (t=0) to last completion
   double throughput_qps = 0.0;    // completed / duration
   double goodput_qps = 0.0;       // within-SLO completions / duration
-  double slo_latency_s = 0.0;
-  double slo_attainment = 0.0;    // fraction of completions within the SLO
+  double slo_latency_s = 0.0;     // simulation-wide (fallback) SLO
+  double slo_attainment = 0.0;    // fraction of completions within their SLO
 
   // Request latency (arrival -> completion).
   double p50_latency_s = 0.0;
@@ -44,13 +63,29 @@ struct ServeMetrics {
   // Energy (dispatched batches + idle static burn across the fleet).
   double fleet_energy_j = 0.0;
   double energy_per_request_j = 0.0;
-  double fleet_utilization = 0.0;  // busy time / (accelerators x duration)
+  double fleet_utilization = 0.0;  // busy time / integral of active slot-time
+
+  // Autoscaling (all zero / initial==final for static fleets).
+  std::size_t autoscale_grows = 0;
+  std::size_t autoscale_shrinks = 0;
+  std::size_t initial_fleet_size = 0;
+  std::size_t peak_fleet_size = 0;
+  std::size_t final_fleet_size = 0;   // active (non-draining) slots at the end
+  double mean_fleet_size = 0.0;       // time-weighted slot count
+
+  // Per-tenant breakdown, one entry per catalog entry (catalog order).
+  std::vector<TenantMetrics> tenants;
 
   // Estimate-cache effectiveness.
   std::size_t estimate_lookups = 0;
   std::size_t estimate_misses = 0;
 
   [[nodiscard]] Table to_table(const std::string& title) const;
+  // One row per tenant: priority, SLO, attainment, goodput, tail latency.
+  [[nodiscard]] Table tenant_table(const std::string& title) const;
 };
+
+// The pre-elastic name; fleet-level semantics are unchanged for static runs.
+using ServeMetrics = FleetMetrics;
 
 }  // namespace lumos::serve

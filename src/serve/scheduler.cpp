@@ -16,12 +16,22 @@ namespace {
 
 constexpr double kNever = std::numeric_limits<double>::infinity();
 
+// Workload w's strict tier under `tiers` (empty vector / out-of-range: 0).
+std::uint32_t tier_of(const std::vector<std::uint32_t>& tiers, std::uint32_t workload) {
+  return workload < tiers.size() ? tiers[workload] : 0;
+}
+
 // FIFO over per-workload sub-queues: a global enqueue sequence defines the
 // arrival order, and masked calls compare only the sub-queue heads, so a
 // disallowed backlog at the logical front (a saturated mixed fleet's other
 // kind) costs O(workloads) per op instead of a scan of the whole queue.
+// With priority tiers the pop compares (tier, seq): strict priority across
+// tiers, arrival order within a tier.
 class FifoScheduler final : public Scheduler {
  public:
+  explicit FifoScheduler(std::vector<std::uint32_t> priorities)
+      : tiers_(std::move(priorities)) {}
+
   void enqueue(const Request& request, double) override {
     if (request.workload >= queues_.size()) queues_.resize(request.workload + 1);
     queues_[request.workload].push_back({seq_++, request});
@@ -42,11 +52,19 @@ class FifoScheduler final : public Scheduler {
   }
 
   [[nodiscard]] std::vector<Request> pop(double, const WorkloadMask& mask) override {
-    // Earliest-enqueued allowed head (the global front when unmasked).
+    // Lowest-tier, then earliest-enqueued allowed head (the global front when
+    // unmasked and untiered).
     std::size_t best = queues_.size();
     for (std::uint32_t w = 0; w < queues_.size(); ++w) {
       if (queues_[w].empty() || !mask.allows(w)) continue;
-      if (best == queues_.size() || queues_[w].front().seq < queues_[best].front().seq) {
+      if (best == queues_.size()) {
+        best = w;
+        continue;
+      }
+      const std::uint32_t tier = tier_of(tiers_, w);
+      const std::uint32_t best_tier = tier_of(tiers_, static_cast<std::uint32_t>(best));
+      if (tier < best_tier ||
+          (tier == best_tier && queues_[w].front().seq < queues_[best].front().seq)) {
         best = w;
       }
     }
@@ -65,13 +83,19 @@ class FifoScheduler final : public Scheduler {
     Request request;
   };
   std::vector<std::deque<Entry>> queues_;
+  std::vector<std::uint32_t> tiers_;
   std::uint64_t seq_ = 0;
   std::size_t queued_ = 0;
 };
 
+// Per-workload batching buckets.  Readiness and deadlines ignore tiers (a
+// lower-priority bucket's deadline must still wake the event loop so the tier
+// eventually dispatches); the pop respects strict tier order among the ready
+// buckets, falling back to longest-waiting-head order within a tier.
 class DynamicBatchScheduler final : public Scheduler {
  public:
-  explicit DynamicBatchScheduler(const BatchPolicy& policy) : policy_(policy) {
+  DynamicBatchScheduler(const BatchPolicy& policy, std::vector<std::uint32_t> priorities)
+      : policy_(policy), tiers_(std::move(priorities)) {
     LUMOS_EXPECTS_MSG(policy.max_batch >= 1 && policy.max_batch <= BatchPolicy::kMaxBatchLimit,
                       "BatchPolicy.max_batch must be in [1, " +
                           std::to_string(BatchPolicy::kMaxBatchLimit) + "], got " +
@@ -105,8 +129,9 @@ class DynamicBatchScheduler final : public Scheduler {
   }
 
   [[nodiscard]] std::vector<Request> pop(double now_s, const WorkloadMask& mask) override {
-    // Among ready allowed buckets, serve the one whose oldest request has
-    // waited longest (tie: lowest workload id via the map's iteration order).
+    // Among ready allowed buckets, serve the lowest tier; within a tier, the
+    // bucket whose oldest request has waited longest (tie: lowest workload id
+    // via the map's iteration order).
     auto best = buckets_.end();
     for (auto it = buckets_.begin(); it != buckets_.end(); ++it) {
       if (!mask.allows(it->first)) continue;
@@ -114,8 +139,14 @@ class DynamicBatchScheduler final : public Scheduler {
       const bool is_ready = bucket.size() >= policy_.max_batch ||
                             bucket.front().arrival_s + policy_.max_wait_s <= now_s;
       if (!is_ready) continue;
-      if (best == buckets_.end() ||
-          bucket.front().arrival_s < best->second.front().arrival_s) {
+      if (best == buckets_.end()) {
+        best = it;
+        continue;
+      }
+      const std::uint32_t tier = tier_of(tiers_, it->first);
+      const std::uint32_t best_tier = tier_of(tiers_, best->first);
+      if (tier < best_tier ||
+          (tier == best_tier && bucket.front().arrival_s < best->second.front().arrival_s)) {
         best = it;
       }
     }
@@ -135,6 +166,7 @@ class DynamicBatchScheduler final : public Scheduler {
 
  private:
   BatchPolicy policy_;
+  std::vector<std::uint32_t> tiers_;
   // std::map for deterministic iteration order (ascending workload id).
   std::map<std::uint32_t, std::deque<Request>> buckets_;
   std::size_t queued_ = 0;
@@ -142,9 +174,12 @@ class DynamicBatchScheduler final : public Scheduler {
 
 }  // namespace
 
-std::unique_ptr<Scheduler> make_scheduler(SchedulerKind kind, const BatchPolicy& policy) {
-  if (kind == SchedulerKind::kFifo) return std::make_unique<FifoScheduler>();
-  return std::make_unique<DynamicBatchScheduler>(policy);
+std::unique_ptr<Scheduler> make_scheduler(SchedulerKind kind, const BatchPolicy& policy,
+                                          std::vector<std::uint32_t> priorities) {
+  if (kind == SchedulerKind::kFifo) {
+    return std::make_unique<FifoScheduler>(std::move(priorities));
+  }
+  return std::make_unique<DynamicBatchScheduler>(policy, std::move(priorities));
 }
 
 }  // namespace lumos::serve

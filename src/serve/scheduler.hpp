@@ -10,9 +10,15 @@
 // Mixed-kind fleets pass a `WorkloadMask` restricting what can dispatch right
 // now (kind-aware routing: a GNN batch only goes to an idle GHOST-family
 // accelerator); the default mask allows every workload, and with it the
-// schedulers behave exactly as the unmasked originals.  All tie-breaks are
-// deterministic (bucket id, arrival order), so a simulation is replayable
-// bit-for-bit.
+// schedulers behave exactly as the unmasked originals.
+//
+// Strict priority tiers: `make_scheduler` optionally takes per-workload tiers
+// (lower = more urgent).  Among the mask-allowed work that is ready right
+// now, the lowest tier always pops first; within a tier the pre-tier order is
+// unchanged (arrival order for FIFO, longest-waiting bucket for dynamic
+// batching).  An empty tier vector — or all-zero tiers — reproduces the
+// untiered schedulers bit-for-bit.  All tie-breaks are deterministic (tier,
+// bucket id, arrival order), so a simulation is replayable bit-for-bit.
 #pragma once
 
 #include <cstddef>
@@ -75,7 +81,10 @@ class Scheduler {
                                                  const WorkloadMask& mask = {}) = 0;
 };
 
-[[nodiscard]] std::unique_ptr<Scheduler> make_scheduler(SchedulerKind kind,
-                                                        const BatchPolicy& policy);
+// `priorities[w]` is workload w's strict tier (lower pops first); workloads
+// beyond the vector — and every workload when it is empty — are tier 0.
+[[nodiscard]] std::unique_ptr<Scheduler> make_scheduler(
+    SchedulerKind kind, const BatchPolicy& policy,
+    std::vector<std::uint32_t> priorities = {});
 
 }  // namespace lumos::serve

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 
+#include "arch/registry.hpp"
 #include "common/error.hpp"
 
 namespace lumos::serve {
@@ -65,9 +66,28 @@ struct CompletionLater {
   }
 };
 
+// One fleet slot.  Slots are append-only: growth pushes a new slot, shrink
+// marks one draining (no new dispatches) and retires it once idle, so slot
+// indices — and with them dispatch order and the (time, seq) completion order
+// — never shift mid-simulation.
+struct Slot {
+  std::size_t cache = 0;   // estimate cache (shared per spec name)
+  std::size_t family = 0;  // spec family this slot scales with
+  bool idle = true;
+  bool draining = false;
+  bool retired = false;
+  double busy_s = 0.0;
+  double active_start_s = 0.0;
+  double active_end_s = -1.0;  // < 0: still present at simulation end
+};
+
+bool can_dispatch_to(const Slot& s) noexcept {
+  return s.idle && !s.draining && !s.retired;
+}
+
 }  // namespace
 
-ServeMetrics simulate(const FleetConfig& fleet, const WorkloadCatalog& catalog,
+FleetMetrics simulate(const FleetConfig& fleet, const WorkloadCatalog& catalog,
                       const std::vector<Request>& trace, SchedulerKind scheduler,
                       const BatchPolicy& policy, const SimConfig& sim) {
   if (fleet.accelerators.empty()) {
@@ -88,27 +108,54 @@ ServeMetrics simulate(const FleetConfig& fleet, const WorkloadCatalog& catalog,
                           std::to_string(BatchPolicy::kMaxBatchLimit) + "], got " +
                           std::to_string(policy.max_batch));
   }
+  const std::unique_ptr<Autoscaler> scaler = make_autoscaler(sim.autoscaler);
 
   // One estimate cache per distinct spec name; fleet slots share caches.
+  // Families are the distinct initial spec names in first-appearance order —
+  // the units the autoscaler grows and shrinks.
   std::vector<EstimateCache> caches;
-  caches.reserve(fleet.accelerators.size());
-  std::vector<std::size_t> cache_of(fleet.accelerators.size(), kNone);
-  for (std::size_t i = 0; i < fleet.accelerators.size(); ++i) {
+  const auto cache_for = [&](const std::string& spec) -> std::size_t {
     for (std::size_t c = 0; c < caches.size(); ++c) {
-      if (caches[c].spec().name == fleet.accelerators[i]) {
-        cache_of[i] = c;
+      if (caches[c].spec().name == spec) return c;
+    }
+    caches.emplace_back(spec, catalog);
+    return caches.size() - 1;
+  };
+
+  std::vector<std::string> families;
+  std::vector<std::size_t> family_cache;
+  std::vector<Slot> slots;
+  slots.reserve(fleet.accelerators.size());
+  for (const std::string& spec : fleet.accelerators) {
+    std::size_t f = kNone;
+    for (std::size_t i = 0; i < families.size(); ++i) {
+      if (families[i] == spec) {
+        f = i;
         break;
       }
     }
-    if (cache_of[i] == kNone) {
-      caches.emplace_back(fleet.accelerators[i], catalog);
-      cache_of[i] = caches.size() - 1;
+    if (f == kNone) {
+      families.push_back(spec);
+      family_cache.push_back(cache_for(spec));
+      f = families.size() - 1;
+    }
+    Slot s;
+    s.cache = family_cache[f];
+    s.family = f;
+    slots.push_back(s);
+  }
+  // Grown slots may use a scaled registry variant of the family's spec; build
+  // those caches up front so the cache vector is stable during the loop.
+  std::vector<std::size_t> family_grow_cache = family_cache;
+  if (scaler && sim.autoscaler.grow_scale != 1.0) {
+    for (std::size_t f = 0; f < families.size(); ++f) {
+      family_grow_cache[f] =
+          cache_for(arch::scaled_spec_name(families[f], sim.autoscaler.grow_scale));
     }
   }
 
   // Kind-aware routing: which caches (and so which fleet slots) can serve
   // each workload, and the first serving slot for unloaded-latency queries.
-  const std::size_t n_acc = fleet.accelerators.size();
   std::vector<std::vector<char>> cache_serves(caches.size());
   for (std::size_t c = 0; c < caches.size(); ++c) {
     cache_serves[c].resize(catalog.size());
@@ -118,9 +165,9 @@ ServeMetrics simulate(const FleetConfig& fleet, const WorkloadCatalog& catalog,
   }
   std::vector<std::size_t> first_serving_cache(catalog.size(), kNone);
   for (std::uint32_t w = 0; w < catalog.size(); ++w) {
-    for (std::size_t i = 0; i < n_acc; ++i) {
-      if (cache_serves[cache_of[i]][w] != 0) {
-        first_serving_cache[w] = cache_of[i];
+    for (const Slot& s : slots) {
+      if (cache_serves[s.cache][w] != 0) {
+        first_serving_cache[w] = s.cache;
         break;
       }
     }
@@ -138,7 +185,7 @@ ServeMetrics simulate(const FleetConfig& fleet, const WorkloadCatalog& catalog,
     mixed_fleet = caches[c].spec().serves != caches[0].spec().serves;
   }
 
-  // Goodput SLO.
+  // Simulation-wide fallback SLO, then each tenant's own contract.
   double slo_s = sim.slo_latency_s;
   if (slo_s <= 0.0) {
     double slowest = 0.0;
@@ -147,33 +194,62 @@ ServeMetrics simulate(const FleetConfig& fleet, const WorkloadCatalog& catalog,
     }
     slo_s = sim.slo_scale * slowest;
   }
+  std::vector<double> slo_of(catalog.size(), slo_s);
+  for (std::uint32_t w = 0; w < catalog.size(); ++w) {
+    if (catalog.at(w).slo_latency_s > 0.0) slo_of[w] = catalog.at(w).slo_latency_s;
+  }
 
-  std::vector<bool> idle(n_acc, true);
-  std::vector<double> busy_time(n_acc, 0.0);
-
-  const std::unique_ptr<Scheduler> sched = make_scheduler(scheduler, policy);
+  const std::unique_ptr<Scheduler> sched =
+      make_scheduler(scheduler, policy, catalog.priorities());
   std::vector<Completion> heap;
   std::uint64_t dispatch_seq = 0;
 
-  ServeMetrics m;
+  FleetMetrics m;
   m.batch_histogram.assign(
       (scheduler == SchedulerKind::kFifo ? std::size_t{1} : policy.max_batch) + 1, 0);
-  std::vector<double> latencies;
-  latencies.reserve(trace.size());
+  m.initial_fleet_size = slots.size();
+  m.peak_fleet_size = slots.size();
   double latency_sum = 0.0;
   std::size_t within_slo = 0;
   double dispatched_energy_j = 0.0;
   double depth_time = 0.0;
+  std::vector<std::vector<double>> tenant_latencies(catalog.size());
+  std::vector<double> tenant_sum(catalog.size(), 0.0);
+  std::vector<double> tenant_max(catalog.size(), 0.0);
+  std::vector<std::size_t> tenant_within(catalog.size(), 0);
+
+  // Autoscaler signals: per-workload queue depths and the per-family
+  // time-integral of busy slots since the last evaluation step (exact busy
+  // fraction, not the dispatch-time batch-latency proxy — a batch longer
+  // than the interval keeps counting as busy in later intervals).
+  std::vector<std::size_t> queued_by_workload(catalog.size(), 0);
+  std::vector<double> family_busy_integral_s(families.size(), 0.0);
+  std::uint64_t eval_count = 0;
+  double next_eval_s = scaler ? sim.autoscaler.interval_s : kNever;
+
+  // Hot-path loops iterate only the live (non-retired) slots; churn from an
+  // oscillating policy must not make per-event cost grow with the count of
+  // long-retired slots.  Rebuilt on the rare grow/retire events, ascending
+  // index order so routing stays deterministic and identical to a full scan.
+  std::vector<std::size_t> live;
+  const auto rebuild_live = [&]() {
+    live.clear();
+    for (std::size_t i = 0; i < slots.size(); ++i) {
+      if (!slots[i].retired) live.push_back(i);
+    }
+  };
+  rebuild_live();
 
   // Scratch for the mixed-fleet dispatch mask: workload w is dispatchable
-  // when some idle accelerator serves it.
+  // when some idle non-draining accelerator serves it.
   std::vector<char> allowed(catalog.size(), 1);
   const auto current_mask = [&]() -> WorkloadMask {
     if (!mixed_fleet) return WorkloadMask{};
     std::fill(allowed.begin(), allowed.end(), 0);
-    for (std::size_t i = 0; i < n_acc; ++i) {
-      if (!idle[i]) continue;
-      const std::vector<char>& serves = cache_serves[cache_of[i]];
+    for (const std::size_t i : live) {
+      const Slot& s = slots[i];
+      if (!can_dispatch_to(s)) continue;
+      const std::vector<char>& serves = cache_serves[s.cache];
       for (std::uint32_t w = 0; w < catalog.size(); ++w) {
         if (serves[w] != 0) allowed[w] = 1;
       }
@@ -181,19 +257,25 @@ ServeMetrics simulate(const FleetConfig& fleet, const WorkloadCatalog& catalog,
     return WorkloadMask{&allowed};
   };
 
+  const auto any_dispatchable = [&]() {
+    for (const std::size_t i : live) {
+      if (can_dispatch_to(slots[i])) return true;
+    }
+    return false;
+  };
+
   const auto try_dispatch = [&](double now_s) {
     for (;;) {
-      bool any_idle = false;
-      for (std::size_t i = 0; i < n_acc && !any_idle; ++i) any_idle = idle[i];
-      if (!any_idle) return;
+      if (!any_dispatchable()) return;
       const WorkloadMask mask = current_mask();
       if (!sched->ready(now_s, mask)) return;
       std::vector<Request> batch = sched->pop(now_s, mask);
       LUMOS_ENSURES(!batch.empty());
       const std::uint32_t workload = batch.front().workload;
+      queued_by_workload[workload] -= batch.size();
       std::size_t chosen = kNone;
-      for (std::size_t i = 0; i < n_acc; ++i) {
-        if (idle[i] && cache_serves[cache_of[i]][workload] != 0) {
+      for (const std::size_t i : live) {
+        if (can_dispatch_to(slots[i]) && cache_serves[slots[i].cache][workload] != 0) {
           chosen = i;
           break;
         }
@@ -201,19 +283,20 @@ ServeMetrics simulate(const FleetConfig& fleet, const WorkloadCatalog& catalog,
       LUMOS_ENSURES(chosen != kNone);
       if (fleet.routing == RoutingPolicy::kEnergyAware) {
         double best_j = kNever;
-        for (std::size_t i = 0; i < n_acc; ++i) {
-          if (!idle[i] || cache_serves[cache_of[i]][workload] == 0) continue;
-          const double j =
-              caches[cache_of[i]].estimate(workload, batch.size()).total_energy_j;
+        for (const std::size_t i : live) {
+          if (!can_dispatch_to(slots[i]) || cache_serves[slots[i].cache][workload] == 0) {
+            continue;
+          }
+          const double j = caches[slots[i].cache].estimate(workload, batch.size()).total_energy_j;
           if (j < best_j) {
             best_j = j;
             chosen = i;
           }
         }
       }
-      const PerfReport& r = caches[cache_of[chosen]].estimate(workload, batch.size());
-      idle[chosen] = false;
-      busy_time[chosen] += r.latency_s;
+      const PerfReport& r = caches[slots[chosen].cache].estimate(workload, batch.size());
+      slots[chosen].idle = false;
+      slots[chosen].busy_s += r.latency_s;
       ++m.dispatches;
       ++m.batch_histogram[batch.size()];
       heap.push_back({now_s + r.latency_s, dispatch_seq++, chosen, r.total_energy_j,
@@ -222,46 +305,130 @@ ServeMetrics simulate(const FleetConfig& fleet, const WorkloadCatalog& catalog,
     }
   };
 
+  // One autoscaler step: per family, observe signals over the last interval
+  // and apply at most a one-slot delta, clamped to [min_slots, max_slots]
+  // active slots.  Shrinks drain before retiring: the slot is closed to new
+  // work immediately, retires now if idle, otherwise at its completion.
+  // Active (dispatchable-family) slot count across all families, kept
+  // incrementally for peak tracking.
+  std::size_t active_total = slots.size();
+  const auto evaluate_autoscaler = [&](double now_s) {
+    bool live_changed = false;
+    for (std::size_t f = 0; f < families.size(); ++f) {
+      FamilySignals signals;
+      signals.min_slots = sim.autoscaler.min_slots;
+      signals.max_slots = sim.autoscaler.max_slots;
+      for (const std::size_t i : live) {
+        const Slot& s = slots[i];
+        if (s.family != f) continue;
+        if (s.draining) {
+          ++signals.draining_slots;
+        } else {
+          ++signals.active_slots;
+        }
+      }
+      const std::vector<char>& serves = cache_serves[family_cache[f]];
+      for (std::uint32_t w = 0; w < catalog.size(); ++w) {
+        if (serves[w] != 0) signals.queued += queued_by_workload[w];
+      }
+      signals.utilization = std::min(
+          1.0, family_busy_integral_s[f] / (static_cast<double>(signals.active_slots) *
+                                            sim.autoscaler.interval_s));
+      family_busy_integral_s[f] = 0.0;
+      const int delta = scaler->step(signals);
+      if (delta > 0 && signals.active_slots < signals.max_slots) {
+        Slot grown;
+        grown.cache = family_grow_cache[f];
+        grown.family = f;
+        grown.active_start_s = now_s;
+        slots.push_back(grown);
+        live_changed = true;
+        ++m.autoscale_grows;
+        ++active_total;
+        m.peak_fleet_size = std::max(m.peak_fleet_size, active_total);
+      } else if (delta < 0 && signals.active_slots > signals.min_slots) {
+        for (std::size_t i = slots.size(); i-- > 0;) {
+          Slot& s = slots[i];
+          if (s.family != f || s.retired || s.draining) continue;
+          s.draining = true;
+          --active_total;
+          if (s.idle) {
+            s.retired = true;
+            s.active_end_s = now_s;
+            live_changed = true;
+          }
+          ++m.autoscale_shrinks;
+          break;
+        }
+      }
+    }
+    if (live_changed) rebuild_live();
+  };
+
   std::size_t next_arrival = 0;
   double now_s = 0.0;
   while (m.completed < trace.size()) {
     const double t_arr =
         next_arrival < trace.size() ? trace[next_arrival].arrival_s : kNever;
     const double t_done = heap.empty() ? kNever : heap.front().time_s;
-    bool any_idle = false;
-    for (std::size_t i = 0; i < n_acc && !any_idle; ++i) any_idle = idle[i];
     // Deadlines only matter while an accelerator could take the batch; when
     // everything is busy the next completion re-evaluates readiness anyway.
     // In mixed fleets the deadline is masked the same way dispatch is, so a
     // deadline whose workload has no idle compatible accelerator never wakes
     // the loop without progress.
-    const double t_dead = any_idle && sched->queued() > 0
+    const double t_dead = any_dispatchable() && sched->queued() > 0
                               ? sched->next_deadline_s(current_mask())
                               : kNever;
-    const double t = std::min(std::min(t_arr, t_done), t_dead);
+    const double t = std::min(std::min(std::min(t_arr, t_done), t_dead), next_eval_s);
     LUMOS_ENSURES(t >= now_s && t < kNever);
     depth_time += static_cast<double>(sched->queued()) * (t - now_s);
+    if (scaler && t > now_s) {
+      // Exact per-family busy-slot time integral for the utilization signal.
+      const double dt = t - now_s;
+      for (const std::size_t i : live) {
+        if (!slots[i].idle) family_busy_integral_s[slots[i].family] += dt;
+      }
+    }
     now_s = t;
 
     while (!heap.empty() && heap.front().time_s <= now_s) {
       std::pop_heap(heap.begin(), heap.end(), CompletionLater{});
       Completion done = std::move(heap.back());
       heap.pop_back();
-      idle[done.acc] = true;
+      Slot& acc = slots[done.acc];
+      acc.idle = true;
+      if (acc.draining) {
+        // Drained: the in-flight batch finished, the slot may now retire.
+        acc.retired = true;
+        acc.active_end_s = done.time_s;
+        rebuild_live();
+      }
       dispatched_energy_j += done.batch_energy_j;
       for (const Request& req : done.batch) {
         const double latency = done.time_s - req.arrival_s;
-        latencies.push_back(latency);
+        const std::uint32_t w = req.workload;
+        tenant_latencies[w].push_back(latency);
+        tenant_sum[w] += latency;
+        tenant_max[w] = std::max(tenant_max[w], latency);
         latency_sum += latency;
         m.max_latency_s = std::max(m.max_latency_s, latency);
-        if (latency <= slo_s) ++within_slo;
+        if (latency <= slo_of[w]) {
+          ++within_slo;
+          ++tenant_within[w];
+        }
         ++m.completed;
       }
     }
     while (next_arrival < trace.size() && trace[next_arrival].arrival_s <= now_s) {
+      ++queued_by_workload[trace[next_arrival].workload];
       sched->enqueue(trace[next_arrival], now_s);
       ++next_arrival;
       m.peak_queue_depth = std::max(m.peak_queue_depth, sched->queued());
+    }
+    if (scaler && now_s >= next_eval_s) {
+      evaluate_autoscaler(now_s);
+      ++eval_count;
+      next_eval_s = static_cast<double>(eval_count + 1) * sim.autoscaler.interval_s;
     }
     try_dispatch(now_s);
   }
@@ -276,6 +443,32 @@ ServeMetrics simulate(const FleetConfig& fleet, const WorkloadCatalog& catalog,
   m.slo_attainment =
       static_cast<double>(within_slo) / static_cast<double>(m.completed);
   m.mean_latency_s = latency_sum / static_cast<double>(m.completed);
+
+  // Per-tenant breakdown, then the aggregate percentiles over the union of
+  // the tenants' samples (the same multiset the pre-tenant simulator sorted).
+  m.tenants.resize(catalog.size());
+  for (std::uint32_t w = 0; w < catalog.size(); ++w) {
+    TenantMetrics& t = m.tenants[w];
+    t.name = catalog.workload(w).name();
+    t.priority = catalog.at(w).priority;
+    t.slo_latency_s = slo_of[w];
+    t.completed = tenant_latencies[w].size();
+    t.max_latency_s = tenant_max[w];
+    if (t.completed > 0) {
+      t.slo_attainment = static_cast<double>(tenant_within[w]) /
+                         static_cast<double>(t.completed);
+      t.goodput_qps =
+          static_cast<double>(tenant_within[w]) / std::max(duration_s, 1e-300);
+      t.mean_latency_s = tenant_sum[w] / static_cast<double>(t.completed);
+      t.p50_latency_s = percentile(tenant_latencies[w], 0.50);
+      t.p99_latency_s = percentile(tenant_latencies[w], 0.99);
+    }
+  }
+  std::vector<double> latencies;
+  latencies.reserve(m.completed);
+  for (const std::vector<double>& samples : tenant_latencies) {
+    latencies.insert(latencies.end(), samples.begin(), samples.end());
+  }
   m.p50_latency_s = percentile(latencies, 0.50);
   m.p95_latency_s = percentile(latencies, 0.95);
   m.p99_latency_s = percentile(latencies, 0.99);
@@ -284,16 +477,32 @@ ServeMetrics simulate(const FleetConfig& fleet, const WorkloadCatalog& catalog,
   m.mean_batch_size =
       static_cast<double>(m.completed) / static_cast<double>(std::max<std::size_t>(m.dispatches, 1));
 
+  // Energy and utilization integrate each slot over its active window
+  // (activation to retirement, or simulation end).  Static fleets have one
+  // full-duration window per slot, matching the pre-elastic accounting.
   double busy_total = 0.0;
   double idle_static_j = 0.0;
-  for (std::size_t i = 0; i < n_acc; ++i) {
-    busy_total += busy_time[i];
-    idle_static_j +=
-        std::max(0.0, duration_s - busy_time[i]) * caches[cache_of[i]].static_power_w();
+  double slot_time_s = 0.0;
+  std::size_t final_active = 0;
+  for (const Slot& s : slots) {
+    const double window_s =
+        (s.active_end_s >= 0.0 ? s.active_end_s : duration_s) - s.active_start_s;
+    busy_total += s.busy_s;
+    slot_time_s += window_s;
+    idle_static_j += std::max(0.0, window_s - s.busy_s) * caches[s.cache].static_power_w();
+    if (!s.retired && !s.draining) ++final_active;
   }
+  if (m.autoscale_grows == 0 && m.autoscale_shrinks == 0) {
+    // Static fleet: every window is the full duration; the product keeps the
+    // utilization denominator bit-identical to the pre-elastic simulator
+    // (repeated addition can round differently from multiplication).
+    slot_time_s = static_cast<double>(slots.size()) * duration_s;
+  }
+  m.final_fleet_size = final_active;
+  m.mean_fleet_size = slot_time_s / std::max(duration_s, 1e-300);
   m.fleet_energy_j = dispatched_energy_j + idle_static_j;
   m.energy_per_request_j = m.fleet_energy_j / static_cast<double>(m.completed);
-  m.fleet_utilization = busy_total / (static_cast<double>(n_acc) * std::max(duration_s, 1e-300));
+  m.fleet_utilization = busy_total / std::max(slot_time_s, 1e-300);
   for (const EstimateCache& c : caches) {
     m.estimate_lookups += c.lookups();
     m.estimate_misses += c.misses();

@@ -1,24 +1,38 @@
 // Deterministic discrete-event simulation of an accelerator fleet serving an
 // open-loop request trace.
 //
-// Event loop over three event sources — request arrivals (from the
-// pre-generated trace), batch-deadline expiries (from the scheduler), and
-// accelerator completions (a min-heap keyed by (time, dispatch seq)) —
-// with a fixed processing order at equal timestamps (completions, then
-// arrivals, then dispatch).  Fleets are built from `arch` registry spec names
-// and may mix fabric families (TRON + GHOST serving one mixed catalog):
-// routing is kind-aware, so a request only dispatches to an idle accelerator
-// that can serve it.  Service times and energies come from the per-spec
-// `EstimateCache`, so the loop's cost per request is a queue push, a heap
-// push/pop, and a hash lookup: millions of requests simulate in seconds.
-// The loop itself is serial and allocation-light; campaigns parallelise over
-// grid points (see campaign.hpp).  Results are bit-reproducible for a fixed
-// trace across runs and `LUMOS_THREADS` settings.
+// Event loop over four event sources — request arrivals (from the
+// pre-generated trace), batch-deadline expiries (from the scheduler),
+// accelerator completions (a min-heap keyed by (time, dispatch seq)), and
+// autoscaler evaluation steps (every `interval_s` of simulated time) — with a
+// fixed processing order at equal timestamps (completions, then arrivals,
+// then autoscaling, then dispatch).  Fleets are built from `arch` registry
+// spec names and may mix fabric families (TRON + GHOST serving one mixed
+// catalog): routing is kind-aware, so a request only dispatches to an idle
+// accelerator that can serve it.  Priority tiers from the catalog's entries
+// make the scheduler pop strict-priority (see scheduler.hpp), and each
+// entry's SLO scores its own completions (per-tenant goodput in
+// `FleetMetrics::tenants`).
+//
+// Elastic fleets: an enabled autoscaler grows per-spec-family slot counts by
+// instantiating registry-named accelerators mid-simulation and shrinks them
+// by draining (no new dispatches, in-flight batch completes) before retiring,
+// so the (time, seq) total order — and with it bit-reproducibility — is
+// preserved.  A disabled autoscaler and all-zero priorities are bit-identical
+// to the static single-tier simulator.
+//
+// Service times and energies come from the per-spec `EstimateCache`, so the
+// loop's cost per request is a queue push, a heap push/pop, and a hash
+// lookup: millions of requests simulate in seconds.  The loop itself is
+// serial and allocation-light; campaigns parallelise over grid points (see
+// campaign.hpp).  Results are bit-reproducible for a fixed trace across runs
+// and `LUMOS_THREADS` settings.
 #pragma once
 
 #include <string>
 #include <vector>
 
+#include "serve/autoscaler.hpp"
 #include "serve/cache.hpp"
 #include "serve/metrics.hpp"
 #include "serve/scheduler.hpp"
@@ -57,17 +71,23 @@ struct FleetConfig {
 };
 
 struct SimConfig {
-  // SLO for goodput: `slo_latency_s` when positive, otherwise `slo_scale`
-  // times the slowest workload's unloaded batch-1 latency, each workload
-  // scored on the first fleet slot that can serve it.
+  // Simulation-wide fallback SLO for goodput: `slo_latency_s` when positive,
+  // otherwise `slo_scale` times the slowest workload's unloaded batch-1
+  // latency, each workload scored on the first fleet slot that can serve it.
+  // Catalog entries with their own `slo_latency_s` are scored against that
+  // instead (per-tenant SLOs).
   double slo_latency_s = 0.0;
   double slo_scale = 10.0;
+  // Elastic serving; `policy == kNone` (the default) keeps the fleet static.
+  AutoscalerConfig autoscaler;
 };
 
-// Simulates `trace` over the fleet.  Throws `InvalidArgument` naming the bad
-// field for empty fleets, empty catalogs/traces, out-of-range batch policies,
-// and catalogs with workloads no fleet accelerator can serve.
-[[nodiscard]] ServeMetrics simulate(const FleetConfig& fleet, const WorkloadCatalog& catalog,
+// Simulates `trace` over the fleet (`fleet.accelerators` are the initial
+// slots of an elastic run).  Throws `InvalidArgument` naming the bad field
+// for empty fleets, empty catalogs/traces, out-of-range batch policies, bad
+// autoscaler configs, and catalogs with workloads no fleet accelerator can
+// serve.
+[[nodiscard]] FleetMetrics simulate(const FleetConfig& fleet, const WorkloadCatalog& catalog,
                                     const std::vector<Request>& trace, SchedulerKind scheduler,
                                     const BatchPolicy& policy, const SimConfig& sim = {});
 

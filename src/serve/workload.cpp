@@ -36,6 +36,27 @@ void WorkloadCatalog::add_gnn(std::string name, gnn::GnnModelConfig model,
   add(arch::Workload::gnn(std::move(name), std::move(model), std::move(shared)), weight);
 }
 
+void WorkloadCatalog::set_slo(std::size_t i, double slo_latency_s) {
+  LUMOS_EXPECTS(i < entries_.size());
+  if (!(slo_latency_s > 0.0) || !std::isfinite(slo_latency_s)) {
+    throw InvalidArgument("slo_latency_s for workload '" + entries_[i].workload.name() +
+                          "' must be positive and finite, got " +
+                          std::to_string(slo_latency_s));
+  }
+  entries_[i].slo_latency_s = slo_latency_s;
+}
+
+void WorkloadCatalog::set_priority(std::size_t i, std::uint32_t priority) {
+  LUMOS_EXPECTS(i < entries_.size());
+  entries_[i].priority = priority;
+}
+
+void WorkloadCatalog::apply_default_tiers() {
+  if (entries_.empty()) return;
+  const double mean = total_weight() / static_cast<double>(entries_.size());
+  for (CatalogEntry& e : entries_) e.priority = e.mix_weight >= mean ? 0 : 1;
+}
+
 const CatalogEntry& WorkloadCatalog::at(std::size_t i) const {
   LUMOS_EXPECTS(i < entries_.size());
   return entries_[i];
@@ -45,6 +66,16 @@ double WorkloadCatalog::total_weight() const noexcept {
   double total = 0.0;
   for (const CatalogEntry& e : entries_) total += e.mix_weight;
   return total;
+}
+
+std::vector<std::uint32_t> WorkloadCatalog::priorities() const {
+  bool tiered = false;
+  for (const CatalogEntry& e : entries_) tiered = tiered || e.priority != 0;
+  if (!tiered) return {};
+  std::vector<std::uint32_t> tiers;
+  tiers.reserve(entries_.size());
+  for (const CatalogEntry& e : entries_) tiers.push_back(e.priority);
+  return tiers;
 }
 
 bool WorkloadCatalog::has_kind(arch::WorkloadKind kind) const noexcept {

@@ -13,6 +13,7 @@
 // dual-config `AcceleratorSpec` struct is gone.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
@@ -21,10 +22,13 @@
 
 namespace lumos::serve {
 
-// One entry of a serving mix.
+// One entry of a serving mix.  `slo_latency_s` and `priority` make SLOs and
+// scheduling tiers per-tenant: a catalog entry is one tenant's contract.
 struct CatalogEntry {
   arch::Workload workload;
-  double mix_weight = 1.0;  // relative arrival probability
+  double mix_weight = 1.0;     // relative arrival probability
+  double slo_latency_s = 0.0;  // per-tenant SLO; 0 falls back to the sim-wide SLO
+  std::uint32_t priority = 0;  // strict scheduler tier (lower = more urgent)
 };
 
 // The (possibly mixed-kind) workload mix a fleet serves.
@@ -38,6 +42,14 @@ class WorkloadCatalog {
   void add_gnn(std::string name, gnn::GnnModelConfig model, graph::GraphDataset dataset,
                double weight = 1.0);
 
+  // Per-tenant contracts.  `set_slo` rejects non-positive / non-finite
+  // latencies with `InvalidArgument` naming the workload.
+  void set_slo(std::size_t i, double slo_latency_s);
+  void set_priority(std::size_t i, std::uint32_t priority);
+  // Two-tier demo assignment: entries with at least mean mix weight (the bulk
+  // of traffic, read: interactive tenants) get tier 0, the rest tier 1.
+  void apply_default_tiers();
+
   [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
   [[nodiscard]] bool empty() const noexcept { return entries_.empty(); }
   [[nodiscard]] const CatalogEntry& at(std::size_t i) const;
@@ -45,6 +57,9 @@ class WorkloadCatalog {
   [[nodiscard]] double total_weight() const noexcept;
   // True if any entry is of `kind`.
   [[nodiscard]] bool has_kind(arch::WorkloadKind kind) const noexcept;
+  // Per-workload-index scheduler tiers (empty when every entry is tier 0, the
+  // form schedulers treat as "no priorities": bit-identical to pre-tier runs).
+  [[nodiscard]] std::vector<std::uint32_t> priorities() const;
 
   // Default serving mixes over the registry's models/datasets.
   [[nodiscard]] static WorkloadCatalog tron_default();

@@ -197,7 +197,9 @@ void expect_histogram_matches(const graph::CsrGraph& g) {
   bool first = true;
   for (const graph::DegreeBucket& bucket : hist) {
     EXPECT_GT(bucket.count, 0u);
-    if (!first) EXPECT_GT(bucket.degree, prev_degree);  // ascending, distinct
+    if (!first) {
+      EXPECT_GT(bucket.degree, prev_degree);  // ascending, distinct
+    }
     first = false;
     prev_degree = bucket.degree;
     vertices += bucket.count;

@@ -90,7 +90,9 @@ TEST(Trace, IsDeterministicAndSorted) {
   for (std::size_t i = 0; i < a.size(); ++i) {
     EXPECT_EQ(a[i].arrival_s, b[i].arrival_s);
     EXPECT_EQ(a[i].workload, b[i].workload);
-    if (i > 0) EXPECT_GE(a[i].arrival_s, a[i - 1].arrival_s);
+    if (i > 0) {
+      EXPECT_GE(a[i].arrival_s, a[i - 1].arrival_s);
+    }
     EXPECT_LT(a[i].workload, catalog.size());
   }
 }

@@ -61,7 +61,9 @@ TEST(Wdm, BestMaximisesChannelCount) {
   const auto best = d.best(space);
   ASSERT_TRUE(best.has_value());
   for (const WdmDesignPoint& p : d.sweep(space)) {
-    if (p.feasible) EXPECT_LE(p.channel_count, best->channel_count);
+    if (p.feasible) {
+      EXPECT_LE(p.channel_count, best->channel_count);
+    }
   }
 }
 
@@ -97,7 +99,9 @@ TEST_P(FrontierSweep, FeasibilityMonotoneInChannelCount) {
   bool seen_infeasible = false;
   for (const std::size_t n : {4u, 8u, 16u, 32u, 64u, 128u}) {
     const bool ok = d.evaluate(GetParam(), n, 8).feasible;
-    if (seen_infeasible) EXPECT_FALSE(ok);
+    if (seen_infeasible) {
+      EXPECT_FALSE(ok);
+    }
     if (!ok) seen_infeasible = true;
   }
 }

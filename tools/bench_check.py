@@ -1,0 +1,231 @@
+#!/usr/bin/env python3
+"""CI bench-regression gate.
+
+Compares a freshly produced BENCH_*_smoke.json against the committed
+per-scenario baseline (bench/baselines/) and exits non-zero on regression, so
+perf regressions fail the job instead of shipping silently behind a `cat`.
+
+Two metric classes, two tolerance bands:
+
+* deterministic metrics (simulated latencies, goodput, SLO attainment, queue
+  depths, ...) are bit-reproducible by the simulator's contract and must match
+  the baseline within --det-tol relative error (default 1e-3, loose enough to
+  absorb compiler/fp-contraction differences across the CI matrix);
+* timing metrics (median_ms, requests_per_s, wall_s) are hardware- and
+  load-dependent: they only fail when worse than the baseline by more than
+  --time-tol x (default 4.0), a band wide enough for runner noise yet narrow
+  enough to catch order-of-magnitude regressions.
+
+Usage:
+  bench_check.py --baseline bench/baselines/BENCH_serve_smoke.json \
+                 --current BENCH_serve_smoke.json [--time-tol 4.0] [--det-tol 1e-3]
+  bench_check.py --self-test --baseline <file>   # gate must pass the baseline
+                                                 # against itself and fail an
+                                                 # injected regression
+
+The file kind (kernels / serve) is auto-detected from the "bench" field.
+"""
+
+import argparse
+import copy
+import json
+import sys
+
+# Deterministic fields of a serve campaign point / headline / tenant entry.
+DET_POINT_FIELDS = [
+    "offered_qps", "throughput_qps", "goodput_qps", "slo_latency_s",
+    "slo_attainment", "p50_latency_s", "p95_latency_s", "p99_latency_s",
+    "p999_latency_s", "mean_queue_depth", "peak_queue_depth", "mean_batch",
+    "energy_per_request_j", "fleet_energy_j", "utilization", "peak_fleet",
+    "final_fleet", "mean_fleet", "autoscale_grows", "autoscale_shrinks",
+]
+DET_HEADLINE_FIELDS = ["p99_latency_s", "goodput_qps"]
+DET_TENANT_FIELDS = [
+    "priority", "slo_latency_s", "completed", "slo_attainment", "goodput_qps",
+    "p50_latency_s", "p99_latency_s",
+]
+TIMING_HEADLINE_FIELDS = ["requests_per_s"]  # higher is better
+
+
+class Failure(Exception):
+    pass
+
+
+def rel_diff(a, b):
+    denom = max(abs(a), abs(b), 1e-300)
+    return abs(a - b) / denom
+
+
+def check_det(what, baseline, current, fields, det_tol, errors):
+    for field in fields:
+        if field not in baseline:
+            continue  # older baseline without the field: nothing to pin
+        if field not in current:
+            errors.append(f"{what}: deterministic field '{field}' missing from current")
+            continue
+        base_v, cur_v = baseline[field], current[field]
+        if rel_diff(float(base_v), float(cur_v)) > det_tol:
+            errors.append(
+                f"{what}: deterministic field '{field}' drifted: "
+                f"baseline {base_v} vs current {cur_v}"
+            )
+
+
+def check_kernels(baseline, current, time_tol, det_tol, errors):
+    del det_tol  # kernel medians are all timing
+    cur_by_name = {r["name"]: r for r in current.get("results", [])}
+    for base in baseline.get("results", []):
+        name = base["name"]
+        cur = cur_by_name.get(name)
+        if cur is None:
+            errors.append(f"kernels: scenario '{name}' missing from current results")
+            continue
+        if "median_ms" not in cur:
+            errors.append(f"kernels: '{name}' has no median_ms in current results")
+            continue
+        if cur["median_ms"] > base["median_ms"] * time_tol:
+            errors.append(
+                f"kernels: '{name}' regressed: median {cur['median_ms']:.4f} ms vs "
+                f"baseline {base['median_ms']:.4f} ms (tolerance {time_tol}x)"
+            )
+
+
+def check_serve(baseline, current, time_tol, det_tol, errors):
+    cur_headlines = {h["fleet_label"]: h for h in current.get("headlines", [])}
+    for base in baseline.get("headlines", []):
+        label = base["fleet_label"]
+        cur = cur_headlines.get(label)
+        if cur is None:
+            errors.append(f"serve: headline '{label}' missing from current results")
+            continue
+        check_det(f"serve headline '{label}'", base, cur, DET_HEADLINE_FIELDS,
+                  det_tol, errors)
+        for field in TIMING_HEADLINE_FIELDS:
+            if field not in base:
+                continue
+            if field not in cur:
+                errors.append(
+                    f"serve headline '{label}': timing field '{field}' missing "
+                    f"from current"
+                )
+                continue
+            if cur[field] * time_tol < base[field]:
+                errors.append(
+                    f"serve headline '{label}': {field} regressed: "
+                    f"{cur[field]:.0f} vs baseline {base[field]:.0f} "
+                    f"(tolerance {time_tol}x)"
+                )
+
+    cur_campaigns = {c["campaign"]: c for c in current.get("campaigns", [])}
+    for base_campaign in baseline.get("campaigns", []):
+        name = base_campaign["campaign"]
+        cur_campaign = cur_campaigns.get(name)
+        if cur_campaign is None:
+            errors.append(f"serve: campaign '{name}' missing from current results")
+            continue
+        base_points = base_campaign.get("points", [])
+        cur_points = cur_campaign.get("points", [])
+        if len(base_points) != len(cur_points):
+            errors.append(
+                f"serve campaign '{name}': point count changed "
+                f"({len(base_points)} -> {len(cur_points)})"
+            )
+            continue
+        for i, (base, cur) in enumerate(zip(base_points, cur_points)):
+            what = f"serve campaign '{name}' point {i}"
+            for key in ("fleet", "scheduler", "max_batch", "autoscaler"):
+                if key in base and base.get(key) != cur.get(key):
+                    errors.append(
+                        f"{what}: grid key '{key}' changed "
+                        f"({base.get(key)} -> {cur.get(key)})"
+                    )
+            check_det(what, base, cur, DET_POINT_FIELDS, det_tol, errors)
+            base_tenants = base.get("tenants", [])
+            cur_tenants = {t["name"]: t for t in cur.get("tenants", [])}
+            for tenant in base_tenants:
+                cur_tenant = cur_tenants.get(tenant["name"])
+                if cur_tenant is None:
+                    errors.append(f"{what}: tenant '{tenant['name']}' missing")
+                    continue
+                check_det(f"{what} tenant '{tenant['name']}'", tenant, cur_tenant,
+                          DET_TENANT_FIELDS, det_tol, errors)
+
+
+def run_check(baseline, current, time_tol, det_tol):
+    kind = baseline.get("bench")
+    if current.get("bench") != kind:
+        return [f"bench kind mismatch: baseline '{kind}' vs current "
+                f"'{current.get('bench')}'"]
+    errors = []
+    if kind == "kernels":
+        check_kernels(baseline, current, time_tol, det_tol, errors)
+    elif kind == "serve":
+        check_serve(baseline, current, time_tol, det_tol, errors)
+    else:
+        errors.append(f"unknown bench kind: {kind!r}")
+    return errors
+
+
+def inject_regression(data):
+    """Perturb one timing and one deterministic metric far past any band."""
+    perturbed = copy.deepcopy(data)
+    if perturbed.get("bench") == "kernels":
+        perturbed["results"][0]["median_ms"] *= 100.0
+    else:
+        perturbed["headlines"][0]["requests_per_s"] /= 100.0
+        perturbed["campaigns"][0]["points"][0]["p99_latency_s"] *= 1.5
+    return perturbed
+
+
+def self_test(baseline, time_tol, det_tol):
+    clean = run_check(baseline, baseline, time_tol, det_tol)
+    if clean:
+        print("bench_check self-test FAILED: baseline does not pass against itself:")
+        for e in clean:
+            print(f"  {e}")
+        return 1
+    dirty = run_check(baseline, inject_regression(baseline), time_tol, det_tol)
+    if not dirty:
+        print("bench_check self-test FAILED: injected regression was not detected")
+        return 1
+    print(f"bench_check self-test OK: baseline passes, injected regression "
+          f"caught ({len(dirty)} finding(s))")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__,
+                                     formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("--baseline", required=True, help="committed baseline JSON")
+    parser.add_argument("--current", help="freshly produced bench JSON")
+    parser.add_argument("--time-tol", type=float, default=4.0,
+                        help="allowed slowdown factor for timing metrics (default 4.0)")
+    parser.add_argument("--det-tol", type=float, default=1e-3,
+                        help="relative tolerance for deterministic metrics (default 1e-3)")
+    parser.add_argument("--self-test", action="store_true",
+                        help="verify the gate passes the baseline against itself and "
+                             "fails an injected regression")
+    args = parser.parse_args()
+
+    with open(args.baseline) as f:
+        baseline = json.load(f)
+
+    if args.self_test:
+        sys.exit(self_test(baseline, args.time_tol, args.det_tol))
+
+    if not args.current:
+        parser.error("--current is required unless --self-test is given")
+    with open(args.current) as f:
+        current = json.load(f)
+
+    errors = run_check(baseline, current, args.time_tol, args.det_tol)
+    if errors:
+        print(f"bench_check: {len(errors)} regression(s) vs {args.baseline}:")
+        for e in errors:
+            print(f"  {e}")
+        sys.exit(1)
+    print(f"bench_check OK: {args.current} within tolerance of {args.baseline}")
+
+
+if __name__ == "__main__":
+    main()
