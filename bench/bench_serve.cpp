@@ -7,9 +7,12 @@
 // kind-aware routing.  The elastic scenario starts the same mixed fleet at
 // two slots under bursty traffic and compares autoscaling policies (static
 // vs queue-depth vs target-utilization) with two-tier priorities, recording
-// per-tenant SLO attainment.  Self-contained like bench_kernels
-// (steady_clock, no framework); emits BENCH_serve.json alongside the
-// human-readable tables.
+// per-tenant SLO attainment.  The closed-loop scenario swaps the open-loop
+// trace for a session pool (per-tenant clients with exponential think times
+// and log-normal per-request sequence lengths) and records end-to-end
+// session latencies — the feedback path through serve::ClosedLoopSource.
+// Self-contained like bench_kernels (steady_clock, no framework); emits
+// BENCH_serve.json alongside the human-readable tables.
 //
 // Usage:
 //   bench_serve [--smoke] [--out <path>]
@@ -73,30 +76,68 @@ ScenarioResult run_scenario(const std::string& label,
 
   // Headline: one timed point (trace generation + event loop) at 80% of the
   // batched knee.
-  serve::TraceConfig trace_cfg;
-  trace_cfg.offered_qps = 0.8 * capacity;
-  trace_cfg.request_count = smoke ? 50000 : 1000000;
-  trace_cfg.seed = 11;
-  serve::BatchPolicy policy;
-  policy.max_batch = max_batch;
+  serve::Scenario scenario;
+  scenario.fleet = fleet_cfg;
+  scenario.catalog = catalog;
+  scenario.scheduler = serve::SchedulerKind::kDynamicBatch;
+  scenario.batch.max_batch = max_batch;
+  scenario.traffic.open.offered_qps = 0.8 * capacity;
+  scenario.traffic.open.request_count = smoke ? 50000 : 1000000;
+  scenario.traffic.open.seed = 11;
   const auto t0 = std::chrono::steady_clock::now();
-  const std::vector<serve::Request> trace = serve::generate_trace(catalog, trace_cfg);
-  const serve::ServeMetrics m = serve::simulate(fleet_cfg, catalog, trace,
-                                                serve::SchedulerKind::kDynamicBatch, policy);
+  const serve::FleetMetrics m = serve::simulate(scenario);
   const auto t1 = std::chrono::steady_clock::now();
   out.headline.fleet_label = label;
-  out.headline.requests = trace_cfg.request_count;
+  out.headline.requests = scenario.traffic.open.request_count;
   out.headline.fleet = fleet;
   out.headline.wall_s = std::chrono::duration<double>(t1 - t0).count();
   out.headline.requests_per_s =
-      static_cast<double>(trace_cfg.request_count) / out.headline.wall_s;
+      static_cast<double>(out.headline.requests) / out.headline.wall_s;
   out.headline.p99_latency_s = m.p99_latency_s;
   out.headline.goodput_qps = m.goodput_qps;
   return out;
 }
 
-bool write_json(const std::vector<ScenarioResult>& scenarios, const std::string& path,
-                bool smoke) {
+// Closed-loop scenario: the mixed TRON+GHOST catalog served to a pool of
+// client sessions (each pinned to one tenant, issuing request -> completion
+// -> exponential think -> next request) with log-normal per-request sequence
+// lengths on the transformer tenants.  Arrival rate is set by service speed
+// instead of an offered QPS; the result records end-to-end session latency.
+struct ClosedLoopResult {
+  std::string label;
+  serve::ClosedLoopConfig config;
+  serve::FleetMetrics metrics;
+  double wall_s = 0.0;
+  double requests_per_s = 0.0;
+};
+
+ClosedLoopResult run_closed_loop_scenario(bool smoke) {
+  serve::WorkloadCatalog catalog = serve::WorkloadCatalog::mixed_default();
+  catalog.apply_seqlen_dist(serve::SeqLenDist::kLogNormal);
+
+  ClosedLoopResult out;
+  out.label = "TRON+GHOST closed-loop";
+  serve::Scenario scenario;
+  scenario.fleet = serve::FleetConfig::cycled({"tron", "ghost"}, 4);
+  scenario.catalog = catalog;
+  scenario.scheduler = serve::SchedulerKind::kDynamicBatch;
+  scenario.batch.max_batch = 8;
+  scenario.traffic.mode = serve::LoopMode::kClosed;
+  scenario.traffic.closed.sessions = smoke ? 64 : 512;
+  scenario.traffic.closed.requests_per_session = smoke ? 50 : 200;
+  scenario.traffic.closed.think_time_mean_s = 2e-3;
+  scenario.traffic.closed.seed = 23;
+  out.config = scenario.traffic.closed;
+  const auto t0 = std::chrono::steady_clock::now();
+  out.metrics = serve::simulate(scenario);
+  const auto t1 = std::chrono::steady_clock::now();
+  out.wall_s = std::chrono::duration<double>(t1 - t0).count();
+  out.requests_per_s = static_cast<double>(out.metrics.completed) / out.wall_s;
+  return out;
+}
+
+bool write_json(const std::vector<ScenarioResult>& scenarios,
+                const ClosedLoopResult& closed, const std::string& path, bool smoke) {
   std::ofstream f(path);
   f << "{\n  \"bench\": \"serve\",\n";
   f << "  \"smoke\": " << (smoke ? "true" : "false") << ",\n";
@@ -110,6 +151,27 @@ bool write_json(const std::vector<ScenarioResult>& scenarios, const std::string&
       << ", \"p99_latency_s\": " << h.p99_latency_s
       << ", \"goodput_qps\": " << h.goodput_qps << "}"
       << (i + 1 < scenarios.size() ? "," : "") << "\n";
+  }
+  f << "  ],\n  \"closed_loop\": [\n";
+  {
+    const serve::FleetMetrics& m = closed.metrics;
+    f << "    {\"label\": \"" << closed.label << "\", \"sessions\": " << m.sessions
+      << ", \"requests_per_session\": " << closed.config.requests_per_session
+      << ", \"think_time_mean_s\": " << closed.config.think_time_mean_s
+      << ", \"completed\": " << m.completed << ", \"wall_s\": " << closed.wall_s
+      << ", \"requests_per_s\": " << closed.requests_per_s
+      << ", \"throughput_qps\": " << m.throughput_qps
+      << ", \"goodput_qps\": " << m.goodput_qps
+      << ", \"slo_attainment\": " << m.slo_attainment
+      << ", \"p50_latency_s\": " << m.p50_latency_s
+      << ", \"p99_latency_s\": " << m.p99_latency_s
+      << ", \"mean_session_s\": " << m.mean_session_s
+      << ", \"p50_session_s\": " << m.p50_session_s
+      << ", \"p99_session_s\": " << m.p99_session_s
+      << ", \"max_session_s\": " << m.max_session_s
+      << ", \"mean_batch\": " << m.mean_batch_size
+      << ", \"estimate_lookups\": " << m.estimate_lookups
+      << ", \"estimate_misses\": " << m.estimate_misses << "}\n";
   }
   f << "  ],\n  \"campaigns\": [\n";
   for (std::size_t i = 0; i < scenarios.size(); ++i) {
@@ -163,29 +225,26 @@ ScenarioResult run_elastic_scenario(bool smoke) {
   out.points = serve::run_campaign(cfg, catalog);
   out.config = cfg;
 
-  serve::TraceConfig trace_cfg;
-  trace_cfg.offered_qps = 0.8 * capacity4;
-  trace_cfg.request_count = smoke ? 50000 : 1000000;
-  trace_cfg.process = serve::ArrivalProcess::kBursty;
-  trace_cfg.seed = 19;
-  serve::BatchPolicy policy;
-  policy.max_batch = max_batch;
-  serve::SimConfig sim;
-  sim.autoscaler.policy = serve::AutoscalerPolicy::kQueueDepth;
-  sim.autoscaler.max_slots = 6;
-  const serve::FleetConfig fleet_cfg =
-      serve::FleetConfig::cycled(fleet_template, initial_fleet);
+  serve::Scenario scenario;
+  scenario.fleet = serve::FleetConfig::cycled(fleet_template, initial_fleet);
+  scenario.catalog = catalog;
+  scenario.scheduler = serve::SchedulerKind::kDynamicBatch;
+  scenario.batch.max_batch = max_batch;
+  scenario.sim.autoscaler.policy = serve::AutoscalerPolicy::kQueueDepth;
+  scenario.sim.autoscaler.max_slots = 6;
+  scenario.traffic.open.offered_qps = 0.8 * capacity4;
+  scenario.traffic.open.request_count = smoke ? 50000 : 1000000;
+  scenario.traffic.open.process = serve::ArrivalProcess::kBursty;
+  scenario.traffic.open.seed = 19;
   const auto t0 = std::chrono::steady_clock::now();
-  const std::vector<serve::Request> trace = serve::generate_trace(catalog, trace_cfg);
-  const serve::FleetMetrics m = serve::simulate(
-      fleet_cfg, catalog, trace, serve::SchedulerKind::kDynamicBatch, policy, sim);
+  const serve::FleetMetrics m = serve::simulate(scenario);
   const auto t1 = std::chrono::steady_clock::now();
   out.headline.fleet_label = "TRON+GHOST elastic";
-  out.headline.requests = trace_cfg.request_count;
+  out.headline.requests = scenario.traffic.open.request_count;
   out.headline.fleet = initial_fleet;
   out.headline.wall_s = std::chrono::duration<double>(t1 - t0).count();
   out.headline.requests_per_s =
-      static_cast<double>(trace_cfg.request_count) / out.headline.wall_s;
+      static_cast<double>(out.headline.requests) / out.headline.wall_s;
   out.headline.p99_latency_s = m.p99_latency_s;
   out.headline.goodput_qps = m.goodput_qps;
   return out;
@@ -215,6 +274,7 @@ int main(int argc, char** argv) {
   scenarios.push_back(run_scenario("TRON+GHOST mixed", {"tron", "ghost"},
                                    serve::WorkloadCatalog::mixed_default(), smoke));
   scenarios.push_back(run_elastic_scenario(smoke));
+  const ClosedLoopResult closed = run_closed_loop_scenario(smoke);
 
   for (const ScenarioResult& s : scenarios) {
     serve::campaign_table(s.points, s.config.name).print(std::cout);
@@ -224,8 +284,14 @@ int main(int argc, char** argv) {
                 s.headline.wall_s, s.headline.requests_per_s,
                 s.headline.p99_latency_s * 1e6, s.headline.goodput_qps);
   }
+  closed.metrics.to_table(closed.label).print(std::cout);
+  std::printf("%s: %zu sessions x %zu requests in %.3f s (%.0f req/s, "
+              "p99 session %.2f ms)\n\n",
+              closed.label.c_str(), closed.metrics.sessions,
+              closed.config.requests_per_session, closed.wall_s, closed.requests_per_s,
+              closed.metrics.p99_session_s * 1e3);
 
-  if (!write_json(scenarios, out_path, smoke)) {
+  if (!write_json(scenarios, closed, out_path, smoke)) {
     std::fprintf(stderr, "error: could not write %s\n", out_path.c_str());
     return 1;
   }

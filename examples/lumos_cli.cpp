@@ -9,7 +9,9 @@
 //   lumos_cli [--json] serve <tron|ghost|mixed> [serve flags]
 //
 //   list      prints the registry's workload, dataset, and accelerator spec
-//             names (the strings every other mode accepts)
+//             names plus the serve enums (processes, schedulers, routing,
+//             autoscalers, loop modes, seqlen distributions) — the strings
+//             every other mode accepts
 //   <model>   tron:  bert-base | bert-large | gpt2 | vit | transformer
 //             ghost: gcn | graphsage | gin | gat
 //   <dataset> cora | citeseer | pubmed | arxiv
@@ -21,16 +23,25 @@
 //             kind-aware routing (multi-tenant serving)
 //
 //   serve flags:
-//     --qps <q>          offered QPS (default: 70% of unloaded fleet capacity)
-//     --requests <n>     trace length (default 50000)
+//     --loop <m>         open | closed (default open): open-loop offered-QPS
+//                        trace vs closed-loop client sessions that wait for
+//                        each completion, think, then issue the next request
+//     --qps <q>          open loop: offered QPS (default: 70% of unloaded
+//                        fleet capacity)
+//     --requests <n>     open loop: trace length; closed loop: total requests
+//                        across all sessions (default 50000)
+//     --sessions <n>     closed loop: concurrent client sessions (default 32)
+//     --think-time-us <t> closed loop: mean exponential think time (default 2000)
+//     --seqlen-dist <d>  fixed | uniform | lognormal: per-request sequence
+//                        lengths for transformer tenants (default fixed)
 //     --fleet <n>        accelerators in the (initial) fleet (default 4)
 //     --sched <s>        fifo | batch (default batch)
 //     --max-batch <n>    dynamic-batch cap (default 8)
 //     --max-wait-us <w>  dynamic-batch deadline (default 2000)
-//     --bursty           MMPP arrivals instead of Poisson
-//     --routing <r>      first-idle | energy (default first-idle)
+//     --bursty           open loop: MMPP arrivals instead of Poisson
+//     --routing <r>      first-idle | energy-aware (default first-idle)
 //     --hetero           alternate full/eco accelerator variants
-//     --seed <s>         trace seed (default 1)
+//     --seed <s>         trace / session seed (default 1)
 //     --priority         two-tier strict priorities over the workload mix
 //                        (high-traffic tenants tier 0, the rest tier 1)
 //     --autoscale <p>    none | queue | util: elastic fleet policy
@@ -48,6 +59,8 @@
 //   lumos_cli generate gpt2 64 128
 //   lumos_cli serve mixed --qps 40000 --fleet 6 --json
 //   lumos_cli serve mixed --priority --autoscale queue --fleet 2 --max-fleet 8
+//   lumos_cli serve mixed --loop closed --sessions 64 --think-time-us 500
+//   lumos_cli serve tron --seqlen-dist lognormal --qps 20000
 #include <cerrno>
 #include <cstdlib>
 #include <iostream>
@@ -61,6 +74,7 @@
 #include "common/json.hpp"
 #include "common/units.hpp"
 #include "serve/campaign.hpp"
+#include "serve/names.hpp"
 #include "sim/registry.hpp"
 
 namespace {
@@ -125,11 +139,13 @@ int usage() {
                    "  lumos_cli [--json] generate <" +
                    sim::joined_names(sim::transformer_names()) +
                    "> <prompt> <tokens>\n"
-                   "  lumos_cli [--json] serve <tron|ghost|mixed> [--qps q] [--requests n] "
-                   "[--fleet n]\n"
+                   "  lumos_cli [--json] serve <tron|ghost|mixed> [--loop open|closed] "
+                   "[--qps q]\n"
+                   "            [--requests n] [--sessions n] [--think-time-us t]\n"
+                   "            [--seqlen-dist fixed|uniform|lognormal] [--fleet n]\n"
                    "            [--sched fifo|batch] [--max-batch n] [--max-wait-us w] "
                    "[--bursty]\n"
-                   "            [--routing first-idle|energy] [--hetero] [--seed s] "
+                   "            [--routing first-idle|energy-aware] [--hetero] [--seed s] "
                    "[--priority]\n"
                    "            [--autoscale none|queue|util] [--scale-interval-us n]\n"
                    "            [--min-fleet n] [--max-fleet n] [--grow-scale x]\n";
@@ -170,22 +186,69 @@ void print_names_json(const char* key, const std::vector<std::string>& names, bo
   std::cout << "]" << (last ? "" : ",") << "\n";
 }
 
-// `list`: every name the registries accept, so scripts can discover valid
-// arguments without parsing usage text.
+// `list`: every name the registries and serve enums accept, so scripts can
+// discover valid arguments without parsing usage text.
 int run_list(bool json) {
   if (json) {
     std::cout << "{\n";
     print_names_json("transformer_models", sim::transformer_names(), false);
     print_names_json("gnn_models", sim::gnn_names(), false);
     print_names_json("datasets", sim::dataset_names(), false);
-    print_names_json("accelerator_specs", arch::spec_names(), true);
+    print_names_json("accelerator_specs", arch::spec_names(), false);
+    print_names_json("arrival_processes", serve::process_names(), false);
+    print_names_json("schedulers", serve::scheduler_names(), false);
+    print_names_json("routing_policies", serve::routing_names(), false);
+    print_names_json("autoscalers", serve::autoscaler_names(), false);
+    print_names_json("loop_modes", serve::loop_mode_names(), false);
+    print_names_json("seqlen_dists", serve::seqlen_dist_names(), true);
     std::cout << "}\n";
   } else {
     std::cout << "transformer models : " << sim::joined_names(sim::transformer_names())
               << "\ngnn models         : " << sim::joined_names(sim::gnn_names())
               << "\ndatasets           : " << sim::joined_names(sim::dataset_names())
               << "\naccelerator specs  : " << sim::joined_names(arch::spec_names())
-              << " (scalable as <base>@<scale>, e.g. tron@0.5)\n";
+              << " (scalable as <base>@<scale>, e.g. tron@0.5)"
+              << "\narrival processes  : " << sim::joined_names(serve::process_names())
+              << "\nschedulers         : " << sim::joined_names(serve::scheduler_names())
+              << "\nrouting policies   : " << sim::joined_names(serve::routing_names())
+              << "\nautoscalers        : " << sim::joined_names(serve::autoscaler_names())
+              << "\nloop modes         : " << sim::joined_names(serve::loop_mode_names())
+              << "\nseqlen dists       : " << sim::joined_names(serve::seqlen_dist_names())
+              << "\n";
+  }
+  return 0;
+}
+
+// Closed-loop runs bypass the (offered-QPS-sweeping) campaign machinery: one
+// Scenario, one simulate, metric + tenant tables or a flat JSON object.
+int run_closed_loop(serve::Scenario scenario, const serve::ClosedLoopConfig& closed,
+                    bool priority, bool json) {
+  scenario.traffic.mode = serve::LoopMode::kClosed;
+  scenario.traffic.closed = closed;
+  const serve::FleetMetrics m = serve::simulate(scenario);
+  if (json) {
+    std::cout << "{\n"
+              << "  \"fleet\": \"" << json_escape(scenario.fleet.label()) << "\",\n"
+              << "  \"loop\": \"closed\",\n"
+              << "  \"sessions\": " << m.sessions << ",\n"
+              << "  \"completed\": " << m.completed << ",\n"
+              << "  \"throughput_qps\": " << m.throughput_qps << ",\n"
+              << "  \"goodput_qps\": " << m.goodput_qps << ",\n"
+              << "  \"slo_attainment\": " << m.slo_attainment << ",\n"
+              << "  \"p50_latency_s\": " << m.p50_latency_s << ",\n"
+              << "  \"p99_latency_s\": " << m.p99_latency_s << ",\n"
+              << "  \"mean_session_s\": " << m.mean_session_s << ",\n"
+              << "  \"p50_session_s\": " << m.p50_session_s << ",\n"
+              << "  \"p99_session_s\": " << m.p99_session_s << ",\n"
+              << "  \"max_session_s\": " << m.max_session_s << ",\n"
+              << "  \"mean_batch\": " << m.mean_batch_size << ",\n"
+              << "  \"fleet_energy_j\": " << m.fleet_energy_j << ",\n"
+              << "  \"estimate_lookups\": " << m.estimate_lookups << ",\n"
+              << "  \"estimate_misses\": " << m.estimate_misses << "\n"
+              << "}\n";
+  } else {
+    m.to_table(scenario.fleet.label() + " closed-loop serve").print(std::cout);
+    if (priority) m.tenant_table("per-tenant breakdown").print(std::cout);
   }
   return 0;
 }
@@ -212,52 +275,59 @@ int run_serve(const std::vector<std::string>& args, bool json) {
   }
   cfg.schedulers = {serve::SchedulerKind::kDynamicBatch};
   cfg.requests_per_point = 50000;
+  serve::LoopMode loop = serve::LoopMode::kOpen;
+  serve::ClosedLoopConfig closed;
   double qps = 0.0;
   std::size_t fleet = 4;
   std::size_t max_batch = 8;
   bool hetero = false;
   bool priority = false;
-  // Autoscaler knobs are only meaningful with a policy; track use so a knob
-  // without --autoscale errors instead of being silently ignored.
+  bool sessions_given = false;
+  // Mode-gated knobs: track use so a knob without its enabling mode errors
+  // instead of being silently ignored.
   std::string knob_without_policy;
+  std::string open_only_flag;
+  std::string closed_only_flag;
   for (std::size_t i = 1; i < args.size(); ++i) {
     const std::string& a = args[i];
     const auto value = [&]() -> const std::string& {
       if (i + 1 >= args.size()) throw InvalidArgument(a + " needs a value");
       return args[++i];
     };
-    if (a == "--qps") {
+    if (a == "--loop") {
+      loop = serve::loop_mode_from_name(value());
+    } else if (a == "--qps") {
+      open_only_flag = a;
       qps = parse_double(value(), "--qps");
       if (qps <= 0.0) throw InvalidArgument("--qps must be positive");
     } else if (a == "--requests") {
       cfg.requests_per_point = parse_size(value(), "--requests");
+    } else if (a == "--sessions") {
+      closed_only_flag = a;
+      closed.sessions = parse_size(value(), "--sessions");
+      sessions_given = true;
+    } else if (a == "--think-time-us") {
+      closed_only_flag = a;
+      closed.think_time_mean_s = parse_double(value(), "--think-time-us") * 1e-6;
+      if (closed.think_time_mean_s < 0.0) {
+        throw InvalidArgument("--think-time-us must be >= 0");
+      }
+    } else if (a == "--seqlen-dist") {
+      catalog.apply_seqlen_dist(serve::seqlen_dist_from_name(value()));
     } else if (a == "--fleet") {
       fleet = parse_size(value(), "--fleet");
     } else if (a == "--sched") {
-      const std::string& s = value();
-      if (s == "fifo") {
-        cfg.schedulers = {serve::SchedulerKind::kFifo};
-      } else if (s == "batch") {
-        cfg.schedulers = {serve::SchedulerKind::kDynamicBatch};
-      } else {
-        throw InvalidArgument("unknown scheduler: " + s + " (expected fifo|batch)");
-      }
+      cfg.schedulers = {serve::scheduler_from_name(value())};
     } else if (a == "--max-batch") {
       max_batch = parse_size(value(), "--max-batch");
     } else if (a == "--max-wait-us") {
       cfg.max_wait_s = parse_double(value(), "--max-wait-us") * 1e-6;
       if (cfg.max_wait_s < 0.0) throw InvalidArgument("--max-wait-us must be >= 0");
     } else if (a == "--bursty") {
+      open_only_flag = a;
       cfg.process = serve::ArrivalProcess::kBursty;
     } else if (a == "--routing") {
-      const std::string& s = value();
-      if (s == "first-idle") {
-        cfg.routing = serve::RoutingPolicy::kFirstIdle;
-      } else if (s == "energy") {
-        cfg.routing = serve::RoutingPolicy::kEnergyAware;
-      } else {
-        throw InvalidArgument("unknown routing: " + s + " (expected first-idle|energy)");
-      }
+      cfg.routing = serve::routing_from_name(value());
     } else if (a == "--hetero") {
       hetero = true;
     } else if (a == "--seed") {
@@ -265,17 +335,7 @@ int run_serve(const std::vector<std::string>& args, bool json) {
     } else if (a == "--priority") {
       priority = true;
     } else if (a == "--autoscale") {
-      const std::string& s = value();
-      if (s == "none") {
-        cfg.autoscalers = {serve::AutoscalerPolicy::kNone};
-      } else if (s == "queue") {
-        cfg.autoscalers = {serve::AutoscalerPolicy::kQueueDepth};
-      } else if (s == "util") {
-        cfg.autoscalers = {serve::AutoscalerPolicy::kTargetUtilization};
-      } else {
-        throw InvalidArgument("unknown autoscale policy: " + s +
-                              " (expected none|queue|util)");
-      }
+      cfg.autoscalers = {serve::autoscaler_from_name(value())};
     } else if (a == "--scale-interval-us") {
       knob_without_policy = a;
       cfg.autoscale.interval_s = parse_double(value(), "--scale-interval-us") * 1e-6;
@@ -306,6 +366,12 @@ int run_serve(const std::vector<std::string>& args, bool json) {
     throw InvalidArgument(knob_without_policy +
                           " has no effect without --autoscale queue|util");
   }
+  if (loop == serve::LoopMode::kClosed && !open_only_flag.empty()) {
+    throw InvalidArgument(open_only_flag + " has no effect with --loop closed");
+  }
+  if (loop == serve::LoopMode::kOpen && !closed_only_flag.empty()) {
+    throw InvalidArgument(closed_only_flag + " has no effect without --loop closed");
+  }
   if (max_batch > serve::BatchPolicy::kMaxBatchLimit || fleet > 4096) {
     throw InvalidArgument("--max-batch and --fleet must be <= 4096");
   }
@@ -321,6 +387,32 @@ int run_serve(const std::vector<std::string>& args, bool json) {
   cfg.fleet_sizes = {fleet};
   cfg.max_batches = {max_batch};
   if (priority) catalog.apply_default_tiers();
+
+  if (loop == serve::LoopMode::kClosed) {
+    if (sessions_given && closed.sessions == 0) {
+      throw InvalidArgument("--sessions must be positive");
+    }
+    // --requests is the total budget: split it across the session pool.  A
+    // pool bigger than the budget would silently inflate the total (every
+    // session issues at least once), so reject it instead.
+    if (cfg.requests_per_point < closed.sessions) {
+      throw InvalidArgument("--requests must be >= --sessions (" +
+                            std::to_string(closed.sessions) +
+                            "): every closed-loop session issues at least one request");
+    }
+    closed.requests_per_session = cfg.requests_per_point / closed.sessions;
+    closed.seed = cfg.seed;
+    serve::Scenario scenario;
+    scenario.fleet = serve::FleetConfig::cycled(cfg.fleet_template, fleet, cfg.routing);
+    scenario.catalog = catalog;
+    scenario.scheduler = cfg.schedulers.front();
+    scenario.batch.max_batch = max_batch;
+    scenario.batch.max_wait_s = cfg.max_wait_s;
+    scenario.sim.slo_scale = cfg.slo_scale;
+    scenario.sim.autoscaler = cfg.autoscale;
+    scenario.sim.autoscaler.policy = cfg.autoscalers.front();
+    return run_closed_loop(std::move(scenario), closed, priority, json);
+  }
 
   if (qps <= 0.0) {
     const std::size_t capacity_batch =

@@ -32,6 +32,17 @@ WorkloadKind Workload::kind() const noexcept {
                                                       : WorkloadKind::kGnn;
 }
 
+Workload Workload::with_seq_len(std::size_t seq_len) const {
+  if (kind() != WorkloadKind::kTransformer) {
+    throw InvalidArgument("workload '" + name_ + "' is a " + workload_kind_name(kind()) +
+                          " workload and has no sequence length to override");
+  }
+  LUMOS_EXPECTS_MSG(seq_len >= 1, "with_seq_len needs seq_len >= 1");
+  nn::TransformerConfig config = transformer_config();
+  config.seq_len = seq_len;
+  return transformer(name_, std::move(config));
+}
+
 const nn::TransformerConfig& Workload::transformer_config() const {
   const auto* job = std::get_if<TransformerJob>(&job_);
   if (job == nullptr) {

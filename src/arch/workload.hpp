@@ -36,6 +36,12 @@ class Workload {
   [[nodiscard]] const std::string& name() const noexcept { return name_; }
   [[nodiscard]] WorkloadKind kind() const noexcept;
 
+  // A copy of this workload with its transformer sequence length replaced —
+  // the serving layer's per-request sequence-length plumbing (a request that
+  // sampled seq 384 scores the entry's model at seq 384).  GNN workloads have
+  // no sequence dimension and throw `InvalidArgument` naming the workload.
+  [[nodiscard]] Workload with_seq_len(std::size_t seq_len) const;
+
   // Variant accessors; asking a workload for the other kind's state throws
   // `InvalidArgument` naming the workload and its actual kind.
   [[nodiscard]] const nn::TransformerConfig& transformer_config() const;

@@ -1,0 +1,69 @@
+// Table-driven string <-> enum conversion.
+//
+// Every user-facing enum (arrival processes, schedulers, routing and
+// autoscaling policies, ...) needs the same three faces: a canonical print
+// name, a parse that throws `InvalidArgument` listing the accepted names, and
+// the name list itself for `lumos_cli list` and usage text.  One table per
+// enum drives all three, so a new enumerator added to the table can never be
+// printable-but-unparsable (or vice versa).  Tables may carry aliases:
+// additional rows for the same value parse but never print (printing returns
+// the first row that matches).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace lumos {
+
+template <typename E>
+struct EnumName {
+  E value;
+  const char* name;
+};
+
+// Canonical (first-row) name of `value`; "?" for a value missing from the
+// table (indicates the table is out of date with the enum).
+template <typename E, std::size_t N>
+[[nodiscard]] const char* enum_to_name(const EnumName<E> (&table)[N], E value) noexcept {
+  for (const EnumName<E>& entry : table) {
+    if (entry.value == value) return entry.name;
+  }
+  return "?";
+}
+
+// "a|b|c" join of the table's names (aliases included), for error/usage text.
+template <typename E, std::size_t N>
+[[nodiscard]] std::string enum_joined_names(const EnumName<E> (&table)[N]) {
+  std::string out;
+  for (const EnumName<E>& entry : table) {
+    if (!out.empty()) out += '|';
+    out += entry.name;
+  }
+  return out;
+}
+
+// Parses `name` (canonical names and aliases); throws `InvalidArgument`
+// naming `what` and listing every accepted name on a miss.
+template <typename E, std::size_t N>
+[[nodiscard]] E enum_from_name(const EnumName<E> (&table)[N], const std::string& name,
+                               const char* what) {
+  for (const EnumName<E>& entry : table) {
+    if (name == entry.name) return entry.value;
+  }
+  throw InvalidArgument("unknown " + std::string(what) + ": '" + name + "' (expected " +
+                        enum_joined_names(table) + ")");
+}
+
+// The table's names in order (aliases included), for discovery listings.
+template <typename E, std::size_t N>
+[[nodiscard]] std::vector<std::string> enum_name_list(const EnumName<E> (&table)[N]) {
+  std::vector<std::string> names;
+  names.reserve(N);
+  for (const EnumName<E>& entry : table) names.emplace_back(entry.name);
+  return names;
+}
+
+}  // namespace lumos

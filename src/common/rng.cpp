@@ -47,6 +47,11 @@ double Rng::next_double() noexcept {
 
 double Rng::uniform(double lo, double hi) noexcept { return lo + (hi - lo) * next_double(); }
 
+double Rng::exponential(double mean) noexcept {
+  // next_double() < 1, so the log argument stays in (0, 1].
+  return -std::log(1.0 - next_double()) * mean;
+}
+
 double Rng::normal() noexcept {
   if (has_cached_normal_) {
     has_cached_normal_ = false;

@@ -33,6 +33,9 @@ class Rng {
   // Uniform double in [lo, hi).
   [[nodiscard]] double uniform(double lo, double hi) noexcept;
 
+  // Exponential deviate with the given mean (inter-arrival gaps, think times).
+  [[nodiscard]] double exponential(double mean) noexcept;
+
   // Standard normal deviate (Box–Muller; caches the second deviate).
   [[nodiscard]] double normal() noexcept;
 

@@ -7,18 +7,6 @@
 
 namespace lumos::serve {
 
-const char* autoscaler_name(AutoscalerPolicy policy) noexcept {
-  switch (policy) {
-    case AutoscalerPolicy::kQueueDepth:
-      return "queue";
-    case AutoscalerPolicy::kTargetUtilization:
-      return "util";
-    case AutoscalerPolicy::kNone:
-      break;
-  }
-  return "none";
-}
-
 void validate_autoscaler(const AutoscalerConfig& config) {
   if (config.policy == AutoscalerPolicy::kNone) return;
   if (!(config.interval_s > 0.0) || !std::isfinite(config.interval_s)) {

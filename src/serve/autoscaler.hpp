@@ -27,8 +27,6 @@ enum class AutoscalerPolicy {
   kTargetUtilization,  // track a utilization set point with a dead band
 };
 
-[[nodiscard]] const char* autoscaler_name(AutoscalerPolicy policy) noexcept;
-
 struct AutoscalerConfig {
   AutoscalerPolicy policy = AutoscalerPolicy::kNone;
   // Evaluation step, in simulated seconds.

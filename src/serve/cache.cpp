@@ -15,16 +15,22 @@ EstimateCache::EstimateCache(std::unique_ptr<arch::Accelerator> accelerator,
 EstimateCache::EstimateCache(const std::string& spec_name, const WorkloadCatalog& catalog)
     : EstimateCache(arch::make_accelerator(spec_name), catalog) {}
 
-const PerfReport& EstimateCache::estimate(std::uint32_t workload, std::size_t batch) const {
-  LUMOS_EXPECTS(workload < catalog_->size());
-  LUMOS_EXPECTS(batch >= 1 && batch < (std::size_t{1} << 32));
+const PerfReport& EstimateCache::estimate(std::uint32_t workload, std::size_t batch,
+                                          std::uint32_t seq_len) const {
+  // Key layout: workload 16 bits | seq bucket 32 bits | batch 16 bits.
+  LUMOS_EXPECTS(workload < catalog_->size() && catalog_->size() < (std::size_t{1} << 16));
+  LUMOS_EXPECTS(batch >= 1 && batch < (std::size_t{1} << 16));
   ++lookups_;
-  const std::uint64_t key = (static_cast<std::uint64_t>(workload) << 32) |
+  const std::uint64_t key = (static_cast<std::uint64_t>(workload) << 48) |
+                            (static_cast<std::uint64_t>(seq_len) << 16) |
                             static_cast<std::uint64_t>(batch);
   const auto it = reports_.find(key);
   if (it != reports_.end()) return it->second;
   ++misses_;
-  PerfReport r = acc_->estimate_batch(catalog_->workload(workload), batch);
+  PerfReport r =
+      seq_len == 0
+          ? acc_->estimate_batch(catalog_->workload(workload), batch)
+          : acc_->estimate_batch(catalog_->workload(workload).with_seq_len(seq_len), batch);
   return reports_.emplace(key, std::move(r)).first->second;
 }
 

@@ -1,13 +1,14 @@
 // Memoized accelerator estimates for the serving simulator.
 //
 // `estimate()` on an `arch::Accelerator` is pure: the same (spec, workload,
-// batch) always yields the same PerfReport, so the event loop looks service
-// times and energies up in a spec x workload x batch cache instead of
-// re-running the analytic mapping per dispatch.  That is what lets a
-// simulation push millions of requests through a fleet in seconds: the
-// distinct (workload, batch) keys number in the dozens while dispatches
-// number in the millions.  Cached reports are bit-identical to uncached
-// calls.
+// batch, seq-bucket) always yields the same PerfReport, so the event loop
+// looks service times and energies up in a spec x workload x batch x
+// seq-bucket cache instead of re-running the analytic mapping per dispatch.
+// That is what lets a simulation push millions of requests through a fleet in
+// seconds: sequence lengths are bucketised (see SeqLenConfig), so the
+// distinct keys number in the dozens-to-hundreds while dispatches number in
+// the millions.  Cached reports are bit-identical to uncached calls; seq 0
+// (the fixed-length default) scores the entry's native config.
 #pragma once
 
 #include <cstdint>
@@ -31,9 +32,11 @@ class EstimateCache {
   EstimateCache(const std::string& spec_name, const WorkloadCatalog& catalog);
 
   // The memoized PerfReport of serving `batch` pipelined requests of
-  // `workload` on this accelerator.  References stay valid for the cache's
-  // lifetime.  The workload must be serveable (`can_serve`).
-  const PerfReport& estimate(std::uint32_t workload, std::size_t batch) const;
+  // `workload` at sequence length `seq_len` (0: the entry's native config) on
+  // this accelerator.  References stay valid for the cache's lifetime.  The
+  // workload must be serveable (`can_serve`).
+  const PerfReport& estimate(std::uint32_t workload, std::size_t batch,
+                             std::uint32_t seq_len = 0) const;
 
   [[nodiscard]] bool can_serve(std::uint32_t workload) const;
   [[nodiscard]] double static_power_w() const;

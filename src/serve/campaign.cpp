@@ -9,6 +9,7 @@
 #include "common/json.hpp"
 #include "common/parallel.hpp"
 #include "common/units.hpp"
+#include "serve/names.hpp"
 
 namespace lumos::serve {
 
@@ -162,22 +163,22 @@ std::vector<CampaignPoint> run_campaign(const CampaignConfig& config,
   parallel_for(0, points.size(), 1, [&](std::size_t begin, std::size_t end) {
     for (std::size_t i = begin; i < end; ++i) {
       CampaignPoint& p = points[i];
-      const FleetConfig fleet =
+      Scenario scenario;
+      scenario.fleet =
           FleetConfig::cycled(config.fleet_template, p.fleet_size, config.routing);
-      TraceConfig trace_cfg;
-      trace_cfg.offered_qps = p.qps;
-      trace_cfg.request_count = config.requests_per_point;
-      trace_cfg.process = config.process;
-      trace_cfg.seed = config.seed + 0x9E3779B9u * (static_cast<std::uint64_t>(i) + 1);
-      const std::vector<Request> trace = generate_trace(catalog, trace_cfg);
-      BatchPolicy policy;
-      policy.max_batch = p.max_batch;
-      policy.max_wait_s = config.max_wait_s;
-      SimConfig sim;
-      sim.slo_scale = config.slo_scale;
-      sim.autoscaler = config.autoscale;
-      sim.autoscaler.policy = p.autoscaler;
-      p.metrics = simulate(fleet, catalog, trace, p.scheduler, policy, sim);
+      scenario.catalog = catalog;
+      scenario.scheduler = p.scheduler;
+      scenario.batch.max_batch = p.max_batch;
+      scenario.batch.max_wait_s = config.max_wait_s;
+      scenario.sim.slo_scale = config.slo_scale;
+      scenario.sim.autoscaler = config.autoscale;
+      scenario.sim.autoscaler.policy = p.autoscaler;
+      scenario.traffic.open.offered_qps = p.qps;
+      scenario.traffic.open.request_count = config.requests_per_point;
+      scenario.traffic.open.process = config.process;
+      scenario.traffic.open.seed =
+          config.seed + 0x9E3779B9u * (static_cast<std::uint64_t>(i) + 1);
+      p.metrics = simulate(scenario);
     }
   });
   return points;
@@ -243,7 +244,9 @@ void write_campaign_json(const CampaignConfig& config,
        << ", \"final_fleet\": " << m.final_fleet_size
        << ", \"mean_fleet\": " << m.mean_fleet_size
        << ", \"autoscale_grows\": " << m.autoscale_grows
-       << ", \"autoscale_shrinks\": " << m.autoscale_shrinks << ",\n"
+       << ", \"autoscale_shrinks\": " << m.autoscale_shrinks
+       << ", \"estimate_lookups\": " << m.estimate_lookups
+       << ", \"estimate_misses\": " << m.estimate_misses << ",\n"
        << "     \"tenants\": [\n";
     for (std::size_t w = 0; w < m.tenants.size(); ++w) {
       const TenantMetrics& t = m.tenants[w];

@@ -17,6 +17,12 @@ double percentile(std::vector<double>& samples, double q) {
   return samples[std::min(index, samples.size() - 1)];
 }
 
+double FleetMetrics::estimate_hit_rate() const noexcept {
+  if (estimate_lookups == 0) return 1.0;
+  return static_cast<double>(estimate_lookups - estimate_misses) /
+         static_cast<double>(estimate_lookups);
+}
+
 Table FleetMetrics::to_table(const std::string& title) const {
   Table t(title);
   t.add_row({"metric", "value"});
@@ -39,6 +45,16 @@ Table FleetMetrics::to_table(const std::string& title) const {
   t.add_row({"fleet energy (J)", Table::num(fleet_energy_j, 4)});
   t.add_row({"energy/request (uJ)", Table::num(energy_per_request_j * 1e6, 3)});
   t.add_row({"fleet utilization", Table::num(fleet_utilization, 3)});
+  t.add_row({"estimate lookups", std::to_string(estimate_lookups)});
+  t.add_row({"estimate misses", std::to_string(estimate_misses)});
+  t.add_row({"estimate hit rate", Table::num(estimate_hit_rate(), 4)});
+  if (sessions > 0) {
+    t.add_row({"sessions", std::to_string(sessions)});
+    t.add_row({"mean session (ms)", Table::num(mean_session_s * 1e3, 3)});
+    t.add_row({"p50 session (ms)", Table::num(p50_session_s * 1e3, 3)});
+    t.add_row({"p99 session (ms)", Table::num(p99_session_s * 1e3, 3)});
+    t.add_row({"max session (ms)", Table::num(max_session_s * 1e3, 3)});
+  }
   if (autoscale_grows > 0 || autoscale_shrinks > 0 ||
       peak_fleet_size != initial_fleet_size) {
     t.add_row({"fleet size (init/peak/final)", std::to_string(initial_fleet_size) + "/" +

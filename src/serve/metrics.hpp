@@ -76,16 +76,25 @@ struct FleetMetrics {
   // Per-tenant breakdown, one entry per catalog entry (catalog order).
   std::vector<TenantMetrics> tenants;
 
-  // Estimate-cache effectiveness.
+  // Closed-loop sessions (all zero for open-loop scenarios).  Session latency
+  // is end to end: a session's first issue to its last completion, think
+  // times included.
+  std::size_t sessions = 0;
+  double mean_session_s = 0.0;
+  double p50_session_s = 0.0;
+  double p99_session_s = 0.0;
+  double max_session_s = 0.0;
+
+  // Estimate-cache effectiveness, summed over the fleet's per-spec caches.
   std::size_t estimate_lookups = 0;
   std::size_t estimate_misses = 0;
+  // Hit fraction (1.0 for a lookup-free run so an untouched cache never reads
+  // as "all misses").
+  [[nodiscard]] double estimate_hit_rate() const noexcept;
 
   [[nodiscard]] Table to_table(const std::string& title) const;
   // One row per tenant: priority, SLO, attainment, goodput, tail latency.
   [[nodiscard]] Table tenant_table(const std::string& title) const;
 };
-
-// The pre-elastic name; fleet-level semantics are unchanged for static runs.
-using ServeMetrics = FleetMetrics;
 
 }  // namespace lumos::serve

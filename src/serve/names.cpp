@@ -1,0 +1,92 @@
+#include "serve/names.hpp"
+
+#include "common/enum_names.hpp"
+
+namespace lumos::serve {
+
+namespace {
+
+constexpr EnumName<ArrivalProcess> kProcessNames[] = {
+    {ArrivalProcess::kPoisson, "poisson"},
+    {ArrivalProcess::kBursty, "bursty"},
+};
+
+constexpr EnumName<SchedulerKind> kSchedulerNames[] = {
+    {SchedulerKind::kFifo, "fifo"},
+    {SchedulerKind::kDynamicBatch, "batch"},
+};
+
+constexpr EnumName<RoutingPolicy> kRoutingNames[] = {
+    {RoutingPolicy::kFirstIdle, "first-idle"},
+    {RoutingPolicy::kEnergyAware, "energy-aware"},
+    {RoutingPolicy::kEnergyAware, "energy"},  // historical CLI alias
+};
+
+constexpr EnumName<AutoscalerPolicy> kAutoscalerNames[] = {
+    {AutoscalerPolicy::kNone, "none"},
+    {AutoscalerPolicy::kQueueDepth, "queue"},
+    {AutoscalerPolicy::kTargetUtilization, "util"},
+};
+
+constexpr EnumName<LoopMode> kLoopModeNames[] = {
+    {LoopMode::kOpen, "open"},
+    {LoopMode::kClosed, "closed"},
+};
+
+constexpr EnumName<SeqLenDist> kSeqLenDistNames[] = {
+    {SeqLenDist::kFixed, "fixed"},
+    {SeqLenDist::kUniform, "uniform"},
+    {SeqLenDist::kLogNormal, "lognormal"},
+};
+
+}  // namespace
+
+const char* process_name(ArrivalProcess process) noexcept {
+  return enum_to_name(kProcessNames, process);
+}
+ArrivalProcess process_from_name(const std::string& name) {
+  return enum_from_name(kProcessNames, name, "arrival process");
+}
+std::vector<std::string> process_names() { return enum_name_list(kProcessNames); }
+
+const char* scheduler_name(SchedulerKind kind) noexcept {
+  return enum_to_name(kSchedulerNames, kind);
+}
+SchedulerKind scheduler_from_name(const std::string& name) {
+  return enum_from_name(kSchedulerNames, name, "scheduler");
+}
+std::vector<std::string> scheduler_names() { return enum_name_list(kSchedulerNames); }
+
+const char* routing_name(RoutingPolicy policy) noexcept {
+  return enum_to_name(kRoutingNames, policy);
+}
+RoutingPolicy routing_from_name(const std::string& name) {
+  return enum_from_name(kRoutingNames, name, "routing policy");
+}
+std::vector<std::string> routing_names() { return enum_name_list(kRoutingNames); }
+
+const char* autoscaler_name(AutoscalerPolicy policy) noexcept {
+  return enum_to_name(kAutoscalerNames, policy);
+}
+AutoscalerPolicy autoscaler_from_name(const std::string& name) {
+  return enum_from_name(kAutoscalerNames, name, "autoscale policy");
+}
+std::vector<std::string> autoscaler_names() { return enum_name_list(kAutoscalerNames); }
+
+const char* loop_mode_name(LoopMode mode) noexcept {
+  return enum_to_name(kLoopModeNames, mode);
+}
+LoopMode loop_mode_from_name(const std::string& name) {
+  return enum_from_name(kLoopModeNames, name, "loop mode");
+}
+std::vector<std::string> loop_mode_names() { return enum_name_list(kLoopModeNames); }
+
+const char* seqlen_dist_name(SeqLenDist dist) noexcept {
+  return enum_to_name(kSeqLenDistNames, dist);
+}
+SeqLenDist seqlen_dist_from_name(const std::string& name) {
+  return enum_from_name(kSeqLenDistNames, name, "seqlen distribution");
+}
+std::vector<std::string> seqlen_dist_names() { return enum_name_list(kSeqLenDistNames); }
+
+}  // namespace lumos::serve

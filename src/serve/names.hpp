@@ -1,0 +1,47 @@
+// String <-> enum conversions for every user-facing serve enum, in one place.
+//
+// The CLI, campaign JSON writers, tables, and benches all need the same three
+// faces per enum — canonical print name, strict parse (throws
+// `InvalidArgument` listing the accepted names), and the name list for
+// discovery (`lumos_cli list`) — previously hand-rolled per call site.  One
+// `common/enum_names` table per enum drives all three, so printing and
+// parsing can never drift apart.  Parse accepts aliases where the CLI
+// historically did (routing "energy" for "energy-aware").
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "serve/autoscaler.hpp"
+#include "serve/scheduler.hpp"
+#include "serve/simulator.hpp"
+#include "serve/traffic.hpp"
+#include "serve/workload.hpp"
+
+namespace lumos::serve {
+
+[[nodiscard]] const char* process_name(ArrivalProcess process) noexcept;
+[[nodiscard]] ArrivalProcess process_from_name(const std::string& name);
+[[nodiscard]] std::vector<std::string> process_names();
+
+[[nodiscard]] const char* scheduler_name(SchedulerKind kind) noexcept;
+[[nodiscard]] SchedulerKind scheduler_from_name(const std::string& name);
+[[nodiscard]] std::vector<std::string> scheduler_names();
+
+[[nodiscard]] const char* routing_name(RoutingPolicy policy) noexcept;
+[[nodiscard]] RoutingPolicy routing_from_name(const std::string& name);
+[[nodiscard]] std::vector<std::string> routing_names();
+
+[[nodiscard]] const char* autoscaler_name(AutoscalerPolicy policy) noexcept;
+[[nodiscard]] AutoscalerPolicy autoscaler_from_name(const std::string& name);
+[[nodiscard]] std::vector<std::string> autoscaler_names();
+
+[[nodiscard]] const char* loop_mode_name(LoopMode mode) noexcept;
+[[nodiscard]] LoopMode loop_mode_from_name(const std::string& name);
+[[nodiscard]] std::vector<std::string> loop_mode_names();
+
+[[nodiscard]] const char* seqlen_dist_name(SeqLenDist dist) noexcept;
+[[nodiscard]] SeqLenDist seqlen_dist_from_name(const std::string& name);
+[[nodiscard]] std::vector<std::string> seqlen_dist_names();
+
+}  // namespace lumos::serve

@@ -8,10 +8,6 @@
 
 namespace lumos::serve {
 
-const char* scheduler_name(SchedulerKind kind) noexcept {
-  return kind == SchedulerKind::kFifo ? "fifo" : "batch";
-}
-
 namespace {
 
 constexpr double kNever = std::numeric_limits<double>::infinity();
@@ -88,10 +84,13 @@ class FifoScheduler final : public Scheduler {
   std::size_t queued_ = 0;
 };
 
-// Per-workload batching buckets.  Readiness and deadlines ignore tiers (a
-// lower-priority bucket's deadline must still wake the event loop so the tier
-// eventually dispatches); the pop respects strict tier order among the ready
-// buckets, falling back to longest-waiting-head order within a tier.
+// Per-(workload, seq-bucket) batching buckets, keyed workload-major so the
+// map iterates (workload, seq) ascending and masks/tiers — which bind per
+// workload — test only the key's high half.  Readiness and deadlines ignore
+// tiers (a lower-priority bucket's deadline must still wake the event loop so
+// the tier eventually dispatches); the pop respects strict tier order among
+// the ready buckets, falling back to longest-waiting-head order within a
+// tier.
 class DynamicBatchScheduler final : public Scheduler {
  public:
   DynamicBatchScheduler(const BatchPolicy& policy, std::vector<std::uint32_t> priorities)
@@ -104,15 +103,15 @@ class DynamicBatchScheduler final : public Scheduler {
   }
 
   void enqueue(const Request& request, double) override {
-    buckets_[request.workload].push_back(request);
+    buckets_[bucket_key(request)].push_back(request);
     ++queued_;
   }
 
   [[nodiscard]] std::size_t queued() const noexcept override { return queued_; }
 
   [[nodiscard]] bool ready(double now_s, const WorkloadMask& mask) const noexcept override {
-    for (const auto& [workload, bucket] : buckets_) {
-      if (!mask.allows(workload)) continue;
+    for (const auto& [key, bucket] : buckets_) {
+      if (!mask.allows(workload_of(key))) continue;
       if (bucket.size() >= policy_.max_batch) return true;
       if (bucket.front().arrival_s + policy_.max_wait_s <= now_s) return true;
     }
@@ -121,8 +120,8 @@ class DynamicBatchScheduler final : public Scheduler {
 
   [[nodiscard]] double next_deadline_s(const WorkloadMask& mask) const noexcept override {
     double deadline = kNever;
-    for (const auto& [workload, bucket] : buckets_) {
-      if (!mask.allows(workload)) continue;
+    for (const auto& [key, bucket] : buckets_) {
+      if (!mask.allows(workload_of(key))) continue;
       deadline = std::min(deadline, bucket.front().arrival_s + policy_.max_wait_s);
     }
     return deadline;
@@ -130,11 +129,11 @@ class DynamicBatchScheduler final : public Scheduler {
 
   [[nodiscard]] std::vector<Request> pop(double now_s, const WorkloadMask& mask) override {
     // Among ready allowed buckets, serve the lowest tier; within a tier, the
-    // bucket whose oldest request has waited longest (tie: lowest workload id
-    // via the map's iteration order).
+    // bucket whose oldest request has waited longest (tie: lowest
+    // (workload id, seq bucket) via the map's iteration order).
     auto best = buckets_.end();
     for (auto it = buckets_.begin(); it != buckets_.end(); ++it) {
-      if (!mask.allows(it->first)) continue;
+      if (!mask.allows(workload_of(it->first))) continue;
       const std::deque<Request>& bucket = it->second;
       const bool is_ready = bucket.size() >= policy_.max_batch ||
                             bucket.front().arrival_s + policy_.max_wait_s <= now_s;
@@ -143,8 +142,8 @@ class DynamicBatchScheduler final : public Scheduler {
         best = it;
         continue;
       }
-      const std::uint32_t tier = tier_of(tiers_, it->first);
-      const std::uint32_t best_tier = tier_of(tiers_, best->first);
+      const std::uint32_t tier = tier_of(tiers_, workload_of(it->first));
+      const std::uint32_t best_tier = tier_of(tiers_, workload_of(best->first));
       if (tier < best_tier ||
           (tier == best_tier && bucket.front().arrival_s < best->second.front().arrival_s)) {
         best = it;
@@ -165,10 +164,18 @@ class DynamicBatchScheduler final : public Scheduler {
   }
 
  private:
+  // Workload-major bucket key: high 32 bits workload, low 32 bits seq bucket.
+  [[nodiscard]] static std::uint64_t bucket_key(const Request& r) noexcept {
+    return (static_cast<std::uint64_t>(r.workload) << 32) | r.seq_len;
+  }
+  [[nodiscard]] static std::uint32_t workload_of(std::uint64_t key) noexcept {
+    return static_cast<std::uint32_t>(key >> 32);
+  }
+
   BatchPolicy policy_;
   std::vector<std::uint32_t> tiers_;
-  // std::map for deterministic iteration order (ascending workload id).
-  std::map<std::uint32_t, std::deque<Request>> buckets_;
+  // std::map for deterministic iteration order (ascending workload, seq).
+  std::map<std::uint64_t, std::deque<Request>> buckets_;
   std::size_t queued_ = 0;
 };
 

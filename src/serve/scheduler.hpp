@@ -3,10 +3,12 @@
 // A scheduler owns the waiting requests and decides what dispatches next:
 //   * FIFO — strict arrival order, one request per dispatch (the no-batching
 //     baseline: lowest unloaded latency, worst throughput under load);
-//   * dynamic batching — per-workload buckets (a batch must share one model /
-//     sequence length to pipeline through stationary weights); a bucket
-//     dispatches when it reaches `max_batch` or when its oldest request has
-//     waited `max_wait_s`, whichever comes first.
+//   * dynamic batching — per-(workload, seq-bucket) buckets (a batch must
+//     share one model AND one sampled sequence-length bucket to pipeline
+//     through stationary weights); a bucket dispatches when it reaches
+//     `max_batch` or when its oldest request has waited `max_wait_s`,
+//     whichever comes first.  Fixed-length entries put everything in the
+//     seq-0 bucket, reproducing the pre-seqlen per-workload buckets exactly.
 // Mixed-kind fleets pass a `WorkloadMask` restricting what can dispatch right
 // now (kind-aware routing: a GNN batch only goes to an idle GHOST-family
 // accelerator); the default mask allows every workload, and with it the
@@ -31,8 +33,6 @@
 namespace lumos::serve {
 
 enum class SchedulerKind { kFifo, kDynamicBatch };
-
-[[nodiscard]] const char* scheduler_name(SchedulerKind kind) noexcept;
 
 struct BatchPolicy {
   std::size_t max_batch = 8;   // largest batch a bucket dispatches

@@ -2,15 +2,12 @@
 
 #include <algorithm>
 #include <limits>
+#include <memory>
 
 #include "arch/registry.hpp"
 #include "common/error.hpp"
 
 namespace lumos::serve {
-
-const char* routing_name(RoutingPolicy policy) noexcept {
-  return policy == RoutingPolicy::kFirstIdle ? "first-idle" : "energy-aware";
-}
 
 FleetConfig FleetConfig::homogeneous(const std::string& spec, std::size_t count,
                                      RoutingPolicy routing) {
@@ -87,27 +84,59 @@ bool can_dispatch_to(const Slot& s) noexcept {
 
 }  // namespace
 
-FleetMetrics simulate(const FleetConfig& fleet, const WorkloadCatalog& catalog,
-                      const std::vector<Request>& trace, SchedulerKind scheduler,
-                      const BatchPolicy& policy, const SimConfig& sim) {
-  if (fleet.accelerators.empty()) {
-    throw InvalidArgument("FleetConfig.accelerators must not be empty");
+void validate_scenario(const Scenario& scenario) {
+  if (scenario.fleet.accelerators.empty()) {
+    throw InvalidArgument("Scenario.fleet: FleetConfig.accelerators must not be empty");
   }
-  if (catalog.empty()) throw InvalidArgument("WorkloadCatalog must not be empty");
-  if (trace.empty()) throw InvalidArgument("request trace must not be empty");
-  for (const Request& r : trace) {
-    if (r.workload >= catalog.size()) {
-      throw InvalidArgument("trace request " + std::to_string(r.id) +
-                            " names workload index " + std::to_string(r.workload) +
-                            ", but the catalog holds " + std::to_string(catalog.size()) +
-                            " workloads");
-    }
+  if (scenario.catalog.empty()) {
+    throw InvalidArgument("Scenario.catalog: WorkloadCatalog must not be empty");
   }
-  if (policy.max_batch < 1 || policy.max_batch > BatchPolicy::kMaxBatchLimit) {
-    throw InvalidArgument("BatchPolicy.max_batch must be in [1, " +
+  if (scenario.batch.max_batch < 1 ||
+      scenario.batch.max_batch > BatchPolicy::kMaxBatchLimit) {
+    throw InvalidArgument("Scenario.batch: BatchPolicy.max_batch must be in [1, " +
                           std::to_string(BatchPolicy::kMaxBatchLimit) + "], got " +
-                          std::to_string(policy.max_batch));
+                          std::to_string(scenario.batch.max_batch));
   }
+  if (scenario.batch.max_wait_s < 0.0) {
+    throw InvalidArgument("Scenario.batch: BatchPolicy.max_wait_s must be >= 0");
+  }
+  validate_autoscaler(scenario.sim.autoscaler);
+  if (!scenario.trace.empty()) {
+    for (const Request& r : scenario.trace) {
+      if (r.workload >= scenario.catalog.size()) {
+        throw InvalidArgument("Scenario.trace: request " + std::to_string(r.id) +
+                              " names workload index " + std::to_string(r.workload) +
+                              ", but the catalog holds " +
+                              std::to_string(scenario.catalog.size()) + " workloads");
+      }
+    }
+    return;
+  }
+  if (scenario.traffic.mode == LoopMode::kClosed) {
+    validate_closed_loop(scenario.traffic.closed);
+    return;
+  }
+  if (!(scenario.traffic.open.offered_qps > 0.0)) {
+    throw InvalidArgument("Scenario.traffic: TraceConfig.offered_qps must be positive");
+  }
+  if (scenario.traffic.open.request_count < 1) {
+    throw InvalidArgument("Scenario.traffic: TraceConfig.request_count must be >= 1");
+  }
+}
+
+FleetMetrics simulate(const Scenario& scenario) {
+  validate_scenario(scenario);
+  const FleetConfig& fleet = scenario.fleet;
+  const WorkloadCatalog& catalog = scenario.catalog;
+  const BatchPolicy& policy = scenario.batch;
+  const SimConfig& sim = scenario.sim;
+  // The explicit trace is borrowed, not copied: the Scenario outlives the run.
+  const std::unique_ptr<TrafficSource> source =
+      scenario.trace.empty()
+          ? make_traffic_source(catalog, scenario.traffic)
+          : std::make_unique<OpenLoopSource>(&scenario.trace);
+  const std::size_t total_requests = source->total_requests();
+  LUMOS_ENSURES(total_requests >= 1);
   const std::unique_ptr<Autoscaler> scaler = make_autoscaler(sim.autoscaler);
 
   // One estimate cache per distinct spec name; fleet slots share caches.
@@ -200,13 +229,14 @@ FleetMetrics simulate(const FleetConfig& fleet, const WorkloadCatalog& catalog,
   }
 
   const std::unique_ptr<Scheduler> sched =
-      make_scheduler(scheduler, policy, catalog.priorities());
+      make_scheduler(scenario.scheduler, policy, catalog.priorities());
   std::vector<Completion> heap;
   std::uint64_t dispatch_seq = 0;
 
   FleetMetrics m;
   m.batch_histogram.assign(
-      (scheduler == SchedulerKind::kFifo ? std::size_t{1} : policy.max_batch) + 1, 0);
+      (scenario.scheduler == SchedulerKind::kFifo ? std::size_t{1} : policy.max_batch) + 1,
+      0);
   m.initial_fleet_size = slots.size();
   m.peak_fleet_size = slots.size();
   double latency_sum = 0.0;
@@ -272,6 +302,10 @@ FleetMetrics simulate(const FleetConfig& fleet, const WorkloadCatalog& catalog,
       std::vector<Request> batch = sched->pop(now_s, mask);
       LUMOS_ENSURES(!batch.empty());
       const std::uint32_t workload = batch.front().workload;
+      // Batching schedulers never mix seq buckets within a batch (FIFO
+      // batches are single requests), so the head's sampled length prices the
+      // whole batch.
+      const std::uint32_t seq_len = batch.front().seq_len;
       queued_by_workload[workload] -= batch.size();
       std::size_t chosen = kNone;
       for (const std::size_t i : live) {
@@ -287,14 +321,15 @@ FleetMetrics simulate(const FleetConfig& fleet, const WorkloadCatalog& catalog,
           if (!can_dispatch_to(slots[i]) || cache_serves[slots[i].cache][workload] == 0) {
             continue;
           }
-          const double j = caches[slots[i].cache].estimate(workload, batch.size()).total_energy_j;
+          const double j =
+              caches[slots[i].cache].estimate(workload, batch.size(), seq_len).total_energy_j;
           if (j < best_j) {
             best_j = j;
             chosen = i;
           }
         }
       }
-      const PerfReport& r = caches[slots[chosen].cache].estimate(workload, batch.size());
+      const PerfReport& r = caches[slots[chosen].cache].estimate(workload, batch.size(), seq_len);
       slots[chosen].idle = false;
       slots[chosen].busy_s += r.latency_s;
       ++m.dispatches;
@@ -365,11 +400,10 @@ FleetMetrics simulate(const FleetConfig& fleet, const WorkloadCatalog& catalog,
     if (live_changed) rebuild_live();
   };
 
-  std::size_t next_arrival = 0;
+  double last_arrival_s = 0.0;
   double now_s = 0.0;
-  while (m.completed < trace.size()) {
-    const double t_arr =
-        next_arrival < trace.size() ? trace[next_arrival].arrival_s : kNever;
+  while (m.completed < total_requests) {
+    const double t_arr = source->next_arrival_time();
     const double t_done = heap.empty() ? kNever : heap.front().time_s;
     // Deadlines only matter while an accelerator could take the batch; when
     // everything is busy the next completion re-evaluates readiness anyway.
@@ -417,12 +451,16 @@ FleetMetrics simulate(const FleetConfig& fleet, const WorkloadCatalog& catalog,
           ++tenant_within[w];
         }
         ++m.completed;
+        // Feedback to the source: a closed-loop session may now schedule its
+        // next issue (at or after this completion's instant).
+        source->on_complete(req, done.time_s);
       }
     }
-    while (next_arrival < trace.size() && trace[next_arrival].arrival_s <= now_s) {
-      ++queued_by_workload[trace[next_arrival].workload];
-      sched->enqueue(trace[next_arrival], now_s);
-      ++next_arrival;
+    while (source->next_arrival_time() <= now_s) {
+      const Request r = source->pop_arrival();
+      last_arrival_s = r.arrival_s;
+      ++queued_by_workload[r.workload];
+      sched->enqueue(r, now_s);
       m.peak_queue_depth = std::max(m.peak_queue_depth, sched->queued());
     }
     if (scaler && now_s >= next_eval_s) {
@@ -434,8 +472,7 @@ FleetMetrics simulate(const FleetConfig& fleet, const WorkloadCatalog& catalog,
   }
 
   const double duration_s = now_s;
-  m.offered_qps = static_cast<double>(trace.size()) /
-                  std::max(trace.back().arrival_s, 1e-300);
+  m.offered_qps = static_cast<double>(total_requests) / std::max(last_arrival_s, 1e-300);
   m.duration_s = duration_s;
   m.throughput_qps = static_cast<double>(m.completed) / std::max(duration_s, 1e-300);
   m.goodput_qps = static_cast<double>(within_slo) / std::max(duration_s, 1e-300);
@@ -507,6 +544,7 @@ FleetMetrics simulate(const FleetConfig& fleet, const WorkloadCatalog& catalog,
     m.estimate_lookups += c.lookups();
     m.estimate_misses += c.misses();
   }
+  source->finish(m);
   return m;
 }
 

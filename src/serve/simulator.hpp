@@ -1,18 +1,28 @@
-// Deterministic discrete-event simulation of an accelerator fleet serving an
-// open-loop request trace.
+// Deterministic discrete-event simulation of an accelerator fleet serving a
+// pluggable traffic source.
 //
-// Event loop over four event sources — request arrivals (from the
-// pre-generated trace), batch-deadline expiries (from the scheduler),
-// accelerator completions (a min-heap keyed by (time, dispatch seq)), and
-// autoscaler evaluation steps (every `interval_s` of simulated time) — with a
-// fixed processing order at equal timestamps (completions, then arrivals,
-// then autoscaling, then dispatch).  Fleets are built from `arch` registry
-// spec names and may mix fabric families (TRON + GHOST serving one mixed
-// catalog): routing is kind-aware, so a request only dispatches to an idle
-// accelerator that can serve it.  Priority tiers from the catalog's entries
-// make the scheduler pop strict-priority (see scheduler.hpp), and each
-// entry's SLO scores its own completions (per-tenant goodput in
-// `FleetMetrics::tenants`).
+// The entry point is `simulate(const Scenario&)`: a `Scenario` is the whole
+// run as one validated value — fleet, catalog, scheduler, batch policy, sim
+// knobs, and traffic (open-loop generator knobs, closed-loop session knobs,
+// or an explicit pre-materialised trace).  The event loop pulls requests from
+// a `serve::TrafficSource` (see traffic.hpp) and feeds completions back, so
+// closed-loop clients — whose arrivals depend on completions — plug into the
+// same loop as open-loop traces.
+//
+// Event loop over four event sources — request arrivals (pulled from the
+// traffic source), batch-deadline expiries (from the scheduler), accelerator
+// completions (a min-heap keyed by (time, dispatch seq)), and autoscaler
+// evaluation steps (every `interval_s` of simulated time) — with a fixed
+// processing order at equal timestamps (completions, then arrivals, then
+// autoscaling, then dispatch).  Fleets are built from `arch` registry spec
+// names and may mix fabric families (TRON + GHOST serving one mixed catalog):
+// routing is kind-aware, so a request only dispatches to an idle accelerator
+// that can serve it.  Priority tiers from the catalog's entries make the
+// scheduler pop strict-priority (see scheduler.hpp), and each entry's SLO
+// scores its own completions (per-tenant goodput in `FleetMetrics::tenants`).
+// Requests carry sampled sequence lengths (see SeqLenConfig): batches share a
+// (workload, seq-bucket) key and service times come from the seq-aware
+// estimate cache.
 //
 // Elastic fleets: an enabled autoscaler grows per-spec-family slot counts by
 // instantiating registry-named accelerators mid-simulation and shrinks them
@@ -25,8 +35,9 @@
 // loop's cost per request is a queue push, a heap push/pop, and a hash
 // lookup: millions of requests simulate in seconds.  The loop itself is
 // serial and allocation-light; campaigns parallelise over grid points (see
-// campaign.hpp).  Results are bit-reproducible for a fixed trace across runs
-// and `LUMOS_THREADS` settings.
+// campaign.hpp).  Results are bit-reproducible for a fixed scenario across
+// runs and `LUMOS_THREADS` settings — seeded sources keep that true through
+// the closed-loop feedback path.
 #pragma once
 
 #include <string>
@@ -37,6 +48,7 @@
 #include "serve/metrics.hpp"
 #include "serve/scheduler.hpp"
 #include "serve/trace.hpp"
+#include "serve/traffic.hpp"
 #include "serve/workload.hpp"
 
 namespace lumos::serve {
@@ -46,8 +58,6 @@ enum class RoutingPolicy {
   kFirstIdle,     // lowest-index compatible idle accelerator
   kEnergyAware,   // compatible idle accelerator with the lowest predicted batch energy
 };
-
-[[nodiscard]] const char* routing_name(RoutingPolicy policy) noexcept;
 
 struct FleetConfig {
   // One `arch` registry spec name per fleet slot ("tron", "ghost-eco", ...).
@@ -82,13 +92,31 @@ struct SimConfig {
   AutoscalerConfig autoscaler;
 };
 
-// Simulates `trace` over the fleet (`fleet.accelerators` are the initial
-// slots of an elastic run).  Throws `InvalidArgument` naming the bad field
-// for empty fleets, empty catalogs/traces, out-of-range batch policies, bad
-// autoscaler configs, and catalogs with workloads no fleet accelerator can
-// serve.
-[[nodiscard]] FleetMetrics simulate(const FleetConfig& fleet, const WorkloadCatalog& catalog,
-                                    const std::vector<Request>& trace, SchedulerKind scheduler,
-                                    const BatchPolicy& policy, const SimConfig& sim = {});
+// One serving run as a value: everything `simulate` needs, validated at the
+// call.  Traffic comes from `traffic` (open- or closed-loop generator knobs)
+// unless `trace` is non-empty, in which case that explicit arrival-ordered
+// open-loop trace is served instead (tests and replay harnesses hand-build
+// traces; `traffic` is ignored then).
+struct Scenario {
+  FleetConfig fleet;
+  WorkloadCatalog catalog;
+  SchedulerKind scheduler = SchedulerKind::kDynamicBatch;
+  BatchPolicy batch;
+  SimConfig sim;
+  TrafficConfig traffic;
+  std::vector<Request> trace;
+};
+
+// Throws `InvalidArgument` naming the bad field: empty fleets, empty
+// catalogs, out-of-range batch policies, bad traffic knobs (non-positive
+// offered QPS / request counts / sessions / think times), explicit-trace
+// requests naming workload indices outside the catalog, and bad autoscaler
+// configs.
+void validate_scenario(const Scenario& scenario);
+
+// Simulates the scenario (`fleet.accelerators` are the initial slots of an
+// elastic run).  Validates via `validate_scenario`; also throws for catalogs
+// with workloads no fleet accelerator can serve.
+[[nodiscard]] FleetMetrics simulate(const Scenario& scenario);
 
 }  // namespace lumos::serve

@@ -8,17 +8,6 @@
 
 namespace lumos::serve {
 
-const char* process_name(ArrivalProcess process) noexcept {
-  return process == ArrivalProcess::kPoisson ? "poisson" : "bursty";
-}
-
-namespace {
-double exponential(Rng& rng, double mean) {
-  // next_double() < 1, so the log argument stays in (0, 1].
-  return -std::log(1.0 - rng.next_double()) * mean;
-}
-}  // namespace
-
 std::vector<Request> generate_trace(const WorkloadCatalog& catalog,
                                     const TraceConfig& config) {
   LUMOS_EXPECTS(config.offered_qps > 0.0);
@@ -26,9 +15,10 @@ std::vector<Request> generate_trace(const WorkloadCatalog& catalog,
   LUMOS_EXPECTS(catalog.size() >= 1);
 
   // Independent streams: arrival times stay identical when only the mix
-  // changes, and vice versa.
+  // changes, the mix when only the seqlen distributions change, and so on.
   Rng arrival_rng(config.seed, /*stream=*/0xA221);
   Rng mix_rng(config.seed, /*stream=*/0x317C);
+  Rng seqlen_rng(config.seed, /*stream=*/0x5E9B);
 
   std::vector<double> cumulative;
   cumulative.reserve(catalog.size());
@@ -57,11 +47,11 @@ std::vector<Request> generate_trace(const WorkloadCatalog& catalog,
   bool high = false;
   double state_end_s = config.process == ArrivalProcess::kPoisson
                            ? std::numeric_limits<double>::infinity()
-                           : exponential(arrival_rng, mean_low_dwell_s);
+                           : arrival_rng.exponential(mean_low_dwell_s);
   for (std::uint64_t id = 0; id < config.request_count; ++id) {
     for (;;) {
       const double rate = high ? high_qps : low_qps;
-      const double dt = exponential(arrival_rng, 1.0 / rate);
+      const double dt = arrival_rng.exponential(1.0 / rate);
       if (now + dt <= state_end_s) {
         now += dt;
         break;
@@ -71,12 +61,13 @@ std::vector<Request> generate_trace(const WorkloadCatalog& catalog,
       now = state_end_s;
       high = !high;
       state_end_s =
-          now + exponential(arrival_rng, high ? config.mean_burst_s : mean_low_dwell_s);
+          now + arrival_rng.exponential(high ? config.mean_burst_s : mean_low_dwell_s);
     }
     const double u = mix_rng.next_double() * cumulative.back();
     std::uint32_t workload = 0;
     while (cumulative[workload] <= u && workload + 1 < cumulative.size()) ++workload;
-    trace.push_back({id, now, workload});
+    const std::uint32_t seq_len = sample_seq_len(catalog.at(workload).seqlen, seqlen_rng);
+    trace.push_back({id, now, workload, seq_len});
   }
   return trace;
 }

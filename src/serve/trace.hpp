@@ -1,11 +1,14 @@
 // Open-loop request traces for the serving simulator.
 //
-// Traces are materialised up front (arrival time + workload index per
-// request) so a simulation is exactly replayable: the same `TraceConfig`
-// always produces the same trace, independent of scheduler, fleet, and
-// `LUMOS_THREADS`.  Arrival processes: Poisson, and a two-state Markov-
-// modulated Poisson process (bursty) whose long-run rate equals the offered
-// QPS.
+// Traces are materialised up front (arrival time + workload index + sampled
+// sequence length per request) so a simulation is exactly replayable: the
+// same `TraceConfig` always produces the same trace, independent of
+// scheduler, fleet, and `LUMOS_THREADS`.  Arrival processes: Poisson, and a
+// two-state Markov-modulated Poisson process (bursty) whose long-run rate
+// equals the offered QPS.  Arrival times, the workload mix, and sequence
+// lengths draw from independent rng streams, so catalogs whose entries are
+// all fixed-length produce arrival sequences bit-identical to pre-seqlen
+// traces.
 #pragma once
 
 #include <cstdint>
@@ -16,14 +19,20 @@
 namespace lumos::serve {
 
 struct Request {
+  // Open-loop requests have no session.
+  static constexpr std::uint32_t kNoSession = 0xFFFFFFFFu;
+
   std::uint64_t id = 0;
   double arrival_s = 0.0;
   std::uint32_t workload = 0;  // WorkloadCatalog index
+  // Sampled sequence length (bucketised; see SeqLenConfig); 0 means "the
+  // entry's native config" — the only value fixed-length entries produce.
+  std::uint32_t seq_len = 0;
+  // Closed-loop session that issued the request (kNoSession for open loop).
+  std::uint32_t session = kNoSession;
 };
 
 enum class ArrivalProcess { kPoisson, kBursty };
-
-[[nodiscard]] const char* process_name(ArrivalProcess process) noexcept;
 
 struct TraceConfig {
   double offered_qps = 1000.0;
@@ -39,7 +48,7 @@ struct TraceConfig {
 };
 
 // Arrival-time-ordered trace over `catalog`'s mix (weights are the workloads'
-// `mix_weight`s).
+// `mix_weight`s; sequence lengths sample each entry's `seqlen` distribution).
 [[nodiscard]] std::vector<Request> generate_trace(const WorkloadCatalog& catalog,
                                                   const TraceConfig& config);
 

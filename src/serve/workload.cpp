@@ -1,5 +1,6 @@
 #include "serve/workload.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/error.hpp"
@@ -7,12 +8,55 @@
 
 namespace lumos::serve {
 
+void validate_seqlen(const SeqLenConfig& config, const std::string& workload) {
+  if (config.dist == SeqLenDist::kFixed) return;
+  if (config.bucket < 1) {
+    throw InvalidArgument("seqlen.bucket for workload '" + workload + "' must be >= 1");
+  }
+  if (config.min_len < 1 || config.max_len < config.min_len) {
+    throw InvalidArgument("seqlen bounds for workload '" + workload +
+                          "' must satisfy 1 <= min_len <= max_len, got [" +
+                          std::to_string(config.min_len) + ", " +
+                          std::to_string(config.max_len) + "]");
+  }
+  if (config.max_len > 0xFFFFFFFFull) {
+    throw InvalidArgument("seqlen.max_len for workload '" + workload +
+                          "' must fit 32 bits");
+  }
+  if (config.dist == SeqLenDist::kLogNormal &&
+      (!std::isfinite(config.log_mean) || !(config.log_sigma > 0.0) ||
+       !std::isfinite(config.log_sigma))) {
+    throw InvalidArgument("seqlen log-normal parameters for workload '" + workload +
+                          "' must be finite with log_sigma > 0");
+  }
+}
+
+std::uint32_t sample_seq_len(const SeqLenConfig& config, Rng& rng) {
+  if (config.dist == SeqLenDist::kFixed) return 0;
+  double len;
+  if (config.dist == SeqLenDist::kUniform) {
+    const auto span = static_cast<std::uint32_t>(config.max_len - config.min_len + 1);
+    len = static_cast<double>(config.min_len + rng.next_below(span));
+  } else {
+    len = std::exp(rng.normal(config.log_mean, config.log_sigma));
+  }
+  const double clamped = std::clamp(len, static_cast<double>(config.min_len),
+                                    static_cast<double>(config.max_len));
+  // Discretise: round up to the bucket grid, capped at max_len (which may sit
+  // off-grid — then max_len itself is the last bucket).
+  const auto bucket = static_cast<std::uint64_t>(config.bucket);
+  const auto raw = static_cast<std::uint64_t>(std::ceil(clamped));
+  const std::uint64_t gridded = ((raw + bucket - 1) / bucket) * bucket;
+  return static_cast<std::uint32_t>(
+      std::min<std::uint64_t>(gridded, static_cast<std::uint64_t>(config.max_len)));
+}
+
 void WorkloadCatalog::add(arch::Workload workload, double weight) {
   if (!(weight > 0.0) || !std::isfinite(weight)) {
     throw InvalidArgument("mix_weight for workload '" + workload.name() +
                           "' must be positive and finite, got " + std::to_string(weight));
   }
-  entries_.push_back(CatalogEntry{std::move(workload), weight});
+  entries_.push_back(CatalogEntry{std::move(workload), weight, 0.0, 0, SeqLenConfig{}});
 }
 
 void WorkloadCatalog::add_transformer(std::string name, nn::TransformerConfig config,
@@ -55,6 +99,43 @@ void WorkloadCatalog::apply_default_tiers() {
   if (entries_.empty()) return;
   const double mean = total_weight() / static_cast<double>(entries_.size());
   for (CatalogEntry& e : entries_) e.priority = e.mix_weight >= mean ? 0 : 1;
+}
+
+void WorkloadCatalog::set_seqlen(std::size_t i, const SeqLenConfig& config) {
+  LUMOS_EXPECTS(i < entries_.size());
+  CatalogEntry& e = entries_[i];
+  validate_seqlen(config, e.workload.name());
+  if (config.dist != SeqLenDist::kFixed &&
+      e.workload.kind() != arch::WorkloadKind::kTransformer) {
+    throw InvalidArgument("workload '" + e.workload.name() + "' is a " +
+                          arch::workload_kind_name(e.workload.kind()) +
+                          " workload and cannot sample sequence lengths");
+  }
+  e.seqlen = config;
+}
+
+void WorkloadCatalog::apply_seqlen_dist(SeqLenDist dist) {
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    const CatalogEntry& e = entries_[i];
+    if (e.workload.kind() != arch::WorkloadKind::kTransformer) continue;
+    if (dist == SeqLenDist::kFixed) {
+      set_seqlen(i, SeqLenConfig{});
+      continue;
+    }
+    const std::size_t native = e.workload.transformer_config().seq_len;
+    SeqLenConfig cfg;
+    cfg.dist = dist;
+    if (dist == SeqLenDist::kUniform) {
+      cfg.min_len = std::max<std::size_t>(16, native / 2);
+      cfg.max_len = std::max<std::size_t>(cfg.min_len, 2 * native);
+    } else {
+      cfg.min_len = 16;
+      cfg.max_len = std::max<std::size_t>(cfg.min_len, 4 * native);
+      cfg.log_mean = std::log(static_cast<double>(std::max<std::size_t>(native, 1)));
+      cfg.log_sigma = 0.5;
+    }
+    set_seqlen(i, cfg);
+  }
 }
 
 const CatalogEntry& WorkloadCatalog::at(std::size_t i) const {

@@ -19,16 +19,49 @@
 #include <vector>
 
 #include "arch/workload.hpp"
+#include "common/rng.hpp"
 
 namespace lumos::serve {
 
+// Per-request sequence-length distribution of one catalog entry.  Sampled
+// lengths are discretised: rounded up to a multiple of `bucket` and clamped to
+// [min_len, max_len], so batches can share a (workload, seq-bucket) key and
+// the estimate cache stays bounded.  `kFixed` samples nothing — requests carry
+// seq 0, meaning "the entry's native config" — and is the bit-compatible
+// default for every pre-seqlen trace and simulation.
+enum class SeqLenDist {
+  kFixed,      // every request uses the entry's native sequence length
+  kUniform,    // uniform over [min_len, max_len]
+  kLogNormal,  // exp(N(log_mean, log_sigma)), clamped to [min_len, max_len]
+};
+
+struct SeqLenConfig {
+  SeqLenDist dist = SeqLenDist::kFixed;
+  std::size_t min_len = 16;   // lower clamp (uniform lower bound)
+  std::size_t max_len = 512;  // upper clamp (uniform upper bound)
+  double log_mean = 5.0;      // log-normal: mean of ln(length)
+  double log_sigma = 0.5;     // log-normal: stddev of ln(length)
+  std::size_t bucket = 32;    // sampled lengths round up to a multiple of this
+};
+
+// Throws `InvalidArgument` naming `workload` and the bad field (zero bucket,
+// inverted bounds, non-finite / non-positive log-normal parameters).  A
+// kFixed config is always valid.
+void validate_seqlen(const SeqLenConfig& config, const std::string& workload);
+
+// One sampled, bucketised sequence length (0 for kFixed: no draw is consumed,
+// so fixed entries never perturb the rng stream shared with sampled entries).
+[[nodiscard]] std::uint32_t sample_seq_len(const SeqLenConfig& config, Rng& rng);
+
 // One entry of a serving mix.  `slo_latency_s` and `priority` make SLOs and
-// scheduling tiers per-tenant: a catalog entry is one tenant's contract.
+// scheduling tiers per-tenant: a catalog entry is one tenant's contract;
+// `seqlen` is the tenant's per-request sequence-length distribution.
 struct CatalogEntry {
   arch::Workload workload;
   double mix_weight = 1.0;     // relative arrival probability
   double slo_latency_s = 0.0;  // per-tenant SLO; 0 falls back to the sim-wide SLO
   std::uint32_t priority = 0;  // strict scheduler tier (lower = more urgent)
+  SeqLenConfig seqlen;         // per-request sequence lengths (default: fixed)
 };
 
 // The (possibly mixed-kind) workload mix a fleet serves.
@@ -49,6 +82,16 @@ class WorkloadCatalog {
   // Two-tier demo assignment: entries with at least mean mix weight (the bulk
   // of traffic, read: interactive tenants) get tier 0, the rest tier 1.
   void apply_default_tiers();
+
+  // Per-tenant sequence-length distributions.  Validates `config` (see
+  // validate_seqlen); a non-fixed distribution on a GNN entry throws
+  // `InvalidArgument` (graphs have no sequence dimension).
+  void set_seqlen(std::size_t i, const SeqLenConfig& config);
+  // Convenience: `dist` over every transformer entry, with bounds derived
+  // from each entry's native sequence length (uniform: [native/2, 2*native];
+  // log-normal: median at the native length, clamped to [16, 4*native]).
+  // GNN entries stay fixed.
+  void apply_seqlen_dist(SeqLenDist dist);
 
   [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
   [[nodiscard]] bool empty() const noexcept { return entries_.empty(); }

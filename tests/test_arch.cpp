@@ -10,6 +10,7 @@
 #include <algorithm>
 #include <cmath>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "arch/registry.hpp"
@@ -24,6 +25,22 @@ namespace lumos::arch {
 namespace {
 
 using lumos::testing::expect_reports_identical;
+
+// serve::Scenario over an explicit pre-materialised trace.
+serve::FleetMetrics simulate_trace(serve::FleetConfig fleet, serve::WorkloadCatalog catalog,
+                                   std::vector<serve::Request> trace,
+                                   serve::SchedulerKind scheduler,
+                                   const serve::BatchPolicy& policy,
+                                   const serve::SimConfig& sim = {}) {
+  serve::Scenario scenario;
+  scenario.fleet = std::move(fleet);
+  scenario.catalog = std::move(catalog);
+  scenario.scheduler = scheduler;
+  scenario.batch = policy;
+  scenario.sim = sim;
+  scenario.trace = std::move(trace);
+  return serve::simulate(scenario);
+}
 
 // ---------------------------------------------------------------------------
 // Workload tagged union
@@ -299,8 +316,8 @@ TEST(ServeParity, SimulatorMatchesReferenceFifoLoopBitForBit) {
   tc.seed = 77;
   const std::vector<serve::Request> trace = serve::generate_trace(catalog, tc);
 
-  const serve::ServeMetrics m =
-      serve::simulate(serve::FleetConfig::homogeneous("tron", 3), catalog, trace,
+  const serve::FleetMetrics m =
+      simulate_trace(serve::FleetConfig::homogeneous("tron", 3), catalog, trace,
                       serve::SchedulerKind::kFifo, serve::BatchPolicy{});
   const ReferenceResult ref = reference_fifo_tron(catalog, trace, 3);
 
@@ -327,8 +344,8 @@ TEST(ServeParity, BatchedServiceTimesComeFromConcreteEstimates) {
   serve::BatchPolicy policy;
   policy.max_batch = 4;
   policy.max_wait_s = 0.0;
-  const serve::ServeMetrics m =
-      serve::simulate(serve::FleetConfig::homogeneous("tron", 1), catalog, trace,
+  const serve::FleetMetrics m =
+      simulate_trace(serve::FleetConfig::homogeneous("tron", 1), catalog, trace,
                       serve::SchedulerKind::kDynamicBatch, policy);
   const tron::TronAccelerator acc(tron::default_tron_config());
   const PerfReport batch4 =
@@ -363,8 +380,8 @@ TEST(ServeParity, CampaignMatchesDirectSimulation) {
   policy.max_wait_s = cfg.max_wait_s;
   serve::SimConfig sim_cfg;
   sim_cfg.slo_scale = cfg.slo_scale;
-  const serve::ServeMetrics direct =
-      serve::simulate(serve::FleetConfig::homogeneous("tron", 2), catalog,
+  const serve::FleetMetrics direct =
+      simulate_trace(serve::FleetConfig::homogeneous("tron", 2), catalog,
                       serve::generate_trace(catalog, tc), serve::SchedulerKind::kDynamicBatch,
                       policy, sim_cfg);
   EXPECT_EQ(points[0].metrics.p99_latency_s, direct.p99_latency_s);

@@ -26,6 +26,20 @@ Request make_request(std::uint64_t id, double arrival_s, std::uint32_t workload)
   return {id, arrival_s, workload};
 }
 
+// Scenario over an explicit pre-materialised trace.
+FleetMetrics simulate_trace(const FleetConfig& fleet, const WorkloadCatalog& catalog,
+                            std::vector<Request> trace, SchedulerKind scheduler,
+                            const BatchPolicy& policy, const SimConfig& sim = {}) {
+  Scenario scenario;
+  scenario.fleet = fleet;
+  scenario.catalog = catalog;
+  scenario.scheduler = scheduler;
+  scenario.batch = policy;
+  scenario.sim = sim;
+  scenario.trace = std::move(trace);
+  return simulate(scenario);
+}
+
 std::vector<Request> tron_trace(const WorkloadCatalog& catalog, double qps_fraction,
                                 std::size_t requests, std::uint64_t seed) {
   TraceConfig cfg;
@@ -76,13 +90,13 @@ TEST(ElasticParity, NoOpAutoscalerBitIdenticalToStaticFleet) {
   policy.max_batch = 8;
 
   const FleetMetrics off =
-      simulate(fleet, catalog, trace, SchedulerKind::kDynamicBatch, policy);
+      simulate_trace(fleet, catalog, trace, SchedulerKind::kDynamicBatch, policy);
   SimConfig pinned;
   pinned.autoscaler.policy = AutoscalerPolicy::kQueueDepth;
   pinned.autoscaler.min_slots = 2;
   pinned.autoscaler.max_slots = 2;
   const FleetMetrics on =
-      simulate(fleet, catalog, trace, SchedulerKind::kDynamicBatch, policy, pinned);
+      simulate_trace(fleet, catalog, trace, SchedulerKind::kDynamicBatch, policy, pinned);
   EXPECT_EQ(on.autoscale_grows, 0u);
   EXPECT_EQ(on.autoscale_shrinks, 0u);
   expect_bit_identical(off, on, /*exact_queue_integral=*/false);
@@ -100,8 +114,8 @@ TEST(ElasticParity, DisabledAutoscalerIsTheStaticSimulator) {
   off.autoscaler.policy = AutoscalerPolicy::kNone;
   off.autoscaler.interval_s = 1e-5;  // ignored: kNone never evaluates
   expect_bit_identical(
-      simulate(fleet, catalog, trace, SchedulerKind::kDynamicBatch, policy),
-      simulate(fleet, catalog, trace, SchedulerKind::kDynamicBatch, policy, off));
+      simulate_trace(fleet, catalog, trace, SchedulerKind::kDynamicBatch, policy),
+      simulate_trace(fleet, catalog, trace, SchedulerKind::kDynamicBatch, policy, off));
 }
 
 TEST(ElasticParity, AllZeroPrioritiesBitIdenticalToUntiered) {
@@ -115,8 +129,8 @@ TEST(ElasticParity, AllZeroPrioritiesBitIdenticalToUntiered) {
   BatchPolicy policy;
   policy.max_batch = 8;
   expect_bit_identical(
-      simulate(fleet, untouched, trace, SchedulerKind::kDynamicBatch, policy),
-      simulate(fleet, zeroed, trace, SchedulerKind::kDynamicBatch, policy));
+      simulate_trace(fleet, untouched, trace, SchedulerKind::kDynamicBatch, policy),
+      simulate_trace(fleet, zeroed, trace, SchedulerKind::kDynamicBatch, policy));
 }
 
 // ---------------------------------------------------------------------------
@@ -181,7 +195,7 @@ TEST(PriorityServing, OverloadFavoursTierZeroTail) {
   BatchPolicy policy;
   policy.max_batch = 8;
   const FleetMetrics m =
-      simulate(fleet, catalog, trace, SchedulerKind::kDynamicBatch, policy);
+      simulate_trace(fleet, catalog, trace, SchedulerKind::kDynamicBatch, policy);
   ASSERT_EQ(m.tenants.size(), catalog.size());
   double tier0_worst_p99 = 0.0;
   double tier1_best_p99 = 1e300;
@@ -210,7 +224,7 @@ TEST(TenantSlo, PerEntrySloOverridesGlobalAndFeedsAggregate) {
   BatchPolicy policy;
   policy.max_batch = 8;
   const FleetMetrics m =
-      simulate(fleet, catalog, trace, SchedulerKind::kDynamicBatch, policy);
+      simulate_trace(fleet, catalog, trace, SchedulerKind::kDynamicBatch, policy);
   ASSERT_EQ(m.tenants.size(), catalog.size());
   EXPECT_EQ(m.tenants[1].slo_latency_s, 1e-12);
   EXPECT_EQ(m.tenants[1].slo_attainment, 0.0);
@@ -241,7 +255,7 @@ TEST(TenantMetricsEdge, SingleRequestTrace) {
   // report zeroed metrics without dividing by zero.
   const WorkloadCatalog catalog = WorkloadCatalog::tron_default();
   const std::vector<Request> trace{make_request(0, 0.0, 2)};
-  const FleetMetrics m = simulate(FleetConfig::homogeneous("tron", 1), catalog, trace,
+  const FleetMetrics m = simulate_trace(FleetConfig::homogeneous("tron", 1), catalog, trace,
                                   SchedulerKind::kFifo, BatchPolicy{});
   EXPECT_EQ(m.completed, 1u);
   ASSERT_EQ(m.tenants.size(), catalog.size());
@@ -365,12 +379,12 @@ TEST(Elastic, GrowsUnderOverloadAndBeatsTheStaticFleet) {
   policy.max_batch = 8;
 
   const FleetMetrics flat =
-      simulate(fleet, catalog, trace, SchedulerKind::kDynamicBatch, policy);
+      simulate_trace(fleet, catalog, trace, SchedulerKind::kDynamicBatch, policy);
   SimConfig sim;
   sim.autoscaler.policy = AutoscalerPolicy::kQueueDepth;
   sim.autoscaler.max_slots = 8;
   const FleetMetrics elastic =
-      simulate(fleet, catalog, trace, SchedulerKind::kDynamicBatch, policy, sim);
+      simulate_trace(fleet, catalog, trace, SchedulerKind::kDynamicBatch, policy, sim);
 
   EXPECT_EQ(elastic.completed, trace.size());
   EXPECT_GT(elastic.autoscale_grows, 0u);
@@ -390,9 +404,9 @@ TEST(Elastic, RunsAreBitReproducible) {
   sim.autoscaler.policy = AutoscalerPolicy::kTargetUtilization;
   sim.autoscaler.max_slots = 8;
   const FleetMetrics a =
-      simulate(fleet, catalog, trace, SchedulerKind::kDynamicBatch, policy, sim);
+      simulate_trace(fleet, catalog, trace, SchedulerKind::kDynamicBatch, policy, sim);
   const FleetMetrics b =
-      simulate(fleet, catalog, trace, SchedulerKind::kDynamicBatch, policy, sim);
+      simulate_trace(fleet, catalog, trace, SchedulerKind::kDynamicBatch, policy, sim);
   expect_bit_identical(a, b);
   EXPECT_EQ(a.autoscale_grows, b.autoscale_grows);
   EXPECT_EQ(a.autoscale_shrinks, b.autoscale_shrinks);
@@ -430,7 +444,7 @@ TEST(Elastic, ShrinkDrainsBeforeRetiringAndDropsNothing) {
   sim.autoscaler.policy = AutoscalerPolicy::kQueueDepth;
   sim.autoscaler.max_slots = 8;
   const FleetMetrics m =
-      simulate(fleet, catalog, trace, SchedulerKind::kDynamicBatch, policy, sim);
+      simulate_trace(fleet, catalog, trace, SchedulerKind::kDynamicBatch, policy, sim);
   EXPECT_EQ(m.completed, trace.size());  // drain-before-retire loses nothing
   EXPECT_GT(m.autoscale_grows, 0u);
   EXPECT_GT(m.autoscale_shrinks, 0u);
@@ -451,7 +465,7 @@ TEST(Elastic, GrowScaleInstantiatesScaledRegistryVariants) {
   sim.autoscaler.max_slots = 8;
   sim.autoscaler.grow_scale = 0.5;
   const FleetMetrics m =
-      simulate(fleet, catalog, trace, SchedulerKind::kDynamicBatch, policy, sim);
+      simulate_trace(fleet, catalog, trace, SchedulerKind::kDynamicBatch, policy, sim);
   EXPECT_EQ(m.completed, trace.size());
   EXPECT_GT(m.autoscale_grows, 0u);
 }
@@ -468,7 +482,7 @@ TEST(Elastic, MixedFleetScalesPerFamily) {
   SimConfig sim;
   sim.autoscaler.policy = AutoscalerPolicy::kQueueDepth;
   sim.autoscaler.max_slots = 6;
-  const FleetMetrics m = simulate(fleet, catalog, generate_trace(catalog, cfg),
+  const FleetMetrics m = simulate_trace(fleet, catalog, generate_trace(catalog, cfg),
                                   SchedulerKind::kDynamicBatch, policy, sim);
   EXPECT_EQ(m.completed, 12000u);
   EXPECT_GT(m.autoscale_grows, 0u);

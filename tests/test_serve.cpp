@@ -1,12 +1,14 @@
 // Tests for the serving simulator subsystem: the workload registry, trace
 // generation, the estimate cache (bit-identical to uncached calls), the
-// schedulers, the discrete-event loop, and campaign determinism (the
-// parallel_for sweep must equal a serial simulation of the same point).
+// schedulers, the Scenario-driven discrete-event loop, and campaign
+// determinism (the parallel_for sweep must equal a serial simulation of the
+// same point).
 #include <gtest/gtest.h>
 
 #include <cmath>
 #include <functional>
 #include <string>
+#include <utility>
 
 #include "arch/registry.hpp"
 #include "common/error.hpp"
@@ -17,6 +19,21 @@
 
 namespace lumos::serve {
 namespace {
+
+// Scenario over an explicit pre-materialised trace (the shape most tests
+// want: hand the loop exactly these requests).
+FleetMetrics simulate_trace(const FleetConfig& fleet, const WorkloadCatalog& catalog,
+                            std::vector<Request> trace, SchedulerKind scheduler,
+                            const BatchPolicy& policy, const SimConfig& sim = {}) {
+  Scenario scenario;
+  scenario.fleet = fleet;
+  scenario.catalog = catalog;
+  scenario.scheduler = scheduler;
+  scenario.batch = policy;
+  scenario.sim = sim;
+  scenario.trace = std::move(trace);
+  return simulate(scenario);
+}
 
 // ---------------------------------------------------------------------------
 // Registry
@@ -316,20 +333,24 @@ struct SimSetup {
   double capacity = fleet_capacity_qps(catalog, "tron", 4, 8);
 };
 
-ServeMetrics run_sim(const SimSetup& s, double qps_fraction, SchedulerKind scheduler,
+FleetMetrics run_sim(const SimSetup& s, double qps_fraction, SchedulerKind scheduler,
                      std::size_t requests = 10000, std::uint64_t seed = 21) {
-  TraceConfig cfg;
-  cfg.offered_qps = qps_fraction * s.capacity;
-  cfg.request_count = requests;
-  cfg.seed = seed;
-  BatchPolicy policy;
-  policy.max_batch = 8;
-  return simulate(s.fleet, s.catalog, generate_trace(s.catalog, cfg), scheduler, policy);
+  // The generated-trace path: traffic knobs in the Scenario, the trace
+  // materialised inside simulate() by the OpenLoopSource.
+  Scenario scenario;
+  scenario.fleet = s.fleet;
+  scenario.catalog = s.catalog;
+  scenario.scheduler = scheduler;
+  scenario.batch.max_batch = 8;
+  scenario.traffic.open.offered_qps = qps_fraction * s.capacity;
+  scenario.traffic.open.request_count = requests;
+  scenario.traffic.open.seed = seed;
+  return simulate(scenario);
 }
 
 TEST(Simulator, CompletesEveryRequestAndConservesCounts) {
   const SimSetup s;
-  const ServeMetrics m = run_sim(s, 0.6, SchedulerKind::kDynamicBatch);
+  const FleetMetrics m = run_sim(s, 0.6, SchedulerKind::kDynamicBatch);
   EXPECT_EQ(m.completed, 10000u);
   std::size_t dispatched_requests = 0;
   std::size_t dispatches = 0;
@@ -347,14 +368,14 @@ TEST(Simulator, CompletesEveryRequestAndConservesCounts) {
 
 TEST(Simulator, LightLoadMeetsSlo) {
   const SimSetup s;
-  const ServeMetrics m = run_sim(s, 0.3, SchedulerKind::kDynamicBatch);
+  const FleetMetrics m = run_sim(s, 0.3, SchedulerKind::kDynamicBatch);
   EXPECT_EQ(m.slo_attainment, 1.0);
   EXPECT_NEAR(m.goodput_qps, m.throughput_qps, 1e-9);
 }
 
 TEST(Simulator, OverloadSaturatesAndQueues) {
   const SimSetup s;
-  const ServeMetrics m = run_sim(s, 3.0, SchedulerKind::kDynamicBatch);
+  const FleetMetrics m = run_sim(s, 3.0, SchedulerKind::kDynamicBatch);
   // Offered 3x capacity: the fleet pins at ~capacity and queues grow deep.
   EXPECT_LT(m.throughput_qps, 1.2 * s.capacity);
   EXPECT_GT(m.fleet_utilization, 0.95);
@@ -364,8 +385,8 @@ TEST(Simulator, OverloadSaturatesAndQueues) {
 
 TEST(Simulator, BatchingBeatsFifoUnderLoad) {
   const SimSetup s;
-  const ServeMetrics fifo = run_sim(s, 0.8, SchedulerKind::kFifo);
-  const ServeMetrics batch = run_sim(s, 0.8, SchedulerKind::kDynamicBatch);
+  const FleetMetrics fifo = run_sim(s, 0.8, SchedulerKind::kFifo);
+  const FleetMetrics batch = run_sim(s, 0.8, SchedulerKind::kDynamicBatch);
   // 0.8x the *batched* capacity overloads the unbatched fleet.
   EXPECT_GT(batch.goodput_qps, 2.0 * fifo.goodput_qps);
   EXPECT_LT(batch.p99_latency_s, fifo.p99_latency_s);
@@ -373,8 +394,8 @@ TEST(Simulator, BatchingBeatsFifoUnderLoad) {
 
 TEST(Simulator, RunsAreBitReproducible) {
   const SimSetup s;
-  const ServeMetrics a = run_sim(s, 0.7, SchedulerKind::kDynamicBatch);
-  const ServeMetrics b = run_sim(s, 0.7, SchedulerKind::kDynamicBatch);
+  const FleetMetrics a = run_sim(s, 0.7, SchedulerKind::kDynamicBatch);
+  const FleetMetrics b = run_sim(s, 0.7, SchedulerKind::kDynamicBatch);
   EXPECT_EQ(a.p50_latency_s, b.p50_latency_s);
   EXPECT_EQ(a.p99_latency_s, b.p99_latency_s);
   EXPECT_EQ(a.p999_latency_s, b.p999_latency_s);
@@ -391,8 +412,8 @@ TEST(Simulator, HeterogeneousEnergyRoutingCompletes) {
   cfg.request_count = 5000;
   cfg.seed = 33;
   BatchPolicy policy;
-  const ServeMetrics m = simulate(fleet, catalog, generate_trace(catalog, cfg),
-                                  SchedulerKind::kDynamicBatch, policy);
+  const FleetMetrics m = simulate_trace(fleet, catalog, generate_trace(catalog, cfg),
+                                        SchedulerKind::kDynamicBatch, policy);
   EXPECT_EQ(m.completed, 5000u);
   EXPECT_GT(m.energy_per_request_j, 0.0);
 }
@@ -411,8 +432,8 @@ TEST(MixedFleet, ServesMixedCatalogEndToEnd) {
   cfg.request_count = 8000;
   cfg.seed = 44;
   BatchPolicy policy;
-  const ServeMetrics m = simulate(fleet, catalog, generate_trace(catalog, cfg),
-                                  SchedulerKind::kDynamicBatch, policy);
+  const FleetMetrics m = simulate_trace(fleet, catalog, generate_trace(catalog, cfg),
+                                        SchedulerKind::kDynamicBatch, policy);
   // Every request completes; kind-aware routing is what makes this possible
   // (a TRON slot refuses GNN batches, so any mis-route would throw inside
   // the adapter).
@@ -429,8 +450,8 @@ TEST(MixedFleet, MixedRunsAreBitReproducible) {
   cfg.seed = 55;
   BatchPolicy policy;
   const std::vector<Request> trace = generate_trace(catalog, cfg);
-  const ServeMetrics a = simulate(fleet, catalog, trace, SchedulerKind::kDynamicBatch, policy);
-  const ServeMetrics b = simulate(fleet, catalog, trace, SchedulerKind::kDynamicBatch, policy);
+  const FleetMetrics a = simulate_trace(fleet, catalog, trace, SchedulerKind::kDynamicBatch, policy);
+  const FleetMetrics b = simulate_trace(fleet, catalog, trace, SchedulerKind::kDynamicBatch, policy);
   EXPECT_EQ(a.p99_latency_s, b.p99_latency_s);
   EXPECT_EQ(a.fleet_energy_j, b.fleet_energy_j);
   EXPECT_EQ(a.dispatches, b.dispatches);
@@ -443,8 +464,8 @@ TEST(MixedFleet, MixedFifoCompletesDespiteHeadOfLineKinds) {
   cfg.offered_qps = 0.3 * fleet_capacity_qps(catalog, fleet, 1);
   cfg.request_count = 3000;
   cfg.seed = 66;
-  const ServeMetrics m = simulate(fleet, catalog, generate_trace(catalog, cfg),
-                                  SchedulerKind::kFifo, BatchPolicy{});
+  const FleetMetrics m = simulate_trace(fleet, catalog, generate_trace(catalog, cfg),
+                                        SchedulerKind::kFifo, BatchPolicy{});
   EXPECT_EQ(m.completed, 3000u);
 }
 
@@ -456,7 +477,7 @@ TEST(MixedFleet, SingleKindFleetCannotServeMixedCatalog) {
   cfg.request_count = 100;
   const std::vector<Request> trace = generate_trace(catalog, cfg);
   try {
-    (void)simulate(fleet, catalog, trace, SchedulerKind::kDynamicBatch, BatchPolicy{});
+    (void)simulate_trace(fleet, catalog, trace, SchedulerKind::kDynamicBatch, BatchPolicy{});
     FAIL() << "expected InvalidArgument";
   } catch (const InvalidArgument& e) {
     const std::string what = e.what();
@@ -488,7 +509,7 @@ TEST(Validation, CatalogRejectsNonPositiveMixWeights) {
       "mix_weight");
 }
 
-TEST(Validation, SimulateRejectsEmptyFleetCatalogTraceAndBadBatch) {
+TEST(Validation, ScenarioNamesBadField) {
   const WorkloadCatalog catalog = WorkloadCatalog::tron_default();
   TraceConfig tc;
   tc.request_count = 10;
@@ -498,26 +519,78 @@ TEST(Validation, SimulateRejectsEmptyFleetCatalogTraceAndBadBatch) {
   FleetConfig empty_fleet;
   expect_invalid(
       [&] {
-        (void)simulate(empty_fleet, catalog, trace, SchedulerKind::kFifo, BatchPolicy{});
+        (void)simulate_trace(empty_fleet, catalog, trace, SchedulerKind::kFifo,
+                             BatchPolicy{});
       },
       "FleetConfig.accelerators");
   expect_invalid(
       [&] {
-        (void)simulate(fleet, WorkloadCatalog{}, trace, SchedulerKind::kFifo, BatchPolicy{});
+        (void)simulate_trace(fleet, WorkloadCatalog{}, trace, SchedulerKind::kFifo,
+                             BatchPolicy{});
       },
       "WorkloadCatalog");
-  expect_invalid(
-      [&] { (void)simulate(fleet, catalog, {}, SchedulerKind::kFifo, BatchPolicy{}); },
-      "trace");
   BatchPolicy zero;
   zero.max_batch = 0;
   expect_invalid(
-      [&] { (void)simulate(fleet, catalog, trace, SchedulerKind::kDynamicBatch, zero); },
+      [&] { (void)simulate_trace(fleet, catalog, trace, SchedulerKind::kDynamicBatch, zero); },
       "max_batch");
   const std::vector<Request> bogus{{0, 0.0, 99}};  // workload index out of range
   expect_invalid(
-      [&] { (void)simulate(fleet, catalog, bogus, SchedulerKind::kFifo, BatchPolicy{}); },
+      [&] { (void)simulate_trace(fleet, catalog, bogus, SchedulerKind::kFifo, BatchPolicy{}); },
       "workload index");
+
+  // Traffic-config validation: an empty explicit trace means "generate", so
+  // the generator knobs must be sane.
+  Scenario scenario;
+  scenario.fleet = fleet;
+  scenario.catalog = catalog;
+  scenario.traffic.open.request_count = 0;
+  expect_invalid([&] { (void)simulate(scenario); }, "request_count");
+  scenario.traffic.open.request_count = 100;
+  scenario.traffic.open.offered_qps = -1.0;
+  expect_invalid([&] { (void)simulate(scenario); }, "offered_qps");
+  scenario.traffic.open.offered_qps = 1000.0;
+  scenario.traffic.mode = LoopMode::kClosed;
+  scenario.traffic.closed.sessions = 0;
+  expect_invalid([&] { (void)simulate(scenario); }, "sessions");
+  scenario.traffic.closed.sessions = 4;
+  scenario.traffic.closed.requests_per_session = 0;
+  expect_invalid([&] { (void)simulate(scenario); }, "requests_per_session");
+  scenario.traffic.closed.requests_per_session = 10;
+  scenario.traffic.closed.think_time_mean_s = -1.0;
+  expect_invalid([&] { (void)simulate(scenario); }, "think_time_mean_s");
+}
+
+TEST(Validation, CatalogRejectsBadSeqLenConfigs) {
+  WorkloadCatalog tron = WorkloadCatalog::tron_default();
+  SeqLenConfig cfg;
+  cfg.dist = SeqLenDist::kUniform;
+  cfg.bucket = 0;
+  expect_invalid([&] { tron.set_seqlen(0, cfg); }, "bucket");
+  cfg = SeqLenConfig{};
+  cfg.dist = SeqLenDist::kUniform;
+  cfg.min_len = 512;
+  cfg.max_len = 16;
+  expect_invalid([&] { tron.set_seqlen(0, cfg); }, "min_len <= max_len");
+  cfg = SeqLenConfig{};
+  cfg.dist = SeqLenDist::kLogNormal;
+  cfg.log_sigma = 0.0;
+  expect_invalid([&] { tron.set_seqlen(0, cfg); }, "log_sigma");
+
+  // GNN entries have no sequence dimension: only kFixed is accepted.
+  WorkloadCatalog ghost = WorkloadCatalog::ghost_default();
+  cfg = SeqLenConfig{};
+  cfg.dist = SeqLenDist::kUniform;
+  expect_invalid([&] { ghost.set_seqlen(0, cfg); }, "cannot sample sequence lengths");
+  EXPECT_NO_THROW(ghost.set_seqlen(0, SeqLenConfig{}));
+  // apply_seqlen_dist over a mixed catalog touches only transformer entries.
+  WorkloadCatalog mixed = WorkloadCatalog::mixed_default();
+  EXPECT_NO_THROW(mixed.apply_seqlen_dist(SeqLenDist::kLogNormal));
+  for (std::size_t i = 0; i < mixed.size(); ++i) {
+    const bool is_transformer =
+        mixed.workload(i).kind() == arch::WorkloadKind::kTransformer;
+    EXPECT_EQ(mixed.at(i).seqlen.dist != SeqLenDist::kFixed, is_transformer);
+  }
 }
 
 TEST(Validation, FleetFactoriesRejectEmptyAndZero) {
@@ -584,10 +657,10 @@ TEST(Campaign, ParallelSweepMatchesSerialSimulation) {
   policy.max_wait_s = cfg.max_wait_s;
   SimConfig sim_cfg;
   sim_cfg.slo_scale = cfg.slo_scale;
-  const ServeMetrics serial =
-      simulate(FleetConfig::homogeneous("tron", 2), catalog,
-               generate_trace(catalog, trace_cfg), SchedulerKind::kDynamicBatch, policy,
-               sim_cfg);
+  const FleetMetrics serial =
+      simulate_trace(FleetConfig::homogeneous("tron", 2), catalog,
+                     generate_trace(catalog, trace_cfg), SchedulerKind::kDynamicBatch,
+                     policy, sim_cfg);
   EXPECT_EQ(points[0].metrics.p99_latency_s, serial.p99_latency_s);
   EXPECT_EQ(points[0].metrics.goodput_qps, serial.goodput_qps);
   EXPECT_EQ(points[0].metrics.fleet_energy_j, serial.fleet_energy_j);

@@ -44,6 +44,14 @@ DET_TENANT_FIELDS = [
     "priority", "slo_latency_s", "completed", "slo_attainment", "goodput_qps",
     "p50_latency_s", "p99_latency_s",
 ]
+# Closed-loop scenario entries: per-request tails plus end-to-end session
+# latencies and the cache counters (all bit-reproducible by contract).
+DET_CLOSED_LOOP_FIELDS = [
+    "sessions", "requests_per_session", "completed", "throughput_qps",
+    "goodput_qps", "slo_attainment", "p50_latency_s", "p99_latency_s",
+    "mean_session_s", "p50_session_s", "p99_session_s", "max_session_s",
+    "mean_batch", "estimate_lookups", "estimate_misses",
+]
 TIMING_HEADLINE_FIELDS = ["requests_per_s"]  # higher is better
 
 
@@ -116,6 +124,27 @@ def check_serve(baseline, current, time_tol, det_tol, errors):
                     f"(tolerance {time_tol}x)"
                 )
 
+    cur_closed = {c["label"]: c for c in current.get("closed_loop", [])}
+    for base in baseline.get("closed_loop", []):
+        label = base["label"]
+        cur = cur_closed.get(label)
+        if cur is None:
+            errors.append(f"serve: closed-loop scenario '{label}' missing from current")
+            continue
+        what = f"serve closed-loop '{label}'"
+        check_det(what, base, cur, DET_CLOSED_LOOP_FIELDS, det_tol, errors)
+        for field in TIMING_HEADLINE_FIELDS:
+            if field not in base:
+                continue
+            if field not in cur:
+                errors.append(f"{what}: timing field '{field}' missing from current")
+                continue
+            if cur[field] * time_tol < base[field]:
+                errors.append(
+                    f"{what}: {field} regressed: {cur[field]:.0f} vs baseline "
+                    f"{base[field]:.0f} (tolerance {time_tol}x)"
+                )
+
     cur_campaigns = {c["campaign"]: c for c in current.get("campaigns", [])}
     for base_campaign in baseline.get("campaigns", []):
         name = base_campaign["campaign"]
@@ -174,6 +203,8 @@ def inject_regression(data):
     else:
         perturbed["headlines"][0]["requests_per_s"] /= 100.0
         perturbed["campaigns"][0]["points"][0]["p99_latency_s"] *= 1.5
+        if perturbed.get("closed_loop"):
+            perturbed["closed_loop"][0]["p99_session_s"] *= 1.5
     return perturbed
 
 
@@ -188,6 +219,14 @@ def self_test(baseline, time_tol, det_tol):
     if not dirty:
         print("bench_check self-test FAILED: injected regression was not detected")
         return 1
+    if baseline.get("closed_loop"):
+        # The closed-loop section must be gated on its own, not ride along on
+        # the headline/campaign perturbations.
+        closed_only = copy.deepcopy(baseline)
+        closed_only["closed_loop"][0]["p99_session_s"] *= 1.5
+        if not run_check(baseline, closed_only, time_tol, det_tol):
+            print("bench_check self-test FAILED: closed-loop regression was not detected")
+            return 1
     print(f"bench_check self-test OK: baseline passes, injected regression "
           f"caught ({len(dirty)} finding(s))")
     return 0
