@@ -49,6 +49,19 @@
 //     --min-fleet <n>    per-family slot floor under autoscaling (default 1)
 //     --max-fleet <n>    per-family slot ceiling under autoscaling (default 64)
 //     --grow-scale <x>   grown slots use the registry's "<spec>@<x>" variant
+//     --mtbf-us <n>      per-slot mean time between failures (enables fault
+//                        injection; failed slots abort their batch and requeue)
+//     --mttr-us <n>      per-slot mean time to repair (default 1000;
+//                        needs --mtbf-us)
+//     --timeout-us <n>   per-request timeout on every tenant (cancels queued
+//                        and in-flight work past the deadline)
+//     --retries <n>      total attempts per request under timeouts, with
+//                        exponential backoff (default 1: no retries;
+//                        needs --timeout-us)
+//     --admission <p>    none | queue-cap | tier-shed | slo-aware: admission
+//                        control consulted at every arrival
+//     --queue-cap <n>    queue bound for queue-cap / tier-shed admission
+//                        (default 256; needs --admission)
 //
 //   --json anywhere switches to machine-readable output.
 //
@@ -148,7 +161,10 @@ int usage() {
                    "            [--routing first-idle|energy-aware] [--hetero] [--seed s] "
                    "[--priority]\n"
                    "            [--autoscale none|queue|util] [--scale-interval-us n]\n"
-                   "            [--min-fleet n] [--max-fleet n] [--grow-scale x]\n";
+                   "            [--min-fleet n] [--max-fleet n] [--grow-scale x]\n"
+                   "            [--mtbf-us n] [--mttr-us n] [--timeout-us n] [--retries n]\n"
+                   "            [--admission none|queue-cap|tier-shed|slo-aware] "
+                   "[--queue-cap n]\n";
   return 2;
 }
 
@@ -200,7 +216,9 @@ int run_list(bool json) {
     print_names_json("routing_policies", serve::routing_names(), false);
     print_names_json("autoscalers", serve::autoscaler_names(), false);
     print_names_json("loop_modes", serve::loop_mode_names(), false);
-    print_names_json("seqlen_dists", serve::seqlen_dist_names(), true);
+    print_names_json("seqlen_dists", serve::seqlen_dist_names(), false);
+    print_names_json("admission_policies", serve::admission_names(), false);
+    print_names_json("completion_statuses", serve::completion_status_names(), true);
     std::cout << "}\n";
   } else {
     std::cout << "transformer models : " << sim::joined_names(sim::transformer_names())
@@ -214,7 +232,9 @@ int run_list(bool json) {
               << "\nautoscalers        : " << sim::joined_names(serve::autoscaler_names())
               << "\nloop modes         : " << sim::joined_names(serve::loop_mode_names())
               << "\nseqlen dists       : " << sim::joined_names(serve::seqlen_dist_names())
-              << "\n";
+              << "\nadmission policies : " << sim::joined_names(serve::admission_names())
+              << "\ncompletion statuses: "
+              << sim::joined_names(serve::completion_status_names()) << "\n";
   }
   return 0;
 }
@@ -244,7 +264,12 @@ int run_closed_loop(serve::Scenario scenario, const serve::ClosedLoopConfig& clo
               << "  \"mean_batch\": " << m.mean_batch_size << ",\n"
               << "  \"fleet_energy_j\": " << m.fleet_energy_j << ",\n"
               << "  \"estimate_lookups\": " << m.estimate_lookups << ",\n"
-              << "  \"estimate_misses\": " << m.estimate_misses << "\n"
+              << "  \"estimate_misses\": " << m.estimate_misses << ",\n"
+              << "  \"shed\": " << m.shed_requests << ",\n"
+              << "  \"timed_out\": " << m.timed_out_requests << ",\n"
+              << "  \"retries\": " << m.retried_attempts << ",\n"
+              << "  \"drop_rate\": " << m.drop_rate << ",\n"
+              << "  \"availability\": " << m.fleet_availability << "\n"
               << "}\n";
   } else {
     m.to_table(scenario.fleet.label() + " closed-loop serve").print(std::cout);
@@ -288,6 +313,11 @@ int run_serve(const std::vector<std::string>& args, bool json) {
   std::string knob_without_policy;
   std::string open_only_flag;
   std::string closed_only_flag;
+  double mtbf_s = 0.0;
+  double timeout_s = 0.0;
+  bool mttr_given = false;
+  bool retries_given = false;
+  bool queue_cap_given = false;
   for (std::size_t i = 1; i < args.size(); ++i) {
     const std::string& a = args[i];
     const auto value = [&]() -> const std::string& {
@@ -354,6 +384,26 @@ int run_serve(const std::vector<std::string>& args, bool json) {
       if (cfg.autoscale.grow_scale <= 0.0) {
         throw InvalidArgument("--grow-scale must be positive");
       }
+    } else if (a == "--mtbf-us") {
+      mtbf_s = parse_double(value(), "--mtbf-us") * 1e-6;
+      if (mtbf_s <= 0.0) throw InvalidArgument("--mtbf-us must be positive");
+    } else if (a == "--mttr-us") {
+      mttr_given = true;
+      cfg.faults.mttr_s = parse_double(value(), "--mttr-us") * 1e-6;
+      if (cfg.faults.mttr_s <= 0.0) throw InvalidArgument("--mttr-us must be positive");
+    } else if (a == "--timeout-us") {
+      timeout_s = parse_double(value(), "--timeout-us") * 1e-6;
+      if (timeout_s <= 0.0) throw InvalidArgument("--timeout-us must be positive");
+    } else if (a == "--retries") {
+      retries_given = true;
+      cfg.retry.max_attempts = parse_size(value(), "--retries");
+      if (cfg.retry.max_attempts == 0) throw InvalidArgument("--retries must be >= 1");
+    } else if (a == "--admission") {
+      cfg.admissions = {serve::admission_from_name(value())};
+    } else if (a == "--queue-cap") {
+      queue_cap_given = true;
+      cfg.admission.queue_cap = parse_size(value(), "--queue-cap");
+      if (cfg.admission.queue_cap == 0) throw InvalidArgument("--queue-cap must be >= 1");
     } else {
       throw InvalidArgument("unknown serve flag: " + a);
     }
@@ -372,6 +422,17 @@ int run_serve(const std::vector<std::string>& args, bool json) {
   if (loop == serve::LoopMode::kOpen && !closed_only_flag.empty()) {
     throw InvalidArgument(closed_only_flag + " has no effect without --loop closed");
   }
+  if (mttr_given && mtbf_s <= 0.0) {
+    throw InvalidArgument("--mttr-us has no effect without --mtbf-us");
+  }
+  if (retries_given && timeout_s <= 0.0) {
+    throw InvalidArgument("--retries has no effect without --timeout-us");
+  }
+  if (queue_cap_given && cfg.admissions.front() == serve::AdmissionPolicy::kNone) {
+    throw InvalidArgument("--queue-cap has no effect without --admission");
+  }
+  if (timeout_s > 0.0) catalog.apply_timeout(timeout_s);
+  cfg.fault_mtbfs_s = {mtbf_s};
   if (max_batch > serve::BatchPolicy::kMaxBatchLimit || fleet > 4096) {
     throw InvalidArgument("--max-batch and --fleet must be <= 4096");
   }
@@ -411,6 +472,11 @@ int run_serve(const std::vector<std::string>& args, bool json) {
     scenario.sim.slo_scale = cfg.slo_scale;
     scenario.sim.autoscaler = cfg.autoscale;
     scenario.sim.autoscaler.policy = cfg.autoscalers.front();
+    scenario.sim.faults = cfg.faults;
+    scenario.sim.faults.mtbf_s = mtbf_s;
+    scenario.sim.retry = cfg.retry;
+    scenario.sim.admission = cfg.admission;
+    scenario.sim.admission.policy = cfg.admissions.front();
     return run_closed_loop(std::move(scenario), closed, priority, json);
   }
 

@@ -1,5 +1,6 @@
 #include "serve/autoscaler.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <string>
 
@@ -55,8 +56,10 @@ class QueueDepthAutoscaler final : public Autoscaler {
   }
 
   [[nodiscard]] int step(const FamilySignals& s) override {
-    const double per_slot =
-        static_cast<double>(s.queued) / static_cast<double>(s.active_slots);
+    // max(1, active): every slot of the family may be failed under fault
+    // injection, and a backlog with zero active slots must read as "grow".
+    const double per_slot = static_cast<double>(s.queued) /
+                            static_cast<double>(std::max<std::size_t>(s.active_slots, 1));
     if (per_slot > config_.queue_high_per_slot) return 1;
     if (s.queued == 0 && s.utilization < config_.queue_low_utilization) return -1;
     return 0;

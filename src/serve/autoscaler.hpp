@@ -62,8 +62,10 @@ void validate_autoscaler(const AutoscalerConfig& config);
 
 // One spec family's observable state at an evaluation step.
 struct FamilySignals {
-  std::size_t active_slots = 0;    // accepting dispatches (not draining)
+  std::size_t active_slots = 0;    // accepting dispatches (up, not draining)
   std::size_t draining_slots = 0;  // finishing in-flight work before retiring
+  std::size_t failed_slots = 0;    // down under fault injection (see faults.hpp);
+                                   // invisible to routing until they recover
   std::size_t queued = 0;          // waiting requests this family could serve
   double utilization = 0.0;        // family busy fraction over the last interval
   std::size_t min_slots = 1;

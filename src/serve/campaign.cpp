@@ -8,10 +8,36 @@
 #include "common/error.hpp"
 #include "common/json.hpp"
 #include "common/parallel.hpp"
+#include "common/rng.hpp"
 #include "common/units.hpp"
 #include "serve/names.hpp"
 
 namespace lumos::serve {
+
+namespace {
+
+// Expected per-request service time of one catalog entry at `batch`.  Fixed
+// entries price at the native length (one exact lookup, bit-identical to the
+// pre-seqlen estimate); sampled entries average over a fixed-seed Monte Carlo
+// draw of bucketised lengths — deterministic, and cheap because the bucketing
+// collapses the draws onto a handful of distinct cache keys.
+double expected_service_s(const EstimateCache& cache, const WorkloadCatalog& catalog,
+                          std::uint32_t w, std::size_t batch) {
+  const SeqLenConfig& seqlen = catalog.at(w).seqlen;
+  if (seqlen.dist == SeqLenDist::kFixed) {
+    return cache.estimate(w, batch).latency_s / static_cast<double>(batch);
+  }
+  constexpr std::size_t kSamples = 512;
+  Rng rng(0xCAFAC17, w);
+  double sum_s = 0.0;
+  for (std::size_t i = 0; i < kSamples; ++i) {
+    const std::uint32_t seq = sample_seq_len(seqlen, rng);
+    sum_s += cache.estimate(w, batch, seq).latency_s;
+  }
+  return sum_s / static_cast<double>(kSamples) / static_cast<double>(batch);
+}
+
+}  // namespace
 
 double fleet_capacity_qps(const WorkloadCatalog& catalog, const std::string& spec,
                           std::size_t fleet_size, std::size_t batch) {
@@ -22,8 +48,7 @@ double fleet_capacity_qps(const WorkloadCatalog& catalog, const std::string& spe
   double served_weight = 0.0;
   for (std::uint32_t w = 0; w < catalog.size(); ++w) {
     if (!cache.can_serve(w)) continue;
-    const double per_request_s =
-        cache.estimate(w, batch).latency_s / static_cast<double>(batch);
+    const double per_request_s = expected_service_s(cache, catalog, w, batch);
     weighted_service_s += catalog.at(w).mix_weight * per_request_s;
     served_weight += catalog.at(w).mix_weight;
   }
@@ -126,6 +151,27 @@ void validate_campaign(const CampaignConfig& config) {
     knobs.policy = policy;
     validate_autoscaler(knobs);
   }
+  if (config.admissions.empty()) {
+    throw InvalidArgument("CampaignConfig.admissions must not be empty");
+  }
+  for (const AdmissionPolicy policy : config.admissions) {
+    AdmissionConfig knobs = config.admission;
+    knobs.policy = policy;
+    validate_admission(knobs);
+  }
+  if (config.fault_mtbfs_s.empty()) {
+    throw InvalidArgument("CampaignConfig.fault_mtbfs_s must not be empty");
+  }
+  for (const double mtbf_s : config.fault_mtbfs_s) {
+    if (mtbf_s < 0.0) {
+      throw InvalidArgument("CampaignConfig.fault_mtbfs_s points must be >= 0, got " +
+                            std::to_string(mtbf_s));
+    }
+    FaultConfig knobs = config.faults;
+    knobs.mtbf_s = mtbf_s;
+    validate_faults(knobs);
+  }
+  validate_retry(config.retry);
 }
 
 std::vector<CampaignPoint> run_campaign(const CampaignConfig& config,
@@ -142,14 +188,20 @@ std::vector<CampaignPoint> run_campaign(const CampaignConfig& config,
                                             : config.max_batches;
       for (const std::size_t max_batch : batches) {
         for (const AutoscalerPolicy autoscaler : config.autoscalers) {
-          for (const double qps : config.qps) {
-            CampaignPoint p;
-            p.qps = qps;
-            p.scheduler = scheduler;
-            p.fleet_size = fleet_size;
-            p.max_batch = max_batch;
-            p.autoscaler = autoscaler;
-            points.push_back(p);
+          for (const AdmissionPolicy admission : config.admissions) {
+            for (const double fault_mtbf_s : config.fault_mtbfs_s) {
+              for (const double qps : config.qps) {
+                CampaignPoint p;
+                p.qps = qps;
+                p.scheduler = scheduler;
+                p.fleet_size = fleet_size;
+                p.max_batch = max_batch;
+                p.autoscaler = autoscaler;
+                p.admission = admission;
+                p.fault_mtbf_s = fault_mtbf_s;
+                points.push_back(p);
+              }
+            }
           }
         }
       }
@@ -173,6 +225,11 @@ std::vector<CampaignPoint> run_campaign(const CampaignConfig& config,
       scenario.sim.slo_scale = config.slo_scale;
       scenario.sim.autoscaler = config.autoscale;
       scenario.sim.autoscaler.policy = p.autoscaler;
+      scenario.sim.admission = config.admission;
+      scenario.sim.admission.policy = p.admission;
+      scenario.sim.faults = config.faults;
+      scenario.sim.faults.mtbf_s = p.fault_mtbf_s;
+      scenario.sim.retry = config.retry;
       scenario.traffic.open.offered_qps = p.qps;
       scenario.traffic.open.request_count = config.requests_per_point;
       scenario.traffic.open.process = config.process;
@@ -186,8 +243,22 @@ std::vector<CampaignPoint> run_campaign(const CampaignConfig& config,
 
 Table campaign_table(const std::vector<CampaignPoint>& points, const std::string& title) {
   Table t(title);
-  t.add_row({"fleet", "sched", "batch", "scaler", "offered QPS", "goodput QPS", "p50 us",
-             "p99 us", "p99.9 us", "mean batch", "uJ/req", "util"});
+  // Robustness columns only when some point exercises them, so fault-free
+  // campaign tables keep their familiar shape.
+  bool robust = false;
+  for (const CampaignPoint& p : points) {
+    robust = robust || p.admission != AdmissionPolicy::kNone || p.fault_mtbf_s > 0.0 ||
+             p.metrics.drop_rate > 0.0;
+  }
+  std::vector<std::string> header{"fleet", "sched", "batch", "scaler", "offered QPS",
+                                  "goodput QPS", "p50 us", "p99 us", "p99.9 us",
+                                  "mean batch", "uJ/req", "util"};
+  if (robust) {
+    header.insert(header.begin() + 4, "admit");
+    header.push_back("drop");
+    header.push_back("avail");
+  }
+  t.add_row(header);
   for (const CampaignPoint& p : points) {
     const FleetMetrics& m = p.metrics;
     std::string fleet_cell = std::to_string(p.fleet_size);
@@ -195,13 +266,19 @@ Table campaign_table(const std::vector<CampaignPoint>& points, const std::string
       fleet_cell += "->" + std::to_string(m.final_fleet_size) + " (peak " +
                     std::to_string(m.peak_fleet_size) + ")";
     }
-    t.add_row({fleet_cell, scheduler_name(p.scheduler), std::to_string(p.max_batch),
-               autoscaler_name(p.autoscaler), Table::num(p.qps, 1),
-               Table::num(m.goodput_qps, 1), Table::num(units::to_us(m.p50_latency_s), 1),
-               Table::num(units::to_us(m.p99_latency_s), 1),
-               Table::num(units::to_us(m.p999_latency_s), 1), Table::num(m.mean_batch_size, 2),
-               Table::num(m.energy_per_request_j * 1e6, 3),
-               Table::num(m.fleet_utilization, 3)});
+    std::vector<std::string> row{
+        fleet_cell, scheduler_name(p.scheduler), std::to_string(p.max_batch),
+        autoscaler_name(p.autoscaler), Table::num(p.qps, 1), Table::num(m.goodput_qps, 1),
+        Table::num(units::to_us(m.p50_latency_s), 1),
+        Table::num(units::to_us(m.p99_latency_s), 1),
+        Table::num(units::to_us(m.p999_latency_s), 1), Table::num(m.mean_batch_size, 2),
+        Table::num(m.energy_per_request_j * 1e6, 3), Table::num(m.fleet_utilization, 3)};
+    if (robust) {
+      row.insert(row.begin() + 4, admission_name(p.admission));
+      row.push_back(Table::num(m.drop_rate, 4));
+      row.push_back(Table::num(m.fleet_availability, 4));
+    }
+    t.add_row(row);
   }
   return t;
 }
@@ -226,6 +303,8 @@ void write_campaign_json(const CampaignConfig& config,
     os << "    {\"fleet\": " << p.fleet_size << ", \"scheduler\": \""
        << scheduler_name(p.scheduler) << "\", \"max_batch\": " << p.max_batch
        << ", \"autoscaler\": \"" << autoscaler_name(p.autoscaler) << "\""
+       << ", \"admission\": \"" << admission_name(p.admission) << "\""
+       << ", \"fault_mtbf_s\": " << p.fault_mtbf_s
        << ", \"offered_qps\": " << p.qps << ", \"throughput_qps\": " << m.throughput_qps
        << ", \"goodput_qps\": " << m.goodput_qps
        << ", \"slo_latency_s\": " << m.slo_latency_s
@@ -246,7 +325,15 @@ void write_campaign_json(const CampaignConfig& config,
        << ", \"autoscale_grows\": " << m.autoscale_grows
        << ", \"autoscale_shrinks\": " << m.autoscale_shrinks
        << ", \"estimate_lookups\": " << m.estimate_lookups
-       << ", \"estimate_misses\": " << m.estimate_misses << ",\n"
+       << ", \"estimate_misses\": " << m.estimate_misses
+       << ", \"shed\": " << m.shed_requests
+       << ", \"timed_out\": " << m.timed_out_requests
+       << ", \"retries\": " << m.retried_attempts
+       << ", \"failed_batches\": " << m.failed_batches
+       << ", \"requeued\": " << m.requeued_requests
+       << ", \"slot_failures\": " << m.slot_failures
+       << ", \"availability\": " << m.fleet_availability
+       << ", \"drop_rate\": " << m.drop_rate << ",\n"
        << "     \"tenants\": [\n";
     for (std::size_t w = 0; w < m.tenants.size(); ++w) {
       const TenantMetrics& t = m.tenants[w];
@@ -254,6 +341,8 @@ void write_campaign_json(const CampaignConfig& config,
          << ", \"slo_latency_s\": " << t.slo_latency_s << ", \"completed\": " << t.completed
          << ", \"slo_attainment\": " << t.slo_attainment
          << ", \"goodput_qps\": " << t.goodput_qps
+         << ", \"shed\": " << t.shed << ", \"timed_out\": " << t.timed_out
+         << ", \"drop_rate\": " << t.drop_rate
          << ", \"p50_latency_s\": " << t.p50_latency_s
          << ", \"p99_latency_s\": " << t.p99_latency_s << "}"
          << (w + 1 < m.tenants.size() ? "," : "") << "\n";

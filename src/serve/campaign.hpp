@@ -32,6 +32,18 @@ struct CampaignConfig {
   // `autoscale`, whose own `policy` field is overridden per grid point.
   std::vector<AutoscalerPolicy> autoscalers{AutoscalerPolicy::kNone};
   AutoscalerConfig autoscale;
+  // Admission-control grid axis; {kNone} (the default) admits everything.
+  // The non-policy knobs (queue cap, tier factor, SLO margin) come from
+  // `admission`, whose own `policy` field is overridden per grid point.
+  std::vector<AdmissionPolicy> admissions{AdmissionPolicy::kNone};
+  AdmissionConfig admission;
+  // Fault-injection grid axis: per-slot MTBF points in seconds; {0.0} (the
+  // default) disables injection.  MTTR and the fault seed come from `faults`,
+  // whose own `mtbf_s` field is overridden per grid point.
+  std::vector<double> fault_mtbfs_s{0.0};
+  FaultConfig faults;
+  // Retry policy applied at every grid point (default: no retries).
+  RetryPolicy retry;
   double max_wait_s = 2e-3;
   std::size_t requests_per_point = 100000;
   ArrivalProcess process = ArrivalProcess::kPoisson;
@@ -50,6 +62,8 @@ struct CampaignPoint {
   std::size_t fleet_size = 0;  // initial fleet size of elastic points
   std::size_t max_batch = 1;
   AutoscalerPolicy autoscaler = AutoscalerPolicy::kNone;
+  AdmissionPolicy admission = AdmissionPolicy::kNone;
+  double fault_mtbf_s = 0.0;  // 0: no fault injection at this point
   FleetMetrics metrics;
 };
 
@@ -60,8 +74,11 @@ struct CampaignPoint {
 
 // Unloaded capacity estimate of a `fleet_size` fleet of `spec` at a fixed
 // batch size: fleet_size / (mix-weighted mean per-request service time over
-// the workloads the spec can serve).  Use it to place QPS points around the
-// saturation knee.
+// the workloads the spec can serve).  Entries with a sampled sequence-length
+// distribution are priced at their *expected* service time (fixed-seed Monte
+// Carlo over the entry's distribution), not the native length, so overload
+// sweeps expressed as multiples of capacity stay honest for lognormal
+// catalogs.  Use it to place QPS points around the saturation knee.
 [[nodiscard]] double fleet_capacity_qps(const WorkloadCatalog& catalog,
                                         const std::string& spec, std::size_t fleet_size,
                                         std::size_t batch);

@@ -1,0 +1,208 @@
+#include "serve/faults.hpp"
+
+#include <cmath>
+#include <limits>
+#include <string>
+
+#include "common/error.hpp"
+
+namespace lumos::serve {
+
+namespace {
+constexpr double kNever = std::numeric_limits<double>::infinity();
+constexpr std::size_t kNoSlot = static_cast<std::size_t>(-1);
+// Stream bases keep fault draws and retry jitter off every existing stream
+// (traces, sessions, tenant assignment).
+constexpr std::uint64_t kFaultStreamBase = 0xFA117;
+constexpr std::uint64_t kJitterStreamBase = 0x8ACC0FF;
+}  // namespace
+
+void validate_faults(const FaultConfig& config) {
+  if (!std::isfinite(config.mtbf_s)) {
+    throw InvalidArgument("FaultConfig.mtbf_s must be finite, got " +
+                          std::to_string(config.mtbf_s));
+  }
+  if (!config.enabled()) return;
+  if (!(config.mttr_s > 0.0) || !std::isfinite(config.mttr_s)) {
+    throw InvalidArgument("FaultConfig.mttr_s must be positive and finite, got " +
+                          std::to_string(config.mttr_s));
+  }
+}
+
+void validate_retry(const RetryPolicy& policy) {
+  if (policy.max_attempts < 1) {
+    throw InvalidArgument("RetryPolicy.max_attempts must be >= 1 (1 means no retries)");
+  }
+  if (!(policy.base_backoff_s >= 0.0) || !std::isfinite(policy.base_backoff_s)) {
+    throw InvalidArgument("RetryPolicy.base_backoff_s must be finite and >= 0, got " +
+                          std::to_string(policy.base_backoff_s));
+  }
+  if (!(policy.multiplier >= 1.0) || !std::isfinite(policy.multiplier)) {
+    throw InvalidArgument("RetryPolicy.multiplier must be finite and >= 1, got " +
+                          std::to_string(policy.multiplier));
+  }
+  if (!(policy.jitter >= 0.0) || policy.jitter >= 1.0) {
+    throw InvalidArgument("RetryPolicy.jitter must be in [0, 1), got " +
+                          std::to_string(policy.jitter));
+  }
+}
+
+double retry_backoff_s(const RetryPolicy& policy, std::uint64_t request_id,
+                       std::size_t attempt) {
+  LUMOS_EXPECTS(attempt >= 1);  // attempt 0 is the first issue, never backed off
+  double backoff = policy.base_backoff_s;
+  for (std::size_t k = 1; k < attempt; ++k) backoff *= policy.multiplier;
+  if (policy.jitter > 0.0) {
+    // One fresh stream per (request, attempt): the draw cannot depend on how
+    // many other requests retried before this one.
+    Rng rng(policy.seed, kJitterStreamBase + request_id * 31 + attempt);
+    backoff *= rng.uniform(1.0 - policy.jitter, 1.0 + policy.jitter);
+  }
+  return backoff;
+}
+
+void validate_admission(const AdmissionConfig& config) {
+  if (config.policy == AdmissionPolicy::kNone) return;
+  if (config.policy != AdmissionPolicy::kSloAware && config.queue_cap < 1) {
+    throw InvalidArgument("AdmissionConfig.queue_cap must be >= 1");
+  }
+  if (config.policy == AdmissionPolicy::kTierShed &&
+      (!(config.tier_shed_factor > 0.0) || config.tier_shed_factor > 1.0)) {
+    throw InvalidArgument("AdmissionConfig.tier_shed_factor must be in (0, 1], got " +
+                          std::to_string(config.tier_shed_factor));
+  }
+  if (config.policy == AdmissionPolicy::kSloAware &&
+      (!(config.slo_margin > 0.0) || !std::isfinite(config.slo_margin))) {
+    throw InvalidArgument("AdmissionConfig.slo_margin must be positive and finite, got " +
+                          std::to_string(config.slo_margin));
+  }
+}
+
+namespace {
+
+class QueueCapAdmission final : public AdmissionController {
+ public:
+  explicit QueueCapAdmission(const AdmissionConfig& config) : config_(config) {}
+  [[nodiscard]] AdmissionPolicy policy() const noexcept override {
+    return AdmissionPolicy::kQueueCap;
+  }
+  [[nodiscard]] bool admit(const AdmissionSignals& s) override {
+    return s.queued < config_.queue_cap;
+  }
+
+ private:
+  AdmissionConfig config_;
+};
+
+// DAGOR-shaped tiered shedding: tier k is admitted while the queue is below
+// queue_cap * tier_shed_factor^k, so under mounting backlog the lowest tiers
+// stop being admitted first and tier 0 keeps (almost) the whole cap.
+class TierShedAdmission final : public AdmissionController {
+ public:
+  explicit TierShedAdmission(const AdmissionConfig& config) : config_(config) {}
+  [[nodiscard]] AdmissionPolicy policy() const noexcept override {
+    return AdmissionPolicy::kTierShed;
+  }
+  [[nodiscard]] bool admit(const AdmissionSignals& s) override {
+    double cap = static_cast<double>(config_.queue_cap);
+    for (std::uint32_t k = 0; k < s.tier; ++k) cap *= config_.tier_shed_factor;
+    return static_cast<double>(s.queued) < cap;
+  }
+
+ private:
+  AdmissionConfig config_;
+};
+
+// Breakwater-shaped cost-based rejection: admit only while the predicted
+// completion latency (queue drain ahead of the request plus its own service)
+// fits within `slo_margin` of the SLO it will be scored against.
+class SloAwareAdmission final : public AdmissionController {
+ public:
+  explicit SloAwareAdmission(const AdmissionConfig& config) : config_(config) {}
+  [[nodiscard]] AdmissionPolicy policy() const noexcept override {
+    return AdmissionPolicy::kSloAware;
+  }
+  [[nodiscard]] bool admit(const AdmissionSignals& s) override {
+    return s.predicted_wait_s + s.service_s <= config_.slo_margin * s.slo_s;
+  }
+
+ private:
+  AdmissionConfig config_;
+};
+
+}  // namespace
+
+std::unique_ptr<AdmissionController> make_admission(const AdmissionConfig& config) {
+  validate_admission(config);
+  switch (config.policy) {
+    case AdmissionPolicy::kQueueCap:
+      return std::make_unique<QueueCapAdmission>(config);
+    case AdmissionPolicy::kTierShed:
+      return std::make_unique<TierShedAdmission>(config);
+    case AdmissionPolicy::kSloAware:
+      return std::make_unique<SloAwareAdmission>(config);
+    case AdmissionPolicy::kNone:
+      break;
+  }
+  return nullptr;
+}
+
+// ---------------------------------------------------------------------------
+// SlotFaultProcess
+// ---------------------------------------------------------------------------
+
+SlotFaultProcess::SlotFaultProcess(const FaultConfig& config) : config_(config) {
+  validate_faults(config);
+  LUMOS_EXPECTS_MSG(config.enabled(), "SlotFaultProcess needs an enabled FaultConfig");
+}
+
+void SlotFaultProcess::add_slot(double now_s) {
+  State s;
+  s.rng = Rng(config_.seed, kFaultStreamBase + states_.size());
+  s.tracked = true;
+  s.up = true;
+  s.next_s = now_s + s.rng.exponential(config_.mtbf_s);
+  states_.push_back(std::move(s));
+}
+
+void SlotFaultProcess::remove_slot(std::size_t slot) {
+  LUMOS_EXPECTS(slot < states_.size());
+  states_[slot].tracked = false;
+}
+
+bool SlotFaultProcess::up(std::size_t slot) const noexcept {
+  return slot < states_.size() ? states_[slot].up : true;
+}
+
+double SlotFaultProcess::next_event_s() const noexcept {
+  double next = kNever;
+  for (const State& s : states_) {
+    if (s.tracked && s.next_s < next) next = s.next_s;
+  }
+  return next;
+}
+
+std::size_t SlotFaultProcess::next_event_slot() const noexcept {
+  double next = kNever;
+  std::size_t slot = kNoSlot;
+  for (std::size_t i = 0; i < states_.size(); ++i) {
+    const State& s = states_[i];
+    if (s.tracked && s.next_s < next) {
+      next = s.next_s;
+      slot = i;
+    }
+  }
+  return slot;
+}
+
+bool SlotFaultProcess::advance(std::size_t slot) {
+  LUMOS_EXPECTS(slot < states_.size());
+  State& s = states_[slot];
+  LUMOS_EXPECTS(s.tracked);
+  const double now_s = s.next_s;
+  s.up = !s.up;
+  s.next_s = now_s + s.rng.exponential(s.up ? config_.mtbf_s : config_.mttr_s);
+  return s.up;
+}
+
+}  // namespace lumos::serve

@@ -1,0 +1,178 @@
+// Fault and overload machinery for the serving simulator: slot failure
+// injection, request timeouts/retries, and admission control.
+//
+// Three independent knobs, all disabled by default and all bit-reproducible:
+//
+//   * `FaultConfig` — a seeded per-slot failure/recovery process.  Each slot
+//     draws exponential time-to-failure (mean `mtbf_s`) and time-to-repair
+//     (mean `mttr_s`) from its own rng stream (keyed by slot index), so the
+//     fault schedule is independent of event interleaving and of how many
+//     slots exist at any instant.  A failing slot aborts its in-flight batch
+//     (the simulator requeues the requests) and is invisible to routing and
+//     autoscaling until it recovers.
+//   * `RetryPolicy` — bounded retries with exponential backoff plus
+//     deterministic jitter for attempts that time out (`CatalogEntry.
+//     timeout_s`).  Backoff for attempt k is
+//     base_backoff_s * multiplier^(k-1) * (1 +/- jitter), the jitter drawn
+//     from a stream keyed by the request id so retried arrivals replay
+//     bit-for-bit.
+//   * `AdmissionConfig` — a polymorphic admission controller consulted at
+//     every arrival (retries included).  Policies: admit everything, a global
+//     queue cap, tier-aware shedding (lower-priority tiers see geometrically
+//     smaller caps, so tier 0 keeps its goodput while tier 1 sheds — the
+//     DAGOR/Breakwater shape), and SLO-aware cost-based rejection using the
+//     estimate cache's predicted service times.
+//
+// Terminal request outcomes are `CompletionStatus`; the traffic source sees
+// exactly one terminal status per logical request via
+// `TrafficSource::on_complete`.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace lumos::serve {
+
+// Terminal outcome of one logical request (one `on_complete` call each).
+enum class CompletionStatus {
+  kOk,       // completed; scored against its SLO
+  kShed,     // rejected by admission control at arrival
+  kTimeout,  // exceeded its timeout with no retry budget left
+};
+
+// Per-slot failure/recovery process knobs.  `mtbf_s <= 0` (the default)
+// disables injection entirely — the simulator takes the bit-identical
+// fault-free path.
+struct FaultConfig {
+  double mtbf_s = 0.0;   // mean time between failures per slot; <= 0 disables
+  double mttr_s = 1e-3;  // mean time to repair a failed slot
+  std::uint64_t seed = 1;
+
+  [[nodiscard]] bool enabled() const noexcept { return mtbf_s > 0.0; }
+};
+
+// Throws `InvalidArgument` naming the bad field (non-finite mtbf, non-positive
+// or non-finite mttr while enabled).  A disabled config is always valid.
+void validate_faults(const FaultConfig& config);
+
+// Retry knobs for timed-out attempts.  `max_attempts` counts every attempt
+// including the first, so 1 (the default) means "no retries".
+struct RetryPolicy {
+  std::size_t max_attempts = 1;  // total attempts per logical request
+  double base_backoff_s = 1e-3;  // backoff before the second attempt
+  double multiplier = 2.0;       // backoff growth per further attempt
+  double jitter = 0.1;           // +/- fraction of the backoff, seeded draw
+  std::uint64_t seed = 1;        // jitter stream
+
+  [[nodiscard]] bool enabled() const noexcept { return max_attempts > 1; }
+};
+
+// Throws `InvalidArgument` naming the bad field (zero attempts, negative
+// backoff, multiplier < 1, jitter outside [0, 1)).
+void validate_retry(const RetryPolicy& policy);
+
+// Backoff delay before re-issuing request `request_id` as retry number
+// `attempt` (1-based: the first retry passes 1 and waits `base_backoff_s`,
+// scaled by `multiplier` per further retry, then jittered).  Pure
+// function of (policy, request_id, attempt): retried schedules replay
+// bit-for-bit regardless of event interleaving.
+[[nodiscard]] double retry_backoff_s(const RetryPolicy& policy, std::uint64_t request_id,
+                                     std::size_t attempt);
+
+enum class AdmissionPolicy {
+  kNone,      // admit everything (bit-identical to the pre-admission loop)
+  kQueueCap,  // reject when the queue already holds `queue_cap` requests
+  kTierShed,  // per-tier caps: queue_cap * tier_shed_factor^tier — lower
+              // tiers shed first, tier 0 keeps (almost) the full cap
+  kSloAware,  // reject when predicted wait + service exceeds the request's SLO
+};
+
+struct AdmissionConfig {
+  AdmissionPolicy policy = AdmissionPolicy::kNone;
+  std::size_t queue_cap = 256;     // kQueueCap / kTierShed: tier-0 queue bound
+  double tier_shed_factor = 0.25;  // kTierShed: cap shrink per priority tier
+  double slo_margin = 1.0;         // kSloAware: admit while predicted latency
+                                   // <= slo_margin * SLO
+};
+
+// Throws `InvalidArgument` naming the bad field (zero cap, shed factor
+// outside (0, 1], non-positive margin).  A kNone config is always valid.
+void validate_admission(const AdmissionConfig& config);
+
+// What an admission decision may look at: the arriving request's tier and
+// SLO, the queue, and the fleet's predicted cost of serving it.  The
+// simulator fills `predicted_wait_s`/`service_s` only for policies that need
+// them (kSloAware), so disabled-policy runs never touch the estimate cache.
+struct AdmissionSignals {
+  std::uint32_t tier = 0;        // priority tier of the arriving request
+  std::size_t queued = 0;        // requests waiting in the scheduler
+  std::size_t active_slots = 1;  // dispatchable (up, non-draining) slots
+  double predicted_wait_s = 0.0;  // estimated queue-drain time ahead of it
+  double service_s = 0.0;         // estimated service time of this request
+  double slo_s = 0.0;             // SLO the request will be scored against
+};
+
+class AdmissionController {
+ public:
+  virtual ~AdmissionController() = default;
+
+  [[nodiscard]] virtual AdmissionPolicy policy() const noexcept = 0;
+
+  // True to admit.  Pure function of the signals: admission decisions replay
+  // bit-for-bit.
+  [[nodiscard]] virtual bool admit(const AdmissionSignals& signals) = 0;
+};
+
+// Builds the configured controller; nullptr for kNone.  Validates `config`.
+[[nodiscard]] std::unique_ptr<AdmissionController> make_admission(
+    const AdmissionConfig& config);
+
+// Seeded per-slot failure/recovery process.  Tracked slots alternate up and
+// down phases with exponential dwell times; every slot owns an rng stream
+// keyed by its index, so one slot's phase sequence never depends on another's
+// (or on when slots are grown).  `next_event_s`/`next_event_slot` expose the
+// earliest pending transition (ties break on the lowest slot index), which
+// the event loop folds in as its fifth event source.
+class SlotFaultProcess {
+ public:
+  // Validates `config` (must be enabled: callers gate on `config.enabled()`).
+  explicit SlotFaultProcess(const FaultConfig& config);
+
+  // Starts tracking the next slot index (up from `now_s`; first failure drawn
+  // immediately).  Call once per fleet slot in index order, growth included.
+  void add_slot(double now_s);
+  // Stops tracking `slot` (retired slots neither fail nor recover).
+  void remove_slot(std::size_t slot);
+
+  [[nodiscard]] std::size_t slots() const noexcept { return states_.size(); }
+  [[nodiscard]] bool up(std::size_t slot) const noexcept;
+
+  // Earliest pending transition instant (+infinity when nothing is tracked)
+  // and the slot it belongs to.
+  [[nodiscard]] double next_event_s() const noexcept;
+  [[nodiscard]] std::size_t next_event_slot() const noexcept;
+
+  // Applies `slot`'s pending transition; returns its new up state (false:
+  // just failed, true: just recovered).  The next transition is drawn from
+  // the slot's own stream at the call.
+  bool advance(std::size_t slot);
+
+ private:
+  struct State {
+    Rng rng;
+    bool tracked = false;
+    bool up = true;
+    double next_s = 0.0;
+
+    State() : rng(0) {}
+  };
+
+  FaultConfig config_;
+  std::vector<State> states_;
+};
+
+}  // namespace lumos::serve

@@ -48,6 +48,20 @@ Table FleetMetrics::to_table(const std::string& title) const {
   t.add_row({"estimate lookups", std::to_string(estimate_lookups)});
   t.add_row({"estimate misses", std::to_string(estimate_misses)});
   t.add_row({"estimate hit rate", Table::num(estimate_hit_rate(), 4)});
+  if (shed_requests > 0 || timed_out_requests > 0 || retried_attempts > 0 ||
+      slot_failures > 0) {
+    t.add_row({"shed (admission)", std::to_string(shed_requests)});
+    t.add_row({"timed out", std::to_string(timed_out_requests)});
+    t.add_row({"attempt timeouts", std::to_string(attempt_timeouts)});
+    t.add_row({"retried attempts", std::to_string(retried_attempts)});
+    t.add_row({"drop rate", Table::num(drop_rate, 4)});
+    t.add_row({"slot failures", std::to_string(slot_failures)});
+    t.add_row({"slot recoveries", std::to_string(slot_recoveries)});
+    t.add_row({"failed batches", std::to_string(failed_batches)});
+    t.add_row({"requeued requests", std::to_string(requeued_requests)});
+    t.add_row({"fleet availability", Table::num(fleet_availability, 4)});
+    t.add_row({"observed MTTR (us)", Table::num(units::to_us(observed_mttr_s), 1)});
+  }
   if (sessions > 0) {
     t.add_row({"sessions", std::to_string(sessions)});
     t.add_row({"mean session (ms)", Table::num(mean_session_s * 1e3, 3)});
@@ -69,11 +83,12 @@ Table FleetMetrics::to_table(const std::string& title) const {
 
 Table FleetMetrics::tenant_table(const std::string& title) const {
   Table t(title);
-  t.add_row({"tenant", "tier", "completed", "SLO us", "attainment", "goodput QPS",
-             "p50 us", "p99 us", "max us"});
+  t.add_row({"tenant", "tier", "completed", "shed", "timeout", "drop", "SLO us",
+             "attainment", "goodput QPS", "p50 us", "p99 us", "max us"});
   for (const TenantMetrics& tenant : tenants) {
     t.add_row({tenant.name, std::to_string(tenant.priority),
-               std::to_string(tenant.completed),
+               std::to_string(tenant.completed), std::to_string(tenant.shed),
+               std::to_string(tenant.timed_out), Table::num(tenant.drop_rate, 4),
                Table::num(units::to_us(tenant.slo_latency_s), 1),
                Table::num(tenant.slo_attainment, 4), Table::num(tenant.goodput_qps, 1),
                Table::num(units::to_us(tenant.p50_latency_s), 1),

@@ -31,6 +31,19 @@ struct TenantMetrics {
   double p50_latency_s = 0.0;
   double p99_latency_s = 0.0;
   double max_latency_s = 0.0;
+  // Robustness (all zero when admission/timeouts are disabled).
+  std::size_t shed = 0;       // rejected at admission
+  std::size_t timed_out = 0;  // deadline exceeded, retries exhausted
+  double drop_rate = 0.0;     // (shed + timed_out) / issued
+};
+
+// One slot's availability under fault injection (see FaultConfig).
+struct SlotAvailability {
+  std::string spec;                // registry spec name of the slot
+  std::size_t failures = 0;        // failure transitions within the active window
+  std::size_t repairs = 0;         // completed repairs
+  double uptime_fraction = 1.0;    // up time / active-window time
+  double observed_mttr_s = 0.0;    // mean completed repair duration
 };
 
 struct FleetMetrics {
@@ -72,6 +85,23 @@ struct FleetMetrics {
   std::size_t peak_fleet_size = 0;
   std::size_t final_fleet_size = 0;   // active (non-draining) slots at the end
   double mean_fleet_size = 0.0;       // time-weighted slot count
+
+  // Robustness: faults, timeouts, retries, admission (all zero when those
+  // features are disabled — the default).  `completed` above counts only kOk
+  // terminals; completed + shed + timed-out == requests the source issued.
+  std::size_t shed_requests = 0;       // rejected at admission (terminal)
+  std::size_t timed_out_requests = 0;  // timeout with no retry budget (terminal)
+  std::size_t attempt_timeouts = 0;    // attempts past their deadline (retried or not)
+  std::size_t retried_attempts = 0;    // re-issued attempts
+  std::size_t failed_batches = 0;      // in-flight batches aborted by slot failure
+  std::size_t requeued_requests = 0;   // requests requeued by those aborts
+  std::size_t slot_failures = 0;       // failure transitions across the fleet
+  std::size_t slot_recoveries = 0;     // recovery transitions across the fleet
+  double drop_rate = 0.0;              // (shed + timed-out) / issued requests
+  double fleet_availability = 1.0;     // up slot-time / active slot-time
+  double observed_mttr_s = 0.0;        // mean completed repair duration
+  // Per-slot availability, slot order (filled only under fault injection).
+  std::vector<SlotAvailability> slot_availability;
 
   // Per-tenant breakdown, one entry per catalog entry (catalog order).
   std::vector<TenantMetrics> tenants;

@@ -39,6 +39,19 @@ constexpr EnumName<SeqLenDist> kSeqLenDistNames[] = {
     {SeqLenDist::kLogNormal, "lognormal"},
 };
 
+constexpr EnumName<AdmissionPolicy> kAdmissionNames[] = {
+    {AdmissionPolicy::kNone, "none"},
+    {AdmissionPolicy::kQueueCap, "queue-cap"},
+    {AdmissionPolicy::kTierShed, "tier-shed"},
+    {AdmissionPolicy::kSloAware, "slo-aware"},
+};
+
+constexpr EnumName<CompletionStatus> kCompletionStatusNames[] = {
+    {CompletionStatus::kOk, "ok"},
+    {CompletionStatus::kShed, "shed"},
+    {CompletionStatus::kTimeout, "timeout"},
+};
+
 }  // namespace
 
 const char* process_name(ArrivalProcess process) noexcept {
@@ -88,5 +101,23 @@ SeqLenDist seqlen_dist_from_name(const std::string& name) {
   return enum_from_name(kSeqLenDistNames, name, "seqlen distribution");
 }
 std::vector<std::string> seqlen_dist_names() { return enum_name_list(kSeqLenDistNames); }
+
+const char* admission_name(AdmissionPolicy policy) noexcept {
+  return enum_to_name(kAdmissionNames, policy);
+}
+AdmissionPolicy admission_from_name(const std::string& name) {
+  return enum_from_name(kAdmissionNames, name, "admission policy");
+}
+std::vector<std::string> admission_names() { return enum_name_list(kAdmissionNames); }
+
+const char* completion_status_name(CompletionStatus status) noexcept {
+  return enum_to_name(kCompletionStatusNames, status);
+}
+CompletionStatus completion_status_from_name(const std::string& name) {
+  return enum_from_name(kCompletionStatusNames, name, "completion status");
+}
+std::vector<std::string> completion_status_names() {
+  return enum_name_list(kCompletionStatusNames);
+}
 
 }  // namespace lumos::serve

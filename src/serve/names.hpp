@@ -44,4 +44,12 @@ namespace lumos::serve {
 [[nodiscard]] SeqLenDist seqlen_dist_from_name(const std::string& name);
 [[nodiscard]] std::vector<std::string> seqlen_dist_names();
 
+[[nodiscard]] const char* admission_name(AdmissionPolicy policy) noexcept;
+[[nodiscard]] AdmissionPolicy admission_from_name(const std::string& name);
+[[nodiscard]] std::vector<std::string> admission_names();
+
+[[nodiscard]] const char* completion_status_name(CompletionStatus status) noexcept;
+[[nodiscard]] CompletionStatus completion_status_from_name(const std::string& name);
+[[nodiscard]] std::vector<std::string> completion_status_names();
+
 }  // namespace lumos::serve

@@ -46,13 +46,15 @@ namespace {
 
 constexpr double kNever = std::numeric_limits<double>::infinity();
 constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+constexpr std::uint64_t kNoBatch = static_cast<std::uint64_t>(-1);
 
+// One pending completion.  The batch itself lives on the slot (see Slot):
+// a slot failure aborts the in-flight batch in place and the heap entry goes
+// stale — detected at pop by the dispatch-seq mismatch.
 struct Completion {
   double time_s = 0.0;
   std::uint64_t seq = 0;  // dispatch order: deterministic tie-break
   std::size_t acc = 0;
-  double batch_energy_j = 0.0;
-  std::vector<Request> batch;
 };
 
 // Min-heap ordering on (time, dispatch seq).
@@ -63,23 +65,55 @@ struct CompletionLater {
   }
 };
 
+// One retried arrival, waiting out its backoff.  Min-ordered by (time,
+// retry seq) so simultaneous re-issues enqueue in the order they were
+// scheduled.
+struct PendingRetry {
+  double time_s = 0.0;
+  std::uint64_t seq = 0;
+  Request request;
+};
+
+struct RetryLater {
+  bool operator()(const PendingRetry& a, const PendingRetry& b) const noexcept {
+    if (a.time_s != b.time_s) return a.time_s > b.time_s;
+    return a.seq > b.seq;
+  }
+};
+
 // One fleet slot.  Slots are append-only: growth pushes a new slot, shrink
 // marks one draining (no new dispatches) and retires it once idle, so slot
 // indices — and with them dispatch order and the (time, seq) completion order
-// — never shift mid-simulation.
+// — never shift mid-simulation.  The slot owns its in-flight batch so a
+// failure can abort it without touching the completion heap.
 struct Slot {
   std::size_t cache = 0;   // estimate cache (shared per spec name)
   std::size_t family = 0;  // spec family this slot scales with
   bool idle = true;
   bool draining = false;
   bool retired = false;
+  bool failed = false;     // down under fault injection
   double busy_s = 0.0;
   double active_start_s = 0.0;
   double active_end_s = -1.0;  // < 0: still present at simulation end
+
+  // In-flight batch (valid while !idle).
+  std::vector<Request> inflight;
+  std::uint64_t inflight_seq = kNoBatch;
+  double inflight_start_s = 0.0;
+  double inflight_done_s = 0.0;
+  double inflight_energy_j = 0.0;
+
+  // Availability bookkeeping under fault injection.
+  std::size_t failures = 0;
+  std::size_t repairs = 0;       // completed repairs
+  double down_since_s = 0.0;     // start of the current down phase (if failed)
+  double down_total_s = 0.0;     // completed down time inside the active window
+  double repair_total_s = 0.0;   // completed repair durations (for MTTR)
 };
 
 bool can_dispatch_to(const Slot& s) noexcept {
-  return s.idle && !s.draining && !s.retired;
+  return s.idle && !s.draining && !s.retired && !s.failed;
 }
 
 }  // namespace
@@ -101,6 +135,9 @@ void validate_scenario(const Scenario& scenario) {
     throw InvalidArgument("Scenario.batch: BatchPolicy.max_wait_s must be >= 0");
   }
   validate_autoscaler(scenario.sim.autoscaler);
+  validate_faults(scenario.sim.faults);
+  validate_retry(scenario.sim.retry);
+  validate_admission(scenario.sim.admission);
   if (!scenario.trace.empty()) {
     for (const Request& r : scenario.trace) {
       if (r.workload >= scenario.catalog.size()) {
@@ -138,6 +175,8 @@ FleetMetrics simulate(const Scenario& scenario) {
   const std::size_t total_requests = source->total_requests();
   LUMOS_ENSURES(total_requests >= 1);
   const std::unique_ptr<Autoscaler> scaler = make_autoscaler(sim.autoscaler);
+  const std::unique_ptr<AdmissionController> admission = make_admission(sim.admission);
+  const RetryPolicy& retry = sim.retry;
 
   // One estimate cache per distinct spec name; fleet slots share caches.
   // Families are the distinct initial spec names in first-appearance order —
@@ -171,7 +210,7 @@ FleetMetrics simulate(const Scenario& scenario) {
     Slot s;
     s.cache = family_cache[f];
     s.family = f;
-    slots.push_back(s);
+    slots.push_back(std::move(s));
   }
   // Grown slots may use a scaled registry variant of the family's spec; build
   // those caches up front so the cache vector is stable during the loop.
@@ -228,10 +267,48 @@ FleetMetrics simulate(const Scenario& scenario) {
     if (catalog.at(w).slo_latency_s > 0.0) slo_of[w] = catalog.at(w).slo_latency_s;
   }
 
+  // Per-entry request timeouts (0 disables); `has_timeouts` gates every
+  // timeout check so timeout-free runs do no extra per-request work.
+  std::vector<double> timeout_of(catalog.size(), 0.0);
+  bool has_timeouts = false;
+  for (std::uint32_t w = 0; w < catalog.size(); ++w) {
+    timeout_of[w] = catalog.at(w).timeout_s;
+    has_timeouts = has_timeouts || timeout_of[w] > 0.0;
+  }
+
+  // SLO-aware admission prices requests with the estimate cache; computed
+  // only for that policy so other runs leave the cache counters untouched.
+  std::vector<double> service_of(catalog.size(), 0.0);
+  double mean_service_s = 0.0;
+  const bool slo_admission =
+      admission && admission->policy() == AdmissionPolicy::kSloAware;
+  if (slo_admission) {
+    const std::size_t pricing_batch =
+        scenario.scheduler == SchedulerKind::kFifo ? std::size_t{1} : policy.max_batch;
+    double weighted = 0.0;
+    for (std::uint32_t w = 0; w < catalog.size(); ++w) {
+      service_of[w] = caches[first_serving_cache[w]].estimate(w, pricing_batch).latency_s /
+                      static_cast<double>(pricing_batch);
+      weighted += catalog.at(w).mix_weight * service_of[w];
+    }
+    mean_service_s = weighted / catalog.total_weight();
+  }
+
   const std::unique_ptr<Scheduler> sched =
       make_scheduler(scenario.scheduler, policy, catalog.priorities());
   std::vector<Completion> heap;
   std::uint64_t dispatch_seq = 0;
+
+  // Retried arrivals waiting out their backoff (fifth arrival path).
+  std::vector<PendingRetry> retry_heap;
+  std::uint64_t retry_seq = 0;
+
+  // Per-slot failure/recovery process (nullptr when injection is disabled).
+  std::unique_ptr<SlotFaultProcess> faults;
+  if (sim.faults.enabled()) {
+    faults = std::make_unique<SlotFaultProcess>(sim.faults);
+    for (std::size_t i = 0; i < slots.size(); ++i) faults->add_slot(0.0);
+  }
 
   FleetMetrics m;
   m.batch_histogram.assign(
@@ -247,6 +324,10 @@ FleetMetrics simulate(const Scenario& scenario) {
   std::vector<double> tenant_sum(catalog.size(), 0.0);
   std::vector<double> tenant_max(catalog.size(), 0.0);
   std::vector<std::size_t> tenant_within(catalog.size(), 0);
+  std::vector<std::size_t> tenant_shed(catalog.size(), 0);
+  std::vector<std::size_t> tenant_timed_out(catalog.size(), 0);
+  // Terminal outcomes (completed + shed + timed out): the loop's stop target.
+  std::size_t terminal = 0;
 
   // Autoscaler signals: per-workload queue depths and the per-family
   // time-integral of busy slots since the last evaluation step (exact busy
@@ -294,6 +375,60 @@ FleetMetrics simulate(const Scenario& scenario) {
     return false;
   };
 
+  // A timed-out attempt either re-enters through the retry heap (budget
+  // left) or terminates as kTimeout.
+  const auto handle_timed_out_attempt = [&](const Request& req, double now_s) {
+    ++m.attempt_timeouts;
+    if (static_cast<std::size_t>(req.attempt) + 1 < retry.max_attempts) {
+      Request again = req;
+      ++again.attempt;
+      again.arrival_s = now_s + retry_backoff_s(retry, again.id, again.attempt);
+      ++m.retried_attempts;
+      retry_heap.push_back({again.arrival_s, retry_seq++, std::move(again)});
+      std::push_heap(retry_heap.begin(), retry_heap.end(), RetryLater{});
+    } else {
+      ++m.timed_out_requests;
+      ++tenant_timed_out[req.workload];
+      ++terminal;
+      source->on_complete(req, now_s, CompletionStatus::kTimeout);
+    }
+  };
+
+  // Admission decision for one arriving request (fresh or retried).
+  const auto admit = [&](const Request& r) {
+    AdmissionSignals sig;
+    sig.tier = catalog.at(r.workload).priority;
+    sig.queued = sched->queued();
+    sig.slo_s = slo_of[r.workload];
+    std::size_t active = 0;
+    for (const std::size_t i : live) {
+      const Slot& s = slots[i];
+      if (!s.draining && !s.failed) ++active;
+    }
+    sig.active_slots = active;
+    if (slo_admission) {
+      sig.service_s = service_of[r.workload];
+      sig.predicted_wait_s = static_cast<double>(sig.queued) * mean_service_s /
+                             static_cast<double>(std::max<std::size_t>(active, 1));
+    }
+    return admission->admit(sig);
+  };
+
+  // Routes one arriving request (fresh or retried) through admission into the
+  // scheduler, or terminates it as kShed.
+  const auto accept_arrival = [&](const Request& r, double now_s) {
+    if (admission && !admit(r)) {
+      ++m.shed_requests;
+      ++tenant_shed[r.workload];
+      ++terminal;
+      source->on_complete(r, now_s, CompletionStatus::kShed);
+      return;
+    }
+    ++queued_by_workload[r.workload];
+    sched->enqueue(r, now_s);
+    m.peak_queue_depth = std::max(m.peak_queue_depth, sched->queued());
+  };
+
   const auto try_dispatch = [&](double now_s) {
     for (;;) {
       if (!any_dispatchable()) return;
@@ -302,11 +437,24 @@ FleetMetrics simulate(const Scenario& scenario) {
       std::vector<Request> batch = sched->pop(now_s, mask);
       LUMOS_ENSURES(!batch.empty());
       const std::uint32_t workload = batch.front().workload;
+      queued_by_workload[workload] -= batch.size();
+      if (has_timeouts && timeout_of[workload] > 0.0) {
+        // Lazy queued-timeout cancellation: expired requests never dispatch.
+        std::size_t kept = 0;
+        for (Request& req : batch) {
+          if (now_s - req.arrival_s > timeout_of[workload]) {
+            handle_timed_out_attempt(req, now_s);
+          } else {
+            batch[kept++] = std::move(req);
+          }
+        }
+        batch.resize(kept);
+        if (batch.empty()) continue;
+      }
       // Batching schedulers never mix seq buckets within a batch (FIFO
       // batches are single requests), so the head's sampled length prices the
       // whole batch.
       const std::uint32_t seq_len = batch.front().seq_len;
-      queued_by_workload[workload] -= batch.size();
       std::size_t chosen = kNone;
       for (const std::size_t i : live) {
         if (can_dispatch_to(slots[i]) && cache_serves[slots[i].cache][workload] != 0) {
@@ -330,13 +478,71 @@ FleetMetrics simulate(const Scenario& scenario) {
         }
       }
       const PerfReport& r = caches[slots[chosen].cache].estimate(workload, batch.size(), seq_len);
-      slots[chosen].idle = false;
-      slots[chosen].busy_s += r.latency_s;
+      Slot& sl = slots[chosen];
+      sl.idle = false;
+      sl.busy_s += r.latency_s;
       ++m.dispatches;
       ++m.batch_histogram[batch.size()];
-      heap.push_back({now_s + r.latency_s, dispatch_seq++, chosen, r.total_energy_j,
-                      std::move(batch)});
+      sl.inflight = std::move(batch);
+      sl.inflight_seq = dispatch_seq;
+      sl.inflight_start_s = now_s;
+      sl.inflight_done_s = now_s + r.latency_s;
+      sl.inflight_energy_j = r.total_energy_j;
+      heap.push_back({sl.inflight_done_s, dispatch_seq, chosen});
+      ++dispatch_seq;
       std::push_heap(heap.begin(), heap.end(), CompletionLater{});
+    }
+  };
+
+  // Applies every pending fault transition up to `now_s`.  A failure aborts
+  // the slot's in-flight batch (partial busy/energy accounting, requests
+  // requeued) and hides the slot from routing; a draining slot that fails
+  // retires on the spot (its batch was going to be its last anyway).
+  const auto process_faults = [&](double now_s) {
+    while (faults->next_event_s() <= now_s) {
+      const std::size_t i = faults->next_event_slot();
+      const double t_ev = faults->next_event_s();
+      const bool up = faults->advance(i);
+      Slot& s = slots[i];
+      if (!up) {
+        s.failed = true;
+        ++s.failures;
+        ++m.slot_failures;
+        s.down_since_s = t_ev;
+        if (!s.idle) {
+          ++m.failed_batches;
+          // The unserved remainder was never busy time; the dynamic energy
+          // already burned is charged pro rata.
+          s.busy_s -= s.inflight_done_s - t_ev;
+          const double span = s.inflight_done_s - s.inflight_start_s;
+          if (span > 0.0) {
+            dispatched_energy_j +=
+                s.inflight_energy_j * ((t_ev - s.inflight_start_s) / span);
+          }
+          for (const Request& req : s.inflight) {
+            ++queued_by_workload[req.workload];
+            sched->enqueue(req, t_ev);
+            ++m.requeued_requests;
+          }
+          s.inflight.clear();
+          s.inflight_seq = kNoBatch;
+          s.idle = true;
+          m.peak_queue_depth = std::max(m.peak_queue_depth, sched->queued());
+        }
+        if (s.draining && !s.retired) {
+          s.retired = true;
+          s.active_end_s = t_ev;
+          faults->remove_slot(i);
+          rebuild_live();
+        }
+      } else {
+        s.failed = false;
+        ++s.repairs;
+        ++m.slot_recoveries;
+        const double repair_s = t_ev - s.down_since_s;
+        s.down_total_s += repair_s;
+        s.repair_total_s += repair_s;
+      }
     }
   };
 
@@ -344,6 +550,7 @@ FleetMetrics simulate(const Scenario& scenario) {
   // and apply at most a one-slot delta, clamped to [min_slots, max_slots]
   // active slots.  Shrinks drain before retiring: the slot is closed to new
   // work immediately, retires now if idle, otherwise at its completion.
+  // Failed slots are invisible (reported via `failed_slots`, not `active`).
   // Active (dispatchable-family) slot count across all families, kept
   // incrementally for peak tracking.
   std::size_t active_total = slots.size();
@@ -358,6 +565,8 @@ FleetMetrics simulate(const Scenario& scenario) {
         if (s.family != f) continue;
         if (s.draining) {
           ++signals.draining_slots;
+        } else if (s.failed) {
+          ++signals.failed_slots;
         } else {
           ++signals.active_slots;
         }
@@ -366,9 +575,12 @@ FleetMetrics simulate(const Scenario& scenario) {
       for (std::uint32_t w = 0; w < catalog.size(); ++w) {
         if (serves[w] != 0) signals.queued += queued_by_workload[w];
       }
-      signals.utilization = std::min(
-          1.0, family_busy_integral_s[f] / (static_cast<double>(signals.active_slots) *
-                                            sim.autoscaler.interval_s));
+      signals.utilization =
+          signals.active_slots > 0
+              ? std::min(1.0, family_busy_integral_s[f] /
+                                  (static_cast<double>(signals.active_slots) *
+                                   sim.autoscaler.interval_s))
+              : 0.0;
       family_busy_integral_s[f] = 0.0;
       const int delta = scaler->step(signals);
       if (delta > 0 && signals.active_slots < signals.max_slots) {
@@ -376,7 +588,8 @@ FleetMetrics simulate(const Scenario& scenario) {
         grown.cache = family_grow_cache[f];
         grown.family = f;
         grown.active_start_s = now_s;
-        slots.push_back(grown);
+        slots.push_back(std::move(grown));
+        if (faults) faults->add_slot(now_s);
         live_changed = true;
         ++m.autoscale_grows;
         ++active_total;
@@ -390,6 +603,7 @@ FleetMetrics simulate(const Scenario& scenario) {
           if (s.idle) {
             s.retired = true;
             s.active_end_s = now_s;
+            if (faults) faults->remove_slot(i);
             live_changed = true;
           }
           ++m.autoscale_shrinks;
@@ -402,9 +616,11 @@ FleetMetrics simulate(const Scenario& scenario) {
 
   double last_arrival_s = 0.0;
   double now_s = 0.0;
-  while (m.completed < total_requests) {
+  while (terminal < total_requests) {
     const double t_arr = source->next_arrival_time();
+    const double t_retry = retry_heap.empty() ? kNever : retry_heap.front().time_s;
     const double t_done = heap.empty() ? kNever : heap.front().time_s;
+    const double t_fault = faults ? faults->next_event_s() : kNever;
     // Deadlines only matter while an accelerator could take the batch; when
     // everything is busy the next completion re-evaluates readiness anyway.
     // In mixed fleets the deadline is masked the same way dispatch is, so a
@@ -413,7 +629,7 @@ FleetMetrics simulate(const Scenario& scenario) {
     const double t_dead = any_dispatchable() && sched->queued() > 0
                               ? sched->next_deadline_s(current_mask())
                               : kNever;
-    const double t = std::min(std::min(std::min(t_arr, t_done), t_dead), next_eval_s);
+    const double t = std::min({t_arr, t_retry, t_done, t_dead, t_fault, next_eval_s});
     LUMOS_ENSURES(t >= now_s && t < kNever);
     depth_time += static_cast<double>(sched->queued()) * (t - now_s);
     if (scaler && t > now_s) {
@@ -427,20 +643,32 @@ FleetMetrics simulate(const Scenario& scenario) {
 
     while (!heap.empty() && heap.front().time_s <= now_s) {
       std::pop_heap(heap.begin(), heap.end(), CompletionLater{});
-      Completion done = std::move(heap.back());
+      const Completion done = heap.back();
       heap.pop_back();
       Slot& acc = slots[done.acc];
+      if (acc.inflight_seq != done.seq) continue;  // batch aborted by a failure
+      std::vector<Request> batch = std::move(acc.inflight);
+      acc.inflight.clear();
+      acc.inflight_seq = kNoBatch;
       acc.idle = true;
+      dispatched_energy_j += acc.inflight_energy_j;
       if (acc.draining) {
         // Drained: the in-flight batch finished, the slot may now retire.
         acc.retired = true;
         acc.active_end_s = done.time_s;
+        if (faults) faults->remove_slot(done.acc);
         rebuild_live();
       }
-      dispatched_energy_j += done.batch_energy_j;
-      for (const Request& req : done.batch) {
-        const double latency = done.time_s - req.arrival_s;
+      for (const Request& req : batch) {
         const std::uint32_t w = req.workload;
+        if (has_timeouts && timeout_of[w] > 0.0 &&
+            done.time_s - req.arrival_s > timeout_of[w]) {
+          // Finished past its deadline: the result is useless to the client.
+          handle_timed_out_attempt(req, done.time_s);
+          continue;
+        }
+        // Client-perceived latency: from the first issue, backoffs included.
+        const double latency = done.time_s - req.first_arrival_s;
         tenant_latencies[w].push_back(latency);
         tenant_sum[w] += latency;
         tenant_max[w] = std::max(tenant_max[w], latency);
@@ -451,17 +679,24 @@ FleetMetrics simulate(const Scenario& scenario) {
           ++tenant_within[w];
         }
         ++m.completed;
+        ++terminal;
         // Feedback to the source: a closed-loop session may now schedule its
         // next issue (at or after this completion's instant).
-        source->on_complete(req, done.time_s);
+        source->on_complete(req, done.time_s, CompletionStatus::kOk);
       }
     }
+    if (faults) process_faults(now_s);
     while (source->next_arrival_time() <= now_s) {
-      const Request r = source->pop_arrival();
+      Request r = source->pop_arrival();
       last_arrival_s = r.arrival_s;
-      ++queued_by_workload[r.workload];
-      sched->enqueue(r, now_s);
-      m.peak_queue_depth = std::max(m.peak_queue_depth, sched->queued());
+      r.first_arrival_s = r.arrival_s;
+      accept_arrival(r, now_s);
+    }
+    while (!retry_heap.empty() && retry_heap.front().time_s <= now_s) {
+      std::pop_heap(retry_heap.begin(), retry_heap.end(), RetryLater{});
+      const Request r = std::move(retry_heap.back().request);
+      retry_heap.pop_back();
+      accept_arrival(r, now_s);
     }
     if (scaler && now_s >= next_eval_s) {
       evaluate_autoscaler(now_s);
@@ -478,8 +713,13 @@ FleetMetrics simulate(const Scenario& scenario) {
   m.goodput_qps = static_cast<double>(within_slo) / std::max(duration_s, 1e-300);
   m.slo_latency_s = slo_s;
   m.slo_attainment =
-      static_cast<double>(within_slo) / static_cast<double>(m.completed);
-  m.mean_latency_s = latency_sum / static_cast<double>(m.completed);
+      m.completed > 0
+          ? static_cast<double>(within_slo) / static_cast<double>(m.completed)
+          : 0.0;
+  m.mean_latency_s =
+      m.completed > 0 ? latency_sum / static_cast<double>(m.completed) : 0.0;
+  m.drop_rate = static_cast<double>(m.shed_requests + m.timed_out_requests) /
+                static_cast<double>(total_requests);
 
   // Per-tenant breakdown, then the aggregate percentiles over the union of
   // the tenants' samples (the same multiset the pre-tenant simulator sorted).
@@ -491,6 +731,12 @@ FleetMetrics simulate(const Scenario& scenario) {
     t.slo_latency_s = slo_of[w];
     t.completed = tenant_latencies[w].size();
     t.max_latency_s = tenant_max[w];
+    t.shed = tenant_shed[w];
+    t.timed_out = tenant_timed_out[w];
+    const std::size_t issued = t.completed + t.shed + t.timed_out;
+    if (issued > 0) {
+      t.drop_rate = static_cast<double>(t.shed + t.timed_out) / static_cast<double>(issued);
+    }
     if (t.completed > 0) {
       t.slo_attainment = static_cast<double>(tenant_within[w]) /
                          static_cast<double>(t.completed);
@@ -538,11 +784,46 @@ FleetMetrics simulate(const Scenario& scenario) {
   m.final_fleet_size = final_active;
   m.mean_fleet_size = slot_time_s / std::max(duration_s, 1e-300);
   m.fleet_energy_j = dispatched_energy_j + idle_static_j;
-  m.energy_per_request_j = m.fleet_energy_j / static_cast<double>(m.completed);
+  m.energy_per_request_j =
+      m.completed > 0 ? m.fleet_energy_j / static_cast<double>(m.completed) : 0.0;
   m.fleet_utilization = busy_total / std::max(slot_time_s, 1e-300);
   for (const EstimateCache& c : caches) {
     m.estimate_lookups += c.lookups();
     m.estimate_misses += c.misses();
+  }
+
+  // Availability: up slot-time over each slot's active window.
+  if (faults) {
+    m.slot_availability.reserve(slots.size());
+    double window_total_s = 0.0;
+    double down_total_s = 0.0;
+    double repair_total_s = 0.0;
+    std::size_t repairs_total = 0;
+    for (const Slot& s : slots) {
+      const double window_end_s = s.active_end_s >= 0.0 ? s.active_end_s : duration_s;
+      const double window_s = window_end_s - s.active_start_s;
+      double down_s = s.down_total_s;
+      if (s.failed) down_s += std::max(0.0, window_end_s - s.down_since_s);
+      SlotAvailability a;
+      a.spec = caches[s.cache].spec().name;
+      a.failures = s.failures;
+      a.repairs = s.repairs;
+      a.uptime_fraction =
+          window_s > 0.0 ? std::max(0.0, window_s - down_s) / window_s : 1.0;
+      a.observed_mttr_s =
+          s.repairs > 0 ? s.repair_total_s / static_cast<double>(s.repairs) : 0.0;
+      m.slot_availability.push_back(std::move(a));
+      window_total_s += window_s;
+      down_total_s += down_s;
+      repair_total_s += s.repair_total_s;
+      repairs_total += s.repairs;
+    }
+    m.fleet_availability =
+        window_total_s > 0.0
+            ? std::max(0.0, window_total_s - down_total_s) / window_total_s
+            : 1.0;
+    m.observed_mttr_s =
+        repairs_total > 0 ? repair_total_s / static_cast<double>(repairs_total) : 0.0;
   }
   source->finish(m);
   return m;

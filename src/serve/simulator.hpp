@@ -9,12 +9,14 @@
 // closed-loop clients — whose arrivals depend on completions — plug into the
 // same loop as open-loop traces.
 //
-// Event loop over four event sources — request arrivals (pulled from the
-// traffic source), batch-deadline expiries (from the scheduler), accelerator
-// completions (a min-heap keyed by (time, dispatch seq)), and autoscaler
-// evaluation steps (every `interval_s` of simulated time) — with a fixed
-// processing order at equal timestamps (completions, then arrivals, then
-// autoscaling, then dispatch).  Fleets are built from `arch` registry spec
+// Event loop over five event sources — request arrivals (pulled from the
+// traffic source, retried attempts included), batch-deadline expiries (from
+// the scheduler), accelerator completions (a min-heap keyed by (time,
+// dispatch seq)), slot failure/recovery transitions (the seeded fault
+// process, see faults.hpp), and autoscaler evaluation steps (every
+// `interval_s` of simulated time) — with a fixed processing order at equal
+// timestamps (completions, then faults, then arrivals, then autoscaling,
+// then dispatch).  Fleets are built from `arch` registry spec
 // names and may mix fabric families (TRON + GHOST serving one mixed catalog):
 // routing is kind-aware, so a request only dispatches to an idle accelerator
 // that can serve it.  Priority tiers from the catalog's entries make the
@@ -45,6 +47,7 @@
 
 #include "serve/autoscaler.hpp"
 #include "serve/cache.hpp"
+#include "serve/faults.hpp"
 #include "serve/metrics.hpp"
 #include "serve/scheduler.hpp"
 #include "serve/trace.hpp"
@@ -90,6 +93,15 @@ struct SimConfig {
   double slo_scale = 10.0;
   // Elastic serving; `policy == kNone` (the default) keeps the fleet static.
   AutoscalerConfig autoscaler;
+  // Robustness knobs (see faults.hpp); all disabled by default, and disabled
+  // runs are bit-identical to the pre-fault simulator.  Failed slots abort
+  // their in-flight batch (requests requeue) and drop out of routing and
+  // autoscaling until they recover; timed-out attempts (per-entry
+  // `CatalogEntry.timeout_s`) retry under `retry` until the budget runs out;
+  // `admission` is consulted at every arrival.
+  FaultConfig faults;
+  RetryPolicy retry;
+  AdmissionConfig admission;
 };
 
 // One serving run as a value: everything `simulate` needs, validated at the
@@ -110,8 +122,8 @@ struct Scenario {
 // Throws `InvalidArgument` naming the bad field: empty fleets, empty
 // catalogs, out-of-range batch policies, bad traffic knobs (non-positive
 // offered QPS / request counts / sessions / think times), explicit-trace
-// requests naming workload indices outside the catalog, and bad autoscaler
-// configs.
+// requests naming workload indices outside the catalog, and bad autoscaler,
+// fault, retry, or admission configs.
 void validate_scenario(const Scenario& scenario);
 
 // Simulates the scenario (`fleet.accelerators` are the initial slots of an

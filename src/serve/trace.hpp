@@ -30,6 +30,12 @@ struct Request {
   std::uint32_t seq_len = 0;
   // Closed-loop session that issued the request (kNoSession for open loop).
   std::uint32_t session = kNoSession;
+  // Retry attempt index (0: first issue).  Retried requests keep their id and
+  // bump this; `arrival_s` moves to the re-issue instant while
+  // `first_arrival_s` keeps the client-perceived start (the simulator scores
+  // latency from it).
+  std::uint32_t attempt = 0;
+  double first_arrival_s = 0.0;
 };
 
 enum class ArrivalProcess { kPoisson, kBursty };

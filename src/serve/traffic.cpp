@@ -50,7 +50,7 @@ Request OpenLoopSource::pop_arrival() {
   return (*trace_)[next_++];
 }
 
-void OpenLoopSource::on_complete(const Request&, double) {}
+void OpenLoopSource::on_complete(const Request&, double, CompletionStatus) {}
 
 void OpenLoopSource::finish(FleetMetrics&) {}
 
@@ -124,7 +124,10 @@ Request ClosedLoopSource::pop_arrival() {
   return r;
 }
 
-void ClosedLoopSource::on_complete(const Request& request, double time_s) {
+void ClosedLoopSource::on_complete(const Request& request, double time_s,
+                                   CompletionStatus /*status*/) {
+  // A shed or timed-out request still unblocks its session: the client saw a
+  // terminal answer (fast rejection or deadline expiry) and moves on.
   if (request.session == Request::kNoSession) return;
   LUMOS_EXPECTS(request.session < sessions_.size());
   Session& s = sessions_[request.session];

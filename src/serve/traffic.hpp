@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "common/rng.hpp"
+#include "serve/faults.hpp"
 #include "serve/metrics.hpp"
 #include "serve/trace.hpp"
 #include "serve/workload.hpp"
@@ -75,11 +76,15 @@ class TrafficSource {
   // finite).  Ids are assigned in pop (arrival) order.
   [[nodiscard]] virtual Request pop_arrival() = 0;
 
-  // Feedback hook: `request` completed at `time_s`.  The event loop calls
-  // this in deterministic completion order — (time, dispatch seq), batch
-  // order within a batch — before pulling further arrivals, so sources may
-  // schedule new arrivals at or after `time_s`.
-  virtual void on_complete(const Request& request, double time_s) = 0;
+  // Feedback hook: `request` reached its terminal state at `time_s` —
+  // completed (kOk), rejected by admission (kShed), or timed out with no
+  // retry budget left (kTimeout).  Exactly one call per logical request
+  // (retried attempts are not terminal).  The event loop calls this in
+  // deterministic order — (time, dispatch seq), batch order within a batch —
+  // before pulling further arrivals, so sources may schedule new arrivals at
+  // or after `time_s`.
+  virtual void on_complete(const Request& request, double time_s,
+                           CompletionStatus status) = 0;
 
   // Writes source-side results (session counts and latencies) into `metrics`
   // once the loop has drained.  Open-loop sources report nothing.
@@ -99,7 +104,7 @@ class OpenLoopSource final : public TrafficSource {
   [[nodiscard]] std::size_t total_requests() const noexcept override;
   [[nodiscard]] double next_arrival_time() const noexcept override;
   [[nodiscard]] Request pop_arrival() override;
-  void on_complete(const Request& request, double time_s) override;
+  void on_complete(const Request& request, double time_s, CompletionStatus status) override;
   void finish(FleetMetrics& metrics) override;
 
  private:
@@ -117,7 +122,7 @@ class ClosedLoopSource final : public TrafficSource {
   [[nodiscard]] std::size_t total_requests() const noexcept override;
   [[nodiscard]] double next_arrival_time() const noexcept override;
   [[nodiscard]] Request pop_arrival() override;
-  void on_complete(const Request& request, double time_s) override;
+  void on_complete(const Request& request, double time_s, CompletionStatus status) override;
   void finish(FleetMetrics& metrics) override;
 
  private:

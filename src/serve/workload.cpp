@@ -56,7 +56,7 @@ void WorkloadCatalog::add(arch::Workload workload, double weight) {
     throw InvalidArgument("mix_weight for workload '" + workload.name() +
                           "' must be positive and finite, got " + std::to_string(weight));
   }
-  entries_.push_back(CatalogEntry{std::move(workload), weight, 0.0, 0, SeqLenConfig{}});
+  entries_.push_back(CatalogEntry{std::move(workload), weight, 0.0, 0, SeqLenConfig{}, 0.0});
 }
 
 void WorkloadCatalog::add_transformer(std::string name, nn::TransformerConfig config,
@@ -93,6 +93,20 @@ void WorkloadCatalog::set_slo(std::size_t i, double slo_latency_s) {
 void WorkloadCatalog::set_priority(std::size_t i, std::uint32_t priority) {
   LUMOS_EXPECTS(i < entries_.size());
   entries_[i].priority = priority;
+}
+
+void WorkloadCatalog::set_timeout(std::size_t i, double timeout_s) {
+  LUMOS_EXPECTS(i < entries_.size());
+  if (!(timeout_s > 0.0) || !std::isfinite(timeout_s)) {
+    throw InvalidArgument("timeout_s for workload '" + entries_[i].workload.name() +
+                          "' must be positive and finite, got " +
+                          std::to_string(timeout_s));
+  }
+  entries_[i].timeout_s = timeout_s;
+}
+
+void WorkloadCatalog::apply_timeout(double timeout_s) {
+  for (std::size_t i = 0; i < entries_.size(); ++i) set_timeout(i, timeout_s);
 }
 
 void WorkloadCatalog::apply_default_tiers() {

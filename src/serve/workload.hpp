@@ -62,6 +62,7 @@ struct CatalogEntry {
   double slo_latency_s = 0.0;  // per-tenant SLO; 0 falls back to the sim-wide SLO
   std::uint32_t priority = 0;  // strict scheduler tier (lower = more urgent)
   SeqLenConfig seqlen;         // per-request sequence lengths (default: fixed)
+  double timeout_s = 0.0;      // per-request timeout; 0 (default) disables
 };
 
 // The (possibly mixed-kind) workload mix a fleet serves.
@@ -79,6 +80,12 @@ class WorkloadCatalog {
   // latencies with `InvalidArgument` naming the workload.
   void set_slo(std::size_t i, double slo_latency_s);
   void set_priority(std::size_t i, std::uint32_t priority);
+  // Per-request timeout of entry `i` (queued and in-flight attempts past it
+  // are cancelled; see RetryPolicy for what happens next).  Rejects
+  // non-positive / non-finite timeouts with `InvalidArgument` naming the
+  // workload; `apply_timeout` sets every entry.
+  void set_timeout(std::size_t i, double timeout_s);
+  void apply_timeout(double timeout_s);
   // Two-tier demo assignment: entries with at least mean mix weight (the bulk
   // of traffic, read: interactive tenants) get tier 0, the rest tier 1.
   void apply_default_tiers();

@@ -62,7 +62,7 @@ TEST(TrafficSource, OpenLoopPopsTraceInOrderAndExhausts) {
   EXPECT_EQ(source.total_requests(), 3u);
   EXPECT_EQ(source.next_arrival_time(), 0.1);
   EXPECT_EQ(source.pop_arrival().id, 0u);
-  source.on_complete(trace[0], 1.0);  // open loop ignores feedback
+  source.on_complete(trace[0], 1.0, CompletionStatus::kOk);  // open loop ignores feedback
   EXPECT_EQ(source.next_arrival_time(), 0.2);
   EXPECT_EQ(source.pop_arrival().id, 1u);
   EXPECT_EQ(source.pop_arrival().id, 2u);
@@ -86,7 +86,7 @@ TEST(TrafficSource, ClosedLoopIssuesOnePerSessionUntilCompletionFeedback) {
   }
   ASSERT_EQ(in_flight.size(), 4u);
   // Sessions wait for completions: nothing pending until feedback arrives.
-  source.on_complete(in_flight[0], 1.0);
+  source.on_complete(in_flight[0], 1.0, CompletionStatus::kOk);
   EXPECT_FALSE(std::isinf(source.next_arrival_time()));
   EXPECT_GE(source.next_arrival_time(), 1.0);  // completion + think
   const Request second = source.pop_arrival();

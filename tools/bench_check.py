@@ -38,11 +38,15 @@ DET_POINT_FIELDS = [
     "p999_latency_s", "mean_queue_depth", "peak_queue_depth", "mean_batch",
     "energy_per_request_j", "fleet_energy_j", "utilization", "peak_fleet",
     "final_fleet", "mean_fleet", "autoscale_grows", "autoscale_shrinks",
+    # Robustness counters (PR 6): seeded fault injection, timeouts/retries,
+    # and admission shedding are all bit-reproducible by contract.
+    "shed", "timed_out", "retries", "failed_batches", "requeued",
+    "slot_failures", "availability", "drop_rate",
 ]
 DET_HEADLINE_FIELDS = ["p99_latency_s", "goodput_qps"]
 DET_TENANT_FIELDS = [
     "priority", "slo_latency_s", "completed", "slo_attainment", "goodput_qps",
-    "p50_latency_s", "p99_latency_s",
+    "p50_latency_s", "p99_latency_s", "shed", "timed_out", "drop_rate",
 ]
 # Closed-loop scenario entries: per-request tails plus end-to-end session
 # latencies and the cache counters (all bit-reproducible by contract).
@@ -145,39 +149,47 @@ def check_serve(baseline, current, time_tol, det_tol, errors):
                     f"{base[field]:.0f} (tolerance {time_tol}x)"
                 )
 
-    cur_campaigns = {c["campaign"]: c for c in current.get("campaigns", [])}
-    for base_campaign in baseline.get("campaigns", []):
-        name = base_campaign["campaign"]
-        cur_campaign = cur_campaigns.get(name)
-        if cur_campaign is None:
-            errors.append(f"serve: campaign '{name}' missing from current results")
-            continue
-        base_points = base_campaign.get("points", [])
-        cur_points = cur_campaign.get("points", [])
-        if len(base_points) != len(cur_points):
-            errors.append(
-                f"serve campaign '{name}': point count changed "
-                f"({len(base_points)} -> {len(cur_points)})"
-            )
-            continue
-        for i, (base, cur) in enumerate(zip(base_points, cur_points)):
-            what = f"serve campaign '{name}' point {i}"
-            for key in ("fleet", "scheduler", "max_batch", "autoscaler"):
-                if key in base and base.get(key) != cur.get(key):
-                    errors.append(
-                        f"{what}: grid key '{key}' changed "
-                        f"({base.get(key)} -> {cur.get(key)})"
-                    )
-            check_det(what, base, cur, DET_POINT_FIELDS, det_tol, errors)
-            base_tenants = base.get("tenants", [])
-            cur_tenants = {t["name"]: t for t in cur.get("tenants", [])}
-            for tenant in base_tenants:
-                cur_tenant = cur_tenants.get(tenant["name"])
-                if cur_tenant is None:
-                    errors.append(f"{what}: tenant '{tenant['name']}' missing")
-                    continue
-                check_det(f"{what} tenant '{tenant['name']}'", tenant, cur_tenant,
-                          DET_TENANT_FIELDS, det_tol, errors)
+    # Both campaign-shaped sections share one checker: the ordinary saturation
+    # sweeps and the overload_faults robustness sweep (shed / retry /
+    # availability counters gated at det tolerance like every other
+    # deterministic field).
+    for section in ("campaigns", "overload_faults"):
+        cur_campaigns = {c["campaign"]: c for c in current.get(section, [])}
+        for base_campaign in baseline.get(section, []):
+            name = base_campaign["campaign"]
+            cur_campaign = cur_campaigns.get(name)
+            if cur_campaign is None:
+                errors.append(
+                    f"serve: {section} campaign '{name}' missing from current results"
+                )
+                continue
+            base_points = base_campaign.get("points", [])
+            cur_points = cur_campaign.get("points", [])
+            if len(base_points) != len(cur_points):
+                errors.append(
+                    f"serve campaign '{name}': point count changed "
+                    f"({len(base_points)} -> {len(cur_points)})"
+                )
+                continue
+            for i, (base, cur) in enumerate(zip(base_points, cur_points)):
+                what = f"serve campaign '{name}' point {i}"
+                for key in ("fleet", "scheduler", "max_batch", "autoscaler",
+                            "admission", "fault_mtbf_s"):
+                    if key in base and base.get(key) != cur.get(key):
+                        errors.append(
+                            f"{what}: grid key '{key}' changed "
+                            f"({base.get(key)} -> {cur.get(key)})"
+                        )
+                check_det(what, base, cur, DET_POINT_FIELDS, det_tol, errors)
+                base_tenants = base.get("tenants", [])
+                cur_tenants = {t["name"]: t for t in cur.get("tenants", [])}
+                for tenant in base_tenants:
+                    cur_tenant = cur_tenants.get(tenant["name"])
+                    if cur_tenant is None:
+                        errors.append(f"{what}: tenant '{tenant['name']}' missing")
+                        continue
+                    check_det(f"{what} tenant '{tenant['name']}'", tenant, cur_tenant,
+                              DET_TENANT_FIELDS, det_tol, errors)
 
 
 def run_check(baseline, current, time_tol, det_tol):
@@ -205,6 +217,8 @@ def inject_regression(data):
         perturbed["campaigns"][0]["points"][0]["p99_latency_s"] *= 1.5
         if perturbed.get("closed_loop"):
             perturbed["closed_loop"][0]["p99_session_s"] *= 1.5
+        if perturbed.get("overload_faults"):
+            perturbed["overload_faults"][0]["points"][0]["availability"] *= 0.5
     return perturbed
 
 
@@ -226,6 +240,16 @@ def self_test(baseline, time_tol, det_tol):
         closed_only["closed_loop"][0]["p99_session_s"] *= 1.5
         if not run_check(baseline, closed_only, time_tol, det_tol):
             print("bench_check self-test FAILED: closed-loop regression was not detected")
+            return 1
+    if baseline.get("overload_faults"):
+        # The overload_faults section must be gated on its own too: an
+        # availability regression (more down slot-time than the seeded fault
+        # process should produce) has to trip the gate by itself.
+        avail_only = copy.deepcopy(baseline)
+        avail_only["overload_faults"][0]["points"][0]["availability"] *= 0.5
+        if not run_check(baseline, avail_only, time_tol, det_tol):
+            print("bench_check self-test FAILED: overload_faults availability "
+                  "regression was not detected")
             return 1
     print(f"bench_check self-test OK: baseline passes, injected regression "
           f"caught ({len(dirty)} finding(s))")
