@@ -23,6 +23,7 @@
 
 #include "common/json.hpp"
 #include "common/parallel.hpp"
+#include "common/provenance.hpp"
 #include "ghost/accelerator.hpp"
 #include "graph/generators.hpp"
 #include "graph/partition.hpp"
@@ -229,6 +230,7 @@ bool write_json(const std::vector<BenchResult>& results, const std::string& path
                 bool smoke) {
   std::ofstream f(path);
   f << "{\n  \"bench\": \"kernels\",\n";
+  f << "  " << provenance_json(ThreadPool::global().thread_count()) << ",\n";
   f << "  \"smoke\": " << (smoke ? "true" : "false") << ",\n";
   f << "  \"threads\": " << ThreadPool::global().thread_count() << ",\n";
   f << "  \"results\": [\n";

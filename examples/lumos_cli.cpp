@@ -62,6 +62,27 @@
 //                        control consulted at every arrival
 //     --queue-cap <n>    queue bound for queue-cap / tier-shed admission
 //                        (default 256; needs --admission)
+//     --percentiles <m>  exact | hdr: latency percentile computation (default
+//                        exact); hdr uses a bounded-relative-error
+//                        log-bucketed histogram (see --hdr-error)
+//     --hdr-error <x>    hdr relative-error bound in (0, 1) (default 0.01;
+//                        needs --percentiles hdr)
+//     --trace-out <p>    write a Chrome trace_event JSON of the run to <p>
+//                        (lifecycle tracer; open in chrome://tracing or
+//                        https://ui.perfetto.dev)
+//     --trace-sample <x> fraction of requests traced, in [0, 1] (default 1;
+//                        needs --trace-out)
+//     --timeline-out <p> write windowed time-series metrics to <p> (.json
+//                        extension -> JSON, anything else -> CSV)
+//     --window-us <n>    timeline window width in us (default 1000; needs
+//                        --timeline-out)
+//     --profile          event-loop self-profile (events + wall time per
+//                        event source), printed as a table / JSON member
+//
+//   Observability (--trace-out / --timeline-out / --profile) runs a single
+//   simulation instead of a campaign sweep; the open-loop scenario matches
+//   campaign grid point 0 exactly (same derived seed), so the traced run
+//   reproduces the first sweep point bit-for-bit.
 //
 //   --json anywhere switches to machine-readable output.
 //
@@ -76,9 +97,11 @@
 //   lumos_cli serve tron --seqlen-dist lognormal --qps 20000
 #include <cerrno>
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <limits>
 #include <memory>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -88,6 +111,7 @@
 #include "common/units.hpp"
 #include "serve/campaign.hpp"
 #include "serve/names.hpp"
+#include "serve/observe.hpp"
 #include "sim/registry.hpp"
 
 namespace {
@@ -164,7 +188,10 @@ int usage() {
                    "            [--min-fleet n] [--max-fleet n] [--grow-scale x]\n"
                    "            [--mtbf-us n] [--mttr-us n] [--timeout-us n] [--retries n]\n"
                    "            [--admission none|queue-cap|tier-shed|slo-aware] "
-                   "[--queue-cap n]\n";
+                   "[--queue-cap n]\n"
+                   "            [--percentiles exact|hdr] [--hdr-error x]\n"
+                   "            [--trace-out p] [--trace-sample x] [--timeline-out p]\n"
+                   "            [--window-us n] [--profile]\n";
   return 2;
 }
 
@@ -218,7 +245,8 @@ int run_list(bool json) {
     print_names_json("loop_modes", serve::loop_mode_names(), false);
     print_names_json("seqlen_dists", serve::seqlen_dist_names(), false);
     print_names_json("admission_policies", serve::admission_names(), false);
-    print_names_json("completion_statuses", serve::completion_status_names(), true);
+    print_names_json("completion_statuses", serve::completion_status_names(), false);
+    print_names_json("percentile_modes", serve::percentile_mode_names(), true);
     std::cout << "}\n";
   } else {
     std::cout << "transformer models : " << sim::joined_names(sim::transformer_names())
@@ -234,18 +262,84 @@ int run_list(bool json) {
               << "\nseqlen dists       : " << sim::joined_names(serve::seqlen_dist_names())
               << "\nadmission policies : " << sim::joined_names(serve::admission_names())
               << "\ncompletion statuses: "
-              << sim::joined_names(serve::completion_status_names()) << "\n";
+              << sim::joined_names(serve::completion_status_names())
+              << "\npercentile modes   : "
+              << sim::joined_names(serve::percentile_mode_names()) << "\n";
   }
   return 0;
+}
+
+bool has_suffix(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+// Observation output destinations: where the tracer / timeline exports land.
+// Empty paths mean the matching observer is off.
+struct ObserveOut {
+  std::string trace_path;
+  std::string timeline_path;
+};
+
+// `"profile": {...}` JSON member for the event-loop self-profile (no
+// surrounding comma).
+std::string profile_json(const serve::EventLoopProfiler& p) {
+  std::ostringstream os;
+  os << "\"profile\": {\"iterations\": " << p.iterations()
+     << ", \"accounted_wall_s\": " << p.accounted_wall_s() << ", \"sources\": [";
+  for (std::size_t i = 0; i < static_cast<std::size_t>(serve::LoopSource::kCount); ++i) {
+    const auto src = static_cast<serve::LoopSource>(i);
+    os << (i == 0 ? "" : ", ") << "{\"source\": \""
+       << json_escape(serve::loop_source_name(src)) << "\", \"events\": " << p.events(src)
+       << ", \"wall_s\": " << p.wall_s(src) << "}";
+  }
+  os << "]}";
+  return os.str();
+}
+
+// Writes the run's trace / timeline files and (text mode) the profile table.
+// JSON-mode callers splice `profile_json` into their own object instead so
+// stdout stays one well-formed JSON value.
+void export_observation(const serve::Observation& obs, const ObserveOut& out, bool json) {
+  if (obs.tracer) {
+    std::ofstream f(out.trace_path);
+    if (!f) throw InvalidArgument("cannot open --trace-out path: " + out.trace_path);
+    obs.tracer->write_chrome_trace(f);
+  }
+  if (obs.timeline) {
+    std::ofstream f(out.timeline_path);
+    if (!f) throw InvalidArgument("cannot open --timeline-out path: " + out.timeline_path);
+    if (has_suffix(out.timeline_path, ".json")) {
+      obs.timeline->write_json(f);
+    } else {
+      obs.timeline->write_csv(f);
+    }
+  }
+  if (obs.profiler && !json) {
+    obs.profiler->to_table("event-loop profile").print(std::cout);
+  }
+}
+
+// `"trace": {...}` JSON member summarising the tracer's buffers.
+std::string trace_summary_json(const serve::LifecycleTracer& t) {
+  std::ostringstream os;
+  os << "\"trace\": {\"sampled_requests\": " << t.sampled_requests()
+     << ", \"request_events\": " << t.request_events().size()
+     << ", \"batch_spans\": " << t.batch_spans().size()
+     << ", \"dropped_requests\": " << t.dropped_requests()
+     << ", \"dropped_batch_spans\": " << t.dropped_batch_spans() << "}";
+  return os.str();
 }
 
 // Closed-loop runs bypass the (offered-QPS-sweeping) campaign machinery: one
 // Scenario, one simulate, metric + tenant tables or a flat JSON object.
 int run_closed_loop(serve::Scenario scenario, const serve::ClosedLoopConfig& closed,
-                    bool priority, bool json) {
+                    bool priority, bool json, const ObserveOut& out) {
   scenario.traffic.mode = serve::LoopMode::kClosed;
   scenario.traffic.closed = closed;
-  const serve::FleetMetrics m = serve::simulate(scenario);
+  serve::Observation obs;
+  const serve::FleetMetrics m =
+      serve::simulate(scenario, scenario.observe.enabled() ? &obs : nullptr);
   if (json) {
     std::cout << "{\n"
               << "  \"fleet\": \"" << json_escape(scenario.fleet.label()) << "\",\n"
@@ -269,12 +363,81 @@ int run_closed_loop(serve::Scenario scenario, const serve::ClosedLoopConfig& clo
               << "  \"timed_out\": " << m.timed_out_requests << ",\n"
               << "  \"retries\": " << m.retried_attempts << ",\n"
               << "  \"drop_rate\": " << m.drop_rate << ",\n"
-              << "  \"availability\": " << m.fleet_availability << "\n"
-              << "}\n";
+              << "  \"availability\": " << m.fleet_availability;
+    if (obs.tracer) std::cout << ",\n  " << trace_summary_json(*obs.tracer);
+    if (obs.timeline) std::cout << ",\n  \"timeline_windows\": " << obs.timeline->windows().size();
+    if (obs.profiler) std::cout << ",\n  " << profile_json(*obs.profiler);
+    std::cout << "\n}\n";
   } else {
     m.to_table(scenario.fleet.label() + " closed-loop serve").print(std::cout);
     if (priority) m.tenant_table("per-tenant breakdown").print(std::cout);
   }
+  export_observation(obs, out, json);
+  return 0;
+}
+
+// Observed open-loop runs also bypass the campaign: one Scenario built to
+// match campaign grid point 0 (same derived trace seed), simulated directly
+// so the observers can be handed back and exported.
+int run_open_observed(const serve::CampaignConfig& cfg, const serve::WorkloadCatalog& catalog,
+                      double qps, std::size_t fleet, std::size_t max_batch, bool priority,
+                      const serve::ObserveConfig& observe, const ObserveOut& out, bool json) {
+  serve::Scenario scenario;
+  scenario.fleet = serve::FleetConfig::cycled(cfg.fleet_template, fleet, cfg.routing);
+  scenario.catalog = catalog;
+  scenario.scheduler = cfg.schedulers.front();
+  // Campaign FIFO points pin max_batch to 1; mirror that for bit parity.
+  scenario.batch.max_batch =
+      cfg.schedulers.front() == serve::SchedulerKind::kFifo ? 1 : max_batch;
+  scenario.batch.max_wait_s = cfg.max_wait_s;
+  scenario.sim.slo_scale = cfg.slo_scale;
+  scenario.sim.autoscaler = cfg.autoscale;
+  scenario.sim.autoscaler.policy = cfg.autoscalers.front();
+  scenario.sim.admission = cfg.admission;
+  scenario.sim.admission.policy = cfg.admissions.front();
+  scenario.sim.faults = cfg.faults;
+  scenario.sim.faults.mtbf_s = cfg.fault_mtbfs_s.front();
+  scenario.sim.retry = cfg.retry;
+  scenario.sim.percentile_mode = cfg.percentile_mode;
+  scenario.sim.hdr_relative_error = cfg.hdr_relative_error;
+  scenario.traffic.open.offered_qps = qps;
+  scenario.traffic.open.request_count = cfg.requests_per_point;
+  scenario.traffic.open.process = cfg.process;
+  scenario.traffic.open.seed = cfg.seed + 0x9E3779B9u;  // campaign point 0
+  scenario.observe = observe;
+  serve::Observation obs;
+  const serve::FleetMetrics m = serve::simulate(scenario, &obs);
+  if (json) {
+    std::cout << "{\n"
+              << "  \"fleet\": \"" << json_escape(scenario.fleet.label()) << "\",\n"
+              << "  \"loop\": \"open\",\n"
+              << "  \"offered_qps\": " << qps << ",\n"
+              << "  \"requests\": " << cfg.requests_per_point << ",\n"
+              << "  \"completed\": " << m.completed << ",\n"
+              << "  \"throughput_qps\": " << m.throughput_qps << ",\n"
+              << "  \"goodput_qps\": " << m.goodput_qps << ",\n"
+              << "  \"slo_attainment\": " << m.slo_attainment << ",\n"
+              << "  \"p50_latency_s\": " << m.p50_latency_s << ",\n"
+              << "  \"p99_latency_s\": " << m.p99_latency_s << ",\n"
+              << "  \"p999_latency_s\": " << m.p999_latency_s << ",\n"
+              << "  \"mean_batch\": " << m.mean_batch_size << ",\n"
+              << "  \"fleet_energy_j\": " << m.fleet_energy_j << ",\n"
+              << "  \"shed\": " << m.shed_requests << ",\n"
+              << "  \"timed_out\": " << m.timed_out_requests << ",\n"
+              << "  \"retries\": " << m.retried_attempts << ",\n"
+              << "  \"drop_rate\": " << m.drop_rate << ",\n"
+              << "  \"availability\": " << m.fleet_availability;
+    if (obs.tracer) std::cout << ",\n  " << trace_summary_json(*obs.tracer);
+    if (obs.timeline) std::cout << ",\n  \"timeline_windows\": " << obs.timeline->windows().size();
+    if (obs.profiler) std::cout << ",\n  " << profile_json(*obs.profiler);
+    std::cout << "\n}\n";
+  } else {
+    m.to_table(scenario.fleet.label() + " observed open-loop serve").print(std::cout);
+    if (priority || cfg.autoscalers.front() != serve::AutoscalerPolicy::kNone) {
+      m.tenant_table("per-tenant breakdown").print(std::cout);
+    }
+  }
+  export_observation(obs, out, json);
   return 0;
 }
 
@@ -318,6 +481,11 @@ int run_serve(const std::vector<std::string>& args, bool json) {
   bool mttr_given = false;
   bool retries_given = false;
   bool queue_cap_given = false;
+  serve::ObserveConfig observe;
+  ObserveOut out;
+  bool trace_sample_given = false;
+  bool window_given = false;
+  bool hdr_error_given = false;
   for (std::size_t i = 1; i < args.size(); ++i) {
     const std::string& a = args[i];
     const auto value = [&]() -> const std::string& {
@@ -404,6 +572,36 @@ int run_serve(const std::vector<std::string>& args, bool json) {
       queue_cap_given = true;
       cfg.admission.queue_cap = parse_size(value(), "--queue-cap");
       if (cfg.admission.queue_cap == 0) throw InvalidArgument("--queue-cap must be >= 1");
+    } else if (a == "--percentiles") {
+      cfg.percentile_mode = serve::percentile_mode_from_name(value());
+    } else if (a == "--hdr-error") {
+      hdr_error_given = true;
+      cfg.hdr_relative_error = parse_double(value(), "--hdr-error");
+      if (!(cfg.hdr_relative_error > 0.0 && cfg.hdr_relative_error < 1.0)) {
+        throw InvalidArgument("--hdr-error must be in (0, 1)");
+      }
+    } else if (a == "--trace-out") {
+      out.trace_path = value();
+      if (out.trace_path.empty()) throw InvalidArgument("--trace-out needs a path");
+      observe.trace.enabled = true;
+    } else if (a == "--trace-sample") {
+      trace_sample_given = true;
+      observe.trace.sample = parse_double(value(), "--trace-sample");
+      if (observe.trace.sample < 0.0 || observe.trace.sample > 1.0) {
+        throw InvalidArgument("--trace-sample must be in [0, 1]");
+      }
+    } else if (a == "--timeline-out") {
+      out.timeline_path = value();
+      if (out.timeline_path.empty()) throw InvalidArgument("--timeline-out needs a path");
+      observe.timeline.enabled = true;
+    } else if (a == "--window-us") {
+      window_given = true;
+      observe.timeline.window_s = parse_double(value(), "--window-us") * 1e-6;
+      if (observe.timeline.window_s <= 0.0) {
+        throw InvalidArgument("--window-us must be positive");
+      }
+    } else if (a == "--profile") {
+      observe.profile = true;
     } else {
       throw InvalidArgument("unknown serve flag: " + a);
     }
@@ -431,6 +629,16 @@ int run_serve(const std::vector<std::string>& args, bool json) {
   if (queue_cap_given && cfg.admissions.front() == serve::AdmissionPolicy::kNone) {
     throw InvalidArgument("--queue-cap has no effect without --admission");
   }
+  if (trace_sample_given && !observe.trace.enabled) {
+    throw InvalidArgument("--trace-sample has no effect without --trace-out");
+  }
+  if (window_given && !observe.timeline.enabled) {
+    throw InvalidArgument("--window-us has no effect without --timeline-out");
+  }
+  if (hdr_error_given && cfg.percentile_mode != serve::PercentileMode::kHdr) {
+    throw InvalidArgument("--hdr-error has no effect without --percentiles hdr");
+  }
+  observe.trace.seed = cfg.seed;
   if (timeout_s > 0.0) catalog.apply_timeout(timeout_s);
   cfg.fault_mtbfs_s = {mtbf_s};
   if (max_batch > serve::BatchPolicy::kMaxBatchLimit || fleet > 4096) {
@@ -477,7 +685,10 @@ int run_serve(const std::vector<std::string>& args, bool json) {
     scenario.sim.retry = cfg.retry;
     scenario.sim.admission = cfg.admission;
     scenario.sim.admission.policy = cfg.admissions.front();
-    return run_closed_loop(std::move(scenario), closed, priority, json);
+    scenario.sim.percentile_mode = cfg.percentile_mode;
+    scenario.sim.hdr_relative_error = cfg.hdr_relative_error;
+    scenario.observe = observe;
+    return run_closed_loop(std::move(scenario), closed, priority, json, out);
   }
 
   if (qps <= 0.0) {
@@ -488,6 +699,11 @@ int run_serve(const std::vector<std::string>& args, bool json) {
                     capacity_batch);
   }
   cfg.qps = {qps};
+
+  if (observe.enabled()) {
+    return run_open_observed(cfg, catalog, qps, fleet, max_batch, priority, observe, out,
+                             json);
+  }
 
   const std::vector<serve::CampaignPoint> points = serve::run_campaign(cfg, catalog);
   if (json) {

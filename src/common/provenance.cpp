@@ -1,0 +1,36 @@
+#include "common/provenance.hpp"
+
+#include "common/json.hpp"
+
+namespace lumos {
+
+std::string build_compiler() {
+#if defined(__clang__)
+  const char* id = "clang";
+#elif defined(__GNUC__)
+  const char* id = "gcc";
+#else
+  const char* id = "unknown";
+#endif
+#if defined(__VERSION__)
+  return std::string(id) + " " + __VERSION__;
+#else
+  return id;
+#endif
+}
+
+std::string build_type() {
+#if defined(NDEBUG)
+  return "release";
+#else
+  return "debug";
+#endif
+}
+
+std::string provenance_json(std::size_t threads) {
+  return "\"provenance\": {\"schema_version\": " + std::to_string(kBenchSchemaVersion) +
+         ", \"compiler\": \"" + json_escape(build_compiler()) + "\", \"build_type\": \"" +
+         json_escape(build_type()) + "\", \"threads\": " + std::to_string(threads) + "}";
+}
+
+}  // namespace lumos

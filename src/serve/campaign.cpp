@@ -230,6 +230,8 @@ std::vector<CampaignPoint> run_campaign(const CampaignConfig& config,
       scenario.sim.faults = config.faults;
       scenario.sim.faults.mtbf_s = p.fault_mtbf_s;
       scenario.sim.retry = config.retry;
+      scenario.sim.percentile_mode = config.percentile_mode;
+      scenario.sim.hdr_relative_error = config.hdr_relative_error;
       scenario.traffic.open.offered_qps = p.qps;
       scenario.traffic.open.request_count = config.requests_per_point;
       scenario.traffic.open.process = config.process;

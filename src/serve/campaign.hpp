@@ -44,6 +44,11 @@ struct CampaignConfig {
   FaultConfig faults;
   // Retry policy applied at every grid point (default: no retries).
   RetryPolicy retry;
+  // Percentile computation at every grid point (see PercentileMode): kExact
+  // (default, bit-identical) or the bounded-error kHdr sketch for huge
+  // per-point request counts.
+  PercentileMode percentile_mode = PercentileMode::kExact;
+  double hdr_relative_error = 0.01;
   double max_wait_s = 2e-3;
   std::size_t requests_per_point = 100000;
   ArrivalProcess process = ArrivalProcess::kPoisson;

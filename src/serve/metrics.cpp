@@ -48,8 +48,12 @@ Table FleetMetrics::to_table(const std::string& title) const {
   t.add_row({"estimate lookups", std::to_string(estimate_lookups)});
   t.add_row({"estimate misses", std::to_string(estimate_misses)});
   t.add_row({"estimate hit rate", Table::num(estimate_hit_rate(), 4)});
-  if (shed_requests > 0 || timed_out_requests > 0 || retried_attempts > 0 ||
-      slot_failures > 0) {
+  // Robustness section only when some robustness machinery actually fired:
+  // fault-free, admission-free, timeout-free runs keep the compact table.
+  // Every counter is in the gate so no nonzero row can ever be suppressed.
+  if (shed_requests > 0 || timed_out_requests > 0 || attempt_timeouts > 0 ||
+      retried_attempts > 0 || failed_batches > 0 || requeued_requests > 0 ||
+      slot_failures > 0 || slot_recoveries > 0) {
     t.add_row({"shed (admission)", std::to_string(shed_requests)});
     t.add_row({"timed out", std::to_string(timed_out_requests)});
     t.add_row({"attempt timeouts", std::to_string(attempt_timeouts)});

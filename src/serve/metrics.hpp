@@ -17,6 +17,17 @@ namespace lumos::serve {
 // 0 for an empty vector.
 [[nodiscard]] double percentile(std::vector<double>& samples, double q);
 
+// How a simulation computes its latency percentiles (SimConfig.percentile_mode).
+// kExact stores and sorts every latency sample (bit-identical to the
+// historical path, the default); kHdr streams samples into a bounded-error
+// `lumos::HdrHistogram` (SimConfig.hdr_relative_error) so percentile memory
+// stops scaling with request count — the 100M-request-scale path.  Mean, max,
+// and every counter stay exact in both modes.
+enum class PercentileMode {
+  kExact,
+  kHdr,
+};
+
 // Per-tenant slice of a simulation: one catalog entry's completions scored
 // against that entry's own SLO (falling back to the simulation-wide SLO when
 // the entry does not set one).

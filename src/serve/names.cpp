@@ -52,6 +52,11 @@ constexpr EnumName<CompletionStatus> kCompletionStatusNames[] = {
     {CompletionStatus::kTimeout, "timeout"},
 };
 
+constexpr EnumName<PercentileMode> kPercentileModeNames[] = {
+    {PercentileMode::kExact, "exact"},
+    {PercentileMode::kHdr, "hdr"},
+};
+
 }  // namespace
 
 const char* process_name(ArrivalProcess process) noexcept {
@@ -118,6 +123,16 @@ CompletionStatus completion_status_from_name(const std::string& name) {
 }
 std::vector<std::string> completion_status_names() {
   return enum_name_list(kCompletionStatusNames);
+}
+
+const char* percentile_mode_name(PercentileMode mode) noexcept {
+  return enum_to_name(kPercentileModeNames, mode);
+}
+PercentileMode percentile_mode_from_name(const std::string& name) {
+  return enum_from_name(kPercentileModeNames, name, "percentile mode");
+}
+std::vector<std::string> percentile_mode_names() {
+  return enum_name_list(kPercentileModeNames);
 }
 
 }  // namespace lumos::serve

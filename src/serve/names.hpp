@@ -52,4 +52,8 @@ namespace lumos::serve {
 [[nodiscard]] CompletionStatus completion_status_from_name(const std::string& name);
 [[nodiscard]] std::vector<std::string> completion_status_names();
 
+[[nodiscard]] const char* percentile_mode_name(PercentileMode mode) noexcept;
+[[nodiscard]] PercentileMode percentile_mode_from_name(const std::string& name);
+[[nodiscard]] std::vector<std::string> percentile_mode_names();
+
 }  // namespace lumos::serve

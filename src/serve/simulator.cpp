@@ -1,11 +1,13 @@
 #include "serve/simulator.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 #include <memory>
 
 #include "arch/registry.hpp"
 #include "common/error.hpp"
+#include "common/stats.hpp"
 
 namespace lumos::serve {
 
@@ -138,6 +140,12 @@ void validate_scenario(const Scenario& scenario) {
   validate_faults(scenario.sim.faults);
   validate_retry(scenario.sim.retry);
   validate_admission(scenario.sim.admission);
+  validate_observe(scenario.observe);
+  if (scenario.sim.percentile_mode == PercentileMode::kHdr &&
+      (!(scenario.sim.hdr_relative_error > 0.0) || scenario.sim.hdr_relative_error >= 1.0 ||
+       !std::isfinite(scenario.sim.hdr_relative_error))) {
+    throw InvalidArgument("Scenario.sim: SimConfig.hdr_relative_error must be in (0, 1)");
+  }
   if (!scenario.trace.empty()) {
     for (const Request& r : scenario.trace) {
       if (r.workload >= scenario.catalog.size()) {
@@ -161,7 +169,7 @@ void validate_scenario(const Scenario& scenario) {
   }
 }
 
-FleetMetrics simulate(const Scenario& scenario) {
+FleetMetrics simulate(const Scenario& scenario, Observation* observation) {
   validate_scenario(scenario);
   const FleetConfig& fleet = scenario.fleet;
   const WorkloadCatalog& catalog = scenario.catalog;
@@ -177,6 +185,20 @@ FleetMetrics simulate(const Scenario& scenario) {
   const std::unique_ptr<Autoscaler> scaler = make_autoscaler(sim.autoscaler);
   const std::unique_ptr<AdmissionController> admission = make_admission(sim.admission);
   const RetryPolicy& retry = sim.retry;
+
+  // Observability: a null hub for unobserved runs keeps every hook site one
+  // pointer test, so the disabled default stays bit-identical and overhead-
+  // free.  The profiler is the only observer that reads a real clock.
+  std::unique_ptr<ObserverHub> hub;
+  if (scenario.observe.enabled()) {
+    hub = std::make_unique<ObserverHub>(scenario.observe, catalog);
+  }
+  ObserverHub* const obs = hub.get();
+  EventLoopProfiler* const prof = obs ? obs->profiler() : nullptr;
+  using ProfClock = EventLoopProfiler::Clock;
+  const auto prof_now = [&]() {
+    return prof ? ProfClock::now() : ProfClock::time_point{};
+  };
 
   // One estimate cache per distinct spec name; fleet slots share caches.
   // Families are the distinct initial spec names in first-appearance order —
@@ -211,6 +233,11 @@ FleetMetrics simulate(const Scenario& scenario) {
     s.cache = family_cache[f];
     s.family = f;
     slots.push_back(std::move(s));
+  }
+  if (obs) {
+    for (std::size_t i = 0; i < slots.size(); ++i) {
+      obs->on_slot_added(i, fleet.accelerators[i], 0.0);
+    }
   }
   // Grown slots may use a scaled registry variant of the family's spec; build
   // those caches up front so the cache vector is stable during the loop.
@@ -320,7 +347,15 @@ FleetMetrics simulate(const Scenario& scenario) {
   std::size_t within_slo = 0;
   double dispatched_energy_j = 0.0;
   double depth_time = 0.0;
-  std::vector<std::vector<double>> tenant_latencies(catalog.size());
+  // Latency samples: the exact mode stores every sample per tenant (sorted at
+  // the end — the historical bit-identical path); kHdr streams them into
+  // bounded-error sketches instead, so memory stays flat at 100M-request
+  // scale.  `tenant_completed` counts completions in both modes.
+  const bool hdr = sim.percentile_mode == PercentileMode::kHdr;
+  std::vector<std::vector<double>> tenant_latencies(hdr ? 0 : catalog.size());
+  std::vector<HdrHistogram> tenant_hist(
+      hdr ? catalog.size() : 0, HdrHistogram(hdr ? sim.hdr_relative_error : 0.01));
+  std::vector<std::size_t> tenant_completed(catalog.size(), 0);
   std::vector<double> tenant_sum(catalog.size(), 0.0);
   std::vector<double> tenant_max(catalog.size(), 0.0);
   std::vector<std::size_t> tenant_within(catalog.size(), 0);
@@ -379,17 +414,25 @@ FleetMetrics simulate(const Scenario& scenario) {
   // left) or terminates as kTimeout.
   const auto handle_timed_out_attempt = [&](const Request& req, double now_s) {
     ++m.attempt_timeouts;
-    if (static_cast<std::size_t>(req.attempt) + 1 < retry.max_attempts) {
+    const bool will_retry =
+        static_cast<std::size_t>(req.attempt) + 1 < retry.max_attempts;
+    if (obs) obs->on_attempt_timeout(req, now_s, will_retry);
+    if (will_retry) {
       Request again = req;
       ++again.attempt;
       again.arrival_s = now_s + retry_backoff_s(retry, again.id, again.attempt);
       ++m.retried_attempts;
+      if (obs) obs->on_retry(again, now_s, again.arrival_s);
       retry_heap.push_back({again.arrival_s, retry_seq++, std::move(again)});
       std::push_heap(retry_heap.begin(), retry_heap.end(), RetryLater{});
     } else {
       ++m.timed_out_requests;
       ++tenant_timed_out[req.workload];
       ++terminal;
+      if (obs) {
+        obs->on_complete(req, now_s, CompletionStatus::kTimeout,
+                         now_s - req.first_arrival_s, false);
+      }
       source->on_complete(req, now_s, CompletionStatus::kTimeout);
     }
   };
@@ -417,10 +460,16 @@ FleetMetrics simulate(const Scenario& scenario) {
   // Routes one arriving request (fresh or retried) through admission into the
   // scheduler, or terminates it as kShed.
   const auto accept_arrival = [&](const Request& r, double now_s) {
-    if (admission && !admit(r)) {
+    const bool admitted = !admission || admit(r);
+    if (obs) obs->on_admission(r, now_s, admitted);
+    if (!admitted) {
       ++m.shed_requests;
       ++tenant_shed[r.workload];
       ++terminal;
+      if (obs) {
+        obs->on_complete(r, now_s, CompletionStatus::kShed, now_s - r.first_arrival_s,
+                         false);
+      }
       source->on_complete(r, now_s, CompletionStatus::kShed);
       return;
     }
@@ -433,8 +482,10 @@ FleetMetrics simulate(const Scenario& scenario) {
     for (;;) {
       if (!any_dispatchable()) return;
       const WorkloadMask mask = current_mask();
+      const auto t_pop = prof_now();
       if (!sched->ready(now_s, mask)) return;
       std::vector<Request> batch = sched->pop(now_s, mask);
+      if (prof) prof->record(LoopSource::kSchedulerPop, t_pop, 1);
       LUMOS_ENSURES(!batch.empty());
       const std::uint32_t workload = batch.front().workload;
       queued_by_workload[workload] -= batch.size();
@@ -463,6 +514,8 @@ FleetMetrics simulate(const Scenario& scenario) {
         }
       }
       LUMOS_ENSURES(chosen != kNone);
+      std::uint64_t estimate_calls = 1;  // the pricing call below
+      const auto t_est = prof_now();
       if (fleet.routing == RoutingPolicy::kEnergyAware) {
         double best_j = kNever;
         for (const std::size_t i : live) {
@@ -471,6 +524,7 @@ FleetMetrics simulate(const Scenario& scenario) {
           }
           const double j =
               caches[slots[i].cache].estimate(workload, batch.size(), seq_len).total_energy_j;
+          ++estimate_calls;
           if (j < best_j) {
             best_j = j;
             chosen = i;
@@ -478,6 +532,7 @@ FleetMetrics simulate(const Scenario& scenario) {
         }
       }
       const PerfReport& r = caches[slots[chosen].cache].estimate(workload, batch.size(), seq_len);
+      if (prof) prof->record(LoopSource::kEstimate, t_est, estimate_calls);
       Slot& sl = slots[chosen];
       sl.idle = false;
       sl.busy_s += r.latency_s;
@@ -488,29 +543,43 @@ FleetMetrics simulate(const Scenario& scenario) {
       sl.inflight_start_s = now_s;
       sl.inflight_done_s = now_s + r.latency_s;
       sl.inflight_energy_j = r.total_energy_j;
+      if (obs) obs->on_dispatch(chosen, dispatch_seq, sl.inflight, now_s, sl.inflight_done_s);
       heap.push_back({sl.inflight_done_s, dispatch_seq, chosen});
       ++dispatch_seq;
       std::push_heap(heap.begin(), heap.end(), CompletionLater{});
     }
   };
 
-  // Applies every pending fault transition up to `now_s`.  A failure aborts
-  // the slot's in-flight batch (partial busy/energy accounting, requests
-  // requeued) and hides the slot from routing; a draining slot that fails
-  // retires on the spot (its batch was going to be its last anyway).
-  const auto process_faults = [&](double now_s) {
+  // Live failed-slot count for the observer gauge; kept incrementally so the
+  // on_tick hook never scans the fleet.
+  std::size_t failed_total = 0;
+
+  // Applies every pending fault transition up to `now_s`; returns how many it
+  // applied.  A failure aborts the slot's in-flight batch (partial
+  // busy/energy accounting, requests requeued) and hides the slot from
+  // routing; a draining slot that fails retires on the spot (its batch was
+  // going to be its last anyway).
+  const auto process_faults = [&](double now_s) -> std::size_t {
+    std::size_t transitions = 0;
     while (faults->next_event_s() <= now_s) {
       const std::size_t i = faults->next_event_slot();
       const double t_ev = faults->next_event_s();
       const bool up = faults->advance(i);
+      ++transitions;
       Slot& s = slots[i];
       if (!up) {
         s.failed = true;
         ++s.failures;
         ++m.slot_failures;
+        ++failed_total;
+        if (obs) obs->on_slot_failure(i, t_ev);
         s.down_since_s = t_ev;
         if (!s.idle) {
           ++m.failed_batches;
+          if (obs) {
+            obs->on_batch_abort(i, s.inflight_seq, s.inflight_start_s, t_ev,
+                                s.inflight.size());
+          }
           // The unserved remainder was never busy time; the dynamic energy
           // already burned is charged pro rata.
           s.busy_s -= s.inflight_done_s - t_ev;
@@ -523,6 +592,7 @@ FleetMetrics simulate(const Scenario& scenario) {
             ++queued_by_workload[req.workload];
             sched->enqueue(req, t_ev);
             ++m.requeued_requests;
+            if (obs) obs->on_requeue(req, t_ev);
           }
           s.inflight.clear();
           s.inflight_seq = kNoBatch;
@@ -532,6 +602,7 @@ FleetMetrics simulate(const Scenario& scenario) {
         if (s.draining && !s.retired) {
           s.retired = true;
           s.active_end_s = t_ev;
+          --failed_total;
           faults->remove_slot(i);
           rebuild_live();
         }
@@ -539,11 +610,14 @@ FleetMetrics simulate(const Scenario& scenario) {
         s.failed = false;
         ++s.repairs;
         ++m.slot_recoveries;
+        --failed_total;
+        if (obs) obs->on_slot_recovery(i, t_ev);
         const double repair_s = t_ev - s.down_since_s;
         s.down_total_s += repair_s;
         s.repair_total_s += repair_s;
       }
     }
+    return transitions;
   };
 
   // One autoscaler step: per family, observe signals over the last interval
@@ -590,6 +664,11 @@ FleetMetrics simulate(const Scenario& scenario) {
         grown.active_start_s = now_s;
         slots.push_back(std::move(grown));
         if (faults) faults->add_slot(now_s);
+        if (obs) {
+          obs->on_autoscale(f, 1, now_s);
+          obs->on_slot_added(slots.size() - 1, caches[slots.back().cache].spec().name,
+                             now_s);
+        }
         live_changed = true;
         ++m.autoscale_grows;
         ++active_total;
@@ -599,6 +678,7 @@ FleetMetrics simulate(const Scenario& scenario) {
           Slot& s = slots[i];
           if (s.family != f || s.retired || s.draining) continue;
           s.draining = true;
+          if (obs) obs->on_autoscale(f, -1, now_s);
           --active_total;
           if (s.idle) {
             s.retired = true;
@@ -641,12 +721,19 @@ FleetMetrics simulate(const Scenario& scenario) {
     }
     now_s = t;
 
+    const auto t_completions = prof_now();
+    std::uint64_t completion_events = 0;
     while (!heap.empty() && heap.front().time_s <= now_s) {
       std::pop_heap(heap.begin(), heap.end(), CompletionLater{});
       const Completion done = heap.back();
       heap.pop_back();
       Slot& acc = slots[done.acc];
       if (acc.inflight_seq != done.seq) continue;  // batch aborted by a failure
+      ++completion_events;
+      if (obs) {
+        obs->on_batch_complete(done.acc, done.seq, acc.inflight_start_s, done.time_s,
+                               acc.inflight.size());
+      }
       std::vector<Request> batch = std::move(acc.inflight);
       acc.inflight.clear();
       acc.inflight_seq = kNoBatch;
@@ -669,42 +756,75 @@ FleetMetrics simulate(const Scenario& scenario) {
         }
         // Client-perceived latency: from the first issue, backoffs included.
         const double latency = done.time_s - req.first_arrival_s;
-        tenant_latencies[w].push_back(latency);
+        if (hdr) {
+          tenant_hist[w].add(latency);
+        } else {
+          tenant_latencies[w].push_back(latency);
+        }
+        ++tenant_completed[w];
         tenant_sum[w] += latency;
         tenant_max[w] = std::max(tenant_max[w], latency);
         latency_sum += latency;
         m.max_latency_s = std::max(m.max_latency_s, latency);
-        if (latency <= slo_of[w]) {
+        const bool in_slo = latency <= slo_of[w];
+        if (in_slo) {
           ++within_slo;
           ++tenant_within[w];
         }
         ++m.completed;
         ++terminal;
+        if (obs) obs->on_complete(req, done.time_s, CompletionStatus::kOk, latency, in_slo);
         // Feedback to the source: a closed-loop session may now schedule its
         // next issue (at or after this completion's instant).
         source->on_complete(req, done.time_s, CompletionStatus::kOk);
       }
     }
-    if (faults) process_faults(now_s);
+    if (prof) prof->record(LoopSource::kCompletions, t_completions, completion_events);
+    if (faults) {
+      const auto t_faults = prof_now();
+      const std::size_t transitions = process_faults(now_s);
+      if (prof) prof->record(LoopSource::kFaults, t_faults, transitions);
+    }
+    const auto t_arrivals = prof_now();
+    std::uint64_t arrival_events = 0;
     while (source->next_arrival_time() <= now_s) {
       Request r = source->pop_arrival();
       last_arrival_s = r.arrival_s;
       r.first_arrival_s = r.arrival_s;
+      ++arrival_events;
+      if (obs) obs->on_arrival(r, now_s);
       accept_arrival(r, now_s);
     }
-    while (!retry_heap.empty() && retry_heap.front().time_s <= now_s) {
-      std::pop_heap(retry_heap.begin(), retry_heap.end(), RetryLater{});
-      const Request r = std::move(retry_heap.back().request);
-      retry_heap.pop_back();
-      accept_arrival(r, now_s);
+    if (prof) prof->record(LoopSource::kArrivals, t_arrivals, arrival_events);
+    if (!retry_heap.empty()) {
+      const auto t_retries = prof_now();
+      std::uint64_t retry_events = 0;
+      while (!retry_heap.empty() && retry_heap.front().time_s <= now_s) {
+        std::pop_heap(retry_heap.begin(), retry_heap.end(), RetryLater{});
+        const Request r = std::move(retry_heap.back().request);
+        retry_heap.pop_back();
+        ++retry_events;
+        accept_arrival(r, now_s);
+      }
+      if (prof) prof->record(LoopSource::kRetries, t_retries, retry_events);
     }
     if (scaler && now_s >= next_eval_s) {
+      const auto t_scale = prof_now();
       evaluate_autoscaler(now_s);
       ++eval_count;
       next_eval_s = static_cast<double>(eval_count + 1) * sim.autoscaler.interval_s;
+      if (prof) prof->record(LoopSource::kAutoscale, t_scale, 1);
     }
+    const auto t_dispatch = prof_now();
+    const std::size_t dispatched_before = m.dispatches;
     try_dispatch(now_s);
+    if (prof) {
+      prof->record(LoopSource::kDispatch, t_dispatch, m.dispatches - dispatched_before);
+      prof->add_iterations(1);
+    }
+    if (obs) obs->on_tick(now_s, sched->queued(), active_total, failed_total);
   }
+  if (obs) obs->finish(now_s);
 
   const double duration_s = now_s;
   m.offered_qps = static_cast<double>(total_requests) / std::max(last_arrival_s, 1e-300);
@@ -729,7 +849,7 @@ FleetMetrics simulate(const Scenario& scenario) {
     t.name = catalog.workload(w).name();
     t.priority = catalog.at(w).priority;
     t.slo_latency_s = slo_of[w];
-    t.completed = tenant_latencies[w].size();
+    t.completed = tenant_completed[w];
     t.max_latency_s = tenant_max[w];
     t.shed = tenant_shed[w];
     t.timed_out = tenant_timed_out[w];
@@ -743,19 +863,36 @@ FleetMetrics simulate(const Scenario& scenario) {
       t.goodput_qps =
           static_cast<double>(tenant_within[w]) / std::max(duration_s, 1e-300);
       t.mean_latency_s = tenant_sum[w] / static_cast<double>(t.completed);
-      t.p50_latency_s = percentile(tenant_latencies[w], 0.50);
-      t.p99_latency_s = percentile(tenant_latencies[w], 0.99);
+      if (hdr) {
+        t.p50_latency_s = tenant_hist[w].percentile(0.50);
+        t.p99_latency_s = tenant_hist[w].percentile(0.99);
+      } else {
+        t.p50_latency_s = percentile(tenant_latencies[w], 0.50);
+        t.p99_latency_s = percentile(tenant_latencies[w], 0.99);
+      }
     }
   }
-  std::vector<double> latencies;
-  latencies.reserve(m.completed);
-  for (const std::vector<double>& samples : tenant_latencies) {
-    latencies.insert(latencies.end(), samples.begin(), samples.end());
+  if (hdr) {
+    // Aggregate sketch: merging the tenants' histograms is exact (bucket
+    // counts add), so the fleet percentiles see the same multiset the exact
+    // path sorts.
+    HdrHistogram all(sim.hdr_relative_error);
+    for (const HdrHistogram& h : tenant_hist) all.merge(h);
+    m.p50_latency_s = all.percentile(0.50);
+    m.p95_latency_s = all.percentile(0.95);
+    m.p99_latency_s = all.percentile(0.99);
+    m.p999_latency_s = all.percentile(0.999);
+  } else {
+    std::vector<double> latencies;
+    latencies.reserve(m.completed);
+    for (const std::vector<double>& samples : tenant_latencies) {
+      latencies.insert(latencies.end(), samples.begin(), samples.end());
+    }
+    m.p50_latency_s = percentile(latencies, 0.50);
+    m.p95_latency_s = percentile(latencies, 0.95);
+    m.p99_latency_s = percentile(latencies, 0.99);
+    m.p999_latency_s = percentile(latencies, 0.999);
   }
-  m.p50_latency_s = percentile(latencies, 0.50);
-  m.p95_latency_s = percentile(latencies, 0.95);
-  m.p99_latency_s = percentile(latencies, 0.99);
-  m.p999_latency_s = percentile(latencies, 0.999);
   m.mean_queue_depth = depth_time / std::max(duration_s, 1e-300);
   m.mean_batch_size =
       static_cast<double>(m.completed) / static_cast<double>(std::max<std::size_t>(m.dispatches, 1));
@@ -826,6 +963,7 @@ FleetMetrics simulate(const Scenario& scenario) {
         repairs_total > 0 ? repair_total_s / static_cast<double>(repairs_total) : 0.0;
   }
   source->finish(m);
+  if (hub && observation) *observation = hub->take();
   return m;
 }
 

@@ -49,6 +49,7 @@
 #include "serve/cache.hpp"
 #include "serve/faults.hpp"
 #include "serve/metrics.hpp"
+#include "serve/observe.hpp"
 #include "serve/scheduler.hpp"
 #include "serve/trace.hpp"
 #include "serve/traffic.hpp"
@@ -102,6 +103,13 @@ struct SimConfig {
   FaultConfig faults;
   RetryPolicy retry;
   AdmissionConfig admission;
+  // Latency-percentile computation: kExact (default) sorts every sample,
+  // bit-identical to the historical path; kHdr streams samples into a
+  // bounded-relative-error sketch (see metrics.hpp) so memory stops scaling
+  // with request count.  `hdr_relative_error` bounds the sketch's percentile
+  // error in kHdr mode.
+  PercentileMode percentile_mode = PercentileMode::kExact;
+  double hdr_relative_error = 0.01;
 };
 
 // One serving run as a value: everything `simulate` needs, validated at the
@@ -117,6 +125,10 @@ struct Scenario {
   SimConfig sim;
   TrafficConfig traffic;
   std::vector<Request> trace;
+  // Observability (tracing / timeline / profiling; see observe.hpp).  All
+  // disabled by default, and disabled runs are bit-identical to the
+  // unobserved simulator.
+  ObserveConfig observe;
 };
 
 // Throws `InvalidArgument` naming the bad field: empty fleets, empty
@@ -128,7 +140,11 @@ void validate_scenario(const Scenario& scenario);
 
 // Simulates the scenario (`fleet.accelerators` are the initial slots of an
 // elastic run).  Validates via `validate_scenario`; also throws for catalogs
-// with workloads no fleet accelerator can serve.
-[[nodiscard]] FleetMetrics simulate(const Scenario& scenario);
+// with workloads no fleet accelerator can serve.  When `scenario.observe`
+// enables observers and `observation` is non-null, the run's observers are
+// moved into it after the loop drains (export via their write_* methods);
+// observers never change the returned metrics.
+[[nodiscard]] FleetMetrics simulate(const Scenario& scenario,
+                                    Observation* observation = nullptr);
 
 }  // namespace lumos::serve

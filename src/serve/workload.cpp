@@ -163,6 +163,13 @@ double WorkloadCatalog::total_weight() const noexcept {
   return total;
 }
 
+std::vector<std::string> WorkloadCatalog::names() const {
+  std::vector<std::string> out;
+  out.reserve(entries_.size());
+  for (const CatalogEntry& e : entries_) out.push_back(e.workload.name());
+  return out;
+}
+
 std::vector<std::uint32_t> WorkloadCatalog::priorities() const {
   bool tiered = false;
   for (const CatalogEntry& e : entries_) tiered = tiered || e.priority != 0;

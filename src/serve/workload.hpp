@@ -110,6 +110,8 @@ class WorkloadCatalog {
   // Per-workload-index scheduler tiers (empty when every entry is tier 0, the
   // form schedulers treat as "no priorities": bit-identical to pre-tier runs).
   [[nodiscard]] std::vector<std::uint32_t> priorities() const;
+  // Entry names in catalog order (timeline exports, per-tenant labelling).
+  [[nodiscard]] std::vector<std::string> names() const;
 
   // Default serving mixes over the registry's models/datasets.
   [[nodiscard]] static WorkloadCatalog tron_default();

@@ -380,7 +380,9 @@ TEST(FaultServing, AbortedBatchesRequeueWithoutLoss) {
     EXPECT_GT(s.failures, 0u);
     EXPECT_LT(s.uptime_fraction, 1.0);
     EXPECT_GT(s.uptime_fraction, 0.0);
-    if (s.repairs > 0) EXPECT_GT(s.observed_mttr_s, 0.0);
+    if (s.repairs > 0) {
+      EXPECT_GT(s.observed_mttr_s, 0.0);
+    }
   }
 }
 

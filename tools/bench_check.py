@@ -16,9 +16,19 @@ Two metric classes, two tolerance bands:
   --time-tol x (default 4.0), a band wide enough for runner noise yet narrow
   enough to catch order-of-magnitude regressions.
 
+The serve observer_overhead section gets two extra gates: the observed run's
+p99/goodput must match the unobserved run within --det-tol (observers must
+never change results), and the relative wall-clock overhead of observing must
+stay under --overhead-tol (default 0.25).
+
+The "provenance" object (compiler, build type, schema version, threads) is
+context for humans, never gated: baselines produced by a different toolchain
+still diff cleanly on their numbers.
+
 Usage:
   bench_check.py --baseline bench/baselines/BENCH_serve_smoke.json \
-                 --current BENCH_serve_smoke.json [--time-tol 4.0] [--det-tol 1e-3]
+                 --current BENCH_serve_smoke.json [--time-tol 4.0] [--det-tol 1e-3] \
+                 [--overhead-tol 0.25]
   bench_check.py --self-test --baseline <file>   # gate must pass the baseline
                                                  # against itself and fail an
                                                  # injected regression
@@ -57,6 +67,15 @@ DET_CLOSED_LOOP_FIELDS = [
     "mean_batch", "estimate_lookups", "estimate_misses",
 ]
 TIMING_HEADLINE_FIELDS = ["requests_per_s"]  # higher is better
+# Observer-overhead entries: the simulated results (bit-reproducible, and
+# identical whether or not observers watch the run) plus the trace/timeline
+# volume counters, which are functions of the same deterministic event stream.
+DET_OBSERVER_FIELDS = [
+    "requests", "trace_sample", "off_p99_latency_s", "on_p99_latency_s",
+    "off_goodput_qps", "on_goodput_qps", "sampled_requests", "request_events",
+    "batch_spans", "timeline_windows",
+]
+TIMING_OBSERVER_FIELDS = ["off_requests_per_s", "on_requests_per_s"]
 
 
 class Failure(Exception):
@@ -100,6 +119,43 @@ def check_kernels(baseline, current, time_tol, det_tol, errors):
                 f"kernels: '{name}' regressed: median {cur['median_ms']:.4f} ms vs "
                 f"baseline {base['median_ms']:.4f} ms (tolerance {time_tol}x)"
             )
+
+
+def check_observer_overhead(baseline, current, time_tol, det_tol, overhead_tol,
+                            errors):
+    cur_entries = {o["label"]: o for o in current.get("observer_overhead", [])}
+    for base in baseline.get("observer_overhead", []):
+        label = base["label"]
+        cur = cur_entries.get(label)
+        if cur is None:
+            errors.append(f"serve: observer_overhead '{label}' missing from current")
+            continue
+        what = f"serve observer_overhead '{label}'"
+        check_det(what, base, cur, DET_OBSERVER_FIELDS, det_tol, errors)
+        # Observers must not change results: on-vs-off parity within the
+        # current file (not just vs the baseline).
+        for metric in ("p99_latency_s", "goodput_qps"):
+            off_v, on_v = cur.get(f"off_{metric}"), cur.get(f"on_{metric}")
+            if off_v is None or on_v is None:
+                continue
+            if rel_diff(float(off_v), float(on_v)) > det_tol:
+                errors.append(
+                    f"{what}: observed run changed {metric}: "
+                    f"unobserved {off_v} vs observed {on_v}"
+                )
+        if "overhead_fraction" in cur and cur["overhead_fraction"] > overhead_tol:
+            errors.append(
+                f"{what}: observer overhead {cur['overhead_fraction']:.3f} exceeds "
+                f"tolerance {overhead_tol}"
+            )
+        for field in TIMING_OBSERVER_FIELDS:
+            if field not in base or field not in cur:
+                continue
+            if cur[field] * time_tol < base[field]:
+                errors.append(
+                    f"{what}: {field} regressed: {cur[field]:.0f} vs baseline "
+                    f"{base[field]:.0f} (tolerance {time_tol}x)"
+                )
 
 
 def check_serve(baseline, current, time_tol, det_tol, errors):
@@ -192,7 +248,7 @@ def check_serve(baseline, current, time_tol, det_tol, errors):
                               DET_TENANT_FIELDS, det_tol, errors)
 
 
-def run_check(baseline, current, time_tol, det_tol):
+def run_check(baseline, current, time_tol, det_tol, overhead_tol=0.25):
     kind = baseline.get("bench")
     if current.get("bench") != kind:
         return [f"bench kind mismatch: baseline '{kind}' vs current "
@@ -202,6 +258,8 @@ def run_check(baseline, current, time_tol, det_tol):
         check_kernels(baseline, current, time_tol, det_tol, errors)
     elif kind == "serve":
         check_serve(baseline, current, time_tol, det_tol, errors)
+        check_observer_overhead(baseline, current, time_tol, det_tol, overhead_tol,
+                                errors)
     else:
         errors.append(f"unknown bench kind: {kind!r}")
     return errors
@@ -251,6 +309,30 @@ def self_test(baseline, time_tol, det_tol):
             print("bench_check self-test FAILED: overload_faults availability "
                   "regression was not detected")
             return 1
+    if baseline.get("observer_overhead"):
+        # Runaway observer overhead must trip the gate by itself ...
+        slow_observed = copy.deepcopy(baseline)
+        slow_observed["observer_overhead"][0]["overhead_fraction"] = 10.0
+        if not run_check(baseline, slow_observed, time_tol, det_tol):
+            print("bench_check self-test FAILED: observer overhead regression "
+                  "was not detected")
+            return 1
+        # ... and so must an observed run that changed the simulated results.
+        parity_broken = copy.deepcopy(baseline)
+        parity_broken["observer_overhead"][0]["on_p99_latency_s"] = (
+            parity_broken["observer_overhead"][0].get("off_p99_latency_s", 1.0) * 1.5)
+        if not run_check(baseline, parity_broken, time_tol, det_tol):
+            print("bench_check self-test FAILED: observer result-parity break "
+                  "was not detected")
+            return 1
+    # Provenance is context, never a gated value: a baseline produced by a
+    # different toolchain must still pass on its numbers.
+    other_toolchain = copy.deepcopy(baseline)
+    other_toolchain["provenance"] = {"schema_version": 0, "compiler": "other 0.0",
+                                     "build_type": "debug", "threads": 1}
+    if run_check(baseline, other_toolchain, time_tol, det_tol):
+        print("bench_check self-test FAILED: provenance differences were gated")
+        return 1
     print(f"bench_check self-test OK: baseline passes, injected regression "
           f"caught ({len(dirty)} finding(s))")
     return 0
@@ -265,6 +347,8 @@ def main():
                         help="allowed slowdown factor for timing metrics (default 4.0)")
     parser.add_argument("--det-tol", type=float, default=1e-3,
                         help="relative tolerance for deterministic metrics (default 1e-3)")
+    parser.add_argument("--overhead-tol", type=float, default=0.25,
+                        help="allowed observer_overhead fraction (default 0.25)")
     parser.add_argument("--self-test", action="store_true",
                         help="verify the gate passes the baseline against itself and "
                              "fails an injected regression")
@@ -281,7 +365,8 @@ def main():
     with open(args.current) as f:
         current = json.load(f)
 
-    errors = run_check(baseline, current, args.time_tol, args.det_tol)
+    errors = run_check(baseline, current, args.time_tol, args.det_tol,
+                       args.overhead_tol)
     if errors:
         print(f"bench_check: {len(errors)} regression(s) vs {args.baseline}:")
         for e in errors:

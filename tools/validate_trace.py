@@ -1,0 +1,140 @@
+#!/usr/bin/env python3
+"""Chrome trace_event validator for lumos serve traces.
+
+Checks that a trace produced by `lumos_cli serve --trace-out` (or any
+LifecycleTracer export) is well-formed enough for chrome://tracing / Perfetto
+to load it, and that the span structure the tracer promises actually holds:
+
+* the file is valid JSON with a "traceEvents" array;
+* every event has the required keys (name, ph, ts, pid, tid; metadata "M"
+  events are exempt from ts);
+* complete ("X") events carry a non-negative dur;
+* async nestable spans balance: every "b" (begin) keyed by (cat, id) is
+  closed by exactly one "e" (end) at a time >= the begin, with no "e" or "n"
+  (instant) for a span that was never opened — the tracer's saturation
+  semantics promise whole spans or nothing, so an unbalanced span is a bug;
+* flow steps ("f") attach to a flow that was started by an earlier-or-equal
+  "s" with the same id.
+
+`--expect <name>` asserts that at least one event with that exact name exists
+(e.g. --expect shed --expect retry --expect batch-abort for a faults +
+retries + admission run).  Exits non-zero, listing every finding, when the
+trace is malformed.
+
+Usage:
+  validate_trace.py trace.json [--expect name]...
+
+Stdlib only: runs as a ctest over a small CLI round trip.
+"""
+
+import argparse
+import json
+import sys
+
+REQUIRED_KEYS = ("name", "ph", "pid", "tid")
+KNOWN_PHASES = {"M", "X", "b", "n", "e", "s", "f", "i", "B", "E", "C", "m"}
+
+
+def validate(trace, expects):
+    errors = []
+    events = trace.get("traceEvents")
+    if not isinstance(events, list):
+        return ["trace has no 'traceEvents' array"]
+    if not events:
+        errors.append("'traceEvents' is empty")
+
+    open_spans = {}    # (cat, id) -> begin ts of the currently open span
+    closed_spans = 0
+    flow_starts = {}   # id -> earliest "s" ts
+    names = set()
+    for i, ev in enumerate(events):
+        what = f"event {i}"
+        if not isinstance(ev, dict):
+            errors.append(f"{what}: not an object")
+            continue
+        missing = [k for k in REQUIRED_KEYS if k not in ev]
+        if missing:
+            errors.append(f"{what}: missing required key(s) {missing}")
+            continue
+        what = f"event {i} ({ev['ph']!r} {ev['name']!r})"
+        names.add(ev["name"])
+        ph = ev["ph"]
+        if ph not in KNOWN_PHASES:
+            errors.append(f"{what}: unknown phase {ph!r}")
+            continue
+        if ph == "M":
+            continue  # metadata carries no timestamp
+        if "ts" not in ev:
+            errors.append(f"{what}: missing 'ts'")
+            continue
+        ts = ev["ts"]
+        if ph == "X":
+            if ev.get("dur", -1) < 0:
+                errors.append(f"{what}: complete event needs dur >= 0")
+        elif ph in ("b", "n", "e"):
+            if "id" not in ev:
+                errors.append(f"{what}: async event without 'id'")
+                continue
+            key = (ev.get("cat", ""), ev["id"])
+            if ph == "b":
+                if key in open_spans:
+                    errors.append(f"{what}: span {key} begun twice")
+                else:
+                    open_spans[key] = ts
+            elif key not in open_spans:
+                errors.append(f"{what}: span {key} was never opened")
+            elif ph == "e":
+                if ts < open_spans[key]:
+                    errors.append(f"{what}: span {key} ends before it begins")
+                del open_spans[key]
+                closed_spans += 1
+        elif ph in ("s", "f"):
+            if "id" not in ev:
+                errors.append(f"{what}: flow event without 'id'")
+                continue
+            fid = ev["id"]
+            if ph == "s":
+                flow_starts[fid] = min(ts, flow_starts.get(fid, ts))
+            elif fid not in flow_starts or ts < flow_starts[fid]:
+                errors.append(f"{what}: flow step with no earlier start")
+
+    for key, ts in sorted(open_spans.items()):
+        errors.append(f"span {key} opened at ts {ts} but never closed")
+    for name in expects:
+        if name not in names:
+            errors.append(f"expected at least one event named {name!r}")
+    return errors, closed_spans, len(events)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__,
+                                     formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("trace", help="Chrome trace_event JSON file")
+    parser.add_argument("--expect", action="append", default=[],
+                        help="require at least one event with this name "
+                             "(repeatable)")
+    args = parser.parse_args()
+
+    try:
+        with open(args.trace) as f:
+            trace = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"validate_trace: cannot load {args.trace}: {e}")
+        sys.exit(1)
+
+    result = validate(trace, args.expect)
+    if isinstance(result, list):  # no traceEvents at all
+        errors, closed, total = result, 0, 0
+    else:
+        errors, closed, total = result
+    if errors:
+        print(f"validate_trace: {args.trace}: {len(errors)} finding(s):")
+        for e in errors:
+            print(f"  {e}")
+        sys.exit(1)
+    print(f"validate_trace OK: {args.trace}: {total} events, "
+          f"{closed} balanced request spans")
+
+
+if __name__ == "__main__":
+    main()
