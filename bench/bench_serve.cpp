@@ -25,15 +25,19 @@
 #include <limits>
 #include <fstream>
 #include <iostream>
+#include <queue>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "common/parallel.hpp"
 #include "common/provenance.hpp"
+#include "common/rng.hpp"
 #include "serve/cache.hpp"
 #include "serve/campaign.hpp"
+#include "serve/event_heap.hpp"
 #include "serve/observe.hpp"
+#include "serve/shard.hpp"
 #include "sim/registry.hpp"
 
 namespace {
@@ -231,6 +235,221 @@ ObserverOverhead run_observer_overhead(bool smoke) {
   return out;
 }
 
+// Cell-sharded scaling: one 16-slot TRON scenario simulated serially and as
+// {1, 2, 4, 8} independent cells on the thread pool (serve/shard.hpp), plus a
+// 10M-request HDR-percentile 8-cell run — the "datacenter, not a rack" scale
+// point.  The cells == 1 point is gated bit-identical to the serial run by
+// bench_check.py (in-file parity at zero tolerance); cells > 1 points are
+// deterministic for a fixed cell count, so their simulated results are gated
+// at det tolerance like every other deterministic field.  Speedups are
+// wall-clock vs the serial run (best-of-3 each) and scale with the host's
+// core count — `threads` is recorded so a 1-core runner's ~1x does not read
+// as a regression against an 8-core baseline (speedup is gated in the timing
+// band, relative to the committed baseline, not as an absolute floor).
+struct ShardedPoint {
+  std::size_t cells = 0;
+  double wall_s = 0.0;  // best-of-3
+  double requests_per_s = 0.0;
+  double speedup = 0.0;  // serial wall / this wall
+  std::size_t completed = 0;
+  double p99_latency_s = 0.0;
+  double goodput_qps = 0.0;
+};
+
+struct ShardedResult {
+  std::string label = "TRON sharded";
+  std::size_t requests = 0;
+  std::size_t fleet = 0;
+  std::size_t threads = 0;
+  double serial_wall_s = 0.0;
+  double serial_requests_per_s = 0.0;
+  std::size_t serial_completed = 0;
+  double serial_p99_latency_s = 0.0;
+  double serial_goodput_qps = 0.0;
+  std::vector<ShardedPoint> points;
+  // The scale headline: 10M requests, HDR percentiles, 8 cells.
+  std::size_t scale_requests = 0;
+  std::size_t scale_cells = 0;
+  double scale_wall_s = 0.0;
+  double scale_requests_per_s = 0.0;
+  std::size_t scale_completed = 0;
+  double scale_p99_latency_s = 0.0;
+  double scale_goodput_qps = 0.0;
+};
+
+ShardedResult run_sharded_scenario(bool smoke) {
+  const serve::WorkloadCatalog catalog = serve::WorkloadCatalog::tron_default();
+  const std::size_t fleet = 16;
+  const std::size_t max_batch = 8;
+  const serve::FleetConfig fleet_cfg = serve::FleetConfig::cycled({"tron"}, fleet);
+  const double capacity = serve::fleet_capacity_qps(catalog, fleet_cfg, max_batch);
+
+  serve::Scenario scenario;
+  scenario.fleet = fleet_cfg;
+  scenario.catalog = catalog;
+  scenario.scheduler = serve::SchedulerKind::kDynamicBatch;
+  scenario.batch.max_batch = max_batch;
+  scenario.traffic.open.offered_qps = 0.8 * capacity;
+  scenario.traffic.open.request_count = smoke ? 50000 : 1000000;
+  scenario.traffic.open.seed = 11;
+
+  ShardedResult out;
+  out.requests = scenario.traffic.open.request_count;
+  out.fleet = fleet;
+  out.threads = ThreadPool::global().thread_count();
+
+  constexpr int kReps = 3;
+  serve::FleetMetrics serial;
+  out.serial_wall_s = std::numeric_limits<double>::infinity();
+  for (int rep = 0; rep < kReps; ++rep) {
+    const auto t0 = std::chrono::steady_clock::now();
+    serial = serve::simulate(scenario);
+    const auto t1 = std::chrono::steady_clock::now();
+    out.serial_wall_s =
+        std::min(out.serial_wall_s, std::chrono::duration<double>(t1 - t0).count());
+  }
+  out.serial_requests_per_s = static_cast<double>(out.requests) / out.serial_wall_s;
+  out.serial_completed = serial.completed;
+  out.serial_p99_latency_s = serial.p99_latency_s;
+  out.serial_goodput_qps = serial.goodput_qps;
+
+  for (const std::size_t cells : {std::size_t{1}, std::size_t{2}, std::size_t{4},
+                                  std::size_t{8}}) {
+    ShardedPoint point;
+    point.cells = cells;
+    point.wall_s = std::numeric_limits<double>::infinity();
+    serve::FleetMetrics m;
+    for (int rep = 0; rep < kReps; ++rep) {
+      const auto t0 = std::chrono::steady_clock::now();
+      m = serve::simulate_sharded(scenario, cells);
+      const auto t1 = std::chrono::steady_clock::now();
+      point.wall_s = std::min(point.wall_s, std::chrono::duration<double>(t1 - t0).count());
+    }
+    point.requests_per_s = static_cast<double>(out.requests) / point.wall_s;
+    point.speedup = out.serial_wall_s / point.wall_s;
+    point.completed = m.completed;
+    point.p99_latency_s = m.p99_latency_s;
+    point.goodput_qps = m.goodput_qps;
+    out.points.push_back(point);
+  }
+
+  // The 10M-request scale run: HDR percentile sketches keep latency memory
+  // bounded (exact mode would retain every sample), 8 cells split the work.
+  serve::Scenario scale = scenario;
+  scale.sim.percentile_mode = serve::PercentileMode::kHdr;
+  scale.traffic.open.request_count = smoke ? 100000 : 10000000;
+  out.scale_requests = scale.traffic.open.request_count;
+  out.scale_cells = 8;
+  const auto t0 = std::chrono::steady_clock::now();
+  const serve::FleetMetrics m = serve::simulate_sharded(scale, out.scale_cells);
+  const auto t1 = std::chrono::steady_clock::now();
+  out.scale_wall_s = std::chrono::duration<double>(t1 - t0).count();
+  out.scale_requests_per_s = static_cast<double>(out.scale_requests) / out.scale_wall_s;
+  out.scale_completed = m.completed;
+  out.scale_p99_latency_s = m.p99_latency_s;
+  out.scale_goodput_qps = m.goodput_qps;
+  return out;
+}
+
+// Event-queue micro-benchmark: the classic hold model (prefill H events, then
+// N rounds of pop-min + push at popped time + exponential increment) over the
+// three containers a simulation could schedule with.  All three pop the same
+// total order (EventHeap/CalendarQueue by contract, std::priority_queue by
+// construction), so the popped-time checksums must match exactly — the bench
+// aborts if they do not.  ops_per_s is gated in the timing band.
+struct QueueBenchResult {
+  std::string label;
+  std::size_t events = 0;
+  double wall_s = 0.0;  // best-of-3
+  double ops_per_s = 0.0;
+  double checksum = 0.0;
+};
+
+struct BenchEvent {
+  double time_s = 0.0;
+  std::uint64_t seq = 0;
+};
+struct BenchEventLater {
+  bool operator()(const BenchEvent& a, const BenchEvent& b) const noexcept {
+    if (a.time_s != b.time_s) return a.time_s > b.time_s;
+    return a.seq > b.seq;
+  }
+};
+
+// One hold-model run: returns the popped-time checksum (kept out of the
+// timed loop's dead-code reach).
+template <typename PushFn, typename PopFn>
+double hold_model(std::size_t hold, std::size_t rounds, PushFn&& push, PopFn&& pop) {
+  Rng rng(1234);
+  std::uint64_t seq = 0;
+  double t = 0.0;
+  for (std::size_t i = 0; i < hold; ++i) {
+    t += rng.exponential(1e-4);
+    push(BenchEvent{t, seq++});
+  }
+  double checksum = 0.0;
+  for (std::size_t i = 0; i < rounds; ++i) {
+    const BenchEvent e = pop();
+    checksum += e.time_s;
+    push(BenchEvent{e.time_s + rng.exponential(1e-4), seq++});
+  }
+  for (std::size_t i = 0; i < hold; ++i) checksum += pop().time_s;
+  return checksum;
+}
+
+std::vector<QueueBenchResult> run_event_queue_bench(bool smoke) {
+  const std::size_t hold = 4096;
+  const std::size_t rounds = smoke ? 200000 : 2000000;
+  constexpr int kReps = 3;
+  std::vector<QueueBenchResult> out;
+
+  const auto time_variant = [&](const std::string& label, auto make_run) {
+    QueueBenchResult r;
+    r.label = label;
+    r.events = rounds;
+    r.wall_s = std::numeric_limits<double>::infinity();
+    for (int rep = 0; rep < kReps; ++rep) {
+      const auto t0 = std::chrono::steady_clock::now();
+      r.checksum = make_run();
+      const auto t1 = std::chrono::steady_clock::now();
+      r.wall_s = std::min(r.wall_s, std::chrono::duration<double>(t1 - t0).count());
+    }
+    r.ops_per_s = static_cast<double>(rounds) / r.wall_s;
+    out.push_back(r);
+  };
+
+  time_variant("event_heap", [&] {
+    serve::EventHeap<BenchEvent, BenchEventLater> q;
+    q.reserve(hold + 1);
+    return hold_model(hold, rounds, [&](BenchEvent e) { q.push(e); },
+                      [&] { return q.pop(); });
+  });
+  time_variant("calendar_queue", [&] {
+    // Bucket width ~ the mean inter-event gap: about one event per day.
+    serve::CalendarQueue<BenchEvent, BenchEventLater> q(1e-4, 1024);
+    return hold_model(hold, rounds, [&](BenchEvent e) { q.push(e); },
+                      [&] { return q.pop(); });
+  });
+  time_variant("std_priority_queue", [&] {
+    std::priority_queue<BenchEvent, std::vector<BenchEvent>, BenchEventLater> q;
+    return hold_model(hold, rounds, [&](BenchEvent e) { q.push(e); }, [&] {
+      BenchEvent e = q.top();
+      q.pop();
+      return e;
+    });
+  });
+
+  for (const QueueBenchResult& r : out) {
+    if (r.checksum != out.front().checksum) {
+      std::fprintf(stderr, "error: event-queue checksum mismatch: %s %.17g vs %s %.17g\n",
+                   r.label.c_str(), r.checksum, out.front().label.c_str(),
+                   out.front().checksum);
+      std::exit(1);
+    }
+  }
+  return out;
+}
+
 void write_indented_campaign(std::ofstream& f, const serve::CampaignConfig& config,
                              const std::vector<serve::CampaignPoint>& points) {
   std::ostringstream campaign;
@@ -248,7 +467,9 @@ void write_indented_campaign(std::ofstream& f, const serve::CampaignConfig& conf
 
 bool write_json(const std::vector<ScenarioResult>& scenarios,
                 const ClosedLoopResult& closed, const ScenarioResult& overload,
-                const ObserverOverhead& observer, const std::string& path, bool smoke) {
+                const ObserverOverhead& observer, const ShardedResult& sharded,
+                const std::vector<QueueBenchResult>& queues, const std::string& path,
+                bool smoke) {
   std::ofstream f(path);
   f << "{\n  \"bench\": \"serve\",\n";
   f << "  " << provenance_json(ThreadPool::global().thread_count()) << ",\n";
@@ -270,6 +491,39 @@ bool write_json(const std::vector<ScenarioResult>& scenarios,
     << ", \"request_events\": " << observer.request_events
     << ", \"batch_spans\": " << observer.batch_spans
     << ", \"timeline_windows\": " << observer.timeline_windows << "}\n";
+  f << "  ],\n  \"sharded\": [\n";
+  f << "    {\"label\": \"" << sharded.label << "\", \"requests\": " << sharded.requests
+    << ", \"fleet\": " << sharded.fleet << ", \"threads\": " << sharded.threads
+    << ", \"serial_wall_s\": " << sharded.serial_wall_s
+    << ", \"serial_requests_per_s\": " << sharded.serial_requests_per_s
+    << ", \"serial_completed\": " << sharded.serial_completed
+    << ", \"serial_p99_latency_s\": " << sharded.serial_p99_latency_s
+    << ", \"serial_goodput_qps\": " << sharded.serial_goodput_qps
+    << ",\n     \"points\": [\n";
+  for (std::size_t i = 0; i < sharded.points.size(); ++i) {
+    const ShardedPoint& p = sharded.points[i];
+    f << "       {\"cells\": " << p.cells << ", \"wall_s\": " << p.wall_s
+      << ", \"requests_per_s\": " << p.requests_per_s << ", \"speedup\": " << p.speedup
+      << ", \"completed\": " << p.completed
+      << ", \"p99_latency_s\": " << p.p99_latency_s
+      << ", \"goodput_qps\": " << p.goodput_qps << "}"
+      << (i + 1 < sharded.points.size() ? "," : "") << "\n";
+  }
+  f << "     ],\n     \"scale_requests\": " << sharded.scale_requests
+    << ", \"scale_cells\": " << sharded.scale_cells
+    << ", \"scale_wall_s\": " << sharded.scale_wall_s
+    << ", \"scale_requests_per_s\": " << sharded.scale_requests_per_s
+    << ", \"scale_completed\": " << sharded.scale_completed
+    << ", \"scale_p99_latency_s\": " << sharded.scale_p99_latency_s
+    << ", \"scale_goodput_qps\": " << sharded.scale_goodput_qps << "}\n";
+  f << "  ],\n  \"event_queue\": [\n";
+  for (std::size_t i = 0; i < queues.size(); ++i) {
+    const QueueBenchResult& q = queues[i];
+    f << "    {\"label\": \"" << q.label << "\", \"events\": " << q.events
+      << ", \"wall_s\": " << q.wall_s << ", \"ops_per_s\": " << q.ops_per_s
+      << ", \"checksum\": " << q.checksum << "}" << (i + 1 < queues.size() ? "," : "")
+      << "\n";
+  }
   f << "  ],\n  \"headlines\": [\n";
   for (std::size_t i = 0; i < scenarios.size(); ++i) {
     const Headline& h = scenarios[i].headline;
@@ -479,6 +733,8 @@ int main(int argc, char** argv) {
   const ClosedLoopResult closed = run_closed_loop_scenario(smoke);
   const ScenarioResult overload = run_overload_faults_scenario(smoke);
   const ObserverOverhead observer = run_observer_overhead(smoke);
+  const ShardedResult sharded = run_sharded_scenario(smoke);
+  const std::vector<QueueBenchResult> queues = run_event_queue_bench(smoke);
 
   for (const ScenarioResult& s : scenarios) {
     serve::campaign_table(s.points, s.config.name).print(std::cout);
@@ -508,8 +764,28 @@ int main(int argc, char** argv) {
               observer.off_requests_per_s, observer.on_wall_s, observer.on_requests_per_s,
               100.0 * observer.overhead_fraction, observer.request_events,
               observer.batch_spans, observer.timeline_windows);
+  std::printf("%s: %zu requests / %zu slots, %zu pool thread(s); serial %.3f s "
+              "(%.0f req/s)\n",
+              sharded.label.c_str(), sharded.requests, sharded.fleet, sharded.threads,
+              sharded.serial_wall_s, sharded.serial_requests_per_s);
+  for (const ShardedPoint& p : sharded.points) {
+    std::printf("  cells=%zu: %.3f s (%.0f req/s, %.2fx serial, p99 %.1f us, "
+                "goodput %.0f QPS)\n",
+                p.cells, p.wall_s, p.requests_per_s, p.speedup, p.p99_latency_s * 1e6,
+                p.goodput_qps);
+  }
+  std::printf("  scale: %zu requests / %zu cells (hdr percentiles) in %.3f s "
+              "(%.0f req/s, p99 %.1f us)\n\n",
+              sharded.scale_requests, sharded.scale_cells, sharded.scale_wall_s,
+              sharded.scale_requests_per_s, sharded.scale_p99_latency_s * 1e6);
+  for (const QueueBenchResult& q : queues) {
+    std::printf("event_queue %s: %zu hold-model rounds in %.3f s (%.0f ops/s)\n",
+                q.label.c_str(), q.events, q.wall_s, q.ops_per_s);
+  }
+  std::printf("\n");
 
-  if (!write_json(scenarios, closed, overload, observer, out_path, smoke)) {
+  if (!write_json(scenarios, closed, overload, observer, sharded, queues, out_path,
+                  smoke)) {
     std::fprintf(stderr, "error: could not write %s\n", out_path.c_str());
     return 1;
   }

@@ -65,6 +65,11 @@
 //     --percentiles <m>  exact | hdr: latency percentile computation (default
 //                        exact); hdr uses a bounded-relative-error
 //                        log-bucketed histogram (see --hdr-error)
+//     --cells <k>        simulate the fleet as k independent cells in parallel
+//                        (default 1: serial; k > 1 splits fleet/traffic/seeds
+//                        per cell and merges metrics — statistically, not
+//                        bit-, equivalent to serial; incompatible with
+//                        observers)
 //     --hdr-error <x>    hdr relative-error bound in (0, 1) (default 0.01;
 //                        needs --percentiles hdr)
 //     --trace-out <p>    write a Chrome trace_event JSON of the run to <p>
@@ -112,6 +117,7 @@
 #include "serve/campaign.hpp"
 #include "serve/names.hpp"
 #include "serve/observe.hpp"
+#include "serve/shard.hpp"
 #include "sim/registry.hpp"
 
 namespace {
@@ -189,7 +195,7 @@ int usage() {
                    "            [--mtbf-us n] [--mttr-us n] [--timeout-us n] [--retries n]\n"
                    "            [--admission none|queue-cap|tier-shed|slo-aware] "
                    "[--queue-cap n]\n"
-                   "            [--percentiles exact|hdr] [--hdr-error x]\n"
+                   "            [--percentiles exact|hdr] [--hdr-error x] [--cells k]\n"
                    "            [--trace-out p] [--trace-sample x] [--timeline-out p]\n"
                    "            [--window-us n] [--profile]\n";
   return 2;
@@ -334,12 +340,13 @@ std::string trace_summary_json(const serve::LifecycleTracer& t) {
 // Closed-loop runs bypass the (offered-QPS-sweeping) campaign machinery: one
 // Scenario, one simulate, metric + tenant tables or a flat JSON object.
 int run_closed_loop(serve::Scenario scenario, const serve::ClosedLoopConfig& closed,
-                    bool priority, bool json, const ObserveOut& out) {
+                    std::size_t cells, bool priority, bool json, const ObserveOut& out) {
   scenario.traffic.mode = serve::LoopMode::kClosed;
   scenario.traffic.closed = closed;
   serve::Observation obs;
   const serve::FleetMetrics m =
-      serve::simulate(scenario, scenario.observe.enabled() ? &obs : nullptr);
+      cells > 1 ? serve::simulate_sharded(scenario, cells)
+                : serve::simulate(scenario, scenario.observe.enabled() ? &obs : nullptr);
   if (json) {
     std::cout << "{\n"
               << "  \"fleet\": \"" << json_escape(scenario.fleet.label()) << "\",\n"
@@ -572,6 +579,9 @@ int run_serve(const std::vector<std::string>& args, bool json) {
       queue_cap_given = true;
       cfg.admission.queue_cap = parse_size(value(), "--queue-cap");
       if (cfg.admission.queue_cap == 0) throw InvalidArgument("--queue-cap must be >= 1");
+    } else if (a == "--cells") {
+      cfg.cells = parse_size(value(), "--cells");
+      if (cfg.cells == 0) throw InvalidArgument("--cells must be >= 1");
     } else if (a == "--percentiles") {
       cfg.percentile_mode = serve::percentile_mode_from_name(value());
     } else if (a == "--hdr-error") {
@@ -638,6 +648,15 @@ int run_serve(const std::vector<std::string>& args, bool json) {
   if (hdr_error_given && cfg.percentile_mode != serve::PercentileMode::kHdr) {
     throw InvalidArgument("--hdr-error has no effect without --percentiles hdr");
   }
+  if (cfg.cells > 1 && observe.enabled()) {
+    throw InvalidArgument(
+        "--cells > 1 does not support observers (--trace-out / --timeline-out / "
+        "--profile): cells are independent event loops; run --cells 1 to trace");
+  }
+  if (cfg.cells > fleet) {
+    throw InvalidArgument("--cells must be <= --fleet (" + std::to_string(fleet) +
+                          "): every cell needs at least one slot");
+  }
   observe.trace.seed = cfg.seed;
   if (timeout_s > 0.0) catalog.apply_timeout(timeout_s);
   cfg.fault_mtbfs_s = {mtbf_s};
@@ -688,7 +707,7 @@ int run_serve(const std::vector<std::string>& args, bool json) {
     scenario.sim.percentile_mode = cfg.percentile_mode;
     scenario.sim.hdr_relative_error = cfg.hdr_relative_error;
     scenario.observe = observe;
-    return run_closed_loop(std::move(scenario), closed, priority, json, out);
+    return run_closed_loop(std::move(scenario), closed, cfg.cells, priority, json, out);
   }
 
   if (qps <= 0.0) {

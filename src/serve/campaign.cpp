@@ -11,6 +11,7 @@
 #include "common/rng.hpp"
 #include "common/units.hpp"
 #include "serve/names.hpp"
+#include "serve/shard.hpp"
 
 namespace lumos::serve {
 
@@ -172,6 +173,16 @@ void validate_campaign(const CampaignConfig& config) {
     validate_faults(knobs);
   }
   validate_retry(config.retry);
+  if (config.cells == 0) {
+    throw InvalidArgument("CampaignConfig.cells must be >= 1");
+  }
+  for (const std::size_t n : config.fleet_sizes) {
+    if (config.cells > n) {
+      throw InvalidArgument("CampaignConfig.cells (" + std::to_string(config.cells) +
+                            ") must not exceed any fleet size (got fleet size " +
+                            std::to_string(n) + ")");
+    }
+  }
 }
 
 std::vector<CampaignPoint> run_campaign(const CampaignConfig& config,
@@ -237,7 +248,7 @@ std::vector<CampaignPoint> run_campaign(const CampaignConfig& config,
       scenario.traffic.open.process = config.process;
       scenario.traffic.open.seed =
           config.seed + 0x9E3779B9u * (static_cast<std::uint64_t>(i) + 1);
-      p.metrics = simulate(scenario);
+      p.metrics = simulate_sharded(scenario, config.cells);
     }
   });
   return points;
@@ -298,6 +309,7 @@ void write_campaign_json(const CampaignConfig& config,
   os << "  \"process\": \"" << process_name(config.process) << "\",\n";
   os << "  \"routing\": \"" << routing_name(config.routing) << "\",\n";
   os << "  \"requests_per_point\": " << config.requests_per_point << ",\n";
+  os << "  \"cells\": " << config.cells << ",\n";
   os << "  \"points\": [\n";
   for (std::size_t i = 0; i < points.size(); ++i) {
     const CampaignPoint& p = points[i];

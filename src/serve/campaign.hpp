@@ -51,6 +51,12 @@ struct CampaignConfig {
   double hdr_relative_error = 0.01;
   double max_wait_s = 2e-3;
   std::size_t requests_per_point = 100000;
+  // Cell-sharded simulation per grid point (see shard.hpp): every point runs
+  // as `cells` independent cells.  1 (the default) is the serial simulator,
+  // bit-identical to pre-shard campaigns.  Note grid points already
+  // parallelise across the pool; cells > 1 mainly helps sparse grids of huge
+  // points.
+  std::size_t cells = 1;
   ArrivalProcess process = ArrivalProcess::kPoisson;
   RoutingPolicy routing = RoutingPolicy::kFirstIdle;
   double slo_scale = 10.0;

@@ -1,0 +1,38 @@
+// Shared event-time vocabulary of the serving event loop.
+//
+// `kNever` is the "no pending event" sentinel every event source returns from
+// its next-event query (completion heap, retry heap, traffic source, fault
+// process, scheduler deadlines, autoscaler steps).  It lives here — once —
+// so the simulator, the traffic sources, and the scheduler all agree on the
+// same +infinity.
+//
+// Equal-time event ordering (the five-source rule).  When several event
+// sources fire at the same simulated instant, the loop processes them in a
+// fixed order:
+//
+//   1. completions  — batches whose service finished at t free their slots
+//                     and score their requests first,
+//   2. faults       — slot failure/recovery transitions apply next, so a
+//                     slot that fails at t aborts work dispatched before t
+//                     but never work dispatched at t,
+//   3. arrivals     — fresh requests (and retried attempts whose backoff
+//                     expired) enter admission and the scheduler,
+//   4. autoscale    — the autoscaler observes the post-arrival queue, and
+//   5. dispatch     — finally the scheduler drains onto the slots freed or
+//                     grown in steps 1–4.
+//
+// Ties *within* a source break on that source's own deterministic key —
+// (time, dispatch seq) for completions, (time, retry seq) for retries,
+// (time, session id) for closed-loop issues, lowest slot index for faults —
+// so one scenario always replays the same event sequence bit-for-bit,
+// independent of heap internals, repeats, and `LUMOS_THREADS`.
+#pragma once
+
+#include <limits>
+
+namespace lumos::serve {
+
+// "No pending event": later than every real event instant.
+inline constexpr double kNever = std::numeric_limits<double>::infinity();
+
+}  // namespace lumos::serve

@@ -23,6 +23,238 @@ double FleetMetrics::estimate_hit_rate() const noexcept {
          static_cast<double>(estimate_lookups);
 }
 
+namespace {
+
+// Recomputes every percentile field of `m` from its retained latency state —
+// the same per-tenant-then-aggregate shape simulate() uses, so a merged
+// result carries the percentiles a single simulation over the union multiset
+// would have produced.
+void percentiles_from_state(FleetMetrics& m) {
+  LatencyState& st = *m.latency_state;
+  if (st.hdr) {
+    for (std::size_t w = 0; w < m.tenants.size(); ++w) {
+      if (st.tenant_hist[w].count() == 0) continue;
+      m.tenants[w].p50_latency_s = st.tenant_hist[w].percentile(0.50);
+      m.tenants[w].p99_latency_s = st.tenant_hist[w].percentile(0.99);
+    }
+    HdrHistogram all(st.hdr_relative_error);
+    for (const HdrHistogram& h : st.tenant_hist) all.merge(h);
+    if (all.count() > 0) {
+      m.p50_latency_s = all.percentile(0.50);
+      m.p95_latency_s = all.percentile(0.95);
+      m.p99_latency_s = all.percentile(0.99);
+      m.p999_latency_s = all.percentile(0.999);
+    }
+  } else {
+    std::size_t total = 0;
+    for (std::size_t w = 0; w < m.tenants.size(); ++w) {
+      std::vector<double>& samples = st.tenant_samples[w];
+      total += samples.size();
+      if (samples.empty()) continue;
+      m.tenants[w].p50_latency_s = percentile(samples, 0.50);
+      m.tenants[w].p99_latency_s = percentile(samples, 0.99);
+    }
+    std::vector<double> all;
+    all.reserve(total);
+    for (const std::vector<double>& samples : st.tenant_samples) {
+      all.insert(all.end(), samples.begin(), samples.end());
+    }
+    if (!all.empty()) {
+      m.p50_latency_s = percentile(all, 0.50);
+      m.p95_latency_s = percentile(all, 0.95);
+      m.p99_latency_s = percentile(all, 0.99);
+      m.p999_latency_s = percentile(all, 0.999);
+    }
+  }
+  if (!st.session_samples.empty()) {
+    double sum = 0.0;
+    double max = 0.0;
+    for (const double v : st.session_samples) {
+      sum += v;
+      max = std::max(max, v);
+    }
+    m.mean_session_s = sum / static_cast<double>(st.session_samples.size());
+    m.max_session_s = max;
+    m.p50_session_s = percentile(st.session_samples, 0.50);
+    m.p99_session_s = percentile(st.session_samples, 0.99);
+  }
+}
+
+// Count-weighted recombination of two per-run averages (the labelled
+// approximation for percentiles when no raw state is retained; exact for
+// true means).  Commutative: a*wa + b*wb adds bit-identically either way.
+double weighted(double a, double wa, double b, double wb) {
+  const double w = wa + wb;
+  return w > 0.0 ? (a * wa + b * wb) / w : 0.0;
+}
+
+}  // namespace
+
+void FleetMetrics::merge(const FleetMetrics& other) {
+  if (tenants.size() != other.tenants.size()) {
+    throw InvalidArgument("FleetMetrics::merge: tenant counts differ (" +
+                          std::to_string(tenants.size()) + " vs " +
+                          std::to_string(other.tenants.size()) +
+                          "): both sides must describe the same catalog");
+  }
+
+  // Horizon primitives of both sides, read before anything is overwritten.
+  const double dur_a = duration_s;
+  const double dur_b = other.duration_s;
+  const double merged_dur = std::max(dur_a, dur_b);
+  const double slot_time_a = mean_fleet_size * dur_a;
+  const double slot_time_b = other.mean_fleet_size * dur_b;
+  const double busy = fleet_utilization * slot_time_a +
+                      other.fleet_utilization * slot_time_b;
+  const double depth_time = mean_queue_depth * dur_a + other.mean_queue_depth * dur_b;
+  const double latency_sum = mean_latency_s * static_cast<double>(completed) +
+                             other.mean_latency_s * static_cast<double>(other.completed);
+  const double na = static_cast<double>(completed);
+  const double nb = static_cast<double>(other.completed);
+  const double sess_a = static_cast<double>(sessions);
+  const double sess_b = static_cast<double>(other.sessions);
+
+  // Latency state: merged exactly when both sides retained the same mode.
+  const bool exact_state = latency_state != nullptr && other.latency_state != nullptr;
+  if (exact_state) {
+    if (latency_state->hdr != other.latency_state->hdr) {
+      throw InvalidArgument(
+          "FleetMetrics::merge: latency states mix exact and hdr modes");
+    }
+    // Copy-on-write: a shared state (metrics copied with its pointer) must
+    // not be mutated behind the copy's back.
+    if (latency_state.use_count() > 1) {
+      latency_state = std::make_shared<LatencyState>(*latency_state);
+    }
+    LatencyState& st = *latency_state;
+    const LatencyState& ot = *other.latency_state;
+    if (st.hdr) {
+      for (std::size_t w = 0; w < st.tenant_hist.size(); ++w) {
+        st.tenant_hist[w].merge(ot.tenant_hist[w]);  // throws on eps mismatch
+      }
+    } else {
+      for (std::size_t w = 0; w < st.tenant_samples.size(); ++w) {
+        st.tenant_samples[w].insert(st.tenant_samples[w].end(),
+                                    ot.tenant_samples[w].begin(),
+                                    ot.tenant_samples[w].end());
+      }
+    }
+    st.session_samples.insert(st.session_samples.end(), ot.session_samples.begin(),
+                              ot.session_samples.end());
+  } else {
+    // One side (or both) discarded its samples: percentiles degrade to the
+    // documented weighted approximation below, and no state survives.
+    latency_state.reset();
+  }
+
+  // Per-tenant: counters add; rates recompute from the merged counters.
+  for (std::size_t w = 0; w < tenants.size(); ++w) {
+    TenantMetrics& t = tenants[w];
+    const TenantMetrics& o = other.tenants[w];
+    const double ta = static_cast<double>(t.completed);
+    const double tb = static_cast<double>(o.completed);
+    t.mean_latency_s = weighted(t.mean_latency_s, ta, o.mean_latency_s, tb);
+    if (!exact_state) {
+      t.p50_latency_s = weighted(t.p50_latency_s, ta, o.p50_latency_s, tb);
+      t.p99_latency_s = weighted(t.p99_latency_s, ta, o.p99_latency_s, tb);
+    }
+    t.completed += o.completed;
+    t.within_slo += o.within_slo;
+    t.shed += o.shed;
+    t.timed_out += o.timed_out;
+    t.max_latency_s = std::max(t.max_latency_s, o.max_latency_s);
+    t.slo_latency_s = std::max(t.slo_latency_s, o.slo_latency_s);
+    const std::size_t issued = t.completed + t.shed + t.timed_out;
+    t.drop_rate = issued > 0 ? static_cast<double>(t.shed + t.timed_out) /
+                                   static_cast<double>(issued)
+                             : 0.0;
+    t.slo_attainment = t.completed > 0 ? static_cast<double>(t.within_slo) /
+                                             static_cast<double>(t.completed)
+                                       : 0.0;
+    t.goodput_qps =
+        static_cast<double>(t.within_slo) / std::max(merged_dur, 1e-300);
+  }
+
+  // Merge-exact counters and maxima.
+  completed += other.completed;
+  within_slo += other.within_slo;
+  dispatches += other.dispatches;
+  shed_requests += other.shed_requests;
+  timed_out_requests += other.timed_out_requests;
+  attempt_timeouts += other.attempt_timeouts;
+  retried_attempts += other.retried_attempts;
+  failed_batches += other.failed_batches;
+  requeued_requests += other.requeued_requests;
+  slot_failures += other.slot_failures;
+  slot_recoveries += other.slot_recoveries;
+  autoscale_grows += other.autoscale_grows;
+  autoscale_shrinks += other.autoscale_shrinks;
+  initial_fleet_size += other.initial_fleet_size;
+  peak_fleet_size += other.peak_fleet_size;  // sum of per-cell peaks
+  final_fleet_size += other.final_fleet_size;
+  estimate_lookups += other.estimate_lookups;
+  estimate_misses += other.estimate_misses;
+  sessions += other.sessions;
+  max_latency_s = std::max(max_latency_s, other.max_latency_s);
+  slo_latency_s = std::max(slo_latency_s, other.slo_latency_s);
+  peak_queue_depth = std::max(peak_queue_depth, other.peak_queue_depth);
+  fleet_energy_j += other.fleet_energy_j;
+  if (batch_histogram.size() < other.batch_histogram.size()) {
+    batch_histogram.resize(other.batch_histogram.size(), 0);
+  }
+  for (std::size_t b = 0; b < other.batch_histogram.size(); ++b) {
+    batch_histogram[b] += other.batch_histogram[b];
+  }
+  slot_availability.insert(slot_availability.end(), other.slot_availability.begin(),
+                           other.slot_availability.end());
+
+  // Concurrent-partition horizon semantics: offered load adds, the merged
+  // run lasts as long as its slowest partition, and time-weighted gauges
+  // recombine over their own horizons.
+  offered_qps += other.offered_qps;
+  duration_s = merged_dur;
+  throughput_qps = static_cast<double>(completed) / std::max(merged_dur, 1e-300);
+  goodput_qps = static_cast<double>(within_slo) / std::max(merged_dur, 1e-300);
+  slo_attainment = completed > 0 ? static_cast<double>(within_slo) /
+                                       static_cast<double>(completed)
+                                 : 0.0;
+  mean_latency_s =
+      completed > 0 ? latency_sum / static_cast<double>(completed) : 0.0;
+  const std::size_t issued = completed + shed_requests + timed_out_requests;
+  drop_rate = issued > 0 ? static_cast<double>(shed_requests + timed_out_requests) /
+                               static_cast<double>(issued)
+                         : 0.0;
+  mean_queue_depth = depth_time / std::max(merged_dur, 1e-300);
+  mean_batch_size = static_cast<double>(completed) /
+                    static_cast<double>(std::max<std::size_t>(dispatches, 1));
+  energy_per_request_j =
+      completed > 0 ? fleet_energy_j / static_cast<double>(completed) : 0.0;
+  const double slot_time = slot_time_a + slot_time_b;
+  mean_fleet_size = slot_time / std::max(merged_dur, 1e-300);
+  fleet_utilization = busy / std::max(slot_time, 1e-300);
+  fleet_availability = slot_time > 0.0
+                           ? weighted(fleet_availability, slot_time_a,
+                                      other.fleet_availability, slot_time_b)
+                           : 1.0;
+  observed_mttr_s =
+      weighted(observed_mttr_s, static_cast<double>(slot_recoveries - other.slot_recoveries),
+               other.observed_mttr_s, static_cast<double>(other.slot_recoveries));
+
+  // Percentiles: exact from the merged state, else the weighted fallback.
+  if (exact_state) {
+    percentiles_from_state(*this);
+  } else {
+    p50_latency_s = weighted(p50_latency_s, na, other.p50_latency_s, nb);
+    p95_latency_s = weighted(p95_latency_s, na, other.p95_latency_s, nb);
+    p99_latency_s = weighted(p99_latency_s, na, other.p99_latency_s, nb);
+    p999_latency_s = weighted(p999_latency_s, na, other.p999_latency_s, nb);
+    mean_session_s = weighted(mean_session_s, sess_a, other.mean_session_s, sess_b);
+    p50_session_s = weighted(p50_session_s, sess_a, other.p50_session_s, sess_b);
+    p99_session_s = weighted(p99_session_s, sess_a, other.p99_session_s, sess_b);
+    max_session_s = std::max(max_session_s, other.max_session_s);
+  }
+}
+
 Table FleetMetrics::to_table(const std::string& title) const {
   Table t(title);
   t.add_row({"metric", "value"});

@@ -6,9 +6,11 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "common/stats.hpp"
 #include "common/table.hpp"
 
 namespace lumos::serve {
@@ -36,6 +38,7 @@ struct TenantMetrics {
   std::uint32_t priority = 0;     // scheduler tier (lower = more urgent)
   double slo_latency_s = 0.0;     // the SLO this tenant was scored against
   std::size_t completed = 0;
+  std::size_t within_slo = 0;     // completions within the SLO (merge-exact counter)
   double slo_attainment = 0.0;    // fraction of completions within the SLO
   double goodput_qps = 0.0;       // within-SLO completions / duration
   double mean_latency_s = 0.0;
@@ -57,10 +60,25 @@ struct SlotAvailability {
   double observed_mttr_s = 0.0;    // mean completed repair duration
 };
 
+// Raw latency state a simulation can retain for exact cross-run merging
+// (SimConfig.keep_latency_state; sharded runs always retain it per cell).
+// kExact mode keeps every per-tenant sample; kHdr keeps the per-tenant
+// sketches instead.  `FleetMetrics::merge` uses whichever is present to
+// recompute merged percentiles from the union multiset — the same numbers a
+// single simulation over the union would have produced.
+struct LatencyState {
+  bool hdr = false;                                // which representation is live
+  double hdr_relative_error = 0.01;                // sketch eps (kHdr; must match to merge)
+  std::vector<std::vector<double>> tenant_samples; // kExact: per tenant, sorted
+  std::vector<HdrHistogram> tenant_hist;           // kHdr: per tenant
+  std::vector<double> session_samples;             // closed-loop session latencies
+};
+
 struct FleetMetrics {
   // Traffic.
   double offered_qps = 0.0;
   std::size_t completed = 0;
+  std::size_t within_slo = 0;     // completions within their SLO (merge-exact counter)
   double duration_s = 0.0;        // first arrival (t=0) to last completion
   double throughput_qps = 0.0;    // completed / duration
   double goodput_qps = 0.0;       // within-SLO completions / duration
@@ -129,9 +147,46 @@ struct FleetMetrics {
   // Estimate-cache effectiveness, summed over the fleet's per-spec caches.
   std::size_t estimate_lookups = 0;
   std::size_t estimate_misses = 0;
+
+  // Retained raw latency state (null unless SimConfig.keep_latency_state was
+  // set — sharded cell runs set it so the merge can recompute percentiles
+  // exactly).  shared_ptr keeps FleetMetrics cheaply copyable.
+  std::shared_ptr<LatencyState> latency_state;
+
   // Hit fraction (1.0 for a lookup-free run so an untouched cache never reads
   // as "all misses").
   [[nodiscard]] double estimate_hit_rate() const noexcept;
+
+  // Folds `other` — the metrics of an *independent, concurrently simulated*
+  // partition (a shard cell, a disjoint sub-fleet) — into this object.  The
+  // merge is commutative pairwise; the cell merge folds in ascending cell
+  // order so multi-way results are deterministic.  Field semantics:
+  //
+  //   * Merge-exact (counters add; maxima take the max): completed,
+  //     within_slo, dispatches, batch_histogram, shed/timed-out/retried/
+  //     requeued/failed-batch counts, slot failures/recoveries, autoscale
+  //     grows/shrinks, fleet sizes (disjoint sub-fleets add; peak is the sum
+  //     of per-cell peaks), estimate lookups/misses, sessions, max latency,
+  //     fleet energy.
+  //   * Merge-exact via retained state: every latency percentile (p50/p95/
+  //     p99/p99.9, per-tenant p50/p99, session p50/p99) is recomputed from
+  //     the union of the two sides' samples (kExact) or merged sketches
+  //     (kHdr) when both sides carry `latency_state` of the same mode;
+  //     mismatched modes or sketch resolutions throw InvalidArgument.
+  //     Without state, percentiles fall back to a completed-weighted average
+  //     — a labelled approximation, not a percentile of the union.
+  //   * Recomputed from merged primitives: throughput/goodput/attainment/
+  //     mean latency/mean batch/drop rate/energy per request.
+  //   * Per-run-only (merged by convention, approximate across unequal
+  //     horizons): duration_s takes the max (cells run concurrently);
+  //     offered_qps adds; mean_queue_depth, mean_fleet_size, utilization,
+  //     and availability recombine time-weighted by each side's duration or
+  //     slot-time; peak_queue_depth takes the max of per-cell peaks (cells
+  //     queue independently — there is no fleet-wide instant to align).
+  //   * Positional: tenants merge element-wise (both sides must describe the
+  //     same catalog, or InvalidArgument); slot_availability concatenates in
+  //     call order.
+  void merge(const FleetMetrics& other);
 
   [[nodiscard]] Table to_table(const std::string& title) const;
   // One row per tenant: priority, SLO, attainment, goodput, tail latency.

@@ -1,16 +1,14 @@
 #include "serve/scheduler.hpp"
 
 #include <deque>
-#include <limits>
 #include <map>
 
 #include "common/error.hpp"
+#include "serve/event.hpp"
 
 namespace lumos::serve {
 
 namespace {
-
-constexpr double kNever = std::numeric_limits<double>::infinity();
 
 // Workload w's strict tier under `tiers` (empty vector / out-of-range: 0).
 std::uint32_t tier_of(const std::vector<std::uint32_t>& tiers, std::uint32_t workload) {
@@ -47,7 +45,8 @@ class FifoScheduler final : public Scheduler {
     return kNever;
   }
 
-  [[nodiscard]] std::vector<Request> pop(double, const WorkloadMask& mask) override {
+  void pop(double, const WorkloadMask& mask, std::vector<Request>& out) override {
+    out.clear();
     // Lowest-tier, then earliest-enqueued allowed head (the global front when
     // unmasked and untiered).
     std::size_t best = queues_.size();
@@ -64,13 +63,11 @@ class FifoScheduler final : public Scheduler {
         best = w;
       }
     }
-    std::vector<Request> batch;
     if (best < queues_.size()) {
-      batch.push_back(queues_[best].front().request);
+      out.push_back(queues_[best].front().request);
       queues_[best].pop_front();
       --queued_;
     }
-    return batch;
   }
 
  private:
@@ -111,7 +108,7 @@ class DynamicBatchScheduler final : public Scheduler {
 
   [[nodiscard]] bool ready(double now_s, const WorkloadMask& mask) const noexcept override {
     for (const auto& [key, bucket] : buckets_) {
-      if (!mask.allows(workload_of(key))) continue;
+      if (bucket.empty() || !mask.allows(workload_of(key))) continue;
       if (bucket.size() >= policy_.max_batch) return true;
       if (bucket.front().arrival_s + policy_.max_wait_s <= now_s) return true;
     }
@@ -121,19 +118,20 @@ class DynamicBatchScheduler final : public Scheduler {
   [[nodiscard]] double next_deadline_s(const WorkloadMask& mask) const noexcept override {
     double deadline = kNever;
     for (const auto& [key, bucket] : buckets_) {
-      if (!mask.allows(workload_of(key))) continue;
+      if (bucket.empty() || !mask.allows(workload_of(key))) continue;
       deadline = std::min(deadline, bucket.front().arrival_s + policy_.max_wait_s);
     }
     return deadline;
   }
 
-  [[nodiscard]] std::vector<Request> pop(double now_s, const WorkloadMask& mask) override {
+  void pop(double now_s, const WorkloadMask& mask, std::vector<Request>& out) override {
+    out.clear();
     // Among ready allowed buckets, serve the lowest tier; within a tier, the
     // bucket whose oldest request has waited longest (tie: lowest
     // (workload id, seq bucket) via the map's iteration order).
     auto best = buckets_.end();
     for (auto it = buckets_.begin(); it != buckets_.end(); ++it) {
-      if (!mask.allows(workload_of(it->first))) continue;
+      if (it->second.empty() || !mask.allows(workload_of(it->first))) continue;
       const std::deque<Request>& bucket = it->second;
       const bool is_ready = bucket.size() >= policy_.max_batch ||
                             bucket.front().arrival_s + policy_.max_wait_s <= now_s;
@@ -149,18 +147,20 @@ class DynamicBatchScheduler final : public Scheduler {
         best = it;
       }
     }
-    std::vector<Request> batch;
-    if (best == buckets_.end()) return batch;
+    if (best == buckets_.end()) return;
     std::deque<Request>& bucket = best->second;
     const std::size_t take = std::min(policy_.max_batch, bucket.size());
-    batch.reserve(take);
+    out.reserve(take);
     for (std::size_t i = 0; i < take; ++i) {
-      batch.push_back(bucket.front());
+      out.push_back(bucket.front());
       bucket.pop_front();
     }
     queued_ -= take;
-    if (bucket.empty()) buckets_.erase(best);
-    return batch;
+    // The emptied bucket node stays in the map (its deque keeps a spare
+    // block): a steady-state workload re-fills the same (workload, seq)
+    // bucket every batch, and erasing would pay a map-node free + alloc per
+    // dispatch.  Distinct keys are bounded by workloads x seq buckets, so
+    // retained empties cannot grow with request count.
   }
 
  private:

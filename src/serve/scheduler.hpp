@@ -75,10 +75,20 @@ class Scheduler {
   // allowed is already ready).
   [[nodiscard]] virtual double next_deadline_s(
       const WorkloadMask& mask = {}) const noexcept = 0;
-  // Pops the next mask-allowed batch (arrival order within a batch; single
-  // workload per batch for batching schedulers).  Empty when !ready(now_s).
-  [[nodiscard]] virtual std::vector<Request> pop(double now_s,
-                                                 const WorkloadMask& mask = {}) = 0;
+  // Pops the next mask-allowed batch into `out` (cleared first; arrival
+  // order within a batch; single workload per batch for batching
+  // schedulers).  `out` stays empty when !ready(now_s).  Taking the buffer
+  // from the caller lets the event loop recycle batch storage through its
+  // `RequestArena` instead of allocating per dispatch.
+  virtual void pop(double now_s, const WorkloadMask& mask, std::vector<Request>& out) = 0;
+
+  // Convenience overload returning the batch by value (tests, one-shot
+  // callers; the hot loop uses the buffer-filling virtual above).
+  [[nodiscard]] std::vector<Request> pop(double now_s, const WorkloadMask& mask = {}) {
+    std::vector<Request> out;
+    pop(now_s, mask, out);
+    return out;
+  }
 };
 
 // `priorities[w]` is workload w's strict tier (lower pops first); workloads

@@ -2,12 +2,14 @@
 
 #include <algorithm>
 #include <cmath>
-#include <limits>
 #include <memory>
 
 #include "arch/registry.hpp"
 #include "common/error.hpp"
 #include "common/stats.hpp"
+#include "serve/arena.hpp"
+#include "serve/event.hpp"
+#include "serve/event_heap.hpp"
 
 namespace lumos::serve {
 
@@ -46,7 +48,6 @@ std::string FleetConfig::label() const {
 
 namespace {
 
-constexpr double kNever = std::numeric_limits<double>::infinity();
 constexpr std::size_t kNone = static_cast<std::size_t>(-1);
 constexpr std::uint64_t kNoBatch = static_cast<std::uint64_t>(-1);
 
@@ -99,7 +100,9 @@ struct Slot {
   double active_start_s = 0.0;
   double active_end_s = -1.0;  // < 0: still present at simulation end
 
-  // In-flight batch (valid while !idle).
+  // In-flight batch (valid while !idle).  The buffer cycles through the
+  // run's RequestArena: acquired at dispatch, released at completion or
+  // fault-abort.
   std::vector<Request> inflight;
   std::uint64_t inflight_seq = kNoBatch;
   double inflight_start_s = 0.0;
@@ -169,8 +172,16 @@ void validate_scenario(const Scenario& scenario) {
   }
 }
 
-FleetMetrics simulate(const Scenario& scenario, Observation* observation) {
-  validate_scenario(scenario);
+namespace {
+
+// The event loop proper, compiled twice: kObs=false is the fast path with
+// every observer hook and profiler clock read removed at compile time
+// (`if constexpr`), not branch-predicted away at run time — the unobserved
+// 1M-request headline pays zero per-event observability cost.  kObs=true is
+// the instrumented twin; both produce bit-identical metrics because hooks
+// never feed back into simulation state.
+template <bool kObs>
+FleetMetrics simulate_impl(const Scenario& scenario, Observation* observation) {
   const FleetConfig& fleet = scenario.fleet;
   const WorkloadCatalog& catalog = scenario.catalog;
   const BatchPolicy& policy = scenario.batch;
@@ -186,18 +197,21 @@ FleetMetrics simulate(const Scenario& scenario, Observation* observation) {
   const std::unique_ptr<AdmissionController> admission = make_admission(sim.admission);
   const RetryPolicy& retry = sim.retry;
 
-  // Observability: a null hub for unobserved runs keeps every hook site one
-  // pointer test, so the disabled default stays bit-identical and overhead-
-  // free.  The profiler is the only observer that reads a real clock.
+  // Observability: only the kObs instantiation ever constructs the hub; the
+  // profiler is the only observer that reads a real clock.
   std::unique_ptr<ObserverHub> hub;
-  if (scenario.observe.enabled()) {
+  if constexpr (kObs) {
     hub = std::make_unique<ObserverHub>(scenario.observe, catalog);
   }
-  ObserverHub* const obs = hub.get();
+  ObserverHub* const obs = hub.get();  // non-null iff kObs
   EventLoopProfiler* const prof = obs ? obs->profiler() : nullptr;
   using ProfClock = EventLoopProfiler::Clock;
   const auto prof_now = [&]() {
-    return prof ? ProfClock::now() : ProfClock::time_point{};
+    if constexpr (kObs) {
+      return prof ? ProfClock::now() : ProfClock::time_point{};
+    } else {
+      return ProfClock::time_point{};
+    }
   };
 
   // One estimate cache per distinct spec name; fleet slots share caches.
@@ -234,7 +248,7 @@ FleetMetrics simulate(const Scenario& scenario, Observation* observation) {
     s.family = f;
     slots.push_back(std::move(s));
   }
-  if (obs) {
+  if constexpr (kObs) {
     for (std::size_t i = 0; i < slots.size(); ++i) {
       obs->on_slot_added(i, fleet.accelerators[i], 0.0);
     }
@@ -273,8 +287,9 @@ FleetMetrics simulate(const Scenario& scenario, Observation* observation) {
                             "': no accelerator of that kind in the fleet");
     }
   }
-  // Masks only bind when the fleet mixes families; single-kind fleets keep
-  // the (equivalent, cheaper) allow-everything mask.
+  // Masks only bind when the fleet mixes families; single-kind fleets skip
+  // the mask rebuild entirely (hoisted: the allow-everything mask is a
+  // constant, tested once per dispatch round instead of per slot scan).
   bool mixed_fleet = false;
   for (std::size_t c = 1; c < caches.size() && !mixed_fleet; ++c) {
     mixed_fleet = caches[c].spec().serves != caches[0].spec().serves;
@@ -323,12 +338,16 @@ FleetMetrics simulate(const Scenario& scenario, Observation* observation) {
 
   const std::unique_ptr<Scheduler> sched =
       make_scheduler(scenario.scheduler, policy, catalog.priorities());
-  std::vector<Completion> heap;
+  EventHeap<Completion, CompletionLater> heap;
   std::uint64_t dispatch_seq = 0;
 
   // Retried arrivals waiting out their backoff (fifth arrival path).
-  std::vector<PendingRetry> retry_heap;
+  EventHeap<PendingRetry, RetryLater> retry_heap;
   std::uint64_t retry_seq = 0;
+
+  // Batch buffers cycle through the arena: dispatch acquires, completion or
+  // fault-abort releases, so the steady state allocates nothing per batch.
+  RequestArena arena;
 
   // Per-slot failure/recovery process (nullptr when injection is disabled).
   std::unique_ptr<SlotFaultProcess> faults;
@@ -387,7 +406,8 @@ FleetMetrics simulate(const Scenario& scenario, Observation* observation) {
   rebuild_live();
 
   // Scratch for the mixed-fleet dispatch mask: workload w is dispatchable
-  // when some idle non-draining accelerator serves it.
+  // when some idle non-draining accelerator serves it.  Single-kind fleets
+  // never call this (the hoisted allow-everything mask is equivalent).
   std::vector<char> allowed(catalog.size(), 1);
   const auto current_mask = [&]() -> WorkloadMask {
     if (!mixed_fleet) return WorkloadMask{};
@@ -416,20 +436,19 @@ FleetMetrics simulate(const Scenario& scenario, Observation* observation) {
     ++m.attempt_timeouts;
     const bool will_retry =
         static_cast<std::size_t>(req.attempt) + 1 < retry.max_attempts;
-    if (obs) obs->on_attempt_timeout(req, now_s, will_retry);
+    if constexpr (kObs) obs->on_attempt_timeout(req, now_s, will_retry);
     if (will_retry) {
       Request again = req;
       ++again.attempt;
       again.arrival_s = now_s + retry_backoff_s(retry, again.id, again.attempt);
       ++m.retried_attempts;
-      if (obs) obs->on_retry(again, now_s, again.arrival_s);
-      retry_heap.push_back({again.arrival_s, retry_seq++, std::move(again)});
-      std::push_heap(retry_heap.begin(), retry_heap.end(), RetryLater{});
+      if constexpr (kObs) obs->on_retry(again, now_s, again.arrival_s);
+      retry_heap.push({again.arrival_s, retry_seq++, std::move(again)});
     } else {
       ++m.timed_out_requests;
       ++tenant_timed_out[req.workload];
       ++terminal;
-      if (obs) {
+      if constexpr (kObs) {
         obs->on_complete(req, now_s, CompletionStatus::kTimeout,
                          now_s - req.first_arrival_s, false);
       }
@@ -461,12 +480,12 @@ FleetMetrics simulate(const Scenario& scenario, Observation* observation) {
   // scheduler, or terminates it as kShed.
   const auto accept_arrival = [&](const Request& r, double now_s) {
     const bool admitted = !admission || admit(r);
-    if (obs) obs->on_admission(r, now_s, admitted);
+    if constexpr (kObs) obs->on_admission(r, now_s, admitted);
     if (!admitted) {
       ++m.shed_requests;
       ++tenant_shed[r.workload];
       ++terminal;
-      if (obs) {
+      if constexpr (kObs) {
         obs->on_complete(r, now_s, CompletionStatus::kShed, now_s - r.first_arrival_s,
                          false);
       }
@@ -484,7 +503,8 @@ FleetMetrics simulate(const Scenario& scenario, Observation* observation) {
       const WorkloadMask mask = current_mask();
       const auto t_pop = prof_now();
       if (!sched->ready(now_s, mask)) return;
-      std::vector<Request> batch = sched->pop(now_s, mask);
+      std::vector<Request> batch = arena.acquire();
+      sched->pop(now_s, mask, batch);
       if (prof) prof->record(LoopSource::kSchedulerPop, t_pop, 1);
       LUMOS_ENSURES(!batch.empty());
       const std::uint32_t workload = batch.front().workload;
@@ -500,7 +520,10 @@ FleetMetrics simulate(const Scenario& scenario, Observation* observation) {
           }
         }
         batch.resize(kept);
-        if (batch.empty()) continue;
+        if (batch.empty()) {
+          arena.release(std::move(batch));
+          continue;
+        }
       }
       // Batching schedulers never mix seq buckets within a batch (FIFO
       // batches are single requests), so the head's sampled length prices the
@@ -543,10 +566,11 @@ FleetMetrics simulate(const Scenario& scenario, Observation* observation) {
       sl.inflight_start_s = now_s;
       sl.inflight_done_s = now_s + r.latency_s;
       sl.inflight_energy_j = r.total_energy_j;
-      if (obs) obs->on_dispatch(chosen, dispatch_seq, sl.inflight, now_s, sl.inflight_done_s);
-      heap.push_back({sl.inflight_done_s, dispatch_seq, chosen});
+      if constexpr (kObs) {
+        obs->on_dispatch(chosen, dispatch_seq, sl.inflight, now_s, sl.inflight_done_s);
+      }
+      heap.push({sl.inflight_done_s, dispatch_seq, chosen});
       ++dispatch_seq;
-      std::push_heap(heap.begin(), heap.end(), CompletionLater{});
     }
   };
 
@@ -572,11 +596,11 @@ FleetMetrics simulate(const Scenario& scenario, Observation* observation) {
         ++s.failures;
         ++m.slot_failures;
         ++failed_total;
-        if (obs) obs->on_slot_failure(i, t_ev);
+        if constexpr (kObs) obs->on_slot_failure(i, t_ev);
         s.down_since_s = t_ev;
         if (!s.idle) {
           ++m.failed_batches;
-          if (obs) {
+          if constexpr (kObs) {
             obs->on_batch_abort(i, s.inflight_seq, s.inflight_start_s, t_ev,
                                 s.inflight.size());
           }
@@ -588,13 +612,14 @@ FleetMetrics simulate(const Scenario& scenario, Observation* observation) {
             dispatched_energy_j +=
                 s.inflight_energy_j * ((t_ev - s.inflight_start_s) / span);
           }
-          for (const Request& req : s.inflight) {
+          std::vector<Request> aborted = std::move(s.inflight);
+          for (const Request& req : aborted) {
             ++queued_by_workload[req.workload];
             sched->enqueue(req, t_ev);
             ++m.requeued_requests;
-            if (obs) obs->on_requeue(req, t_ev);
+            if constexpr (kObs) obs->on_requeue(req, t_ev);
           }
-          s.inflight.clear();
+          arena.release(std::move(aborted));
           s.inflight_seq = kNoBatch;
           s.idle = true;
           m.peak_queue_depth = std::max(m.peak_queue_depth, sched->queued());
@@ -611,7 +636,7 @@ FleetMetrics simulate(const Scenario& scenario, Observation* observation) {
         ++s.repairs;
         ++m.slot_recoveries;
         --failed_total;
-        if (obs) obs->on_slot_recovery(i, t_ev);
+        if constexpr (kObs) obs->on_slot_recovery(i, t_ev);
         const double repair_s = t_ev - s.down_since_s;
         s.down_total_s += repair_s;
         s.repair_total_s += repair_s;
@@ -664,7 +689,7 @@ FleetMetrics simulate(const Scenario& scenario, Observation* observation) {
         grown.active_start_s = now_s;
         slots.push_back(std::move(grown));
         if (faults) faults->add_slot(now_s);
-        if (obs) {
+        if constexpr (kObs) {
           obs->on_autoscale(f, 1, now_s);
           obs->on_slot_added(slots.size() - 1, caches[slots.back().cache].spec().name,
                              now_s);
@@ -678,7 +703,7 @@ FleetMetrics simulate(const Scenario& scenario, Observation* observation) {
           Slot& s = slots[i];
           if (s.family != f || s.retired || s.draining) continue;
           s.draining = true;
-          if (obs) obs->on_autoscale(f, -1, now_s);
+          if constexpr (kObs) obs->on_autoscale(f, -1, now_s);
           --active_total;
           if (s.idle) {
             s.retired = true;
@@ -698,8 +723,8 @@ FleetMetrics simulate(const Scenario& scenario, Observation* observation) {
   double now_s = 0.0;
   while (terminal < total_requests) {
     const double t_arr = source->next_arrival_time();
-    const double t_retry = retry_heap.empty() ? kNever : retry_heap.front().time_s;
-    const double t_done = heap.empty() ? kNever : heap.front().time_s;
+    const double t_retry = retry_heap.next_time_s();
+    const double t_done = heap.next_time_s();
     const double t_fault = faults ? faults->next_event_s() : kNever;
     // Deadlines only matter while an accelerator could take the batch; when
     // everything is busy the next completion re-evaluates readiness anyway.
@@ -723,14 +748,12 @@ FleetMetrics simulate(const Scenario& scenario, Observation* observation) {
 
     const auto t_completions = prof_now();
     std::uint64_t completion_events = 0;
-    while (!heap.empty() && heap.front().time_s <= now_s) {
-      std::pop_heap(heap.begin(), heap.end(), CompletionLater{});
-      const Completion done = heap.back();
-      heap.pop_back();
+    while (!heap.empty() && heap.top().time_s <= now_s) {
+      const Completion done = heap.pop();
       Slot& acc = slots[done.acc];
       if (acc.inflight_seq != done.seq) continue;  // batch aborted by a failure
       ++completion_events;
-      if (obs) {
+      if constexpr (kObs) {
         obs->on_batch_complete(done.acc, done.seq, acc.inflight_start_s, done.time_s,
                                acc.inflight.size());
       }
@@ -773,11 +796,14 @@ FleetMetrics simulate(const Scenario& scenario, Observation* observation) {
         }
         ++m.completed;
         ++terminal;
-        if (obs) obs->on_complete(req, done.time_s, CompletionStatus::kOk, latency, in_slo);
+        if constexpr (kObs) {
+          obs->on_complete(req, done.time_s, CompletionStatus::kOk, latency, in_slo);
+        }
         // Feedback to the source: a closed-loop session may now schedule its
         // next issue (at or after this completion's instant).
         source->on_complete(req, done.time_s, CompletionStatus::kOk);
       }
+      arena.release(std::move(batch));
     }
     if (prof) prof->record(LoopSource::kCompletions, t_completions, completion_events);
     if (faults) {
@@ -792,17 +818,15 @@ FleetMetrics simulate(const Scenario& scenario, Observation* observation) {
       last_arrival_s = r.arrival_s;
       r.first_arrival_s = r.arrival_s;
       ++arrival_events;
-      if (obs) obs->on_arrival(r, now_s);
+      if constexpr (kObs) obs->on_arrival(r, now_s);
       accept_arrival(r, now_s);
     }
     if (prof) prof->record(LoopSource::kArrivals, t_arrivals, arrival_events);
     if (!retry_heap.empty()) {
       const auto t_retries = prof_now();
       std::uint64_t retry_events = 0;
-      while (!retry_heap.empty() && retry_heap.front().time_s <= now_s) {
-        std::pop_heap(retry_heap.begin(), retry_heap.end(), RetryLater{});
-        const Request r = std::move(retry_heap.back().request);
-        retry_heap.pop_back();
+      while (!retry_heap.empty() && retry_heap.top().time_s <= now_s) {
+        const Request r = std::move(retry_heap.pop().request);
         ++retry_events;
         accept_arrival(r, now_s);
       }
@@ -822,9 +846,9 @@ FleetMetrics simulate(const Scenario& scenario, Observation* observation) {
       prof->record(LoopSource::kDispatch, t_dispatch, m.dispatches - dispatched_before);
       prof->add_iterations(1);
     }
-    if (obs) obs->on_tick(now_s, sched->queued(), active_total, failed_total);
+    if constexpr (kObs) obs->on_tick(now_s, sched->queued(), active_total, failed_total);
   }
-  if (obs) obs->finish(now_s);
+  if constexpr (kObs) obs->finish(now_s);
 
   const double duration_s = now_s;
   m.offered_qps = static_cast<double>(total_requests) / std::max(last_arrival_s, 1e-300);
@@ -832,6 +856,7 @@ FleetMetrics simulate(const Scenario& scenario, Observation* observation) {
   m.throughput_qps = static_cast<double>(m.completed) / std::max(duration_s, 1e-300);
   m.goodput_qps = static_cast<double>(within_slo) / std::max(duration_s, 1e-300);
   m.slo_latency_s = slo_s;
+  m.within_slo = within_slo;
   m.slo_attainment =
       m.completed > 0
           ? static_cast<double>(within_slo) / static_cast<double>(m.completed)
@@ -850,6 +875,7 @@ FleetMetrics simulate(const Scenario& scenario, Observation* observation) {
     t.priority = catalog.at(w).priority;
     t.slo_latency_s = slo_of[w];
     t.completed = tenant_completed[w];
+    t.within_slo = tenant_within[w];
     t.max_latency_s = tenant_max[w];
     t.shed = tenant_shed[w];
     t.timed_out = tenant_timed_out[w];
@@ -962,9 +988,38 @@ FleetMetrics simulate(const Scenario& scenario, Observation* observation) {
     m.observed_mttr_s =
         repairs_total > 0 ? repair_total_s / static_cast<double>(repairs_total) : 0.0;
   }
+  // Exact-merge support: hand the raw latency state to the caller before the
+  // source reports (a closed-loop source appends its session samples to it).
+  // The samples land sorted (percentile() sorts in place above); merge
+  // re-sorts unions anyway.
+  if (sim.keep_latency_state) {
+    auto st = std::make_shared<LatencyState>();
+    st->hdr = hdr;
+    st->hdr_relative_error = sim.hdr_relative_error;
+    if (hdr) {
+      st->tenant_hist = std::move(tenant_hist);
+    } else {
+      st->tenant_samples = std::move(tenant_latencies);
+    }
+    m.latency_state = std::move(st);
+  }
   source->finish(m);
-  if (hub && observation) *observation = hub->take();
+  if constexpr (kObs) {
+    if (observation != nullptr) *observation = hub->take();
+  }
   return m;
+}
+
+}  // namespace
+
+FleetMetrics simulate(const Scenario& scenario, Observation* observation) {
+  validate_scenario(scenario);
+  // Template split: unobserved runs take the kObs=false instantiation, whose
+  // hook sites do not exist in the compiled loop at all.
+  if (scenario.observe.enabled()) {
+    return simulate_impl<true>(scenario, observation);
+  }
+  return simulate_impl<false>(scenario, observation);
 }
 
 }  // namespace lumos::serve

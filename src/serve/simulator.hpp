@@ -110,6 +110,12 @@ struct SimConfig {
   // error in kHdr mode.
   PercentileMode percentile_mode = PercentileMode::kExact;
   double hdr_relative_error = 0.01;
+  // Retain the raw latency state (per-tenant samples or sketches, session
+  // latencies) in `FleetMetrics::latency_state` so this run's metrics can be
+  // merged exactly with another's (see FleetMetrics::merge).  Sharded runs
+  // set this per cell internally; off by default because exact-mode state
+  // holds every sample.
+  bool keep_latency_state = false;
 };
 
 // One serving run as a value: everything `simulate` needs, validated at the

@@ -1,16 +1,12 @@
 #include "serve/traffic.hpp"
 
 #include <cmath>
-#include <limits>
 #include <utility>
 
 #include "common/error.hpp"
+#include "serve/event.hpp"
 
 namespace lumos::serve {
-
-namespace {
-constexpr double kNever = std::numeric_limits<double>::infinity();
-}  // namespace
 
 void validate_closed_loop(const ClosedLoopConfig& config) {
   if (config.sessions < 1) {
@@ -105,13 +101,12 @@ std::size_t ClosedLoopSource::total_requests() const noexcept {
 }
 
 double ClosedLoopSource::next_arrival_time() const noexcept {
-  return pending_.empty() ? kNever : pending_.top().time_s;
+  return pending_.next_time_s();
 }
 
 Request ClosedLoopSource::pop_arrival() {
   LUMOS_EXPECTS(!pending_.empty());
-  const Pending p = pending_.top();
-  pending_.pop();
+  const Pending p = pending_.pop();
   Session& s = sessions_[p.session];
   if (s.issued == 0) s.first_issue_s = p.time_s;
   ++s.issued;
@@ -144,6 +139,13 @@ void ClosedLoopSource::on_complete(const Request& request, double time_s,
 void ClosedLoopSource::finish(FleetMetrics& metrics) {
   metrics.sessions = session_latencies_s_.size();
   if (session_latencies_s_.empty()) return;
+  if (metrics.latency_state) {
+    // Exact-merge support: stash the raw session latencies so a sharded
+    // run's merge can recompute session percentiles over the union.
+    metrics.latency_state->session_samples.insert(
+        metrics.latency_state->session_samples.end(), session_latencies_s_.begin(),
+        session_latencies_s_.end());
+  }
   double sum = 0.0;
   double max = 0.0;
   for (const double v : session_latencies_s_) {

@@ -27,10 +27,10 @@
 
 #include <cstdint>
 #include <memory>
-#include <queue>
 #include <vector>
 
 #include "common/rng.hpp"
+#include "serve/event_heap.hpp"
 #include "serve/faults.hpp"
 #include "serve/metrics.hpp"
 #include "serve/trace.hpp"
@@ -155,7 +155,7 @@ class ClosedLoopSource final : public TrafficSource {
   const WorkloadCatalog* catalog_;
   ClosedLoopConfig config_;
   std::vector<Session> sessions_;
-  std::priority_queue<Pending, std::vector<Pending>, PendingLater> pending_;
+  EventHeap<Pending, PendingLater> pending_;
   std::vector<double> session_latencies_s_;
   std::uint64_t next_id_ = 0;
 };

@@ -19,7 +19,9 @@ Two metric classes, two tolerance bands:
 The serve observer_overhead section gets two extra gates: the observed run's
 p99/goodput must match the unobserved run within --det-tol (observers must
 never change results), and the relative wall-clock overhead of observing must
-stay under --overhead-tol (default 0.25).
+stay under --overhead-tol (default 0.35; the denominator is the *unobserved*
+loop, which the `if constexpr` observer-free instantiation made faster — the
+same absolute observer cost now reads as a larger fraction).
 
 The "provenance" object (compiler, build type, schema version, threads) is
 context for humans, never gated: baselines produced by a different toolchain
@@ -76,6 +78,19 @@ DET_OBSERVER_FIELDS = [
     "batch_spans", "timeline_windows",
 ]
 TIMING_OBSERVER_FIELDS = ["off_requests_per_s", "on_requests_per_s"]
+# Sharded-simulation entries: simulated results are deterministic for a fixed
+# cell count (salted per-cell seeds, ascending merge), so they are gated like
+# every other det field; wall clocks and speedups are host-dependent timing.
+# `threads` is context (like provenance): a 1-core runner's ~1x speedup only
+# fails against its own 1-core baseline's band, never an absolute floor.
+DET_SHARDED_FIELDS = [
+    "requests", "fleet", "serial_completed", "serial_p99_latency_s",
+    "serial_goodput_qps", "scale_requests", "scale_cells", "scale_completed",
+    "scale_p99_latency_s", "scale_goodput_qps",
+]
+DET_SHARDED_POINT_FIELDS = ["completed", "p99_latency_s", "goodput_qps"]
+TIMING_SHARDED_FIELDS = ["serial_requests_per_s", "scale_requests_per_s"]
+TIMING_SHARDED_POINT_FIELDS = ["requests_per_s", "speedup"]  # higher is better
 
 
 class Failure(Exception):
@@ -156,6 +171,75 @@ def check_observer_overhead(baseline, current, time_tol, det_tol, overhead_tol,
                     f"{what}: {field} regressed: {cur[field]:.0f} vs baseline "
                     f"{base[field]:.0f} (tolerance {time_tol}x)"
                 )
+
+
+def check_timing(what, baseline, current, fields, time_tol, errors):
+    """Higher-is-better timing fields: fail when worse than baseline / time_tol."""
+    for field in fields:
+        if field not in baseline:
+            continue
+        if field not in current:
+            errors.append(f"{what}: timing field '{field}' missing from current")
+            continue
+        if current[field] * time_tol < baseline[field]:
+            errors.append(
+                f"{what}: {field} regressed: {current[field]:.2f} vs baseline "
+                f"{baseline[field]:.2f} (tolerance {time_tol}x)"
+            )
+
+
+def check_sharded(baseline, current, time_tol, det_tol, errors):
+    cur_entries = {s["label"]: s for s in current.get("sharded", [])}
+    for base in baseline.get("sharded", []):
+        label = base["label"]
+        cur = cur_entries.get(label)
+        if cur is None:
+            errors.append(f"serve: sharded scenario '{label}' missing from current")
+            continue
+        what = f"serve sharded '{label}'"
+        check_det(what, base, cur, DET_SHARDED_FIELDS, det_tol, errors)
+        check_timing(what, base, cur, TIMING_SHARDED_FIELDS, time_tol, errors)
+        base_points = {p["cells"]: p for p in base.get("points", [])}
+        cur_points = {p["cells"]: p for p in cur.get("points", [])}
+        for cells, base_point in base_points.items():
+            cur_point = cur_points.get(cells)
+            if cur_point is None:
+                errors.append(f"{what}: cells={cells} point missing from current")
+                continue
+            point_what = f"{what} cells={cells}"
+            check_det(point_what, base_point, cur_point, DET_SHARDED_POINT_FIELDS,
+                      det_tol, errors)
+            check_timing(point_what, base_point, cur_point,
+                         TIMING_SHARDED_POINT_FIELDS, time_tol, errors)
+        # In-file parity at zero tolerance: the cells == 1 point ran the same
+        # binary in the same process as the serial reference, so its simulated
+        # results must be bit-identical (the cells == 1 contract), not merely
+        # within det tolerance.
+        one = cur_points.get(1)
+        if one is not None:
+            for point_field, serial_field in (
+                    ("completed", "serial_completed"),
+                    ("p99_latency_s", "serial_p99_latency_s"),
+                    ("goodput_qps", "serial_goodput_qps")):
+                if point_field not in one or serial_field not in cur:
+                    continue
+                if one[point_field] != cur[serial_field]:
+                    errors.append(
+                        f"{what}: cells=1 broke bit-parity with the serial run: "
+                        f"{point_field} {one[point_field]} vs {cur[serial_field]}"
+                    )
+
+
+def check_event_queue(baseline, current, time_tol, errors):
+    cur_entries = {q["label"]: q for q in current.get("event_queue", [])}
+    for base in baseline.get("event_queue", []):
+        label = base["label"]
+        cur = cur_entries.get(label)
+        if cur is None:
+            errors.append(f"serve: event_queue '{label}' missing from current")
+            continue
+        check_timing(f"serve event_queue '{label}'", base, cur, ["ops_per_s"],
+                     time_tol, errors)
 
 
 def check_serve(baseline, current, time_tol, det_tol, errors):
@@ -248,7 +332,7 @@ def check_serve(baseline, current, time_tol, det_tol, errors):
                               DET_TENANT_FIELDS, det_tol, errors)
 
 
-def run_check(baseline, current, time_tol, det_tol, overhead_tol=0.25):
+def run_check(baseline, current, time_tol, det_tol, overhead_tol=0.35):
     kind = baseline.get("bench")
     if current.get("bench") != kind:
         return [f"bench kind mismatch: baseline '{kind}' vs current "
@@ -260,6 +344,8 @@ def run_check(baseline, current, time_tol, det_tol, overhead_tol=0.25):
         check_serve(baseline, current, time_tol, det_tol, errors)
         check_observer_overhead(baseline, current, time_tol, det_tol, overhead_tol,
                                 errors)
+        check_sharded(baseline, current, time_tol, det_tol, errors)
+        check_event_queue(baseline, current, time_tol, errors)
     else:
         errors.append(f"unknown bench kind: {kind!r}")
     return errors
@@ -309,6 +395,41 @@ def self_test(baseline, time_tol, det_tol):
             print("bench_check self-test FAILED: overload_faults availability "
                   "regression was not detected")
             return 1
+    if baseline.get("sharded"):
+        # A sharded point's simulated result drifting must trip the gate by
+        # itself (det band) ...
+        drifted = copy.deepcopy(baseline)
+        drifted["sharded"][0]["points"][-1]["p99_latency_s"] *= 1.5
+        if not run_check(baseline, drifted, time_tol, det_tol):
+            print("bench_check self-test FAILED: sharded point drift was not detected")
+            return 1
+        # ... and so must a cells=1 result that is no longer bit-identical to
+        # the serial run, even when the drift is far below det tolerance.
+        parity = copy.deepcopy(baseline)
+        for point in parity["sharded"][0].get("points", []):
+            if point.get("cells") == 1:
+                point["p99_latency_s"] *= 1.0 + 1e-12
+        if not run_check(baseline, parity, time_tol, det_tol):
+            print("bench_check self-test FAILED: sharded cells=1 parity break "
+                  "was not detected")
+            return 1
+        # A collapsed speedup (e.g. the cells all serialised behind a lock)
+        # must trip the timing band.
+        slow = copy.deepcopy(baseline)
+        for point in slow["sharded"][0].get("points", []):
+            point["speedup"] /= 100.0
+            point["requests_per_s"] /= 100.0
+        if not run_check(baseline, slow, time_tol, det_tol):
+            print("bench_check self-test FAILED: sharded speedup collapse "
+                  "was not detected")
+            return 1
+    if baseline.get("event_queue"):
+        slow_queue = copy.deepcopy(baseline)
+        slow_queue["event_queue"][0]["ops_per_s"] /= 100.0
+        if not run_check(baseline, slow_queue, time_tol, det_tol):
+            print("bench_check self-test FAILED: event_queue regression "
+                  "was not detected")
+            return 1
     if baseline.get("observer_overhead"):
         # Runaway observer overhead must trip the gate by itself ...
         slow_observed = copy.deepcopy(baseline)
@@ -347,8 +468,8 @@ def main():
                         help="allowed slowdown factor for timing metrics (default 4.0)")
     parser.add_argument("--det-tol", type=float, default=1e-3,
                         help="relative tolerance for deterministic metrics (default 1e-3)")
-    parser.add_argument("--overhead-tol", type=float, default=0.25,
-                        help="allowed observer_overhead fraction (default 0.25)")
+    parser.add_argument("--overhead-tol", type=float, default=0.35,
+                        help="allowed observer_overhead fraction (default 0.35)")
     parser.add_argument("--self-test", action="store_true",
                         help="verify the gate passes the baseline against itself and "
                              "fails an injected regression")
