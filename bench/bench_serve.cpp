@@ -351,6 +351,104 @@ ShardedResult run_sharded_scenario(bool smoke) {
   return out;
 }
 
+// Continuous-batching scenario: the TRON catalog with log-normal decode
+// lengths (median 32 tokens) and per-token SLOs, served at 1x and 2x its
+// decode-aware capacity under both decode schedules.  Monolithic batching
+// holds every lane until the batch's longest decode finishes (the
+// static-batching baseline), so waiting prefills eat head-of-line TTFT;
+// continuous batching admits them into freed lanes at token boundaries.  The
+// acceptance contract — continuous mean TTFT no worse than monolithic at
+// every load — is gated in-file by bench_check.py; the per-mode simulated
+// metrics are deterministic (det tolerance), the wall time sits in the
+// timing band.
+struct DecodeModeMetrics {
+  double mean_ttft_s = 0.0;
+  double p95_ttft_s = 0.0;
+  double mean_tpot_s = 0.0;
+  double p95_tpot_s = 0.0;
+  double tokens_per_s = 0.0;
+  double p99_latency_s = 0.0;
+  double goodput_qps = 0.0;
+  double ttft_attainment = 0.0;
+  double decode_occupancy = 0.0;
+};
+
+struct ContinuousBatchingPoint {
+  double capacity_x = 0.0;
+  double offered_qps = 0.0;
+  DecodeModeMetrics mono;
+  DecodeModeMetrics cont;
+  double ttft_ratio = 0.0;  // mono mean TTFT / cont mean TTFT (>= 1: cont wins)
+};
+
+struct ContinuousBatchingResult {
+  std::string label = "TRON continuous batching";
+  std::size_t requests = 0;
+  std::size_t fleet = 0;
+  std::size_t decode_tokens = 0;
+  double capacity_qps = 0.0;
+  double wall_s = 0.0;           // all four runs together
+  double requests_per_s = 0.0;
+  std::vector<ContinuousBatchingPoint> points;
+};
+
+ContinuousBatchingResult run_continuous_batching_scenario(bool smoke) {
+  serve::WorkloadCatalog catalog = serve::WorkloadCatalog::tron_default();
+  const std::size_t decode_tokens = 32;
+  catalog.apply_decode(serve::SeqLenDist::kLogNormal, decode_tokens);
+  catalog.apply_token_slos(500e-6, 100e-6);
+  const std::size_t fleet = 4;
+  const std::size_t max_batch = 8;
+  const serve::FleetConfig fleet_cfg = serve::FleetConfig::cycled({"tron"}, fleet);
+  const double capacity = serve::fleet_capacity_qps(catalog, fleet_cfg, max_batch);
+
+  ContinuousBatchingResult out;
+  out.requests = smoke ? 20000 : 200000;
+  out.fleet = fleet;
+  out.decode_tokens = decode_tokens;
+  out.capacity_qps = capacity;
+
+  const auto run_mode = [&](double qps, serve::DecodeMode mode) {
+    serve::Scenario scenario;
+    scenario.fleet = fleet_cfg;
+    scenario.catalog = catalog;
+    scenario.scheduler = serve::SchedulerKind::kDynamicBatch;
+    scenario.batch.max_batch = max_batch;
+    scenario.sim.decode_mode = mode;
+    scenario.traffic.open.offered_qps = qps;
+    scenario.traffic.open.request_count = out.requests;
+    scenario.traffic.open.seed = 37;
+    const serve::FleetMetrics m = serve::simulate(scenario);
+    DecodeModeMetrics r;
+    r.mean_ttft_s = m.mean_ttft_s;
+    r.p95_ttft_s = m.p95_ttft_s;
+    r.mean_tpot_s = m.mean_tpot_s;
+    r.p95_tpot_s = m.p95_tpot_s;
+    r.tokens_per_s = m.tokens_per_s;
+    r.p99_latency_s = m.p99_latency_s;
+    r.goodput_qps = m.goodput_qps;
+    r.ttft_attainment = m.ttft_attainment;
+    r.decode_occupancy = m.mean_decode_occupancy;
+    return r;
+  };
+
+  const auto t0 = std::chrono::steady_clock::now();
+  for (const double x : {1.0, 2.0}) {
+    ContinuousBatchingPoint p;
+    p.capacity_x = x;
+    p.offered_qps = x * capacity;
+    p.mono = run_mode(p.offered_qps, serve::DecodeMode::kMonolithic);
+    p.cont = run_mode(p.offered_qps, serve::DecodeMode::kContinuous);
+    p.ttft_ratio = p.cont.mean_ttft_s > 0.0 ? p.mono.mean_ttft_s / p.cont.mean_ttft_s : 0.0;
+    out.points.push_back(p);
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  out.wall_s = std::chrono::duration<double>(t1 - t0).count();
+  out.requests_per_s =
+      static_cast<double>(2 * out.points.size() * out.requests) / out.wall_s;
+  return out;
+}
+
 // Event-queue micro-benchmark: the classic hold model (prefill H events, then
 // N rounds of pop-min + push at popped time + exponential increment) over the
 // three containers a simulation could schedule with.  All three pop the same
@@ -465,9 +563,23 @@ void write_indented_campaign(std::ofstream& f, const serve::CampaignConfig& conf
   }
 }
 
+void write_decode_mode_fields(std::ofstream& f, const char* prefix,
+                              const DecodeModeMetrics& r) {
+  f << ", \"" << prefix << "_mean_ttft_s\": " << r.mean_ttft_s << ", \"" << prefix
+    << "_p95_ttft_s\": " << r.p95_ttft_s << ", \"" << prefix
+    << "_mean_tpot_s\": " << r.mean_tpot_s << ", \"" << prefix
+    << "_p95_tpot_s\": " << r.p95_tpot_s << ", \"" << prefix
+    << "_tokens_per_s\": " << r.tokens_per_s << ", \"" << prefix
+    << "_p99_latency_s\": " << r.p99_latency_s << ", \"" << prefix
+    << "_goodput_qps\": " << r.goodput_qps << ", \"" << prefix
+    << "_ttft_attainment\": " << r.ttft_attainment << ", \"" << prefix
+    << "_decode_occupancy\": " << r.decode_occupancy;
+}
+
 bool write_json(const std::vector<ScenarioResult>& scenarios,
                 const ClosedLoopResult& closed, const ScenarioResult& overload,
                 const ObserverOverhead& observer, const ShardedResult& sharded,
+                const ContinuousBatchingResult& batching,
                 const std::vector<QueueBenchResult>& queues, const std::string& path,
                 bool smoke) {
   std::ofstream f(path);
@@ -555,6 +667,23 @@ bool write_json(const std::vector<ScenarioResult>& scenarios,
       << ", \"estimate_lookups\": " << m.estimate_lookups
       << ", \"estimate_misses\": " << m.estimate_misses << "}\n";
   }
+  f << "  ],\n  \"continuous_batching\": [\n";
+  f << "    {\"label\": \"" << batching.label << "\", \"requests\": " << batching.requests
+    << ", \"fleet\": " << batching.fleet
+    << ", \"decode_tokens\": " << batching.decode_tokens
+    << ", \"capacity_qps\": " << batching.capacity_qps
+    << ", \"wall_s\": " << batching.wall_s
+    << ", \"requests_per_s\": " << batching.requests_per_s << ",\n     \"points\": [\n";
+  for (std::size_t i = 0; i < batching.points.size(); ++i) {
+    const ContinuousBatchingPoint& p = batching.points[i];
+    f << "       {\"capacity_x\": " << p.capacity_x
+      << ", \"offered_qps\": " << p.offered_qps;
+    write_decode_mode_fields(f, "mono", p.mono);
+    write_decode_mode_fields(f, "cont", p.cont);
+    f << ", \"ttft_ratio\": " << p.ttft_ratio << "}"
+      << (i + 1 < batching.points.size() ? "," : "") << "\n";
+  }
+  f << "     ]}\n";
   f << "  ],\n  \"overload_faults\": [\n";
   write_indented_campaign(f, overload.config, overload.points);
   f << "\n  ],\n  \"campaigns\": [\n";
@@ -734,6 +863,7 @@ int main(int argc, char** argv) {
   const ScenarioResult overload = run_overload_faults_scenario(smoke);
   const ObserverOverhead observer = run_observer_overhead(smoke);
   const ShardedResult sharded = run_sharded_scenario(smoke);
+  const ContinuousBatchingResult batching = run_continuous_batching_scenario(smoke);
   const std::vector<QueueBenchResult> queues = run_event_queue_bench(smoke);
 
   for (const ScenarioResult& s : scenarios) {
@@ -778,14 +908,27 @@ int main(int argc, char** argv) {
               "(%.0f req/s, p99 %.1f us)\n\n",
               sharded.scale_requests, sharded.scale_cells, sharded.scale_wall_s,
               sharded.scale_requests_per_s, sharded.scale_p99_latency_s * 1e6);
+  std::printf("%s: %zu requests, %zu-slot fleet, lognormal decode (median %zu tokens), "
+              "capacity %.0f QPS, %.3f s total\n",
+              batching.label.c_str(), batching.requests, batching.fleet,
+              batching.decode_tokens, batching.capacity_qps, batching.wall_s);
+  for (const ContinuousBatchingPoint& p : batching.points) {
+    std::printf("  %.1fx capacity: mean TTFT %.1f us (monolithic) -> %.1f us "
+                "(continuous, %.2fx better); mean TPOT %.1f -> %.1f us; "
+                "tokens/s %.0f -> %.0f\n",
+                p.capacity_x, p.mono.mean_ttft_s * 1e6, p.cont.mean_ttft_s * 1e6,
+                p.ttft_ratio, p.mono.mean_tpot_s * 1e6, p.cont.mean_tpot_s * 1e6,
+                p.mono.tokens_per_s, p.cont.tokens_per_s);
+  }
+  std::printf("\n");
   for (const QueueBenchResult& q : queues) {
     std::printf("event_queue %s: %zu hold-model rounds in %.3f s (%.0f ops/s)\n",
                 q.label.c_str(), q.events, q.wall_s, q.ops_per_s);
   }
   std::printf("\n");
 
-  if (!write_json(scenarios, closed, overload, observer, sharded, queues, out_path,
-                  smoke)) {
+  if (!write_json(scenarios, closed, overload, observer, sharded, batching, queues,
+                  out_path, smoke)) {
     std::fprintf(stderr, "error: could not write %s\n", out_path.c_str());
     return 1;
   }

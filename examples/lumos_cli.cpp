@@ -34,6 +34,20 @@
 //     --think-time-us <t> closed loop: mean exponential think time (default 2000)
 //     --seqlen-dist <d>  fixed | uniform | lognormal: per-request sequence
 //                        lengths for transformer tenants (default fixed)
+//     --decode <n>       mean generated tokens per request on transformer
+//                        tenants: each request runs a prefill then decodes
+//                        token by token, with waiting prefills admitted into
+//                        free batch lanes at token boundaries (continuous
+//                        batching; see --decode-mode)
+//     --decode-dist <d>  fixed | uniform | lognormal decode-length shape
+//                        around --decode tokens (default fixed; needs --decode)
+//     --decode-mode <m>  continuous | monolithic decode scheduling (default
+//                        continuous; monolithic holds the batch to the longest
+//                        decode — the static-batching baseline; needs --decode)
+//     --ttft-slo-us <t>  time-to-first-token SLO on decoding tenants
+//                        (needs --decode)
+//     --tpot-slo-us <t>  time-per-output-token SLO on decoding tenants
+//                        (needs --decode)
 //     --fleet <n>        accelerators in the (initial) fleet (default 4)
 //     --sched <s>        fifo | batch (default batch)
 //     --max-batch <n>    dynamic-batch cap (default 8)
@@ -100,6 +114,7 @@
 //   lumos_cli serve mixed --priority --autoscale queue --fleet 2 --max-fleet 8
 //   lumos_cli serve mixed --loop closed --sessions 64 --think-time-us 500
 //   lumos_cli serve tron --seqlen-dist lognormal --qps 20000
+//   lumos_cli serve tron --decode 32 --decode-dist lognormal --ttft-slo-us 300
 #include <cerrno>
 #include <cstdlib>
 #include <fstream>
@@ -186,6 +201,9 @@ int usage() {
                    "[--qps q]\n"
                    "            [--requests n] [--sessions n] [--think-time-us t]\n"
                    "            [--seqlen-dist fixed|uniform|lognormal] [--fleet n]\n"
+                   "            [--decode n] [--decode-dist fixed|uniform|lognormal]\n"
+                   "            [--decode-mode continuous|monolithic] [--ttft-slo-us t]\n"
+                   "            [--tpot-slo-us t]\n"
                    "            [--sched fifo|batch] [--max-batch n] [--max-wait-us w] "
                    "[--bursty]\n"
                    "            [--routing first-idle|energy-aware] [--hetero] [--seed s] "
@@ -252,7 +270,9 @@ int run_list(bool json) {
     print_names_json("seqlen_dists", serve::seqlen_dist_names(), false);
     print_names_json("admission_policies", serve::admission_names(), false);
     print_names_json("completion_statuses", serve::completion_status_names(), false);
-    print_names_json("percentile_modes", serve::percentile_mode_names(), true);
+    print_names_json("percentile_modes", serve::percentile_mode_names(), false);
+    print_names_json("decode_dists", serve::seqlen_dist_names(), false);
+    print_names_json("decode_modes", serve::decode_mode_names(), true);
     std::cout << "}\n";
   } else {
     std::cout << "transformer models : " << sim::joined_names(sim::transformer_names())
@@ -270,7 +290,10 @@ int run_list(bool json) {
               << "\ncompletion statuses: "
               << sim::joined_names(serve::completion_status_names())
               << "\npercentile modes   : "
-              << sim::joined_names(serve::percentile_mode_names()) << "\n";
+              << sim::joined_names(serve::percentile_mode_names())
+              << "\ndecode dists       : " << sim::joined_names(serve::seqlen_dist_names())
+              << "\ndecode modes       : " << sim::joined_names(serve::decode_mode_names())
+              << "\n";
   }
   return 0;
 }
@@ -407,6 +430,7 @@ int run_open_observed(const serve::CampaignConfig& cfg, const serve::WorkloadCat
   scenario.sim.retry = cfg.retry;
   scenario.sim.percentile_mode = cfg.percentile_mode;
   scenario.sim.hdr_relative_error = cfg.hdr_relative_error;
+  scenario.sim.decode_mode = cfg.decode_mode;
   scenario.traffic.open.offered_qps = qps;
   scenario.traffic.open.request_count = cfg.requests_per_point;
   scenario.traffic.open.process = cfg.process;
@@ -485,6 +509,12 @@ int run_serve(const std::vector<std::string>& args, bool json) {
   std::string closed_only_flag;
   double mtbf_s = 0.0;
   double timeout_s = 0.0;
+  std::size_t decode_tokens = 0;  // 0: decode off
+  serve::SeqLenDist decode_dist = serve::SeqLenDist::kFixed;
+  bool decode_dist_given = false;
+  bool decode_mode_given = false;
+  double ttft_slo_s = 0.0;
+  double tpot_slo_s = 0.0;
   bool mttr_given = false;
   bool retries_given = false;
   bool queue_cap_given = false;
@@ -519,6 +549,21 @@ int run_serve(const std::vector<std::string>& args, bool json) {
       }
     } else if (a == "--seqlen-dist") {
       catalog.apply_seqlen_dist(serve::seqlen_dist_from_name(value()));
+    } else if (a == "--decode") {
+      decode_tokens = parse_size(value(), "--decode");
+      if (decode_tokens == 0) throw InvalidArgument("--decode must be >= 1");
+    } else if (a == "--decode-dist") {
+      decode_dist_given = true;
+      decode_dist = serve::seqlen_dist_from_name(value());
+    } else if (a == "--decode-mode") {
+      decode_mode_given = true;
+      cfg.decode_mode = serve::decode_mode_from_name(value());
+    } else if (a == "--ttft-slo-us") {
+      ttft_slo_s = parse_double(value(), "--ttft-slo-us") * 1e-6;
+      if (ttft_slo_s <= 0.0) throw InvalidArgument("--ttft-slo-us must be positive");
+    } else if (a == "--tpot-slo-us") {
+      tpot_slo_s = parse_double(value(), "--tpot-slo-us") * 1e-6;
+      if (tpot_slo_s <= 0.0) throw InvalidArgument("--tpot-slo-us must be positive");
     } else if (a == "--fleet") {
       fleet = parse_size(value(), "--fleet");
     } else if (a == "--sched") {
@@ -657,6 +702,27 @@ int run_serve(const std::vector<std::string>& args, bool json) {
     throw InvalidArgument("--cells must be <= --fleet (" + std::to_string(fleet) +
                           "): every cell needs at least one slot");
   }
+  if (decode_tokens == 0) {
+    // Decode sub-knobs without --decode would be silently ignored; error like
+    // the other mode-gated knobs instead.
+    if (decode_dist_given) {
+      throw InvalidArgument("--decode-dist has no effect without --decode");
+    }
+    if (decode_mode_given) {
+      throw InvalidArgument("--decode-mode has no effect without --decode");
+    }
+    if (ttft_slo_s > 0.0) {
+      throw InvalidArgument("--ttft-slo-us has no effect without --decode");
+    }
+    if (tpot_slo_s > 0.0) {
+      throw InvalidArgument("--tpot-slo-us has no effect without --decode");
+    }
+  } else {
+    catalog.apply_decode(decode_dist, decode_tokens);
+    if (ttft_slo_s > 0.0 || tpot_slo_s > 0.0) {
+      catalog.apply_token_slos(ttft_slo_s, tpot_slo_s);
+    }
+  }
   observe.trace.seed = cfg.seed;
   if (timeout_s > 0.0) catalog.apply_timeout(timeout_s);
   cfg.fault_mtbfs_s = {mtbf_s};
@@ -706,6 +772,7 @@ int run_serve(const std::vector<std::string>& args, bool json) {
     scenario.sim.admission.policy = cfg.admissions.front();
     scenario.sim.percentile_mode = cfg.percentile_mode;
     scenario.sim.hdr_relative_error = cfg.hdr_relative_error;
+    scenario.sim.decode_mode = cfg.decode_mode;
     scenario.observe = observe;
     return run_closed_loop(std::move(scenario), closed, cfg.cells, priority, json, out);
   }

@@ -25,6 +25,15 @@ void Accelerator::require_serveable(const Workload& workload) const {
   }
 }
 
+PerfReport Accelerator::estimate_decode_step(const Workload& workload, std::size_t batch,
+                                             std::size_t context_len) const {
+  (void)batch;
+  (void)context_len;
+  throw InvalidArgument("accelerator '" + spec().name + "' (" + spec().family +
+                        ") has no autoregressive decode path for workload '" +
+                        workload.name() + "'");
+}
+
 TronAdapter::TronAdapter(const tron::TronConfig& config, SpecInfo info)
     : info_(std::move(info)), device_(config) {}
 
@@ -36,6 +45,12 @@ PerfReport TronAdapter::estimate(const Workload& workload) const {
 PerfReport TronAdapter::estimate_batch(const Workload& workload, std::size_t batch) const {
   require_serveable(workload);
   return device_.estimate_batch(workload.transformer_config(), batch);
+}
+
+PerfReport TronAdapter::estimate_decode_step(const Workload& workload, std::size_t batch,
+                                             std::size_t context_len) const {
+  require_serveable(workload);
+  return device_.estimate_decode_step(workload.transformer_config(), batch, context_len);
 }
 
 double TronAdapter::static_power_w() const { return device_.static_power_w(); }

@@ -65,6 +65,19 @@ class Accelerator {
   [[nodiscard]] virtual PerfReport estimate_batch(const Workload& workload,
                                                   std::size_t batch) const = 0;
 
+  // Autoregressive generation support.  A generating accelerator prices a
+  // request as one prefill (`estimate_batch` at the prompt length) plus a
+  // per-token decode step per generated token; fabrics without a decode path
+  // (GHOST: GNN inference has no autoregressive loop) return false and
+  // `estimate_decode_step` throws `InvalidArgument`.
+  [[nodiscard]] virtual bool can_generate() const noexcept { return false; }
+
+  // ONE decode step of `batch` concurrent lanes at KV context `context_len`
+  // (see tron::TronAccelerator::estimate_decode_step for the cost model).
+  [[nodiscard]] virtual PerfReport estimate_decode_step(const Workload& workload,
+                                                        std::size_t batch,
+                                                        std::size_t context_len) const;
+
   // Fabric-wide static (hold) power.
   [[nodiscard]] virtual double static_power_w() const = 0;
 
@@ -82,6 +95,9 @@ class TronAdapter final : public Accelerator {
   [[nodiscard]] PerfReport estimate(const Workload& workload) const override;
   [[nodiscard]] PerfReport estimate_batch(const Workload& workload,
                                           std::size_t batch) const override;
+  [[nodiscard]] bool can_generate() const noexcept override { return true; }
+  [[nodiscard]] PerfReport estimate_decode_step(const Workload& workload, std::size_t batch,
+                                                std::size_t context_len) const override;
   [[nodiscard]] double static_power_w() const override;
 
   // The concrete device, for TRON-only faces (area, generation, forward).

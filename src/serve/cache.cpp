@@ -34,6 +34,24 @@ const PerfReport& EstimateCache::estimate(std::uint32_t workload, std::size_t ba
   return reports_.emplace(key, std::move(r)).first->second;
 }
 
+const PerfReport& EstimateCache::decode_step(std::uint32_t workload, std::size_t batch,
+                                             std::uint32_t context_len) const {
+  // Same key layout as estimate(): workload 16 | context bucket 32 | batch 16.
+  LUMOS_EXPECTS(workload < catalog_->size() && catalog_->size() < (std::size_t{1} << 16));
+  LUMOS_EXPECTS(batch >= 1 && batch < (std::size_t{1} << 16));
+  LUMOS_EXPECTS(context_len >= 1);
+  ++lookups_;
+  const std::uint64_t key = (static_cast<std::uint64_t>(workload) << 48) |
+                            (static_cast<std::uint64_t>(context_len) << 16) |
+                            static_cast<std::uint64_t>(batch);
+  const auto it = decode_reports_.find(key);
+  if (it != decode_reports_.end()) return it->second;
+  ++misses_;
+  PerfReport r =
+      acc_->estimate_decode_step(catalog_->workload(workload), batch, context_len);
+  return decode_reports_.emplace(key, std::move(r)).first->second;
+}
+
 bool EstimateCache::can_serve(std::uint32_t workload) const {
   LUMOS_EXPECTS(workload < catalog_->size());
   return acc_->can_serve(catalog_->workload(workload));

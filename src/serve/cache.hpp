@@ -38,7 +38,16 @@ class EstimateCache {
   const PerfReport& estimate(std::uint32_t workload, std::size_t batch,
                              std::uint32_t seq_len = 0) const;
 
+  // The memoized PerfReport of ONE decode step of `batch` lanes of `workload`
+  // at KV context `context_len` (callers bucketise the context first — see
+  // DecodeConfig::ctx_bucket — to keep the keyspace bounded).  Lives in its
+  // own keyspace so decode steps never collide with prefill estimates.  The
+  // accelerator must generate (`can_generate`).
+  const PerfReport& decode_step(std::uint32_t workload, std::size_t batch,
+                                std::uint32_t context_len) const;
+
   [[nodiscard]] bool can_serve(std::uint32_t workload) const;
+  [[nodiscard]] bool can_generate() const noexcept { return acc_->can_generate(); }
   [[nodiscard]] double static_power_w() const;
   [[nodiscard]] const arch::Accelerator& accelerator() const noexcept { return *acc_; }
   [[nodiscard]] const arch::SpecInfo& spec() const noexcept { return acc_->spec(); }
@@ -49,6 +58,7 @@ class EstimateCache {
   std::unique_ptr<arch::Accelerator> acc_;
   const WorkloadCatalog* catalog_;
   mutable std::unordered_map<std::uint64_t, PerfReport> reports_;
+  mutable std::unordered_map<std::uint64_t, PerfReport> decode_reports_;
   mutable std::size_t lookups_ = 0;
   mutable std::size_t misses_ = 0;
 };

@@ -38,6 +38,40 @@ double expected_service_s(const EstimateCache& cache, const WorkloadCatalog& cat
   return sum_s / static_cast<double>(kSamples) / static_cast<double>(batch);
 }
 
+// Expected per-request *decode* time of one catalog entry at `batch` lanes:
+// (E[tokens] - 1) decode steps priced at the entry's native context,
+// amortised over the lanes sharing each step.  0 for decode-free entries (or
+// accelerators with no decode path), so pre-decode capacity numbers are
+// untouched.
+double expected_decode_s(const EstimateCache& cache, const WorkloadCatalog& catalog,
+                         std::uint32_t w, std::size_t batch) {
+  const DecodeConfig& decode = catalog.at(w).decode;
+  if (!decode.enabled() || !cache.can_generate()) return 0.0;
+  double mean_tokens = 0.0;
+  if (decode.dist == SeqLenDist::kFixed) {
+    mean_tokens = static_cast<double>(decode.tokens);
+  } else {
+    constexpr std::size_t kSamples = 512;
+    Rng rng(0xDECAF, w);
+    double sum = 0.0;
+    for (std::size_t i = 0; i < kSamples; ++i) {
+      sum += static_cast<double>(sample_decode_tokens(decode, rng));
+    }
+    mean_tokens = sum / static_cast<double>(kSamples);
+  }
+  if (mean_tokens <= 1.0) return 0.0;  // the prefill already made the only token
+  const arch::Workload& wl = catalog.workload(w);
+  std::uint32_t ctx = 1;
+  if (wl.kind() == arch::WorkloadKind::kTransformer) {
+    ctx = static_cast<std::uint32_t>(wl.transformer_config().seq_len);
+  }
+  const std::uint32_t bucket =
+      static_cast<std::uint32_t>(std::max<std::size_t>(decode.ctx_bucket, 1));
+  ctx = (std::max(ctx, 1u) + bucket - 1) / bucket * bucket;
+  const double step_s = cache.decode_step(w, batch, ctx).latency_s;
+  return (mean_tokens - 1.0) * step_s / static_cast<double>(batch);
+}
+
 }  // namespace
 
 double fleet_capacity_qps(const WorkloadCatalog& catalog, const std::string& spec,
@@ -49,7 +83,8 @@ double fleet_capacity_qps(const WorkloadCatalog& catalog, const std::string& spe
   double served_weight = 0.0;
   for (std::uint32_t w = 0; w < catalog.size(); ++w) {
     if (!cache.can_serve(w)) continue;
-    const double per_request_s = expected_service_s(cache, catalog, w, batch);
+    const double per_request_s = expected_service_s(cache, catalog, w, batch) +
+                                 expected_decode_s(cache, catalog, w, batch);
     weighted_service_s += catalog.at(w).mix_weight * per_request_s;
     served_weight += catalog.at(w).mix_weight;
   }
@@ -243,6 +278,7 @@ std::vector<CampaignPoint> run_campaign(const CampaignConfig& config,
       scenario.sim.retry = config.retry;
       scenario.sim.percentile_mode = config.percentile_mode;
       scenario.sim.hdr_relative_error = config.hdr_relative_error;
+      scenario.sim.decode_mode = config.decode_mode;
       scenario.traffic.open.offered_qps = p.qps;
       scenario.traffic.open.request_count = config.requests_per_point;
       scenario.traffic.open.process = config.process;
@@ -259,9 +295,11 @@ Table campaign_table(const std::vector<CampaignPoint>& points, const std::string
   // Robustness columns only when some point exercises them, so fault-free
   // campaign tables keep their familiar shape.
   bool robust = false;
+  bool decode = false;
   for (const CampaignPoint& p : points) {
     robust = robust || p.admission != AdmissionPolicy::kNone || p.fault_mtbf_s > 0.0 ||
              p.metrics.drop_rate > 0.0;
+    decode = decode || p.metrics.decode_requests > 0;
   }
   std::vector<std::string> header{"fleet", "sched", "batch", "scaler", "offered QPS",
                                   "goodput QPS", "p50 us", "p99 us", "p99.9 us",
@@ -270,6 +308,11 @@ Table campaign_table(const std::vector<CampaignPoint>& points, const std::string
     header.insert(header.begin() + 4, "admit");
     header.push_back("drop");
     header.push_back("avail");
+  }
+  if (decode) {
+    header.push_back("tok/s");
+    header.push_back("p95 TTFT us");
+    header.push_back("p95 TPOT us");
   }
   t.add_row(header);
   for (const CampaignPoint& p : points) {
@@ -291,6 +334,11 @@ Table campaign_table(const std::vector<CampaignPoint>& points, const std::string
       row.push_back(Table::num(m.drop_rate, 4));
       row.push_back(Table::num(m.fleet_availability, 4));
     }
+    if (decode) {
+      row.push_back(Table::num(m.tokens_per_s, 1));
+      row.push_back(Table::num(units::to_us(m.p95_ttft_s), 1));
+      row.push_back(Table::num(units::to_us(m.p95_tpot_s), 1));
+    }
     t.add_row(row);
   }
   return t;
@@ -310,6 +358,7 @@ void write_campaign_json(const CampaignConfig& config,
   os << "  \"routing\": \"" << routing_name(config.routing) << "\",\n";
   os << "  \"requests_per_point\": " << config.requests_per_point << ",\n";
   os << "  \"cells\": " << config.cells << ",\n";
+  os << "  \"decode_mode\": \"" << decode_mode_name(config.decode_mode) << "\",\n";
   os << "  \"points\": [\n";
   for (std::size_t i = 0; i < points.size(); ++i) {
     const CampaignPoint& p = points[i];
@@ -347,7 +396,19 @@ void write_campaign_json(const CampaignConfig& config,
        << ", \"requeued\": " << m.requeued_requests
        << ", \"slot_failures\": " << m.slot_failures
        << ", \"availability\": " << m.fleet_availability
-       << ", \"drop_rate\": " << m.drop_rate << ",\n"
+       << ", \"drop_rate\": " << m.drop_rate
+       << ", \"decode_requests\": " << m.decode_requests
+       << ", \"generated_tokens\": " << m.generated_tokens
+       << ", \"aborted_decode_tokens\": " << m.aborted_decode_tokens
+       << ", \"tokens_per_s\": " << m.tokens_per_s
+       << ", \"mean_ttft_s\": " << m.mean_ttft_s
+       << ", \"p95_ttft_s\": " << m.p95_ttft_s
+       << ", \"p99_ttft_s\": " << m.p99_ttft_s
+       << ", \"mean_tpot_s\": " << m.mean_tpot_s
+       << ", \"p95_tpot_s\": " << m.p95_tpot_s
+       << ", \"ttft_attainment\": " << m.ttft_attainment
+       << ", \"tpot_attainment\": " << m.tpot_attainment
+       << ", \"mean_decode_occupancy\": " << m.mean_decode_occupancy << ",\n"
        << "     \"tenants\": [\n";
     for (std::size_t w = 0; w < m.tenants.size(); ++w) {
       const TenantMetrics& t = m.tenants[w];

@@ -49,6 +49,9 @@ struct CampaignConfig {
   // per-point request counts.
   PercentileMode percentile_mode = PercentileMode::kExact;
   double hdr_relative_error = 0.01;
+  // Decode-phase scheduling at every grid point (see DecodeMode); only
+  // matters when the catalog's entries decode.
+  DecodeMode decode_mode = DecodeMode::kContinuous;
   double max_wait_s = 2e-3;
   std::size_t requests_per_point = 100000;
   // Cell-sharded simulation per grid point (see shard.hpp): every point runs
@@ -89,7 +92,11 @@ struct CampaignPoint {
 // distribution are priced at their *expected* service time (fixed-seed Monte
 // Carlo over the entry's distribution), not the native length, so overload
 // sweeps expressed as multiples of capacity stay honest for lognormal
-// catalogs.  Use it to place QPS points around the saturation knee.
+// catalogs.  Decode-enabled entries additionally price their expected decode
+// time ((E[tokens] - 1) steps at the native context, amortised over the
+// batch's lanes), so decode capacity multiples stay honest too; decode-free
+// catalogs price exactly as before.  Use it to place QPS points around the
+// saturation knee.
 [[nodiscard]] double fleet_capacity_qps(const WorkloadCatalog& catalog,
                                         const std::string& spec, std::size_t fleet_size,
                                         std::size_t batch);

@@ -78,6 +78,35 @@ void percentiles_from_state(FleetMetrics& m) {
     m.p50_session_s = percentile(st.session_samples, 0.50);
     m.p99_session_s = percentile(st.session_samples, 0.99);
   }
+  // Decode phase latencies are always sample-exact (see LatencyState), so the
+  // merged TTFT/TPOT statistics are true union percentiles, not a weighted
+  // approximation.
+  if (!st.ttft_samples.empty()) {
+    double sum = 0.0;
+    double max = 0.0;
+    for (const double v : st.ttft_samples) {
+      sum += v;
+      max = std::max(max, v);
+    }
+    m.mean_ttft_s = sum / static_cast<double>(st.ttft_samples.size());
+    m.max_ttft_s = max;
+    m.p50_ttft_s = percentile(st.ttft_samples, 0.50);
+    m.p95_ttft_s = percentile(st.ttft_samples, 0.95);
+    m.p99_ttft_s = percentile(st.ttft_samples, 0.99);
+  }
+  if (!st.tpot_samples.empty()) {
+    double sum = 0.0;
+    double max = 0.0;
+    for (const double v : st.tpot_samples) {
+      sum += v;
+      max = std::max(max, v);
+    }
+    m.mean_tpot_s = sum / static_cast<double>(st.tpot_samples.size());
+    m.max_tpot_s = max;
+    m.p50_tpot_s = percentile(st.tpot_samples, 0.50);
+    m.p95_tpot_s = percentile(st.tpot_samples, 0.95);
+    m.p99_tpot_s = percentile(st.tpot_samples, 0.99);
+  }
 }
 
 // Count-weighted recombination of two per-run averages (the labelled
@@ -113,6 +142,8 @@ void FleetMetrics::merge(const FleetMetrics& other) {
   const double nb = static_cast<double>(other.completed);
   const double sess_a = static_cast<double>(sessions);
   const double sess_b = static_cast<double>(other.sessions);
+  const double dec_a = static_cast<double>(decode_requests);
+  const double dec_b = static_cast<double>(other.decode_requests);
 
   // Latency state: merged exactly when both sides retained the same mode.
   const bool exact_state = latency_state != nullptr && other.latency_state != nullptr;
@@ -141,6 +172,10 @@ void FleetMetrics::merge(const FleetMetrics& other) {
     }
     st.session_samples.insert(st.session_samples.end(), ot.session_samples.begin(),
                               ot.session_samples.end());
+    st.ttft_samples.insert(st.ttft_samples.end(), ot.ttft_samples.begin(),
+                           ot.ttft_samples.end());
+    st.tpot_samples.insert(st.tpot_samples.end(), ot.tpot_samples.begin(),
+                           ot.tpot_samples.end());
   } else {
     // One side (or both) discarded its samples: percentiles degrade to the
     // documented weighted approximation below, and no state survives.
@@ -207,6 +242,20 @@ void FleetMetrics::merge(const FleetMetrics& other) {
   }
   slot_availability.insert(slot_availability.end(), other.slot_availability.begin(),
                            other.slot_availability.end());
+  decode_requests += other.decode_requests;
+  generated_tokens += other.generated_tokens;
+  aborted_decode_tokens += other.aborted_decode_tokens;
+  decode_steps += other.decode_steps;
+  ttft_slo_requests += other.ttft_slo_requests;
+  within_ttft_slo += other.within_ttft_slo;
+  tpot_slo_requests += other.tpot_slo_requests;
+  within_tpot_slo += other.within_tpot_slo;
+  if (decode_occupancy.size() < other.decode_occupancy.size()) {
+    decode_occupancy.resize(other.decode_occupancy.size(), 0);
+  }
+  for (std::size_t lanes = 0; lanes < other.decode_occupancy.size(); ++lanes) {
+    decode_occupancy[lanes] += other.decode_occupancy[lanes];
+  }
 
   // Concurrent-partition horizon semantics: offered load adds, the merged
   // run lasts as long as its slowest partition, and time-weighted gauges
@@ -239,6 +288,24 @@ void FleetMetrics::merge(const FleetMetrics& other) {
   observed_mttr_s =
       weighted(observed_mttr_s, static_cast<double>(slot_recoveries - other.slot_recoveries),
                other.observed_mttr_s, static_cast<double>(other.slot_recoveries));
+  tokens_per_s = static_cast<double>(generated_tokens) / std::max(merged_dur, 1e-300);
+  ttft_attainment = ttft_slo_requests > 0 ? static_cast<double>(within_ttft_slo) /
+                                                static_cast<double>(ttft_slo_requests)
+                                          : 1.0;
+  tpot_attainment = tpot_slo_requests > 0 ? static_cast<double>(within_tpot_slo) /
+                                                static_cast<double>(tpot_slo_requests)
+                                          : 1.0;
+  {
+    // Mean occupancy recomputes exactly from the merged histogram.
+    std::size_t steps = 0;
+    std::size_t lane_steps = 0;
+    for (std::size_t lanes = 0; lanes < decode_occupancy.size(); ++lanes) {
+      steps += decode_occupancy[lanes];
+      lane_steps += lanes * decode_occupancy[lanes];
+    }
+    mean_decode_occupancy =
+        steps > 0 ? static_cast<double>(lane_steps) / static_cast<double>(steps) : 0.0;
+  }
 
   // Percentiles: exact from the merged state, else the weighted fallback.
   if (exact_state) {
@@ -252,6 +319,16 @@ void FleetMetrics::merge(const FleetMetrics& other) {
     p50_session_s = weighted(p50_session_s, sess_a, other.p50_session_s, sess_b);
     p99_session_s = weighted(p99_session_s, sess_a, other.p99_session_s, sess_b);
     max_session_s = std::max(max_session_s, other.max_session_s);
+    mean_ttft_s = weighted(mean_ttft_s, dec_a, other.mean_ttft_s, dec_b);
+    p50_ttft_s = weighted(p50_ttft_s, dec_a, other.p50_ttft_s, dec_b);
+    p95_ttft_s = weighted(p95_ttft_s, dec_a, other.p95_ttft_s, dec_b);
+    p99_ttft_s = weighted(p99_ttft_s, dec_a, other.p99_ttft_s, dec_b);
+    max_ttft_s = std::max(max_ttft_s, other.max_ttft_s);
+    mean_tpot_s = weighted(mean_tpot_s, dec_a, other.mean_tpot_s, dec_b);
+    p50_tpot_s = weighted(p50_tpot_s, dec_a, other.p50_tpot_s, dec_b);
+    p95_tpot_s = weighted(p95_tpot_s, dec_a, other.p95_tpot_s, dec_b);
+    p99_tpot_s = weighted(p99_tpot_s, dec_a, other.p99_tpot_s, dec_b);
+    max_tpot_s = std::max(max_tpot_s, other.max_tpot_s);
   }
 }
 
@@ -297,6 +374,33 @@ Table FleetMetrics::to_table(const std::string& title) const {
     t.add_row({"requeued requests", std::to_string(requeued_requests)});
     t.add_row({"fleet availability", Table::num(fleet_availability, 4)});
     t.add_row({"observed MTTR (us)", Table::num(units::to_us(observed_mttr_s), 1)});
+  }
+  // Decode section only when the run actually generated (or aborted) tokens;
+  // every decode counter is in the gate so no nonzero row is suppressed.
+  if (decode_requests > 0 || generated_tokens > 0 || aborted_decode_tokens > 0 ||
+      decode_steps > 0) {
+    t.add_row({"decode requests", std::to_string(decode_requests)});
+    t.add_row({"generated tokens", std::to_string(generated_tokens)});
+    t.add_row({"aborted decode tokens", std::to_string(aborted_decode_tokens)});
+    t.add_row({"decode steps", std::to_string(decode_steps)});
+    t.add_row({"tokens/s", Table::num(tokens_per_s, 1)});
+    t.add_row({"mean decode occupancy", Table::num(mean_decode_occupancy, 2)});
+    t.add_row({"mean TTFT (us)", Table::num(units::to_us(mean_ttft_s), 1)});
+    t.add_row({"p50 TTFT (us)", Table::num(units::to_us(p50_ttft_s), 1)});
+    t.add_row({"p95 TTFT (us)", Table::num(units::to_us(p95_ttft_s), 1)});
+    t.add_row({"p99 TTFT (us)", Table::num(units::to_us(p99_ttft_s), 1)});
+    t.add_row({"max TTFT (us)", Table::num(units::to_us(max_ttft_s), 1)});
+    t.add_row({"mean TPOT (us)", Table::num(units::to_us(mean_tpot_s), 1)});
+    t.add_row({"p50 TPOT (us)", Table::num(units::to_us(p50_tpot_s), 1)});
+    t.add_row({"p95 TPOT (us)", Table::num(units::to_us(p95_tpot_s), 1)});
+    t.add_row({"p99 TPOT (us)", Table::num(units::to_us(p99_tpot_s), 1)});
+    t.add_row({"max TPOT (us)", Table::num(units::to_us(max_tpot_s), 1)});
+    if (ttft_slo_requests > 0) {
+      t.add_row({"TTFT attainment", Table::num(ttft_attainment, 4)});
+    }
+    if (tpot_slo_requests > 0) {
+      t.add_row({"TPOT attainment", Table::num(tpot_attainment, 4)});
+    }
   }
   if (sessions > 0) {
     t.add_row({"sessions", std::to_string(sessions)});

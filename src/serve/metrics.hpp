@@ -72,6 +72,11 @@ struct LatencyState {
   std::vector<std::vector<double>> tenant_samples; // kExact: per tenant, sorted
   std::vector<HdrHistogram> tenant_hist;           // kHdr: per tenant
   std::vector<double> session_samples;             // closed-loop session latencies
+  // Per-token phase latencies of decode requests (kept exact in both
+  // percentile modes: decode requests are a slice of the traffic, not the
+  // 100M-request firehose the hdr sketches exist for).
+  std::vector<double> ttft_samples;                // time to first token
+  std::vector<double> tpot_samples;                // mean time per output token
 };
 
 struct FleetMetrics {
@@ -143,6 +148,40 @@ struct FleetMetrics {
   double p50_session_s = 0.0;
   double p99_session_s = 0.0;
   double max_session_s = 0.0;
+
+  // Autoregressive decode (all zero when no catalog entry decodes — the
+  // default — so pre-decode scenarios report bit-identical metrics).  TTFT is
+  // arrival to first generated token (prefill end); TPOT is a completed
+  // request's mean decode-step time, (last token - first token) / (tokens-1),
+  // defined for requests generating >= 2 tokens.
+  std::size_t decode_requests = 0;        // completions that generated tokens
+  std::size_t generated_tokens = 0;       // tokens generated by completions
+  std::size_t aborted_decode_tokens = 0;  // tokens lost to mid-decode slot failures
+  std::size_t decode_steps = 0;           // token-boundary steps the fleet ran
+  double tokens_per_s = 0.0;              // generated_tokens / duration
+  double mean_ttft_s = 0.0;
+  double p50_ttft_s = 0.0;
+  double p95_ttft_s = 0.0;
+  double p99_ttft_s = 0.0;
+  double max_ttft_s = 0.0;
+  double mean_tpot_s = 0.0;
+  double p50_tpot_s = 0.0;
+  double p95_tpot_s = 0.0;
+  double p99_tpot_s = 0.0;
+  double max_tpot_s = 0.0;
+  // Per-token SLO attainment over decode completions whose entry sets the
+  // matching SLO (merge-exact counters; attainment is 1 with no such SLO).
+  std::size_t ttft_slo_requests = 0;
+  std::size_t within_ttft_slo = 0;
+  std::size_t tpot_slo_requests = 0;
+  std::size_t within_tpot_slo = 0;
+  double ttft_attainment = 1.0;
+  double tpot_attainment = 1.0;
+  // Decode-batch occupancy: [active lanes] -> decode-step count (index 0
+  // unused).  Mean is lane-steps / steps — how full the decode batches ran,
+  // the number continuous batching exists to raise.
+  std::vector<std::size_t> decode_occupancy;
+  double mean_decode_occupancy = 0.0;
 
   // Estimate-cache effectiveness, summed over the fleet's per-spec caches.
   std::size_t estimate_lookups = 0;

@@ -57,6 +57,11 @@ constexpr EnumName<PercentileMode> kPercentileModeNames[] = {
     {PercentileMode::kHdr, "hdr"},
 };
 
+constexpr EnumName<DecodeMode> kDecodeModeNames[] = {
+    {DecodeMode::kMonolithic, "monolithic"},
+    {DecodeMode::kContinuous, "continuous"},
+};
+
 }  // namespace
 
 const char* process_name(ArrivalProcess process) noexcept {
@@ -134,5 +139,13 @@ PercentileMode percentile_mode_from_name(const std::string& name) {
 std::vector<std::string> percentile_mode_names() {
   return enum_name_list(kPercentileModeNames);
 }
+
+const char* decode_mode_name(DecodeMode mode) noexcept {
+  return enum_to_name(kDecodeModeNames, mode);
+}
+DecodeMode decode_mode_from_name(const std::string& name) {
+  return enum_from_name(kDecodeModeNames, name, "decode mode");
+}
+std::vector<std::string> decode_mode_names() { return enum_name_list(kDecodeModeNames); }
 
 }  // namespace lumos::serve

@@ -56,4 +56,8 @@ namespace lumos::serve {
 [[nodiscard]] PercentileMode percentile_mode_from_name(const std::string& name);
 [[nodiscard]] std::vector<std::string> percentile_mode_names();
 
+[[nodiscard]] const char* decode_mode_name(DecodeMode mode) noexcept;
+[[nodiscard]] DecodeMode decode_mode_from_name(const std::string& name);
+[[nodiscard]] std::vector<std::string> decode_mode_names();
+
 }  // namespace lumos::serve

@@ -70,6 +70,20 @@ class FifoScheduler final : public Scheduler {
     }
   }
 
+  std::size_t pop_joiners(std::uint32_t workload, std::size_t max_n, double,
+                          std::vector<Request>& out) override {
+    if (workload >= queues_.size()) return 0;
+    std::deque<Entry>& queue = queues_[workload];
+    std::size_t taken = 0;
+    while (taken < max_n && !queue.empty()) {
+      out.push_back(queue.front().request);
+      queue.pop_front();
+      --queued_;
+      ++taken;
+    }
+    return taken;
+  }
+
  private:
   struct Entry {
     std::uint64_t seq;
@@ -161,6 +175,33 @@ class DynamicBatchScheduler final : public Scheduler {
     // bucket every batch, and erasing would pay a map-node free + alloc per
     // dispatch.  Distinct keys are bounded by workloads x seq buckets, so
     // retained empties cannot grow with request count.
+  }
+
+  std::size_t pop_joiners(std::uint32_t workload, std::size_t max_n, double,
+                          std::vector<Request>& out) override {
+    // One joiner at a time: always the oldest head across the workload's seq
+    // buckets (tie: lowest seq bucket via map order).  max_n is a lane count
+    // — small — so the repeated scan over the workload's buckets stays cheap.
+    const std::uint64_t lo = static_cast<std::uint64_t>(workload) << 32;
+    const std::uint64_t hi = (static_cast<std::uint64_t>(workload) + 1) << 32;
+    std::size_t taken = 0;
+    while (taken < max_n) {
+      auto best = buckets_.end();
+      for (auto it = buckets_.lower_bound(lo); it != buckets_.end() && it->first < hi;
+           ++it) {
+        if (it->second.empty()) continue;
+        if (best == buckets_.end() ||
+            it->second.front().arrival_s < best->second.front().arrival_s) {
+          best = it;
+        }
+      }
+      if (best == buckets_.end()) break;
+      out.push_back(best->second.front());
+      best->second.pop_front();
+      --queued_;
+      ++taken;
+    }
+    return taken;
   }
 
  private:

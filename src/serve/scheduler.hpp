@@ -82,6 +82,23 @@ class Scheduler {
   // `RequestArena` instead of allocating per dispatch.
   virtual void pop(double now_s, const WorkloadMask& mask, std::vector<Request>& out) = 0;
 
+  // Continuous batching: at a token boundary, pops up to `max_n` waiting
+  // requests of `workload` into a running decode batch's free lanes,
+  // longest-waiting first (FIFO: the workload's sub-queue in arrival order;
+  // dynamic batching: across the workload's seq buckets, oldest head first —
+  // a joiner need not share the batch's seq bucket, decode steps cost by the
+  // widest lane's context).  Appends to `out` without clearing it and returns
+  // the joiner count.  The base implementation joins nothing, so schedulers
+  // without a phase-aware pop keep monolithic semantics.
+  virtual std::size_t pop_joiners(std::uint32_t workload, std::size_t max_n, double now_s,
+                                  std::vector<Request>& out) {
+    (void)workload;
+    (void)max_n;
+    (void)now_s;
+    (void)out;
+    return 0;
+  }
+
   // Convenience overload returning the batch by value (tests, one-shot
   // callers; the hot loop uses the buffer-filling virtual above).
   [[nodiscard]] std::vector<Request> pop(double now_s, const WorkloadMask& mask = {}) {

@@ -84,6 +84,18 @@ struct RetryLater {
   }
 };
 
+// One decode lane: a request generating tokens on a slot.  The prefill
+// produced the first token (generated starts at 1); each decode step the
+// slot runs generates one more until `remaining` hits zero.  Joiners admitted
+// at a token boundary start at generated 0 (their first token appears at the
+// end of the step that prefills them).
+struct DecodeLane {
+  Request request;
+  std::uint32_t remaining = 0;   // tokens still to generate
+  std::uint32_t generated = 0;   // tokens generated so far
+  double first_token_s = 0.0;    // absolute time of the first token (TTFT anchor)
+};
+
 // One fleet slot.  Slots are append-only: growth pushes a new slot, shrink
 // marks one draining (no new dispatches) and retires it once idle, so slot
 // indices — and with them dispatch order and the (time, seq) completion order
@@ -108,6 +120,13 @@ struct Slot {
   double inflight_start_s = 0.0;
   double inflight_done_s = 0.0;
   double inflight_energy_j = 0.0;
+
+  // Decode phase (valid while decoding; the slot stays !idle).  The in-flight
+  // seq/start/done/energy fields describe the current decode step, so the
+  // fault-abort staleness check and pro-rata energy accounting work unchanged.
+  bool decoding = false;
+  std::uint32_t decode_workload = 0;
+  std::vector<DecodeLane> lanes;
 
   // Availability bookkeeping under fault injection.
   std::size_t failures = 0;
@@ -383,6 +402,53 @@ FleetMetrics simulate_impl(const Scenario& scenario, Observation* observation) {
   // Terminal outcomes (completed + shed + timed out): the loop's stop target.
   std::size_t terminal = 0;
 
+  // Decode-phase setup, all skipped when nothing decodes: the gated branches
+  // below then never fire, keeping decode-free runs bit-identical to the
+  // pre-decode event loop (pinned by tests/test_decode.cpp).
+  bool has_decode = catalog.has_decode();
+  if (!has_decode) {
+    for (const Request& r : scenario.trace) {
+      if (r.decode_tokens > 0) {
+        has_decode = true;
+        break;
+      }
+    }
+  }
+  const bool continuous = sim.decode_mode == DecodeMode::kContinuous;
+  // Decode lanes per slot: the batch width the scheduler dispatches at.
+  const std::size_t lane_capacity =
+      scenario.scheduler == SchedulerKind::kFifo ? std::size_t{1} : policy.max_batch;
+  std::vector<char> cache_generates(caches.size(), 0);
+  std::vector<double> ttft_slo_of;
+  std::vector<double> tpot_slo_of;
+  std::vector<std::uint32_t> ctx_bucket_of;
+  std::vector<std::uint32_t> native_seq_of;  // prompt length when seq_len == 0
+  // Phase-latency samples of completed decode requests (always exact; see
+  // LatencyState).
+  std::vector<double> ttft_samples;
+  std::vector<double> tpot_samples;
+  std::vector<Request> joiner_buf;
+  if (has_decode) {
+    for (std::size_t c = 0; c < caches.size(); ++c) {
+      cache_generates[c] = caches[c].can_generate() ? 1 : 0;
+    }
+    ttft_slo_of.assign(catalog.size(), 0.0);
+    tpot_slo_of.assign(catalog.size(), 0.0);
+    ctx_bucket_of.assign(catalog.size(), 32);
+    native_seq_of.assign(catalog.size(), 0);
+    for (std::uint32_t w = 0; w < catalog.size(); ++w) {
+      const DecodeConfig& d = catalog.at(w).decode;
+      ttft_slo_of[w] = d.ttft_slo_s;
+      tpot_slo_of[w] = d.tpot_slo_s;
+      ctx_bucket_of[w] = static_cast<std::uint32_t>(std::max<std::size_t>(d.ctx_bucket, 1));
+      if (catalog.workload(w).kind() == arch::WorkloadKind::kTransformer) {
+        native_seq_of[w] =
+            static_cast<std::uint32_t>(catalog.workload(w).transformer_config().seq_len);
+      }
+    }
+    m.decode_occupancy.assign(lane_capacity + 1, 0);
+  }
+
   // Autoscaler signals: per-workload queue depths and the per-family
   // time-integral of busy slots since the last evaluation step (exact busy
   // fraction, not the dispatch-time batch-latency proxy — a batch longer
@@ -453,6 +519,158 @@ FleetMetrics simulate_impl(const Scenario& scenario, Observation* observation) {
                          now_s - req.first_arrival_s, false);
       }
       source->on_complete(req, now_s, CompletionStatus::kTimeout);
+    }
+  };
+
+  // Full kOk-completion accounting for one request at `t` — shared by the
+  // prefill completion path and decode-lane completions; statement-for-
+  // statement the historical inline path, so decode-free runs stay
+  // bit-identical.  Latency is client-perceived: first issue to now,
+  // backoffs included.
+  const auto complete_ok = [&](const Request& req, double t) {
+    const std::uint32_t w = req.workload;
+    const double latency = t - req.first_arrival_s;
+    if (hdr) {
+      tenant_hist[w].add(latency);
+    } else {
+      tenant_latencies[w].push_back(latency);
+    }
+    ++tenant_completed[w];
+    tenant_sum[w] += latency;
+    tenant_max[w] = std::max(tenant_max[w], latency);
+    latency_sum += latency;
+    m.max_latency_s = std::max(m.max_latency_s, latency);
+    const bool in_slo = latency <= slo_of[w];
+    if (in_slo) {
+      ++within_slo;
+      ++tenant_within[w];
+    }
+    ++m.completed;
+    ++terminal;
+    if constexpr (kObs) {
+      obs->on_complete(req, t, CompletionStatus::kOk, latency, in_slo);
+    }
+    // Feedback to the source: a closed-loop session may now schedule its
+    // next issue (at or after this completion's instant).
+    source->on_complete(req, t, CompletionStatus::kOk);
+  };
+
+  // Terminal accounting for a request that decoded: the e2e completion plus
+  // the decode-phase metrics (TTFT anchored at the first token, TPOT across
+  // the decode steps).  A request finishing past its deadline times out as
+  // usual — its generated tokens were wasted work.
+  const auto finish_decode_request = [&](const Request& req, double t,
+                                         double first_token_s, std::uint32_t generated) {
+    const std::uint32_t w = req.workload;
+    if (has_timeouts && timeout_of[w] > 0.0 && t - req.arrival_s > timeout_of[w]) {
+      m.aborted_decode_tokens += generated;
+      handle_timed_out_attempt(req, t);
+      return;
+    }
+    complete_ok(req, t);
+    if (generated == 0) return;  // trace-built joiner with no tokens to decode
+    ++m.decode_requests;
+    m.generated_tokens += generated;
+    const double ttft = first_token_s - req.first_arrival_s;
+    ttft_samples.push_back(ttft);
+    if (ttft_slo_of[w] > 0.0) {
+      ++m.ttft_slo_requests;
+      if (ttft <= ttft_slo_of[w]) ++m.within_ttft_slo;
+    }
+    if (generated >= 2) {
+      const double tpot = (t - first_token_s) / static_cast<double>(generated - 1);
+      tpot_samples.push_back(tpot);
+      if (tpot_slo_of[w] > 0.0) {
+        ++m.tpot_slo_requests;
+        if (tpot <= tpot_slo_of[w]) ++m.within_tpot_slo;
+      }
+    }
+  };
+
+  // Prices and schedules the next decode step of slot `idx` at `now_s`;
+  // `extra_s`/`extra_j` fold in the joiners' prefill.  The step keys on the
+  // widest lane's context, rounded up to the entry's ctx bucket so the step
+  // cache stays small while contexts grow token by token.
+  const auto schedule_decode_step = [&](std::size_t idx, double now_s, double extra_s,
+                                        double extra_j) {
+    Slot& s = slots[idx];
+    const std::uint32_t w = s.decode_workload;
+    std::uint32_t ctx = 1;
+    for (const DecodeLane& lane : s.lanes) {
+      const std::uint32_t base =
+          lane.request.seq_len != 0 ? lane.request.seq_len : native_seq_of[w];
+      ctx = std::max(ctx, base + lane.generated);
+    }
+    const std::uint32_t bucket = ctx_bucket_of[w];
+    ctx = (ctx + bucket - 1) / bucket * bucket;
+    const PerfReport& r =
+        caches[s.cache].decode_step(w, s.lanes.size(), ctx);
+    const double step_s = r.latency_s + extra_s;
+    s.busy_s += step_s;
+    s.inflight_seq = dispatch_seq;
+    s.inflight_start_s = now_s;
+    s.inflight_done_s = now_s + step_s;
+    s.inflight_energy_j = r.total_energy_j + extra_j;
+    heap.push({s.inflight_done_s, dispatch_seq, idx});
+    ++dispatch_seq;
+  };
+
+  // Token-boundary scheduling decision for slot `idx`: admit waiting prefills
+  // into free lanes (continuous mode, non-draining slots), then either run
+  // another step or — every lane drained — go idle (retiring a draining
+  // slot).  Decode steps carry no observer dispatch/complete batch hooks: the
+  // traced lifecycle stays arrival -> dispatch -> completion with the decode
+  // phase inside the request's span.
+  const auto continue_decode = [&](std::size_t idx, double now_s) {
+    Slot& s = slots[idx];
+    double extra_s = 0.0;
+    double extra_j = 0.0;
+    if (continuous && !s.draining && !s.lanes.empty() &&
+        s.lanes.size() < lane_capacity) {
+      const std::uint32_t w = s.decode_workload;
+      joiner_buf.clear();
+      const std::size_t popped =
+          sched->pop_joiners(w, lane_capacity - s.lanes.size(), now_s, joiner_buf);
+      if (popped > 0) {
+        queued_by_workload[w] -= popped;
+        std::size_t joined = 0;
+        std::uint32_t max_seq = 0;
+        for (Request& req : joiner_buf) {
+          // Lazy queued-timeout cancellation, as in dispatch.
+          if (has_timeouts && timeout_of[w] > 0.0 &&
+              now_s - req.arrival_s > timeout_of[w]) {
+            handle_timed_out_attempt(req, now_s);
+            continue;
+          }
+          DecodeLane lane;
+          lane.remaining = req.decode_tokens;
+          max_seq = std::max(max_seq, req.seq_len);
+          lane.request = std::move(req);
+          s.lanes.push_back(std::move(lane));
+          ++joined;
+        }
+        if (joined > 0) {
+          // The joining step pays the joiners' prefill on top of the decode
+          // step: running lanes stall for it (TPOT interference), joiners
+          // get their first token at the step's end.
+          const PerfReport& pr = caches[s.cache].estimate(w, joined, max_seq);
+          extra_s = pr.latency_s;
+          extra_j = pr.total_energy_j;
+        }
+      }
+    }
+    if (!s.lanes.empty()) {
+      schedule_decode_step(idx, now_s, extra_s, extra_j);
+      return;
+    }
+    s.decoding = false;
+    s.inflight_seq = kNoBatch;
+    s.idle = true;
+    if (s.draining && !s.retired) {
+      s.retired = true;
+      s.active_end_s = now_s;
+      if (faults) faults->remove_slot(idx);
+      rebuild_live();
     }
   };
 
@@ -602,24 +820,40 @@ FleetMetrics simulate_impl(const Scenario& scenario, Observation* observation) {
           ++m.failed_batches;
           if constexpr (kObs) {
             obs->on_batch_abort(i, s.inflight_seq, s.inflight_start_s, t_ev,
-                                s.inflight.size());
+                                s.decoding ? s.lanes.size() : s.inflight.size());
           }
           // The unserved remainder was never busy time; the dynamic energy
-          // already burned is charged pro rata.
+          // already burned is charged pro rata (for a decoding slot: of the
+          // current decode step).
           s.busy_s -= s.inflight_done_s - t_ev;
           const double span = s.inflight_done_s - s.inflight_start_s;
           if (span > 0.0) {
             dispatched_energy_j +=
                 s.inflight_energy_j * ((t_ev - s.inflight_start_s) / span);
           }
-          std::vector<Request> aborted = std::move(s.inflight);
-          for (const Request& req : aborted) {
-            ++queued_by_workload[req.workload];
-            sched->enqueue(req, t_ev);
-            ++m.requeued_requests;
-            if constexpr (kObs) obs->on_requeue(req, t_ev);
+          if (s.decoding) {
+            // Mid-decode failure: the KV state is gone, so each lane's
+            // request requeues as a fresh prefill (decode length intact) and
+            // its generated-so-far tokens count as aborted work.
+            for (const DecodeLane& lane : s.lanes) {
+              m.aborted_decode_tokens += lane.generated;
+              ++queued_by_workload[lane.request.workload];
+              sched->enqueue(lane.request, t_ev);
+              ++m.requeued_requests;
+              if constexpr (kObs) obs->on_requeue(lane.request, t_ev);
+            }
+            s.lanes.clear();
+            s.decoding = false;
+          } else {
+            std::vector<Request> aborted = std::move(s.inflight);
+            for (const Request& req : aborted) {
+              ++queued_by_workload[req.workload];
+              sched->enqueue(req, t_ev);
+              ++m.requeued_requests;
+              if constexpr (kObs) obs->on_requeue(req, t_ev);
+            }
+            arena.release(std::move(aborted));
           }
-          arena.release(std::move(aborted));
           s.inflight_seq = kNoBatch;
           s.idle = true;
           m.peak_queue_depth = std::max(m.peak_queue_depth, sched->queued());
@@ -753,6 +987,31 @@ FleetMetrics simulate_impl(const Scenario& scenario, Observation* observation) {
       Slot& acc = slots[done.acc];
       if (acc.inflight_seq != done.seq) continue;  // batch aborted by a failure
       ++completion_events;
+      if (acc.decoding) {
+        // Token boundary: the decode step finished; each active lane emits
+        // one token, drained lanes complete, and the slot decides whether
+        // another step runs (see continue_decode).
+        dispatched_energy_j += acc.inflight_energy_j;
+        ++m.decode_steps;
+        ++m.decode_occupancy[acc.lanes.size()];
+        std::size_t kept = 0;
+        for (DecodeLane& lane : acc.lanes) {
+          if (lane.remaining > 0) {
+            --lane.remaining;
+            ++lane.generated;
+            if (lane.generated == 1) lane.first_token_s = done.time_s;
+          }
+          if (lane.remaining == 0) {
+            finish_decode_request(lane.request, done.time_s, lane.first_token_s,
+                                  lane.generated);
+          } else {
+            acc.lanes[kept++] = std::move(lane);
+          }
+        }
+        acc.lanes.resize(kept);
+        continue_decode(done.acc, done.time_s);
+        continue;
+      }
       if constexpr (kObs) {
         obs->on_batch_complete(done.acc, done.seq, acc.inflight_start_s, done.time_s,
                                acc.inflight.size());
@@ -760,15 +1019,8 @@ FleetMetrics simulate_impl(const Scenario& scenario, Observation* observation) {
       std::vector<Request> batch = std::move(acc.inflight);
       acc.inflight.clear();
       acc.inflight_seq = kNoBatch;
-      acc.idle = true;
       dispatched_energy_j += acc.inflight_energy_j;
-      if (acc.draining) {
-        // Drained: the in-flight batch finished, the slot may now retire.
-        acc.retired = true;
-        acc.active_end_s = done.time_s;
-        if (faults) faults->remove_slot(done.acc);
-        rebuild_live();
-      }
+      const bool can_gen = has_decode && cache_generates[acc.cache] != 0;
       for (const Request& req : batch) {
         const std::uint32_t w = req.workload;
         if (has_timeouts && timeout_of[w] > 0.0 &&
@@ -777,33 +1029,41 @@ FleetMetrics simulate_impl(const Scenario& scenario, Observation* observation) {
           handle_timed_out_attempt(req, done.time_s);
           continue;
         }
-        // Client-perceived latency: from the first issue, backoffs included.
-        const double latency = done.time_s - req.first_arrival_s;
-        if (hdr) {
-          tenant_hist[w].add(latency);
-        } else {
-          tenant_latencies[w].push_back(latency);
+        if (can_gen && req.decode_tokens > 0) {
+          // The prefill produced this request's first token.  Single-token
+          // requests are done; the rest become decode lanes on this slot.
+          if (req.decode_tokens == 1) {
+            finish_decode_request(req, done.time_s, done.time_s, 1);
+          } else {
+            DecodeLane lane;
+            lane.request = req;
+            lane.remaining = req.decode_tokens - 1;
+            lane.generated = 1;
+            lane.first_token_s = done.time_s;
+            acc.lanes.push_back(std::move(lane));
+          }
+          continue;
         }
-        ++tenant_completed[w];
-        tenant_sum[w] += latency;
-        tenant_max[w] = std::max(tenant_max[w], latency);
-        latency_sum += latency;
-        m.max_latency_s = std::max(m.max_latency_s, latency);
-        const bool in_slo = latency <= slo_of[w];
-        if (in_slo) {
-          ++within_slo;
-          ++tenant_within[w];
-        }
-        ++m.completed;
-        ++terminal;
-        if constexpr (kObs) {
-          obs->on_complete(req, done.time_s, CompletionStatus::kOk, latency, in_slo);
-        }
-        // Feedback to the source: a closed-loop session may now schedule its
-        // next issue (at or after this completion's instant).
-        source->on_complete(req, done.time_s, CompletionStatus::kOk);
+        complete_ok(req, done.time_s);
       }
       arena.release(std::move(batch));
+      if (!acc.lanes.empty()) {
+        // Enter the decode phase: the slot stays busy and re-enters the loop
+        // at every token boundary; in continuous mode waiting prefills may
+        // join its free lanes starting right now.
+        acc.decoding = true;
+        acc.decode_workload = acc.lanes.front().request.workload;
+        continue_decode(done.acc, done.time_s);
+      } else {
+        acc.idle = true;
+        if (acc.draining) {
+          // Drained: the in-flight batch finished, the slot may now retire.
+          acc.retired = true;
+          acc.active_end_s = done.time_s;
+          if (faults) faults->remove_slot(done.acc);
+          rebuild_live();
+        }
+      }
     }
     if (prof) prof->record(LoopSource::kCompletions, t_completions, completion_events);
     if (faults) {
@@ -922,6 +1182,48 @@ FleetMetrics simulate_impl(const Scenario& scenario, Observation* observation) {
   m.mean_queue_depth = depth_time / std::max(duration_s, 1e-300);
   m.mean_batch_size =
       static_cast<double>(m.completed) / static_cast<double>(std::max<std::size_t>(m.dispatches, 1));
+  if (has_decode) {
+    m.tokens_per_s =
+        static_cast<double>(m.generated_tokens) / std::max(duration_s, 1e-300);
+    m.ttft_attainment = m.ttft_slo_requests > 0
+                            ? static_cast<double>(m.within_ttft_slo) /
+                                  static_cast<double>(m.ttft_slo_requests)
+                            : 1.0;
+    m.tpot_attainment = m.tpot_slo_requests > 0
+                            ? static_cast<double>(m.within_tpot_slo) /
+                                  static_cast<double>(m.tpot_slo_requests)
+                            : 1.0;
+    std::size_t steps = 0;
+    std::size_t lane_steps = 0;
+    for (std::size_t lanes = 0; lanes < m.decode_occupancy.size(); ++lanes) {
+      steps += m.decode_occupancy[lanes];
+      lane_steps += lanes * m.decode_occupancy[lanes];
+    }
+    m.mean_decode_occupancy =
+        steps > 0 ? static_cast<double>(lane_steps) / static_cast<double>(steps) : 0.0;
+    if (!ttft_samples.empty()) {
+      double sum = 0.0;
+      for (const double v : ttft_samples) {
+        sum += v;
+        m.max_ttft_s = std::max(m.max_ttft_s, v);
+      }
+      m.mean_ttft_s = sum / static_cast<double>(ttft_samples.size());
+      m.p50_ttft_s = percentile(ttft_samples, 0.50);
+      m.p95_ttft_s = percentile(ttft_samples, 0.95);
+      m.p99_ttft_s = percentile(ttft_samples, 0.99);
+    }
+    if (!tpot_samples.empty()) {
+      double sum = 0.0;
+      for (const double v : tpot_samples) {
+        sum += v;
+        m.max_tpot_s = std::max(m.max_tpot_s, v);
+      }
+      m.mean_tpot_s = sum / static_cast<double>(tpot_samples.size());
+      m.p50_tpot_s = percentile(tpot_samples, 0.50);
+      m.p95_tpot_s = percentile(tpot_samples, 0.95);
+      m.p99_tpot_s = percentile(tpot_samples, 0.99);
+    }
+  }
 
   // Energy and utilization integrate each slot over its active window
   // (activation to retirement, or simulation end).  Static fleets have one
@@ -1001,6 +1303,8 @@ FleetMetrics simulate_impl(const Scenario& scenario, Observation* observation) {
     } else {
       st->tenant_samples = std::move(tenant_latencies);
     }
+    st->ttft_samples = std::move(ttft_samples);
+    st->tpot_samples = std::move(tpot_samples);
     m.latency_state = std::move(st);
   }
   source->finish(m);

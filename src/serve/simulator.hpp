@@ -26,6 +26,15 @@
 // (workload, seq-bucket) key and service times come from the seq-aware
 // estimate cache.
 //
+// Autoregressive decode: requests carrying a sampled decode length (see
+// DecodeConfig) split into a prefill phase and per-token decode steps.  A
+// slot whose batch finishes its prefill keeps the requests as decode lanes
+// and re-enters the event loop at every token boundary through the same
+// completion heap; under `DecodeMode::kContinuous` the scheduler admits
+// waiting prefills of the same workload into free lanes at those boundaries
+// (continuous batching).  Decode-free runs are bit-identical to the
+// pre-decode event loop.
+//
 // Elastic fleets: an enabled autoscaler grows per-spec-family slot counts by
 // instantiating registry-named accelerators mid-simulation and shrinks them
 // by draining (no new dispatches, in-flight batch completes) before retiring,
@@ -61,6 +70,22 @@ namespace lumos::serve {
 enum class RoutingPolicy {
   kFirstIdle,     // lowest-index compatible idle accelerator
   kEnergyAware,   // compatible idle accelerator with the lowest predicted batch energy
+};
+
+// How a slot running a decode batch treats its free lanes at token boundaries
+// (only meaningful when some catalog entry decodes — see DecodeConfig).
+//
+//   * kMonolithic — the prefill batch decodes to completion as one unit; lanes
+//     that finish early sit empty until the whole batch drains (the classic
+//     static-batching baseline, with its head-of-line TTFT penalty).
+//   * kContinuous — at every token boundary the scheduler may admit waiting
+//     prefills of the same workload into the free lanes (Orca/vLLM-style
+//     continuous batching).  A joining step pays the joiners' prefill on top
+//     of the decode step, so running lanes see the interference as TPOT
+//     jitter while waiting requests see dramatically better TTFT.
+enum class DecodeMode {
+  kMonolithic,
+  kContinuous,
 };
 
 struct FleetConfig {
@@ -110,6 +135,9 @@ struct SimConfig {
   // error in kHdr mode.
   PercentileMode percentile_mode = PercentileMode::kExact;
   double hdr_relative_error = 0.01;
+  // Decode-phase scheduling (see DecodeMode).  Irrelevant — and bit-identity
+  // preserving — when no request decodes.
+  DecodeMode decode_mode = DecodeMode::kContinuous;
   // Retain the raw latency state (per-tenant samples or sketches, session
   // latencies) in `FleetMetrics::latency_state` so this run's metrics can be
   // merged exactly with another's (see FleetMetrics::merge).  Sharded runs

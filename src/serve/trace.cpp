@@ -19,6 +19,7 @@ std::vector<Request> generate_trace(const WorkloadCatalog& catalog,
   Rng arrival_rng(config.seed, /*stream=*/0xA221);
   Rng mix_rng(config.seed, /*stream=*/0x317C);
   Rng seqlen_rng(config.seed, /*stream=*/0x5E9B);
+  Rng decode_rng(config.seed, /*stream=*/0xDEC0);
 
   std::vector<double> cumulative;
   cumulative.reserve(catalog.size());
@@ -68,6 +69,10 @@ std::vector<Request> generate_trace(const WorkloadCatalog& catalog,
     while (cumulative[workload] <= u && workload + 1 < cumulative.size()) ++workload;
     const std::uint32_t seq_len = sample_seq_len(catalog.at(workload).seqlen, seqlen_rng);
     trace.push_back({id, now, workload, seq_len});
+    // Decode lengths draw from their own stream (and decode-free entries draw
+    // nothing), so decode-disabled catalogs replay bit-identical traces.
+    trace.back().decode_tokens =
+        sample_decode_tokens(catalog.at(workload).decode, decode_rng);
   }
   return trace;
 }

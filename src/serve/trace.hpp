@@ -36,6 +36,10 @@ struct Request {
   // latency from it).
   std::uint32_t attempt = 0;
   double first_arrival_s = 0.0;
+  // Sampled decode length: tokens to generate after the prefill (see
+  // DecodeConfig).  0 — the only value decode-disabled entries produce —
+  // means the request completes at its prefill, as in the pre-decode loop.
+  std::uint32_t decode_tokens = 0;
 };
 
 enum class ArrivalProcess { kPoisson, kBursty };

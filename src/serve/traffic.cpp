@@ -93,7 +93,11 @@ void ClosedLoopSource::schedule(std::uint32_t session, double not_before_s) {
   const double think_s =
       config_.think_time_mean_s > 0.0 ? s.rng.exponential(config_.think_time_mean_s) : 0.0;
   const std::uint32_t seq_len = sample_seq_len(catalog_->at(s.workload).seqlen, s.rng);
-  pending_.push({not_before_s + think_s, session, seq_len});
+  // Decode-free tenants draw nothing here, so their sessions' streams (and
+  // every pre-decode scenario) replay bit-identically.
+  const std::uint32_t decode_tokens =
+      sample_decode_tokens(catalog_->at(s.workload).decode, s.rng);
+  pending_.push({not_before_s + think_s, session, seq_len, decode_tokens});
 }
 
 std::size_t ClosedLoopSource::total_requests() const noexcept {
@@ -116,6 +120,7 @@ Request ClosedLoopSource::pop_arrival() {
   r.workload = s.workload;
   r.seq_len = p.seq_len;
   r.session = p.session;
+  r.decode_tokens = p.decode_tokens;
   return r;
 }
 

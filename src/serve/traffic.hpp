@@ -142,6 +142,7 @@ class ClosedLoopSource final : public TrafficSource {
     double time_s = 0.0;
     std::uint32_t session = 0;
     std::uint32_t seq_len = 0;
+    std::uint32_t decode_tokens = 0;
   };
   struct PendingLater {
     bool operator()(const Pending& a, const Pending& b) const noexcept {

@@ -51,12 +51,65 @@ std::uint32_t sample_seq_len(const SeqLenConfig& config, Rng& rng) {
       std::min<std::uint64_t>(gridded, static_cast<std::uint64_t>(config.max_len)));
 }
 
+void validate_decode(const DecodeConfig& config, const std::string& workload) {
+  if (!config.enabled()) return;
+  if (config.ctx_bucket < 1) {
+    throw InvalidArgument("decode.ctx_bucket for workload '" + workload + "' must be >= 1");
+  }
+  if (config.dist == SeqLenDist::kFixed) {
+    if (config.tokens > 0xFFFFFFFFull) {
+      throw InvalidArgument("decode.tokens for workload '" + workload +
+                            "' must fit 32 bits");
+    }
+  } else {
+    if (config.min_tokens < 1 || config.max_tokens < config.min_tokens) {
+      throw InvalidArgument("decode bounds for workload '" + workload +
+                            "' must satisfy 1 <= min_tokens <= max_tokens, got [" +
+                            std::to_string(config.min_tokens) + ", " +
+                            std::to_string(config.max_tokens) + "]");
+    }
+    if (config.max_tokens > 0xFFFFFFFFull) {
+      throw InvalidArgument("decode.max_tokens for workload '" + workload +
+                            "' must fit 32 bits");
+    }
+  }
+  if (config.dist == SeqLenDist::kLogNormal &&
+      (!std::isfinite(config.log_mean) || !(config.log_sigma > 0.0) ||
+       !std::isfinite(config.log_sigma))) {
+    throw InvalidArgument("decode log-normal parameters for workload '" + workload +
+                          "' must be finite with log_sigma > 0");
+  }
+  for (const auto& [slo, what] : {std::pair<double, const char*>{config.ttft_slo_s, "ttft_slo_s"},
+                                  {config.tpot_slo_s, "tpot_slo_s"}}) {
+    if (slo < 0.0 || !std::isfinite(slo)) {
+      throw InvalidArgument(std::string("decode.") + what + " for workload '" + workload +
+                            "' must be >= 0 and finite, got " + std::to_string(slo));
+    }
+  }
+}
+
+std::uint32_t sample_decode_tokens(const DecodeConfig& config, Rng& rng) {
+  if (!config.enabled()) return 0;
+  if (config.dist == SeqLenDist::kFixed) return static_cast<std::uint32_t>(config.tokens);
+  double tokens;
+  if (config.dist == SeqLenDist::kUniform) {
+    const auto span = static_cast<std::uint32_t>(config.max_tokens - config.min_tokens + 1);
+    tokens = static_cast<double>(config.min_tokens + rng.next_below(span));
+  } else {
+    tokens = std::exp(rng.normal(config.log_mean, config.log_sigma));
+  }
+  const double clamped = std::clamp(tokens, static_cast<double>(config.min_tokens),
+                                    static_cast<double>(config.max_tokens));
+  return static_cast<std::uint32_t>(std::ceil(clamped));
+}
+
 void WorkloadCatalog::add(arch::Workload workload, double weight) {
   if (!(weight > 0.0) || !std::isfinite(weight)) {
     throw InvalidArgument("mix_weight for workload '" + workload.name() +
                           "' must be positive and finite, got " + std::to_string(weight));
   }
-  entries_.push_back(CatalogEntry{std::move(workload), weight, 0.0, 0, SeqLenConfig{}, 0.0});
+  entries_.push_back(CatalogEntry{std::move(workload), weight, 0.0, 0, SeqLenConfig{}, 0.0,
+                                  DecodeConfig{}});
 }
 
 void WorkloadCatalog::add_transformer(std::string name, nn::TransformerConfig config,
@@ -150,6 +203,64 @@ void WorkloadCatalog::apply_seqlen_dist(SeqLenDist dist) {
     }
     set_seqlen(i, cfg);
   }
+}
+
+void WorkloadCatalog::set_decode(std::size_t i, const DecodeConfig& config) {
+  LUMOS_EXPECTS(i < entries_.size());
+  CatalogEntry& e = entries_[i];
+  validate_decode(config, e.workload.name());
+  if (config.enabled() && e.workload.kind() != arch::WorkloadKind::kTransformer) {
+    throw InvalidArgument("workload '" + e.workload.name() + "' is a " +
+                          arch::workload_kind_name(e.workload.kind()) +
+                          " workload and cannot decode tokens");
+  }
+  e.decode = config;
+}
+
+void WorkloadCatalog::apply_decode(SeqLenDist dist, std::size_t tokens) {
+  if (tokens == 0) throw InvalidArgument("apply_decode: tokens must be >= 1");
+  bool any = false;
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    const CatalogEntry& e = entries_[i];
+    if (e.workload.kind() != arch::WorkloadKind::kTransformer) continue;
+    any = true;
+    DecodeConfig cfg;
+    cfg.dist = dist;
+    if (dist == SeqLenDist::kFixed) {
+      cfg.tokens = tokens;
+    } else if (dist == SeqLenDist::kUniform) {
+      cfg.min_tokens = std::max<std::size_t>(1, tokens / 2);
+      cfg.max_tokens = std::max<std::size_t>(cfg.min_tokens, 2 * tokens);
+    } else {
+      cfg.min_tokens = 1;
+      cfg.max_tokens = std::max<std::size_t>(1, 4 * tokens);
+      cfg.log_mean = std::log(static_cast<double>(tokens));
+      cfg.log_sigma = 0.5;
+    }
+    set_decode(i, cfg);
+  }
+  if (!any) {
+    throw InvalidArgument(
+        "apply_decode: catalog holds no transformer entry to decode on");
+  }
+}
+
+void WorkloadCatalog::apply_token_slos(double ttft_slo_s, double tpot_slo_s) {
+  for (CatalogEntry& e : entries_) {
+    if (!e.decode.enabled()) continue;
+    DecodeConfig cfg = e.decode;
+    cfg.ttft_slo_s = ttft_slo_s;
+    cfg.tpot_slo_s = tpot_slo_s;
+    validate_decode(cfg, e.workload.name());
+    e.decode = cfg;
+  }
+}
+
+bool WorkloadCatalog::has_decode() const noexcept {
+  for (const CatalogEntry& e : entries_) {
+    if (e.decode.enabled()) return true;
+  }
+  return false;
 }
 
 const CatalogEntry& WorkloadCatalog::at(std::size_t i) const {

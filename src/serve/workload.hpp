@@ -53,6 +53,39 @@ void validate_seqlen(const SeqLenConfig& config, const std::string& workload);
 // so fixed entries never perturb the rng stream shared with sampled entries).
 [[nodiscard]] std::uint32_t sample_seq_len(const SeqLenConfig& config, Rng& rng);
 
+// Per-request decode-length distribution of one catalog entry (autoregressive
+// generation).  The default — kFixed with `tokens == 0` — disables decode:
+// the entry serves one monolithic prefill, bit-identical to the pre-decode
+// event loop.  Any enabled shape makes each request generate a sampled number
+// of tokens after its prefill, scheduled per token (continuous batching).
+// `ttft_slo_s` / `tpot_slo_s` are the per-token SLO contracts reported next
+// to the end-to-end SLO (0 disables each).
+struct DecodeConfig {
+  SeqLenDist dist = SeqLenDist::kFixed;
+  std::size_t tokens = 0;        // kFixed: tokens per request (0 = decode off)
+  std::size_t min_tokens = 1;    // lower clamp (uniform lower bound)
+  std::size_t max_tokens = 256;  // upper clamp (uniform upper bound)
+  double log_mean = 4.0;         // log-normal: mean of ln(tokens)
+  double log_sigma = 0.5;        // log-normal: stddev of ln(tokens)
+  std::size_t ctx_bucket = 32;   // KV context rounds up to this grid in the step cache
+  double ttft_slo_s = 0.0;       // time-to-first-token SLO; 0 disables
+  double tpot_slo_s = 0.0;       // time-per-output-token SLO; 0 disables
+
+  [[nodiscard]] bool enabled() const noexcept {
+    return dist != SeqLenDist::kFixed || tokens > 0;
+  }
+};
+
+// Throws `InvalidArgument` naming `workload` and the bad field (zero
+// ctx_bucket, inverted bounds, non-finite log-normal parameters, negative /
+// non-finite per-token SLOs).  A disabled config is always valid.
+void validate_decode(const DecodeConfig& config, const std::string& workload);
+
+// One sampled decode length, clamped to the config's bounds (0 when decode is
+// disabled: no draw is consumed, so decode-free entries never perturb the rng
+// stream shared with decoding entries).
+[[nodiscard]] std::uint32_t sample_decode_tokens(const DecodeConfig& config, Rng& rng);
+
 // One entry of a serving mix.  `slo_latency_s` and `priority` make SLOs and
 // scheduling tiers per-tenant: a catalog entry is one tenant's contract;
 // `seqlen` is the tenant's per-request sequence-length distribution.
@@ -63,6 +96,7 @@ struct CatalogEntry {
   std::uint32_t priority = 0;  // strict scheduler tier (lower = more urgent)
   SeqLenConfig seqlen;         // per-request sequence lengths (default: fixed)
   double timeout_s = 0.0;      // per-request timeout; 0 (default) disables
+  DecodeConfig decode;         // per-request decode lengths (default: disabled)
 };
 
 // The (possibly mixed-kind) workload mix a fleet serves.
@@ -99,6 +133,21 @@ class WorkloadCatalog {
   // log-normal: median at the native length, clamped to [16, 4*native]).
   // GNN entries stay fixed.
   void apply_seqlen_dist(SeqLenDist dist);
+
+  // Per-tenant decode-length distributions.  Validates `config` (see
+  // validate_decode); an enabled decode on a GNN entry throws
+  // `InvalidArgument` (graphs have no autoregressive loop).
+  void set_decode(std::size_t i, const DecodeConfig& config);
+  // Convenience: decode of `dist` shape around `tokens` generated tokens on
+  // every transformer entry (fixed: exactly `tokens`; uniform:
+  // [max(1, tokens/2), 2*tokens]; log-normal: median at `tokens`, clamped to
+  // [1, 4*tokens]).  Throws when the catalog holds no transformer entry to
+  // decode on.  GNN entries stay disabled.
+  void apply_decode(SeqLenDist dist, std::size_t tokens);
+  // Per-token SLOs on every decode-enabled entry (0 leaves that gate off).
+  void apply_token_slos(double ttft_slo_s, double tpot_slo_s);
+  // True if any entry decodes.
+  [[nodiscard]] bool has_decode() const noexcept;
 
   [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
   [[nodiscard]] bool empty() const noexcept { return entries_.empty(); }

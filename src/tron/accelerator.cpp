@@ -256,6 +256,44 @@ PerfReport TronAccelerator::estimate_generation(const nn::TransformerConfig& mod
   return r;
 }
 
+PerfReport TronAccelerator::estimate_decode_step(const nn::TransformerConfig& model,
+                                                 std::size_t batch,
+                                                 std::size_t context_len) const {
+  LUMOS_EXPECTS(batch >= 1);
+  LUMOS_EXPECTS(context_len >= 1);
+  PerfReport r;
+  r.workload = model.name + " (decode step @" + std::to_string(context_len) + ")";
+  r.platform = "TRON";
+  r.bits = config_.bits;
+  PerfBreakdown& b = r.breakdown;
+
+  const double layers = static_cast<double>(model.layers);
+  const double layer_weight_bytes =
+      static_cast<double>(model.parameter_count()) / static_cast<double>(model.layers);
+  const double dram_stream_s =
+      dram_.transfer_latency_s(static_cast<std::size_t>(layer_weight_bytes));
+  const double dram_stream_j =
+      dram_.transfer_energy_j(static_cast<std::size_t>(layer_weight_bytes));
+
+  PerfBreakdown step;
+  const double step_compute =
+      map_trace(nn::generation_layer_trace(model, context_len), batch, step);
+  // The weight re-stream is paid once per step no matter how many lanes
+  // decode; only the compute side scales with the batch.
+  r.latency_s = std::max(step_compute, dram_stream_s) * layers;
+  b.memory_stall_s = std::max(0.0, dram_stream_s - step_compute) * layers;
+  b.dram_energy_j = dram_stream_j * layers;
+  merge_scaled(b, step, layers);
+  r.op_count = 2 * nn::generation_step_macs(model, context_len) * batch;
+  r.dynamic_energy_j = b.laser_dac_adc_energy_j + b.partial_sum_energy_j +
+                       b.softmax_energy_j + b.elementwise_energy_j + b.sram_energy_j +
+                       b.dram_energy_j;
+  r.static_power_w = static_power_w();
+  r.static_energy_j = r.static_power_w * r.latency_s;
+  r.total_energy_j = r.dynamic_energy_j + r.static_energy_j;
+  return r;
+}
+
 phot::AreaReport TronAccelerator::area() const {
   phot::AreaReport fabric = phot::bank_array_area(config_.array_rows, config_.array_cols);
   // One bank array's report scaled to the full fabric.

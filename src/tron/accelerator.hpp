@@ -43,6 +43,16 @@ class TronAccelerator {
                                                std::size_t prompt_len,
                                                std::size_t generated_tokens) const;
 
+  // ONE autoregressive decode step at context length `context_len`, batched
+  // over `batch` concurrent sequences (decode lanes) sharing the step's
+  // per-layer weight re-stream.  Batch-1 decode is memory-bound, so batching
+  // lanes amortises the DRAM stream — the continuous-batching win the serving
+  // simulator schedules around.  At batch 1 the per-step latency/energies are
+  // exactly one iteration of `estimate_generation`'s loop (pinned by test).
+  [[nodiscard]] PerfReport estimate_decode_step(const nn::TransformerConfig& model,
+                                                std::size_t batch,
+                                                std::size_t context_len) const;
+
   // Floorplan summary of the whole fabric (bank arrays, converters, softmax
   // logic, SRAM, SOAs).
   [[nodiscard]] phot::AreaReport area() const;

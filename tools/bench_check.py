@@ -27,10 +27,22 @@ The "provenance" object (compiler, build type, schema version, threads) is
 context for humans, never gated: baselines produced by a different toolchain
 still diff cleanly on their numbers.
 
+The serve continuous_batching section carries its own in-file acceptance
+gate on top of the baseline diff: at every load point, continuous batching's
+mean TTFT must not lose to the monolithic (static-batching) baseline — the
+section's whole reason to exist — independent of what the committed baseline
+recorded.
+
+`--baseline`/`--current` repeat to check several pairs in one invocation
+(paired in order); every failing gate across every pair is reported before
+the nonzero exit, so one CI run surfaces the full regression list.
+
 Usage:
   bench_check.py --baseline bench/baselines/BENCH_serve_smoke.json \
                  --current BENCH_serve_smoke.json [--time-tol 4.0] [--det-tol 1e-3] \
                  [--overhead-tol 0.25]
+  bench_check.py --baseline <kernels baseline> --current <kernels current> \
+                 --baseline <serve baseline> --current <serve current>
   bench_check.py --self-test --baseline <file>   # gate must pass the baseline
                                                  # against itself and fail an
                                                  # injected regression
@@ -91,6 +103,20 @@ DET_SHARDED_FIELDS = [
 DET_SHARDED_POINT_FIELDS = ["completed", "p99_latency_s", "goodput_qps"]
 TIMING_SHARDED_FIELDS = ["serial_requests_per_s", "scale_requests_per_s"]
 TIMING_SHARDED_POINT_FIELDS = ["requests_per_s", "speedup"]  # higher is better
+# Continuous-batching entries: the monolithic-vs-continuous decode comparison.
+# Every simulated per-mode metric is deterministic; requests_per_s is the
+# only timing field (wall clock over all four runs).
+DET_CONTINUOUS_FIELDS = ["requests", "fleet", "decode_tokens", "capacity_qps"]
+DET_CONTINUOUS_POINT_FIELDS = [
+    "capacity_x", "offered_qps",
+    "mono_mean_ttft_s", "mono_p95_ttft_s", "mono_mean_tpot_s", "mono_p95_tpot_s",
+    "mono_tokens_per_s", "mono_p99_latency_s", "mono_goodput_qps",
+    "mono_ttft_attainment", "mono_decode_occupancy",
+    "cont_mean_ttft_s", "cont_p95_ttft_s", "cont_mean_tpot_s", "cont_p95_tpot_s",
+    "cont_tokens_per_s", "cont_p99_latency_s", "cont_goodput_qps",
+    "cont_ttft_attainment", "cont_decode_occupancy", "ttft_ratio",
+]
+TIMING_CONTINUOUS_FIELDS = ["requests_per_s"]
 
 
 class Failure(Exception):
@@ -230,6 +256,42 @@ def check_sharded(baseline, current, time_tol, det_tol, errors):
                     )
 
 
+def check_continuous_batching(baseline, current, time_tol, det_tol, errors):
+    cur_entries = {c["label"]: c for c in current.get("continuous_batching", [])}
+    for base in baseline.get("continuous_batching", []):
+        label = base["label"]
+        cur = cur_entries.get(label)
+        if cur is None:
+            errors.append(f"serve: continuous_batching '{label}' missing from current")
+            continue
+        what = f"serve continuous_batching '{label}'"
+        check_det(what, base, cur, DET_CONTINUOUS_FIELDS, det_tol, errors)
+        check_timing(what, base, cur, TIMING_CONTINUOUS_FIELDS, time_tol, errors)
+        base_points = base.get("points", [])
+        cur_points = cur.get("points", [])
+        if len(base_points) != len(cur_points):
+            errors.append(
+                f"{what}: point count changed "
+                f"({len(base_points)} -> {len(cur_points)})"
+            )
+            continue
+        for i, (base_point, cur_point) in enumerate(zip(base_points, cur_points)):
+            point_what = f"{what} point {i} ({cur_point.get('capacity_x', '?')}x)"
+            check_det(point_what, base_point, cur_point,
+                      DET_CONTINUOUS_POINT_FIELDS, det_tol, errors)
+            # In-file acceptance gate, independent of the baseline: at every
+            # load, continuous batching must not lose to the static-batching
+            # baseline on mean TTFT (freeing lanes at token boundaries can
+            # only admit waiting prefills earlier).
+            mono = cur_point.get("mono_mean_ttft_s")
+            cont = cur_point.get("cont_mean_ttft_s")
+            if mono is not None and cont is not None and cont > mono:
+                errors.append(
+                    f"{point_what}: continuous batching lost to monolithic on "
+                    f"mean TTFT: {cont} vs {mono}"
+                )
+
+
 def check_event_queue(baseline, current, time_tol, errors):
     cur_entries = {q["label"]: q for q in current.get("event_queue", [])}
     for base in baseline.get("event_queue", []):
@@ -345,6 +407,7 @@ def run_check(baseline, current, time_tol, det_tol, overhead_tol=0.35):
         check_observer_overhead(baseline, current, time_tol, det_tol, overhead_tol,
                                 errors)
         check_sharded(baseline, current, time_tol, det_tol, errors)
+        check_continuous_batching(baseline, current, time_tol, det_tol, errors)
         check_event_queue(baseline, current, time_tol, errors)
     else:
         errors.append(f"unknown bench kind: {kind!r}")
@@ -423,6 +486,24 @@ def self_test(baseline, time_tol, det_tol):
             print("bench_check self-test FAILED: sharded speedup collapse "
                   "was not detected")
             return 1
+    if baseline.get("continuous_batching"):
+        # A drifting decode metric must trip the det band by itself ...
+        drifted = copy.deepcopy(baseline)
+        drifted["continuous_batching"][0]["points"][0]["cont_mean_ttft_s"] *= 1.5
+        if not run_check(baseline, drifted, time_tol, det_tol):
+            print("bench_check self-test FAILED: continuous_batching drift "
+                  "was not detected")
+            return 1
+        # ... and the in-file TTFT gate must fire on its own: a file whose
+        # continuous mode lost to monolithic fails even as its own baseline
+        # (no det drift to ride on).
+        lost = copy.deepcopy(baseline)
+        for point in lost["continuous_batching"][0].get("points", []):
+            point["cont_mean_ttft_s"] = point.get("mono_mean_ttft_s", 1.0) * 2.0
+        if not run_check(lost, lost, time_tol, det_tol):
+            print("bench_check self-test FAILED: continuous batching losing to "
+                  "monolithic on TTFT was not detected")
+            return 1
     if baseline.get("event_queue"):
         slow_queue = copy.deepcopy(baseline)
         slow_queue["event_queue"][0]["ops_per_s"] /= 100.0
@@ -462,8 +543,12 @@ def self_test(baseline, time_tol, det_tol):
 def main():
     parser = argparse.ArgumentParser(description=__doc__,
                                      formatter_class=argparse.RawDescriptionHelpFormatter)
-    parser.add_argument("--baseline", required=True, help="committed baseline JSON")
-    parser.add_argument("--current", help="freshly produced bench JSON")
+    parser.add_argument("--baseline", required=True, action="append",
+                        help="committed baseline JSON (repeat to check several "
+                             "baseline/current pairs in one invocation)")
+    parser.add_argument("--current", action="append",
+                        help="freshly produced bench JSON (repeat to match "
+                             "each --baseline, paired in order)")
     parser.add_argument("--time-tol", type=float, default=4.0,
                         help="allowed slowdown factor for timing metrics (default 4.0)")
     parser.add_argument("--det-tol", type=float, default=1e-3,
@@ -475,25 +560,42 @@ def main():
                              "fails an injected regression")
     args = parser.parse_args()
 
-    with open(args.baseline) as f:
-        baseline = json.load(f)
+    baselines = []
+    for path in args.baseline:
+        with open(path) as f:
+            baselines.append(json.load(f))
 
     if args.self_test:
-        sys.exit(self_test(baseline, args.time_tol, args.det_tol))
+        rc = 0
+        for baseline in baselines:
+            rc = max(rc, self_test(baseline, args.time_tol, args.det_tol))
+        sys.exit(rc)
 
     if not args.current:
         parser.error("--current is required unless --self-test is given")
-    with open(args.current) as f:
-        current = json.load(f)
+    if len(args.current) != len(args.baseline):
+        parser.error(f"--baseline given {len(args.baseline)} time(s) but --current "
+                     f"{len(args.current)} time(s); they pair in order")
 
-    errors = run_check(baseline, current, args.time_tol, args.det_tol,
-                       args.overhead_tol)
-    if errors:
-        print(f"bench_check: {len(errors)} regression(s) vs {args.baseline}:")
-        for e in errors:
-            print(f"  {e}")
+    # Check every pair and report every failing gate before exiting nonzero,
+    # so one CI run surfaces the complete regression list.
+    total_errors = 0
+    for base_path, cur_path, baseline in zip(args.baseline, args.current, baselines):
+        with open(cur_path) as f:
+            current = json.load(f)
+        errors = run_check(baseline, current, args.time_tol, args.det_tol,
+                           args.overhead_tol)
+        if errors:
+            total_errors += len(errors)
+            print(f"bench_check: {len(errors)} regression(s) vs {base_path}:")
+            for e in errors:
+                print(f"  {e}")
+        else:
+            print(f"bench_check OK: {cur_path} within tolerance of {base_path}")
+    if total_errors:
+        print(f"bench_check: {total_errors} total regression(s) across "
+              f"{len(args.baseline)} pair(s)")
         sys.exit(1)
-    print(f"bench_check OK: {args.current} within tolerance of {args.baseline}")
 
 
 if __name__ == "__main__":
