@@ -449,6 +449,121 @@ ContinuousBatchingResult run_continuous_batching_scenario(bool smoke) {
   return out;
 }
 
+// Hybrid-fleet TCO scenario: one 3-tenant decode workload (a premium tier-0
+// "vit" tenant over bulk bert/gpt2 tiers, log-normal decode lengths,
+// per-token SLOs) served by three fleets — photonic ({"tron"}), electronic
+// ({"v100"} through arch::PlatformAdapter), and hybrid ({"tron", "v100"}) —
+// under cost-aware routing, at 1x and 2x the hybrid fleet's decode-aware
+// capacity.  Every fleet sees the *same* offered load, so attainment, energy
+// per request, and dollars per request compare apples to apples: the paper's
+// TCO question ("when does a photonic slot pay for itself?") in one table.
+// The in-file acceptance gate (bench_check.py) pins the hybrid fleet's
+// tier-0 attainment at or above the worse homogeneous fleet at every load.
+struct HybridFleetPoint {
+  std::string fleet_label;
+  double capacity_x = 0.0;
+  double offered_qps = 0.0;
+  std::size_t completed = 0;
+  double p99_latency_s = 0.0;
+  double goodput_qps = 0.0;
+  double slo_attainment = 0.0;
+  double tier0_attainment = 0.0;  // the premium tenant's own SLO attainment
+  double mean_ttft_s = 0.0;
+  double tokens_per_s = 0.0;
+  double energy_per_request_j = 0.0;
+  double fleet_cost_usd = 0.0;
+  double cost_per_request_usd = 0.0;
+};
+
+struct HybridFleetResult {
+  std::string label = "hybrid fleet TCO";
+  std::size_t requests = 0;
+  std::size_t fleet = 0;
+  double capacity_qps = 0.0;  // the hybrid fleet's decode-aware capacity
+  double wall_s = 0.0;        // all six runs together
+  double requests_per_s = 0.0;
+  std::vector<HybridFleetPoint> points;  // 3 fleets x 2 loads, fleet-major
+};
+
+HybridFleetResult run_hybrid_fleet_scenario(bool smoke) {
+  serve::WorkloadCatalog catalog;
+  catalog.add_transformer("vit-premium", sim::transformer_by_name("vit"), 0.5);
+  catalog.add_transformer("bert-base/128", sim::transformer_by_name("bert-base", 128), 5.0);
+  catalog.add_transformer("gpt2/256", sim::transformer_by_name("gpt2", 256), 4.5);
+  catalog.set_priority(1, 1);
+  catalog.set_priority(2, 1);
+  catalog.apply_decode(serve::SeqLenDist::kLogNormal, 32);
+  catalog.apply_token_slos(500e-6, 100e-6);
+  // One explicit decode-aware SLO contract per tenant, shared by every fleet.
+  // The fallback SLO would be derived per fleet from its own unloaded
+  // latencies (a v100 fleet would grade itself on a v100 curve) and ignores
+  // decode time entirely; instead each tenant's contract is 10x its unloaded
+  // photonic-reference request (prefill + median decode tail at batch 1).
+  {
+    const serve::EstimateCache ref("tron", catalog);
+    for (std::uint32_t w = 0; w < catalog.size(); ++w) {
+      const auto ctx = static_cast<std::uint32_t>(
+          catalog.workload(w).transformer_config().seq_len);
+      const double per_request_s = ref.estimate(w, 1).latency_s +
+                                   31.0 * ref.decode_step(w, 1, ctx).latency_s;
+      catalog.set_slo(w, 10.0 * per_request_s);
+    }
+  }
+
+  const std::size_t fleet = 4;
+  const std::size_t max_batch = 8;
+  const std::vector<std::pair<std::string, std::vector<std::string>>> fleets{
+      {"photonic tron", {"tron"}},
+      {"electronic v100", {"v100"}},
+      {"hybrid tron+v100", {"tron", "v100"}},
+  };
+  // Every fleet is offered multiples of the *hybrid* fleet's capacity, so the
+  // three fleets answer the same demand.
+  const double capacity = serve::fleet_capacity_qps(
+      catalog, serve::FleetConfig::cycled({"tron", "v100"}, fleet), max_batch);
+
+  HybridFleetResult out;
+  out.requests = smoke ? 20000 : 200000;
+  out.fleet = fleet;
+  out.capacity_qps = capacity;
+
+  const auto t0 = std::chrono::steady_clock::now();
+  for (const auto& [label, fleet_template] : fleets) {
+    for (const double x : {1.0, 2.0}) {
+      serve::Scenario scenario;
+      scenario.fleet = serve::FleetConfig::cycled(fleet_template, fleet,
+                                                  serve::RoutingPolicy::kCostAware);
+      scenario.catalog = catalog;
+      scenario.scheduler = serve::SchedulerKind::kDynamicBatch;
+      scenario.batch.max_batch = max_batch;
+      scenario.traffic.open.offered_qps = x * capacity;
+      scenario.traffic.open.request_count = out.requests;
+      scenario.traffic.open.seed = 37;
+      const serve::FleetMetrics m = serve::simulate(scenario);
+      HybridFleetPoint p;
+      p.fleet_label = label;
+      p.capacity_x = x;
+      p.offered_qps = x * capacity;
+      p.completed = m.completed;
+      p.p99_latency_s = m.p99_latency_s;
+      p.goodput_qps = m.goodput_qps;
+      p.slo_attainment = m.slo_attainment;
+      p.tier0_attainment = m.tenants.front().slo_attainment;
+      p.mean_ttft_s = m.mean_ttft_s;
+      p.tokens_per_s = m.tokens_per_s;
+      p.energy_per_request_j = m.energy_per_request_j;
+      p.fleet_cost_usd = m.fleet_cost_usd;
+      p.cost_per_request_usd = m.cost_per_request_usd;
+      out.points.push_back(std::move(p));
+    }
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  out.wall_s = std::chrono::duration<double>(t1 - t0).count();
+  out.requests_per_s =
+      static_cast<double>(out.points.size() * out.requests) / out.wall_s;
+  return out;
+}
+
 // Event-queue micro-benchmark: the classic hold model (prefill H events, then
 // N rounds of pop-min + push at popped time + exponential increment) over the
 // three containers a simulation could schedule with.  All three pop the same
@@ -580,6 +695,7 @@ bool write_json(const std::vector<ScenarioResult>& scenarios,
                 const ClosedLoopResult& closed, const ScenarioResult& overload,
                 const ObserverOverhead& observer, const ShardedResult& sharded,
                 const ContinuousBatchingResult& batching,
+                const HybridFleetResult& hybrid,
                 const std::vector<QueueBenchResult>& queues, const std::string& path,
                 bool smoke) {
   std::ofstream f(path);
@@ -682,6 +798,28 @@ bool write_json(const std::vector<ScenarioResult>& scenarios,
     write_decode_mode_fields(f, "cont", p.cont);
     f << ", \"ttft_ratio\": " << p.ttft_ratio << "}"
       << (i + 1 < batching.points.size() ? "," : "") << "\n";
+  }
+  f << "     ]}\n";
+  f << "  ],\n  \"hybrid_fleet\": [\n";
+  f << "    {\"label\": \"" << hybrid.label << "\", \"requests\": " << hybrid.requests
+    << ", \"fleet\": " << hybrid.fleet << ", \"capacity_qps\": " << hybrid.capacity_qps
+    << ", \"wall_s\": " << hybrid.wall_s
+    << ", \"requests_per_s\": " << hybrid.requests_per_s << ",\n     \"points\": [\n";
+  for (std::size_t i = 0; i < hybrid.points.size(); ++i) {
+    const HybridFleetPoint& p = hybrid.points[i];
+    f << "       {\"fleet_label\": \"" << p.fleet_label
+      << "\", \"capacity_x\": " << p.capacity_x << ", \"offered_qps\": " << p.offered_qps
+      << ", \"completed\": " << p.completed
+      << ", \"p99_latency_s\": " << p.p99_latency_s
+      << ", \"goodput_qps\": " << p.goodput_qps
+      << ", \"slo_attainment\": " << p.slo_attainment
+      << ", \"tier0_attainment\": " << p.tier0_attainment
+      << ", \"mean_ttft_s\": " << p.mean_ttft_s
+      << ", \"tokens_per_s\": " << p.tokens_per_s
+      << ", \"energy_per_request_j\": " << p.energy_per_request_j
+      << ", \"fleet_cost_usd\": " << p.fleet_cost_usd
+      << ", \"cost_per_request_usd\": " << p.cost_per_request_usd << "}"
+      << (i + 1 < hybrid.points.size() ? "," : "") << "\n";
   }
   f << "     ]}\n";
   f << "  ],\n  \"overload_faults\": [\n";
@@ -864,6 +1002,7 @@ int main(int argc, char** argv) {
   const ObserverOverhead observer = run_observer_overhead(smoke);
   const ShardedResult sharded = run_sharded_scenario(smoke);
   const ContinuousBatchingResult batching = run_continuous_batching_scenario(smoke);
+  const HybridFleetResult hybrid = run_hybrid_fleet_scenario(smoke);
   const std::vector<QueueBenchResult> queues = run_event_queue_bench(smoke);
 
   for (const ScenarioResult& s : scenarios) {
@@ -921,14 +1060,25 @@ int main(int argc, char** argv) {
                 p.mono.tokens_per_s, p.cont.tokens_per_s);
   }
   std::printf("\n");
+  std::printf("%s: %zu requests/fleet, %zu slots, hybrid capacity %.0f QPS, %.3f s total\n",
+              hybrid.label.c_str(), hybrid.requests, hybrid.fleet, hybrid.capacity_qps,
+              hybrid.wall_s);
+  for (const HybridFleetPoint& p : hybrid.points) {
+    std::printf("  %-17s %.1fx: tier0 %.3f, goodput %.0f QPS, mean TTFT %.1f us, "
+                "%.3f uJ/req, $%.3g/req\n",
+                p.fleet_label.c_str(), p.capacity_x, p.tier0_attainment, p.goodput_qps,
+                p.mean_ttft_s * 1e6, p.energy_per_request_j * 1e6,
+                p.cost_per_request_usd);
+  }
+  std::printf("\n");
   for (const QueueBenchResult& q : queues) {
     std::printf("event_queue %s: %zu hold-model rounds in %.3f s (%.0f ops/s)\n",
                 q.label.c_str(), q.events, q.wall_s, q.ops_per_s);
   }
   std::printf("\n");
 
-  if (!write_json(scenarios, closed, overload, observer, sharded, batching, queues,
-                  out_path, smoke)) {
+  if (!write_json(scenarios, closed, overload, observer, sharded, batching, hybrid,
+                  queues, out_path, smoke)) {
     std::fprintf(stderr, "error: could not write %s\n", out_path.c_str());
     return 1;
   }

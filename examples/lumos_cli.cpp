@@ -6,7 +6,7 @@
 //   lumos_cli [--json] tron  <model>  [seq_len] [batch]
 //   lumos_cli [--json] ghost <model>  <dataset>
 //   lumos_cli [--json] generate <model> <prompt_len> <tokens>
-//   lumos_cli [--json] serve <tron|ghost|mixed> [serve flags]
+//   lumos_cli [--json] serve <tron|ghost|mixed|spec[,spec...]> [serve flags]
 //
 //   list      prints the registry's workload, dataset, and accelerator spec
 //             names plus the serve enums (processes, schedulers, routing,
@@ -21,6 +21,11 @@
 //     ghost   homogeneous GHOST fleet over the GNN mix
 //     mixed   alternating TRON+GHOST fleet over the combined mix with
 //             kind-aware routing (multi-tenant serving)
+//     spec[,spec...]  explicit registry spec names cycled across the slots —
+//             hybrid photonic/electronic fleets ("tron,v100", "a100",
+//             "tron,xeon@2.0").  The catalog follows the kinds the specs
+//             serve: transformer-only, GNN-only, or the combined mix
+//             (electronic platforms serve both)
 //
 //   serve flags:
 //     --loop <m>         open | closed (default open): open-loop offered-QPS
@@ -53,8 +58,20 @@
 //     --max-batch <n>    dynamic-batch cap (default 8)
 //     --max-wait-us <w>  dynamic-batch deadline (default 2000)
 //     --bursty           open loop: MMPP arrivals instead of Poisson
-//     --routing <r>      first-idle | energy-aware (default first-idle)
-//     --hetero           alternate full/eco accelerator variants
+//     --routing <r>      first-idle | energy-aware | cost-aware (default
+//                        first-idle; cost-aware picks the cheapest idle slot
+//                        still predicted to make the tenant's SLO)
+//     --hetero           alternate full/eco accelerator variants (photonic
+//                        fleets only: electronic platforms have no eco variant)
+//     --fleets <grid>    fleet-template campaign axis: semicolon-separated
+//                        templates, each a comma-separated spec list
+//                        ("tron;v100;tron,v100" compares photonic, electronic,
+//                        and hybrid fleets in one table; open-loop sweeps only)
+//     --usd-per-kwh <x>  marginal energy price in $/kWh (default 0.10)
+//     --usd-per-watt-hour <x>  hosting $/W/h applied to a slot's static draw
+//                        for its default $/slot-hour rate (default 0.01)
+//     --slot-rate <spec=x>  pin an exact $/slot-hour for one spec name
+//                        (repeatable; overrides the static-draw default)
 //     --seed <s>         trace / session seed (default 1)
 //     --priority         two-tier strict priorities over the workload mix
 //                        (high-traffic tenants tier 0, the rest tier 1)
@@ -197,8 +214,8 @@ int usage() {
                    "  lumos_cli [--json] generate <" +
                    sim::joined_names(sim::transformer_names()) +
                    "> <prompt> <tokens>\n"
-                   "  lumos_cli [--json] serve <tron|ghost|mixed> [--loop open|closed] "
-                   "[--qps q]\n"
+                   "  lumos_cli [--json] serve <tron|ghost|mixed|spec[,spec...]> "
+                   "[--loop open|closed] [--qps q]\n"
                    "            [--requests n] [--sessions n] [--think-time-us t]\n"
                    "            [--seqlen-dist fixed|uniform|lognormal] [--fleet n]\n"
                    "            [--decode n] [--decode-dist fixed|uniform|lognormal]\n"
@@ -206,8 +223,11 @@ int usage() {
                    "            [--tpot-slo-us t]\n"
                    "            [--sched fifo|batch] [--max-batch n] [--max-wait-us w] "
                    "[--bursty]\n"
-                   "            [--routing first-idle|energy-aware] [--hetero] [--seed s] "
-                   "[--priority]\n"
+                   "            [--routing first-idle|energy-aware|cost-aware] [--hetero] "
+                   "[--seed s] [--priority]\n"
+                   "            [--fleets t1;t2;...]  (each t a spec[,spec...] template)\n"
+                   "            [--usd-per-kwh x] [--usd-per-watt-hour x] "
+                   "[--slot-rate spec=x]\n"
                    "            [--autoscale none|queue|util] [--scale-interval-us n]\n"
                    "            [--min-fleet n] [--max-fleet n] [--grow-scale x]\n"
                    "            [--mtbf-us n] [--mttr-us n] [--timeout-us n] [--retries n]\n"
@@ -387,6 +407,8 @@ int run_closed_loop(serve::Scenario scenario, const serve::ClosedLoopConfig& clo
               << "  \"max_session_s\": " << m.max_session_s << ",\n"
               << "  \"mean_batch\": " << m.mean_batch_size << ",\n"
               << "  \"fleet_energy_j\": " << m.fleet_energy_j << ",\n"
+              << "  \"fleet_cost_usd\": " << m.fleet_cost_usd << ",\n"
+              << "  \"cost_per_request_usd\": " << m.cost_per_request_usd << ",\n"
               << "  \"estimate_lookups\": " << m.estimate_lookups << ",\n"
               << "  \"estimate_misses\": " << m.estimate_misses << ",\n"
               << "  \"shed\": " << m.shed_requests << ",\n"
@@ -414,6 +436,7 @@ int run_open_observed(const serve::CampaignConfig& cfg, const serve::WorkloadCat
                       const serve::ObserveConfig& observe, const ObserveOut& out, bool json) {
   serve::Scenario scenario;
   scenario.fleet = serve::FleetConfig::cycled(cfg.fleet_template, fleet, cfg.routing);
+  scenario.fleet.cost = cfg.cost;
   scenario.catalog = catalog;
   scenario.scheduler = cfg.schedulers.front();
   // Campaign FIFO points pin max_batch to 1; mirror that for bit parity.
@@ -453,6 +476,8 @@ int run_open_observed(const serve::CampaignConfig& cfg, const serve::WorkloadCat
               << "  \"p999_latency_s\": " << m.p999_latency_s << ",\n"
               << "  \"mean_batch\": " << m.mean_batch_size << ",\n"
               << "  \"fleet_energy_j\": " << m.fleet_energy_j << ",\n"
+              << "  \"fleet_cost_usd\": " << m.fleet_cost_usd << ",\n"
+              << "  \"cost_per_request_usd\": " << m.cost_per_request_usd << ",\n"
               << "  \"shed\": " << m.shed_requests << ",\n"
               << "  \"timed_out\": " << m.timed_out_requests << ",\n"
               << "  \"retries\": " << m.retried_attempts << ",\n"
@@ -474,7 +499,7 @@ int run_open_observed(const serve::CampaignConfig& cfg, const serve::WorkloadCat
 
 int run_serve(const std::vector<std::string>& args, bool json) {
   if (args.empty()) {
-    throw InvalidArgument("serve needs a fleet kind (tron|ghost|mixed)");
+    throw InvalidArgument("serve needs a fleet kind (tron|ghost|mixed|spec[,spec...])");
   }
   serve::CampaignConfig cfg;
   cfg.name = "lumos_cli serve";
@@ -489,8 +514,31 @@ int run_serve(const std::vector<std::string>& args, bool json) {
     cfg.fleet_template = {"tron", "ghost"};
     catalog = serve::WorkloadCatalog::mixed_default();
   } else {
-    throw InvalidArgument("unknown serve fleet kind: " + args[0] +
-                          " (expected tron|ghost|mixed)");
+    // Comma-separated registry spec names cycled across the slots: hybrid
+    // photonic/electronic fleets ("tron,v100", "a100", "tron,xeon@2.0").
+    // Each name validates against the registry (unknown names throw the
+    // registry's enumerated error); the catalog follows the union of kinds
+    // the listed specs serve.
+    std::vector<std::string> specs;
+    std::string rest = args[0];
+    while (!rest.empty()) {
+      const std::size_t comma = rest.find(',');
+      specs.push_back(rest.substr(0, comma));
+      if (specs.back().empty()) {
+        throw InvalidArgument("serve fleet spec list has an empty entry: " + args[0]);
+      }
+      rest = comma == std::string::npos ? "" : rest.substr(comma + 1);
+    }
+    bool transformer = false;
+    bool gnn = false;
+    for (const std::string& spec : specs) {
+      transformer = transformer || arch::spec_serves(spec, arch::WorkloadKind::kTransformer);
+      gnn = gnn || arch::spec_serves(spec, arch::WorkloadKind::kGnn);
+    }
+    catalog = transformer && gnn ? serve::WorkloadCatalog::mixed_default()
+              : transformer     ? serve::WorkloadCatalog::tron_default()
+                                : serve::WorkloadCatalog::ghost_default();
+    cfg.fleet_template = std::move(specs);
   }
   cfg.schedulers = {serve::SchedulerKind::kDynamicBatch};
   cfg.requests_per_point = 50000;
@@ -578,6 +626,51 @@ int run_serve(const std::vector<std::string>& args, bool json) {
       cfg.process = serve::ArrivalProcess::kBursty;
     } else if (a == "--routing") {
       cfg.routing = serve::routing_from_name(value());
+    } else if (a == "--usd-per-kwh") {
+      const double kwh = parse_double(value(), "--usd-per-kwh");
+      if (kwh < 0.0) throw InvalidArgument("--usd-per-kwh must be >= 0");
+      cfg.cost.usd_per_joule = kwh / 3.6e6;
+    } else if (a == "--usd-per-watt-hour") {
+      cfg.cost.usd_per_watt_hour = parse_double(value(), "--usd-per-watt-hour");
+      if (cfg.cost.usd_per_watt_hour < 0.0) {
+        throw InvalidArgument("--usd-per-watt-hour must be >= 0");
+      }
+    } else if (a == "--slot-rate") {
+      const std::string& pair = value();
+      const std::size_t eq = pair.find('=');
+      if (eq == std::string::npos || eq == 0) {
+        throw InvalidArgument("--slot-rate expects <spec>=<usd-per-hour>, got '" + pair +
+                              "'");
+      }
+      const double rate = parse_double(pair.substr(eq + 1), "--slot-rate rate");
+      if (rate < 0.0) throw InvalidArgument("--slot-rate rate must be >= 0");
+      cfg.cost.slot_hour_overrides.emplace_back(pair.substr(0, eq), rate);
+    } else if (a == "--fleets") {
+      // Fleet-template grid axis: semicolon-separated templates, each a
+      // comma-separated spec list, swept as the outermost campaign axis.
+      const std::string grid = value();
+      cfg.fleet_templates.clear();
+      std::string rest_templates = grid;
+      while (true) {
+        const std::size_t semi = rest_templates.find(';');
+        std::string entry = rest_templates.substr(0, semi);
+        std::vector<std::string> specs;
+        while (!entry.empty()) {
+          const std::size_t comma = entry.find(',');
+          specs.push_back(entry.substr(0, comma));
+          if (specs.back().empty()) {
+            throw InvalidArgument("--fleets template has an empty spec: '" + grid + "'");
+          }
+          (void)arch::is_platform_spec(specs.back());  // registry name validation
+          entry = comma == std::string::npos ? "" : entry.substr(comma + 1);
+        }
+        if (specs.empty()) {
+          throw InvalidArgument("--fleets has an empty template: '" + grid + "'");
+        }
+        cfg.fleet_templates.push_back(std::move(specs));
+        if (semi == std::string::npos) break;
+        rest_templates = rest_templates.substr(semi + 1);
+      }
     } else if (a == "--hetero") {
       hetero = true;
     } else if (a == "--seed") {
@@ -729,10 +822,36 @@ int run_serve(const std::vector<std::string>& args, bool json) {
   if (max_batch > serve::BatchPolicy::kMaxBatchLimit || fleet > 4096) {
     throw InvalidArgument("--max-batch and --fleet must be <= 4096");
   }
+  if (!cfg.fleet_templates.empty()) {
+    // The template axis multiplies the campaign grid; the single-fleet paths
+    // (closed loop, observed runs, --hetero's template rewrite) serve exactly
+    // one fleet, so combining them would silently drop the sweep.
+    if (hetero) {
+      throw InvalidArgument(
+          "--hetero cannot combine with --fleets: list eco variants explicitly "
+          "in the templates instead");
+    }
+    if (loop == serve::LoopMode::kClosed) {
+      throw InvalidArgument(
+          "--fleets sweeps a campaign axis; closed-loop runs serve one fleet");
+    }
+    if (observe.enabled()) {
+      throw InvalidArgument(
+          "--fleets sweeps a campaign axis; observers trace one run");
+    }
+    cfg.fleet_template = cfg.fleet_templates.front();  // labels + default QPS
+  }
   if (hetero) {
-    // Alternate each family's full and eco variants across the slots.
+    // Alternate each family's full and eco variants across the slots.  Eco
+    // variants are a photonic notion (tron-eco / ghost-eco tune the fabric);
+    // electronic platforms scale with "@<x>" instead.
     std::vector<std::string> with_eco;
     for (const std::string& spec : cfg.fleet_template) {
+      if (arch::is_platform_spec(spec)) {
+        throw InvalidArgument("--hetero needs a photonic fleet: '" + spec +
+                              "' has no eco variant (scale electronic platforms with "
+                              "<spec>@<x> instead)");
+      }
       with_eco.push_back(spec);
       with_eco.push_back(spec + "-eco");
     }
@@ -758,6 +877,7 @@ int run_serve(const std::vector<std::string>& args, bool json) {
     closed.seed = cfg.seed;
     serve::Scenario scenario;
     scenario.fleet = serve::FleetConfig::cycled(cfg.fleet_template, fleet, cfg.routing);
+    scenario.fleet.cost = cfg.cost;
     scenario.catalog = catalog;
     scenario.scheduler = cfg.schedulers.front();
     scenario.batch.max_batch = max_batch;

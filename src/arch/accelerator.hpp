@@ -52,7 +52,10 @@ class Accelerator {
 
   [[nodiscard]] virtual const SpecInfo& spec() const noexcept = 0;
 
-  [[nodiscard]] bool can_serve(const Workload& workload) const noexcept {
+  // Whether this accelerator's estimates accept `workload`.  The default
+  // matches the spec's primary kind; multi-kind fabrics (electronic roofline
+  // platforms price both transformer and GNN passes) override it.
+  [[nodiscard]] virtual bool can_serve(const Workload& workload) const noexcept {
     return workload.kind() == spec().serves;
   }
 

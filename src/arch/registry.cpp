@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "arch/platform_adapter.hpp"
 #include "common/error.hpp"
 #include "sim/registry.hpp"
 
@@ -50,10 +51,53 @@ std::size_t scaled(std::size_t units, double scale) {
                         ", optionally scaled as <base>@<scale>)");
 }
 
+// One electronic platform entry: registry name, roofline factory, and the
+// paper comparison set it primarily belongs to (the `spec_kind` answer; every
+// platform actually serves both kinds).
+struct PlatformEntry {
+  const char* name;
+  baselines::PlatformModel (*factory)();
+  WorkloadKind primary;
+};
+
+const std::vector<PlatformEntry>& platform_entries() {
+  static const std::vector<PlatformEntry> entries{
+      // LLM comparison set (paper Figs. 8-9).
+      {"xeon", baselines::xeon_cpu, WorkloadKind::kTransformer},
+      {"v100", baselines::v100_gpu, WorkloadKind::kTransformer},
+      {"tpu-v2", baselines::tpu_v2, WorkloadKind::kTransformer},
+      {"transpim", baselines::transpim, WorkloadKind::kTransformer},
+      {"fpga-acc1", baselines::fpga_acc1, WorkloadKind::kTransformer},
+      {"vaqf", baselines::vaqf, WorkloadKind::kTransformer},
+      {"fpga-acc2", baselines::fpga_acc2, WorkloadKind::kTransformer},
+      // GNN comparison set (paper Figs. 10-11).
+      {"a100", baselines::a100_gpu, WorkloadKind::kGnn},
+      {"tpu-v4", baselines::tpu_v4, WorkloadKind::kGnn},
+      {"grip", baselines::grip, WorkloadKind::kGnn},
+      {"hygcn", baselines::hygcn, WorkloadKind::kGnn},
+      {"engn", baselines::engn, WorkloadKind::kGnn},
+      {"hw-acc", baselines::hw_acc, WorkloadKind::kGnn},
+      {"regnn", baselines::regnn, WorkloadKind::kGnn},
+      {"regraphx", baselines::regraphx, WorkloadKind::kGnn},
+  };
+  return entries;
+}
+
+const PlatformEntry* platform_entry(const std::string& base) {
+  for (const PlatformEntry& e : platform_entries()) {
+    if (base == e.name) return &e;
+  }
+  return nullptr;
+}
+
 }  // namespace
 
 const std::vector<std::string>& spec_names() {
-  static const std::vector<std::string> names{"tron", "tron-eco", "ghost", "ghost-eco"};
+  static const std::vector<std::string> names = [] {
+    std::vector<std::string> all{"tron", "tron-eco", "ghost", "ghost-eco"};
+    for (const PlatformEntry& e : platform_entries()) all.emplace_back(e.name);
+    return all;
+  }();
   return names;
 }
 
@@ -106,7 +150,38 @@ WorkloadKind spec_kind(const std::string& name) {
   const ParsedName p = parse_name(name);
   if (p.base == "tron" || p.base == "tron-eco") return WorkloadKind::kTransformer;
   if (p.base == "ghost" || p.base == "ghost-eco") return WorkloadKind::kGnn;
+  if (const PlatformEntry* e = platform_entry(p.base)) return e->primary;
   throw_unknown(name);
+}
+
+bool is_platform_spec(const std::string& name) {
+  const ParsedName p = parse_name(name);
+  if (platform_entry(p.base) != nullptr) return true;
+  (void)spec_kind(name);  // validates photonic names
+  return false;
+}
+
+bool spec_serves(const std::string& name, WorkloadKind kind) {
+  // Electronic rooflines price both kinds; photonic fabrics serve one.
+  return is_platform_spec(name) || spec_kind(name) == kind;
+}
+
+baselines::PlatformSpec platform_spec_by_name(const std::string& name) {
+  const ParsedName p = parse_name(name);
+  const PlatformEntry* e = platform_entry(p.base);
+  if (e == nullptr) {
+    throw InvalidArgument("accelerator spec '" + name +
+                          "' is not an electronic platform (expected one of the "
+                          "platform names from spec_names())");
+  }
+  baselines::PlatformSpec spec = e->factory().spec();
+  // Scaling an electronic platform multiplies its compute fabric and memory
+  // system together (wider part of the same design), so board power scales
+  // with them.
+  spec.peak_ops_per_s *= p.scale;
+  spec.memory_bandwidth_bps *= p.scale;
+  spec.board_power_w *= p.scale;
+  return spec;
 }
 
 std::unique_ptr<Accelerator> make_accelerator(const std::string& name) {
@@ -118,6 +193,11 @@ std::unique_ptr<Accelerator> make_accelerator(const std::string& name) {
   if (p.base == "ghost" || p.base == "ghost-eco") {
     return std::make_unique<GhostAdapter>(ghost_config_by_name(name),
                                           SpecInfo{name, "GHOST", WorkloadKind::kGnn});
+  }
+  if (const PlatformEntry* e = platform_entry(p.base)) {
+    return std::make_unique<PlatformAdapter>(
+        baselines::PlatformModel(platform_spec_by_name(name)),
+        SpecInfo{name, "ELECTRONIC", e->primary});
   }
   throw_unknown(name);
 }

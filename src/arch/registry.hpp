@@ -8,10 +8,15 @@
 //   * eco variants   — "tron-eco", "ghost-eco": reduced-fabric designs
 //     (fewer compute arrays; lower static draw, higher latency — the
 //     interesting trade for energy-aware routing);
-//   * scaled specs   — "<base>@<scale>", e.g. "tron@0.5" or "ghost@2":
-//     the base design with its compute-fabric unit counts multiplied by
-//     <scale> (clamped to at least one unit), for capacity what-ifs without
-//     hand-editing configs.
+//   * electronic     — "xeon", "v100", "tpu-v2", "transpim", "fpga-acc1",
+//     "vaqf", "fpga-acc2", "a100", "tpu-v4", "grip", "hygcn", "engn",
+//     "hw-acc", "regnn", "regraphx": the paper's Section VI comparison
+//     platforms behind `arch::PlatformAdapter` (roofline models; serve both
+//     workload kinds, so hybrid photonic/electronic fleets can mix freely);
+//   * scaled specs   — "<base>@<scale>", e.g. "tron@0.5" or "v100@2":
+//     the base design with its compute-fabric unit counts (photonic) or
+//     peak throughput / bandwidth / board power (electronic) multiplied by
+//     <scale>, for capacity what-ifs without hand-editing configs.
 // Unknown names throw `InvalidArgument` listing the accepted names.
 #pragma once
 
@@ -20,6 +25,7 @@
 #include <vector>
 
 #include "arch/accelerator.hpp"
+#include "baselines/platforms.hpp"
 #include "ghost/config.hpp"
 #include "tron/config.hpp"
 
@@ -31,10 +37,26 @@ namespace lumos::arch {
 // Name -> accelerator.  Accepts `spec_names()` plus "<base>@<scale>" forms.
 [[nodiscard]] std::unique_ptr<Accelerator> make_accelerator(const std::string& name);
 
-// The workload kind a spec serves, without constructing the device (capacity
-// planners ask this per fleet slot).  Same name validation as
+// The PRIMARY workload kind a spec serves, without constructing the device
+// (capacity planners ask this per fleet slot).  Electronic platforms serve
+// both kinds; this reports the comparison set they belong to — ask
+// `spec_serves` for actual serveability.  Same name validation as
 // `make_accelerator`.
 [[nodiscard]] WorkloadKind spec_kind(const std::string& name);
+
+// Whether `name` is one of the electronic roofline platforms (vs a photonic
+// fabric).  Same name validation as `make_accelerator`.
+[[nodiscard]] bool is_platform_spec(const std::string& name);
+
+// Whether the named spec's estimates accept workloads of `kind`, without
+// constructing the device: photonic fabrics serve their `spec_kind` only,
+// electronic platforms serve both.
+[[nodiscard]] bool spec_serves(const std::string& name, WorkloadKind kind);
+
+// The concrete roofline spec behind an electronic platform name, with any
+// "@<scale>" applied (peak throughput, memory bandwidth, and board power all
+// multiply by the scale).  Throws for photonic names.
+[[nodiscard]] baselines::PlatformSpec platform_spec_by_name(const std::string& name);
 
 // The canonical "<base>@<scale>" name for `name` re-scaled by `scale`
 // (compounding any scale already in `name`; a net scale of 1 returns the bare

@@ -72,6 +72,23 @@ double expected_decode_s(const EstimateCache& cache, const WorkloadCatalog& cata
   return (mean_tokens - 1.0) * step_s / static_cast<double>(batch);
 }
 
+// "a+b" join of a fleet template's spec names (labels, JSON).
+std::string template_label(const std::vector<std::string>& specs) {
+  std::string label;
+  for (const std::string& spec : specs) {
+    if (!label.empty()) label += '+';
+    label += spec;
+  }
+  return label;
+}
+
+// The campaign's effective template axis: the explicit `fleet_templates`
+// grid, or the single `fleet_template` when the grid is empty.
+std::vector<std::vector<std::string>> effective_templates(const CampaignConfig& config) {
+  if (!config.fleet_templates.empty()) return config.fleet_templates;
+  return {config.fleet_template};
+}
+
 }  // namespace
 
 double fleet_capacity_qps(const WorkloadCatalog& catalog, const std::string& spec,
@@ -130,8 +147,19 @@ double fleet_capacity_qps(const WorkloadCatalog& catalog, const FleetConfig& fle
     const double traffic_fraction = kind_weight / catalog.total_weight();
     double rate = 0.0;  // requests/s the kind's slots sustain together
     for (const auto& [spec, count] : groups) {
-      if (arch::spec_kind(spec) != kind) continue;
-      rate += fleet_capacity_qps(catalog, spec, count, batch);
+      if (!arch::spec_serves(spec, kind)) continue;
+      // A multi-kind platform splits its unloaded rate across the kinds it
+      // serves in proportion to their mix weight; a single-kind fabric's
+      // factor is x/x == 1.0 exactly, keeping photonic-only fleets
+      // bit-identical to the kind-matched accounting.
+      double served_weight = 0.0;
+      for (std::uint32_t w = 0; w < catalog.size(); ++w) {
+        if (arch::spec_serves(spec, catalog.workload(w).kind())) {
+          served_weight += catalog.at(w).mix_weight;
+        }
+      }
+      rate += fleet_capacity_qps(catalog, spec, count, batch) *
+              (kind_weight / served_weight);
     }
     if (rate <= 0.0) {
       throw InvalidArgument("fleet '" + fleet.label() + "' has no accelerator for " +
@@ -145,6 +173,11 @@ double fleet_capacity_qps(const WorkloadCatalog& catalog, const FleetConfig& fle
 void validate_campaign(const CampaignConfig& config) {
   if (config.fleet_template.empty()) {
     throw InvalidArgument("CampaignConfig.fleet_template must not be empty");
+  }
+  for (const std::vector<std::string>& t : config.fleet_templates) {
+    if (t.empty()) {
+      throw InvalidArgument("CampaignConfig.fleet_templates entries must not be empty");
+    }
   }
   if (config.qps.empty()) throw InvalidArgument("CampaignConfig.qps must not be empty");
   for (const double q : config.qps) {
@@ -225,27 +258,33 @@ std::vector<CampaignPoint> run_campaign(const CampaignConfig& config,
   validate_campaign(config);
   if (catalog.empty()) throw InvalidArgument("WorkloadCatalog must not be empty");
 
+  // The template axis is outermost so a single-template campaign enumerates
+  // its points — and therefore derives its per-point trace seeds — exactly as
+  // the pre-axis campaign did.
   std::vector<CampaignPoint> points;
-  for (const std::size_t fleet_size : config.fleet_sizes) {
-    for (const SchedulerKind scheduler : config.schedulers) {
-      // FIFO ignores the batch policy: one grid point per (fleet, qps).
-      const std::vector<std::size_t> batches =
-          scheduler == SchedulerKind::kFifo ? std::vector<std::size_t>{1}
-                                            : config.max_batches;
-      for (const std::size_t max_batch : batches) {
-        for (const AutoscalerPolicy autoscaler : config.autoscalers) {
-          for (const AdmissionPolicy admission : config.admissions) {
-            for (const double fault_mtbf_s : config.fault_mtbfs_s) {
-              for (const double qps : config.qps) {
-                CampaignPoint p;
-                p.qps = qps;
-                p.scheduler = scheduler;
-                p.fleet_size = fleet_size;
-                p.max_batch = max_batch;
-                p.autoscaler = autoscaler;
-                p.admission = admission;
-                p.fault_mtbf_s = fault_mtbf_s;
-                points.push_back(p);
+  for (const std::vector<std::string>& fleet_template : effective_templates(config)) {
+    for (const std::size_t fleet_size : config.fleet_sizes) {
+      for (const SchedulerKind scheduler : config.schedulers) {
+        // FIFO ignores the batch policy: one grid point per (fleet, qps).
+        const std::vector<std::size_t> batches =
+            scheduler == SchedulerKind::kFifo ? std::vector<std::size_t>{1}
+                                              : config.max_batches;
+        for (const std::size_t max_batch : batches) {
+          for (const AutoscalerPolicy autoscaler : config.autoscalers) {
+            for (const AdmissionPolicy admission : config.admissions) {
+              for (const double fault_mtbf_s : config.fault_mtbfs_s) {
+                for (const double qps : config.qps) {
+                  CampaignPoint p;
+                  p.fleet_template = fleet_template;
+                  p.qps = qps;
+                  p.scheduler = scheduler;
+                  p.fleet_size = fleet_size;
+                  p.max_batch = max_batch;
+                  p.autoscaler = autoscaler;
+                  p.admission = admission;
+                  p.fault_mtbf_s = fault_mtbf_s;
+                  points.push_back(p);
+                }
               }
             }
           }
@@ -263,7 +302,8 @@ std::vector<CampaignPoint> run_campaign(const CampaignConfig& config,
       CampaignPoint& p = points[i];
       Scenario scenario;
       scenario.fleet =
-          FleetConfig::cycled(config.fleet_template, p.fleet_size, config.routing);
+          FleetConfig::cycled(p.fleet_template, p.fleet_size, config.routing);
+      scenario.fleet.cost = config.cost;
       scenario.catalog = catalog;
       scenario.scheduler = p.scheduler;
       scenario.batch.max_batch = p.max_batch;
@@ -296,16 +336,25 @@ Table campaign_table(const std::vector<CampaignPoint>& points, const std::string
   // campaign tables keep their familiar shape.
   bool robust = false;
   bool decode = false;
+  // The template column appears only when the campaign actually swept
+  // templates, so single-template tables keep their familiar shape.
+  bool multi_template = false;
   for (const CampaignPoint& p : points) {
     robust = robust || p.admission != AdmissionPolicy::kNone || p.fault_mtbf_s > 0.0 ||
              p.metrics.drop_rate > 0.0;
     decode = decode || p.metrics.decode_requests > 0;
+    multi_template =
+        multi_template || p.fleet_template != points.front().fleet_template;
   }
   std::vector<std::string> header{"fleet", "sched", "batch", "scaler", "offered QPS",
                                   "goodput QPS", "p50 us", "p99 us", "p99.9 us",
-                                  "mean batch", "uJ/req", "util"};
+                                  "mean batch", "uJ/req", "$/req", "util"};
+  if (multi_template) header.insert(header.begin(), "template");
+  // The "admit" column slots between "scaler" and "offered QPS", one place
+  // further right when the template column leads.
+  const std::size_t admit_at = multi_template ? 5 : 4;
   if (robust) {
-    header.insert(header.begin() + 4, "admit");
+    header.insert(header.begin() + static_cast<std::ptrdiff_t>(admit_at), "admit");
     header.push_back("drop");
     header.push_back("avail");
   }
@@ -328,9 +377,12 @@ Table campaign_table(const std::vector<CampaignPoint>& points, const std::string
         Table::num(units::to_us(m.p50_latency_s), 1),
         Table::num(units::to_us(m.p99_latency_s), 1),
         Table::num(units::to_us(m.p999_latency_s), 1), Table::num(m.mean_batch_size, 2),
-        Table::num(m.energy_per_request_j * 1e6, 3), Table::num(m.fleet_utilization, 3)};
+        Table::num(m.energy_per_request_j * 1e6, 3),
+        Table::num(m.cost_per_request_usd, 9), Table::num(m.fleet_utilization, 3)};
+    if (multi_template) row.insert(row.begin(), template_label(p.fleet_template));
     if (robust) {
-      row.insert(row.begin() + 4, admission_name(p.admission));
+      row.insert(row.begin() + static_cast<std::ptrdiff_t>(admit_at),
+                 admission_name(p.admission));
       row.push_back(Table::num(m.drop_rate, 4));
       row.push_back(Table::num(m.fleet_availability, 4));
     }
@@ -363,7 +415,8 @@ void write_campaign_json(const CampaignConfig& config,
   for (std::size_t i = 0; i < points.size(); ++i) {
     const CampaignPoint& p = points[i];
     const FleetMetrics& m = p.metrics;
-    os << "    {\"fleet\": " << p.fleet_size << ", \"scheduler\": \""
+    os << "    {\"fleet_template\": \"" << json_escape(template_label(p.fleet_template))
+       << "\", \"fleet\": " << p.fleet_size << ", \"scheduler\": \""
        << scheduler_name(p.scheduler) << "\", \"max_batch\": " << p.max_batch
        << ", \"autoscaler\": \"" << autoscaler_name(p.autoscaler) << "\""
        << ", \"admission\": \"" << admission_name(p.admission) << "\""
@@ -381,6 +434,8 @@ void write_campaign_json(const CampaignConfig& config,
        << ", \"mean_batch\": " << m.mean_batch_size
        << ", \"energy_per_request_j\": " << m.energy_per_request_j
        << ", \"fleet_energy_j\": " << m.fleet_energy_j
+       << ", \"fleet_cost_usd\": " << m.fleet_cost_usd
+       << ", \"cost_per_request_usd\": " << m.cost_per_request_usd
        << ", \"utilization\": " << m.fleet_utilization
        << ", \"peak_fleet\": " << m.peak_fleet_size
        << ", \"final_fleet\": " << m.final_fleet_size
@@ -418,6 +473,7 @@ void write_campaign_json(const CampaignConfig& config,
          << ", \"goodput_qps\": " << t.goodput_qps
          << ", \"shed\": " << t.shed << ", \"timed_out\": " << t.timed_out
          << ", \"drop_rate\": " << t.drop_rate
+         << ", \"cost_usd\": " << t.cost_usd
          << ", \"p50_latency_s\": " << t.p50_latency_s
          << ", \"p99_latency_s\": " << t.p99_latency_s << "}"
          << (w + 1 < m.tenants.size() ? "," : "") << "\n";

@@ -23,6 +23,13 @@ struct CampaignConfig {
   std::string name = "serve";
   // Spec names cycled across each fleet's slots (see FleetConfig::cycled).
   std::vector<std::string> fleet_template{"tron"};
+  // Fleet-template grid axis: when non-empty these templates sweep as the
+  // *outermost* axis (photonic vs electronic vs hybrid fleets in one
+  // campaign); empty (the default) sweeps just `fleet_template`, and that
+  // single-template enumeration is bit-identical to the pre-axis campaign.
+  std::vector<std::vector<std::string>> fleet_templates;
+  // Dollar-cost knobs applied at every grid point (see CostModel).
+  CostModel cost;
   std::vector<double> qps;  // offered-QPS points (see fleet_capacity_qps)
   std::vector<SchedulerKind> schedulers{SchedulerKind::kFifo, SchedulerKind::kDynamicBatch};
   std::vector<std::size_t> fleet_sizes{4};
@@ -71,6 +78,9 @@ struct CampaignConfig {
 void validate_campaign(const CampaignConfig& config);
 
 struct CampaignPoint {
+  // Spec names cycled across this point's slots (the template that produced
+  // it; "a+b" joins of these label tables and JSON).
+  std::vector<std::string> fleet_template;
   double qps = 0.0;
   SchedulerKind scheduler = SchedulerKind::kFifo;
   std::size_t fleet_size = 0;  // initial fleet size of elastic points

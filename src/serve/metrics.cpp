@@ -197,6 +197,7 @@ void FleetMetrics::merge(const FleetMetrics& other) {
     t.within_slo += o.within_slo;
     t.shed += o.shed;
     t.timed_out += o.timed_out;
+    t.cost_usd += o.cost_usd;  // disjoint completions: dollars add exactly
     t.max_latency_s = std::max(t.max_latency_s, o.max_latency_s);
     t.slo_latency_s = std::max(t.slo_latency_s, o.slo_latency_s);
     const std::size_t issued = t.completed + t.shed + t.timed_out;
@@ -234,6 +235,7 @@ void FleetMetrics::merge(const FleetMetrics& other) {
   slo_latency_s = std::max(slo_latency_s, other.slo_latency_s);
   peak_queue_depth = std::max(peak_queue_depth, other.peak_queue_depth);
   fleet_energy_j += other.fleet_energy_j;
+  fleet_cost_usd += other.fleet_cost_usd;  // disjoint slot-time and energy
   if (batch_histogram.size() < other.batch_histogram.size()) {
     batch_histogram.resize(other.batch_histogram.size(), 0);
   }
@@ -278,6 +280,8 @@ void FleetMetrics::merge(const FleetMetrics& other) {
                     static_cast<double>(std::max<std::size_t>(dispatches, 1));
   energy_per_request_j =
       completed > 0 ? fleet_energy_j / static_cast<double>(completed) : 0.0;
+  cost_per_request_usd =
+      completed > 0 ? fleet_cost_usd / static_cast<double>(completed) : 0.0;
   const double slot_time = slot_time_a + slot_time_b;
   mean_fleet_size = slot_time / std::max(merged_dur, 1e-300);
   fleet_utilization = busy / std::max(slot_time, 1e-300);
@@ -353,6 +357,10 @@ Table FleetMetrics::to_table(const std::string& title) const {
   t.add_row({"mean batch size", Table::num(mean_batch_size, 2)});
   t.add_row({"fleet energy (J)", Table::num(fleet_energy_j, 4)});
   t.add_row({"energy/request (uJ)", Table::num(energy_per_request_j * 1e6, 3)});
+  if (fleet_cost_usd > 0.0) {
+    t.add_row({"fleet cost ($)", Table::num(fleet_cost_usd, 6)});
+    t.add_row({"cost/request ($)", Table::num(cost_per_request_usd, 9)});
+  }
   t.add_row({"fleet utilization", Table::num(fleet_utilization, 3)});
   t.add_row({"estimate lookups", std::to_string(estimate_lookups)});
   t.add_row({"estimate misses", std::to_string(estimate_misses)});
@@ -424,7 +432,7 @@ Table FleetMetrics::to_table(const std::string& title) const {
 Table FleetMetrics::tenant_table(const std::string& title) const {
   Table t(title);
   t.add_row({"tenant", "tier", "completed", "shed", "timeout", "drop", "SLO us",
-             "attainment", "goodput QPS", "p50 us", "p99 us", "max us"});
+             "attainment", "goodput QPS", "p50 us", "p99 us", "max us", "cost $"});
   for (const TenantMetrics& tenant : tenants) {
     t.add_row({tenant.name, std::to_string(tenant.priority),
                std::to_string(tenant.completed), std::to_string(tenant.shed),
@@ -433,7 +441,8 @@ Table FleetMetrics::tenant_table(const std::string& title) const {
                Table::num(tenant.slo_attainment, 4), Table::num(tenant.goodput_qps, 1),
                Table::num(units::to_us(tenant.p50_latency_s), 1),
                Table::num(units::to_us(tenant.p99_latency_s), 1),
-               Table::num(units::to_us(tenant.max_latency_s), 1)});
+               Table::num(units::to_us(tenant.max_latency_s), 1),
+               Table::num(tenant.cost_usd, 6)});
   }
   return t;
 }

@@ -49,6 +49,10 @@ struct TenantMetrics {
   std::size_t shed = 0;       // rejected at admission
   std::size_t timed_out = 0;  // deadline exceeded, retries exhausted
   double drop_rate = 0.0;     // (shed + timed_out) / issued
+  // Dollars attributed to this tenant's completions: served slot-time at the
+  // slot's hourly rate plus batch energy at the fleet's $/J (see CostModel).
+  // Sums across tenants to <= fleet_cost_usd (idle burn is unattributed).
+  double cost_usd = 0.0;
 };
 
 // One slot's availability under fault injection (see FaultConfig).
@@ -111,6 +115,13 @@ struct FleetMetrics {
   double fleet_energy_j = 0.0;
   double energy_per_request_j = 0.0;
   double fleet_utilization = 0.0;  // busy time / integral of active slot-time
+
+  // Dollar cost (see CostModel): active slot-time at each slot's hourly rate
+  // plus fleet energy at $/J.  Adds exactly across shard folds (disjoint
+  // sub-fleets, disjoint energy); cost_per_request recomputes from the merged
+  // totals.
+  double fleet_cost_usd = 0.0;
+  double cost_per_request_usd = 0.0;
 
   // Autoscaling (all zero / initial==final for static fleets).
   std::size_t autoscale_grows = 0;

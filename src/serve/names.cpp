@@ -20,6 +20,8 @@ constexpr EnumName<RoutingPolicy> kRoutingNames[] = {
     {RoutingPolicy::kFirstIdle, "first-idle"},
     {RoutingPolicy::kEnergyAware, "energy-aware"},
     {RoutingPolicy::kEnergyAware, "energy"},  // historical CLI alias
+    {RoutingPolicy::kCostAware, "cost-aware"},
+    {RoutingPolicy::kCostAware, "cost"},  // CLI alias
 };
 
 constexpr EnumName<AutoscalerPolicy> kAutoscalerNames[] = {

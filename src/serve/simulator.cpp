@@ -34,6 +34,13 @@ FleetConfig FleetConfig::cycled(const std::vector<std::string>& specs, std::size
   return f;
 }
 
+double CostModel::slot_hour_rate(const std::string& spec, double static_power_w) const {
+  for (const auto& [name, rate] : slot_hour_overrides) {
+    if (name == spec) return rate;
+  }
+  return static_power_w * usd_per_watt_hour;
+}
+
 std::string FleetConfig::label() const {
   std::vector<std::string> seen;
   std::string out;
@@ -157,6 +164,19 @@ void validate_scenario(const Scenario& scenario) {
   }
   if (scenario.batch.max_wait_s < 0.0) {
     throw InvalidArgument("Scenario.batch: BatchPolicy.max_wait_s must be >= 0");
+  }
+  const CostModel& cost = scenario.fleet.cost;
+  if (!(cost.usd_per_watt_hour >= 0.0) || !std::isfinite(cost.usd_per_watt_hour)) {
+    throw InvalidArgument("Scenario.fleet: CostModel.usd_per_watt_hour must be >= 0");
+  }
+  if (!(cost.usd_per_joule >= 0.0) || !std::isfinite(cost.usd_per_joule)) {
+    throw InvalidArgument("Scenario.fleet: CostModel.usd_per_joule must be >= 0");
+  }
+  for (const auto& [spec, rate] : cost.slot_hour_overrides) {
+    if (!(rate >= 0.0) || !std::isfinite(rate)) {
+      throw InvalidArgument("Scenario.fleet: CostModel slot-hour override for '" + spec +
+                            "' must be >= 0");
+    }
   }
   validate_autoscaler(scenario.sim.autoscaler);
   validate_faults(scenario.sim.faults);
@@ -306,12 +326,22 @@ FleetMetrics simulate_impl(const Scenario& scenario, Observation* observation) {
                             "': no accelerator of that kind in the fleet");
     }
   }
-  // Masks only bind when the fleet mixes families; single-kind fleets skip
-  // the mask rebuild entirely (hoisted: the allow-everything mask is a
-  // constant, tested once per dispatch round instead of per slot scan).
+  // Masks only bind when the fleet's specs differ in what they can serve;
+  // fleets whose slots all accept the same workload set (single-kind, or
+  // all-electronic serving everything) skip the mask rebuild entirely
+  // (hoisted: the allow-everything mask is a constant, tested once per
+  // dispatch round instead of per slot scan).
   bool mixed_fleet = false;
   for (std::size_t c = 1; c < caches.size() && !mixed_fleet; ++c) {
-    mixed_fleet = caches[c].spec().serves != caches[0].spec().serves;
+    mixed_fleet = cache_serves[c] != cache_serves[0];
+  }
+
+  // Amortised $/slot-hour per cache (== per spec), for cost-aware routing and
+  // the dollar-cost metrics.
+  std::vector<double> rate_of_cache(caches.size(), 0.0);
+  for (std::size_t c = 0; c < caches.size(); ++c) {
+    rate_of_cache[c] =
+        fleet.cost.slot_hour_rate(caches[c].spec().name, caches[c].static_power_w());
   }
 
   // Simulation-wide fallback SLO, then each tenant's own contract.
@@ -399,6 +429,17 @@ FleetMetrics simulate_impl(const Scenario& scenario, Observation* observation) {
   std::vector<std::size_t> tenant_within(catalog.size(), 0);
   std::vector<std::size_t> tenant_shed(catalog.size(), 0);
   std::vector<std::size_t> tenant_timed_out(catalog.size(), 0);
+  // Dollars attributed per tenant: served slot-time at the slot's hourly rate
+  // plus batch energy at $/J, charged wherever dispatched energy is (batch
+  // completions and pro-rata fault aborts).  Sums to <= the fleet cost —
+  // idle slot-time and idle static energy stay unattributed.
+  std::vector<double> tenant_cost_usd(catalog.size(), 0.0);
+  const double usd_per_joule = fleet.cost.usd_per_joule;
+  const auto attribute_cost = [&](std::uint32_t w, double served_s, double energy_j,
+                                  std::size_t cache) {
+    tenant_cost_usd[w] += served_s / 3600.0 * rate_of_cache[cache] +
+                          energy_j * usd_per_joule;
+  };
   // Terminal outcomes (completed + shed + timed out): the loop's stop target.
   std::size_t terminal = 0;
 
@@ -771,6 +812,28 @@ FleetMetrics simulate_impl(const Scenario& scenario, Observation* observation) {
             chosen = i;
           }
         }
+      } else if (fleet.routing == RoutingPolicy::kCostAware) {
+        // Cheapest compatible idle slot still predicted to land the batch
+        // head inside the tenant's SLO; with no such candidate `chosen` keeps
+        // the first-idle pick, so overloaded fleets degrade to first-idle
+        // rather than stall.
+        double best_usd = kNever;
+        for (const std::size_t i : live) {
+          if (!can_dispatch_to(slots[i]) || cache_serves[slots[i].cache][workload] == 0) {
+            continue;
+          }
+          const PerfReport& est = caches[slots[i].cache].estimate(workload, batch.size(), seq_len);
+          ++estimate_calls;
+          if (now_s + est.latency_s - batch.front().first_arrival_s > slo_of[workload]) {
+            continue;
+          }
+          const double usd = est.latency_s / 3600.0 * rate_of_cache[slots[i].cache] +
+                             est.total_energy_j * fleet.cost.usd_per_joule;
+          if (usd < best_usd) {
+            best_usd = usd;
+            chosen = i;
+          }
+        }
       }
       const PerfReport& r = caches[slots[chosen].cache].estimate(workload, batch.size(), seq_len);
       if (prof) prof->record(LoopSource::kEstimate, t_est, estimate_calls);
@@ -824,12 +887,16 @@ FleetMetrics simulate_impl(const Scenario& scenario, Observation* observation) {
           }
           // The unserved remainder was never busy time; the dynamic energy
           // already burned is charged pro rata (for a decoding slot: of the
-          // current decode step).
+          // current decode step) — and so are the aborted batch's dollars.
           s.busy_s -= s.inflight_done_s - t_ev;
           const double span = s.inflight_done_s - s.inflight_start_s;
           if (span > 0.0) {
-            dispatched_energy_j +=
-                s.inflight_energy_j * ((t_ev - s.inflight_start_s) / span);
+            const double served_s = t_ev - s.inflight_start_s;
+            const double energy_j = s.inflight_energy_j * (served_s / span);
+            dispatched_energy_j += energy_j;
+            const std::uint32_t aborted_w =
+                s.decoding ? s.decode_workload : s.inflight.front().workload;
+            attribute_cost(aborted_w, served_s, energy_j, s.cache);
           }
           if (s.decoding) {
             // Mid-decode failure: the KV state is gone, so each lane's
@@ -992,6 +1059,8 @@ FleetMetrics simulate_impl(const Scenario& scenario, Observation* observation) {
         // one token, drained lanes complete, and the slot decides whether
         // another step runs (see continue_decode).
         dispatched_energy_j += acc.inflight_energy_j;
+        attribute_cost(acc.decode_workload, acc.inflight_done_s - acc.inflight_start_s,
+                       acc.inflight_energy_j, acc.cache);
         ++m.decode_steps;
         ++m.decode_occupancy[acc.lanes.size()];
         std::size_t kept = 0;
@@ -1020,6 +1089,9 @@ FleetMetrics simulate_impl(const Scenario& scenario, Observation* observation) {
       acc.inflight.clear();
       acc.inflight_seq = kNoBatch;
       dispatched_energy_j += acc.inflight_energy_j;
+      // Batches never mix workloads, so the head names the paying tenant.
+      attribute_cost(batch.front().workload, acc.inflight_done_s - acc.inflight_start_s,
+                     acc.inflight_energy_j, acc.cache);
       const bool can_gen = has_decode && cache_generates[acc.cache] != 0;
       for (const Request& req : batch) {
         const std::uint32_t w = req.workload;
@@ -1139,6 +1211,7 @@ FleetMetrics simulate_impl(const Scenario& scenario, Observation* observation) {
     t.max_latency_s = tenant_max[w];
     t.shed = tenant_shed[w];
     t.timed_out = tenant_timed_out[w];
+    t.cost_usd = tenant_cost_usd[w];
     const std::size_t issued = t.completed + t.shed + t.timed_out;
     if (issued > 0) {
       t.drop_rate = static_cast<double>(t.shed + t.timed_out) / static_cast<double>(issued);
@@ -1231,12 +1304,14 @@ FleetMetrics simulate_impl(const Scenario& scenario, Observation* observation) {
   double busy_total = 0.0;
   double idle_static_j = 0.0;
   double slot_time_s = 0.0;
+  double slot_cost_usd = 0.0;
   std::size_t final_active = 0;
   for (const Slot& s : slots) {
     const double window_s =
         (s.active_end_s >= 0.0 ? s.active_end_s : duration_s) - s.active_start_s;
     busy_total += s.busy_s;
     slot_time_s += window_s;
+    slot_cost_usd += window_s / 3600.0 * rate_of_cache[s.cache];
     idle_static_j += std::max(0.0, window_s - s.busy_s) * caches[s.cache].static_power_w();
     if (!s.retired && !s.draining) ++final_active;
   }
@@ -1251,6 +1326,12 @@ FleetMetrics simulate_impl(const Scenario& scenario, Observation* observation) {
   m.fleet_energy_j = dispatched_energy_j + idle_static_j;
   m.energy_per_request_j =
       m.completed > 0 ? m.fleet_energy_j / static_cast<double>(m.completed) : 0.0;
+  // Fleet dollars: every active slot-hour at its amortised rate plus all
+  // energy at the marginal $/J (per-tenant attribution above covers only the
+  // served share; the idle burn lands here).
+  m.fleet_cost_usd = slot_cost_usd + m.fleet_energy_j * fleet.cost.usd_per_joule;
+  m.cost_per_request_usd =
+      m.completed > 0 ? m.fleet_cost_usd / static_cast<double>(m.completed) : 0.0;
   m.fleet_utilization = busy_total / std::max(slot_time_s, 1e-300);
   for (const EstimateCache& c : caches) {
     m.estimate_lookups += c.lookups();

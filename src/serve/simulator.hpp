@@ -52,6 +52,7 @@
 #pragma once
 
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "serve/autoscaler.hpp"
@@ -70,6 +71,29 @@ namespace lumos::serve {
 enum class RoutingPolicy {
   kFirstIdle,     // lowest-index compatible idle accelerator
   kEnergyAware,   // compatible idle accelerator with the lowest predicted batch energy
+  kCostAware,     // cheapest compatible idle slot still predicted to make the
+                  // tenant's SLO (slot-hour rate x latency + $/J x energy);
+                  // falls back to first-idle when no candidate can make it
+};
+
+// Dollar-cost knobs of a fleet: amortised slot-hour rates (capex + hosting)
+// plus marginal energy price.  A slot's default hourly rate derives from its
+// static draw (idle board power x `usd_per_watt_hour`, a hosting-cost proxy
+// that needs no per-spec table); `slot_hour_overrides` pins exact $/slot-hour
+// figures per spec name where known.  `kCostAware` routing and the
+// `FleetMetrics` cost fields both price through this model.
+struct CostModel {
+  // Hosting $/W/h applied to a slot's static power for its default rate.
+  double usd_per_watt_hour = 0.01;
+  // Marginal energy price (default: $0.10/kWh).
+  double usd_per_joule = 0.10 / 3.6e6;
+  // (spec name, $/slot-hour) pairs; the first match wins over the default.
+  std::vector<std::pair<std::string, double>> slot_hour_overrides;
+
+  // The amortised hourly rate of a slot of `spec` whose static draw is
+  // `static_power_w`.
+  [[nodiscard]] double slot_hour_rate(const std::string& spec,
+                                      double static_power_w) const;
 };
 
 // How a slot running a decode batch treats its free lanes at token boundaries
@@ -92,6 +116,8 @@ struct FleetConfig {
   // One `arch` registry spec name per fleet slot ("tron", "ghost-eco", ...).
   std::vector<std::string> accelerators;
   RoutingPolicy routing = RoutingPolicy::kFirstIdle;
+  // Dollar-cost knobs (always on: every run reports fleet/request cost).
+  CostModel cost;
 
   [[nodiscard]] static FleetConfig homogeneous(
       const std::string& spec, std::size_t count,

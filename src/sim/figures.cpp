@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "arch/platform_adapter.hpp"
 #include "common/error.hpp"
 #include "common/stats.hpp"
 #include "common/units.hpp"
@@ -63,20 +64,25 @@ Table FigureData::to_table() const {
 
 namespace {
 
-// A baseline platform's estimate of one tagged workload (the one remaining
-// place the workload kinds branch — the electronic baselines keep their
-// concrete per-kind entry points).
-PerfReport baseline_estimate(const baselines::PlatformModel& platform,
-                             const arch::Workload& w) {
-  return w.kind() == arch::WorkloadKind::kTransformer
-             ? platform.estimate_transformer(w.transformer_config())
-             : platform.estimate_gnn(w.gnn_model(), w.dataset());
+// The paper's electronic baselines behind the polymorphic accelerator
+// interface (see arch::PlatformAdapter), wrapped once per comparison set.
+// The adapter delegates to the concrete per-kind roofline entry points
+// bit-for-bit, so figure rows are unchanged — the kind branch just lives in
+// one adapter instead of every figure consumer.
+std::vector<arch::PlatformAdapter> wrap_baselines(
+    std::vector<baselines::PlatformModel> models) {
+  std::vector<arch::PlatformAdapter> adapters;
+  adapters.reserve(models.size());
+  for (baselines::PlatformModel& m : models) adapters.emplace_back(std::move(m));
+  return adapters;
 }
 
 // The baseline set a workload kind is compared against in the paper.
-const std::vector<baselines::PlatformModel>& baselines_for(arch::WorkloadKind kind) {
-  static const std::vector<baselines::PlatformModel> llm = baselines::llm_baselines();
-  static const std::vector<baselines::PlatformModel> gnn = baselines::gnn_baselines();
+const std::vector<arch::PlatformAdapter>& baselines_for(arch::WorkloadKind kind) {
+  static const std::vector<arch::PlatformAdapter> llm =
+      wrap_baselines(baselines::llm_baselines());
+  static const std::vector<arch::PlatformAdapter> gnn =
+      wrap_baselines(baselines::gnn_baselines());
   return kind == arch::WorkloadKind::kTransformer ? llm : gnn;
 }
 
@@ -114,15 +120,15 @@ FigureData run_figure(const arch::Accelerator& acc,
   f.platforms.push_back(acc.spec().family);
   bool platforms_named = false;
   for (const arch::Workload& w : workloads) {
-    const std::vector<baselines::PlatformModel>& baselines = baselines_for(w.kind());
+    const std::vector<arch::PlatformAdapter>& baselines = baselines_for(w.kind());
     if (!platforms_named) {
-      for (const auto& p : baselines) f.platforms.push_back(p.spec().name);
+      for (const auto& p : baselines) f.platforms.push_back(p.model().spec().name);
       platforms_named = true;
     }
     f.workloads.push_back(w.name());
     std::vector<PerfReport> row;
     row.push_back(acc.estimate(w));
-    for (const auto& p : baselines) row.push_back(baseline_estimate(p, w));
+    for (const auto& p : baselines) row.push_back(p.estimate(w));
     f.reports.push_back(std::move(row));
   }
   return f;

@@ -117,6 +117,16 @@ DET_CONTINUOUS_POINT_FIELDS = [
     "cont_ttft_attainment", "cont_decode_occupancy", "ttft_ratio",
 ]
 TIMING_CONTINUOUS_FIELDS = ["requests_per_s"]
+# Hybrid-fleet TCO entries: photonic / electronic / hybrid fleets serving one
+# decode catalog under cost-aware routing.  Every simulated metric — dollar
+# costs included — is deterministic; requests_per_s is the only timing field.
+DET_HYBRID_FIELDS = ["requests", "fleet", "capacity_qps"]
+DET_HYBRID_POINT_FIELDS = [
+    "capacity_x", "offered_qps", "completed", "p99_latency_s", "goodput_qps",
+    "slo_attainment", "tier0_attainment", "mean_ttft_s", "tokens_per_s",
+    "energy_per_request_j", "fleet_cost_usd", "cost_per_request_usd",
+]
+TIMING_HYBRID_FIELDS = ["requests_per_s"]
 
 
 class Failure(Exception):
@@ -292,6 +302,53 @@ def check_continuous_batching(baseline, current, time_tol, det_tol, errors):
                 )
 
 
+def check_hybrid_fleet(baseline, current, time_tol, det_tol, errors):
+    cur_entries = {h["label"]: h for h in current.get("hybrid_fleet", [])}
+    for base in baseline.get("hybrid_fleet", []):
+        label = base["label"]
+        cur = cur_entries.get(label)
+        if cur is None:
+            errors.append(f"serve: hybrid_fleet '{label}' missing from current")
+            continue
+        what = f"serve hybrid_fleet '{label}'"
+        check_det(what, base, cur, DET_HYBRID_FIELDS, det_tol, errors)
+        check_timing(what, base, cur, TIMING_HYBRID_FIELDS, time_tol, errors)
+        base_points = {(p["fleet_label"], p["capacity_x"]): p
+                       for p in base.get("points", [])}
+        cur_points = {(p["fleet_label"], p["capacity_x"]): p
+                      for p in cur.get("points", [])}
+        for key, base_point in base_points.items():
+            cur_point = cur_points.get(key)
+            if cur_point is None:
+                errors.append(f"{what}: point {key} missing from current")
+                continue
+            check_det(f"{what} point {key}", base_point, cur_point,
+                      DET_HYBRID_POINT_FIELDS, det_tol, errors)
+        # In-file acceptance gate, independent of the baseline: at every load,
+        # the hybrid fleet's tier-0 attainment must not lose to the *worse*
+        # homogeneous fleet (adding slots of a second fabric may not help the
+        # premium tenant, but cost-aware routing must never leave it worse off
+        # than the weaker single-fabric fleet).
+        by_capacity = {}
+        for point in cur.get("points", []):
+            by_capacity.setdefault(point["capacity_x"], {})[
+                point["fleet_label"]] = point
+        for capacity_x, points in sorted(by_capacity.items()):
+            hybrid = [p for name, p in points.items() if "hybrid" in name]
+            homogeneous = [p for name, p in points.items() if "hybrid" not in name]
+            if not hybrid or not homogeneous:
+                continue
+            floor = min(p.get("tier0_attainment", 0.0) for p in homogeneous)
+            for p in hybrid:
+                if p.get("tier0_attainment", 0.0) < floor - 1e-9:
+                    errors.append(
+                        f"{what} at {capacity_x}x: hybrid fleet "
+                        f"'{p['fleet_label']}' tier-0 attainment "
+                        f"{p.get('tier0_attainment')} lost to the worse "
+                        f"homogeneous fleet's {floor}"
+                    )
+
+
 def check_event_queue(baseline, current, time_tol, errors):
     cur_entries = {q["label"]: q for q in current.get("event_queue", [])}
     for base in baseline.get("event_queue", []):
@@ -408,6 +465,7 @@ def run_check(baseline, current, time_tol, det_tol, overhead_tol=0.35):
                                 errors)
         check_sharded(baseline, current, time_tol, det_tol, errors)
         check_continuous_batching(baseline, current, time_tol, det_tol, errors)
+        check_hybrid_fleet(baseline, current, time_tol, det_tol, errors)
         check_event_queue(baseline, current, time_tol, errors)
     else:
         errors.append(f"unknown bench kind: {kind!r}")
@@ -503,6 +561,25 @@ def self_test(baseline, time_tol, det_tol):
         if not run_check(lost, lost, time_tol, det_tol):
             print("bench_check self-test FAILED: continuous batching losing to "
                   "monolithic on TTFT was not detected")
+            return 1
+    if baseline.get("hybrid_fleet"):
+        # A drifting dollar metric must trip the det band by itself ...
+        drifted = copy.deepcopy(baseline)
+        drifted["hybrid_fleet"][0]["points"][0]["cost_per_request_usd"] *= 1.5
+        if not run_check(baseline, drifted, time_tol, det_tol):
+            print("bench_check self-test FAILED: hybrid_fleet cost drift "
+                  "was not detected")
+            return 1
+        # ... and the in-file tier-0 gate must fire on its own: a file whose
+        # hybrid fleet lost to the worse homogeneous fleet fails even as its
+        # own baseline (no det drift to ride on).
+        lost = copy.deepcopy(baseline)
+        for point in lost["hybrid_fleet"][0].get("points", []):
+            if "hybrid" in point.get("fleet_label", ""):
+                point["tier0_attainment"] = -1.0
+        if not run_check(lost, lost, time_tol, det_tol):
+            print("bench_check self-test FAILED: hybrid fleet losing tier-0 "
+                  "attainment to the worse homogeneous fleet was not detected")
             return 1
     if baseline.get("event_queue"):
         slow_queue = copy.deepcopy(baseline)
